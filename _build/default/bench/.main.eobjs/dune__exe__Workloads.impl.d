@@ -1,0 +1,1 @@
+bench/workloads.ml: Automode_core Automode_osek Dfd Dtype Expr List Model Mtd Printf Random Ssd Stdlib Value

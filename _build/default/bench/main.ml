@@ -1,0 +1,408 @@
+(* Benchmark harness: one experiment per figure of the paper (DESIGN.md
+   Sec. 5, E1..E12 plus ablations).  Each experiment first regenerates its
+   paper artifact (diagram, trace, report) and then times the implementing
+   code path with Bechamel.  Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Automode_core
+open Automode_la
+open Automode_transform
+open Automode_casestudy
+
+let line () = print_endline (String.make 72 '-')
+
+let section title =
+  line ();
+  print_endline title;
+  line ()
+
+(* ------------------------------------------------------------------ *)
+(* Artifact regeneration (the "figures")                              *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate_artifacts () =
+  section "E1 | Fig. 1: message-based time-synchronous communication";
+  print_string (Trace.to_string (Door_lock.demo_trace ~ticks:10 ()));
+
+  section "E2 | Fig. 2: explicit sampling with when / every(2, true)";
+  print_string (Trace.to_string (Sampling.demo_trace ~ticks:8 ~factor:2 ()));
+
+  section "E4 | Fig. 4: SSD on the FAA level + conflict rules";
+  let faa = Workloads.faa_network ~n:12 ~conflict_every:4 in
+  print_string (Render.component_to_string faa.Model.model_root);
+  let findings = Faa_rules.run faa in
+  Printf.printf "rules: %s\n" (Faa_rules.summary findings);
+
+  section "E5 | Fig. 5: longitudinal momentum controller DFD";
+  print_string (Render.component_to_string Momentum.component);
+  (match
+     Causality.evaluation_order
+       (match Momentum.component.Model.comp_behavior with
+        | Model.B_dfd net -> net
+        | _ -> assert false)
+   with
+   | Ok order -> Printf.printf "causal order: %s\n" (String.concat " -> " order)
+   | Error _ -> ());
+
+  section "E6 | Fig. 6: engine operation modes MTD";
+  Format.printf "%a" Render.mtd Engine_modes.mtd;
+  let product = Engine_modes.global_mode_system in
+  Printf.printf
+    "global mode transition system: %d modes, %d transitions (deterministic: %b)\n"
+    (List.length product.Model.mtd_modes)
+    (List.length product.Model.mtd_transitions)
+    (Mtd.deterministic product);
+
+  section "E7 | Fig. 7: simplified engine controller CCD + OSEK conditions";
+  print_string (Render.component_to_string Engine_ccd.component);
+  Printf.printf "OSEK well-definedness violations: %d (delay on %s present)\n"
+    (List.length
+       (Well_defined.check ~target:Well_defined.osek_fixed_priority
+          Engine_ccd.ccd))
+    "idle_to_fuel";
+
+  section "E8 | Fig. 8 + Sec. 5: white-box reengineering case study";
+  let _, report = Engine_ascet.reengineer () in
+  Format.printf "%a" Reengineer.pp_report report;
+  let expr_total model =
+    let n = ref 0 in
+    Model.iter_components
+      (fun _ (c : Model.component) ->
+        match c.Model.comp_behavior with
+        | Model.B_exprs outs ->
+          List.iter (fun (_, e) -> n := !n + Simplify.size e) outs
+        | _ -> ())
+      model.Model.model_root;
+    !n
+  in
+  let plain, _ = Reengineer.whitebox ~simplify:false Engine_ascet.ascet_model in
+  let simp, _ = Reengineer.whitebox ~simplify:true Engine_ascet.ascet_model in
+  Printf.printf
+    "expression nodes after reengineering: %d raw, %d simplified (-%d%%)\n"
+    (expr_total plain) (expr_total simp)
+    (100 * (expr_total plain - expr_total simp) / Stdlib.max 1 (expr_total plain));
+
+  section "E3 | Fig. 3: abstraction-level pipeline FAA/FDA -> LA/TA -> OA";
+  let r = Pipeline.run () in
+  Format.printf "%a" Pipeline.pp_summary r;
+
+  section "E9 | Sec. 4: black-box reengineering from a communication matrix";
+  let faa_bb = Body_matrix.faa_of Body_matrix.handcrafted in
+  Printf.printf "partial FAA from %d matrix entries: %d vehicle functions\n"
+    (List.length Body_matrix.handcrafted.Automode_osek.Comm_matrix.entries)
+    (match faa_bb.Model.model_root.comp_behavior with
+     | Model.B_ssd net -> List.length net.net_components
+     | _ -> 0);
+
+  section "E10 | Sec. 4 / 3.3: MTD -> mode-port DFD and partitionable dataflow";
+  let refactored = Refactor.mtd_to_mode_port_dfd Throttle.component in
+  Printf.printf "mode-port DFD blocks: %d\n"
+    (match refactored.Model.comp_behavior with
+     | Model.B_dfd net -> List.length net.net_components
+     | _ -> 0);
+  let part = Mtd_to_dataflow.transform Throttle.component in
+  Printf.printf "partitionable clusters: %s\n"
+    (String.concat ", "
+       (List.map (fun (c : Cluster.t) -> c.cluster_name) part.Ccd.clusters));
+
+  section "E11 | Sec. 3.3: implementation types and quantization";
+  List.iter
+    (fun (lo, hi, res) ->
+      match Impl_type.smallest_container ~lo ~hi ~resolution:res with
+      | Some impl ->
+        Printf.printf
+          "range [%g, %g] @ %g -> %s (step %s, error bound %s)\n" lo hi res
+          (Impl_type.to_string impl)
+          (match Impl_type.quantization_step impl with
+           | Some s -> Printf.sprintf "%.3g" s
+           | None -> "-")
+          (match Impl_type.quantization_error_bound impl with
+           | Some b -> Printf.sprintf "%.3g" b
+           | None -> "-")
+      | None -> Printf.printf "range [%g, %g] @ %g -> (no container)\n" lo hi res)
+    [ (0., 10., 0.1); (-100., 100., 0.01); (0., 8000., 1.); (-1., 1., 1e-6) ];
+
+  section "infra | persistence, static analysis, variants";
+  let fda, _ = Engine_ascet.reengineer () in
+  let text = Automode_syntax.Model_printer.to_string fda in
+  Printf.printf "serialized reengineered model: %d bytes; reparse equal: %b\n"
+    (String.length text)
+    ((Automode_syntax.Model_parser.parse text).Model.model_root
+    = fda.Model.model_root);
+  Printf.printf "static check of the reengineered model: %s\n"
+    (Static_check.summary (Static_check.model fda));
+  Printf.printf "central-locking variants: %s\n"
+    (String.concat ", "
+       (List.map fst (Variants.configurations Central_locking.family)));
+
+  section "E12 | Sec. 3.4: generated ASCET projects";
+  List.iter
+    (fun (p : Automode_codegen.Ascet_project.project) ->
+      Printf.printf "project %s: %d bytes\n" p.project_ecu
+        (String.length p.project_text))
+    (Automode_codegen.Ascet_project.generate Engine_ccd.deployment)
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stage = Staged.stage
+
+let sim_bench name comp inputs ticks =
+  Test.make ~name (stage (fun () -> Sim.run ~ticks ~inputs comp))
+
+let e1_tests =
+  [ sim_bench "E1/door-lock-sim-64t" Door_lock.component
+      Door_lock.crash_scenario 64 ]
+
+let e2_tests =
+  [ sim_bench "E2/sampling-factor2-64t" (Sampling.component ~factor:2)
+      (fun tick -> [ ("a", Value.Present (Value.Int tick)) ])
+      64;
+    sim_bench "E2/sampling-factor16-64t" (Sampling.component ~factor:16)
+      (fun tick -> [ ("a", Value.Present (Value.Int tick)) ])
+      64 ]
+
+let e3_tests =
+  [ Test.make ~name:"E3/full-pipeline"
+      (stage (fun () -> Pipeline.run ~equiv_ticks:50 ())) ]
+
+let e4_tests =
+  List.map
+    (fun n ->
+      let model = Workloads.faa_network ~n ~conflict_every:5 in
+      Test.make
+        ~name:(Printf.sprintf "E4/faa-rules-%d" n)
+        (stage (fun () -> Faa_rules.run model)))
+    [ 10; 100; 500 ]
+
+let e5_tests =
+  List.concat_map
+    (fun n ->
+      let net = Workloads.random_dfd ~seed:42 ~n in
+      let comp = Workloads.random_dfd_component ~seed:42 ~n in
+      [ Test.make
+          ~name:(Printf.sprintf "E5/causality-check-%d" n)
+          (stage (fun () -> Causality.check net));
+        Test.make
+          ~name:(Printf.sprintf "E5/dfd-sim-%d-32t" n)
+          (stage (fun () ->
+               Sim.run ~ticks:32
+                 ~inputs:(fun t ->
+                   [ ("src", Value.Present (Value.Float (float_of_int t))) ])
+                 comp)) ])
+    [ 50; 200 ]
+
+let e6_tests =
+  List.map
+    (fun k ->
+      Test.make
+        ~name:(Printf.sprintf "E6/mtd-product-k%d" k)
+        (stage (fun () -> Workloads.product_of_k ~k)))
+    [ 2; 3; 4 ]
+  @ [ Test.make ~name:"E6/engine-mtd-sim-42t"
+        (stage (fun () -> Engine_modes.demo_trace ~ticks:42 ())) ]
+
+let e7_tests =
+  [ Test.make ~name:"E7/ccd-well-definedness"
+      (stage (fun () ->
+           Well_defined.check ~target:Well_defined.osek_fixed_priority
+             Engine_ccd.ccd));
+    Test.make ~name:"E7/deploy-check"
+      (stage (fun () -> Deploy.check Engine_ccd.deployment));
+    Test.make ~name:"E7/scheduler-sim-1s"
+      (stage (fun () ->
+           List.map
+             (fun (_, ts) ->
+               if ts = [] then None
+               else Some (Automode_osek.Scheduler.simulate ~horizon:1_000_000 ts))
+             (Deploy.task_sets Engine_ccd.deployment)));
+    Test.make ~name:"E7/can-sim-1s"
+      (stage (fun () ->
+           List.map
+             (fun (_, frames) ->
+               if frames = [] then None
+               else
+                 Some
+                   (Automode_osek.Can_bus.simulate
+                      { Automode_osek.Can_bus.bitrate = 500_000 }
+                      ~horizon:1_000_000 frames))
+             (Deploy.bus_frames Engine_ccd.deployment)));
+    Test.make ~name:"E7/ccd-sim-200t"
+      (stage (fun () -> Engine_ccd.demo_trace ~ticks:200 ())) ]
+
+let e8_tests =
+  [ Test.make ~name:"E8/whitebox-reengineering"
+      (stage (fun () -> Engine_ascet.reengineer ()));
+    Test.make ~name:"E8/flag-analysis"
+      (stage (fun () ->
+           Automode_ascet.Ascet_analysis.inferred_flags
+             Engine_ascet.ascet_model));
+    Test.make ~name:"E8/ascet-interp-500t"
+      (stage (fun () ->
+           Automode_ascet.Ascet_interp.run Engine_ascet.ascet_model ~ticks:500
+             ~inputs:Engine_ascet.drive_inputs
+             ~observe:Engine_ascet.observed));
+    (let fda, _ = Engine_ascet.reengineer () in
+     let inputs tick =
+       List.map
+         (fun (n, v) -> (n, Value.Present v))
+         (Engine_ascet.drive_inputs tick)
+     in
+     Test.make ~name:"E8/fda-sim-500t"
+       (stage (fun () -> Sim.run ~ticks:500 ~inputs fda.Model.model_root))) ]
+
+let e9_tests =
+  List.map
+    (fun signals ->
+      let cm = Body_matrix.synthetic ~nodes:12 ~signals () in
+      Test.make
+        ~name:(Printf.sprintf "E9/blackbox-%dsig" signals)
+        (stage (fun () -> Body_matrix.faa_of cm)))
+    [ 50; 500 ]
+
+let e10_tests =
+  [ Test.make ~name:"E10/mtd-to-modeport-dfd"
+      (stage (fun () -> Refactor.mtd_to_mode_port_dfd Throttle.component));
+    Test.make ~name:"E10/mtd-to-dataflow"
+      (stage (fun () -> Mtd_to_dataflow.transform Throttle.component));
+    Test.make ~name:"E10/equivalence-check-64t"
+      (stage (fun () ->
+           Equiv.trace_equivalent ~ticks:64 ~flows:[ "rate" ]
+             Throttle.component
+             (Refactor.mtd_to_mode_port_dfd Throttle.component))) ]
+
+let e11_tests =
+  let impl =
+    Impl_type.fixed_for_range ~container:Impl_type.Int16 ~lo:(-100.) ~hi:100. ()
+  in
+  [ Test.make ~name:"E11/encode-decode-1k"
+      (stage (fun () ->
+           let rec go i acc =
+             if i = 1000 then acc
+             else
+               let v = Value.Float (float_of_int i /. 7.) in
+               go (i + 1)
+                 (Impl_type.decode impl (Impl_type.encode impl v) :: acc)
+           in
+           go 0 []));
+    (let q = Refine.quantizer_block ~name:"Q" impl in
+     sim_bench "E11/quantizer-sim-128t" q
+       (fun t -> [ ("in", Value.Present (Value.Float (float_of_int t *. 0.3))) ])
+       128) ]
+
+let e12_tests =
+  [ Test.make ~name:"E12/ascet-project-gen"
+      (stage (fun () ->
+           Automode_codegen.Ascet_project.generate Engine_ccd.deployment)) ]
+
+(* Tooling-infrastructure benches: persistence, static analysis and
+   variant enumeration over the reengineered engine controller. *)
+let infra_tests =
+  let fda, _ = Engine_ascet.reengineer () in
+  let text = Automode_syntax.Model_printer.to_string fda in
+  [ Test.make ~name:"infra/model-print"
+      (stage (fun () -> Automode_syntax.Model_printer.to_string fda));
+    Test.make ~name:"infra/model-parse"
+      (stage (fun () -> Automode_syntax.Model_parser.parse text));
+    Test.make ~name:"infra/static-check"
+      (stage (fun () -> Static_check.model fda));
+    Test.make ~name:"infra/variant-enumeration"
+      (stage (fun () -> Variants.configurations Central_locking.family));
+    Test.make ~name:"infra/central-locking-rules"
+      (stage (fun () -> Faa_rules.run Central_locking.full_variant)) ]
+
+(* Ablations (DESIGN.md Sec. 6). *)
+let ablation_tests =
+  let net =
+    match Engine_ccd.component.Model.comp_behavior with
+    | Model.B_dfd net -> net
+    | _ -> assert false
+  in
+  let as_ssd =
+    Ssd.of_network ~ports:Engine_ccd.component.Model.comp_ports net
+  in
+  let inputs tick =
+    [ ("pedal", Value.Present (Value.Float 0.4));
+      ("n", Value.Present (Value.Float (1000. +. float_of_int tick))) ]
+  in
+  [ (let fda, _ = Engine_ascet.reengineer () in
+     let inputs tick =
+       List.map
+         (fun (n, v) -> (n, Value.Present v))
+         (Engine_ascet.drive_inputs tick)
+     in
+     let compiled = Sim.compile fda.Model.model_root in
+     Test.make ~name:"ablation/engine-sim-compiled-500t"
+       (stage (fun () -> Sim.run_compiled ~ticks:500 ~inputs compiled)));
+    Test.make ~name:"ablation/reengineer-no-simplify"
+      (stage (fun () ->
+           Reengineer.whitebox ~simplify:false Engine_ascet.ascet_model));
+    Test.make ~name:"ablation/reengineer-with-simplify"
+      (stage (fun () ->
+           Reengineer.whitebox ~simplify:true Engine_ascet.ascet_model));
+    sim_bench "ablation/engine-net-as-dfd-100t" Engine_ccd.component inputs 100;
+    sim_bench "ablation/engine-net-as-ssd-100t" as_ssd inputs 100;
+    Test.make ~name:"ablation/scheduler-sim-12tasks"
+      (stage (fun () ->
+           Automode_osek.Scheduler.simulate ~horizon:1_000_000
+             (Workloads.task_set ~n:12)));
+    Test.make ~name:"ablation/scheduler-rta-12tasks"
+      (stage (fun () ->
+           Automode_osek.Scheduler.response_time_analysis
+             (Workloads.task_set ~n:12))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let all_tests =
+  Test.make_grouped ~name:"automode"
+    (e1_tests @ e2_tests @ e3_tests @ e4_tests @ e5_tests @ e6_tests
+    @ e7_tests @ e8_tests @ e9_tests @ e10_tests @ e11_tests @ e12_tests
+    @ infra_tests @ ablation_tests)
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  results
+
+let print_results results =
+  section "measurements (monotonic clock, ns per run)";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ t ] -> t
+        | Some _ | None -> Float.nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+  Printf.printf "%-44s %16s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "%-44s %16s\n" name human)
+    rows
+
+let () =
+  regenerate_artifacts ();
+  print_endline "";
+  section "benchmarks (this may take a minute)";
+  print_results (benchmark ())

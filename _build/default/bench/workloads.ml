@@ -1,0 +1,111 @@
+(* Synthetic workload generators for the benchmark harness: scalable FAA
+   networks, random DFDs, and parameterized model families.  Deterministic
+   (explicit seeds) so every bench run measures identical inputs. *)
+
+open Automode_core
+
+(* An FAA-level vehicle-function network of [n] functions: every function
+   reads a couple of shared sensors and drives one actuator; every k-th
+   pair shares an actuator to give the rule engine conflicts to find. *)
+let faa_network ~n ~conflict_every : Model.model =
+  let func i =
+    let actuator =
+      if conflict_every > 0 && i mod conflict_every = 1 then
+        Printf.sprintf "act_%d" (i - 1)
+      else Printf.sprintf "act_%d" i
+    in
+    Model.component
+      (Printf.sprintf "F%03d" i)
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tfloat
+            ~resource:(Printf.sprintf "sensor_%d" (i mod 7))
+            "s";
+          Model.out_port ~ty:Dtype.Tfloat ~resource:actuator "a" ]
+  in
+  let comps = List.init n func in
+  let channels =
+    (* a sparse dependency chain: F_i feeds F_{i+1} *)
+    List.init (Stdlib.max 0 (n - 1)) (fun i ->
+        Model.channel
+          ~name:(Printf.sprintf "dep_%d" i)
+          (Model.at (Printf.sprintf "F%03d" i) "a")
+          (Model.at (Printf.sprintf "F%03d" (i + 1)) "s"))
+  in
+  let net : Model.network =
+    { net_name = "Vehicle"; net_components = comps; net_channels = channels }
+  in
+  { model_name = "Vehicle";
+    model_level = Model.Faa;
+    model_root = Ssd.of_network net;
+    model_enums = [] }
+
+(* A random DFD of [n] expression blocks with forward edges (acyclic) plus
+   a few delayed back edges; suitable for causality and simulation
+   benches. *)
+let random_dfd ~seed ~n : Model.network =
+  let state = Random.State.make [| seed |] in
+  let name i = Printf.sprintf "B%03d" i in
+  let blocks =
+    List.init n (fun i ->
+        Dfd.block_of_expr ~name:(name i)
+          ~inputs:[ ("x", Some Dtype.Tfloat); ("y", Some Dtype.Tfloat) ]
+          ~out_type:Dtype.Tfloat
+          Expr.(
+            current (Value.Float 0.) (var "x")
+            + (current (Value.Float 0.) (var "y") * float 0.5)))
+  in
+  let forward =
+    List.init (n - 1) (fun i ->
+        let j = i + 1 + Random.State.int state (Stdlib.min 4 (n - i - 1)) in
+        Dfd.wire (Printf.sprintf "f%d" i) (name i, "out") (name j, "x"))
+  in
+  let backward =
+    List.init (n / 5) (fun k ->
+        let j = Random.State.int state (n - 1) in
+        let i = j + 1 + Random.State.int state (n - j - 1) in
+        Dfd.wire ~delayed:true ~init:(Value.Float 0.)
+          (Printf.sprintf "b%d" k)
+          (name i, "out") (name j, "y"))
+  in
+  let io =
+    [ Dfd.wire "in" ("", "src") (name 0, "x");
+      Dfd.wire "out" (name (n - 1), "out") ("", "dst") ]
+  in
+  { net_name = Printf.sprintf "Rand%d" n;
+    net_components = blocks;
+    net_channels = io @ forward @ backward }
+
+let random_dfd_component ~seed ~n =
+  Dfd.of_network
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tfloat "src";
+        Model.out_port ~ty:Dtype.Tfloat "dst" ]
+    (random_dfd ~seed ~n)
+
+(* Chain of MTDs for the product-scaling bench. *)
+let small_mtd i : Model.mtd =
+  let v = Printf.sprintf "x%d" i in
+  { mtd_name = Printf.sprintf "M%d" i;
+    mtd_modes =
+      [ { mode_name = "A"; mode_behavior = Model.B_unspecified };
+        { mode_name = "B"; mode_behavior = Model.B_unspecified } ];
+    mtd_initial = "A";
+    mtd_transitions =
+      [ { mt_src = "A"; mt_dst = "B"; mt_guard = Expr.var v; mt_priority = 0 };
+        { mt_src = "B"; mt_dst = "A"; mt_guard = Expr.not_ (Expr.var v);
+          mt_priority = 0 } ] }
+
+let product_of_k ~k =
+  let rec go acc i =
+    if i >= k then acc else go (Mtd.product acc (small_mtd i)) (i + 1)
+  in
+  go (small_mtd 0) 1
+
+(* Task sets for the scheduler bench. *)
+let task_set ~n =
+  List.init n (fun i ->
+      Automode_osek.Osek_task.make
+        ~name:(Printf.sprintf "t%02d" i)
+        ~period:((i + 1) * 5_000)
+        ~wcet:(200 * (i + 1))
+        ~priority:i ())

@@ -1,0 +1,303 @@
+(* automode - command-line front-end of the AutoMoDe tool prototype.
+
+   Sub-commands mirror the methodology's activities: simulate and render
+   models, run FAA rules and causality checks, reengineer ASCET sources,
+   evaluate deployments, and generate per-ECU projects. *)
+
+open Cmdliner
+open Automode_core
+open Automode_casestudy
+
+(* ------------------------------------------------------------------ *)
+(* Bundled models                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let bundled : (string * Model.component) list =
+  [ ("door-lock", Door_lock.component);
+    ("sampling", Sampling.component ~factor:2);
+    ("momentum", Momentum.component);
+    ("engine-modes", Engine_modes.component);
+    ("engine-ccd", Engine_ccd.component);
+    ("throttle", Throttle.component) ]
+
+let bundled_traces : (string * (int -> Trace.t)) list =
+  [ ("door-lock", fun ticks -> Door_lock.demo_trace ~ticks ());
+    ("sampling", fun ticks -> Sampling.demo_trace ~ticks ());
+    ("momentum", fun ticks -> Momentum.step_response ~ticks ~target:20. ());
+    ("engine-modes", fun ticks -> Engine_modes.demo_trace ~ticks ());
+    ("engine-ccd", fun ticks -> Engine_ccd.demo_trace ~ticks ());
+    ("throttle", fun ticks -> Throttle.demo_trace ~ticks ()) ]
+
+let model_names = List.map fst bundled
+
+(* A MODEL argument is either a bundled name or a path to a .amod file in
+   the textual AutoMoDe format. *)
+let find_model name =
+  if Filename.check_suffix name ".amod" then
+    try Ok (Automode_syntax.Model_parser.parse_file name).Model.model_root with
+    | Automode_syntax.Model_parser.Parse_error (msg, line) ->
+      Error (Printf.sprintf "%s:%d: %s" name line msg)
+    | Automode_syntax.Syntax_lexer.Lex_error (msg, line) ->
+      Error (Printf.sprintf "%s:%d: %s" name line msg)
+    | Sys_error msg -> Error msg
+  else
+    match List.assoc_opt name bundled with
+    | Some c -> Ok c
+    | None ->
+      Error
+        (Printf.sprintf "unknown model %s (available: %s, or a .amod file)"
+           name
+           (String.concat ", " model_names))
+
+let model_arg =
+  let doc =
+    "Bundled model (" ^ String.concat ", " model_names
+    ^ ") or a .amod file in the textual AutoMoDe format."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+
+let ticks_arg default =
+  let doc = "Number of base-clock ticks to simulate." in
+  Arg.(value & opt int default & info [ "ticks"; "t" ] ~doc)
+
+let or_fail = function
+  | Ok x -> x
+  | Error msg -> prerr_endline ("error: " ^ msg); exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let run name ticks csv =
+    let comp = or_fail (find_model name) in
+    let trace =
+      match List.assoc_opt name bundled_traces with
+      | Some mk -> mk ticks
+      | None ->
+        (* loaded models run on the empty stimulus *)
+        Sim.run ~ticks ~inputs:Sim.no_inputs comp
+    in
+    print_string (if csv then Trace.to_csv trace else Trace.to_string trace)
+  in
+  let csv_flag =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the trace as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Simulate a model (bundled models use their demo stimulus, loaded \
+          models the empty stimulus)")
+    Term.(const run $ model_arg $ ticks_arg 20 $ csv_flag)
+
+let render_cmd =
+  let run name =
+    let comp = or_fail (find_model name) in
+    print_string (Render.component_to_string comp)
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Render a bundled model's diagrams as text")
+    Term.(const run $ model_arg)
+
+let causality_cmd =
+  let run name =
+    let comp = or_fail (find_model name) in
+    match Causality.check_recursive comp with
+    | [] -> print_endline "causality: no instantaneous loops"
+    | loops ->
+      List.iter
+        (fun (path, loop) ->
+          Printf.printf "instantaneous loop in %s: %s\n"
+            (String.concat "." path)
+            (String.concat " -> " loop))
+        loops;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "causality" ~doc:"Run the causality check on a bundled model")
+    Term.(const run $ model_arg)
+
+let rules_cmd =
+  let run name =
+    let comp = or_fail (find_model name) in
+    let model =
+      { Model.model_name = name; model_level = Model.Faa; model_root = comp;
+        model_enums = [] }
+    in
+    let findings = Faa_rules.run model in
+    print_endline (Faa_rules.summary findings);
+    List.iter (fun f -> Format.printf "%a@." Faa_rules.pp_finding f) findings
+  in
+  Cmd.v
+    (Cmd.info "rules" ~doc:"Run the FAA rules on a bundled model")
+    Term.(const run $ model_arg)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ascet"
+         ~doc:"ASCET-format source file.")
+
+let check_cmd =
+  let run path =
+    try
+      let m = Automode_ascet.Ascet_parser.parse_file path in
+      match Automode_ascet.Ascet_ast.check m with
+      | [] -> Printf.printf "%s: ok\n" path
+      | problems -> List.iter print_endline problems; exit 1
+    with
+    | Automode_ascet.Ascet_parser.Parse_error (msg, line) ->
+      Printf.eprintf "%s:%d: %s\n" path line msg; exit 1
+    | Automode_ascet.Ascet_lexer.Lex_error (msg, line) ->
+      Printf.eprintf "%s:%d: %s\n" path line msg; exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and check an ASCET source file")
+    Term.(const run $ file_arg)
+
+let reengineer_cmd =
+  let run path render =
+    try
+      let m = Automode_ascet.Ascet_parser.parse_file path in
+      let model, report = Automode_transform.Reengineer.whitebox m in
+      Format.printf "%a@." Automode_transform.Reengineer.pp_report report;
+      if render then
+        print_string (Render.component_to_string model.Model.model_root)
+    with
+    | Automode_ascet.Ascet_parser.Parse_error (msg, line) ->
+      Printf.eprintf "%s:%d: %s\n" path line msg; exit 1
+    | Automode_transform.Reengineer.Unsupported msg ->
+      Printf.eprintf "unsupported model: %s\n" msg; exit 1
+  in
+  let render_flag =
+    Arg.(value & flag & info [ "render" ] ~doc:"Render the resulting FDA model.")
+  in
+  Cmd.v
+    (Cmd.info "reengineer"
+       ~doc:"White-box reengineer an ASCET source file into an FDA model")
+    Term.(const run $ file_arg $ render_flag)
+
+let deploy_cmd =
+  let run () =
+    let d = Engine_ccd.deployment in
+    Format.printf "%a@." Automode_la.Deploy.pp d;
+    (match Automode_la.Deploy.check d with
+     | [] -> print_endline "deployment checks: ok"
+     | ps -> List.iter print_endline ps);
+    List.iter
+      (fun (ecu, tasks) ->
+        if tasks <> [] then begin
+          Printf.printf "\nECU %s:\n" ecu;
+          Format.printf "%a"
+            Automode_osek.Scheduler.pp_result
+            (Automode_osek.Scheduler.simulate ~horizon:1_000_000 tasks)
+        end)
+      (Automode_la.Deploy.task_sets d)
+  in
+  Cmd.v
+    (Cmd.info "deploy"
+       ~doc:"Evaluate the bundled engine-controller deployment")
+    Term.(const run $ const ())
+
+let codegen_cmd =
+  let run dir =
+    let projects =
+      Automode_codegen.Ascet_project.generate Engine_ccd.deployment
+    in
+    match dir with
+    | Some dir ->
+      let paths = Automode_codegen.Ascet_project.write_to_dir ~dir projects in
+      List.iter (fun p -> print_endline ("wrote " ^ p)) paths
+    | None ->
+      List.iter
+        (fun (p : Automode_codegen.Ascet_project.project) ->
+          Printf.printf "=== %s ===\n%s\n" p.project_ecu p.project_text)
+        projects
+  in
+  let dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "output"; "o" ] ~docv:"DIR"
+             ~doc:"Write projects into $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Generate per-ECU ASCET projects for the engine deployment")
+    Term.(const run $ dir_arg)
+
+let check_model_cmd =
+  let run name =
+    let comp = or_fail (find_model name) in
+    let issues = Static_check.component comp in
+    print_endline (Static_check.summary issues);
+    List.iter (fun i -> Format.printf "%a@." Static_check.pp_issue i) issues;
+    if Static_check.errors issues <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check-model"
+       ~doc:"Whole-model static analysis: types, clocks, causality, machines")
+    Term.(const run $ model_arg)
+
+let save_cmd =
+  let run name path =
+    let comp = or_fail (find_model name) in
+    let model : Model.model =
+      { Model.model_name = comp.Model.comp_name; model_level = Model.Fda;
+        model_root = comp; model_enums = [] }
+    in
+    let oc = open_out path in
+    output_string oc (Automode_syntax.Model_printer.to_string model);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  let path_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE.amod"
+           ~doc:"Destination file.")
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Serialize a model into the textual AutoMoDe format")
+    Term.(const run $ model_arg $ path_arg)
+
+let timeline_cmd =
+  let run horizon =
+    List.iter
+      (fun (ecu, tasks) ->
+        if tasks <> [] then begin
+          Printf.printf "ECU %s:\n" ecu;
+          Format.printf "%a@."
+            (Automode_osek.Scheduler.pp_timeline ~width:64)
+            (Automode_osek.Scheduler.timeline ~horizon tasks)
+        end)
+      (Automode_la.Deploy.task_sets Engine_ccd.deployment)
+  in
+  let horizon_arg =
+    Arg.(value & opt int 200_000
+         & info [ "horizon" ] ~docv:"US" ~doc:"Timeline horizon in us.")
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Gantt timeline of the engine deployment's task schedules")
+    Term.(const run $ horizon_arg)
+
+let pipeline_cmd =
+  let run () =
+    let r = Pipeline.run () in
+    Format.printf "%a" Pipeline.pp_summary r
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Run the full reengineer/cluster/deploy/codegen pipeline (Fig. 3)")
+    Term.(const run $ const ())
+
+let () =
+  let default =
+    Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+  in
+  let info =
+    Cmd.info "automode" ~version:"1.0.0"
+      ~doc:"Model-based development of automotive software (AutoMoDe, DATE'05)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ simulate_cmd; render_cmd; causality_cmd; rules_cmd; check_cmd;
+            reengineer_cmd; deploy_cmd; codegen_cmd; save_cmd;
+            check_model_cmd; timeline_cmd; pipeline_cmd ]))

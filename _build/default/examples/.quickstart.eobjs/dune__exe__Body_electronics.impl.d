@@ -1,0 +1,1 @@
+examples/body_electronics.ml: Automode_casestudy Automode_core Automode_osek Body_matrix Central_locking Faa_rules Format List Model Printf Render String Trace Variants

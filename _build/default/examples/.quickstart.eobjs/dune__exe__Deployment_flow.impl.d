@@ -1,0 +1,1 @@
+examples/deployment_flow.ml: Automode_casestudy Automode_codegen Automode_core Automode_la Automode_osek Ccd Deploy Engine_ccd Format List Pipeline Printf Render String Well_defined

@@ -1,0 +1,1 @@
+examples/door_lock.ml: Automode_casestudy Automode_core Door_lock Faa_rules Format List Printf Render Trace

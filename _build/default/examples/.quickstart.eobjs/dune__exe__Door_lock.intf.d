@@ -1,0 +1,1 @@
+examples/door_lock.mli:

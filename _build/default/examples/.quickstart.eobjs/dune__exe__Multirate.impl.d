@@ -1,0 +1,1 @@
+examples/multirate.ml: Automode_casestudy Automode_core Clock Format Sampling Sim Stdblocks Trace Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Automode_core Dfd Dtype Expr List Model Network Render Sim Stdblocks Trace Value

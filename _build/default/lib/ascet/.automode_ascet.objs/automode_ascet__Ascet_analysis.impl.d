@@ -1,0 +1,1 @@
+lib/ascet/ascet_analysis.ml: Ascet_ast Automode_core Dtype Expr Int List String

@@ -1,0 +1,1 @@
+lib/ascet/ascet_analysis.mli: Ascet_ast Automode_core Expr

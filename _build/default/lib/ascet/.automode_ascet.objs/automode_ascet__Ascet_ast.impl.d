@@ -1,0 +1,1 @@
+lib/ascet/ascet_ast.ml: Automode_core Dtype Expr Format List String Value

@@ -1,0 +1,1 @@
+lib/ascet/ascet_ast.mli: Automode_core Dtype Expr Value

@@ -1,0 +1,1 @@
+lib/ascet/ascet_interp.ml: Ascet_ast Automode_core Expr Format List Trace Value

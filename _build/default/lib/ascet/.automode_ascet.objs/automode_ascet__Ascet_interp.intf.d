@@ -1,0 +1,1 @@
+lib/ascet/ascet_interp.mli: Ascet_ast Automode_core Trace Value

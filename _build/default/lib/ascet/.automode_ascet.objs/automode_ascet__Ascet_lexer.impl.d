@@ -1,0 +1,1 @@
+lib/ascet/ascet_lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/ascet/ascet_lexer.mli:

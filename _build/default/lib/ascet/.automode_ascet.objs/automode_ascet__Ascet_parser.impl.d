@@ -1,0 +1,1 @@
+lib/ascet/ascet_parser.ml: Ascet_ast Ascet_lexer Automode_core Dtype Expr Format List String Value

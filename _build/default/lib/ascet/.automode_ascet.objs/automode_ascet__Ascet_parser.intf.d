@@ -1,0 +1,1 @@
+lib/ascet/ascet_parser.mli: Ascet_ast

@@ -1,0 +1,1 @@
+lib/ascet/ascet_printer.ml: Ascet_ast Automode_core Dtype Expr Float Format List String Value

@@ -1,0 +1,1 @@
+lib/ascet/ascet_printer.mli: Ascet_ast Automode_core Format

@@ -1,0 +1,150 @@
+open Automode_core
+
+let declared_flags (m : Ascet_ast.t) =
+  List.filter_map
+    (fun (g : Ascet_ast.global) ->
+      match g.g_kind with
+      | Ascet_ast.Flag -> Some g.g_name
+      | Ascet_ast.Message | Ascet_ast.Input | Ascet_ast.Output -> None)
+    m.globals
+
+(* Occurrences of a global in a statement list, split into reads inside
+   if-conditions and reads elsewhere. *)
+let rec occurrences name (stmts : Ascet_ast.stmt list) =
+  List.fold_left
+    (fun (in_cond, elsewhere) (s : Ascet_ast.stmt) ->
+      match s with
+      | Ascet_ast.Assign (_, e) | Ascet_ast.Send (_, e) ->
+        let n = if List.mem name (Expr.free_vars e) then 1 else 0 in
+        (in_cond, elsewhere + n)
+      | Ascet_ast.If (cond, then_s, else_s) ->
+        let n = if List.mem name (Expr.free_vars cond) then 1 else 0 in
+        let c1, e1 = occurrences name then_s in
+        let c2, e2 = occurrences name else_s in
+        (in_cond + n + c1 + c2, elsewhere + e1 + e2))
+    (0, 0) stmts
+
+let inferred_flags (m : Ascet_ast.t) =
+  let candidate (g : Ascet_ast.global) =
+    match g.g_kind with
+    | Ascet_ast.Flag -> true
+    | Ascet_ast.Input | Ascet_ast.Output -> false
+    | Ascet_ast.Message ->
+      (match g.g_type with
+       | Dtype.Tbool | Dtype.Tenum _ ->
+         let totals =
+           List.fold_left
+             (fun (c, e) (p : Ascet_ast.process) ->
+               let c', e' = occurrences g.g_name p.proc_body in
+               (c + c', e + e'))
+             (0, 0) m.processes
+         in
+         (match totals with
+          | 0, _ -> false (* never read in a condition: not a mode flag *)
+          | _, 0 -> true  (* read only in conditions *)
+          | _, _ -> false)
+       | Dtype.Tint | Dtype.Tfloat | Dtype.Ttuple _ -> false)
+  in
+  List.filter_map
+    (fun g -> if candidate g then Some g.Ascet_ast.g_name else None)
+    m.globals
+
+let flag_readers (m : Ascet_ast.t) name =
+  List.filter_map
+    (fun (p : Ascet_ast.process) ->
+      if List.mem name (Ascet_ast.globals_read p) then Some p.proc_name
+      else None)
+    m.processes
+
+let flag_writers (m : Ascet_ast.t) name =
+  List.filter_map
+    (fun (p : Ascet_ast.process) ->
+      if List.mem name (Ascet_ast.globals_written p) then Some p.proc_name
+      else None)
+    m.processes
+
+let central_flag_emitters (m : Ascet_ast.t) =
+  let flags = inferred_flags m in
+  List.filter_map
+    (fun (p : Ascet_ast.process) ->
+      let written =
+        List.filter (fun g -> List.mem g flags) (Ascet_ast.globals_written p)
+      in
+      match written with
+      | [] | [ _ ] -> None
+      | _ :: _ :: _ -> Some (p.proc_name, List.length written))
+    m.processes
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let process_dataflow (m : Ascet_ast.t) =
+  List.concat_map
+    (fun (writer : Ascet_ast.process) ->
+      List.concat_map
+        (fun g ->
+          List.filter_map
+            (fun (reader : Ascet_ast.process) ->
+              if
+                (not (String.equal reader.proc_name writer.proc_name))
+                && List.mem g (Ascet_ast.globals_read reader)
+              then Some (writer.proc_name, g, reader.proc_name)
+              else None)
+            m.processes)
+        (Ascet_ast.globals_written writer))
+    m.processes
+
+type mode_split = {
+  split_condition : Expr.t;
+  then_branch : Ascet_ast.stmt list;
+  else_branch : Ascet_ast.stmt list;
+  prefix : Ascet_ast.stmt list;
+}
+
+let reads_any_flag ~flags e =
+  List.exists (fun v -> List.mem v flags) (Expr.free_vars e)
+
+let reads_only_flags ~flags e =
+  let vars = Expr.free_vars e in
+  vars <> [] && List.for_all (fun v -> List.mem v flags) vars
+
+let rec stmt_reads_flag ~flags (s : Ascet_ast.stmt) =
+  match s with
+  | Ascet_ast.Assign (_, e) | Ascet_ast.Send (_, e) -> reads_any_flag ~flags e
+  | Ascet_ast.If (cond, then_s, else_s) ->
+    reads_any_flag ~flags cond
+    || List.exists (stmt_reads_flag ~flags) then_s
+    || List.exists (stmt_reads_flag ~flags) else_s
+
+let implicit_modes_of_body ~flags (body : Ascet_ast.stmt list) =
+  let rec split prefix = function
+    | [] -> None
+    | (Ascet_ast.If (cond, then_s, else_s) :: rest : Ascet_ast.stmt list)
+      when reads_only_flags ~flags cond ->
+      if rest = [] then
+        Some
+          { split_condition = cond;
+            then_branch = then_s;
+            else_branch = else_s;
+            prefix = List.rev prefix }
+      else None (* trailing statements: not a clean mode split *)
+    | s :: rest ->
+      if stmt_reads_flag ~flags s then None else split (s :: prefix) rest
+  in
+  split [] body
+
+let implicit_modes ~flags (p : Ascet_ast.process) =
+  implicit_modes_of_body ~flags p.proc_body
+
+let count_flag_conditionals ~flags (m : Ascet_ast.t) =
+  let rec count (stmts : Ascet_ast.stmt list) =
+    List.fold_left
+      (fun acc (s : Ascet_ast.stmt) ->
+        match s with
+        | Ascet_ast.Assign _ | Ascet_ast.Send _ -> acc
+        | Ascet_ast.If (cond, then_s, else_s) ->
+          let here = if reads_any_flag ~flags cond then 1 else 0 in
+          acc + here + count then_s + count else_s)
+      0 stmts
+  in
+  List.fold_left
+    (fun acc (p : Ascet_ast.process) -> acc + count p.proc_body)
+    0 m.processes

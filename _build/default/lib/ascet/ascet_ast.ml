@@ -1,0 +1,146 @@
+open Automode_core
+
+type global_kind = Message | Flag | Input | Output
+
+type global = {
+  g_name : string;
+  g_kind : global_kind;
+  g_type : Dtype.t;
+  g_init : Value.t;
+}
+
+type stmt =
+  | Assign of string * Expr.t
+  | Send of string * Expr.t
+  | If of Expr.t * stmt list * stmt list
+
+type process = {
+  proc_name : string;
+  proc_task : string;
+  proc_locals : (string * Dtype.t * Value.t) list;
+  proc_body : stmt list;
+}
+
+type task_decl = { task_name : string; period_ms : int }
+
+type t = {
+  mod_name : string;
+  enums : Dtype.enum_decl list;
+  globals : global list;
+  tasks : task_decl list;
+  processes : process list;
+}
+
+let find_global m name =
+  List.find_opt (fun g -> String.equal g.g_name name) m.globals
+
+let find_process m name =
+  List.find_opt (fun p -> String.equal p.proc_name name) m.processes
+
+let find_task m name =
+  List.find_opt (fun t -> String.equal t.task_name name) m.tasks
+
+let find_enum m name =
+  List.find_opt
+    (fun (e : Dtype.enum_decl) -> String.equal e.enum_name name)
+    m.enums
+
+let processes_of_task m task =
+  List.filter (fun p -> String.equal p.proc_task task) m.processes
+
+let rec stmt_reads = function
+  | Assign (_, e) | Send (_, e) -> Expr.free_vars e
+  | If (cond, then_s, else_s) ->
+    Expr.free_vars cond
+    @ List.concat_map stmt_reads then_s
+    @ List.concat_map stmt_reads else_s
+
+let rec stmt_writes = function
+  | Assign _ -> []
+  | Send (name, _) -> [ name ]
+  | If (_, then_s, else_s) ->
+    List.concat_map stmt_writes then_s @ List.concat_map stmt_writes else_s
+
+let local_names p = List.map (fun (n, _, _) -> n) p.proc_locals
+
+let globals_read p =
+  let locals = local_names p in
+  List.concat_map stmt_reads p.proc_body
+  |> List.filter (fun n -> not (List.mem n locals))
+  |> List.sort_uniq String.compare
+
+let globals_written p =
+  List.concat_map stmt_writes p.proc_body |> List.sort_uniq String.compare
+
+let duplicates names =
+  let sorted = List.sort String.compare names in
+  let rec go = function
+    | a :: (b :: _ as rest) -> if String.equal a b then a :: go rest else go rest
+    | [ _ ] | [] -> []
+  in
+  List.sort_uniq String.compare (go sorted)
+
+let check m =
+  let problems = ref [] in
+  let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter (fun n -> add "duplicate global %s" n)
+    (duplicates (List.map (fun g -> g.g_name) m.globals));
+  List.iter (fun n -> add "duplicate process %s" n)
+    (duplicates (List.map (fun p -> p.proc_name) m.processes));
+  List.iter (fun n -> add "duplicate task %s" n)
+    (duplicates (List.map (fun t -> t.task_name) m.tasks));
+  List.iter
+    (fun t ->
+      if t.period_ms <= 0 then add "task %s has non-positive period" t.task_name)
+    m.tasks;
+  List.iter
+    (fun g ->
+      if not (Dtype.value_has_type g.g_init g.g_type) then
+        add "global %s: init value %s does not have type %s" g.g_name
+          (Value.to_string g.g_init) (Dtype.to_string g.g_type))
+    m.globals;
+  let check_process p =
+    if find_task m p.proc_task = None then
+      add "process %s bound to unknown task %s" p.proc_name p.proc_task;
+    let locals = local_names p in
+    List.iter
+      (fun n ->
+        if find_global m n <> None then
+          add "process %s: local %s shadows a global" p.proc_name n)
+      locals;
+    let known name = List.mem name locals || find_global m name <> None in
+    let check_expr context e =
+      if Expr.has_memory_operator e then
+        add "process %s: %s uses pre/current (state belongs in globals)"
+          p.proc_name context;
+      List.iter
+        (fun v ->
+          if not (known v) then
+            add "process %s: %s references undeclared %s" p.proc_name context v)
+        (Expr.free_vars e)
+    in
+    let rec check_stmt = function
+      | Assign (target, e) ->
+        if not (List.mem target locals) then
+          add "process %s: assignment to undeclared local %s" p.proc_name
+            target;
+        check_expr ("assignment to " ^ target) e
+      | Send (target, e) ->
+        (match find_global m target with
+         | None ->
+           add "process %s: send to undeclared global %s" p.proc_name target
+         | Some g ->
+           (match g.g_kind with
+            | Input ->
+              add "process %s: send to input global %s" p.proc_name target
+            | Message | Flag | Output -> ()));
+        check_expr ("send to " ^ target) e
+      | If (cond, then_s, else_s) ->
+        check_expr "if-condition" cond;
+        List.iter check_stmt then_s;
+        List.iter check_stmt else_s
+    in
+    List.iter check_stmt p.proc_body
+  in
+  List.iter check_process m.processes;
+  List.rev !problems

@@ -1,0 +1,75 @@
+(** Abstract syntax of the ASCET-SD-like substrate (paper Secs. 3.4, 5).
+
+    The paper's case study reengineers "a detailed ASCET-SD model" of a
+    gasoline engine controller; the AutoMoDe prototype also {e generates}
+    ASCET-SD projects per ECU.  ASCET-SD itself is a closed commercial
+    tool, so this substrate reimplements the features those two code
+    paths rely on (DESIGN.md, substitution table):
+
+    - modules with {e processes} bound to periodic tasks,
+    - global {e messages} (shared variables) for inter-process
+      communication, some of which are {e flags} encoding implicit
+      operation modes,
+    - sequential statement bodies with If-Then-Else control flow.
+
+    Right-hand-side expressions reuse the memoryless fragment of
+    {!Automode_core.Expr} (no [Pre]/[When]/[Current]); persistent state
+    lives in the global messages. *)
+
+open Automode_core
+
+type global_kind =
+  | Message  (** ordinary inter-process message *)
+  | Flag     (** mode-flag candidate (bool/enum written by mode logic) *)
+  | Input    (** environment input (sensor) *)
+  | Output   (** environment output (actuator) *)
+
+type global = {
+  g_name : string;
+  g_kind : global_kind;
+  g_type : Dtype.t;
+  g_init : Value.t;
+}
+
+type stmt =
+  | Assign of string * Expr.t       (** [local := expr] *)
+  | Send of string * Expr.t         (** write a global message *)
+  | If of Expr.t * stmt list * stmt list
+
+type process = {
+  proc_name : string;
+  proc_task : string;
+  proc_locals : (string * Dtype.t * Value.t) list;
+  proc_body : stmt list;
+}
+
+type task_decl = { task_name : string; period_ms : int }
+
+type t = {
+  mod_name : string;
+  enums : Dtype.enum_decl list;
+  globals : global list;
+  tasks : task_decl list;
+  processes : process list;
+}
+
+val find_global : t -> string -> global option
+val find_process : t -> string -> process option
+val find_task : t -> string -> task_decl option
+val find_enum : t -> string -> Dtype.enum_decl option
+
+val processes_of_task : t -> string -> process list
+(** In declaration order (= execution order within a task activation). *)
+
+val globals_read : process -> string list
+(** Global names read anywhere in the process body (no duplicates). *)
+
+val globals_written : process -> string list
+(** Global names written by [Send] (no duplicates). *)
+
+val check : t -> string list
+(** Well-formedness: unique names; processes reference declared tasks;
+    [Send] targets declared globals of matching type kind ([Input]
+    globals are never written by processes); locals don't shadow
+    globals; expressions are memoryless and reference declared names;
+    positive task periods. *)

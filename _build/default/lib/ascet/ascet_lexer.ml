@@ -1,0 +1,96 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KW of string
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | COLON | SEMI | COMMA
+  | ASSIGN
+  | EQ
+  | NEQ
+  | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH
+  | EOF
+
+type located = { tok : token; line : int }
+
+exception Lex_error of string * int
+
+let keywords =
+  [ "module"; "enum"; "input"; "output"; "message"; "flag"; "task"; "period";
+    "process"; "on"; "local"; "send"; "if"; "else"; "true"; "false"; "and";
+    "or"; "not"; "mod" ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let rec go i acc =
+    if i >= n then List.rev ({ tok = EOF; line = !line } :: acc)
+    else
+      let c = src.[i] in
+      let emit tok len = go (i + len) ({ tok; line = !line } :: acc) in
+      match c with
+      | ' ' | '\t' | '\r' -> go (i + 1) acc
+      | '\n' -> incr line; go (i + 1) acc
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i) acc
+      | '/' when i + 1 < n && src.[i + 1] = '=' -> emit NEQ 2
+      | '/' -> emit SLASH 1
+      | '{' -> emit LBRACE 1
+      | '}' -> emit RBRACE 1
+      | '(' -> emit LPAREN 1
+      | ')' -> emit RPAREN 1
+      | ':' when i + 1 < n && src.[i + 1] = '=' -> emit ASSIGN 2
+      | ':' -> emit COLON 1
+      | ';' -> emit SEMI 1
+      | ',' -> emit COMMA 1
+      | '=' -> emit EQ 1
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE 2
+      | '<' -> emit LT 1
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE 2
+      | '>' -> emit GT 1
+      | '+' -> emit PLUS 1
+      | '-' -> emit MINUS 1
+      | '*' -> emit STAR 1
+      | _ when is_digit c ->
+        let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+        let j = scan i in
+        if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then begin
+          let k = scan (j + 1) in
+          let text = String.sub src i (k - i) in
+          go k ({ tok = FLOAT (float_of_string text); line = !line } :: acc)
+        end
+        else
+          let text = String.sub src i (j - i) in
+          go j ({ tok = INT (int_of_string text); line = !line } :: acc)
+      | _ when is_ident_start c ->
+        let rec scan j =
+          if j < n && is_ident_char src.[j] then scan (j + 1) else j
+        in
+        let j = scan i in
+        let text = String.sub src i (j - i) in
+        let tok = if List.mem text keywords then KW text else IDENT text in
+        go j ({ tok; line = !line } :: acc)
+      | _ ->
+        raise (Lex_error (Printf.sprintf "stray character %C" c, !line))
+  in
+  go 0 []
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | KW s -> s
+  | LBRACE -> "{" | RBRACE -> "}" | LPAREN -> "(" | RPAREN -> ")"
+  | COLON -> ":" | SEMI -> ";" | COMMA -> ","
+  | ASSIGN -> ":=" | EQ -> "=" | NEQ -> "/="
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/"
+  | EOF -> "<eof>"

@@ -1,0 +1,27 @@
+(** Lexer for the textual ASCET-like format (see {!Ascet_parser} for the
+    grammar).  Comments run from ["//"] to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KW of string      (** keyword: module, enum, input, output, message,
+                          flag, task, period, process, on, local, send,
+                          if, else, true, false, and, or, not, mod *)
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | COLON | SEMI | COMMA
+  | ASSIGN            (** [:=] *)
+  | EQ                (** [=] *)
+  | NEQ               (** [/=] *)
+  | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH
+  | EOF
+
+type located = { tok : token; line : int }
+
+exception Lex_error of string * int  (** message, line *)
+
+val tokenize : string -> located list
+(** Tokenize a whole source text.  @raise Lex_error on stray characters. *)
+
+val token_to_string : token -> string

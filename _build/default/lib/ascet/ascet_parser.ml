@@ -1,0 +1,338 @@
+open Automode_core
+module L = Ascet_lexer
+
+exception Parse_error of string * int
+
+type state = {
+  mutable tokens : L.located list;
+  mutable enums : Dtype.enum_decl list;
+}
+
+let error st fmt =
+  let line = match st.tokens with { L.line; _ } :: _ -> line | [] -> 0 in
+  Format.kasprintf (fun s -> raise (Parse_error (s, line))) fmt
+
+let peek st =
+  match st.tokens with
+  | { L.tok; _ } :: _ -> tok
+  | [] -> L.EOF
+
+let advance st =
+  match st.tokens with
+  | _ :: rest -> st.tokens <- rest
+  | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st "expected %s, found %s" (L.token_to_string tok)
+      (L.token_to_string (peek st))
+
+let expect_kw st kw =
+  match peek st with
+  | L.KW k when String.equal k kw -> advance st
+  | t -> error st "expected %s, found %s" kw (L.token_to_string t)
+
+let ident st =
+  match peek st with
+  | L.IDENT name -> advance st; name
+  | t -> error st "expected identifier, found %s" (L.token_to_string t)
+
+let int_lit st =
+  match peek st with
+  | L.INT i -> advance st; i
+  | t -> error st "expected integer, found %s" (L.token_to_string t)
+
+let enum_of_literal st lit =
+  List.find_opt
+    (fun (e : Dtype.enum_decl) -> List.mem lit e.literals)
+    st.enums
+
+let parse_type st =
+  match peek st with
+  | L.IDENT "bool" -> advance st; Dtype.Tbool
+  | L.IDENT "int" -> advance st; Dtype.Tint
+  | L.IDENT "float" -> advance st; Dtype.Tfloat
+  | L.IDENT name ->
+    advance st;
+    (match
+       List.find_opt
+         (fun (e : Dtype.enum_decl) -> String.equal e.enum_name name)
+         st.enums
+     with
+     | Some e -> Dtype.Tenum e
+     | None -> error st "unknown type %s" name)
+  | t -> error st "expected a type, found %s" (L.token_to_string t)
+
+let parse_literal st =
+  match peek st with
+  | L.KW "true" -> advance st; Value.Bool true
+  | L.KW "false" -> advance st; Value.Bool false
+  | L.INT i -> advance st; Value.Int i
+  | L.FLOAT f -> advance st; Value.Float f
+  | L.MINUS ->
+    advance st;
+    (match peek st with
+     | L.INT i -> advance st; Value.Int (-i)
+     | L.FLOAT f -> advance st; Value.Float (-.f)
+     | t -> error st "expected number after -, found %s" (L.token_to_string t))
+  | L.IDENT name ->
+    (match enum_of_literal st name with
+     | Some e -> advance st; Value.Enum (e.enum_name, name)
+     | None -> error st "unknown literal %s" name)
+  | t -> error st "expected a literal, found %s" (L.token_to_string t)
+
+(* Expressions: precedence climbing. *)
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | L.KW "or" ->
+    advance st;
+    Expr.Binop (Expr.Or, lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  match peek st with
+  | L.KW "and" ->
+    advance st;
+    Expr.Binop (Expr.And, lhs, parse_and st)
+  | _ -> lhs
+
+and parse_not st =
+  match peek st with
+  | L.KW "not" ->
+    advance st;
+    Expr.Unop (Expr.Not, parse_not st)
+  | _ -> parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | L.EQ -> Some Expr.Eq
+    | L.NEQ -> Some Expr.Ne
+    | L.LT -> Some Expr.Lt
+    | L.LE -> Some Expr.Le
+    | L.GT -> Some Expr.Gt
+    | L.GE -> Some Expr.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    advance st;
+    Expr.Binop (op, lhs, parse_add st)
+  | None -> lhs
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | L.PLUS -> advance st; loop (Expr.Binop (Expr.Add, lhs, parse_mul st))
+    | L.MINUS -> advance st; loop (Expr.Binop (Expr.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | L.STAR -> advance st; loop (Expr.Binop (Expr.Mul, lhs, parse_unary st))
+    | L.SLASH -> advance st; loop (Expr.Binop (Expr.Div, lhs, parse_unary st))
+    | L.KW "mod" ->
+      advance st;
+      loop (Expr.Binop (Expr.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | L.MINUS ->
+    advance st;
+    (* canonical form: a negated numeric literal is a constant *)
+    (match peek st with
+     | L.INT i -> advance st; Expr.int (-i)
+     | L.FLOAT f -> advance st; Expr.float (-.f)
+     | _ -> Expr.Unop (Expr.Neg, parse_unary st))
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | L.KW "true" -> advance st; Expr.bool true
+  | L.KW "false" -> advance st; Expr.bool false
+  | L.INT i -> advance st; Expr.int i
+  | L.FLOAT f -> advance st; Expr.float f
+  | L.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st L.RPAREN;
+    e
+  | L.IDENT name ->
+    advance st;
+    (match peek st with
+     | L.LPAREN ->
+       advance st;
+       let rec args acc =
+         if peek st = L.RPAREN then List.rev acc
+         else
+           let a = parse_expr st in
+           match peek st with
+           | L.COMMA -> advance st; args (a :: acc)
+           | _ -> List.rev (a :: acc)
+       in
+       let arguments = args [] in
+       expect st L.RPAREN;
+       (* canonical forms: min/max/abs are operators of the base language,
+          not library calls (keeps expressions comparable across parsers) *)
+       (match name, arguments with
+        | "min", [ a; b ] -> Expr.Binop (Expr.Min, a, b)
+        | "max", [ a; b ] -> Expr.Binop (Expr.Max, a, b)
+        | "abs", [ a ] -> Expr.Unop (Expr.Abs, a)
+        | _ -> Expr.Call (name, arguments))
+     | _ ->
+       (match enum_of_literal st name with
+        | Some e -> Expr.Const (Value.Enum (e.enum_name, name))
+        | None -> Expr.var name))
+  | t -> error st "expected an expression, found %s" (L.token_to_string t)
+
+let rec parse_stmt st =
+  match peek st with
+  | L.KW "send" ->
+    advance st;
+    let target = ident st in
+    let e = parse_expr st in
+    expect st L.SEMI;
+    Ascet_ast.Send (target, e)
+  | L.KW "if" ->
+    advance st;
+    let cond = parse_expr st in
+    expect st L.LBRACE;
+    let then_s = parse_stmts st in
+    expect st L.RBRACE;
+    let else_s =
+      match peek st with
+      | L.KW "else" ->
+        advance st;
+        expect st L.LBRACE;
+        let s = parse_stmts st in
+        expect st L.RBRACE;
+        s
+      | _ -> []
+    in
+    Ascet_ast.If (cond, then_s, else_s)
+  | L.IDENT target ->
+    advance st;
+    expect st L.ASSIGN;
+    let e = parse_expr st in
+    expect st L.SEMI;
+    Ascet_ast.Assign (target, e)
+  | t -> error st "expected a statement, found %s" (L.token_to_string t)
+
+and parse_stmts st =
+  if peek st = L.RBRACE then []
+  else
+    let s = parse_stmt st in
+    s :: parse_stmts st
+
+let parse_process st =
+  let name = ident st in
+  expect_kw st "on";
+  let task = ident st in
+  expect st L.LBRACE;
+  let rec locals acc =
+    match peek st with
+    | L.KW "local" ->
+      advance st;
+      let lname = ident st in
+      expect st L.COLON;
+      let ty = parse_type st in
+      expect st L.EQ;
+      let init = parse_literal st in
+      expect st L.SEMI;
+      locals ((lname, ty, init) :: acc)
+    | _ -> List.rev acc
+  in
+  let proc_locals = locals [] in
+  let body = parse_stmts st in
+  expect st L.RBRACE;
+  { Ascet_ast.proc_name = name; proc_task = task; proc_locals;
+    proc_body = body }
+
+let kind_of_kw = function
+  | "input" -> Some Ascet_ast.Input
+  | "output" -> Some Ascet_ast.Output
+  | "message" -> Some Ascet_ast.Message
+  | "flag" -> Some Ascet_ast.Flag
+  | _ -> None
+
+let parse st =
+  expect_kw st "module";
+  let mod_name = ident st in
+  let enums = ref [] and globals = ref [] in
+  let tasks = ref [] and processes = ref [] in
+  let rec decls () =
+    match peek st with
+    | L.EOF -> ()
+    | L.KW "enum" ->
+      advance st;
+      let name = ident st in
+      expect st L.LBRACE;
+      let rec lits acc =
+        let l = ident st in
+        match peek st with
+        | L.COMMA -> advance st; lits (l :: acc)
+        | _ -> List.rev (l :: acc)
+      in
+      let literals = lits [] in
+      expect st L.RBRACE;
+      let decl = { Dtype.enum_name = name; literals } in
+      enums := decl :: !enums;
+      st.enums <- decl :: st.enums;
+      decls ()
+    | L.KW "task" ->
+      advance st;
+      let name = ident st in
+      expect_kw st "period";
+      let period = int_lit st in
+      tasks := { Ascet_ast.task_name = name; period_ms = period } :: !tasks;
+      decls ()
+    | L.KW "process" ->
+      advance st;
+      processes := parse_process st :: !processes;
+      decls ()
+    | L.KW kw ->
+      (match kind_of_kw kw with
+       | Some kind ->
+         advance st;
+         let name = ident st in
+         expect st L.COLON;
+         let ty = parse_type st in
+         expect st L.EQ;
+         let init = parse_literal st in
+         globals :=
+           { Ascet_ast.g_name = name; g_kind = kind; g_type = ty;
+             g_init = init }
+           :: !globals;
+         decls ()
+       | None -> error st "unexpected keyword %s" kw)
+    | t -> error st "unexpected token %s" (L.token_to_string t)
+  in
+  decls ();
+  { Ascet_ast.mod_name;
+    enums = List.rev !enums;
+    globals = List.rev !globals;
+    tasks = List.rev !tasks;
+    processes = List.rev !processes }
+
+let parse string_src =
+  let st = { tokens = L.tokenize string_src; enums = [] } in
+  parse st
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse src

@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the textual ASCET-like format.
+
+    Grammar (one module per source text):
+    {v
+    module   ::= "module" IDENT decl*
+    decl     ::= "enum" IDENT "{" IDENT ("," IDENT)* "}"
+               | kind IDENT ":" type "=" literal
+               | "task" IDENT "period" INT
+               | "process" IDENT "on" IDENT "{" local* stmt* "}"
+    kind     ::= "input" | "output" | "message" | "flag"
+    type     ::= "bool" | "int" | "float" | IDENT        (declared enum)
+    local    ::= "local" IDENT ":" type "=" literal ";"
+    stmt     ::= IDENT ":=" expr ";"
+               | "send" IDENT expr ";"
+               | "if" expr "{" stmt* "}" ("else" "{" stmt* "}")?
+    expr     ::= standard infix expression with precedence
+                 or < and < not < comparison < + - < * / mod < unary -
+                 primaries: literals, "true", "false", enum literals,
+                 variables, calls IDENT "(" expr, ... ")", "(" expr ")"
+    v}
+
+    Enum literals are recognized because enums are declared before use;
+    an identifier that names a declared literal parses as an enum
+    constant, anything else as a variable reference. *)
+
+exception Parse_error of string * int  (** message, line *)
+
+val parse : string -> Ascet_ast.t
+(** Parse a full module from source text.
+    @raise Parse_error and @raise Ascet_lexer.Lex_error on bad input. *)
+
+val parse_file : string -> Ascet_ast.t
+(** Read and parse a [.ascet] file.  @raise Sys_error on IO failure. *)

@@ -1,0 +1,102 @@
+open Automode_core
+
+let binop_surface = function
+  | Expr.Add -> "+" | Expr.Sub -> "-" | Expr.Mul -> "*" | Expr.Div -> "/"
+  | Expr.Mod -> "mod"
+  | Expr.And -> "and" | Expr.Or -> "or"
+  | Expr.Eq -> "=" | Expr.Ne -> "/=" | Expr.Lt -> "<" | Expr.Le -> "<="
+  | Expr.Gt -> ">" | Expr.Ge -> ">="
+  | Expr.Min -> "min" | Expr.Max -> "max"
+
+let pp_value ppf (v : Value.t) =
+  match v with
+  | Value.Float f ->
+    (* keep a decimal point so the lexer reads it back as a float *)
+    if Float.is_integer f then Format.fprintf ppf "%.1f" f
+    else Format.fprintf ppf "%g" f
+  | Value.Bool _ | Value.Int _ | Value.Enum _ | Value.Tuple _ ->
+    Value.pp ppf v
+
+let rec pp_expr ppf (e : Expr.t) =
+  match e with
+  | Expr.Const v -> pp_value ppf v
+  | Expr.Var name -> Format.pp_print_string ppf name
+  | Expr.Unop (Expr.Not, e) -> Format.fprintf ppf "(not %a)" pp_expr e
+  | Expr.Unop (Expr.Neg, e) -> Format.fprintf ppf "(-%a)" pp_expr e
+  | Expr.Unop (Expr.Abs, e) -> Format.fprintf ppf "abs(%a)" pp_expr e
+  | Expr.Binop ((Expr.Min | Expr.Max) as op, a, b) ->
+    Format.fprintf ppf "%s(%a, %a)"
+      (match op with Expr.Min -> "min" | _ -> "max")
+      pp_expr a pp_expr b
+  | Expr.Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_surface op) pp_expr b
+  | Expr.If (c, a, b) ->
+    (* the surface language has no if-expression; encode via select *)
+    Format.fprintf ppf "select(%a, %a, %a)" pp_expr c pp_expr a pp_expr b
+  | Expr.Call (name, args) ->
+    Format.fprintf ppf "%s(%a)" name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_expr)
+      args
+  | Expr.Pre _ | Expr.When _ | Expr.Current _ | Expr.Is_present _ ->
+    invalid_arg "Ascet_printer: memory/clock operators have no ASCET syntax"
+
+let indent_str n = String.make (n * 2) ' '
+
+let rec pp_stmt ~indent ppf (s : Ascet_ast.stmt) =
+  let pad = indent_str indent in
+  match s with
+  | Ascet_ast.Assign (target, e) ->
+    Format.fprintf ppf "%s%s := %a;@\n" pad target pp_expr e
+  | Ascet_ast.Send (target, e) ->
+    Format.fprintf ppf "%ssend %s %a;@\n" pad target pp_expr e
+  | Ascet_ast.If (cond, then_s, else_s) ->
+    Format.fprintf ppf "%sif %a {@\n" pad pp_expr cond;
+    List.iter (pp_stmt ~indent:(indent + 1) ppf) then_s;
+    if else_s = [] then Format.fprintf ppf "%s}@\n" pad
+    else begin
+      Format.fprintf ppf "%s} else {@\n" pad;
+      List.iter (pp_stmt ~indent:(indent + 1) ppf) else_s;
+      Format.fprintf ppf "%s}@\n" pad
+    end
+
+let kind_kw = function
+  | Ascet_ast.Message -> "message"
+  | Ascet_ast.Flag -> "flag"
+  | Ascet_ast.Input -> "input"
+  | Ascet_ast.Output -> "output"
+
+let pp ppf (m : Ascet_ast.t) =
+  Format.fprintf ppf "module %s@\n@\n" m.mod_name;
+  List.iter
+    (fun (e : Dtype.enum_decl) ->
+      Format.fprintf ppf "enum %s { %s }@\n" e.enum_name
+        (String.concat ", " e.literals))
+    m.enums;
+  if m.enums <> [] then Format.pp_print_newline ppf ();
+  List.iter
+    (fun (g : Ascet_ast.global) ->
+      Format.fprintf ppf "%s %s : %s = %a@\n" (kind_kw g.g_kind) g.g_name
+        (Dtype.to_string g.g_type)
+        pp_value g.g_init)
+    m.globals;
+  if m.globals <> [] then Format.pp_print_newline ppf ();
+  List.iter
+    (fun (t : Ascet_ast.task_decl) ->
+      Format.fprintf ppf "task %s period %d@\n" t.task_name t.period_ms)
+    m.tasks;
+  if m.tasks <> [] then Format.pp_print_newline ppf ();
+  List.iter
+    (fun (p : Ascet_ast.process) ->
+      Format.fprintf ppf "process %s on %s {@\n" p.proc_name p.proc_task;
+      List.iter
+        (fun (name, ty, init) ->
+          Format.fprintf ppf "  local %s : %s = %a;@\n" name
+            (Dtype.to_string ty) pp_value init)
+        p.proc_locals;
+      List.iter (pp_stmt ~indent:1 ppf) p.proc_body;
+      Format.fprintf ppf "}@\n@\n")
+    m.processes
+
+let to_string m = Format.asprintf "%a" pp m

@@ -1,0 +1,1 @@
+lib/casestudy/body_matrix.ml: Automode_osek Automode_transform

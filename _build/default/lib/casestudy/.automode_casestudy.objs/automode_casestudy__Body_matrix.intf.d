@@ -1,0 +1,1 @@
+lib/casestudy/body_matrix.mli: Automode_core Automode_osek

@@ -1,0 +1,1 @@
+lib/casestudy/central_locking.ml: Automode_core Automode_transform Clock Dtype Expr Faa_rules Model Sim String Value Variants

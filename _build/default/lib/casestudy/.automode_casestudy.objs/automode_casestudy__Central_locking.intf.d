@@ -1,0 +1,1 @@
+lib/casestudy/central_locking.mli: Automode_core Faa_rules Model Trace Variants

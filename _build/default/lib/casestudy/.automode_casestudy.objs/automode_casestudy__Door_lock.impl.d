@@ -1,0 +1,1 @@
+lib/casestudy/door_lock.ml: Automode_core Clock Dtype Expr List Model Sim String Value

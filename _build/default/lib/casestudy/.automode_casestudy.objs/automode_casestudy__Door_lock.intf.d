@@ -1,0 +1,1 @@
+lib/casestudy/door_lock.mli: Automode_core Dtype Model Sim Trace

@@ -1,0 +1,1 @@
+lib/casestudy/engine_ascet.ml: Ascet_parser Automode_ascet Automode_core Automode_transform Float Reengineer Value

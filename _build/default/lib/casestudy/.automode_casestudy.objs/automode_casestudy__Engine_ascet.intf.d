@@ -1,0 +1,1 @@
+lib/casestudy/engine_ascet.mli: Ascet_ast Automode_ascet Automode_core Automode_transform Model Reengineer Value

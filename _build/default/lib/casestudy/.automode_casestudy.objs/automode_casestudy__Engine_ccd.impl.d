@@ -1,0 +1,1 @@
+lib/casestudy/engine_ccd.ml: Automode_core Automode_la Ccd Clock Cluster Deploy Dfd Dtype Expr List Model Sim Ta Value

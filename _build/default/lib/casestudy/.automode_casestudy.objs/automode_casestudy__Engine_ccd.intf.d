@@ -1,0 +1,1 @@
+lib/casestudy/engine_ccd.mli: Automode_core Automode_la Ccd Deploy Model Ta Trace

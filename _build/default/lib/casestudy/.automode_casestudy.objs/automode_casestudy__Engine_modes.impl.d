@@ -1,0 +1,1 @@
+lib/casestudy/engine_modes.ml: Automode_core Dtype Expr Model Mtd Sim Throttle Value

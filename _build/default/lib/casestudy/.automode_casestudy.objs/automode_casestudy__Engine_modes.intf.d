@@ -1,0 +1,1 @@
+lib/casestudy/engine_modes.mli: Automode_core Dtype Model Sim Trace

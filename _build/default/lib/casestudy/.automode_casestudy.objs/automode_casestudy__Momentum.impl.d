@@ -1,0 +1,1 @@
+lib/casestudy/momentum.ml: Automode_core Dfd Dtype List Model Sim Stdblocks Trace Value

@@ -1,0 +1,1 @@
+lib/casestudy/momentum.mli: Automode_core Model Trace

@@ -1,0 +1,1 @@
+lib/casestudy/pipeline.mli: Ascet_project Automode_codegen Automode_core Automode_la Automode_transform Ccd Deploy Format Model Reengineer Ta

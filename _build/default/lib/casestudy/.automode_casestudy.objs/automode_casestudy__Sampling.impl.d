@@ -1,0 +1,1 @@
+lib/casestudy/sampling.ml: Automode_core Clock Dfd Dtype Expr Model Sim Value

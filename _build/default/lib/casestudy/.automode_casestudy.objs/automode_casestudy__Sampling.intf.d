@@ -1,0 +1,1 @@
+lib/casestudy/sampling.mli: Automode_core Model Trace

@@ -1,0 +1,1 @@
+lib/casestudy/throttle.ml: Automode_core Dtype Expr Model Mtd Sim Value

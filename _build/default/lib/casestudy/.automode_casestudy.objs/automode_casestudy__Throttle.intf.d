@@ -1,0 +1,1 @@
+lib/casestudy/throttle.mli: Automode_core Model Trace

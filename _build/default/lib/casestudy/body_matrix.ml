@@ -1,0 +1,29 @@
+module CM = Automode_osek.Comm_matrix
+
+let handcrafted =
+  { CM.entries =
+      [ CM.entry ~signal:"door_fl_status" ~sender:"DoorFL"
+          ~receivers:[ "BodyController"; "Dashboard" ] ~size_bits:2
+          ~period_us:20_000 ();
+        CM.entry ~signal:"door_fr_status" ~sender:"DoorFR"
+          ~receivers:[ "BodyController"; "Dashboard" ] ~size_bits:2
+          ~period_us:20_000 ();
+        CM.entry ~signal:"crash_status" ~sender:"AirbagUnit"
+          ~receivers:[ "BodyController" ] ~size_bits:1 ~period_us:10_000 ();
+        CM.entry ~signal:"lock_command" ~sender:"BodyController"
+          ~receivers:[ "DoorFL"; "DoorFR"; "DoorRL"; "DoorRR" ] ~size_bits:2
+          ~period_us:20_000 ();
+        CM.entry ~signal:"vehicle_speed" ~sender:"Gateway"
+          ~receivers:[ "BodyController"; "Dashboard"; "Wiper" ] ~size_bits:16
+          ~period_us:50_000 ();
+        CM.entry ~signal:"light_switch" ~sender:"Dashboard"
+          ~receivers:[ "LightFront"; "LightRear" ] ~size_bits:3
+          ~period_us:100_000 ();
+        CM.entry ~signal:"rain_intensity" ~sender:"Wiper"
+          ~receivers:[ "BodyController"; "LightFront" ] ~size_bits:8
+          ~period_us:100_000 () ] }
+
+let synthetic ?(seed = 2005) ~nodes ~signals () =
+  CM.generate_body_electronics ~seed ~nodes ~signals
+
+let faa_of cm = Automode_transform.Reengineer.blackbox ~name:"BodyElectronics" cm

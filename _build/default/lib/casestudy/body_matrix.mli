@@ -1,0 +1,14 @@
+(** Body-electronics communication matrices — the input of "black-box"
+    reengineering (paper Sec. 4), "currently being validated with a
+    body-electronics case study". *)
+
+val handcrafted : Automode_osek.Comm_matrix.t
+(** A small, readable central-locking / lighting matrix (door nodes,
+    body controller, dashboard). *)
+
+val synthetic : ?seed:int -> nodes:int -> signals:int -> unit ->
+  Automode_osek.Comm_matrix.t
+(** Deterministic synthetic matrix (default seed 2005). *)
+
+val faa_of : Automode_osek.Comm_matrix.t -> Automode_core.Model.model
+(** Black-box reengineering into a partial FAA model. *)

@@ -1,0 +1,146 @@
+open Automode_core
+
+(* Commands on the door-lock actuator: 1 = lock, 0 = unlock. *)
+
+let crash_unlock =
+  let std : Model.std =
+    { std_name = "CrashUnlockLogic";
+      std_states = [ "Armed"; "Fired" ];
+      std_initial = "Armed";
+      std_vars = [];
+      std_transitions =
+        [ { st_src = "Armed"; st_dst = "Fired";
+            st_guard = Expr.Is_present "crash";
+            st_outputs = [ ("cmd", Expr.int 0) ];
+            st_updates = []; st_priority = 0 } ] }
+  in
+  Model.component "CrashUnlock"
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tbool ~clock:(Clock.event "crash") "crash";
+        Model.out_port ~ty:Dtype.Tint ~resource:"door_locks" "cmd" ]
+    ~behavior:(Model.B_std std)
+
+let remote_entry =
+  Model.component "RemoteKeylessEntry"
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tint ~clock:(Clock.event "remote") "remote";
+        Model.out_port ~ty:Dtype.Tint ~resource:"door_locks" "cmd" ]
+    ~behavior:(Model.B_exprs [ ("cmd", Expr.var "remote") ])
+
+let auto_lock =
+  let std : Model.std =
+    { std_name = "AutoLockLogic";
+      std_states = [ "Below"; "Above" ];
+      std_initial = "Below";
+      std_vars = [];
+      std_transitions =
+        [ { st_src = "Below"; st_dst = "Above";
+            st_guard = Expr.(var "speed" > float 15.);
+            st_outputs = [ ("cmd", Expr.int 1) ];
+            st_updates = []; st_priority = 0 };
+          { st_src = "Above"; st_dst = "Below";
+            st_guard = Expr.(var "speed" < float 1.);
+            st_outputs = []; st_updates = []; st_priority = 0 } ] }
+  in
+  Model.component "AutoLockAtSpeed"
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tfloat "speed";
+        Model.out_port ~ty:Dtype.Tint ~resource:"door_locks" "cmd" ]
+    ~behavior:(Model.B_std std)
+
+(* FAA-level incompleteness is fine: the actuation and diagnosis functions
+   stay unspecified prototypes. *)
+let door_actuation =
+  Model.component "DoorActuation"
+    ~ports:[ Model.in_port ~ty:Dtype.Tint "cmd" ]
+
+let diagnostic =
+  Model.component "Diagnostic"
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tbool ~clock:(Clock.event "crash") "crash" ]
+
+let base_network : Model.network =
+  { net_name = "CentralLocking";
+    net_components =
+      (* declaration order = coordinator arbitration priority: the
+         crash-unlock command must win over comfort features *)
+      [ crash_unlock; remote_entry; auto_lock; door_actuation; diagnostic ];
+    net_channels =
+      [ Model.channel ~name:"in_crash" (Model.boundary "crash")
+          (Model.at "CrashUnlock" "crash");
+        Model.channel ~name:"in_crash_diag" (Model.boundary "crash")
+          (Model.at "Diagnostic" "crash");
+        Model.channel ~name:"in_remote" (Model.boundary "remote")
+          (Model.at "RemoteKeylessEntry" "remote");
+        Model.channel ~name:"in_speed" (Model.boundary "speed")
+          (Model.at "AutoLockAtSpeed" "speed") ] }
+
+let base_model : Model.model =
+  { model_name = "CentralLockingFamily";
+    model_level = Model.Faa;
+    model_root =
+      Model.component "CentralLockingFamily"
+        ~ports:
+          [ Model.in_port ~ty:Dtype.Tbool ~clock:(Clock.event "crash") "crash";
+            Model.in_port ~ty:Dtype.Tint ~clock:(Clock.event "remote")
+              "remote";
+            Model.in_port ~ty:Dtype.Tfloat "speed";
+            Model.out_port ~ty:Dtype.Tint "lock_cmd" ]
+        ~behavior:(Model.B_ssd base_network);
+    model_enums = [] }
+
+let family =
+  Variants.make base_model
+    ~presence:
+      [ ("RemoteKeylessEntry", Variants.Fvar "keyless");
+        ("AutoLockAtSpeed", Variants.Fvar "autolock") ]
+
+let full_variant =
+  Variants.configure family
+    ~assignment:[ ("keyless", true); ("autolock", true) ]
+
+let conflict_findings model = Faa_rules.run model
+
+let coordinated =
+  let with_coordinator =
+    Automode_transform.Refactor.insert_coordinator ~resource:"door_locks"
+      full_variant
+  in
+  (* expose the arbitrated command at the boundary for observation *)
+  match with_coordinator.Model.model_root.comp_behavior with
+  | Model.B_ssd net ->
+    let net =
+      { net with
+        Model.net_channels =
+          net.Model.net_channels
+          @ [ Model.channel ~name:"out_cmd"
+                (Model.at "coordinate_door_locks" "cmd")
+                (Model.boundary "lock_cmd");
+              Model.channel ~name:"to_actuation"
+                (Model.at "coordinate_door_locks" "cmd")
+                (Model.at "DoorActuation" "cmd") ] }
+    in
+    { with_coordinator with
+      Model.model_root =
+        { with_coordinator.Model.model_root with
+          comp_behavior = Model.B_ssd net } }
+  | _ -> assert false
+
+let demo_trace ?(ticks = 10) () =
+  let inputs tick =
+    let speed =
+      [ ("speed", Value.Present (Value.Float (float_of_int tick *. 1.5))) ]
+    in
+    let remote =
+      if tick = 2 then [ ("remote", Value.Present (Value.Int 1)) ] else []
+    in
+    let crash =
+      if tick = 6 then [ ("crash", Value.Present (Value.Bool true)) ] else []
+    in
+    speed @ remote @ crash
+  in
+  let schedule name tick =
+    (String.equal name "crash" && tick = 6)
+    || (String.equal name "remote" && tick = 2)
+  in
+  Sim.run ~schedule ~ticks ~inputs coordinated.Model.model_root

@@ -1,0 +1,33 @@
+(** Body-electronics case study: a central-locking product family on the
+    FAA level.
+
+    Exercises the three FAA activities of the paper's Sec. 3.1 plus the
+    intro's variant motivation:
+    - integration of separately developed vehicle functions (SSD),
+    - rule-based conflict identification — remote-keyless-entry and
+      crash-unlock {e both drive the door-lock actuator} — and the
+      suggested countermeasure (insert a coordinating functionality,
+      {!Automode_transform.Refactor.insert_coordinator}),
+    - validation by prototypical simulation (some functions remain
+      [B_unspecified], which is "perfectly adequate" at FAA level),
+    - product-family variants ({!Automode_core.Variants}): keyless entry
+      and auto-lock-at-speed are optional features. *)
+
+open Automode_core
+
+val family : Variants.t
+(** The variant model.  Features: ["keyless"], ["autolock"]. *)
+
+val full_variant : Model.model
+(** The configuration with every feature enabled. *)
+
+val conflict_findings : Model.model -> Faa_rules.finding list
+(** FAA rules on a configuration. *)
+
+val coordinated : Model.model
+(** {!full_variant} with the door-lock actuator conflict resolved by a
+    coordinator. *)
+
+val demo_trace : ?ticks:int -> unit -> Trace.t
+(** Simulate {!coordinated}: a remote lock request, then a crash — the
+    crash-unlock must win at the coordinator. *)

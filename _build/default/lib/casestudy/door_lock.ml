@@ -1,0 +1,138 @@
+open Automode_core
+
+let lock_status = Dtype.enum "LockStatus" [ "Unlocked"; "Locked" ]
+let crash_status = Dtype.enum "CrashStatus" [ "NoCrash"; "Crash" ]
+let lock_command = Dtype.enum "LockCommand" [ "Unlock"; "Lock" ]
+
+let lit ty name = Expr.Const (Dtype.enum_value ty name)
+
+(* Voltage plausibility: hold the last sample and compare against the
+   9 V threshold (voltage arrives only every second tick, Fig. 1). *)
+let voltage_monitor =
+  Model.component "VoltageMonitor"
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tfloat ~clock:(Clock.every 2 Clock.Base) "v";
+        Model.out_port ~ty:Dtype.Tbool "v_ok" ]
+    ~behavior:
+      (Model.B_exprs
+         [ ("v_ok", Expr.(current (Value.Bool false) (var "v" > float 9.))) ])
+
+(* Central lock logic: crash overrides everything; normal lock/unlock
+   follows the door-4 status sensor while the voltage is plausible. *)
+let lock_logic_std : Model.std =
+  let crash_guard = Expr.(Binop (Eq, var "crsh", lit crash_status "Crash")) in
+  let locked = Expr.(Binop (Eq, var "t4s", lit lock_status "Locked")) in
+  let unlocked = Expr.(Binop (Eq, var "t4s", lit lock_status "Unlocked")) in
+  let v_ok = Expr.var "v_ok" in
+  { std_name = "LockLogic";
+    std_states = [ "Unlocked"; "Locked"; "CrashUnlocked" ];
+    std_initial = "Unlocked";
+    std_vars = [];
+    std_transitions =
+      [ { st_src = "Unlocked"; st_dst = "CrashUnlocked"; st_guard = crash_guard;
+          st_outputs = [ ("cmd", lit lock_command "Unlock") ];
+          st_updates = []; st_priority = 0 };
+        { st_src = "Locked"; st_dst = "CrashUnlocked"; st_guard = crash_guard;
+          st_outputs = [ ("cmd", lit lock_command "Unlock") ];
+          st_updates = []; st_priority = 0 };
+        { st_src = "Unlocked"; st_dst = "Locked";
+          st_guard = Expr.(locked && v_ok);
+          st_outputs = [ ("cmd", lit lock_command "Lock") ];
+          st_updates = []; st_priority = 1 };
+        { st_src = "Locked"; st_dst = "Unlocked";
+          st_guard = Expr.(unlocked && v_ok);
+          st_outputs = [ ("cmd", lit lock_command "Unlock") ];
+          st_updates = []; st_priority = 1 } ] }
+
+let lock_logic =
+  Model.component "LockLogic"
+    ~ports:
+      [ Model.in_port ~ty:lock_status "t4s";
+        Model.in_port ~ty:crash_status ~clock:(Clock.event "crash") "crsh";
+        Model.in_port ~ty:Dtype.Tbool "v_ok";
+        Model.out_port ~ty:lock_command "cmd" ]
+    ~behavior:(Model.B_std lock_logic_std)
+
+(* Fan the single command out to the four door actuators. *)
+let dispatch =
+  let outs = [ "T1C"; "T2C"; "T3C"; "T4C" ] in
+  Model.component "Dispatch"
+    ~ports:
+      (Model.in_port ~ty:lock_command "cmd"
+      :: List.map
+           (fun name ->
+             Model.out_port ~ty:lock_command ~resource:("door_" ^ name) name)
+           outs)
+    ~behavior:(Model.B_exprs (List.map (fun o -> (o, Expr.var "cmd")) outs))
+
+let network : Model.network =
+  { net_name = "DoorLockControl";
+    net_components = [ voltage_monitor; lock_logic; dispatch ];
+    net_channels =
+      [ Model.channel ~name:"c_t4s" (Model.boundary "T4S")
+          (Model.at "LockLogic" "t4s");
+        Model.channel ~name:"c_crsh" (Model.boundary "CRSH")
+          (Model.at "LockLogic" "crsh");
+        Model.channel ~name:"c_v" (Model.boundary "FZG_V")
+          (Model.at "VoltageMonitor" "v");
+        Model.channel ~name:"c_vok" ~init:(Value.Bool false)
+          (Model.at "VoltageMonitor" "v_ok")
+          (Model.at "LockLogic" "v_ok");
+        Model.channel ~name:"c_cmd" (Model.at "LockLogic" "cmd")
+          (Model.at "Dispatch" "cmd");
+        Model.channel ~name:"o_t1c" (Model.at "Dispatch" "T1C")
+          (Model.boundary "T1C");
+        Model.channel ~name:"o_t2c" (Model.at "Dispatch" "T2C")
+          (Model.boundary "T2C");
+        Model.channel ~name:"o_t3c" (Model.at "Dispatch" "T3C")
+          (Model.boundary "T3C");
+        Model.channel ~name:"o_t4c" (Model.at "Dispatch" "T4C")
+          (Model.boundary "T4C") ] }
+
+let component =
+  Model.component "DoorLockControl"
+    ~ports:
+      [ Model.in_port ~ty:lock_status "T4S";
+        Model.in_port ~ty:crash_status ~clock:(Clock.event "crash") "CRSH";
+        Model.in_port ~ty:Dtype.Tfloat ~clock:(Clock.every 2 Clock.Base)
+          "FZG_V";
+        Model.out_port ~ty:lock_command "T1C";
+        Model.out_port ~ty:lock_command "T2C";
+        Model.out_port ~ty:lock_command "T3C";
+        Model.out_port ~ty:lock_command "T4C" ]
+    ~behavior:(Model.B_ssd network)
+
+let enum_decl = function
+  | Dtype.Tenum e -> e
+  | Dtype.Tbool | Dtype.Tint | Dtype.Tfloat | Dtype.Ttuple _ -> assert false
+
+let model : Model.model =
+  { model_name = "DoorLockControl";
+    model_level = Model.Faa;
+    model_root = component;
+    model_enums =
+      [ enum_decl lock_status; enum_decl crash_status; enum_decl lock_command ] }
+
+(* Fig. 1 stimulus: voltage 20, -, 23, - ... a lock request at tick 2 and
+   a crash at tick 6. *)
+let crash_scenario tick =
+  let voltage =
+    if tick mod 2 = 0 then
+      [ ("FZG_V", Value.Present (Value.Float (20. +. float_of_int (tick mod 5)))) ]
+    else []
+  in
+  let status =
+    if tick = 2 then
+      [ ("T4S", Value.Present (Dtype.enum_value lock_status "Locked")) ]
+    else []
+  in
+  let crash =
+    if tick = 6 then
+      [ ("CRSH", Value.Present (Dtype.enum_value crash_status "Crash")) ]
+    else []
+  in
+  voltage @ status @ crash
+
+let demo_trace ?(ticks = 10) () =
+  let schedule name tick = String.equal name "crash" && tick = 6 in
+  Sim.run ~schedule ~ticks ~inputs:crash_scenario component

@@ -1,0 +1,33 @@
+(** The [DoorLockControl] example of the paper's Fig. 1 (message-based,
+    time-synchronous communication) and Fig. 4 (SSD on the FAA level).
+
+    Inputs: [T4S] door-lock status, [CRSH] crash status, [FZG_V] vehicle
+    voltage.  Outputs: lock commands [T1C]..[T4C] for the four doors.
+    The central lock logic is an STD; a crash unlocks all doors
+    immediately; commands are suppressed while the supply voltage is
+    implausible. *)
+
+open Automode_core
+
+val lock_status : Dtype.t
+(** enum [LockStatus]: Unlocked, Locked. *)
+
+val crash_status : Dtype.t
+(** enum [CrashStatus]: NoCrash, Crash. *)
+
+val lock_command : Dtype.t
+(** enum [LockCommand]: Unlock, Lock. *)
+
+val component : Model.component
+(** The [DoorLockControl] SSD. *)
+
+val model : Model.model
+(** FAA-level model wrapping {!component}. *)
+
+val crash_scenario : Sim.input_fn
+(** Stimulus for the paper's trace: periodic voltage samples (the values
+    [20], "-", [23], ... of Fig. 1 — voltage present every second tick),
+    a lock request at tick 2, and a crash event at tick 6. *)
+
+val demo_trace : ?ticks:int -> unit -> Trace.t
+(** Simulate {!component} under {!crash_scenario} (default 10 ticks). *)

@@ -1,0 +1,214 @@
+open Automode_core
+open Automode_ascet
+open Automode_transform
+
+let source =
+  {|module EngineControl
+
+// ---- environment ----------------------------------------------------
+input n            : float = 0.0     // engine speed, rpm
+input pedal        : float = 0.0     // accelerator position, 0..1
+input t_water      : float = 20.0    // coolant temperature, degC
+input lambda_probe : float = 1.0     // exhaust lambda
+input knock_sensor : float = 0.0     // knock intensity
+input v_battery    : float = 12.0    // supply voltage
+input throttle_pos : float = 0.0     // throttle valve position, deg
+
+// ---- global engine state: emitted by ONE central process ------------
+flag b_cranking  : bool = false
+flag b_overrun   : bool = false
+flag b_fuel_cut  : bool = false
+flag b_warmup    : bool = false
+flag b_idle      : bool = false
+flag b_full_load : bool = false
+flag b_knock     : bool = false
+flag b_rev_limit : bool = false
+
+// ---- intermediate signals -------------------------------------------
+message air_mass         : float = 0.0
+message base_fuel        : float = 0.0
+message enrich           : float = 1.0
+message fuel_mass        : float = 0.0
+message lambda_corr      : float = 1.0
+message idle_corr        : float = 0.0
+message ignition_base    : float = 10.0
+message ignition_angle   : float = 10.0
+message throttle_desired : float = 0.0
+message throttle_rate    : float = 0.0
+
+// ---- actuators / observables ----------------------------------------
+output injector_ms  : float = 0.0
+output spark_deg    : float = 10.0
+output throttle_cmd : float = 0.0
+output dwell_ms     : float = 2.0
+output diag_code    : float = 0.0
+
+task t10 period 10
+task t100 period 100
+
+// The centralized component the paper complains about: "a centralized
+// software component emits a large number of flags which altogether
+// represent the global state of the engine".
+process engine_state on t10 {
+  if n > 0.0 and n < 400.0 { send b_cranking true; } else { send b_cranking false; }
+  if pedal < 0.05 and n > 2500.0 { send b_overrun true; } else { send b_overrun false; }
+  if pedal < 0.02 and n > 3000.0 { send b_fuel_cut true; } else { send b_fuel_cut false; }
+  if t_water < 60.0 { send b_warmup true; } else { send b_warmup false; }
+  if pedal < 0.05 and n < 1000.0 { send b_idle true; } else { send b_idle false; }
+  if pedal > 0.85 { send b_full_load true; } else { send b_full_load false; }
+  if knock_sensor > 2.5 { send b_knock true; } else { send b_knock false; }
+  if n > 6200.0 { send b_rev_limit true; } else { send b_rev_limit false; }
+}
+
+process air_mass_calc on t10 {
+  send air_mass throttle_pos * n * 0.0008;
+}
+
+process base_fuel_calc on t10 {
+  send base_fuel air_mass * 0.07;
+}
+
+// implicit warm-up mode
+process warmup_enrichment on t10 {
+  if b_warmup {
+    send enrich 1.3;
+  } else {
+    send enrich 1.0;
+  }
+}
+
+// implicit fuel-cut mode
+process fuel_mass_calc on t10 {
+  local tmp : float = 0.0;
+  tmp := base_fuel * enrich * lambda_corr;
+  if b_fuel_cut {
+    send fuel_mass 0.0;
+  } else {
+    send fuel_mass tmp;
+  }
+}
+
+// Fig. 8: ThrottleRateOfChange with modes CrankingOverrun / FuelEnabled
+process throttle_rate_calc on t10 {
+  local err : float = 0.0;
+  err := throttle_desired - throttle_pos;
+  if b_cranking or b_overrun {
+    send throttle_rate 0.5;
+  } else {
+    send throttle_rate limit(err * 0.6, -8.0, 8.0);
+  }
+}
+
+process ignition_base_calc on t10 {
+  send ignition_base limit(10.0 + n * 0.002 - air_mass * 0.1, -10.0, 45.0);
+}
+
+// implicit knock-protection mode
+process ignition_calc on t10 {
+  if b_knock {
+    send ignition_angle ignition_base - 8.0;
+  } else {
+    send ignition_angle ignition_base;
+  }
+}
+
+// implicit rev-limiter mode
+process rev_limiter on t10 {
+  if b_rev_limit {
+    send injector_ms 0.0;
+  } else {
+    send injector_ms fuel_mass * 3.0;
+  }
+}
+
+process dwell_calc on t10 {
+  send dwell_ms limit(3.0 * 12.0 / max(v_battery, 6.0), 1.0, 8.0);
+}
+
+process spark_out on t10 {
+  send spark_deg ignition_angle;
+}
+
+process throttle_ctrl on t10 {
+  send throttle_desired pedal * 90.0 + idle_corr;
+  send throttle_cmd throttle_pos + throttle_rate;
+}
+
+// slow closed-loop lambda control; frozen during fuel cut
+process lambda_control on t100 {
+  local next : float = 1.0;
+  next := limit(lambda_corr + (1.0 - lambda_probe) * 0.02, 0.7, 1.3);
+  if b_fuel_cut {
+    send lambda_corr lambda_corr;
+  } else {
+    send lambda_corr next;
+  }
+}
+
+// implicit idle mode
+process idle_speed on t100 {
+  if b_idle {
+    send idle_corr (900.0 - n) * 0.003;
+  } else {
+    send idle_corr 0.0;
+  }
+}
+
+// knock event counter
+process diagnostics on t100 {
+  if b_knock {
+    send diag_code diag_code + 1.0;
+  }
+}
+|}
+
+let ascet_model = Ascet_parser.parse source
+
+let mode_naming = function
+  | "throttle_rate_calc" -> Some ("CrankingOverrun", "FuelEnabled")
+  | "warmup_enrichment" -> Some ("WarmUp", "Warm")
+  | "fuel_mass_calc" -> Some ("FuelCut", "Injecting")
+  | "ignition_calc" -> Some ("KnockProtection", "NominalSpark")
+  | "rev_limiter" -> Some ("RevLimited", "Nominal")
+  | "idle_speed" -> Some ("IdleControl", "OffIdle")
+  | "lambda_control" -> Some ("Frozen"  , "ClosedLoop")
+  | "diagnostics" -> Some ("KnockEvent", "Quiet")
+  | _ -> None
+
+let reengineer () = Reengineer.whitebox ~mode_naming ascet_model
+
+(* start / warm-up / accelerate / overrun+fuel-cut / knock burst / stop *)
+let drive_inputs tick =
+  let t = float_of_int tick in
+  let n =
+    if tick < 50 then 250. +. t
+    else if tick < 300 then 800. +. ((t -. 50.) *. 10.)
+    else if tick < 500 then 3300.
+    else if tick < 700 then 3300. -. ((t -. 500.) *. 5.)
+    else 1000.
+  in
+  (* pedal transitions are ramped over 40 ms: step stimuli make the
+     bounded-latency comparison of timing refinements ill-posed (delayed
+     samplings mix pre- and post-step epochs into transient values) *)
+  let ramp t0 from_v to_v =
+    let f = Float.min 1. (Float.max 0. ((t -. t0) /. 40.)) in
+    from_v +. (f *. (to_v -. from_v))
+  in
+  let pedal =
+    if tick < 60 then 0.
+    else if tick < 300 then ramp 60. 0. 0.4
+    else if tick < 500 then ramp 300. 0.4 0.9
+    else ramp 500. 0.9 0.0
+  in
+  let t_water = Float.min 90. (20. +. (t *. 0.12)) in
+  let lambda = 1. +. (0.05 *. Float.sin (t *. 0.01)) in
+  let knock = if tick >= 320 && tick < 340 then 3.0 else 0.2 in
+  let v_batt = if tick < 50 then 9.5 else 13.8 in
+  let throttle = Float.min 85. (pedal *. 80.) in
+  [ ("n", Value.Float n); ("pedal", Value.Float pedal);
+    ("t_water", Value.Float t_water); ("lambda_probe", Value.Float lambda);
+    ("knock_sensor", Value.Float knock); ("v_battery", Value.Float v_batt);
+    ("throttle_pos", Value.Float throttle) ]
+
+let observed =
+  [ "injector_ms"; "spark_deg"; "throttle_cmd"; "dwell_ms"; "diag_code" ]

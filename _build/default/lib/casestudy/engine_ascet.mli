@@ -1,0 +1,40 @@
+(** The synthetic four-stroke gasoline engine controller ASCET model —
+    the input of the paper's Sec. 5 case study.
+
+    The original study used a proprietary, detailed ASCET-SD model; this
+    substitute reproduces the {e structural pathologies} the paper
+    reports (DESIGN.md substitution table):
+
+    - a centralized process ([engine_state]) that "emits a large number
+      of flags which altogether represent the global state of the
+      engine" — eight mode flags here;
+    - processes whose operation modes are {e implicit}, hidden in
+      If-Then-Else over those flags ([throttle_rate],
+      [warmup_enrichment], [fuel_mass_calc], [ignition_calc],
+      [rev_limiter], [idle_speed], ...);
+    - multi-rate tasks (10 ms control, 100 ms supervision) and
+      accumulator-style persistent state ([lambda_control],
+      [diagnostics]). *)
+
+open Automode_core
+open Automode_ascet
+open Automode_transform
+
+val source : string
+(** The model in the textual ASCET format (parsable). *)
+
+val ascet_model : Ascet_ast.t
+
+val mode_naming : string -> (string * string) option
+(** Paper-faithful mode names: [throttle_rate] splits into
+    [CrankingOverrun] / [FuelEnabled] (Fig. 8). *)
+
+val reengineer : unit -> Model.model * Reengineer.report
+(** White-box reengineering of the model with {!mode_naming}. *)
+
+val drive_inputs : int -> (string * Value.t) list
+(** A start / warm-up / acceleration / overrun / knock drive profile for
+    the interpreter and simulator (1 ms resolution). *)
+
+val observed : string list
+(** The output globals compared in equivalence experiments. *)

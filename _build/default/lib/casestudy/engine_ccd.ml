@@ -1,0 +1,152 @@
+open Automode_core
+open Automode_la
+
+let c10 = Clock.every 10 Clock.Base
+let c100 = Clock.every 100 Clock.Base
+
+let fport ?(clock = c10) dir name = Model.port ~ty:Dtype.Tfloat ~clock dir name
+
+(* A one-block cluster body: held inputs, when-gated output. *)
+let law_body ~name ~ins ~clock expr : Model.network =
+  { net_name = name ^ "_body";
+    net_components =
+      [ Model.component "law"
+          ~ports:
+            (List.map (fun i -> Model.in_port ~ty:Dtype.Tfloat i) ins
+            @ [ Model.out_port ~ty:Dtype.Tfloat ~clock "out" ])
+          ~behavior:(Model.B_exprs [ ("out", Expr.when_ expr clock) ]) ];
+    net_channels =
+      List.map (fun i -> Dfd.wire ("i_" ^ i) ("", i) ("law", i)) ins
+      @ [ Dfd.wire "o" ("law", "out") ("", "out") ] }
+
+let held name = Expr.current (Value.Float 0.) (Expr.var name)
+
+let air_mass =
+  Cluster.make ~name:"AirMass"
+    ~ports:[ fport Model.In "pedal"; fport Model.In "n"; fport Model.Out "out" ]
+    ~body:
+      (law_body ~name:"AirMass" ~ins:[ "pedal"; "n" ] ~clock:c10
+         Expr.(held "pedal" * held "n" * float 0.0008))
+    ()
+
+let fuel_injection =
+  Cluster.make ~name:"FuelInjection"
+    ~ports:
+      [ fport Model.In "air_mass"; fport Model.In "idle_corr";
+        fport Model.Out "out" ]
+    ~body:
+      (law_body ~name:"FuelInjection" ~ins:[ "air_mass"; "idle_corr" ]
+         ~clock:c10
+         Expr.((held "air_mass" * float 0.07) + held "idle_corr"))
+    ()
+
+let ignition_timing =
+  Cluster.make ~name:"IgnitionTiming"
+    ~ports:
+      [ fport Model.In "n"; fport Model.In "air_mass"; fport Model.Out "out" ]
+    ~body:
+      (law_body ~name:"IgnitionTiming" ~ins:[ "n"; "air_mass" ] ~clock:c10
+         (Expr.Call
+            ( "limit",
+              [ Expr.(float 10. + (held "n" * float 0.002) - (held "air_mass" * float 0.1));
+                Expr.float (-10.); Expr.float 45. ] )))
+    ()
+
+let idle_speed_control =
+  Cluster.make ~name:"IdleSpeedControl"
+    ~ports:[ fport ~clock:c100 Model.In "n"; fport ~clock:c100 Model.Out "out" ]
+    ~body:
+      (law_body ~name:"IdleSpeedControl" ~ins:[ "n" ] ~clock:c100
+         Expr.((float 900. - held "n") * float 0.003))
+    ()
+
+let diagnosis =
+  Cluster.make ~name:"Diagnosis"
+    ~ports:
+      [ fport ~clock:c100 Model.In "n"; fport ~clock:c100 Model.In "fuel_cmd";
+        fport ~clock:c100 Model.Out "out" ]
+    ~body:
+      (law_body ~name:"Diagnosis" ~ins:[ "n"; "fuel_cmd" ] ~clock:c100
+         (Expr.if_
+            Expr.((held "fuel_cmd" > float 11.) && (held "n" > float 5000.))
+            (Expr.float 1.) (Expr.float 0.)))
+    ()
+
+let ccd =
+  Ccd.make ~name:"SimplifiedEngineController"
+    ~clusters:
+      [ air_mass; fuel_injection; ignition_timing; idle_speed_control;
+        diagnosis ]
+    ~channels:
+      [ Model.channel ~name:"in_pedal" (Model.boundary "pedal")
+          (Model.at "AirMass" "pedal");
+        Model.channel ~name:"in_n_air" (Model.boundary "n")
+          (Model.at "AirMass" "n");
+        Model.channel ~name:"in_n_ign" (Model.boundary "n")
+          (Model.at "IgnitionTiming" "n");
+        Model.channel ~name:"in_n_idle" (Model.boundary "n")
+          (Model.at "IdleSpeedControl" "n");
+        Model.channel ~name:"in_n_diag" (Model.boundary "n")
+          (Model.at "Diagnosis" "n");
+        Model.channel ~name:"air_to_fuel" (Model.at "AirMass" "out")
+          (Model.at "FuelInjection" "air_mass");
+        Model.channel ~name:"air_to_ign" (Model.at "AirMass" "out")
+          (Model.at "IgnitionTiming" "air_mass");
+        (* slow -> fast: the OSEK well-definedness condition requires the
+           explicit delay operator here (paper Sec. 3.3) *)
+        Model.channel ~name:"idle_to_fuel" ~delayed:true
+          ~init:(Value.Float 0.)
+          (Model.at "IdleSpeedControl" "out")
+          (Model.at "FuelInjection" "idle_corr");
+        (* fast -> slow needs no delay *)
+        Model.channel ~name:"fuel_to_diag" (Model.at "FuelInjection" "out")
+          (Model.at "Diagnosis" "fuel_cmd");
+        Model.channel ~name:"out_fuel" (Model.at "FuelInjection" "out")
+          (Model.boundary "fuel");
+        Model.channel ~name:"out_spark" (Model.at "IgnitionTiming" "out")
+          (Model.boundary "spark");
+        Model.channel ~name:"out_diag" (Model.at "Diagnosis" "out")
+          (Model.boundary "diag") ]
+    ~external_ports:
+      [ fport Model.In "pedal"; fport Model.In "n"; fport Model.Out "fuel";
+        fport Model.Out "spark"; fport ~clock:c100 Model.Out "diag" ]
+    ()
+
+let component = Ccd.to_component ccd
+
+let two_ecu_ta =
+  Ta.make ~name:"EngineTwoEcu"
+    ~ecus:
+      [ { Ta.ecu_name = "ecu_engine"; speed_factor = 0.8 };
+        { Ta.ecu_name = "ecu_body"; speed_factor = 1.5 } ]
+    ~tasks:
+      [ { Ta.task_name = "t10_engine"; task_ecu = "ecu_engine";
+          period_us = 10_000; priority = 0; offset_us = 0 };
+        { Ta.task_name = "t100_body"; task_ecu = "ecu_body";
+          period_us = 100_000; priority = 0; offset_us = 0 } ]
+    ~buses:[ { Ta.bus_name = "can_powertrain"; bitrate = 500_000 } ]
+    ~frames:
+      [ { Ta.slot_name = "fr_fuel"; slot_bus = "can_powertrain"; can_id = 0x20;
+          capacity_bits = 32; slot_period_us = 10_000 };
+        { Ta.slot_name = "fr_idle"; slot_bus = "can_powertrain"; can_id = 0x30;
+          capacity_bits = 32; slot_period_us = 100_000 } ]
+    ()
+
+let deployment =
+  Deploy.make ~ccd ~ta:two_ecu_ta
+    ~cluster_task:
+      [ ("AirMass", "t10_engine"); ("FuelInjection", "t10_engine");
+        ("IgnitionTiming", "t10_engine"); ("IdleSpeedControl", "t100_body");
+        ("Diagnosis", "t100_body") ]
+    ~signal_frame:
+      [ ("idle_to_fuel", "fr_idle"); ("fuel_to_diag", "fr_fuel") ]
+    ()
+
+let demo_trace ?(ticks = 300) () =
+  let inputs tick =
+    let pedal = if tick < 100 then 0.2 else 0.6 in
+    let n = 800. +. (float_of_int tick *. 8.) in
+    [ ("pedal", Value.Present (Value.Float pedal));
+      ("n", Value.Present (Value.Float n)) ]
+  in
+  Sim.run ~ticks ~inputs component

@@ -1,0 +1,65 @@
+open Automode_core
+
+let fuel_law expr = Model.B_exprs [ ("fuel", expr) ]
+
+let mtd : Model.mtd =
+  let n = Expr.var "n" and pedal = Expr.var "pedal" in
+  let t ?(p = 1) src dst guard =
+    { Model.mt_src = src; mt_dst = dst; mt_guard = guard; mt_priority = p }
+  in
+  { mtd_name = "EngineOperation";
+    mtd_modes =
+      [ { mode_name = "Stalled"; mode_behavior = fuel_law (Expr.float 0.) };
+        { mode_name = "Cranking"; mode_behavior = fuel_law (Expr.float 4.) };
+        { mode_name = "Idle";
+          mode_behavior =
+            fuel_law Expr.((float 1.) + ((float 900. - n) * float 0.001)) };
+        { mode_name = "PartLoad";
+          mode_behavior = fuel_law Expr.(pedal * float 10.) };
+        { mode_name = "FullLoad"; mode_behavior = fuel_law (Expr.float 12.) };
+        { mode_name = "Overrun"; mode_behavior = fuel_law (Expr.float 0.) } ];
+    mtd_initial = "Stalled";
+    mtd_transitions =
+      [ t "Stalled" "Cranking" Expr.(n > float 0.);
+        t ~p:0 "Cranking" "Stalled" Expr.(n <= float 0.);
+        t "Cranking" "Idle" Expr.(n >= float 700.);
+        t ~p:0 "Idle" "Stalled" Expr.(n <= float 50.);
+        t "Idle" "PartLoad" Expr.(pedal > float 0.1);
+        t ~p:0 "PartLoad" "Stalled" Expr.(n <= float 50.);
+        t ~p:2 "PartLoad" "FullLoad" Expr.(pedal > float 0.8);
+        t ~p:3 "PartLoad" "Idle" Expr.((pedal <= float 0.1) && (n < float 1500.));
+        t ~p:4 "PartLoad" "Overrun"
+          Expr.((pedal <= float 0.05) && (n > float 2500.));
+        t ~p:0 "FullLoad" "PartLoad" Expr.(pedal <= float 0.8);
+        t ~p:0 "Overrun" "PartLoad" Expr.(pedal > float 0.1);
+        t ~p:1 "Overrun" "Idle" Expr.(n < float 1200.) ] }
+
+let mode_type = Mtd.mode_enum mtd
+
+let component =
+  Model.component "EngineOperation"
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tfloat "n";
+        Model.in_port ~ty:Dtype.Tfloat "pedal";
+        Model.out_port ~ty:Dtype.Tfloat "fuel";
+        Model.out_port ~ty:mode_type "mode" ]
+    ~behavior:(Model.B_mtd mtd)
+
+(* start -> rev up -> cruise -> lift-off overrun -> stop *)
+let drive_cycle tick =
+  let n, pedal =
+    if tick < 2 then (0., 0.)
+    else if tick < 6 then (300. +. (float_of_int tick *. 50.), 0.)
+    else if tick < 10 then (900., 0.)
+    else if tick < 20 then (1500. +. (float_of_int (tick - 10) *. 150.), 0.5)
+    else if tick < 25 then (3200., 0.9)
+    else if tick < 32 then (3000., 0.)   (* lift off: overrun *)
+    else if tick < 38 then (1000., 0.)
+    else (0., 0.)
+  in
+  [ ("n", Value.Present (Value.Float n));
+    ("pedal", Value.Present (Value.Float pedal)) ]
+
+let demo_trace ?(ticks = 42) () = Sim.run ~ticks ~inputs:drive_cycle component
+
+let global_mode_system = Mtd.product mtd Throttle.mtd

@@ -1,0 +1,52 @@
+open Automode_core
+
+(* Fig. 5: v_target/v_actual -> PI law -> rate limiter -> saturation. *)
+let network : Model.network =
+  let pi = Stdblocks.pi_controller ~name:"PI" ~kp:0.8 ~ki:0.05 in
+  let ramp = Stdblocks.rate_limiter ~name:"RAMP" ~max_step:2.0 in
+  let sat = Stdblocks.limiter ~name:"LIMIT" ~lo:(-50.) ~hi:50. in
+  { net_name = "MomentumController";
+    net_components = [ pi; ramp; sat ];
+    net_channels =
+      [ Dfd.wire "w_target" ("", "v_target") ("PI", "setpoint");
+        Dfd.wire "w_actual" ("", "v_actual") ("PI", "measure");
+        Dfd.wire "w_demand" ("PI", "out") ("RAMP", "in");
+        Dfd.wire "w_ramped" ("RAMP", "out") ("LIMIT", "in");
+        Dfd.wire "w_out" ("LIMIT", "out") ("", "momentum") ] }
+
+let component =
+  Dfd.of_network
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tfloat "v_target";
+        Model.in_port ~ty:Dtype.Tfloat "v_actual";
+        Model.out_port ~ty:Dtype.Tfloat "momentum" ]
+    network
+
+let step_response ?(ticks = 60) ~target () =
+  (* simple plant in the stimulus: v' = v + 0.05 * momentum(t-1) *)
+  let v = ref 0. in
+  let last_momentum = ref 0. in
+  let state = Sim.init component in
+  let trace = Trace.make ~flows:[ "v_target"; "v_actual"; "momentum" ] in
+  let rec go tick st trace =
+    if tick >= ticks then trace
+    else begin
+      v := !v +. (0.05 *. !last_momentum);
+      let inputs name =
+        match name with
+        | "v_target" -> Value.Present (Value.Float target)
+        | "v_actual" -> Value.Present (Value.Float !v)
+        | _ -> Value.Absent
+      in
+      let outs, st' = Sim.step ~tick ~inputs component st in
+      (match List.assoc_opt "momentum" outs with
+       | Some (Value.Present m) -> last_momentum := Value.to_float m
+       | Some Value.Absent | None -> ());
+      let row =
+        [ ("v_target", inputs "v_target"); ("v_actual", inputs "v_actual") ]
+        @ outs
+      in
+      go (tick + 1) st' (Trace.record trace row)
+    end
+  in
+  go 0 state trace

@@ -1,0 +1,15 @@
+(** The longitudinal momentum controller of the paper's Fig. 5 — a DFD
+    built from library blocks: the driver's target speed and the actual
+    vehicle speed are compared, a PI control law computes the demanded
+    longitudinal momentum, a rate limiter and a saturation stage shape
+    the actuator command. *)
+
+open Automode_core
+
+val network : Model.network
+val component : Model.component
+
+val step_response : ?ticks:int -> target:float -> unit -> Trace.t
+(** Closed-loop-free step response: constant [target], actual speed fed
+    back as a first-order lag of the command (computed inside the
+    stimulus). *)

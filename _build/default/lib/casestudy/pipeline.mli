@@ -1,0 +1,48 @@
+(** The end-to-end AutoMoDe flow over the abstraction levels of the
+    paper's Fig. 3, exercised on the engine-controller case study:
+
+    {v
+    ASCET implementation  --white-box reengineering-->  FDA
+    FDA  --clustering by clock (refinement)-->           LA (CCD)
+    CCD  --OSEK well-definedness check + repair-->       LA (well-defined)
+    CCD + TA  --deployment-->                            TA (tasks, frames)
+    deployment  --code generation-->                     OA (ASCET projects)
+    v}
+
+    Every stage's artifact is retained in the {!type:result} so the
+    benches and examples can report sizes, check times, schedulability
+    and bus load, and validate that the LA-level model still simulates
+    trace-equivalently to the reengineered FDA. *)
+
+open Automode_core
+open Automode_la
+open Automode_transform
+open Automode_codegen
+
+type result = {
+  fda : Model.model;
+  report : Reengineer.report;
+  ccd : Ccd.t;                       (** after clustering by clock *)
+  ccd_problems : string list;        (** structural CCD findings *)
+  violations_repaired : int;         (** OSEK delays inserted *)
+  deployment : Deploy.t;
+  deploy_problems : string list;
+  schedulable : (string * bool) list;  (** per ECU *)
+  bus_load : (string * float) list;    (** per bus *)
+  projects : Ascet_project.project list;
+  la_equivalent : bool;
+      (** the repaired CCD is a bounded-latency timing refinement of the
+          FDA root on the drive profile (outputs of
+          {!Engine_ascet.observed}); see {!Equiv.refines_with_latency} *)
+}
+
+val run : ?equiv_ticks:int -> unit -> result
+(** Execute the whole pipeline (default refinement-check horizon
+    400 ms). *)
+
+val ta : Ta.t
+(** The three-rate, two-ECU Technical Architecture used by the flow. *)
+
+val pp_summary : Format.formatter -> result -> unit
+(** Human-readable per-stage summary (used by the bench harness to
+    regenerate the Fig. 3 narrative). *)

@@ -1,0 +1,47 @@
+open Automode_core
+
+(* Fig. 2: block A produces a base-rate stream; the "when" operator samples
+   it down by [factor]; block B consumes the sampled stream a' (held with
+   current so B can run at base rate). *)
+let network ~factor : Model.network =
+  let clock = Clock.every factor Clock.Base in
+  let block_a =
+    Dfd.block_of_expr ~name:"A"
+      ~inputs:[ ("a", Some Dtype.Tint) ]
+      ~out_type:Dtype.Tint (Expr.var "a")
+  in
+  let when_op =
+    Model.component "when_op"
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tint "in";
+          Model.out_port ~ty:Dtype.Tint ~clock "out" ]
+      ~behavior:
+        (Model.B_exprs [ ("out", Expr.when_ (Expr.var "in") clock) ])
+  in
+  let block_b =
+    Dfd.block_of_expr ~name:"B"
+      ~inputs:[ ("a_sampled", Some Dtype.Tint) ]
+      ~out_type:Dtype.Tint
+      Expr.(current (Value.Int 0) (var "a_sampled") * int 10)
+  in
+  { net_name = "SamplingNet";
+    net_components = [ block_a; when_op; block_b ];
+    net_channels =
+      [ Dfd.wire "w_a" ("", "a") ("A", "a");
+        Dfd.wire "w_when" ("A", "out") ("when_op", "in");
+        Dfd.wire "w_aprime" ("when_op", "out") ("B", "a_sampled");
+        Dfd.wire "w_aprime_obs" ("when_op", "out") ("", "a_prime");
+        Dfd.wire "w_b" ("B", "out") ("", "b_out") ] }
+
+let component ~factor =
+  Dfd.of_network
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tint "a";
+        Model.out_port ~ty:Dtype.Tint
+          ~clock:(Clock.every factor Clock.Base) "a_prime";
+        Model.out_port ~ty:Dtype.Tint "b_out" ]
+    (network ~factor)
+
+let demo_trace ?(ticks = 8) ?(factor = 2) () =
+  let inputs tick = [ ("a", Value.Present (Value.Int (20 + tick))) ] in
+  Sim.run ~ticks ~inputs (component ~factor)

@@ -1,0 +1,15 @@
+(** The explicit-sampling example of the paper's Fig. 2: a signal [a] is
+    sampled down by a factor of two with a [when] operator whose clock is
+    [every(2, true)]; the result [a'] is consumed by block [B] together
+    with a base-rate signal held through [current]. *)
+
+open Automode_core
+
+val network : factor:int -> Model.network
+(** The A -> when -> B network with a parametric downsampling factor. *)
+
+val component : factor:int -> Model.component
+
+val demo_trace : ?ticks:int -> ?factor:int -> unit -> Trace.t
+(** Ramp stimulus on [a]; shows [a] at base rate and [a'] at the sampled
+    rate (default 8 ticks, factor 2 — exactly Fig. 2). *)

@@ -1,0 +1,41 @@
+open Automode_core
+
+(* Fig. 8: in FuelEnabled the rate follows the position error through a
+   detailed law; in CrankingOverrun a constant conservative factor is
+   used. *)
+let mtd : Model.mtd =
+  let err = Expr.(var "desired" - var "current") in
+  let detailed_law =
+    Expr.Call
+      ("limit", [ Expr.(err * float 0.6); Expr.float (-8.); Expr.float 8. ])
+  in
+  { mtd_name = "ThrottleRateOfChange";
+    mtd_modes =
+      [ { mode_name = "FuelEnabled";
+          mode_behavior = Model.B_exprs [ ("rate", detailed_law) ] };
+        { mode_name = "CrankingOverrun";
+          mode_behavior = Model.B_exprs [ ("rate", Expr.float 0.5) ] } ];
+    mtd_initial = "CrankingOverrun";
+    mtd_transitions =
+      [ { mt_src = "CrankingOverrun"; mt_dst = "FuelEnabled";
+          mt_guard = Expr.var "fuel_enabled"; mt_priority = 0 };
+        { mt_src = "FuelEnabled"; mt_dst = "CrankingOverrun";
+          mt_guard = Expr.not_ (Expr.var "fuel_enabled"); mt_priority = 0 } ] }
+
+let component =
+  Model.component "ThrottleRateOfChange"
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tbool "fuel_enabled";
+        Model.in_port ~ty:Dtype.Tfloat "desired";
+        Model.in_port ~ty:Dtype.Tfloat "current";
+        Model.out_port ~ty:Dtype.Tfloat "rate";
+        Model.out_port ~ty:(Mtd.mode_enum mtd) "mode" ]
+    ~behavior:(Model.B_mtd mtd)
+
+let demo_trace ?(ticks = 12) () =
+  let inputs tick =
+    [ ("fuel_enabled", Value.Present (Value.Bool (tick >= 5)));
+      ("desired", Value.Present (Value.Float 30.));
+      ("current", Value.Present (Value.Float (float_of_int (tick * 3)))) ]
+  in
+  Sim.run ~ticks ~inputs component

@@ -1,0 +1,18 @@
+(** The [ThrottleRateOfChange] component of the paper's Fig. 8: an
+    AutoMoDe component with an embedded MTD consisting of the two modes
+    [FuelEnabled] and [CrankingOverrun].
+
+    "A component ThrottleRateOfChange determines the change rate of the
+    throttle valve position not only depending on its current and the
+    desired position, but also depending on very specific states of the
+    entire engine. ... Modeling ThrottleRateOfChange with modes divides
+    the component in two states which are being modeled and viewed
+    separately, depending on the respective engine state." *)
+
+open Automode_core
+
+val mtd : Model.mtd
+val component : Model.component
+
+val demo_trace : ?ticks:int -> unit -> Trace.t
+(** Cranking for the first ticks, then normal operation. *)

@@ -1,0 +1,1 @@
+lib/codegen/ascet_project.ml: Automode_core Automode_la Buffer C_like Ccd Cluster Comm_components Deploy Filename List Model Printf String Sys Ta

@@ -1,0 +1,1 @@
+lib/codegen/ascet_project.mli: Automode_la Deploy

@@ -1,0 +1,1 @@
+lib/codegen/c_like.ml: Automode_core Buffer Causality Dtype Expr Format Int List Model Option Printf String Value

@@ -1,0 +1,1 @@
+lib/codegen/c_like.mli: Automode_core Dtype Expr Model

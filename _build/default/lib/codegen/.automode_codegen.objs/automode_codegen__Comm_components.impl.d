@@ -1,0 +1,1 @@
+lib/codegen/comm_components.ml: Automode_osek Buffer List Printf String

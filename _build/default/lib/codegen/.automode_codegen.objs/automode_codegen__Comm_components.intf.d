@@ -1,0 +1,1 @@
+lib/codegen/comm_components.mli: Automode_osek

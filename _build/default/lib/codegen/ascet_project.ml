@@ -1,0 +1,96 @@
+open Automode_core
+open Automode_la
+
+type project = {
+  project_ecu : string;
+  project_text : string;
+}
+
+let cluster_process buf (d : Deploy.t) (task : Ta.task) cluster_name =
+  match Ccd.find_cluster d.Deploy.ccd cluster_name with
+  | None -> ()
+  | Some cluster ->
+    Buffer.add_string buf
+      (Printf.sprintf "process %s on %s {\n" cluster_name task.Ta.task_name);
+    Buffer.add_string buf
+      (Printf.sprintf "  /* WCET estimate: %d units */\n"
+         (Cluster.wcet_estimate cluster));
+    let comp = Cluster.to_component cluster in
+    let code =
+      try C_like.component_to_c comp
+      with C_like.Codegen_error msg -> "/* codegen skipped: " ^ msg ^ " */\n"
+    in
+    (* indent the generated code under the process *)
+    String.split_on_char '\n' code
+    |> List.iter (fun line -> Buffer.add_string buf ("  " ^ line ^ "\n"));
+    Buffer.add_string buf "}\n\n"
+
+let generate (d : Deploy.t) =
+  let cm = Deploy.comm_matrix d in
+  List.map
+    (fun (ecu : Ta.ecu) ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf
+        (Printf.sprintf "/* ASCET-SD project for ECU %s (speed %.2f) */\n"
+           ecu.ecu_name ecu.speed_factor);
+      Buffer.add_string buf
+        (Printf.sprintf "/* generated from CCD %s on TA %s */\n\n"
+           d.Deploy.ccd.Ccd.ccd_name d.Deploy.ta.Ta.ta_name);
+      (* OS configuration *)
+      Buffer.add_string buf "osek {\n";
+      List.iter
+        (fun (t : Ta.task) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  task %s { period_us = %d; priority = %d; offset_us = %d; }\n"
+               t.task_name t.period_us t.priority t.offset_us))
+        (Ta.tasks_of_ecu d.Deploy.ta ecu.ecu_name);
+      Buffer.add_string buf "}\n\n";
+      (* local inter-cluster messages: CCD channels between clusters that
+         both live on this ECU *)
+      List.iter
+        (fun (ch : Model.channel) ->
+          match ch.ch_src.ep_comp, ch.ch_dst.ep_comp with
+          | Some src, Some dst ->
+            (match
+               Deploy.ecu_of_cluster d src, Deploy.ecu_of_cluster d dst
+             with
+             | Some e1, Some e2
+               when String.equal e1 ecu.ecu_name && String.equal e2 ecu.ecu_name
+               ->
+               Buffer.add_string buf
+                 (Printf.sprintf "message %s; /* %s.%s -> %s.%s%s */\n"
+                    ch.ch_name src ch.ch_src.ep_port dst ch.ch_dst.ep_port
+                    (if ch.ch_delayed then ", delayed" else ""))
+             | _ -> ())
+          | None, _ | _, None -> ())
+        d.Deploy.ccd.Ccd.channels;
+      Buffer.add_string buf "\n";
+      (* processes for the clusters deployed here *)
+      List.iter
+        (fun (task : Ta.task) ->
+          if String.equal task.task_ecu ecu.ecu_name then
+            List.iter
+              (fun (cname, tname) ->
+                if String.equal tname task.task_name then
+                  cluster_process buf d task cname)
+              d.Deploy.cluster_task)
+        d.Deploy.ta.Ta.tasks;
+      (* communication components from the matrix *)
+      Buffer.add_string buf
+        (Comm_components.for_node ~node:ecu.ecu_name
+           ~frame_of:(fun signal -> List.assoc_opt signal d.Deploy.signal_frame)
+           cm);
+      { project_ecu = ecu.ecu_name; project_text = Buffer.contents buf })
+    d.Deploy.ta.Ta.ecus
+
+let write_to_dir ~dir projects =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun p ->
+      let path = Filename.concat dir (p.project_ecu ^ ".ascet_project") in
+      let oc = open_out path in
+      output_string oc p.project_text;
+      close_out oc;
+      path)
+    projects

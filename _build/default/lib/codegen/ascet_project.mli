@@ -1,0 +1,26 @@
+(** ASCET-SD project generation (paper Sec. 3.4).
+
+    "Based on the deployment decisions, the AutoMoDe tool prototype will
+    generate ASCET-SD projects for each ECU of the target architecture."
+
+    A generated project is a textual artifact listing, per ECU: the OSEK
+    task configuration, one process per deployed cluster (with the
+    C-like step code of the cluster body), the local messages, and the
+    communication components configured from the communication matrix
+    (see {!Comm_components}). *)
+
+open Automode_la
+
+type project = {
+  project_ecu : string;
+  project_text : string;
+}
+
+val generate : Deploy.t -> project list
+(** One project per ECU of the deployment's Technical Architecture.
+    ECUs without deployed clusters yield a project with only the
+    communication configuration. *)
+
+val write_to_dir : dir:string -> project list -> string list
+(** Write each project as [<dir>/<ecu>.ascet_project]; returns the
+    written paths.  Creates [dir] if missing. *)

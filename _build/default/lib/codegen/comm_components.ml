@@ -1,0 +1,49 @@
+module CM = Automode_osek.Comm_matrix
+
+let for_node ~node ~frame_of (cm : CM.t) =
+  let buf = Buffer.create 1024 in
+  let outgoing =
+    List.filter (fun (e : CM.entry) -> String.equal e.sender node) cm.entries
+  in
+  let incoming =
+    List.filter (fun (e : CM.entry) -> List.mem node e.receivers) cm.entries
+  in
+  if outgoing <> [] || incoming <> [] then
+    Buffer.add_string buf "/* communication components (from comm matrix) */\n";
+  List.iter
+    (fun (e : CM.entry) ->
+      let frame =
+        match frame_of e.signal with
+        | Some f -> f
+        | None -> "/* TODO: unmapped */"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "comm send %s { frame = %s; size_bits = %d; period_us = %d; }\n"
+           e.signal frame e.size_bits e.period_us))
+    outgoing;
+  List.iter
+    (fun (e : CM.entry) ->
+      let frame =
+        match frame_of e.signal with
+        | Some f -> f
+        | None -> "/* TODO: unmapped */"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "comm recv %s { frame = %s; publish = data_integrity; /* Ipc copy-out */ }\n"
+           e.signal frame))
+    incoming;
+  Buffer.contents buf
+
+let summary (cm : CM.t) =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (e : CM.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s %-12s -> %-30s %2d bits every %d us\n" e.signal
+           e.sender
+           (String.concat ", " e.receivers)
+           e.size_bits e.period_us))
+    cm.entries;
+  Buffer.contents buf

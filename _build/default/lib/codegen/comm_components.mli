@@ -1,0 +1,20 @@
+(** Generated communication components (paper Sec. 3.4).
+
+    "In all generated ASCET-SD projects, additional communication
+    components have to be added which can be configured according to the
+    generated or supplemented communication matrix."
+
+    For every node, the generator emits a send component per outgoing
+    signal (pack into the mapped frame, queue on the bus) and a receive
+    component per incoming signal (unpack, publish with the ERCOS
+    data-integrity protocol of {!Automode_osek.Ipc}). *)
+
+val for_node :
+  node:string -> frame_of:(string -> string option) ->
+  Automode_osek.Comm_matrix.t -> string
+(** The communication-component section of a node's project text.
+    [frame_of signal] is the deployment's signal-to-frame mapping
+    (unmapped signals are emitted with a TODO marker). *)
+
+val summary : Automode_osek.Comm_matrix.t -> string
+(** One line per signal: sender -> receivers via frame sizes/periods. *)

@@ -1,0 +1,1 @@
+lib/core/block_lib.ml: Dtype Float List Printf Value

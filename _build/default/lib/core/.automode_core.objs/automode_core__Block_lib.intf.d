@@ -1,0 +1,1 @@
+lib/core/block_lib.mli: Dtype Value

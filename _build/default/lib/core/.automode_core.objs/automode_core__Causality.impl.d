@@ -1,0 +1,1 @@
+lib/core/causality.ml: Hashtbl Int List Model Stdlib String

@@ -1,0 +1,1 @@
+lib/core/dfd.ml: Causality List Model Network Printf String

@@ -1,0 +1,1 @@
+lib/core/dfd.mli: Dtype Expr Model Network Value

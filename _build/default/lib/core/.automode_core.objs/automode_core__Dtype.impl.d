@@ -1,0 +1,1 @@
+lib/core/dtype.ml: Format List Printf String Value

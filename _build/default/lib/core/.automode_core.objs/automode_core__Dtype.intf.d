@@ -1,0 +1,1 @@
+lib/core/dtype.mli: Format Value

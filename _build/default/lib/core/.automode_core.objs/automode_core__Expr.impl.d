@@ -1,0 +1,1 @@
+lib/core/expr.ml: Block_lib Clock Dtype Format List Option Printf Result Stdlib String Value

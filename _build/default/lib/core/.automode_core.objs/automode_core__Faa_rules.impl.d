@@ -1,0 +1,1 @@
+lib/core/faa_rules.ml: Causality Clock Format Int List Model Network Option Printf String

@@ -1,0 +1,1 @@
+lib/core/faa_rules.mli: Format Model

@@ -1,0 +1,1 @@
+lib/core/ident.ml: Format List String

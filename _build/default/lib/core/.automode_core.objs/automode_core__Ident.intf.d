@@ -1,0 +1,1 @@
+lib/core/ident.mli: Format

@@ -1,0 +1,1 @@
+lib/core/model.ml: Clock Dtype Expr Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/core/mtd.ml: Clock Dtype Expr Format Int List Model String Value

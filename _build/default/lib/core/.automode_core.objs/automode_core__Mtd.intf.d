@@ -1,0 +1,1 @@
+lib/core/mtd.mli: Clock Dtype Expr Model

@@ -1,0 +1,1 @@
+lib/core/network.ml: Clock Dtype Format List Model String

@@ -1,0 +1,1 @@
+lib/core/render.ml: Clock Dtype Expr Format List Model Printf Stdlib String Value

@@ -1,0 +1,1 @@
+lib/core/sim.ml: Causality Clock Dtype Expr Format List Model Mtd Option Std_machine Stdlib String Trace Value

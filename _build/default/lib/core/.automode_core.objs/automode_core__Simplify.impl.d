@@ -1,0 +1,1 @@
+lib/core/simplify.ml: Block_lib Clock Expr Float List Model Value

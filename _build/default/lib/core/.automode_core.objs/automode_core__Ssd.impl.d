@@ -1,0 +1,1 @@
+lib/core/ssd.ml: List Model Network String

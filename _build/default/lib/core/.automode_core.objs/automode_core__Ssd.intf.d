@@ -1,0 +1,1 @@
+lib/core/ssd.mli: Model Network

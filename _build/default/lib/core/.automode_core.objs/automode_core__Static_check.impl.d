@@ -1,0 +1,1 @@
+lib/core/static_check.ml: Causality Clock Dtype Expr Format List Model Mtd Network Option Printf Std_machine String

@@ -1,0 +1,1 @@
+lib/core/static_check.mli: Format Model

@@ -1,0 +1,1 @@
+lib/core/std_machine.ml: Clock Expr Format Int List Model String Value

@@ -1,0 +1,1 @@
+lib/core/std_machine.mli: Clock Expr Model Value

@@ -1,0 +1,1 @@
+lib/core/stdblocks.ml: Dfd Dtype Expr List Model Value

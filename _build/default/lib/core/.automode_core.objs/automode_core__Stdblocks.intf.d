@@ -1,0 +1,1 @@
+lib/core/stdblocks.mli: Clock Model Value

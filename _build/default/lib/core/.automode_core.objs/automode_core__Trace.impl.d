@@ -1,0 +1,1 @@
+lib/core/trace.ml: Buffer Format List Stdlib String Value

@@ -1,0 +1,96 @@
+exception Unknown_function of string
+exception Arity_error of string
+
+let table : (string * int) list =
+  [ ("add", 2); ("sub", 2); ("mul", 2); ("div", 2); ("min", 2); ("max", 2);
+    ("abs", 1); ("sign", 1); ("sqrt", 1); ("round", 1); ("floor", 1);
+    ("ceil", 1); ("limit", 3); ("deadband", 2);
+    ("select", 3); ("avg2", 2); ("interp1", 5) ]
+
+let names = List.map fst table
+let arity name = List.assoc_opt name table
+
+let check_arity name args =
+  match arity name with
+  | None -> raise (Unknown_function name)
+  | Some n ->
+    if List.length args <> n then
+      raise
+        (Arity_error
+           (Printf.sprintf "%s expects %d arguments, got %d" name n
+              (List.length args)))
+
+let sign v =
+  let f = Value.to_float v in
+  if f > 0. then Value.Int 1 else if f < 0. then Value.Int (-1) else Value.Int 0
+
+let limit x lo hi = Value.max_v lo (Value.min_v x hi)
+
+let deadband x w =
+  let xf = Value.to_float x and wf = Value.to_float w in
+  if Float.abs xf <= wf then
+    match x with
+    | Value.Int _ -> Value.Int 0
+    | Value.Float _ | Value.Bool _ | Value.Enum _ | Value.Tuple _ ->
+      Value.Float 0.
+  else x
+
+let interp1 x x0 y0 x1 y1 =
+  let x = Value.to_float x and x0 = Value.to_float x0 in
+  let y0 = Value.to_float y0 and x1 = Value.to_float x1 in
+  let y1 = Value.to_float y1 in
+  if Float.equal x1 x0 then Value.Float y0
+  else Value.Float (y0 +. ((x -. x0) /. (x1 -. x0) *. (y1 -. y0)))
+
+let eval name args =
+  check_arity name args;
+  match name, args with
+  | "add", [ a; b ] -> Value.add a b
+  | "sub", [ a; b ] -> Value.sub a b
+  | "mul", [ a; b ] -> Value.mul a b
+  | "div", [ a; b ] -> Value.div a b
+  | "min", [ a; b ] -> Value.min_v a b
+  | "max", [ a; b ] -> Value.max_v a b
+  | "abs", [ a ] -> Value.abs a
+  | "sign", [ a ] -> sign a
+  | "sqrt", [ a ] -> Value.Float (Float.sqrt (Value.to_float a))
+  | "round", [ a ] -> Value.Float (Float.round (Value.to_float a))
+  | "floor", [ a ] -> Value.Float (Float.floor (Value.to_float a))
+  | "ceil", [ a ] -> Value.Float (Float.ceil (Value.to_float a))
+  | "limit", [ x; lo; hi ] -> limit x lo hi
+  | "deadband", [ x; w ] -> deadband x w
+  | "select", [ b; x; y ] -> if Value.truth b then x else y
+  | "avg2", [ a; b ] ->
+    Value.Float ((Value.to_float a +. Value.to_float b) /. 2.)
+  | "interp1", [ x; x0; y0; x1; y1 ] -> interp1 x x0 y0 x1 y1
+  | _ -> raise (Unknown_function name)
+
+let numeric_join tys =
+  if List.for_all Dtype.is_numeric tys then
+    if List.exists (Dtype.equal Dtype.Tfloat) tys then Ok Dtype.Tfloat
+    else Ok Dtype.Tint
+  else Error "numeric arguments expected"
+
+let result_type name arg_types =
+  match arity name with
+  | None -> Error (Printf.sprintf "unknown library function %s" name)
+  | Some n when List.length arg_types <> n ->
+    Error
+      (Printf.sprintf "%s expects %d arguments, got %d" name n
+         (List.length arg_types))
+  | Some _ ->
+    (match name, arg_types with
+     | ("add" | "sub" | "mul" | "div" | "min" | "max"), tys -> numeric_join tys
+     | ("abs" | "sign"), tys -> numeric_join tys
+     | ("sqrt" | "round" | "floor" | "ceil" | "avg2" | "interp1"), tys ->
+       (match numeric_join tys with
+        | Ok _ -> Ok Dtype.Tfloat
+        | Error _ as e -> e)
+     | ("limit" | "deadband"), tys -> numeric_join tys
+     | "select", [ tb; tx; ty ] ->
+       if not (Dtype.equal tb Dtype.Tbool) then
+         Error "select: first argument must be bool"
+       else if Dtype.equal tx ty then Ok tx
+       else if Dtype.is_numeric tx && Dtype.is_numeric ty then Ok Dtype.Tfloat
+       else Error "select: branch types differ"
+     | _ -> Error (Printf.sprintf "no typing rule for %s" name))

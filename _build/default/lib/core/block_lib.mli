@@ -1,0 +1,35 @@
+(** Library of pure discrete-time functions callable from the base
+    language via [Expr.Call] (paper Sec. 3.2: "it is possible to define
+    adequate block libraries for discrete-time computations").
+
+    All functions here are stateless; stateful standard blocks (PID,
+    ramp limiter, debouncer, hysteresis) are provided as prebuilt
+    components in {!Stdblocks}, built from [Expr.Pre]. *)
+
+exception Unknown_function of string
+exception Arity_error of string
+
+val eval : string -> Value.t list -> Value.t
+(** [eval name args] applies the library function.
+    @raise Unknown_function on unknown names.
+    @raise Arity_error on wrong argument counts.
+    @raise Value.Type_error on ill-typed arguments.
+
+    Available functions:
+    - ["add" | "sub" | "mul" | "div" | "min" | "max"] — binary numeric;
+    - ["abs" | "sign" | "sqrt" | "round" | "floor" | "ceil"] — unary
+      numeric (the last four return float);
+    - ["limit"] [x lo hi] — clamp [x] into [lo, hi];
+    - ["deadband"] [x w] — zero inside [-w, w], else [x];
+    - ["select"] [b x y] — [x] if [b] else [y];
+    - ["avg2"] [x y] — arithmetic mean (float);
+    - ["interp1"] [x x0 y0 x1 y1] — linear interpolation (float). *)
+
+val arity : string -> int option
+(** Argument count of a known function, [None] for unknown names. *)
+
+val result_type : string -> Dtype.t list -> (Dtype.t, string) result
+(** Static typing rule of a library function applied to argument types. *)
+
+val names : string list
+(** All library function names. *)

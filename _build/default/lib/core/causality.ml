@@ -1,0 +1,128 @@
+type loop = string list
+
+let instantaneous_edges (net : Model.network) =
+  List.filter_map
+    (fun (ch : Model.channel) ->
+      match ch.ch_src.ep_comp, ch.ch_dst.ep_comp with
+      | Some src, Some dst when not ch.ch_delayed -> Some (src, dst)
+      | Some _, Some _ | None, _ | _, None -> None)
+    net.net_channels
+
+(* Tarjan's strongly connected components over the component graph. *)
+let sccs nodes edges =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let result = ref [] in
+  let successors n =
+    List.filter_map (fun (a, b) -> if String.equal a n then Some b else None)
+      edges
+  in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (Stdlib.min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w && Hashtbl.find on_stack w then
+          Hashtbl.replace lowlink v
+            (Stdlib.min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      result := pop [] :: !result
+    end
+  in
+  List.iter (fun n -> if not (Hashtbl.mem index n) then strongconnect n) nodes;
+  List.rev !result
+
+let cyclic_sccs (net : Model.network) =
+  let nodes = List.map (fun (c : Model.component) -> c.comp_name) net.net_components in
+  let edges = instantaneous_edges net in
+  let has_self_loop n = List.exists (fun (a, b) -> String.equal a n && String.equal b n) edges in
+  List.filter
+    (fun scc ->
+      match scc with
+      | [] -> false
+      | [ n ] -> has_self_loop n
+      | _ :: _ :: _ -> true)
+    (sccs nodes edges)
+
+let check net =
+  match cyclic_sccs net with
+  | [] -> Ok ()
+  | loops ->
+    Error
+      (List.sort
+         (fun a b -> Int.compare (List.length a) (List.length b))
+         loops)
+
+let evaluation_order (net : Model.network) =
+  match cyclic_sccs net with
+  | _ :: _ as loops ->
+    Error
+      (List.sort (fun a b -> Int.compare (List.length a) (List.length b)) loops)
+  | [] ->
+    (* Kahn's algorithm, preferring declaration order among ready nodes. *)
+    let edges = instantaneous_edges net in
+    let nodes =
+      List.map (fun (c : Model.component) -> c.comp_name) net.net_components
+    in
+    let rec go order remaining edges =
+      match remaining with
+      | [] -> List.rev order
+      | _ ->
+        let ready =
+          List.find_opt
+            (fun n ->
+              not
+                (List.exists
+                   (fun (_, b) -> String.equal b n)
+                   edges))
+            remaining
+        in
+        (match ready with
+         | None -> assert false (* acyclic by the SCC check above *)
+         | Some n ->
+           let remaining =
+             List.filter (fun m -> not (String.equal m n)) remaining
+           in
+           let edges =
+             List.filter (fun (a, _) -> not (String.equal a n)) edges
+           in
+           go (n :: order) remaining edges)
+    in
+    Ok (go [] nodes edges)
+
+let check_recursive (comp : Model.component) =
+  let offending = ref [] in
+  Model.iter_components
+    (fun path (c : Model.component) ->
+      match c.comp_behavior with
+      | Model.B_dfd net ->
+        (match check net with
+         | Ok () -> ()
+         | Error loops ->
+           List.iter
+             (fun loop -> offending := (path @ [ c.comp_name ], loop) :: !offending)
+             loops)
+      | Model.B_ssd _ | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _
+      | Model.B_unspecified -> ())
+    comp;
+  List.rev !offending

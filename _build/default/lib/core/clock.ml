@@ -1,0 +1,123 @@
+type t =
+  | Base
+  | Every of int * t
+  | Shift of int * t
+  | Event of string
+
+type form = Periodic of { period : int; start : int } | Aperiodic of string
+
+exception Invalid_clock of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_clock s)) fmt
+
+let every n c = if n < 1 then invalid "every: factor %d < 1" n else Every (n, c)
+
+let shift k c =
+  if k < 0 then invalid "shift: negative offset %d" k else Shift (k, c)
+
+let event name = Event name
+
+let rec canon = function
+  | Base -> Periodic { period = 1; start = 0 }
+  | Event name -> Aperiodic name
+  | Every (n, c) ->
+    if n < 1 then invalid "every: factor %d < 1" n;
+    (match canon c with
+     | Periodic { period; start } -> Periodic { period = n * period; start }
+     | Aperiodic name -> invalid "every over aperiodic clock %s" name)
+  | Shift (k, c) ->
+    if k < 0 then invalid "shift: negative offset %d" k;
+    (match canon c with
+     | Periodic { period; start } ->
+       Periodic { period; start = start + (k * period) }
+     | Aperiodic name -> invalid "shift over aperiodic clock %s" name)
+
+let equal a b =
+  match canon a, canon b with
+  | Periodic p1, Periodic p2 -> p1.period = p2.period && p1.start = p2.start
+  | Aperiodic n1, Aperiodic n2 -> String.equal n1 n2
+  | Periodic _, Aperiodic _ | Aperiodic _, Periodic _ -> false
+
+let rec pp ppf = function
+  | Base -> Format.pp_print_string ppf "true"
+  | Every (n, c) -> Format.fprintf ppf "every(%d, %a)" n pp c
+  | Shift (k, c) -> Format.fprintf ppf "shift(%d, %a)" k pp c
+  | Event name -> Format.fprintf ppf "event(%s)" name
+
+let to_string c = Format.asprintf "%a" pp c
+
+type schedule = string -> int -> bool
+
+let no_events _ _ = false
+
+let active ?(schedule = no_events) c tick =
+  match c with
+  | Event name -> schedule name tick
+  | Base | Every _ | Shift _ ->
+    (match canon c with
+     | Periodic { period; start } ->
+       tick >= start && (tick - start) mod period = 0
+     | Aperiodic _ -> assert false)
+
+let activation_index c tick =
+  match canon c with
+  | Aperiodic name -> invalid "activation_index of aperiodic clock %s" name
+  | Periodic { period; start } ->
+    if tick >= start && (tick - start) mod period = 0 then
+      Some ((tick - start) / period)
+    else None
+
+let is_subclock ~sub ~sup =
+  match canon sub, canon sup with
+  | Aperiodic n1, Aperiodic n2 -> String.equal n1 n2
+  | Aperiodic _, Periodic { period = 1; start = 0 } -> true
+  | Aperiodic _, Periodic _ -> false
+  | Periodic _, Aperiodic _ -> false
+  | Periodic p1, Periodic p2 ->
+    p1.period mod p2.period = 0
+    && p1.start >= p2.start
+    && (p1.start - p2.start) mod p2.period = 0
+
+(* Extended gcd: returns (g, x, y) with a*x + b*y = g. *)
+let rec egcd a b =
+  if b = 0 then (a, 1, 0)
+  else
+    let g, x, y = egcd b (a mod b) in
+    (g, y, x - (a / b * y))
+
+(* Smallest member >= lo of the progression start + k*period (k >= 0). *)
+let first_at_least ~period ~start lo =
+  if start >= lo then start
+  else start + (((lo - start + period - 1) / period) * period)
+
+(* The meet of two periodic clocks is the intersection of two arithmetic
+   progressions: solve t = s1 (mod p1), t = s2 (mod p2) by CRT, then lift the
+   solution above both starts.  The result (period lcm, start t0) is encoded
+   as Every (lcm, Shift (t0, Base)), whose canonical form is exactly
+   (period = lcm, start = t0) since Shift over Base moves the start by base
+   ticks and Every scales the period. *)
+let meet a b =
+  match canon a, canon b with
+  | Aperiodic n1, Aperiodic n2 when String.equal n1 n2 -> Some a
+  | Aperiodic _, _ | _, Aperiodic _ -> None
+  | Periodic p1, Periodic p2 ->
+    let g, x, _ = egcd p1.period p2.period in
+    if (p2.start - p1.start) mod g <> 0 then None
+    else
+      let lcm = p1.period / g * p2.period in
+      let diff = p2.start - p1.start in
+      let k = diff / g * x in
+      let t0 = p1.start + (k * p1.period) in
+      let t0 = ((t0 mod lcm) + lcm) mod lcm in
+      let t0 =
+        first_at_least ~period:lcm ~start:t0 (Stdlib.max p1.start p2.start)
+      in
+      Some (Every (lcm, Shift (t0, Base)))
+
+let harmonic a b = is_subclock ~sub:a ~sup:b || is_subclock ~sub:b ~sup:a
+
+let period_ratio ~fast ~slow =
+  match canon fast, canon slow with
+  | Periodic pf, Periodic ps when ps.period mod pf.period = 0 ->
+    Some (ps.period / pf.period)
+  | Periodic _, Periodic _ | Aperiodic _, _ | _, Aperiodic _ -> None

@@ -1,0 +1,54 @@
+let of_network ?(ports = []) (net : Model.network) =
+  Model.component net.net_name ~ports ~behavior:(Model.B_dfd net)
+
+let check ~enclosing (net : Model.network) =
+  let structural = Network.check ~require_static_types:false ~enclosing net in
+  let causality =
+    match Causality.check net with
+    | Ok () -> []
+    | Error loops ->
+      List.map
+        (fun loop ->
+          { Network.issue_severity = `Error;
+            issue_msg =
+              Printf.sprintf "instantaneous loop: %s"
+                (String.concat " -> " loop) })
+        loops
+  in
+  structural @ causality
+
+let check_component (comp : Model.component) =
+  let issues = ref [] in
+  Model.iter_components
+    (fun path (c : Model.component) ->
+      match c.comp_behavior with
+      | Model.B_dfd net ->
+        let here = check ~enclosing:c net in
+        let prefix = String.concat "." (path @ [ c.comp_name ]) in
+        List.iter
+          (fun (i : Network.issue) ->
+            issues :=
+              { i with Network.issue_msg = prefix ^ ": " ^ i.Network.issue_msg }
+              :: !issues)
+          here
+      | Model.B_ssd _ | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _
+      | Model.B_unspecified -> ())
+    comp;
+  List.rev !issues
+
+let flatten net = Network.flatten ~prefix_sep:"_" net
+
+let block_of_expr ~name ~inputs ?(out = "out") ?out_type expr =
+  let in_ports =
+    List.map (fun (n, ty) -> Model.port ?ty Model.In n) inputs
+  in
+  let out_port = Model.port ?ty:out_type Model.Out out in
+  Model.component name
+    ~ports:(in_ports @ [ out_port ])
+    ~behavior:(Model.B_exprs [ (out, expr) ])
+
+let wire ?delayed ?init name (comp_a, port_a) (comp_b, port_b) =
+  let ep comp port : Model.endpoint =
+    if String.equal comp "" then Model.boundary port else Model.at comp port
+  in
+  Model.channel ?delayed ?init ~name (ep comp_a port_a) (ep comp_b port_b)

@@ -1,0 +1,37 @@
+(** Data Flow Diagrams (paper Sec. 3.2).
+
+    DFDs define the algorithmic computation of a component: networks of
+    blocks with (possibly dynamically typed) ports, communicating
+    instantaneously in the sense of synchronous languages.  Atomic blocks
+    are defined by an expression of the base language, an STD, or an MTD;
+    composite blocks by another DFD.
+
+    The companion causality check lives in {!Causality}. *)
+
+val of_network :
+  ?ports:Model.port list -> Model.network -> Model.component
+(** Wrap a network as a component whose behavior is [B_dfd]. *)
+
+val check :
+  enclosing:Model.component -> Model.network -> Network.issue list
+(** DFD well-formedness: the {!Network.check} conditions (dynamic typing
+    allowed) plus an [`Error] for every instantaneous loop. *)
+
+val check_component : Model.component -> Network.issue list
+(** {!check} over every DFD network in the component's hierarchy. *)
+
+val flatten : Model.network -> Model.network
+(** Inline hierarchical sub-DFDs (and sub-SSDs, preserving their delays)
+    into one flat block network. *)
+
+val block_of_expr :
+  name:string -> inputs:(string * Dtype.t option) list ->
+  ?out:string -> ?out_type:Dtype.t -> Expr.t -> Model.component
+(** An atomic single-output block computing the given expression, like
+    the paper's [ADD] block defined by [ch1 + ch2 + ch3]. *)
+
+val wire :
+  ?delayed:bool -> ?init:Value.t -> string ->
+  string * string -> string * string -> Model.channel
+(** [wire name (comp_a, port_a) (comp_b, port_b)] — channel between two
+    sibling blocks.  Use [""] as the component name for the boundary. *)

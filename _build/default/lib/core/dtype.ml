@@ -1,0 +1,82 @@
+type enum_decl = { enum_name : string; literals : string list }
+
+type t =
+  | Tbool
+  | Tint
+  | Tfloat
+  | Tenum of enum_decl
+  | Ttuple of t list
+
+let rec equal a b =
+  match a, b with
+  | Tbool, Tbool | Tint, Tint | Tfloat, Tfloat -> true
+  | Tenum e1, Tenum e2 -> String.equal e1.enum_name e2.enum_name
+  | Ttuple xs, Ttuple ys -> List.equal equal xs ys
+  | (Tbool | Tint | Tfloat | Tenum _ | Ttuple _), _ -> false
+
+let rec pp ppf = function
+  | Tbool -> Format.pp_print_string ppf "bool"
+  | Tint -> Format.pp_print_string ppf "int"
+  | Tfloat -> Format.pp_print_string ppf "float"
+  | Tenum e -> Format.pp_print_string ppf e.enum_name
+  | Ttuple ts ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " * ") pp)
+      ts
+
+let to_string ty = Format.asprintf "%a" pp ty
+
+let enum name literals =
+  if literals = [] then invalid_arg "Dtype.enum: empty literal list";
+  let sorted = List.sort_uniq String.compare literals in
+  if List.length sorted <> List.length literals then
+    invalid_arg ("Dtype.enum: duplicate literals in " ^ name);
+  Tenum { enum_name = name; literals }
+
+let enum_value ty lit =
+  match ty with
+  | Tenum e when List.mem lit e.literals -> Value.Enum (e.enum_name, lit)
+  | Tenum e ->
+    invalid_arg
+      (Printf.sprintf "Dtype.enum_value: %s is not a literal of %s" lit
+         e.enum_name)
+  | Tbool | Tint | Tfloat | Ttuple _ ->
+    invalid_arg "Dtype.enum_value: not an enum type"
+
+let is_numeric = function
+  | Tint | Tfloat -> true
+  | Tbool | Tenum _ | Ttuple _ -> false
+
+let rec type_of_value : Value.t -> t = function
+  | Value.Bool _ -> Tbool
+  | Value.Int _ -> Tint
+  | Value.Float _ -> Tfloat
+  | Value.Enum (name, lit) -> Tenum { enum_name = name; literals = [ lit ] }
+  | Value.Tuple vs -> Ttuple (List.map type_of_value vs)
+
+let rec value_has_type (v : Value.t) ty =
+  match v, ty with
+  | Value.Bool _, Tbool | Value.Int _, Tint | Value.Float _, Tfloat -> true
+  | Value.Enum (name, lit), Tenum e ->
+    String.equal name e.enum_name && List.mem lit e.literals
+  | Value.Tuple vs, Ttuple ts ->
+    List.length vs = List.length ts && List.for_all2 value_has_type vs ts
+  | (Value.Bool _ | Value.Int _ | Value.Float _ | Value.Enum _ | Value.Tuple _), _
+    -> false
+
+let rec default_value = function
+  | Tbool -> Value.Bool false
+  | Tint -> Value.Int 0
+  | Tfloat -> Value.Float 0.
+  | Tenum e ->
+    (match e.literals with
+     | [] -> assert false
+     | first :: _ -> Value.Enum (e.enum_name, first))
+  | Ttuple ts -> Value.Tuple (List.map default_value ts)
+
+let compatible ~src ~dst =
+  equal src dst
+  ||
+  match src, dst with
+  | Tint, Tfloat -> true
+  | (Tbool | Tint | Tfloat | Tenum _ | Ttuple _), _ -> false

@@ -1,0 +1,50 @@
+(** Abstract data types of the FAA/FDA levels.
+
+    FAA/FDA models use abstract ("physical") types; the LA level later
+    refines them into implementation types (see {!module:Automode_la}
+    [Impl_type]).  Enumerations are declared once per model and referred
+    to by name. *)
+
+type enum_decl = {
+  enum_name : string;
+  literals : string list;  (** in declaration order, all distinct *)
+}
+
+type t =
+  | Tbool
+  | Tint
+  | Tfloat
+  | Tenum of enum_decl
+  | Ttuple of t list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val enum : string -> string list -> t
+(** [enum name lits] declares an enumeration type.
+    @raise Invalid_argument on empty or duplicated literal lists. *)
+
+val enum_value : t -> string -> Value.t
+(** [enum_value ty lit] is the enum value [lit] of [ty].
+    @raise Invalid_argument if [ty] is not an enum or [lit] not a literal. *)
+
+val is_numeric : t -> bool
+(** [Tint] and [Tfloat]. *)
+
+val type_of_value : Value.t -> t
+(** Structural type of a runtime value.  Enum values map to an enum type
+    with only their own literal known; use {!value_has_type} for checking
+    against declared enums. *)
+
+val value_has_type : Value.t -> t -> bool
+(** [value_has_type v ty] checks [v] against [ty], resolving enum literals
+    against the declared literal list. *)
+
+val default_value : t -> Value.t
+(** A canonical initial value: [false], [0], [0.], first literal, or the
+    tuple of defaults. *)
+
+val compatible : src:t -> dst:t -> bool
+(** Channel-connection compatibility: equal types, or numeric widening
+    [Tint] -> [Tfloat]. *)

@@ -1,0 +1,413 @@
+type unop = Neg | Not | Abs
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Min | Max
+
+type t =
+  | Const of Value.t
+  | Var of string
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | If of t * t * t
+  | Pre of Value.t * t
+  | When of t * Clock.t
+  | Current of Value.t * t
+  | Call of string * t list
+  | Is_present of string
+
+let bool b = Const (Value.Bool b)
+let int i = Const (Value.Int i)
+let float f = Const (Value.Float f)
+let var name = Var name
+let not_ a = Unop (Not, a)
+let if_ c a b = If (c, a, b)
+let pre init e = Pre (init, e)
+let when_ e c = When (e, c)
+let current init e = Current (init, e)
+
+let unop_name = function Neg -> "-" | Not -> "not " | Abs -> "abs "
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "mod"
+  | And -> "and" | Or -> "or"
+  | Eq -> "=" | Ne -> "/=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Min -> "min" | Max -> "max"
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Var name -> Format.pp_print_string ppf name
+  | Unop (op, e) -> Format.fprintf ppf "(%s%a)" (unop_name op) pp e
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | If (c, a, b) ->
+    Format.fprintf ppf "(if %a then %a else %a)" pp c pp a pp b
+  | Pre (init, e) -> Format.fprintf ppf "pre(%a, %a)" Value.pp init pp e
+  | When (e, c) -> Format.fprintf ppf "(%a when %a)" pp e Clock.pp c
+  | Current (init, e) ->
+    Format.fprintf ppf "current(%a, %a)" Value.pp init pp e
+  | Call (name, args) ->
+    Format.fprintf ppf "%s(%a)" name
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      args
+  | Is_present port -> Format.fprintf ppf "present(%s)" port
+
+let to_string e = Format.asprintf "%a" pp e
+
+let free_vars e =
+  let rec go acc = function
+    | Const _ -> acc
+    | Var name | Is_present name ->
+      if List.mem name acc then acc else name :: acc
+    | Unop (_, e) | Pre (_, e) | When (e, _) | Current (_, e) -> go acc e
+    | Binop (_, a, b) -> go (go acc a) b
+    | If (c, a, b) -> go (go (go acc c) a) b
+    | Call (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] e)
+
+let rec depends_instantaneously_on e port =
+  match e with
+  | Const _ -> false
+  | Var name | Is_present name -> String.equal name port
+  | Pre (_, _) -> false
+  | Unop (_, e) | When (e, _) | Current (_, e) ->
+    depends_instantaneously_on e port
+  | Binop (_, a, b) ->
+    depends_instantaneously_on a port || depends_instantaneously_on b port
+  | If (c, a, b) ->
+    depends_instantaneously_on c port
+    || depends_instantaneously_on a port
+    || depends_instantaneously_on b port
+  | Call (_, args) ->
+    List.exists (fun a -> depends_instantaneously_on a port) args
+
+let rec has_memory_operator = function
+  | Pre _ | Current _ -> true
+  | Const _ | Var _ | Is_present _ -> false
+  | Unop (_, e) | When (e, _) -> has_memory_operator e
+  | Binop (_, a, b) -> has_memory_operator a || has_memory_operator b
+  | If (c, a, b) ->
+    has_memory_operator c || has_memory_operator a || has_memory_operator b
+  | Call (_, args) -> List.exists has_memory_operator args
+
+let totalize_guard g =
+  match free_vars g with
+  | [] -> g
+  | v :: vs ->
+    let all_present =
+      List.fold_left
+        (fun acc v' -> Binop (And, acc, Is_present v'))
+        (Is_present v) vs
+    in
+    If (all_present, g, Const (Value.Bool false))
+
+(* Run-time state mirrors the expression tree so that every Pre/Current node
+   owns exactly one register, without a separate compilation pass. *)
+type state =
+  | St_leaf
+  | St_un of state
+  | St_bin of state * state
+  | St_tri of state * state * state
+  | St_pre of Value.t * state
+  | St_current of Value.t * state
+  | St_list of state list
+
+let rec init_state = function
+  | Const _ | Var _ | Is_present _ -> St_leaf
+  | Unop (_, e) | When (e, _) -> St_un (init_state e)
+  | Binop (_, a, b) -> St_bin (init_state a, init_state b)
+  | If (c, a, b) -> St_tri (init_state c, init_state a, init_state b)
+  | Pre (init, e) -> St_pre (init, init_state e)
+  | Current (init, e) -> St_current (init, init_state e)
+  | Call (_, args) -> St_list (List.map init_state args)
+
+exception Eval_error of string
+
+type env = string -> Value.message
+
+let eval_error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let state_mismatch () = eval_error "expression/state shape mismatch"
+
+let apply_unop op v =
+  match op with
+  | Neg -> Value.neg v
+  | Not -> Value.logical_not v
+  | Abs -> Value.abs v
+
+let apply_binop op a b =
+  match op with
+  | Add -> Value.add a b
+  | Sub -> Value.sub a b
+  | Mul -> Value.mul a b
+  | Div -> Value.div a b
+  | Mod -> Value.modulo a b
+  | And -> Value.logical_and a b
+  | Or -> Value.logical_or a b
+  | Eq -> Value.eq a b
+  | Ne -> Value.ne a b
+  | Lt -> Value.lt a b
+  | Le -> Value.le a b
+  | Gt -> Value.gt a b
+  | Ge -> Value.ge a b
+  | Min -> Value.min_v a b
+  | Max -> Value.max_v a b
+
+let step ?(schedule = Clock.no_events) ~tick ~env expr state =
+  let rec go expr state =
+    match expr, state with
+    | Const v, St_leaf -> (Value.Present v, St_leaf)
+    | Var name, St_leaf -> (env name, St_leaf)
+    | Is_present name, St_leaf ->
+      let present =
+        match env name with Value.Absent -> false | Value.Present _ -> true
+      in
+      (Value.Present (Value.Bool present), St_leaf)
+    | Unop (op, e), St_un s ->
+      let m, s' = go e s in
+      let m' =
+        match m with
+        | Value.Absent -> Value.Absent
+        | Value.Present v ->
+          (try Value.Present (apply_unop op v)
+           with Value.Type_error msg -> eval_error "%s" msg)
+      in
+      (m', St_un s')
+    | Binop (op, a, b), St_bin (sa, sb) ->
+      let ma, sa' = go a sa in
+      let mb, sb' = go b sb in
+      let m =
+        match ma, mb with
+        | Value.Present va, Value.Present vb ->
+          (try Value.Present (apply_binop op va vb)
+           with Value.Type_error msg -> eval_error "%s" msg)
+        | (Value.Absent | Value.Present _), _ -> Value.Absent
+      in
+      (m, St_bin (sa', sb'))
+    | If (c, a, b), St_tri (sc, sa, sb) ->
+      let mc, sc' = go c sc in
+      (* Both branches are evaluated to advance their Pre registers in step
+         with their clocks, matching data-flow (not control-flow) semantics. *)
+      let ma, sa' = go a sa in
+      let mb, sb' = go b sb in
+      let m =
+        match mc with
+        | Value.Absent -> Value.Absent
+        | Value.Present vc ->
+          (try if Value.truth vc then ma else mb
+           with Value.Type_error msg -> eval_error "%s" msg)
+      in
+      (m, St_tri (sc', sa', sb'))
+    | Pre (_, e), St_pre (stored, s) ->
+      let m, s' = go e s in
+      (match m with
+       | Value.Absent -> (Value.Absent, St_pre (stored, s'))
+       | Value.Present v -> (Value.Present stored, St_pre (v, s')))
+    | When (e, c), St_un s ->
+      let m, s' = go e s in
+      let m' =
+        if Clock.active ~schedule c tick then m else Value.Absent
+      in
+      (m', St_un s')
+    | Current (_, e), St_current (held, s) ->
+      let m, s' = go e s in
+      (match m with
+       | Value.Absent -> (Value.Present held, St_current (held, s'))
+       | Value.Present v -> (Value.Present v, St_current (v, s')))
+    | Call (name, args), St_list states ->
+      if Stdlib.( <> ) (List.length args) (List.length states) then
+        state_mismatch ();
+      let results = List.map2 go args states in
+      let msgs = List.map fst results and states' = List.map snd results in
+      let all_present =
+        List.filter_map
+          (function Value.Present v -> Some v | Value.Absent -> None)
+          msgs
+      in
+      let m =
+        if Stdlib.( = ) (List.length all_present) (List.length msgs) then
+          try Value.Present (Block_lib.eval name all_present) with
+          | Block_lib.Unknown_function fn ->
+            eval_error "unknown library function %s" fn
+          | Block_lib.Arity_error msg | Value.Type_error msg ->
+            eval_error "%s" msg
+        else Value.Absent
+      in
+      (m, St_list states')
+    | (Const _ | Var _ | Is_present _ | Unop _ | Binop _ | If _ | Pre _
+      | When _ | Current _ | Call _), _ ->
+      state_mismatch ()
+  in
+  go expr state
+
+(* ------------------------------------------------------------------ *)
+(* Static typing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type tenv = string -> Dtype.t option
+
+let ( let* ) r f = Result.bind r f
+
+let numeric_result a b =
+  if Dtype.is_numeric a && Dtype.is_numeric b then
+    if Dtype.equal a Dtype.Tfloat || Dtype.equal b Dtype.Tfloat then
+      Ok Dtype.Tfloat
+    else Ok Dtype.Tint
+  else
+    Error
+      (Printf.sprintf "numeric operands expected, got %s and %s"
+         (Dtype.to_string a) (Dtype.to_string b))
+
+let rec typecheck ~tenv expr =
+  match expr with
+  | Const v -> Ok (Dtype.type_of_value v)
+  | Var name ->
+    (match tenv name with
+     | Some ty -> Ok ty
+     | None -> Error (Printf.sprintf "unknown port %s" name))
+  | Is_present name ->
+    (match tenv name with
+     | Some _ -> Ok Dtype.Tbool
+     | None -> Error (Printf.sprintf "unknown port %s" name))
+  | Unop ((Neg | Abs) as op, e) ->
+    let* ty = typecheck ~tenv e in
+    if Dtype.is_numeric ty then Ok ty
+    else
+      Error (Printf.sprintf "numeric operand expected for %s" (unop_name op))
+  | Unop (Not, e) ->
+    let* ty = typecheck ~tenv e in
+    if Dtype.equal ty Dtype.Tbool then Ok Dtype.Tbool
+    else Error "not: bool operand expected"
+  | Binop (op, a, b) ->
+    let* ta = typecheck ~tenv a in
+    let* tb = typecheck ~tenv b in
+    (match op with
+     | Add | Sub | Mul | Div | Min | Max -> numeric_result ta tb
+     | Mod ->
+       if Dtype.equal ta Dtype.Tint && Dtype.equal tb Dtype.Tint then
+         Ok Dtype.Tint
+       else Error "mod: integer operands expected"
+     | And | Or ->
+       if Dtype.equal ta Dtype.Tbool && Dtype.equal tb Dtype.Tbool then
+         Ok Dtype.Tbool
+       else Error (binop_name op ^ ": bool operands expected")
+     | Lt | Le | Gt | Ge ->
+       let* _ = numeric_result ta tb in
+       Ok Dtype.Tbool
+     | Eq | Ne ->
+       if Dtype.equal ta tb || (Dtype.is_numeric ta && Dtype.is_numeric tb)
+       then Ok Dtype.Tbool
+       else
+         Error
+           (Printf.sprintf "%s: incomparable types %s and %s" (binop_name op)
+              (Dtype.to_string ta) (Dtype.to_string tb)))
+  | If (c, a, b) ->
+    let* tc = typecheck ~tenv c in
+    if not (Dtype.equal tc Dtype.Tbool) then
+      Error "if: bool condition expected"
+    else
+      let* ta = typecheck ~tenv a in
+      let* tb = typecheck ~tenv b in
+      if Dtype.equal ta tb then Ok ta
+      else if Dtype.is_numeric ta && Dtype.is_numeric tb then Ok Dtype.Tfloat
+      else
+        Error
+          (Printf.sprintf "if: branch types differ (%s vs %s)"
+             (Dtype.to_string ta) (Dtype.to_string tb))
+  | Pre (init, e) | Current (init, e) ->
+    let* te = typecheck ~tenv e in
+    let ti = Dtype.type_of_value init in
+    if Dtype.equal ti te || (Dtype.is_numeric ti && Dtype.is_numeric te) then
+      Ok te
+    else
+      Error
+        (Printf.sprintf "init value type %s does not match stream type %s"
+           (Dtype.to_string ti) (Dtype.to_string te))
+  | When (e, _) -> typecheck ~tenv e
+  | Call (name, args) ->
+    let rec check_all acc = function
+      | [] -> Ok (List.rev acc)
+      | arg :: rest ->
+        let* ty = typecheck ~tenv arg in
+        check_all (ty :: acc) rest
+    in
+    let* arg_types = check_all [] args in
+    Block_lib.result_type name arg_types
+
+(* ------------------------------------------------------------------ *)
+(* Clock inference                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type cenv = string -> Clock.t option
+
+(* Constants and presence tests are clock-polymorphic; we track that with
+   [None] (= "any clock") and unify at joins. *)
+let rec infer_clock ~cenv expr =
+  match expr with
+  | Const _ -> Ok None
+  | Var name | Is_present name ->
+    (match cenv name with
+     | Some c -> Ok (Some c)
+     | None -> Error (Printf.sprintf "unknown port %s" name))
+  | Unop (_, e) | Pre (_, e) -> infer_clock ~cenv e
+  | Binop (op, a, b) ->
+    let* ca = infer_clock ~cenv a in
+    let* cb = infer_clock ~cenv b in
+    unify (binop_name op) ca cb
+  | If (c, a, b) ->
+    let* cc = infer_clock ~cenv c in
+    let* ca = infer_clock ~cenv a in
+    let* cb = infer_clock ~cenv b in
+    let* cab = unify "if" ca cb in
+    unify "if" cc cab
+  | When (e, c) ->
+    let* ce = infer_clock ~cenv e in
+    (match ce with
+     | None -> Ok (Some c)
+     | Some parent ->
+       if Clock.is_subclock ~sub:c ~sup:parent then Ok (Some c)
+       else
+         Error
+           (Printf.sprintf "when: %s is not a subclock of %s"
+              (Clock.to_string c) (Clock.to_string parent)))
+  | Current (_, _) -> Ok (Some Clock.Base)
+  | Call (_, args) ->
+    let rec unify_all acc = function
+      | [] -> Ok acc
+      | arg :: rest ->
+        let* c = infer_clock ~cenv arg in
+        let* acc' = unify "call" acc c in
+        unify_all acc' rest
+    in
+    unify_all None args
+
+and unify context ca cb =
+  match ca, cb with
+  | None, c | c, None -> Ok c
+  | Some c1, Some c2 ->
+    if Clock.equal c1 c2 then Ok (Some c1)
+    else
+      Error
+        (Printf.sprintf "%s: operands on different clocks (%s vs %s)" context
+           (Clock.to_string c1) (Clock.to_string c2))
+
+let clock_of ~cenv expr =
+  let* c = infer_clock ~cenv expr in
+  Ok (Option.value c ~default:Clock.Base)
+
+(* DSL operators, defined last so they do not shadow the standard operators
+   in the implementation above. *)
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( && ) a b = Binop (And, a, b)
+let ( || ) a b = Binop (Or, a, b)
+let ( = ) a b = Binop (Eq, a, b)
+let ( < ) a b = Binop (Lt, a, b)
+let ( <= ) a b = Binop (Le, a, b)
+let ( > ) a b = Binop (Gt, a, b)
+let ( >= ) a b = Binop (Ge, a, b)

@@ -1,0 +1,121 @@
+(** The AutoMoDe base language (paper Secs. 2, 3.2).
+
+    Atomic DFD blocks may be defined "directly through an expression
+    (function) in AutoMoDe's base language" — e.g. block [ADD] in the
+    paper is [ch1 + ch2 + ch3].  Expressions are evaluated once per tick
+    over the messages present on the block's input ports and produce one
+    message per output.
+
+    The stream operators come from the synchronous-language tradition the
+    paper cites:
+    - [Pre (init, e)] — initialized unit delay over the activations of
+      [e]'s clock ([fby]);
+    - [When (e, c)] — sampling: present only at activations of [c];
+    - [Current (init, e)] — hold: always present, repeating the last
+      value of [e] ([init] before the first).
+
+    Evaluation is strict in message presence: an operator applied to an
+    absent operand yields an absent result, so a block naturally "fires"
+    at the rate of its inputs.  Presence itself can be observed with
+    [Is_present], which the paper's event-triggered style relies on. *)
+
+type unop = Neg | Not | Abs
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Min | Max
+
+type t =
+  | Const of Value.t
+  | Var of string               (** input port or state-variable reference *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | If of t * t * t
+  | Pre of Value.t * t          (** initialized unit delay *)
+  | When of t * Clock.t         (** sample onto a slower clock *)
+  | Current of Value.t * t      (** hold onto the base clock *)
+  | Call of string * t list     (** block-library function (see {!Block_lib}) *)
+  | Is_present of string        (** [true] iff a message is present on the port *)
+
+(** {1 Construction helpers} *)
+
+val bool : bool -> t
+val int : int -> t
+val float : float -> t
+val var : string -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+val ( = ) : t -> t -> t
+val ( < ) : t -> t -> t
+val ( <= ) : t -> t -> t
+val ( > ) : t -> t -> t
+val ( >= ) : t -> t -> t
+val not_ : t -> t
+val if_ : t -> t -> t -> t
+val pre : Value.t -> t -> t
+val when_ : t -> Clock.t -> t
+val current : Value.t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val free_vars : t -> string list
+(** All [Var]/[Is_present] port names, without duplicates. *)
+
+val depends_instantaneously_on : t -> string -> bool
+(** [true] iff the port occurs outside every [Pre] — the conservative
+    dependency used by the causality check (paper Sec. 3.2). *)
+
+val has_memory_operator : t -> bool
+(** [true] iff the expression contains [Pre] or [Current].  Transition
+    guards of STDs and MTDs must be memoryless. *)
+
+val totalize_guard : t -> t
+(** [if present(v1) and ... and present(vn) then g else false] over [g]'s
+    free variables: an always-present guard that is [true] exactly when
+    [g] is present and true.  Used by the synchronous product
+    constructions, whose negated "no transition enabled" terms must not
+    become absent when a sibling guard's inputs are missing. *)
+
+(** {1 Evaluation} *)
+
+type state
+(** Run-time state of the [Pre]/[Current] registers of one expression. *)
+
+val init_state : t -> state
+(** Initial registers (holding the declared init values). *)
+
+exception Eval_error of string
+
+type env = string -> Value.message
+(** Message environment: the message on each referenced port this tick. *)
+
+val step :
+  ?schedule:Clock.schedule -> tick:int -> env:env -> t -> state ->
+  Value.message * state
+(** Evaluate one tick.  @raise Eval_error on unknown variables or
+    library functions, and on run-time type errors. *)
+
+(** {1 Static checks} *)
+
+type tenv = string -> Dtype.t option
+(** Typing environment for port references. *)
+
+val typecheck : tenv:tenv -> t -> (Dtype.t, string) result
+(** Infer the expression's type; [Error] carries a human-readable
+    message pointing at the offending subterm. *)
+
+type cenv = string -> Clock.t option
+(** Clock environment for port references. *)
+
+val clock_of : cenv:cenv -> t -> (Clock.t, string) result
+(** Infer the expression's clock.  Binary operators require their
+    operands on equal clocks; [When (e, c)] requires [c] to be a subclock
+    of [e]'s clock; [Current] returns to the base clock; constants are
+    polymorphic (represented by the clock of the context, here [Base]). *)

@@ -1,0 +1,68 @@
+(** Rule-based analysis on the Functional Analysis Architecture (paper
+    Sec. 3.1).
+
+    "Based on the functional structure and dependencies, rules identify
+    possible conflicts (e.g. two vehicle functions access the same
+    actuator) and suggest suitable countermeasures to resolve them (e.g.
+    introduce a coordinating functionality)."
+
+    Sensors and actuators are modeled as [port_resource] tags on the
+    ports of FAA-level vehicle functions: an [Out] port tagged with
+    resource [r] {e drives} actuator [r]; an [In] port tagged [r]
+    {e reads} sensor [r]. *)
+
+type finding = {
+  rule : string;                  (** rule identifier *)
+  severity : [ `Conflict | `Warning | `Info ];
+  subject : string list;          (** involved component names *)
+  message : string;
+  countermeasure : string option; (** suggested resolution, if any *)
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+type rule = Model.model -> finding list
+
+val actuator_conflict : rule
+(** Two distinct vehicle functions drive the same actuator resource.
+    Countermeasure: introduce a coordinating functionality. *)
+
+val shared_sensor : rule
+(** [`Info]: several functions read the same sensor (fan-out is fine but
+    worth knowing for the communication matrix). *)
+
+val unspecified_behavior : rule
+(** [`Warning] on FAA (prototypical behavior missing, simulation will be
+    silent); [`Conflict] on FDA, which must be behaviorally complete. *)
+
+val dangling_channels : rule
+(** Channels with unresolvable endpoints anywhere in the hierarchy. *)
+
+val unconnected_functions : rule
+(** [`Warning]: top-level functions with no connected ports at all —
+    likely an integration oversight. *)
+
+val prototype_actuator : rule
+(** [`Warning]: an actuator resource is driven by a component whose
+    behavior is still unspecified — fine for early FAA integration, but
+    the conflict analysis cannot judge the command policy yet. *)
+
+val non_harmonic_channel : rule
+(** [`Warning]: a top-level channel connects ports whose periodic clocks
+    are not harmonic (neither divides the other): the refinement to the
+    LA level will need an explicit rate adapter. *)
+
+val undelayed_faa_feedback : rule
+(** [`Warning]: a DFD used directly at FAA level with a feedback loop
+    (FAA integration should compose functions with SSDs, whose delays
+    make integration order-insensitive). *)
+
+val default_rules : (string * rule) list
+(** All rules above, keyed by their identifier. *)
+
+val run : ?rules:(string * rule) list -> Model.model -> finding list
+(** Apply the rules (default {!default_rules}); findings are ordered by
+    severity ([`Conflict] first). *)
+
+val summary : finding list -> string
+(** One-line count summary, e.g. ["2 conflicts, 1 warning, 3 infos"]. *)

@@ -1,0 +1,51 @@
+type t = string list
+
+exception Invalid of string
+
+let segment_ok seg =
+  let char_ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-'
+  in
+  String.length seg > 0 && String.for_all char_ok seg
+
+let check_segment seg =
+  if not (segment_ok seg) then raise (Invalid ("bad identifier segment: " ^ seg))
+
+let v seg = check_segment seg; [ seg ]
+
+let of_path segs =
+  match segs with
+  | [] -> raise (Invalid "empty identifier path")
+  | _ :: _ -> List.iter check_segment segs; segs
+
+let of_string s = of_path (String.split_on_char '.' s)
+let to_string id = String.concat "." id
+let segments id = id
+let child id seg = check_segment seg; id @ [ seg ]
+let append a b = a @ b
+
+let basename id =
+  match List.rev id with
+  | [] -> assert false
+  | seg :: _ -> seg
+
+let parent id =
+  match List.rev id with
+  | [] -> assert false
+  | [ _ ] -> None
+  | _ :: rest -> Some (List.rev rest)
+
+let depth = List.length
+
+let rec is_prefix a b =
+  match a, b with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: a', y :: b' -> String.equal x y && is_prefix a' b'
+
+let equal = List.equal String.equal
+let compare = List.compare String.compare
+let pp ppf id = Format.pp_print_string ppf (to_string id)

@@ -1,0 +1,170 @@
+let find_mode (mtd : Model.mtd) name =
+  List.find_opt
+    (fun (m : Model.mode) -> String.equal m.mode_name name)
+    mtd.mtd_modes
+
+let deterministic (mtd : Model.mtd) =
+  List.for_all
+    (fun (m : Model.mode) ->
+      let priorities =
+        List.filter_map
+          (fun (t : Model.mtd_transition) ->
+            if String.equal t.mt_src m.mode_name then Some t.mt_priority
+            else None)
+          mtd.mtd_transitions
+      in
+      let distinct = List.sort_uniq Int.compare priorities in
+      List.length distinct = List.length priorities)
+    mtd.mtd_modes
+
+let check (mtd : Model.mtd) =
+  let errors = ref [] in
+  let error fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let mode_names = List.map (fun (m : Model.mode) -> m.mode_name) mtd.mtd_modes in
+  if mode_names = [] then error "MTD %s has no modes" mtd.mtd_name;
+  if not (List.mem mtd.mtd_initial mode_names) then
+    error "initial mode %s not declared" mtd.mtd_initial;
+  let distinct = List.sort_uniq String.compare mode_names in
+  if List.length distinct <> List.length mode_names then
+    error "duplicate mode names in MTD %s" mtd.mtd_name;
+  List.iter
+    (fun (t : Model.mtd_transition) ->
+      if not (List.mem t.mt_src mode_names) then
+        error "transition source mode %s not declared" t.mt_src;
+      if not (List.mem t.mt_dst mode_names) then
+        error "transition target mode %s not declared" t.mt_dst;
+      if Expr.has_memory_operator t.mt_guard then
+        error "guard of %s->%s uses pre/current" t.mt_src t.mt_dst)
+    mtd.mtd_transitions;
+  if not (deterministic mtd) then
+    error "non-deterministic MTD %s: shared priorities on one source mode"
+      mtd.mtd_name;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let reachable_modes (mtd : Model.mtd) =
+  let rec go visited frontier =
+    match frontier with
+    | [] -> List.rev visited
+    | m :: rest ->
+      if List.mem m visited then go visited rest
+      else
+        let successors =
+          List.filter_map
+            (fun (t : Model.mtd_transition) ->
+              if String.equal t.mt_src m then Some t.mt_dst else None)
+            mtd.mtd_transitions
+        in
+        go (m :: visited) (rest @ successors)
+  in
+  go [] [ mtd.mtd_initial ]
+
+let guard_enabled ~schedule ~tick ~env guard =
+  let msg, _ = Expr.step ~schedule ~tick ~env guard (Expr.init_state guard) in
+  match msg with
+  | Value.Absent -> false
+  | Value.Present v -> (try Value.truth v with Value.Type_error _ -> false)
+
+let enabled_transition ?(schedule = Clock.no_events) ~tick ~env
+    (mtd : Model.mtd) ~current =
+  let candidates =
+    List.filter
+      (fun (t : Model.mtd_transition) -> String.equal t.mt_src current)
+      mtd.mtd_transitions
+  in
+  let sorted =
+    List.sort
+      (fun (a : Model.mtd_transition) b ->
+        Int.compare a.mt_priority b.mt_priority)
+      candidates
+  in
+  List.find_opt
+    (fun (t : Model.mtd_transition) ->
+      guard_enabled ~schedule ~tick ~env t.mt_guard)
+    sorted
+
+let mode_enum (mtd : Model.mtd) =
+  Dtype.enum (mtd.mtd_name ^ "_mode")
+    (List.map (fun (m : Model.mode) -> m.mode_name) mtd.mtd_modes)
+
+let pair_name a b = a ^ "_" ^ b
+
+(* Synchronous product.  From joint mode (m1, m2):
+   - for every pair (t1, t2): guard g1 && g2, target (d1, d2);
+   - for every t1: guard g1 && not (any g2 from m2), target (d1, m2);
+   - symmetrically for t2.
+   Priorities combine lexicographically so that determinism of the factors
+   implies determinism of the product. *)
+let product (a : Model.mtd) (b : Model.mtd) : Model.mtd =
+  let open Model in
+  let out_of (mtd : mtd) mode =
+    List.filter (fun t -> String.equal t.mt_src mode) mtd.mtd_transitions
+  in
+  let disjunction = function
+    | [] -> Expr.bool false
+    | g :: gs -> List.fold_left (fun acc g' -> Expr.( || ) acc g') g gs
+  in
+  let modes =
+    List.concat_map
+      (fun (m1 : mode) ->
+        List.map
+          (fun (m2 : mode) ->
+            { mode_name = pair_name m1.mode_name m2.mode_name;
+              mode_behavior = B_unspecified })
+          b.mtd_modes)
+      a.mtd_modes
+  in
+  let transitions =
+    List.concat_map
+      (fun (m1 : mode) ->
+        List.concat_map
+          (fun (m2 : mode) ->
+            let src = pair_name m1.mode_name m2.mode_name in
+            let ts1 = out_of a m1.mode_name and ts2 = out_of b m2.mode_name in
+            (* totalized guards: an absent sibling guard must read as "not
+               enabled" instead of making the conjunction absent *)
+            let tg t = Expr.totalize_guard t.mt_guard in
+            let none1 = Expr.not_ (disjunction (List.map tg ts1)) in
+            let none2 = Expr.not_ (disjunction (List.map tg ts2)) in
+            let joint =
+              List.concat_map
+                (fun t1 ->
+                  List.map
+                    (fun t2 ->
+                      { mt_src = src;
+                        mt_dst = pair_name t1.mt_dst t2.mt_dst;
+                        mt_guard = Expr.( && ) (tg t1) (tg t2);
+                        mt_priority = 0 })
+                    ts2)
+                ts1
+            in
+            let left_only =
+              List.map
+                (fun t1 ->
+                  { mt_src = src;
+                    mt_dst = pair_name t1.mt_dst m2.mode_name;
+                    mt_guard = Expr.( && ) (tg t1) none2;
+                    mt_priority = 0 })
+                ts1
+            in
+            let right_only =
+              List.map
+                (fun t2 ->
+                  { mt_src = src;
+                    mt_dst = pair_name m1.mode_name t2.mt_dst;
+                    mt_guard = Expr.( && ) none1 (tg t2);
+                    mt_priority = 0 })
+                ts2
+            in
+            (* Guards of the three groups are pairwise disjoint, so the order
+               below is semantically free; distinct priorities per source
+               keep the product syntactically deterministic. *)
+            List.mapi
+              (fun i t -> { t with mt_priority = i })
+              (joint @ left_only @ right_only))
+          b.mtd_modes)
+      a.mtd_modes
+  in
+  { mtd_name = pair_name a.mtd_name b.mtd_name;
+    mtd_modes = modes;
+    mtd_initial = pair_name a.mtd_initial b.mtd_initial;
+    mtd_transitions = transitions }

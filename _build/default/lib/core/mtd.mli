@@ -1,0 +1,48 @@
+(** Operations on Mode Transition Diagrams (paper Secs. 3.2, 5).
+
+    An MTD partitions a component's behavior into explicit operational
+    modes; within a mode, behavior is given by a subordinate DFD or SSD
+    (comparable to the composition of FSMs and concurrency models in
+    *charts).  Mode transitions are triggered by combinations of messages
+    arriving at the MTD's component.
+
+    Step semantics (design decision 1 in DESIGN.md): {e strong
+    preemption} — transition guards are evaluated on the current tick's
+    inputs first; the behavior of the {e target} mode then processes the
+    same inputs.  Mode-local state is retained when a mode is re-entered
+    (history semantics).
+
+    The {!product} construction builds the global mode transition system
+    of two orthogonal MTDs "correct by construction" (paper Sec. 5). *)
+
+val check : Model.mtd -> (unit, string list) result
+(** Structural well-formedness: initial mode declared, distinct mode
+    names, transition endpoints declared, distinct priorities per source
+    mode, guards free of [Pre]/[Current]. *)
+
+val deterministic : Model.mtd -> bool
+(** Distinct priorities among the transitions leaving each mode. *)
+
+val reachable_modes : Model.mtd -> string list
+(** Modes reachable from the initial mode (guards ignored). *)
+
+val enabled_transition :
+  ?schedule:Clock.schedule -> tick:int -> env:Expr.env -> Model.mtd ->
+  current:string -> Model.mtd_transition option
+(** The highest-priority transition out of [current] whose guard holds on
+    this tick's inputs. *)
+
+val find_mode : Model.mtd -> string -> Model.mode option
+
+val mode_enum : Model.mtd -> Dtype.t
+(** The enumeration type of the MTD's mode names, named
+    ["<mtd name>_mode"].  Used by the refactoring that replaces an MTD
+    with DFDs carrying explicit mode ports (paper Sec. 4). *)
+
+val product : Model.mtd -> Model.mtd -> Model.mtd
+(** Synchronous product: modes are pairs [m1_m2]; both sides react to the
+    same messages.  Joint transitions fire when both guards hold;
+    single-side transitions fire when only one guard holds.  Priorities
+    are combined lexicographically.  Mode behaviors of the product are
+    [B_unspecified] — the product captures the global mode transition
+    structure, not the data flow. *)

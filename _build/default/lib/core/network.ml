@@ -1,0 +1,251 @@
+type issue = {
+  issue_severity : [ `Error | `Warning ];
+  issue_msg : string;
+}
+
+let pp_issue ppf i =
+  let tag = match i.issue_severity with `Error -> "error" | `Warning -> "warning" in
+  Format.fprintf ppf "%s: %s" tag i.issue_msg
+
+let errors issues =
+  List.filter_map
+    (fun i ->
+      match i.issue_severity with
+      | `Error -> Some i.issue_msg
+      | `Warning -> None)
+    issues
+
+let resolve_port ~enclosing (net : Model.network) (ep : Model.endpoint) =
+  match ep.ep_comp with
+  | None -> Model.find_port enclosing ep.ep_port
+  | Some comp_name ->
+    (match Model.find_component net comp_name with
+     | None -> None
+     | Some comp -> Model.find_port comp ep.ep_port)
+
+let driver_of (net : Model.network) (ep : Model.endpoint) =
+  List.find_opt
+    (fun (ch : Model.channel) ->
+      ch.ch_dst.ep_comp = ep.ep_comp
+      && String.equal ch.ch_dst.ep_port ep.ep_port)
+    net.net_channels
+
+let ep_to_string (ep : Model.endpoint) =
+  match ep.ep_comp with
+  | None -> "boundary." ^ ep.ep_port
+  | Some c -> c ^ "." ^ ep.ep_port
+
+let check ?(require_static_types = false) ~enclosing (net : Model.network) =
+  let issues = ref [] in
+  let add severity fmt =
+    Format.kasprintf
+      (fun msg -> issues := { issue_severity = severity; issue_msg = msg } :: !issues)
+      fmt
+  in
+  (match Model.validate_unique_names net with
+   | Ok () -> ()
+   | Error msg -> add `Error "%s" msg);
+  if require_static_types then
+    List.iter
+      (fun (c : Model.component) ->
+        List.iter
+          (fun (p : Model.port) ->
+            match p.port_type with
+            | Some _ -> ()
+            | None ->
+              add `Error "untyped port %s.%s in statically typed network %s"
+                c.comp_name p.port_name net.net_name)
+          c.comp_ports)
+      net.net_components;
+  (* Endpoint resolution, direction rules, typing, clocking. *)
+  let check_channel (ch : Model.channel) =
+    let src = resolve_port ~enclosing net ch.ch_src in
+    let dst = resolve_port ~enclosing net ch.ch_dst in
+    (match src with
+     | None ->
+       add `Error "channel %s: unresolved source %s" ch.ch_name
+         (ep_to_string ch.ch_src)
+     | Some p ->
+       let expected : Model.port_dir =
+         match ch.ch_src.ep_comp with None -> In | Some _ -> Out
+       in
+       if p.port_dir <> expected then
+         add `Error "channel %s: source %s has wrong direction" ch.ch_name
+           (ep_to_string ch.ch_src));
+    (match dst with
+     | None ->
+       add `Error "channel %s: unresolved destination %s" ch.ch_name
+         (ep_to_string ch.ch_dst)
+     | Some p ->
+       let expected : Model.port_dir =
+         match ch.ch_dst.ep_comp with None -> Out | Some _ -> In
+       in
+       if p.port_dir <> expected then
+         add `Error "channel %s: destination %s has wrong direction" ch.ch_name
+           (ep_to_string ch.ch_dst));
+    (match src, dst with
+     | Some sp, Some dp ->
+       (match sp.port_type, dp.port_type with
+        | Some ts, Some td ->
+          if not (Dtype.compatible ~src:ts ~dst:td) then
+            add `Error "channel %s: type %s not compatible with %s" ch.ch_name
+              (Dtype.to_string ts) (Dtype.to_string td)
+        | None, _ | _, None -> ());
+       if not (Clock.equal sp.port_clock dp.port_clock) then
+         add `Warning "channel %s: clock %s feeds clock %s" ch.ch_name
+           (Clock.to_string sp.port_clock) (Clock.to_string dp.port_clock)
+     | (None | Some _), _ -> ())
+  in
+  List.iter check_channel net.net_channels;
+  (* Single driver per destination. *)
+  let dst_keys =
+    List.map (fun (ch : Model.channel) -> ep_to_string ch.ch_dst) net.net_channels
+  in
+  let sorted = List.sort String.compare dst_keys in
+  let rec dups = function
+    | a :: (b :: _ as rest) ->
+      if String.equal a b then a :: dups rest else dups rest
+    | [ _ ] | [] -> []
+  in
+  List.iter
+    (fun key -> add `Error "destination %s driven by several channels" key)
+    (List.sort_uniq String.compare (dups sorted));
+  (* Unconnected sub-component inputs. *)
+  List.iter
+    (fun (c : Model.component) ->
+      List.iter
+        (fun (p : Model.port) ->
+          if p.port_dir = Model.In then
+            let ep : Model.endpoint =
+              { ep_comp = Some c.comp_name; ep_port = p.port_name }
+            in
+            if driver_of net ep = None then
+              add `Warning "input %s.%s is unconnected" c.comp_name p.port_name)
+        c.comp_ports)
+    net.net_components;
+  List.rev !issues
+
+(* ------------------------------------------------------------------ *)
+(* Flattening                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let is_inlinable (c : Model.component) =
+  match c.comp_behavior with
+  | Model.B_dfd _ | Model.B_ssd _ -> true
+  | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _ | Model.B_unspecified ->
+    false
+
+(* Inline one component [victim] defined by [inner] into [net].  SSD-defined
+   victims get their sibling-to-sibling channels marked delayed so that the
+   implicit SSD delay survives in the flat representation. *)
+let inline_one ~prefix_sep (net : Model.network) (victim : Model.component)
+    (inner : Model.network) ~ssd_delays : Model.network =
+  let open Model in
+  let pfx name = victim.comp_name ^ prefix_sep ^ name in
+  let rename_ep (ep : endpoint) =
+    match ep.ep_comp with
+    | None -> ep (* still refers to the victim boundary; spliced below *)
+    | Some c -> { ep with ep_comp = Some (pfx c) }
+  in
+  let inner_components =
+    List.map (fun c -> { c with comp_name = pfx c.comp_name }) inner.net_components
+  in
+  (* Channels of the parent net that touch the victim. *)
+  let touches (ep : endpoint) = ep.ep_comp = Some victim.comp_name in
+  let parent_in, parent_out, parent_rest =
+    List.fold_left
+      (fun (pin, pout, rest) (ch : channel) ->
+        if touches ch.ch_dst then (ch :: pin, pout, rest)
+        else if touches ch.ch_src then (pin, ch :: pout, rest)
+        else (pin, pout, ch :: rest))
+      ([], [], []) net.net_channels
+  in
+  let parent_in = List.rev parent_in
+  and parent_out = List.rev parent_out
+  and parent_rest = List.rev parent_rest in
+  (* For an inner endpoint that refers to the victim's own boundary port q:
+     - as a source: the parent channel driving victim.q supplies the value;
+     - as a destination: every parent channel reading victim.q consumes it. *)
+  let feeding q =
+    List.find_opt (fun (ch : channel) -> String.equal ch.ch_dst.ep_port q) parent_in
+  in
+  let readers q =
+    List.filter (fun (ch : channel) -> String.equal ch.ch_src.ep_port q) parent_out
+  in
+  let fresh_channels =
+    List.concat_map
+      (fun (ich : channel) ->
+        let delayed =
+          ich.ch_delayed
+          || (ssd_delays && ich.ch_src.ep_comp <> None && ich.ch_dst.ep_comp <> None)
+        in
+        let base =
+          { ich with
+            ch_name = pfx ich.ch_name;
+            ch_src = rename_ep ich.ch_src;
+            ch_dst = rename_ep ich.ch_dst;
+            ch_delayed = delayed }
+        in
+        match ich.ch_src.ep_comp, ich.ch_dst.ep_comp with
+        | Some _, Some _ -> [ base ]
+        | None, Some _ ->
+          (* boundary input forwarded inside: splice with the parent feeder *)
+          (match feeding ich.ch_src.ep_port with
+           | None -> [] (* undriven input: channel disappears *)
+           | Some pch ->
+             [ { base with
+                 ch_src = pch.ch_src;
+                 ch_delayed = base.ch_delayed || pch.ch_delayed;
+                 ch_init =
+                   (match base.ch_init with
+                    | Some _ as i -> i
+                    | None -> pch.ch_init) } ])
+        | Some _, None ->
+          (* inner result forwarded out: splice with every parent reader *)
+          List.mapi
+            (fun i pch ->
+              { base with
+                ch_name = base.ch_name ^ "_" ^ string_of_int i;
+                ch_dst = pch.ch_dst;
+                ch_delayed = base.ch_delayed || pch.ch_delayed;
+                ch_init =
+                  (match pch.ch_init with
+                   | Some _ as init -> init
+                   | None -> base.ch_init) })
+            (readers ich.ch_dst.ep_port)
+        | None, None ->
+          (* pure forwarding through the victim *)
+          (match feeding ich.ch_src.ep_port with
+           | None -> []
+           | Some pin ->
+             List.mapi
+               (fun i pout ->
+                 { base with
+                   ch_name = base.ch_name ^ "_" ^ string_of_int i;
+                   ch_src = pin.ch_src;
+                   ch_dst = pout.ch_dst;
+                   ch_delayed = base.ch_delayed || pin.ch_delayed || pout.ch_delayed })
+               (readers ich.ch_dst.ep_port)))
+      inner.net_channels
+  in
+  let components =
+    List.filter (fun c -> not (String.equal c.comp_name victim.comp_name))
+      net.net_components
+    @ inner_components
+  in
+  { net with
+    net_components = components;
+    net_channels = parent_rest @ fresh_channels }
+
+let rec flatten ~prefix_sep (net : Model.network) : Model.network =
+  match List.find_opt is_inlinable net.net_components with
+  | None -> net
+  | Some victim ->
+    let inner, ssd_delays =
+      match victim.comp_behavior with
+      | Model.B_dfd inner -> (inner, false)
+      | Model.B_ssd inner -> (inner, true)
+      | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _ | Model.B_unspecified ->
+        assert false
+    in
+    flatten ~prefix_sep (inline_one ~prefix_sep net victim inner ~ssd_delays)

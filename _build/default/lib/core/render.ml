@@ -1,0 +1,141 @@
+let port_sig (p : Model.port) =
+  let dir = match p.port_dir with Model.In -> ">" | Model.Out -> "<" in
+  let ty =
+    match p.port_type with
+    | Some t -> ":" ^ Dtype.to_string t
+    | None -> ""
+  in
+  let clk =
+    match p.port_clock with
+    | Clock.Base -> ""
+    | c -> "@" ^ Clock.to_string c
+  in
+  let res =
+    match p.port_resource with Some r -> "[" ^ r ^ "]" | None -> ""
+  in
+  Printf.sprintf "%s%s%s%s%s" dir p.port_name ty clk res
+
+let box ppf ~title lines =
+  let width =
+    List.fold_left
+      (fun acc s -> Stdlib.max acc (String.length s))
+      (String.length title) lines
+  in
+  let hr = String.make (width + 2) '-' in
+  Format.fprintf ppf "+%s+@\n" hr;
+  Format.fprintf ppf "| %-*s |@\n" width title;
+  if lines <> [] then Format.fprintf ppf "+%s+@\n" hr;
+  List.iter (fun s -> Format.fprintf ppf "| %-*s |@\n" width s) lines;
+  Format.fprintf ppf "+%s+@\n" hr
+
+let ep_str (ep : Model.endpoint) =
+  match ep.ep_comp with
+  | None -> "." ^ ep.ep_port
+  | Some c -> c ^ "." ^ ep.ep_port
+
+let channel_line (ch : Model.channel) =
+  let arrow = if ch.ch_delayed then "--[z]-->" else "------->" in
+  Printf.sprintf "  %-28s %s %-28s (%s)" (ep_str ch.ch_src) arrow
+    (ep_str ch.ch_dst) ch.ch_name
+
+let network ~kind ppf (net : Model.network) =
+  Format.fprintf ppf "%s %s@\n" kind net.net_name;
+  List.iter
+    (fun (c : Model.component) ->
+      let ports = List.map port_sig c.comp_ports in
+      let title =
+        Printf.sprintf "%s <%s>" c.comp_name
+          (Model.behavior_kind c.comp_behavior)
+      in
+      box ppf ~title ports)
+    net.net_components;
+  if net.net_channels <> [] then begin
+    Format.fprintf ppf "channels:@\n";
+    List.iter
+      (fun ch -> Format.fprintf ppf "%s@\n" (channel_line ch))
+      net.net_channels
+  end
+
+let mtd ppf (m : Model.mtd) =
+  Format.fprintf ppf "MTD %s@\n" m.mtd_name;
+  Format.fprintf ppf "modes:@\n";
+  List.iter
+    (fun (mode : Model.mode) ->
+      let mark = if String.equal mode.mode_name m.mtd_initial then "*" else " " in
+      Format.fprintf ppf " %s %s <%s>@\n" mark mode.mode_name
+        (Model.behavior_kind mode.mode_behavior))
+    m.mtd_modes;
+  Format.fprintf ppf "transitions:@\n";
+  List.iter
+    (fun (t : Model.mtd_transition) ->
+      Format.fprintf ppf "  %-18s -> %-18s when %s  (prio %d)@\n" t.mt_src
+        t.mt_dst (Expr.to_string t.mt_guard) t.mt_priority)
+    m.mtd_transitions
+
+let std ppf (s : Model.std) =
+  Format.fprintf ppf "STD %s@\n" s.std_name;
+  Format.fprintf ppf "states:";
+  List.iter
+    (fun st ->
+      let mark = if String.equal st s.std_initial then "*" else "" in
+      Format.fprintf ppf " %s%s" st mark)
+    s.std_states;
+  Format.pp_print_newline ppf ();
+  if s.std_vars <> [] then begin
+    Format.fprintf ppf "vars:";
+    List.iter
+      (fun (v, init) -> Format.fprintf ppf " %s=%s" v (Value.to_string init))
+      s.std_vars;
+    Format.pp_print_newline ppf ()
+  end;
+  Format.fprintf ppf "transitions:@\n";
+  List.iter
+    (fun (t : Model.std_transition) ->
+      Format.fprintf ppf "  %-14s -> %-14s when %s  (prio %d)@\n" t.st_src
+        t.st_dst (Expr.to_string t.st_guard) t.st_priority;
+      List.iter
+        (fun (port, e) ->
+          Format.fprintf ppf "      emit %s = %s@\n" port (Expr.to_string e))
+        t.st_outputs;
+      List.iter
+        (fun (v, e) ->
+          Format.fprintf ppf "      set  %s = %s@\n" v (Expr.to_string e))
+        t.st_updates)
+    s.std_transitions
+
+let rec component ppf (c : Model.component) =
+  let ports = List.map port_sig c.comp_ports in
+  box ppf ~title:(c.comp_name ^ " <" ^ Model.behavior_kind c.comp_behavior ^ ">")
+    ports;
+  match c.comp_behavior with
+  | Model.B_ssd net ->
+    network ~kind:"SSD" ppf net;
+    List.iter (component ppf) net.net_components
+  | Model.B_dfd net ->
+    network ~kind:"DFD" ppf net;
+    List.iter
+      (fun (sub : Model.component) ->
+        match sub.comp_behavior with
+        | Model.B_dfd _ | Model.B_ssd _ | Model.B_mtd _ | Model.B_std _ ->
+          component ppf sub
+        | Model.B_exprs _ | Model.B_unspecified -> ())
+      net.net_components
+  | Model.B_mtd m ->
+    mtd ppf m;
+    List.iter
+      (fun (mode : Model.mode) ->
+        match mode.mode_behavior with
+        | Model.B_dfd net -> network ~kind:"DFD" ppf net
+        | Model.B_ssd net -> network ~kind:"SSD" ppf net
+        | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _
+        | Model.B_unspecified -> ())
+      m.mtd_modes
+  | Model.B_std s -> std ppf s
+  | Model.B_exprs outs ->
+    List.iter
+      (fun (port, e) ->
+        Format.fprintf ppf "  %s = %s@\n" port (Expr.to_string e))
+      outs
+  | Model.B_unspecified -> ()
+
+let component_to_string c = Format.asprintf "%a" component c

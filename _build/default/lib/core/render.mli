@@ -1,0 +1,22 @@
+(** Text rendering of AutoMoDe diagrams.
+
+    The tool prototype's graphical notations (SSD, DFD, MTD, STD) are
+    regenerated here as structured ASCII — component boxes with their
+    port lists, channel tables, and mode/state transition tables.  Used
+    by the figure-regeneration benches and the CLI [render] command. *)
+
+val component : Format.formatter -> Model.component -> unit
+(** Render a component and, indented, its entire hierarchy. *)
+
+val network :
+  kind:string -> Format.formatter -> Model.network -> unit
+(** Render one network: a box per sub-component and the channel table.
+    [kind] labels the diagram ("SSD", "DFD", "CCD"). *)
+
+val mtd : Format.formatter -> Model.mtd -> unit
+(** Mode list (initial marked) and the transition table. *)
+
+val std : Format.formatter -> Model.std -> unit
+(** State/variable lists and the transition table. *)
+
+val component_to_string : Model.component -> string

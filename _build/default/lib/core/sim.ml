@@ -1,0 +1,515 @@
+exception Sim_error of string
+
+let sim_error fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
+
+type comp_state =
+  | S_exprs of (string * Expr.state) list
+  | S_std of Std_machine.state
+  | S_mtd of { current : string; mode_states : (string * comp_state) list }
+  | S_net of net_state
+  | S_unspec
+
+and net_state = {
+  (* evaluation order of sub-components (topological for DFDs) *)
+  order : string list;
+  sub : (string * comp_state) list;
+  (* delay registers, keyed by channel name *)
+  buffers : (string * Value.message) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Initialization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec init_behavior (behavior : Model.behavior) : comp_state =
+  match behavior with
+  | Model.B_exprs outs ->
+    S_exprs (List.map (fun (port, e) -> (port, Expr.init_state e)) outs)
+  | Model.B_std std -> S_std (Std_machine.init std)
+  | Model.B_mtd mtd ->
+    S_mtd
+      { current = mtd.mtd_initial;
+        mode_states =
+          List.map
+            (fun (m : Model.mode) -> (m.mode_name, init_behavior m.mode_behavior))
+            mtd.mtd_modes }
+  | Model.B_dfd net ->
+    let order =
+      match Causality.evaluation_order net with
+      | Ok order -> order
+      | Error loops ->
+        sim_error "instantaneous loop in DFD %s: %s" net.net_name
+          (String.concat " <-> " (List.concat loops))
+    in
+    S_net (init_net ~order net)
+  | Model.B_ssd net ->
+    (* SSD channels are delayed; declaration order is a valid schedule. *)
+    let order =
+      List.map (fun (c : Model.component) -> c.comp_name) net.net_components
+    in
+    S_net (init_net ~order net)
+  | Model.B_unspecified -> S_unspec
+
+and init_net ~order (net : Model.network) =
+  { order;
+    sub =
+      List.map
+        (fun (c : Model.component) -> (c.comp_name, init_behavior c.comp_behavior))
+        net.net_components;
+    buffers =
+      List.map
+        (fun (ch : Model.channel) ->
+          let v =
+            match ch.ch_init with
+            | Some v -> Value.Present v
+            | None -> Value.Absent
+          in
+          (ch.ch_name, v))
+        net.net_channels }
+
+let init (comp : Model.component) = init_behavior comp.comp_behavior
+
+(* ------------------------------------------------------------------ *)
+(* Stepping                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lookup_outputs outs port =
+  match List.assoc_opt port outs with
+  | Some msg -> msg
+  | None -> Value.Absent
+
+(* Does a channel of this network kind read its delay register? *)
+let channel_is_delayed ~ssd (ch : Model.channel) =
+  if ch.ch_delayed then true
+  else
+    ssd
+    && (match ch.ch_src.ep_comp, ch.ch_dst.ep_comp with
+        | Some _, Some _ -> true
+        | None, _ | _, None -> false)
+
+let rec step_behavior ~schedule ~tick ~(ports : Model.port list)
+    ~(inputs : string -> Value.message) (behavior : Model.behavior)
+    (state : comp_state) : (string * Value.message) list * comp_state =
+  match behavior, state with
+  | Model.B_exprs outs, S_exprs states ->
+    let stepped =
+      List.map
+        (fun (port, expr) ->
+          let st =
+            match List.assoc_opt port states with
+            | Some st -> st
+            | None -> Expr.init_state expr
+          in
+          let msg, st' =
+            try Expr.step ~schedule ~tick ~env:inputs expr st
+            with Expr.Eval_error msg -> sim_error "output %s: %s" port msg
+          in
+          (port, msg, st'))
+        outs
+    in
+    ( List.map (fun (port, msg, _) -> (port, msg)) stepped,
+      S_exprs (List.map (fun (port, _, st) -> (port, st)) stepped) )
+  | Model.B_std std, S_std st ->
+    let outs, st' =
+      try Std_machine.step ~schedule ~tick ~env:inputs std st
+      with Std_machine.Step_error msg -> sim_error "STD %s: %s" std.std_name msg
+    in
+    (outs, S_std st')
+  | Model.B_mtd mtd, S_mtd { current; mode_states } ->
+    let current =
+      match
+        Mtd.enabled_transition ~schedule ~tick ~env:inputs mtd ~current
+      with
+      | Some t -> t.mt_dst
+      | None -> current
+    in
+    let mode =
+      match Mtd.find_mode mtd current with
+      | Some m -> m
+      | None -> sim_error "MTD %s: unknown mode %s" mtd.mtd_name current
+    in
+    let mode_state =
+      match List.assoc_opt current mode_states with
+      | Some st -> st
+      | None -> init_behavior mode.mode_behavior
+    in
+    let outs, mode_state' =
+      step_behavior ~schedule ~tick ~ports ~inputs mode.mode_behavior
+        mode_state
+    in
+    let mode_states =
+      (current, mode_state')
+      :: List.remove_assoc current mode_states
+    in
+    (* Emit the current mode on a declared "mode" output port, if any. *)
+    let outs =
+      match
+        List.find_opt
+          (fun (p : Model.port) ->
+            p.port_dir = Model.Out && String.equal p.port_name "mode")
+          ports
+      with
+      | None -> outs
+      | Some p ->
+        let enum_name =
+          match p.port_type with
+          | Some (Dtype.Tenum e) -> e.enum_name
+          | Some _ | None -> mtd.mtd_name ^ "_mode"
+        in
+        ("mode", Value.Present (Value.Enum (enum_name, current)))
+        :: List.remove_assoc "mode" outs
+    in
+    (outs, S_mtd { current; mode_states })
+  | Model.B_dfd net, S_net ns ->
+    step_network ~schedule ~tick ~inputs ~ssd:false net ns
+  | Model.B_ssd net, S_net ns ->
+    step_network ~schedule ~tick ~inputs ~ssd:true net ns
+  | Model.B_unspecified, S_unspec ->
+    ( List.filter_map
+        (fun (p : Model.port) ->
+          if p.port_dir = Model.Out then Some (p.port_name, Value.Absent)
+          else None)
+        ports,
+      S_unspec )
+  | ( Model.(
+        ( B_exprs _ | B_std _ | B_mtd _ | B_dfd _ | B_ssd _
+        | B_unspecified )),
+      (S_exprs _ | S_std _ | S_mtd _ | S_net _ | S_unspec) ) ->
+    sim_error "behavior/state shape mismatch"
+
+and step_network ~schedule ~tick ~inputs ~ssd (net : Model.network) ns =
+  (* The value flowing on a channel this tick, once its source is known. *)
+  let source_value computed (ch : Model.channel) =
+    match ch.ch_src.ep_comp with
+    | None -> inputs ch.ch_src.ep_port
+    | Some comp ->
+      (match List.assoc_opt comp computed with
+       | Some outs -> lookup_outputs outs ch.ch_src.ep_port
+       | None ->
+         (* source not evaluated yet: only legal for delayed reads *)
+         Value.Absent)
+  in
+  let channel_read computed (ch : Model.channel) =
+    if channel_is_delayed ~ssd ch then
+      match List.assoc_opt ch.ch_name ns.buffers with
+      | Some buffered -> buffered
+      | None -> Value.Absent
+    else source_value computed ch
+  in
+  let input_of computed comp_name port =
+    let driver =
+      List.find_opt
+        (fun (ch : Model.channel) ->
+          ch.ch_dst.ep_comp = Some comp_name
+          && String.equal ch.ch_dst.ep_port port)
+        net.net_channels
+    in
+    match driver with
+    | Some ch -> channel_read computed ch
+    | None -> Value.Absent
+  in
+  (* Evaluate sub-components in (topological) order. *)
+  let computed, sub' =
+    List.fold_left
+      (fun (computed, sub_states) comp_name ->
+        let comp =
+          match Model.find_component net comp_name with
+          | Some c -> c
+          | None -> sim_error "network %s: unknown component %s" net.net_name comp_name
+        in
+        let st =
+          match List.assoc_opt comp_name ns.sub with
+          | Some st -> st
+          | None -> init_behavior comp.comp_behavior
+        in
+        let comp_inputs port = input_of computed comp_name port in
+        let outs, st' =
+          step_behavior ~schedule ~tick ~ports:comp.comp_ports
+            ~inputs:comp_inputs comp.comp_behavior st
+        in
+        ((comp_name, outs) :: computed, (comp_name, st') :: sub_states))
+      ([], []) ns.order
+  in
+  let sub' = List.rev sub' in
+  (* Boundary outputs: channels whose destination is the boundary. *)
+  let boundary_outputs =
+    List.filter_map
+      (fun (ch : Model.channel) ->
+        match ch.ch_dst.ep_comp with
+        | Some _ -> None
+        | None -> Some (ch.ch_dst.ep_port, channel_read computed ch))
+      net.net_channels
+  in
+  (* Refresh every delay register with this tick's source value. *)
+  let buffers' =
+    List.map
+      (fun (ch : Model.channel) -> (ch.ch_name, source_value computed ch))
+      net.net_channels
+  in
+  (boundary_outputs, S_net { ns with sub = sub'; buffers = buffers' })
+
+let step ?(schedule = Clock.no_events) ~tick ~inputs (comp : Model.component)
+    state =
+  let outs, state' =
+    step_behavior ~schedule ~tick ~ports:comp.comp_ports ~inputs
+      comp.comp_behavior state
+  in
+  (* Report every declared output port, absent if not computed. *)
+  let outs =
+    List.filter_map
+      (fun (p : Model.port) ->
+        if p.port_dir = Model.Out then
+          Some (p.port_name, lookup_outputs outs p.port_name)
+        else None)
+      comp.comp_ports
+  in
+  (outs, state')
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type input_fn = int -> (string * Value.message) list
+
+let constant_inputs values _tick =
+  List.map (fun (port, v) -> (port, Value.Present v)) values
+
+let no_inputs _tick = []
+
+let run ?(schedule = Clock.no_events) ~ticks ~inputs (comp : Model.component) =
+  let in_names =
+    List.map (fun (p : Model.port) -> p.port_name) (Model.input_ports comp)
+  in
+  let out_names =
+    List.map (fun (p : Model.port) -> p.port_name) (Model.output_ports comp)
+  in
+  let trace = Trace.make ~flows:(in_names @ out_names) in
+  let rec go tick state trace =
+    if tick >= ticks then trace
+    else
+      let offered = inputs tick in
+      let input_fn port =
+        match List.assoc_opt port offered with
+        | Some msg -> msg
+        | None -> Value.Absent
+      in
+      let outs, state' = step ~schedule ~tick ~inputs:input_fn comp state in
+      let row =
+        List.map (fun port -> (port, input_fn port)) in_names @ outs
+      in
+      go (tick + 1) state' (Trace.record trace row)
+  in
+  go 0 (init comp) trace
+
+(* ------------------------------------------------------------------ *)
+(* Compiled simulation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A channel read resolved at compile time: where the value comes from at
+   run time, and whether it is read through the delay register. *)
+type source =
+  | From_boundary of string           (* enclosing input port *)
+  | From_component of string * string (* sub-component, output port *)
+
+type routed_channel = {
+  rc_name : string;
+  rc_source : source;
+  rc_delayed : bool;
+}
+
+type compiled_comp = {
+  cc_name : string;
+  cc_out_ports : string list;
+  cc_step :
+    Clock.schedule -> int -> (string -> Value.message) -> comp_state ->
+    (string * Value.message) list * comp_state;
+  cc_init : unit -> comp_state;
+}
+
+type compiled = compiled_comp
+
+(* Compile a behavior into a closure; networks resolve their routing
+   tables once. *)
+let rec compile_behavior ~name ~(ports : Model.port list)
+    (behavior : Model.behavior) : compiled_comp =
+  let out_ports =
+    List.filter_map
+      (fun (p : Model.port) ->
+        if p.port_dir = Model.Out then Some p.port_name else None)
+      ports
+  in
+  match behavior with
+  | Model.B_dfd net -> compile_network ~name ~out_ports ~ssd:false net
+  | Model.B_ssd net -> compile_network ~name ~out_ports ~ssd:true net
+  | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _ | Model.B_unspecified ->
+    (* atomic behaviors already run without name resolution *)
+    { cc_name = name;
+      cc_out_ports = out_ports;
+      cc_step =
+        (fun schedule tick inputs state ->
+          step_behavior ~schedule ~tick ~ports ~inputs behavior state);
+      cc_init = (fun () -> init_behavior behavior) }
+
+and compile_network ~name ~out_ports ~ssd (net : Model.network) =
+  let order =
+    if ssd then
+      List.map (fun (c : Model.component) -> c.comp_name) net.net_components
+    else
+      match Causality.evaluation_order net with
+      | Ok order -> order
+      | Error loops ->
+        sim_error "instantaneous loop in DFD %s: %s" net.net_name
+          (String.concat " <-> " (List.concat loops))
+  in
+  let route (ch : Model.channel) =
+    { rc_name = ch.ch_name;
+      rc_source =
+        (match ch.ch_src.ep_comp with
+         | None -> From_boundary ch.ch_src.ep_port
+         | Some comp -> From_component (comp, ch.ch_src.ep_port));
+      rc_delayed = channel_is_delayed ~ssd ch }
+  in
+  (* per sub-component, its compiled step and the driving channel of every
+     input port, resolved once *)
+  let compiled_subs =
+    List.map
+      (fun comp_name ->
+        let comp =
+          match Model.find_component net comp_name with
+          | Some c -> c
+          | None ->
+            sim_error "network %s: unknown component %s" net.net_name comp_name
+        in
+        let drivers =
+          List.filter_map
+            (fun (p : Model.port) ->
+              if p.port_dir <> Model.In then None
+              else
+                let driver =
+                  List.find_opt
+                    (fun (ch : Model.channel) ->
+                      ch.ch_dst.ep_comp = Some comp_name
+                      && String.equal ch.ch_dst.ep_port p.port_name)
+                    net.net_channels
+                in
+                Option.map (fun ch -> (p.port_name, route ch)) driver)
+            comp.comp_ports
+        in
+        ( comp_name,
+          drivers,
+          compile_behavior ~name:comp_name ~ports:comp.comp_ports
+            comp.comp_behavior ))
+      order
+  in
+  let boundary_channels =
+    List.filter_map
+      (fun (ch : Model.channel) ->
+        match ch.ch_dst.ep_comp with
+        | Some _ -> None
+        | None -> Some (ch.ch_dst.ep_port, route ch))
+      net.net_channels
+  in
+  let all_routes = List.map route net.net_channels in
+  let source_value computed inputs = function
+    | From_boundary port -> inputs port
+    | From_component (comp, port) ->
+      (match List.assoc_opt comp computed with
+       | Some outs -> lookup_outputs outs port
+       | None -> Value.Absent)
+  in
+  let channel_read buffers computed inputs (rc : routed_channel) =
+    if rc.rc_delayed then
+      match List.assoc_opt rc.rc_name buffers with
+      | Some buffered -> buffered
+      | None -> Value.Absent
+    else source_value computed inputs rc.rc_source
+  in
+  let cc_step schedule tick inputs state =
+    let ns =
+      match state with
+      | S_net ns -> ns
+      | S_exprs _ | S_std _ | S_mtd _ | S_unspec ->
+        sim_error "behavior/state shape mismatch"
+    in
+    let computed, sub' =
+      List.fold_left
+        (fun (computed, sub_states) (comp_name, drivers, cc) ->
+          let st =
+            match List.assoc_opt comp_name ns.sub with
+            | Some st -> st
+            | None -> cc.cc_init ()
+          in
+          let comp_inputs port =
+            match List.assoc_opt port drivers with
+            | Some rc -> channel_read ns.buffers computed inputs rc
+            | None -> Value.Absent
+          in
+          let outs, st' = cc.cc_step schedule tick comp_inputs st in
+          ((comp_name, outs) :: computed, (comp_name, st') :: sub_states))
+        ([], []) compiled_subs
+    in
+    let boundary_outputs =
+      List.map
+        (fun (port, rc) ->
+          (port, channel_read ns.buffers computed inputs rc))
+        boundary_channels
+    in
+    let buffers' =
+      List.map
+        (fun rc -> (rc.rc_name, source_value computed inputs rc.rc_source))
+        all_routes
+    in
+    (boundary_outputs, S_net { ns with sub = List.rev sub'; buffers = buffers' })
+  in
+  let cc_init () =
+    S_net (init_net ~order net)
+  in
+  { cc_name = name; cc_out_ports = out_ports; cc_step; cc_init }
+
+let compile (comp : Model.component) =
+  compile_behavior ~name:comp.comp_name ~ports:comp.comp_ports
+    comp.comp_behavior
+
+let compiled_init (cc : compiled) = cc.cc_init ()
+
+let compiled_step ?(schedule = Clock.no_events) ~tick ~inputs (cc : compiled)
+    state =
+  let outs, state' = cc.cc_step schedule tick inputs state in
+  let outs =
+    List.map
+      (fun port -> (port, lookup_outputs outs port))
+      cc.cc_out_ports
+  in
+  (outs, state')
+
+let run_compiled ?(schedule = Clock.no_events) ~ticks ~inputs (cc : compiled) =
+  (* flows mirror [run]: we only know output ports here, so inputs are
+     recorded from the stimulus directly *)
+  let rec flows_of tick acc =
+    (* collect input names from the first few stimulus ticks *)
+    if tick >= Stdlib.min ticks 4 then List.rev acc
+    else
+      let names = List.map fst (inputs tick) in
+      let acc =
+        List.fold_left
+          (fun acc n -> if List.mem n acc then acc else n :: acc)
+          acc names
+      in
+      flows_of (tick + 1) acc
+  in
+  let in_names = flows_of 0 [] in
+  let trace = Trace.make ~flows:(in_names @ cc.cc_out_ports) in
+  let rec go tick state trace =
+    if tick >= ticks then trace
+    else
+      let offered = inputs tick in
+      let input_fn port =
+        match List.assoc_opt port offered with
+        | Some msg -> msg
+        | None -> Value.Absent
+      in
+      let outs, state' = compiled_step ~schedule ~tick ~inputs:input_fn cc state in
+      let row = List.map (fun port -> (port, input_fn port)) in_names @ outs in
+      go (tick + 1) state' (Trace.record trace row)
+  in
+  go 0 (compiled_init cc) trace

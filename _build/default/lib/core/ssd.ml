@@ -1,0 +1,35 @@
+let of_network ?(ports = []) (net : Model.network) =
+  Model.component net.net_name ~ports ~behavior:(Model.B_ssd net)
+
+let check ~enclosing net =
+  Network.check ~require_static_types:true ~enclosing net
+
+let check_component (comp : Model.component) =
+  let issues = ref [] in
+  Model.iter_components
+    (fun path (c : Model.component) ->
+      match c.comp_behavior with
+      | Model.B_ssd net ->
+        let here = check ~enclosing:c net in
+        let prefix = String.concat "." (path @ [ c.comp_name ]) in
+        List.iter
+          (fun (i : Network.issue) ->
+            issues :=
+              { i with Network.issue_msg = prefix ^ ": " ^ i.Network.issue_msg }
+              :: !issues)
+          here
+      | Model.B_dfd _ | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _
+      | Model.B_unspecified -> ())
+    comp;
+  List.rev !issues
+
+let dissolve_top (comp : Model.component) =
+  match comp.comp_behavior with
+  | Model.B_ssd net ->
+    let flat = Network.flatten ~prefix_sep:"_" net in
+    { comp with comp_behavior = Model.B_ssd flat }
+  | Model.B_dfd net ->
+    let flat = Network.flatten ~prefix_sep:"_" net in
+    { comp with comp_behavior = Model.B_dfd flat }
+  | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _ | Model.B_unspecified ->
+    comp

@@ -1,0 +1,31 @@
+(** System Structure Diagrams (paper Sec. 3.1).
+
+    SSDs describe the high-level architectural decomposition of a system:
+    networks of typed components with statically typed message-passing
+    interfaces, connected by explicit channels.  Components are
+    recursively defined by other SSDs or by behavioral notations; on the
+    FAA level leaving behavior unspecified is perfectly adequate.
+
+    Each SSD-level channel between components introduces a one-tick
+    message delay, to facilitate later design transformations such as
+    deployment. *)
+
+val of_network :
+  ?ports:Model.port list -> Model.network -> Model.component
+(** Wrap a network as a component whose behavior is [B_ssd]. *)
+
+val check :
+  enclosing:Model.component -> Model.network -> Network.issue list
+(** SSD well-formedness: the {!Network.check} conditions with static
+    typing required on all sub-component ports. *)
+
+val check_component : Model.component -> Network.issue list
+(** Run {!check} on every SSD network in the hierarchy of the component
+    (including those in MTD modes), prefixing messages with the path. *)
+
+val dissolve_top : Model.component -> Model.component
+(** Dissolve the topmost SSD hierarchy levels into one flat network
+    (used when transitioning to a LA-level CCD, paper Sec. 3.3).  Inner
+    channel delays are preserved by marking the flattened channels
+    [ch_delayed].  Components whose behavior is not an SSD/DFD are kept
+    atomic. *)

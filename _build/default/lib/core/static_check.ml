@@ -1,0 +1,196 @@
+type issue = {
+  at : string;
+  severity : [ `Error | `Warning ];
+  msg : string;
+}
+
+let pp_issue ppf i =
+  let tag = match i.severity with `Error -> "error" | `Warning -> "warning" in
+  Format.fprintf ppf "%s: %s: %s" tag i.at i.msg
+
+let errors issues =
+  List.filter_map
+    (fun i -> match i.severity with `Error -> Some i.msg | `Warning -> None)
+    issues
+
+let summary issues =
+  let n s = List.length (List.filter (fun i -> i.severity = s) issues) in
+  Printf.sprintf "%d errors, %d warnings" (n `Error) (n `Warning)
+
+(* Typing/clock environments over a component's input ports (plus extra
+   bindings for STD state variables). *)
+let port_tenv ?(extra = []) (ports : Model.port list) name =
+  match List.assoc_opt name extra with
+  | Some ty -> Some ty
+  | None ->
+    Option.bind
+      (List.find_opt
+         (fun (p : Model.port) ->
+           p.Model.port_dir = Model.In && String.equal p.port_name name)
+         ports)
+      (fun p -> p.Model.port_type)
+
+let port_cenv (ports : Model.port list) name =
+  Option.map
+    (fun (p : Model.port) -> p.Model.port_clock)
+    (List.find_opt
+       (fun (p : Model.port) ->
+         p.Model.port_dir = Model.In && String.equal p.port_name name)
+       ports)
+
+(* An expression is statically checkable iff every referenced port is
+   statically typed (dynamic ports are legal in DFDs). *)
+let fully_typed ~tenv e =
+  List.for_all (fun v -> tenv v <> None) (Expr.free_vars e)
+
+let check_expr ~add ~ports ?(extra = []) ~context ?(expect : Dtype.t option)
+    e =
+  let tenv = port_tenv ~extra ports in
+  if fully_typed ~tenv e then
+    match Expr.typecheck ~tenv e with
+    | Error msg -> add `Error (Printf.sprintf "%s: %s" context msg)
+    | Ok ty ->
+      (match expect with
+       | Some want when not (Dtype.compatible ~src:ty ~dst:want) ->
+         add `Error
+           (Printf.sprintf "%s: computes %s but %s is declared" context
+              (Dtype.to_string ty) (Dtype.to_string want))
+       | Some _ | None -> ())
+
+let check_guard ~add ~ports ?(extra = []) ~context g =
+  let tenv = port_tenv ~extra ports in
+  if fully_typed ~tenv g then
+    match Expr.typecheck ~tenv g with
+    | Error msg -> add `Error (Printf.sprintf "%s: %s" context msg)
+    | Ok Dtype.Tbool -> ()
+    | Ok ty ->
+      add `Error
+        (Printf.sprintf "%s: guard has type %s, not bool" context
+           (Dtype.to_string ty))
+
+let check_output_clock ~add ~ports ~context port e =
+  match
+    List.find_opt
+      (fun (p : Model.port) ->
+        p.Model.port_dir = Model.Out && String.equal p.port_name port)
+      ports
+  with
+  | None ->
+    add `Error (Printf.sprintf "%s: assigns undeclared output %s" context port)
+  | Some p ->
+    (* only check when every referenced port has a known clock *)
+    let cenv = port_cenv ports in
+    if List.for_all (fun v -> cenv v <> None) (Expr.free_vars e) then
+      match Expr.clock_of ~cenv e with
+      | Error msg -> add `Error (Printf.sprintf "%s: %s" context msg)
+      | Ok c ->
+        if not (Clock.equal c p.Model.port_clock) then
+          add `Warning
+            (Printf.sprintf "%s: output %s computed on clock %s, declared %s"
+               context port (Clock.to_string c)
+               (Clock.to_string p.Model.port_clock))
+
+let rec check_behavior ~add ~(ports : Model.port list)
+    (b : Model.behavior) =
+  match b with
+  | Model.B_unspecified -> ()
+  | Model.B_exprs outs ->
+    List.iter
+      (fun (port, e) ->
+        let expect =
+          Option.bind
+            (List.find_opt
+               (fun (p : Model.port) ->
+                 p.Model.port_dir = Model.Out && String.equal p.port_name port)
+               ports)
+            (fun p -> p.Model.port_type)
+        in
+        check_expr ~add ~ports ~context:("output " ^ port) ?expect e;
+        check_output_clock ~add ~ports ~context:"clock" port e)
+      outs
+  | Model.B_std std ->
+    (match Std_machine.check std with
+     | Ok () -> ()
+     | Error msgs -> List.iter (fun m -> add `Error ("STD: " ^ m)) msgs);
+    let extra =
+      List.map (fun (v, init) -> (v, Dtype.type_of_value init)) std.std_vars
+    in
+    List.iter
+      (fun (t : Model.std_transition) ->
+        let context = Printf.sprintf "STD %s->%s" t.st_src t.st_dst in
+        check_guard ~add ~ports ~extra ~context t.st_guard;
+        List.iter
+          (fun (port, e) ->
+            let expect =
+              Option.bind
+                (List.find_opt
+                   (fun (p : Model.port) ->
+                     p.Model.port_dir = Model.Out
+                     && String.equal p.port_name port)
+                   ports)
+                (fun p -> p.Model.port_type)
+            in
+            check_expr ~add ~ports ~extra
+              ~context:(context ^ " emit " ^ port)
+              ?expect e)
+          t.st_outputs;
+        List.iter
+          (fun (v, e) ->
+            match List.assoc_opt v extra with
+            | None -> () (* undeclared: already flagged by Std_machine.check *)
+            | Some ty ->
+              check_expr ~add ~ports ~extra
+                ~context:(context ^ " set " ^ v)
+                ~expect:ty e)
+          t.st_updates)
+      std.std_transitions
+  | Model.B_mtd mtd ->
+    (match Mtd.check mtd with
+     | Ok () -> ()
+     | Error msgs -> List.iter (fun m -> add `Error ("MTD: " ^ m)) msgs);
+    List.iter
+      (fun (t : Model.mtd_transition) ->
+        check_guard ~add ~ports
+          ~context:(Printf.sprintf "MTD %s->%s" t.mt_src t.mt_dst)
+          t.mt_guard)
+      mtd.mtd_transitions;
+    List.iter
+      (fun (m : Model.mode) -> check_behavior ~add ~ports m.mode_behavior)
+      mtd.mtd_modes
+  | Model.B_dfd _ | Model.B_ssd _ ->
+    (* networks are visited per component by [component] below *)
+    ()
+
+let component (root : Model.component) =
+  let issues = ref [] in
+  Model.iter_components
+    (fun path (c : Model.component) ->
+      let at = String.concat "." (path @ [ c.comp_name ]) in
+      let add severity msg = issues := { at; severity; msg } :: !issues in
+      (* structural + causality per network kind *)
+      (match c.comp_behavior with
+       | Model.B_dfd net ->
+         List.iter
+           (fun (i : Network.issue) ->
+             add i.issue_severity i.issue_msg)
+           (Network.check ~enclosing:c net);
+         (match Causality.check net with
+          | Ok () -> ()
+          | Error loops ->
+            List.iter
+              (fun loop ->
+                add `Error
+                  (Printf.sprintf "instantaneous loop: %s"
+                     (String.concat " -> " loop)))
+              loops)
+       | Model.B_ssd net ->
+         List.iter
+           (fun (i : Network.issue) -> add i.issue_severity i.issue_msg)
+           (Network.check ~require_static_types:true ~enclosing:c net)
+       | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _
+       | Model.B_unspecified -> ());
+      check_behavior ~add ~ports:c.comp_ports c.comp_behavior)
+    root;
+  List.rev !issues
+
+let model (m : Model.model) = component m.Model.model_root

@@ -1,0 +1,39 @@
+(** Whole-model static analysis: the consistency guarantee of the
+    coherent meta-model (paper Sec. 3: "Notations and underlying models
+    have to be well-integrated to ensure consistency between different
+    abstractions").
+
+    Aggregates, over every component of a hierarchy:
+    - structural network well-formedness ({!Network.check}),
+    - causality of every DFD ({!Causality}),
+    - machine well-formedness ({!Std_machine.check}, {!Mtd.check}),
+    - {e expression typing}: every [B_exprs] output, STD/MTD guard and
+      action is type-checked ({!Expr.typecheck}) against the declared
+      port types; results must be compatible with the declared output
+      type.  Expressions referencing dynamically typed (untyped) ports
+      are skipped — DFD ports may be dynamically typed (paper Sec. 3.2);
+    - {e clock consistency}: every output expression's inferred clock
+      ({!Expr.clock_of}) must equal the declared output port clock
+      (warning when it differs — refinement may still insert adapters).
+
+    Guards must be [bool]; STD updates must match the variable's
+    initial-value type. *)
+
+type issue = {
+  at : string;                        (** hierarchical component path *)
+  severity : [ `Error | `Warning ];
+  msg : string;
+}
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val component : Model.component -> issue list
+(** All issues of the hierarchy rooted at the component. *)
+
+val model : Model.model -> issue list
+
+val errors : issue list -> string list
+(** Messages of the [`Error] issues. *)
+
+val summary : issue list -> string
+(** e.g. ["2 errors, 3 warnings"]. *)

@@ -1,0 +1,262 @@
+type state = { current : string; var_values : (string * Value.t) list }
+
+let init (std : Model.std) =
+  { current = std.std_initial; var_values = std.std_vars }
+
+exception Step_error of string
+
+let step_error fmt = Format.kasprintf (fun s -> raise (Step_error s)) fmt
+
+(* State variables are visible to guards and right-hand sides as
+   always-present values, layered over the input environment. *)
+let extend_env vars (env : Expr.env) : Expr.env =
+ fun name ->
+  match List.assoc_opt name vars with
+  | Some v -> Value.Present v
+  | None -> env name
+
+let eval_to_value ~schedule ~tick ~env expr what =
+  let msg, _ = Expr.step ~schedule ~tick ~env expr (Expr.init_state expr) in
+  match msg with
+  | Value.Present v -> v
+  | Value.Absent -> step_error "%s evaluated to an absent message" what
+
+let guard_enabled ~schedule ~tick ~env guard =
+  let msg, _ = Expr.step ~schedule ~tick ~env guard (Expr.init_state guard) in
+  match msg with
+  | Value.Absent -> false
+  | Value.Present v ->
+    (try Value.truth v
+     with Value.Type_error msg -> step_error "guard: %s" msg)
+
+let step ?(schedule = Clock.no_events) ~tick ~env (std : Model.std) state =
+  let env = extend_env state.var_values env in
+  let candidates =
+    List.filter
+      (fun (t : Model.std_transition) -> String.equal t.st_src state.current)
+      std.std_transitions
+  in
+  let sorted =
+    List.sort
+      (fun (a : Model.std_transition) b ->
+        Int.compare a.st_priority b.st_priority)
+      candidates
+  in
+  let fired =
+    List.find_opt
+      (fun (t : Model.std_transition) ->
+        try guard_enabled ~schedule ~tick ~env t.st_guard
+        with Expr.Eval_error msg -> step_error "guard of %s->%s: %s" t.st_src t.st_dst msg)
+      sorted
+  in
+  match fired with
+  | None -> ([], state)
+  | Some t ->
+    let outputs =
+      List.map
+        (fun (port, expr) ->
+          let v =
+            try eval_to_value ~schedule ~tick ~env expr ("output " ^ port)
+            with Expr.Eval_error msg -> step_error "output %s: %s" port msg
+          in
+          (port, Value.Present v))
+        t.st_outputs
+    in
+    let updates =
+      List.map
+        (fun (name, expr) ->
+          if not (List.mem_assoc name state.var_values) then
+            step_error "assignment to undeclared variable %s" name;
+          let v =
+            try eval_to_value ~schedule ~tick ~env expr ("update " ^ name)
+            with Expr.Eval_error msg -> step_error "update %s: %s" name msg
+          in
+          (name, v))
+        t.st_updates
+    in
+    let var_values =
+      List.map
+        (fun (name, old_v) ->
+          match List.assoc_opt name updates with
+          | Some v -> (name, v)
+          | None -> (name, old_v))
+        state.var_values
+    in
+    (outputs, { current = t.st_dst; var_values })
+
+let deterministic (std : Model.std) =
+  List.for_all
+    (fun src ->
+      let priorities =
+        List.filter_map
+          (fun (t : Model.std_transition) ->
+            if String.equal t.st_src src then Some t.st_priority else None)
+          std.std_transitions
+      in
+      let distinct = List.sort_uniq Int.compare priorities in
+      List.length distinct = List.length priorities)
+    std.std_states
+
+let check (std : Model.std) =
+  let errors = ref [] in
+  let error fmt =
+    Format.kasprintf (fun s -> errors := s :: !errors) fmt
+  in
+  if not (List.mem std.std_initial std.std_states) then
+    error "initial state %s not declared" std.std_initial;
+  let distinct_states = List.sort_uniq String.compare std.std_states in
+  if List.length distinct_states <> List.length std.std_states then
+    error "duplicate state names";
+  List.iter
+    (fun (t : Model.std_transition) ->
+      if not (List.mem t.st_src std.std_states) then
+        error "transition source %s not declared" t.st_src;
+      if not (List.mem t.st_dst std.std_states) then
+        error "transition target %s not declared" t.st_dst;
+      if Expr.has_memory_operator t.st_guard then
+        error "guard of %s->%s uses pre/current (use a state variable)"
+          t.st_src t.st_dst;
+      List.iter
+        (fun (name, _) ->
+          if not (List.mem_assoc name std.std_vars) then
+            error "transition %s->%s assigns undeclared variable %s" t.st_src
+              t.st_dst name)
+        t.st_updates)
+    std.std_transitions;
+  if not (deterministic std) then
+    error
+      "non-deterministic: transitions leaving one state share a priority";
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let reachable_states (std : Model.std) =
+  let rec go visited frontier =
+    match frontier with
+    | [] -> List.rev visited
+    | s :: rest ->
+      if List.mem s visited then go visited rest
+      else
+        let successors =
+          List.filter_map
+            (fun (t : Model.std_transition) ->
+              if String.equal t.st_src s then Some t.st_dst else None)
+            std.std_transitions
+        in
+        go (s :: visited) (rest @ successors)
+  in
+  go [] [ std.std_initial ]
+
+(* Synchronous parallel composition. *)
+let product (a : Model.std) (b : Model.std) : Model.std =
+  let overlap l1 l2 = List.filter (fun x -> List.mem x l2) l1 in
+  let a_outs =
+    List.concat_map (fun (t : Model.std_transition) -> List.map fst t.st_outputs)
+      a.std_transitions
+  and b_outs =
+    List.concat_map (fun (t : Model.std_transition) -> List.map fst t.st_outputs)
+      b.std_transitions
+  in
+  (match overlap (List.sort_uniq String.compare a_outs)
+           (List.sort_uniq String.compare b_outs) with
+   | [] -> ()
+   | ports ->
+     invalid_arg
+       ("Std_machine.product: shared output ports " ^ String.concat ", " ports));
+  (match overlap (List.map fst a.std_vars) (List.map fst b.std_vars) with
+   | [] -> ()
+   | vars ->
+     invalid_arg
+       ("Std_machine.product: shared variables " ^ String.concat ", " vars));
+  let pair sa sb = sa ^ "_" ^ sb in
+  let out_of (std : Model.std) state =
+    List.filter
+      (fun (t : Model.std_transition) -> String.equal t.st_src state)
+      std.std_transitions
+  in
+  let disjunction = function
+    | [] -> Expr.bool false
+    | g :: gs -> List.fold_left (fun acc g' -> Expr.Binop (Expr.Or, acc, g')) g gs
+  in
+  let transitions =
+    List.concat_map
+      (fun sa ->
+        List.concat_map
+          (fun sb ->
+            let src = pair sa sb in
+            let ts_a = out_of a sa and ts_b = out_of b sb in
+            (* guards are totalized: an absent sibling guard must read as
+               "not enabled", not poison the conjunction with absence *)
+            let tg (t : Model.std_transition) = Expr.totalize_guard t.st_guard in
+            let none_a = Expr.Unop (Expr.Not, disjunction (List.map tg ts_a))
+            and none_b = Expr.Unop (Expr.Not, disjunction (List.map tg ts_b)) in
+            let joint =
+              List.concat_map
+                (fun (ta : Model.std_transition) ->
+                  List.map
+                    (fun (tb : Model.std_transition) ->
+                      { Model.st_src = src;
+                        st_dst = pair ta.st_dst tb.st_dst;
+                        st_guard = Expr.Binop (Expr.And, tg ta, tg tb);
+                        st_outputs = ta.st_outputs @ tb.st_outputs;
+                        st_updates = ta.st_updates @ tb.st_updates;
+                        st_priority = 0 })
+                    ts_b)
+                ts_a
+            in
+            let left =
+              List.map
+                (fun (ta : Model.std_transition) ->
+                  { Model.st_src = src;
+                    st_dst = pair ta.st_dst sb;
+                    st_guard = Expr.Binop (Expr.And, tg ta, none_b);
+                    st_outputs = ta.st_outputs;
+                    st_updates = ta.st_updates;
+                    st_priority = 0 })
+                ts_a
+            in
+            let right =
+              List.map
+                (fun (tb : Model.std_transition) ->
+                  { Model.st_src = src;
+                    st_dst = pair sa tb.st_dst;
+                    st_guard = Expr.Binop (Expr.And, none_a, tg tb);
+                    st_outputs = tb.st_outputs;
+                    st_updates = tb.st_updates;
+                    st_priority = 0 })
+                ts_b
+            in
+            List.mapi
+              (fun i (t : Model.std_transition) -> { t with Model.st_priority = i })
+              (joint @ left @ right))
+          b.std_states)
+      a.std_states
+  in
+  { Model.std_name = a.std_name ^ "_" ^ b.std_name;
+    std_states =
+      List.concat_map (fun sa -> List.map (pair sa) b.std_states) a.std_states;
+    std_initial = pair a.std_initial b.std_initial;
+    std_vars = a.std_vars @ b.std_vars;
+    std_transitions = transitions }
+
+let behavior_equivalent_to_parallel ~ticks ~env_at (a : Model.std)
+    (b : Model.std) =
+  let p = product a b in
+  let rec go tick sa sb sp =
+    if tick >= ticks then true
+    else
+      let env = env_at tick in
+      let outs_a, sa' = step ~tick ~env a sa in
+      let outs_b, sb' = step ~tick ~env b sb in
+      let outs_p, sp' = step ~tick ~env p sp in
+      let merged = outs_a @ outs_b in
+      let same =
+        List.length merged = List.length outs_p
+        && List.for_all
+             (fun (port, msg) ->
+               match List.assoc_opt port outs_p with
+               | Some m -> Value.equal_message m msg
+               | None -> false)
+             merged
+      in
+      same && go (tick + 1) sa' sb' sp'
+  in
+  go 0 (init a) (init b) (init p)

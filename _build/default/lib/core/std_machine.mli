@@ -1,0 +1,63 @@
+(** Operations on State Transition Diagrams (paper Sec. 3.2).
+
+    STDs are extended finite state machines similar to Statecharts, with
+    syntactic restrictions excluding the semantic ambiguities of some
+    Statecharts dialects (no inter-level transitions, no implicit
+    priorities: transitions leaving the same state must carry distinct
+    explicit priorities).
+
+    Step semantics: at a tick, the enabled transition of the current
+    state with the highest priority (smallest number) fires; it emits the
+    declared output messages and updates the state variables.  When no
+    transition is enabled, the machine stutters: all outputs are absent
+    and the state is unchanged. *)
+
+type state = {
+  current : string;
+  var_values : (string * Value.t) list;
+}
+
+val init : Model.std -> state
+
+exception Step_error of string
+
+val step :
+  ?schedule:Clock.schedule -> tick:int -> env:Expr.env -> Model.std ->
+  state -> (string * Value.message) list * state
+(** One synchronous step.  Guards and right-hand sides see the input
+    messages through [env] and the state variables as always-present
+    values.  @raise Step_error on evaluation failures or unknown
+    variables. *)
+
+val check : Model.std -> (unit, string list) result
+(** Structural well-formedness: initial state declared, transition
+    endpoints declared, guards/updates reference only declared variables
+    as assignment targets, distinct state names, and {e determinism}
+    (distinct priorities among transitions leaving the same state).
+    Guards must not contain [Pre]/[Current] (state belongs in declared
+    variables). *)
+
+val reachable_states : Model.std -> string list
+(** States reachable from the initial state over the transition graph
+    (guards ignored), in visit order. *)
+
+val deterministic : Model.std -> bool
+(** True iff transitions leaving each state have pairwise distinct
+    priorities. *)
+
+val product : Model.std -> Model.std -> Model.std
+(** Synchronous parallel composition (the *charts-style composition of
+    FSMs the paper cites [9]): states are pairs [sA_sB]; at each step
+    both sides react to the same inputs — a joint transition fires when
+    both guards hold, a single-side transition when only one does.
+    Outputs and variable updates of joint moves are concatenated.
+    Determinism of the factors is preserved (priorities are renumbered
+    per product state).
+    @raise Invalid_argument when the factors share output ports or
+    variable names (their action spaces must be disjoint). *)
+
+val behavior_equivalent_to_parallel :
+  ticks:int -> env_at:(int -> Expr.env) -> Model.std -> Model.std -> bool
+(** Oracle used by the tests: stepping {!product} equals stepping both
+    factors side by side and merging their outputs, for the given input
+    schedule. *)

@@ -1,0 +1,153 @@
+let float_in name = (name, Some Dtype.Tfloat)
+
+let expr_block ~name ~inputs ?out_type expr =
+  Dfd.block_of_expr ~name ~inputs ?out_type expr
+
+(* Single-state STD skeleton: fires whenever a message is present on
+   [trigger]; computes [out] and updates the variables. *)
+let machine_block ~name ~inputs ~out_type ~vars ~trigger ~out_expr ~updates =
+  let std : Model.std =
+    { std_name = name ^ "_machine";
+      std_states = [ "run" ];
+      std_initial = "run";
+      std_vars = vars;
+      std_transitions =
+        [ { st_src = "run";
+            st_dst = "run";
+            st_guard = Expr.Is_present trigger;
+            st_outputs = [ ("out", out_expr) ];
+            st_updates = updates;
+            st_priority = 0 } ] }
+  in
+  let in_ports = List.map (fun (n, ty) -> Model.port ?ty Model.In n) inputs in
+  Model.component name
+    ~ports:(in_ports @ [ Model.port ~ty:out_type Model.Out "out" ])
+    ~behavior:(Model.B_std std)
+
+let delay ~name ~init =
+  expr_block ~name
+    ~inputs:[ ("in", None) ]
+    (Expr.pre init (Expr.var "in"))
+
+let gain ~name k =
+  expr_block ~name
+    ~inputs:[ float_in "in" ]
+    ~out_type:Dtype.Tfloat
+    Expr.(float k * var "in")
+
+let offset ~name k =
+  expr_block ~name
+    ~inputs:[ float_in "in" ]
+    ~out_type:Dtype.Tfloat
+    Expr.(var "in" + float k)
+
+let limiter ~name ~lo ~hi =
+  expr_block ~name
+    ~inputs:[ float_in "in" ]
+    ~out_type:Dtype.Tfloat
+    (Expr.Call ("limit", [ Expr.var "in"; Expr.float lo; Expr.float hi ]))
+
+let rate_limiter ~name ~max_step =
+  let stepped =
+    Expr.(
+      var "prev"
+      + Call ("limit", [ var "in" - var "prev"; float (-.max_step); float max_step ]))
+  in
+  machine_block ~name
+    ~inputs:[ float_in "in" ]
+    ~out_type:Dtype.Tfloat
+    ~vars:[ ("prev", Value.Float 0.) ]
+    ~trigger:"in" ~out_expr:stepped
+    ~updates:[ ("prev", stepped) ]
+
+let integrator ~name ?(init = 0.) ?(gain = 1.) () =
+  let acc = Expr.(var "acc" + (float gain * var "in")) in
+  machine_block ~name
+    ~inputs:[ float_in "in" ]
+    ~out_type:Dtype.Tfloat
+    ~vars:[ ("acc", Value.Float init) ]
+    ~trigger:"in" ~out_expr:acc
+    ~updates:[ ("acc", acc) ]
+
+let derivative ~name =
+  machine_block ~name
+    ~inputs:[ float_in "in" ]
+    ~out_type:Dtype.Tfloat
+    ~vars:[ ("prev", Value.Float 0.) ]
+    ~trigger:"in"
+    ~out_expr:Expr.(var "in" - var "prev")
+    ~updates:[ ("prev", Expr.var "in") ]
+
+let pi_controller ~name ~kp ~ki =
+  let err = Expr.(var "setpoint" - var "measure") in
+  let integral = Expr.(var "integral" + err) in
+  machine_block ~name
+    ~inputs:[ float_in "setpoint"; float_in "measure" ]
+    ~out_type:Dtype.Tfloat
+    ~vars:[ ("integral", Value.Float 0.) ]
+    ~trigger:"measure"
+    ~out_expr:Expr.((float kp * err) + (float ki * integral))
+    ~updates:[ ("integral", integral) ]
+
+let hysteresis ~name ~low ~high =
+  let std : Model.std =
+    { std_name = name ^ "_machine";
+      std_states = [ "Low"; "High" ];
+      std_initial = "Low";
+      std_vars = [];
+      std_transitions =
+        [ { st_src = "Low"; st_dst = "High";
+            st_guard = Expr.(var "in" > float high);
+            st_outputs = [ ("out", Expr.bool true) ];
+            st_updates = []; st_priority = 0 };
+          { st_src = "Low"; st_dst = "Low";
+            st_guard = Expr.Is_present "in";
+            st_outputs = [ ("out", Expr.bool false) ];
+            st_updates = []; st_priority = 1 };
+          { st_src = "High"; st_dst = "Low";
+            st_guard = Expr.(var "in" < float low);
+            st_outputs = [ ("out", Expr.bool false) ];
+            st_updates = []; st_priority = 0 };
+          { st_src = "High"; st_dst = "High";
+            st_guard = Expr.Is_present "in";
+            st_outputs = [ ("out", Expr.bool true) ];
+            st_updates = []; st_priority = 1 } ] }
+  in
+  Model.component name
+    ~ports:
+      [ Model.port ~ty:Dtype.Tfloat Model.In "in";
+        Model.port ~ty:Dtype.Tbool Model.Out "out" ]
+    ~behavior:(Model.B_std std)
+
+let debounce ~name ~ticks =
+  (* Counts consecutive activations on which the input differs from the
+     stable output; switches after [ticks] of them. *)
+  let differs = Expr.(Binop (Ne, var "in", var "stable")) in
+  let bumped = Expr.(var "count" + int 1) in
+  let switch = Expr.(differs && (bumped >= int ticks)) in
+  let std : Model.std =
+    { std_name = name ^ "_machine";
+      std_states = [ "run" ];
+      std_initial = "run";
+      std_vars = [ ("stable", Value.Bool false); ("count", Value.Int 0) ];
+      std_transitions =
+        [ { st_src = "run"; st_dst = "run";
+            st_guard = Expr.Is_present "in";
+            st_outputs =
+              [ ("out", Expr.if_ switch (Expr.var "in") (Expr.var "stable")) ];
+            st_updates =
+              [ ("stable", Expr.if_ switch (Expr.var "in") (Expr.var "stable"));
+                ("count", Expr.if_ switch (Expr.int 0)
+                            (Expr.if_ differs bumped (Expr.int 0))) ];
+            st_priority = 0 } ] }
+  in
+  Model.component name
+    ~ports:
+      [ Model.port ~ty:Dtype.Tbool Model.In "in";
+        Model.port ~ty:Dtype.Tbool Model.Out "out" ]
+    ~behavior:(Model.B_std std)
+
+let sample_hold ~name ~clock ~init =
+  expr_block ~name
+    ~inputs:[ ("in", None) ]
+    (Expr.current init (Expr.when_ (Expr.var "in") clock))

@@ -1,0 +1,46 @@
+(** Prebuilt stateful standard blocks (paper Sec. 3.2: block libraries
+    for discrete-time computations).
+
+    Each constructor returns an atomic component (behavior [B_exprs])
+    with input port(s) and one output port ["out"], built from the base
+    language.  Feedback needed for the internal state uses [Expr.Pre],
+    which is legal inside a block (the causality discipline only
+    restricts feedback {e between} blocks). *)
+
+val delay : name:string -> init:Value.t -> Model.component
+(** One-tick delay of its input stream ([in] -> [out]). *)
+
+val gain : name:string -> float -> Model.component
+(** [out = k * in]. *)
+
+val offset : name:string -> float -> Model.component
+(** [out = in + k]. *)
+
+val limiter : name:string -> lo:float -> hi:float -> Model.component
+(** Saturation. *)
+
+val rate_limiter : name:string -> max_step:float -> Model.component
+(** Limits the change of the output per activation to [±max_step]. *)
+
+val integrator : name:string -> ?init:float -> ?gain:float -> unit -> Model.component
+(** Discrete accumulator: [out(t) = out(t-1) + gain * in(t)]. *)
+
+val derivative : name:string -> Model.component
+(** First difference: [out(t) = in(t) - in(t-1)] (0 at the first tick). *)
+
+val pi_controller :
+  name:string -> kp:float -> ki:float -> Model.component
+(** Discrete PI controller on input ports [setpoint] and [measure]. *)
+
+val hysteresis :
+  name:string -> low:float -> high:float -> Model.component
+(** Two-point (bang-bang) element: output [true] once the input exceeds
+    [high], [false] once it drops below [low], holding in between. *)
+
+val debounce : name:string -> ticks:int -> Model.component
+(** Boolean debouncer: output switches only after the input has held the
+    new value for [ticks] consecutive activations. *)
+
+val sample_hold : name:string -> clock:Clock.t -> init:Value.t -> Model.component
+(** Samples the input on [clock] and holds the value in between — the
+    [when]/[current] pattern of the paper's Fig. 2 in one block. *)

@@ -1,0 +1,152 @@
+type t = {
+  flow_names : string list;
+  (* newest tick first; each tick is an assoc list over flow_names *)
+  rev_ticks : (string * Value.message) list list;
+}
+
+let make ~flows = { flow_names = flows; rev_ticks = [] }
+
+let record t tick_msgs =
+  let tick =
+    List.map
+      (fun flow ->
+        match List.assoc_opt flow tick_msgs with
+        | Some msg -> (flow, msg)
+        | None -> (flow, Value.Absent))
+      t.flow_names
+  in
+  { t with rev_ticks = tick :: t.rev_ticks }
+
+let length t = List.length t.rev_ticks
+let flows t = t.flow_names
+let ticks t = List.rev t.rev_ticks
+
+let get t ~flow ~tick =
+  if not (List.mem flow t.flow_names) then raise Not_found;
+  match List.nth_opt (ticks t) tick with
+  | None -> Value.Absent
+  | Some row -> (match List.assoc_opt flow row with
+    | Some msg -> msg
+    | None -> Value.Absent)
+
+let column t flow =
+  if not (List.mem flow t.flow_names) then raise Not_found;
+  List.map
+    (fun row ->
+      match List.assoc_opt flow row with
+      | Some msg -> msg
+      | None -> Value.Absent)
+    (ticks t)
+
+let equal_on ~flows:fs a b =
+  length a = length b
+  && List.for_all
+       (fun flow ->
+         let ca = try column a flow with Not_found -> [] in
+         let cb = try column b flow with Not_found -> [] in
+         List.length ca = List.length cb
+         && List.for_all2 Value.equal_message ca cb)
+       fs
+
+let equal a b =
+  let sa = List.sort String.compare a.flow_names in
+  let sb = List.sort String.compare b.flow_names in
+  List.equal String.equal sa sb && equal_on ~flows:sa a b
+
+let first_divergence a b =
+  let common =
+    List.filter (fun f -> List.mem f b.flow_names) a.flow_names
+  in
+  let n = Stdlib.max (length a) (length b) in
+  let rec scan tick =
+    if tick >= n then None
+    else
+      let diff =
+        List.find_opt
+          (fun flow ->
+            not
+              (Value.equal_message (get a ~flow ~tick) (get b ~flow ~tick)))
+          common
+      in
+      match diff with
+      | Some flow -> Some (tick, flow, get a ~flow ~tick, get b ~flow ~tick)
+      | None -> scan (tick + 1)
+  in
+  scan 0
+
+let restrict t keep =
+  let keep = List.filter (fun f -> List.mem f t.flow_names) keep in
+  { flow_names = keep;
+    rev_ticks =
+      List.map
+        (fun row -> List.filter (fun (f, _) -> List.mem f keep) row)
+        t.rev_ticks }
+
+let rename t mapping =
+  let map_name f =
+    match List.assoc_opt f mapping with Some f' -> f' | None -> f
+  in
+  { flow_names = List.map map_name t.flow_names;
+    rev_ticks =
+      List.map (fun row -> List.map (fun (f, m) -> (map_name f, m)) row)
+        t.rev_ticks }
+
+let pp ppf t =
+  let all = ticks t in
+  let n = List.length all in
+  let width_of flow =
+    let cells =
+      Value.message_to_string Value.Absent
+      :: List.map (fun row ->
+             Value.message_to_string
+               (match List.assoc_opt flow row with
+                | Some m -> m
+                | None -> Value.Absent))
+           all
+    in
+    List.fold_left (fun acc s -> Stdlib.max acc (String.length s)) 1 cells
+  in
+  let name_width =
+    List.fold_left (fun acc f -> Stdlib.max acc (String.length f)) 4
+      t.flow_names
+  in
+  Format.fprintf ppf "%-*s |" name_width "tick";
+  for i = 0 to n - 1 do
+    Format.fprintf ppf " t+%-3d" i
+  done;
+  Format.pp_print_newline ppf ();
+  List.iter
+    (fun flow ->
+      let w = Stdlib.max 4 (width_of flow) in
+      Format.fprintf ppf "%-*s |" name_width flow;
+      List.iter
+        (fun row ->
+          let msg =
+            match List.assoc_opt flow row with
+            | Some m -> m
+            | None -> Value.Absent
+          in
+          Format.fprintf ppf " %-*s" (Stdlib.max w 5)
+            (Value.message_to_string msg))
+        all;
+      Format.pp_print_newline ppf ())
+    t.flow_names
+
+let to_string t = Format.asprintf "%a" pp t
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("tick," ^ String.concat "," t.flow_names ^ "\n");
+  List.iteri
+    (fun tick row ->
+      Buffer.add_string buf (string_of_int tick);
+      List.iter
+        (fun flow ->
+          Buffer.add_char buf ',';
+          match List.assoc_opt flow row with
+          | Some (Value.Present v) -> Buffer.add_string buf (Value.to_string v)
+          | Some Value.Absent | None -> ())
+        t.flow_names;
+      Buffer.add_char buf '\n')
+    (ticks t);
+  Buffer.contents buf

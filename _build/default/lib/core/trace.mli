@@ -1,0 +1,49 @@
+(** Simulation traces: per-flow message streams over discrete ticks.
+
+    A trace records, for each named flow and each tick, the message on
+    the flow — mirroring the tick tables of the paper's Fig. 1 where
+    absent messages show as ["-"]. *)
+
+type t
+
+val make : flows:string list -> t
+(** An empty trace over the given flow names (column order preserved). *)
+
+val record : t -> (string * Value.message) list -> t
+(** Append one tick.  Flows not mentioned get [Absent]; unknown flow
+    names are ignored. *)
+
+val length : t -> int
+val flows : t -> string list
+
+val get : t -> flow:string -> tick:int -> Value.message
+(** @raise Not_found on unknown flows; [Absent] beyond the last tick. *)
+
+val column : t -> string -> Value.message list
+(** The full message stream of one flow.  @raise Not_found. *)
+
+val equal : t -> t -> bool
+(** Same flows (in any order), same length, same messages everywhere. *)
+
+val equal_on : flows:string list -> t -> t -> bool
+(** Equality restricted to the given flows. *)
+
+val first_divergence :
+  t -> t -> (int * string * Value.message * Value.message) option
+(** Earliest (tick, flow, left, right) where two traces differ on their
+    common flows; [None] when they agree. *)
+
+val restrict : t -> string list -> t
+(** Keep only the given flows (in the given order). *)
+
+val rename : t -> (string * string) list -> t
+(** Rename flows; names without a mapping are kept. *)
+
+val pp : Format.formatter -> t -> unit
+(** Fig. 1-style table: one row per flow, one column per tick. *)
+
+val to_string : t -> string
+
+val to_csv : t -> string
+(** Comma-separated export: header [tick,<flow>,...], one line per tick,
+    absent messages as empty cells — for spreadsheet/plot tooling. *)

@@ -1,0 +1,1 @@
+lib/la/ccd.ml: Automode_core Causality Clock Cluster Format List Model Network Option String

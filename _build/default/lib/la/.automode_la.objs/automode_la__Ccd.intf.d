@@ -1,0 +1,1 @@
+lib/la/ccd.mli: Automode_core Cluster Model

@@ -1,0 +1,1 @@
+lib/la/cluster.ml: Automode_core Clock Dfd Dtype Expr Format Impl_type List Model Network Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/la/cluster.mli: Automode_core Impl_type Model

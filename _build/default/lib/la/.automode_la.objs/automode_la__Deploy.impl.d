@@ -1,0 +1,1 @@
+lib/la/deploy.ml: Automode_core Automode_osek Ccd Cluster Dtype Float Format Hashtbl Impl_type Int List Model Option Stdlib String Ta

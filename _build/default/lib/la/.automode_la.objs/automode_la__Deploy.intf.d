@@ -1,0 +1,1 @@
+lib/la/deploy.mli: Automode_core Automode_osek Ccd Format Model Ta

@@ -1,0 +1,1 @@
+lib/la/impl_type.ml: Automode_core Dtype Float Format List Option Stdlib String Value

@@ -1,0 +1,1 @@
+lib/la/impl_type.mli: Automode_core Dtype Format Value

@@ -1,0 +1,1 @@
+lib/la/ta.ml: Format Int List String

@@ -1,0 +1,1 @@
+lib/la/ta.mli: Format

@@ -1,0 +1,1 @@
+lib/la/well_defined.ml: Automode_core Ccd Cluster Dtype Format List Model Option Printf String

@@ -1,0 +1,1 @@
+lib/la/well_defined.mli: Automode_core Ccd Format Model

@@ -1,0 +1,92 @@
+open Automode_core
+
+type t = {
+  ccd_name : string;
+  clusters : Cluster.t list;
+  channels : Model.channel list;
+  external_ports : Model.port list;
+}
+
+let make ?(external_ports = []) ~name ~clusters ~channels () =
+  { ccd_name = name; clusters; channels; external_ports }
+
+let network ccd : Model.network =
+  { net_name = ccd.ccd_name;
+    net_components = List.map Cluster.to_component ccd.clusters;
+    net_channels = ccd.channels }
+
+let to_component ccd =
+  Model.component ccd.ccd_name ~ports:ccd.external_ports
+    ~behavior:(Model.B_dfd (network ccd))
+
+let find_cluster ccd name =
+  List.find_opt
+    (fun (c : Cluster.t) -> String.equal c.cluster_name name)
+    ccd.clusters
+
+let check ccd =
+  let problems = ref [] in
+  let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter
+    (fun (c : Cluster.t) ->
+      List.iter (fun p -> add "cluster %s: %s" c.cluster_name p)
+        (Cluster.check c))
+    ccd.clusters;
+  let net = network ccd in
+  let enclosing = to_component ccd in
+  List.iter
+    (fun (i : Network.issue) ->
+      match i.issue_severity with
+      | `Error -> add "%s" i.issue_msg
+      | `Warning -> ())
+    (Network.check ~require_static_types:true ~enclosing net);
+  (match Causality.check net with
+   | Ok () -> ()
+   | Error loops ->
+     List.iter
+       (fun loop ->
+         add "instantaneous cluster loop: %s (insert a delay operator)"
+           (String.concat " -> " loop))
+       loops);
+  (* flatness: no cluster of this CCD may appear inside another's body *)
+  let cluster_names =
+    List.map (fun (c : Cluster.t) -> c.cluster_name) ccd.clusters
+  in
+  List.iter
+    (fun (c : Cluster.t) ->
+      Model.iter_components
+        (fun path (sub : Model.component) ->
+          if path <> [] && List.mem sub.comp_name cluster_names then
+            add "CCD not flat: cluster %s nested inside %s" sub.comp_name
+              c.cluster_name)
+        (Cluster.to_component c))
+    ccd.clusters;
+  List.rev !problems
+
+let port_period (p : Model.port) =
+  match Clock.canon p.port_clock with
+  | Clock.Periodic { period; _ } -> Some period
+  | Clock.Aperiodic _ -> None
+  | exception Clock.Invalid_clock _ -> None
+
+let endpoint_period ccd (ep : Model.endpoint) =
+  match ep.ep_comp with
+  | None ->
+    Option.bind
+      (List.find_opt
+         (fun (p : Model.port) -> String.equal p.port_name ep.ep_port)
+         ccd.external_ports)
+      port_period
+  | Some cname ->
+    Option.bind (find_cluster ccd cname) (fun c ->
+        Option.bind
+          (List.find_opt
+             (fun (p : Model.port) -> String.equal p.port_name ep.ep_port)
+             c.Cluster.ports)
+          port_period)
+
+let channel_rates ccd =
+  List.map
+    (fun (ch : Model.channel) ->
+      (ch, endpoint_period ccd ch.ch_src, endpoint_period ccd ch.ch_dst))
+    ccd.channels

@@ -1,0 +1,40 @@
+(** Cluster Communication Diagrams (paper Sec. 3.3).
+
+    The top-level notation of the Logical Architecture: a {e flat}
+    network of clusters (clusters may not be defined recursively by
+    other CCDs) with statically typed, explicitly clocked interfaces.
+    Channels may carry explicit delay operators — the knob the
+    target-specific well-definedness conditions of {!Well_defined}
+    reason about. *)
+
+open Automode_core
+
+type t = {
+  ccd_name : string;
+  clusters : Cluster.t list;
+  channels : Model.channel list;
+      (** endpoints name clusters; boundary endpoints are external
+          sensors/actuators of the LA *)
+  external_ports : Model.port list;
+}
+
+val make :
+  ?external_ports:Model.port list -> name:string ->
+  clusters:Cluster.t list -> channels:Model.channel list -> unit -> t
+
+val to_component : t -> Model.component
+(** View as a DFD-behavior component over the cluster components, for
+    simulation and rendering.  Channel delay flags are preserved. *)
+
+val find_cluster : t -> string -> Cluster.t option
+
+val check : t -> string list
+(** Structural conditions: per-cluster {!Cluster.check}, network
+    well-formedness, flatness (cluster bodies may be hierarchical DFDs
+    but never contain components that are themselves clusters of this
+    CCD), and causality of the cluster graph. *)
+
+val channel_rates :
+  t -> (Model.channel * int option * int option) list
+(** Each channel with the periods of its source and destination port
+    clocks (μ-tick units; [None] for boundary or aperiodic ends). *)

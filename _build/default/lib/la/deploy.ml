@@ -1,0 +1,357 @@
+open Automode_core
+
+(* The abstract clock's base tick is interpreted as 1 ms of physical time
+   when confronting the Technical Architecture (whose quantities are in
+   microseconds). *)
+let us_per_tick = 1_000
+
+type t = {
+  ccd : Ccd.t;
+  ta : Ta.t;
+  cluster_task : (string * string) list;
+  signal_frame : (string * string) list;
+}
+
+let make ~ccd ~ta ~cluster_task ?(signal_frame = []) () =
+  { ccd; ta; cluster_task; signal_frame }
+
+let ecu_of_cluster d cluster =
+  Option.bind (List.assoc_opt cluster d.cluster_task) (fun task ->
+      Option.map (fun (t : Ta.task) -> t.task_ecu) (Ta.find_task d.ta task))
+
+let channel_endpoint_cluster (ep : Model.endpoint) = ep.ep_comp
+
+let inter_ecu_channels d =
+  List.filter
+    (fun (ch : Model.channel) ->
+      match
+        ( channel_endpoint_cluster ch.ch_src,
+          channel_endpoint_cluster ch.ch_dst )
+      with
+      | Some src, Some dst ->
+        (match ecu_of_cluster d src, ecu_of_cluster d dst with
+         | Some e1, Some e2 -> not (String.equal e1 e2)
+         | None, _ | _, None -> false)
+      | None, _ | _, None -> false)
+    d.ccd.Ccd.channels
+
+(* Width in bits of the signal on a channel: the source cluster port's
+   implementation type if declared, else a default by abstract type. *)
+let channel_width d (ch : Model.channel) =
+  let default_width (ty : Dtype.t option) =
+    match ty with
+    | Some Dtype.Tbool -> 1
+    | Some Dtype.Tint -> 16
+    | Some Dtype.Tfloat -> 32
+    | Some (Dtype.Tenum e) ->
+      let n = List.length e.literals in
+      let rec bits k = if 1 lsl k >= n then k else bits (k + 1) in
+      Stdlib.max 1 (bits 1)
+    | Some (Dtype.Ttuple _) | None -> 32
+  in
+  match ch.ch_src.ep_comp with
+  | None -> 32
+  | Some cname ->
+    (match Ccd.find_cluster d.ccd cname with
+     | None -> 32
+     | Some c ->
+       (match List.assoc_opt ch.ch_src.ep_port c.Cluster.impl_types with
+        | Some impl -> Impl_type.bit_width impl
+        | None ->
+          default_width
+            (Option.bind
+               (List.find_opt
+                  (fun (p : Model.port) ->
+                    String.equal p.port_name ch.ch_src.ep_port)
+                  c.Cluster.ports)
+               (fun p -> p.port_type))))
+
+let channel_period_us d (ch : Model.channel) =
+  let rates = Ccd.channel_rates d.ccd in
+  match
+    List.find_opt
+      (fun ((c : Model.channel), _, _) -> String.equal c.ch_name ch.ch_name)
+      rates
+  with
+  | Some (_, Some src_p, _) -> Some (src_p * us_per_tick)
+  | Some (_, None, _) | None -> None
+
+let find_frame d name =
+  List.find_opt (fun (f : Ta.frame_slot) -> String.equal f.slot_name name)
+    d.ta.Ta.frames
+
+let check d =
+  let problems = ref [] in
+  let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter (fun p -> add "TA: %s" p) (Ta.check d.ta);
+  (* cluster -> task mapping *)
+  List.iter
+    (fun (c : Cluster.t) ->
+      match List.assoc_opt c.cluster_name d.cluster_task with
+      | None -> add "cluster %s is not mapped to any task" c.cluster_name
+      | Some task_name ->
+        (match Ta.find_task d.ta task_name with
+         | None ->
+           add "cluster %s mapped to unknown task %s" c.cluster_name task_name
+         | Some task ->
+           (match Cluster.period c with
+            | None ->
+              add "cluster %s has aperiodic ports; cannot check task rate"
+                c.cluster_name
+            | Some ticks ->
+              let cluster_us = ticks * us_per_tick in
+              if task.period_us > cluster_us then
+                add
+                  "cluster %s (period %dus) mapped to slower task %s (%dus)"
+                  c.cluster_name cluster_us task_name task.period_us
+              else if cluster_us mod task.period_us <> 0 then
+                add "cluster %s period %dus not a multiple of task %s period %dus"
+                  c.cluster_name cluster_us task_name task.period_us)))
+    d.ccd.Ccd.clusters;
+  let mapped_twice =
+    let names = List.map fst d.cluster_task in
+    List.length (List.sort_uniq String.compare names) <> List.length names
+  in
+  if mapped_twice then add "a cluster is mapped to several tasks";
+  (* inter-ECU signals -> frames *)
+  let inter = inter_ecu_channels d in
+  List.iter
+    (fun (ch : Model.channel) ->
+      match List.assoc_opt ch.ch_name d.signal_frame with
+      | None ->
+        add "inter-ECU signal %s is not mapped to any frame" ch.ch_name
+      | Some frame_name ->
+        (match find_frame d frame_name with
+         | None ->
+           add "signal %s mapped to unknown frame %s" ch.ch_name frame_name
+         | Some frame ->
+           (match channel_period_us d ch with
+            | Some signal_period when frame.slot_period_us > signal_period ->
+              add "frame %s (%dus) slower than signal %s (%dus)"
+                frame.slot_name frame.slot_period_us ch.ch_name signal_period
+            | Some _ | None -> ())))
+    inter;
+  (* frame capacity: summed widths of the signals sharing a frame *)
+  List.iter
+    (fun (frame : Ta.frame_slot) ->
+      let load =
+        List.fold_left
+          (fun acc (signal, fname) ->
+            if String.equal fname frame.slot_name then
+              match
+                List.find_opt
+                  (fun (ch : Model.channel) -> String.equal ch.ch_name signal)
+                  d.ccd.Ccd.channels
+              with
+              | Some ch -> acc + channel_width d ch
+              | None -> acc
+            else acc)
+          0 d.signal_frame
+      in
+      if load > frame.capacity_bits then
+        add "frame %s overloaded: %d bits in %d bits capacity" frame.slot_name
+          load frame.capacity_bits)
+    d.ta.Ta.frames;
+  List.rev !problems
+
+let task_sets d =
+  List.map
+    (fun (ecu : Ta.ecu) ->
+      let tasks =
+        List.map
+          (fun (task : Ta.task) ->
+            let cost =
+              List.fold_left
+                (fun acc (cname, tname) ->
+                  if String.equal tname task.task_name then
+                    match Ccd.find_cluster d.ccd cname with
+                    | Some c -> acc + Cluster.wcet_estimate c
+                    | None -> acc
+                  else acc)
+                0 d.cluster_task
+            in
+            let wcet =
+              Stdlib.max 1
+                (int_of_float
+                   (Float.ceil (float_of_int cost *. ecu.speed_factor)))
+            in
+            Automode_osek.Osek_task.make ~name:task.task_name
+              ~period:task.period_us ~wcet ~priority:task.priority
+              ~offset:task.offset_us ())
+          (Ta.tasks_of_ecu d.ta ecu.ecu_name)
+      in
+      (ecu.ecu_name, tasks))
+    d.ta.Ta.ecus
+
+let bus_frames d =
+  List.map
+    (fun (bus : Ta.bus) ->
+      let used (frame : Ta.frame_slot) =
+        List.exists (fun (_, f) -> String.equal f frame.slot_name) d.signal_frame
+      in
+      let frames =
+        List.filter_map
+          (fun (frame : Ta.frame_slot) ->
+            if not (used frame) then None
+            else
+              Some
+                (Automode_osek.Can_bus.frame ~name:frame.slot_name
+                   ~can_id:frame.can_id
+                   ~payload_bytes:
+                     (Stdlib.min 8 ((frame.capacity_bits + 7) / 8))
+                   ~period:frame.slot_period_us ()))
+          (Ta.frames_of_bus d.ta bus.bus_name)
+      in
+      (bus.bus_name, frames))
+    d.ta.Ta.buses
+
+let comm_matrix d =
+  let entries =
+    List.filter_map
+      (fun (ch : Model.channel) ->
+        match ch.ch_src.ep_comp, ch.ch_dst.ep_comp with
+        | Some src, Some dst ->
+          (match ecu_of_cluster d src, ecu_of_cluster d dst with
+           | Some e1, Some e2 when not (String.equal e1 e2) ->
+             Some
+               (Automode_osek.Comm_matrix.entry ~signal:ch.ch_name ~sender:e1
+                  ~receivers:[ e2 ]
+                  ~size_bits:(channel_width d ch)
+                  ?period_us:(channel_period_us d ch)
+                  ())
+           | Some _, Some _ | None, _ | _, None -> None)
+        | None, _ | _, None -> None)
+      d.ccd.Ccd.channels
+  in
+  { Automode_osek.Comm_matrix.entries }
+
+let auto_assign ~ccd ~(ta : Ta.t) =
+  (* slowest clusters first: they fit the most tasks, so place the
+     constrained (fast) clusters while ECUs are still empty *)
+  let clusters =
+    List.filter_map
+      (fun (c : Cluster.t) ->
+        Option.map (fun p -> (p * us_per_tick, c)) (Cluster.period c))
+      ccd.Ccd.clusters
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let utilization = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Ta.ecu) -> Hashtbl.replace utilization e.ecu_name 0.)
+    ta.Ta.ecus;
+  List.filter_map
+    (fun (cluster_us, (c : Cluster.t)) ->
+      let adequate =
+        List.filter
+          (fun (t : Ta.task) ->
+            t.period_us <= cluster_us && cluster_us mod t.period_us = 0)
+          ta.Ta.tasks
+      in
+      let best =
+        List.fold_left
+          (fun acc (t : Ta.task) ->
+            let u =
+              try Hashtbl.find utilization t.task_ecu with Not_found -> 0.
+            in
+            match acc with
+            | Some (_, u_best) when u_best <= u -> acc
+            | Some _ | None -> Some (t, u))
+          None adequate
+      in
+      match best with
+      | None -> None
+      | Some (task, _) ->
+        let speed =
+          match Ta.find_ecu ta task.task_ecu with
+          | Some e -> e.speed_factor
+          | None -> 1.
+        in
+        let cost =
+          float_of_int (Cluster.wcet_estimate c) *. speed
+          /. float_of_int task.period_us
+        in
+        Hashtbl.replace utilization task.task_ecu
+          ((try Hashtbl.find utilization task.task_ecu with Not_found -> 0.)
+          +. cost);
+        Some (c.cluster_name, task.task_name))
+    clusters
+
+let auto_map_signals d =
+  let unmapped =
+    List.filter
+      (fun (ch : Model.channel) ->
+        List.assoc_opt ch.ch_name d.signal_frame = None)
+      (inter_ecu_channels d)
+  in
+  let remaining_capacity frame =
+    frame.Ta.capacity_bits
+    - List.fold_left
+        (fun acc (signal, fname) ->
+          if String.equal fname frame.Ta.slot_name then
+            match
+              List.find_opt
+                (fun (ch : Model.channel) -> String.equal ch.ch_name signal)
+                d.ccd.Ccd.channels
+            with
+            | Some ch -> acc + channel_width d ch
+            | None -> acc
+          else acc)
+        0 d.signal_frame
+  in
+  let mapping =
+    List.fold_left
+      (fun mapping (ch : Model.channel) ->
+        let width = channel_width d ch in
+        let period = channel_period_us d ch in
+        let fits frame =
+          let cap =
+            remaining_capacity frame
+            - List.fold_left
+                (fun acc (signal, fname) ->
+                  (* account for signals added in this fold *)
+                  if
+                    String.equal fname frame.Ta.slot_name
+                    && List.assoc_opt signal d.signal_frame = None
+                  then
+                    match
+                      List.find_opt
+                        (fun (c : Model.channel) -> String.equal c.ch_name signal)
+                        d.ccd.Ccd.channels
+                    with
+                    | Some c -> acc + channel_width d c
+                    | None -> acc
+                  else acc)
+                0 mapping
+          in
+          cap >= width
+          &&
+          match period with
+          | Some p -> frame.Ta.slot_period_us <= p
+          | None -> true
+        in
+        (* prefer the slowest adequate frame so fast slots stay free for
+           genuinely fast signals *)
+        let candidates =
+          List.sort
+            (fun (a : Ta.frame_slot) b ->
+              Int.compare b.slot_period_us a.slot_period_us)
+            d.ta.Ta.frames
+        in
+        match List.find_opt fits candidates with
+        | Some frame -> (ch.ch_name, frame.Ta.slot_name) :: mapping
+        | None -> mapping)
+      [] unmapped
+  in
+  { d with signal_frame = d.signal_frame @ List.rev mapping }
+
+let pp ppf d =
+  Format.fprintf ppf "deployment of CCD %s onto TA %s@\n" d.ccd.Ccd.ccd_name
+    d.ta.Ta.ta_name;
+  List.iter
+    (fun (c, t) ->
+      let ecu = Option.value (ecu_of_cluster d c) ~default:"?" in
+      Format.fprintf ppf "  %-24s -> task %-16s (ECU %s)@\n" c t ecu)
+    d.cluster_task;
+  List.iter
+    (fun (s, f) -> Format.fprintf ppf "  signal %-20s -> frame %s@\n" s f)
+    d.signal_frame

@@ -1,0 +1,158 @@
+open Automode_core
+
+type word = Int8 | Int16 | Int32 | UInt8 | UInt16 | UInt32
+
+type t =
+  | Ibool
+  | Iint of word
+  | Ifloat32
+  | Ifloat64
+  | Ifixed of { container : word; scale : float; offset : float }
+  | Ienum of Dtype.enum_decl * word
+
+let word_name = function
+  | Int8 -> "int8"
+  | Int16 -> "int16"
+  | Int32 -> "int32"
+  | UInt8 -> "uint8"
+  | UInt16 -> "uint16"
+  | UInt32 -> "uint32"
+
+let pp ppf = function
+  | Ibool -> Format.pp_print_string ppf "bool8"
+  | Iint w -> Format.pp_print_string ppf (word_name w)
+  | Ifloat32 -> Format.pp_print_string ppf "float32"
+  | Ifloat64 -> Format.pp_print_string ppf "float64"
+  | Ifixed { container; scale; offset } ->
+    Format.fprintf ppf "fixed<%s,%g,%g>" (word_name container) scale offset
+  | Ienum (e, w) -> Format.fprintf ppf "%s:%s" e.enum_name (word_name w)
+
+let to_string ty = Format.asprintf "%a" pp ty
+
+let equal a b =
+  match a, b with
+  | Ibool, Ibool | Ifloat32, Ifloat32 | Ifloat64, Ifloat64 -> true
+  | Iint w1, Iint w2 -> w1 = w2
+  | Ifixed f1, Ifixed f2 ->
+    f1.container = f2.container
+    && Float.equal f1.scale f2.scale
+    && Float.equal f1.offset f2.offset
+  | Ienum (e1, w1), Ienum (e2, w2) ->
+    String.equal e1.enum_name e2.enum_name && w1 = w2
+  | (Ibool | Iint _ | Ifloat32 | Ifloat64 | Ifixed _ | Ienum _), _ -> false
+
+let word_bits = function
+  | Int8 | UInt8 -> 8
+  | Int16 | UInt16 -> 16
+  | Int32 | UInt32 -> 32
+
+let bit_width = function
+  | Ibool -> 8
+  | Iint w -> word_bits w
+  | Ifloat32 -> 32
+  | Ifloat64 -> 64
+  | Ifixed { container; _ } -> word_bits container
+  | Ienum (_, w) -> word_bits w
+
+let word_range = function
+  | Int8 -> (-128, 127)
+  | Int16 -> (-32768, 32767)
+  | Int32 -> (-2147483648, 2147483647)
+  | UInt8 -> (0, 255)
+  | UInt16 -> (0, 65535)
+  | UInt32 -> (0, 4294967295)
+
+let refines impl (abstract : Dtype.t) =
+  match impl, abstract with
+  | Ibool, Dtype.Tbool -> true
+  | Iint _, Dtype.Tint -> true
+  | (Ifloat32 | Ifloat64 | Ifixed _), (Dtype.Tfloat | Dtype.Tint) -> true
+  | Ienum (e, w), Dtype.Tenum e' ->
+    String.equal e.enum_name e'.enum_name
+    && List.length e'.literals - 1 <= snd (word_range w)
+  | (Ibool | Iint _ | Ifloat32 | Ifloat64 | Ifixed _ | Ienum _), _ -> false
+
+let physical_range = function
+  | Ibool | Ienum _ -> None
+  | Iint w ->
+    let lo, hi = word_range w in
+    Some (float_of_int lo, float_of_int hi)
+  | Ifloat32 -> Some (-3.4e38, 3.4e38)
+  | Ifloat64 -> Some (-.Float.max_float, Float.max_float)
+  | Ifixed { container; scale; offset } ->
+    let lo, hi = word_range container in
+    Some ((scale *. float_of_int lo) +. offset, (scale *. float_of_int hi) +. offset)
+
+let quantization_step = function
+  | Iint _ -> Some 1.
+  | Ifixed { scale; _ } -> Some scale
+  | Ibool | Ifloat32 | Ifloat64 | Ienum _ -> None
+
+exception Encode_error of string
+
+let encode_error fmt = Format.kasprintf (fun s -> raise (Encode_error s)) fmt
+
+let saturate w raw =
+  let lo, hi = word_range w in
+  Stdlib.max lo (Stdlib.min hi raw)
+
+let round_to_int f = int_of_float (Float.round f)
+
+let encode impl (v : Value.t) =
+  match impl, v with
+  | Ibool, Value.Bool b -> Value.Int (if b then 1 else 0)
+  | Iint w, Value.Int i -> Value.Int (saturate w i)
+  | Iint w, Value.Float f -> Value.Int (saturate w (round_to_int f))
+  | (Ifloat32 | Ifloat64), Value.Float f -> Value.Float f
+  | (Ifloat32 | Ifloat64), Value.Int i -> Value.Float (float_of_int i)
+  | Ifixed { container; scale; offset }, (Value.Float _ | Value.Int _) ->
+    let f = Value.to_float v in
+    let raw = round_to_int ((f -. offset) /. scale) in
+    Value.Int (saturate container raw)
+  | Ienum (e, w), Value.Enum (name, lit) when String.equal name e.enum_name ->
+    let rec index i = function
+      | [] -> encode_error "literal %s not in enum %s" lit e.enum_name
+      | l :: rest -> if String.equal l lit then i else index (i + 1) rest
+    in
+    Value.Int (saturate w (index 0 e.literals))
+  | _, _ ->
+    encode_error "cannot encode %s as %s" (Value.to_string v) (to_string impl)
+
+let decode impl (v : Value.t) =
+  match impl, v with
+  | Ibool, Value.Int i -> Value.Bool (i <> 0)
+  | Iint _, Value.Int i -> Value.Int i
+  | (Ifloat32 | Ifloat64), Value.Float f -> Value.Float f
+  | Ifixed { scale; offset; _ }, Value.Int raw ->
+    Value.Float ((scale *. float_of_int raw) +. offset)
+  | Ienum (e, _), Value.Int i ->
+    (match List.nth_opt e.literals i with
+     | Some lit -> Value.Enum (e.enum_name, lit)
+     | None -> encode_error "raw %d out of enum %s" i e.enum_name)
+  | _, _ ->
+    encode_error "cannot decode %s as %s" (Value.to_string v) (to_string impl)
+
+let quantization_error_bound impl =
+  Option.map (fun step -> step /. 2.) (quantization_step impl)
+
+let fixed_for_range ?(container = Int16) ~lo ~hi () =
+  if hi <= lo then invalid_arg "Impl_type.fixed_for_range: empty interval";
+  let rlo, rhi = word_range container in
+  let span = hi -. lo in
+  let raw_span = float_of_int rhi -. float_of_int rlo in
+  let scale = span /. raw_span in
+  let offset = lo -. (scale *. float_of_int rlo) in
+  Ifixed { container; scale; offset }
+
+let smallest_container ~lo ~hi ~resolution =
+  if hi <= lo || resolution <= 0. then None
+  else
+    let fits container =
+      let rlo, rhi = word_range container in
+      let raw_span = float_of_int rhi -. float_of_int rlo in
+      (hi -. lo) /. raw_span <= resolution
+    in
+    let candidates = [ Int8; Int16; Int32 ] in
+    match List.find_opt fits candidates with
+    | Some container -> Some (fixed_for_range ~container ~lo ~hi ())
+    | None -> None

@@ -1,0 +1,70 @@
+(** Implementation types of the LA level (paper Sec. 3.3).
+
+    "The type system at the LA level is extended by implementation types
+    which capture the platform-related constraints associated with
+    implementation.  Abstract data types such as [int] are typically
+    mapped to implementation, e.g. [int16] or [int32].  Similarly, a
+    floating-point message on the FDA level may be mapped to a
+    fixed-point or integer message on the LA level."
+
+    Fixed-point encoding convention: [physical = scale * raw + offset],
+    with [raw] stored in the integer container. *)
+
+open Automode_core
+
+type word = Int8 | Int16 | Int32 | UInt8 | UInt16 | UInt32
+
+type t =
+  | Ibool                                       (** one byte *)
+  | Iint of word
+  | Ifloat32
+  | Ifloat64
+  | Ifixed of { container : word; scale : float; offset : float }
+  | Ienum of Dtype.enum_decl * word
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val bit_width : t -> int
+val word_range : word -> int * int
+(** Inclusive [min, max] raw range of an integer container. *)
+
+val refines : t -> Dtype.t -> bool
+(** May the implementation type carry messages of the abstract type?
+    [Iint _] refines [Tint]; [Ifloat*] and [Ifixed _] refine [Tfloat]
+    (and [Tint]); [Ienum (e, _)] refines [Tenum e] when the container
+    can hold all literals; [Ibool] refines [Tbool]. *)
+
+val physical_range : t -> (float * float) option
+(** Representable physical interval of numeric implementation types. *)
+
+val quantization_step : t -> float option
+(** The physical weight of one LSB ([Some scale] for fixed-point, [Some
+    1.] for plain integers, [None] for floats/bool/enum). *)
+
+exception Encode_error of string
+
+val encode : t -> Value.t -> Value.t
+(** Encode an abstract value into its implementation representation:
+    fixed-point and integer values become the raw container integer
+    (round-to-nearest, {e saturating} at the container bounds); floats
+    stay floats; enums become their literal index.
+    @raise Encode_error on unrepresentable values (wrong kind). *)
+
+val decode : t -> Value.t -> Value.t
+(** Left inverse of {!encode} up to quantization: raw back to physical. *)
+
+val quantization_error_bound : t -> float option
+(** Worst-case |physical - decode (encode physical)| inside the
+    representable range: half a quantization step. *)
+
+val fixed_for_range :
+  ?container:word -> lo:float -> hi:float -> unit -> t
+(** The fixed-point type covering [lo, hi] with the smallest scale
+    (finest resolution) in the given container (default [Int16]). *)
+
+val smallest_container : lo:float -> hi:float -> resolution:float -> t option
+(** The cheapest fixed-point type (by container width) covering
+    [lo, hi] with a step of at most [resolution]; [None] if even 32 bits
+    do not suffice. *)

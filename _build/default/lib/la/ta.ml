@@ -1,0 +1,114 @@
+type ecu = { ecu_name : string; speed_factor : float }
+
+type task = {
+  task_name : string;
+  task_ecu : string;
+  period_us : int;
+  priority : int;
+  offset_us : int;
+}
+
+type bus = { bus_name : string; bitrate : int }
+
+type frame_slot = {
+  slot_name : string;
+  slot_bus : string;
+  can_id : int;
+  capacity_bits : int;
+  slot_period_us : int;
+}
+
+type t = {
+  ta_name : string;
+  ecus : ecu list;
+  tasks : task list;
+  buses : bus list;
+  frames : frame_slot list;
+}
+
+let make ?(buses = []) ?(frames = []) ~name ~ecus ~tasks () =
+  { ta_name = name; ecus; tasks; buses; frames }
+
+let find_task ta name =
+  List.find_opt (fun t -> String.equal t.task_name name) ta.tasks
+
+let find_ecu ta name =
+  List.find_opt (fun e -> String.equal e.ecu_name name) ta.ecus
+
+let tasks_of_ecu ta ecu =
+  List.filter (fun t -> String.equal t.task_ecu ecu) ta.tasks
+
+let frames_of_bus ta bus =
+  List.filter (fun f -> String.equal f.slot_bus bus) ta.frames
+
+let duplicates names =
+  let sorted = List.sort String.compare names in
+  let rec go = function
+    | a :: (b :: _ as rest) -> if String.equal a b then a :: go rest else go rest
+    | [ _ ] | [] -> []
+  in
+  List.sort_uniq String.compare (go sorted)
+
+let check ta =
+  let problems = ref [] in
+  let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter (fun n -> add "duplicate ECU %s" n)
+    (duplicates (List.map (fun e -> e.ecu_name) ta.ecus));
+  List.iter (fun n -> add "duplicate task %s" n)
+    (duplicates (List.map (fun t -> t.task_name) ta.tasks));
+  List.iter (fun n -> add "duplicate bus %s" n)
+    (duplicates (List.map (fun b -> b.bus_name) ta.buses));
+  List.iter (fun n -> add "duplicate frame %s" n)
+    (duplicates (List.map (fun f -> f.slot_name) ta.frames));
+  List.iter
+    (fun t ->
+      if find_ecu ta t.task_ecu = None then
+        add "task %s references unknown ECU %s" t.task_name t.task_ecu;
+      if t.period_us <= 0 then add "task %s has non-positive period" t.task_name;
+      if t.offset_us < 0 then add "task %s has negative offset" t.task_name)
+    ta.tasks;
+  List.iter
+    (fun e ->
+      if e.speed_factor <= 0. then
+        add "ECU %s has non-positive speed factor" e.ecu_name;
+      let prios = List.map (fun t -> t.priority) (tasks_of_ecu ta e.ecu_name) in
+      if List.length (List.sort_uniq Int.compare prios) <> List.length prios
+      then add "ECU %s has duplicate task priorities" e.ecu_name)
+    ta.ecus;
+  List.iter
+    (fun b ->
+      if b.bitrate <= 0 then add "bus %s has non-positive bitrate" b.bus_name;
+      let ids = List.map (fun f -> f.can_id) (frames_of_bus ta b.bus_name) in
+      if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
+        add "bus %s has duplicate CAN ids" b.bus_name)
+    ta.buses;
+  List.iter
+    (fun f ->
+      if List.for_all (fun b -> not (String.equal b.bus_name f.slot_bus)) ta.buses
+      then add "frame %s references unknown bus %s" f.slot_name f.slot_bus;
+      if f.capacity_bits <= 0 || f.capacity_bits > 64 then
+        add "frame %s capacity %d outside 1..64 bits" f.slot_name
+          f.capacity_bits;
+      if f.slot_period_us <= 0 then
+        add "frame %s has non-positive period" f.slot_name)
+    ta.frames;
+  List.rev !problems
+
+let pp ppf ta =
+  Format.fprintf ppf "TA %s@\n" ta.ta_name;
+  List.iter
+    (fun e -> Format.fprintf ppf "  ecu %s (speed %.2f)@\n" e.ecu_name e.speed_factor)
+    ta.ecus;
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "  task %s on %s T=%dus prio=%d@\n" t.task_name
+        t.task_ecu t.period_us t.priority)
+    ta.tasks;
+  List.iter
+    (fun b -> Format.fprintf ppf "  bus %s %d bit/s@\n" b.bus_name b.bitrate)
+    ta.buses;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "  frame %s on %s id=0x%X cap=%dbit T=%dus@\n"
+        f.slot_name f.slot_bus f.can_id f.capacity_bits f.slot_period_us)
+    ta.frames

@@ -1,0 +1,54 @@
+(** Technical Architecture (paper Sec. 3.3): the target platform
+    components used to implement the system — ECUs, operating system
+    tasks, buses and message frames. *)
+
+type ecu = {
+  ecu_name : string;
+  speed_factor : float;
+      (** execution-time multiplier: WCET_us = ceil(cost * speed_factor) *)
+}
+
+type task = {
+  task_name : string;
+  task_ecu : string;
+  period_us : int;
+  priority : int;   (** unique per ECU; smaller = higher *)
+  offset_us : int;
+}
+
+type bus = {
+  bus_name : string;
+  bitrate : int;   (** bits per second *)
+}
+
+type frame_slot = {
+  slot_name : string;
+  slot_bus : string;
+  can_id : int;
+  capacity_bits : int;  (** payload capacity, <= 64 for classic CAN *)
+  slot_period_us : int;
+}
+
+type t = {
+  ta_name : string;
+  ecus : ecu list;
+  tasks : task list;
+  buses : bus list;
+  frames : frame_slot list;
+}
+
+val make :
+  ?buses:bus list -> ?frames:frame_slot list -> name:string ->
+  ecus:ecu list -> tasks:task list -> unit -> t
+
+val check : t -> string list
+(** Unique names; tasks reference declared ECUs; unique priorities per
+    ECU; frames reference declared buses; unique CAN ids per bus; frame
+    capacities within 64 bits; positive periods and bitrates. *)
+
+val find_task : t -> string -> task option
+val find_ecu : t -> string -> ecu option
+val tasks_of_ecu : t -> string -> task list
+val frames_of_bus : t -> string -> frame_slot list
+
+val pp : Format.formatter -> t -> unit

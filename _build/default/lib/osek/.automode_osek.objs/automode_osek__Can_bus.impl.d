@@ -1,0 +1,1 @@
+lib/osek/can_bus.ml: Format Hashtbl Int List Stdlib String

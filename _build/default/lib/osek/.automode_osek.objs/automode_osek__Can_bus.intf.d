@@ -1,0 +1,1 @@
+lib/osek/can_bus.mli: Format

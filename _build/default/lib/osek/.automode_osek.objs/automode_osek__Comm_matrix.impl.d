@@ -1,0 +1,1 @@
+lib/osek/comm_matrix.ml: Format List Printf Random Stdlib String

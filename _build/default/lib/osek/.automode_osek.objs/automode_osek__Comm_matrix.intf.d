@@ -1,0 +1,1 @@
+lib/osek/comm_matrix.mli: Format

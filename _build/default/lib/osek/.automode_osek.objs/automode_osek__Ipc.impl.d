@@ -1,0 +1,1 @@
+lib/osek/ipc.ml: Int List Option String

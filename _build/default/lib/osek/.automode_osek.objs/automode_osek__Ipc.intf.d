@@ -1,0 +1,1 @@
+lib/osek/ipc.mli:

@@ -1,0 +1,1 @@
+lib/osek/osek_task.ml: Format Hashtbl Int List Option Random

@@ -1,0 +1,1 @@
+lib/osek/osek_task.mli: Format

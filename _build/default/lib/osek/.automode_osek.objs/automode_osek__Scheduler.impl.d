@@ -1,0 +1,1 @@
+lib/osek/scheduler.ml: Array Bytes Format Hashtbl Int List Osek_task Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/osek/scheduler.mli: Format Osek_task

@@ -1,0 +1,175 @@
+type frame = {
+  frame_name : string;
+  can_id : int;
+  payload_bytes : int;
+  period : int;
+  offset : int;
+}
+
+let frame ?(offset = 0) ~name ~can_id ~payload_bytes ~period () =
+  if payload_bytes < 0 || payload_bytes > 8 then
+    invalid_arg "Can_bus.frame: classic CAN payload is 0..8 bytes";
+  if period <= 0 then invalid_arg "Can_bus.frame: period must be positive";
+  if offset < 0 then invalid_arg "Can_bus.frame: negative offset";
+  { frame_name = name; can_id; payload_bytes; period; offset }
+
+type config = { bitrate : int }
+
+(* Worst-case classic CAN frame length in bits for an n-byte payload:
+   47 + 8n frame bits plus (34 + 8n - 1) / 4 stuff bits. *)
+let frame_bits f =
+  let n = f.payload_bytes in
+  47 + (8 * n) + ((34 + (8 * n) - 1) / 4)
+
+let tx_time config f =
+  let bits = frame_bits f in
+  (bits * 1_000_000 + config.bitrate - 1) / config.bitrate
+
+type frame_stats = {
+  queued : int;
+  sent : int;
+  max_latency : int;
+  total_latency : int;
+  dropped : int;
+}
+
+type result = {
+  horizon : int;
+  per_frame : (string * frame_stats) list;
+  bus_busy : int;
+  load : float;
+}
+
+let empty_stats =
+  { queued = 0; sent = 0; max_latency = 0; total_latency = 0; dropped = 0 }
+
+type pending = { p_frame : frame; queued_at : int }
+
+let validate frames =
+  let names = List.map (fun f -> f.frame_name) frames in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Can_bus.simulate: duplicate frame names";
+  let ids = List.map (fun f -> f.can_id) frames in
+  if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
+    invalid_arg "Can_bus.simulate: duplicate CAN identifiers"
+
+let simulate config ~horizon frames =
+  validate frames;
+  if horizon <= 0 then invalid_arg "Can_bus.simulate: positive horizon required";
+  let stats = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace stats f.frame_name empty_stats) frames;
+  let update name g =
+    Hashtbl.replace stats name (g (Hashtbl.find stats name))
+  in
+  let next_queue = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace next_queue f.frame_name 0) frames;
+  let queue_time f k = f.offset + (k * f.period) in
+  let next_queue_instant () =
+    List.fold_left
+      (fun acc f ->
+        let k = Hashtbl.find next_queue f.frame_name in
+        let q = queue_time f k in
+        if q < horizon then Stdlib.min acc q else acc)
+      max_int frames
+  in
+  let enqueue now pending =
+    List.fold_left
+      (fun pending f ->
+        let k = Hashtbl.find next_queue f.frame_name in
+        if queue_time f k = now then begin
+          Hashtbl.replace next_queue f.frame_name (k + 1);
+          update f.frame_name (fun s -> { s with queued = s.queued + 1 });
+          (* supersede a still-pending older instance of the same frame *)
+          let superseded, kept =
+            List.partition
+              (fun p -> String.equal p.p_frame.frame_name f.frame_name)
+              pending
+          in
+          List.iter
+            (fun _ ->
+              update f.frame_name (fun s -> { s with dropped = s.dropped + 1 }))
+            superseded;
+          { p_frame = f; queued_at = now } :: kept
+        end
+        else pending)
+      pending frames
+  in
+  let rec loop now pending busy =
+    if now >= horizon then busy
+    else
+      let pending = enqueue now pending in
+      match pending with
+      | [] ->
+        let nq = next_queue_instant () in
+        if nq = max_int || nq >= horizon then busy else loop nq pending busy
+      | _ :: _ ->
+        let winner =
+          List.fold_left
+            (fun best p ->
+              if p.p_frame.can_id < best.p_frame.can_id then p else best)
+            (List.hd pending) pending
+        in
+        let t = tx_time config winner.p_frame in
+        let finish = now + t in
+        (* non-preemptive transmission: new queuings during [now, finish)
+           are collected at the completion instant *)
+        let rec catch_up pending instant =
+          let nq = next_queue_instant () in
+          if nq < finish && nq >= instant then
+            catch_up (enqueue nq pending) (nq + 1)
+          else pending
+        in
+        let pending = List.filter (fun p -> p != winner) pending in
+        let pending = catch_up pending (now + 1) in
+        let latency = finish - winner.queued_at in
+        update winner.p_frame.frame_name (fun s ->
+            { s with
+              sent = s.sent + 1;
+              max_latency = Stdlib.max s.max_latency latency;
+              total_latency = s.total_latency + latency });
+        loop finish pending (busy + t)
+  in
+  let busy = loop 0 [] 0 in
+  { horizon;
+    per_frame =
+      List.map (fun f -> (f.frame_name, Hashtbl.find stats f.frame_name)) frames;
+    bus_busy = busy;
+    load = float_of_int busy /. float_of_int horizon }
+
+let response_time_analysis config frames =
+  List.map
+    (fun f ->
+      let c = tx_time config f in
+      let blocking =
+        List.fold_left
+          (fun acc g ->
+            if g.can_id > f.can_id then Stdlib.max acc (tx_time config g)
+            else acc)
+          0 frames
+      in
+      let hp = List.filter (fun g -> g.can_id < f.can_id) frames in
+      let demand w =
+        blocking
+        + List.fold_left
+            (fun acc g -> acc + (((w + 1 + g.period - 1) / g.period) * tx_time config g))
+            0 hp
+      in
+      let deadline = f.period in
+      let rec iterate w =
+        if w + c > deadline then None
+        else
+          let w' = demand w in
+          if w' = w then Some (w + c) else iterate w'
+      in
+      (f.frame_name, iterate blocking))
+    frames
+
+let pp_result ppf r =
+  Format.fprintf ppf "horizon=%dus busy=%dus load=%.1f%%@\n" r.horizon
+    r.bus_busy (100. *. r.load);
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf
+        "  %-16s queued=%d sent=%d dropped=%d maxLat=%dus@\n" name s.queued
+        s.sent s.dropped s.max_latency)
+    r.per_frame

@@ -1,0 +1,55 @@
+(** CAN bus simulation (paper Secs. 2, 3.4).
+
+    Signals between clusters deployed to different ECUs are mapped to
+    frames of a communication network, e.g. CAN.  CAN arbitration is
+    priority-based (lowest identifier wins) and non-preemptive: once a
+    frame transmission starts it completes.  Time is in microseconds. *)
+
+type frame = {
+  frame_name : string;
+  can_id : int;        (** arbitration identifier; lower = higher priority *)
+  payload_bytes : int; (** 0..8 for classic CAN *)
+  period : int;        (** queuing period, us *)
+  offset : int;        (** first queuing instant, us *)
+}
+
+val frame :
+  ?offset:int -> name:string -> can_id:int -> payload_bytes:int ->
+  period:int -> unit -> frame
+(** @raise Invalid_argument on payloads outside 0..8, non-positive
+    period, or negative offset. *)
+
+type config = { bitrate : int  (** bits per second *) }
+
+val tx_time : config -> frame -> int
+(** Transmission time in us of one instance, using the classic-CAN
+    worst-case frame length [(34 + 8n)/5] stuff bits + [47 + 8n] bits
+    for an [n]-byte payload. *)
+
+type frame_stats = {
+  queued : int;
+  sent : int;
+  max_latency : int;     (** worst observed queuing-to-completion, us *)
+  total_latency : int;
+  dropped : int;         (** instances superseded while still queued *)
+}
+
+type result = {
+  horizon : int;
+  per_frame : (string * frame_stats) list;
+  bus_busy : int;
+  load : float;          (** busy / horizon *)
+}
+
+val simulate : config -> horizon:int -> frame list -> result
+(** Event-driven simulation.  A frame instance queued while the previous
+    instance of the same frame is still waiting supersedes it (counted
+    as [dropped]).  @raise Invalid_argument on duplicate frame names or
+    CAN identifiers. *)
+
+val response_time_analysis : config -> frame list -> (string * int option) list
+(** Classic worst-case CAN response-time analysis: blocking by the
+    longest lower-priority frame plus higher-priority interference, with
+    the frame's period as the deadline; [None] if unschedulable. *)
+
+val pp_result : Format.formatter -> result -> unit

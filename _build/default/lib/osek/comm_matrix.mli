@@ -1,0 +1,43 @@
+(** Communication matrices (paper Secs. 3.4, 4).
+
+    A communication matrix captures which signals flow between which
+    E/E-architecture nodes — the input of "black-box" reengineering
+    (matrix -> partial FAA) and the configuration source for the
+    generated communication components. *)
+
+type entry = {
+  signal : string;
+  sender : string;           (** sending node (ECU or function) *)
+  receivers : string list;   (** receiving nodes, non-empty *)
+  size_bits : int;
+  period_us : int;
+}
+
+type t = { entries : entry list }
+
+val entry :
+  signal:string -> sender:string -> receivers:string list ->
+  ?size_bits:int -> ?period_us:int -> unit -> entry
+(** Defaults: 16 bits, 10 ms. @raise Invalid_argument on empty receiver
+    lists or non-positive sizes/periods. *)
+
+val check : t -> string list
+(** Problems: duplicate signal names, senders also listed as receivers
+    of their own signal. *)
+
+val nodes : t -> string list
+(** All senders and receivers, sorted, without duplicates. *)
+
+val signals_between : t -> src:string -> dst:string -> entry list
+
+val dependency_pairs : t -> (string * string) list
+(** All (sender, receiver) pairs, without duplicates — the functional
+    dependencies a partial FAA is built from. *)
+
+val generate_body_electronics : seed:int -> nodes:int -> signals:int -> t
+(** Synthetic body-electronics matrix: [nodes] ECU-like nodes
+    ("DoorFL", "Roof", ...; cyclic suffixes beyond the stock names) and
+    [signals] signals with plausible sizes (1..32 bits) and periods
+    (10/20/50/100 ms), deterministically from [seed]. *)
+
+val pp : Format.formatter -> t -> unit

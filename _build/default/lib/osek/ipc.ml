@@ -1,0 +1,56 @@
+type 'a cell = { value : 'a; version : int }
+
+type 'a store = {
+  cells : (string * 'a cell) list;
+  next_version : int;
+}
+
+let create bindings =
+  let names = List.map fst bindings in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Ipc.create: duplicate message names";
+  { cells = List.map (fun (n, v) -> (n, { value = v; version = 0 })) bindings;
+    next_version = 1 }
+
+let publish store updates =
+  let v = store.next_version in
+  let cells =
+    List.map
+      (fun (name, cell) ->
+        match List.assoc_opt name updates with
+        | Some value -> (name, { value; version = v })
+        | None -> (name, cell))
+      store.cells
+  in
+  { cells; next_version = v + 1 }
+
+let find store name =
+  match List.assoc_opt name store.cells with
+  | Some cell -> cell
+  | None -> raise Not_found
+
+let read_direct store name = (find store name).value
+let version store name = (find store name).version
+
+type 'a snapshot = (string * 'a cell) list
+
+let copy_in store names = List.map (fun n -> (n, find store n)) names
+
+let merge a b =
+  a @ List.filter (fun (n, _) -> not (List.mem_assoc n a)) b
+
+let read snapshot name =
+  match List.assoc_opt name snapshot with
+  | Some cell -> cell.value
+  | None -> raise Not_found
+
+let consistent snapshot ~grouped =
+  let versions =
+    List.filter_map
+      (fun name ->
+        Option.map (fun c -> c.version) (List.assoc_opt name snapshot))
+      grouped
+  in
+  match versions with
+  | [] -> true
+  | v :: rest -> List.for_all (Int.equal v) rest

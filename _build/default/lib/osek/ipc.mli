@@ -1,0 +1,50 @@
+(** Data-integrity inter-task communication (ERCOS-style, paper ref [12]).
+
+    Under preemptive scheduling, a lower-priority task reading a message
+    that a higher-priority task updates can observe torn, inconsistent
+    data.  The OSEK/ERCOS mechanism gives every job a private,
+    consistent snapshot: messages are {e copied in} when the job starts
+    and results are {e copied out (published)} atomically when it ends.
+
+    The model here is deliberately abstract (values are polymorphic);
+    the generated communication components of {!Automode_codegen} follow
+    exactly this protocol, and the test suite uses {!val:consistent} to
+    show that snapshots never mix two publications while direct shared
+    reads can. *)
+
+type 'a store
+(** Published message values, tagged with a publication version. *)
+
+val create : (string * 'a) list -> 'a store
+(** Initial store; every message starts at version 0.
+    @raise Invalid_argument on duplicate message names. *)
+
+val publish : 'a store -> (string * 'a) list -> 'a store
+(** Atomic copy-out of a terminating job: all listed messages are
+    updated together and receive one fresh common version. *)
+
+val read_direct : 'a store -> string -> 'a
+(** Unprotected read of the latest value (no integrity).
+    @raise Not_found on unknown messages. *)
+
+type 'a snapshot
+
+val copy_in : 'a store -> string list -> 'a snapshot
+(** Consistent copy-in of the listed messages at job start. *)
+
+val read : 'a snapshot -> string -> 'a
+(** Read from the job's private copy.  @raise Not_found. *)
+
+val merge : 'a snapshot -> 'a snapshot -> 'a snapshot
+(** Combine two partial snapshots (left-biased on collisions) — models a
+    copy-in that was interrupted and resumed against a newer store; used
+    by the tests to exhibit torn reads that {!consistent} detects. *)
+
+val version : 'a store -> string -> int
+(** Current publication version of a message. *)
+
+val consistent : 'a snapshot -> grouped:string list -> bool
+(** [true] iff all [grouped] messages in the snapshot carry the same
+    publication version — i.e. they stem from one atomic publication.
+    (Messages published together always satisfy this; interleaved direct
+    reads generally do not.) *)

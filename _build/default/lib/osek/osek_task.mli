@@ -1,0 +1,50 @@
+(** Task model of the OSEK/ERCOS-style substrate (paper Secs. 3.3, 3.4).
+
+    The AutoMoDe LA level deploys clusters onto operating system tasks
+    scheduled by a fixed-priority, preemptive scheduler [12].  This
+    module defines the task parameters used by the {!Scheduler}
+    simulation.  Time is in integer microseconds. *)
+
+type arrival =
+  | Periodic
+      (** released at [offset + k*period] *)
+  | Sporadic of { seed : int }
+      (** event-triggered with a minimum inter-arrival time of [period]:
+          released at pseudo-random instants at least [period] apart
+          (deterministic in [seed]).  This realizes the paper's mixed
+          time-/event-triggered modeling (Sec. 2) on the OS level. *)
+
+type t = {
+  task_name : string;
+  period : int;        (** activation period / minimum inter-arrival, us *)
+  offset : int;        (** first activation, us *)
+  wcet : int;          (** worst-case execution time, us *)
+  priority : int;      (** smaller number = higher priority *)
+  deadline : int;      (** relative deadline, us (typically = period) *)
+  preemptable : bool;  (** OSEK "full-preemptive" vs "non-preemptive" task *)
+  arrival : arrival;
+}
+
+val make :
+  ?offset:int -> ?deadline:int -> ?preemptable:bool -> ?arrival:arrival ->
+  name:string -> period:int -> wcet:int -> priority:int -> unit -> t
+(** Deadline defaults to the period; offset to 0; preemptable to true;
+    arrival to {!Periodic}.
+    @raise Invalid_argument on non-positive period or wcet, or negative
+    offset. *)
+
+val release_times : t -> horizon:int -> int list
+(** All release instants in [0, horizon): the arithmetic progression for
+    periodic tasks; for sporadic tasks, pseudo-random instants honoring
+    the minimum inter-arrival time (deterministic in the seed). *)
+
+val utilization : t -> float
+(** [wcet / period]. *)
+
+val total_utilization : t list -> float
+
+val rate_monotonic_priorities : t list -> t list
+(** Reassign priorities by period (shorter period = higher priority),
+    preserving the given order among equal periods. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,320 @@
+type task_stats = {
+  activations : int;
+  completions : int;
+  deadline_misses : int;
+  max_response : int;
+  total_response : int;
+  preemptions : int;
+}
+
+type result = {
+  horizon : int;
+  per_task : (string * task_stats) list;
+  busy_time : int;
+  schedulable : bool;
+}
+
+type job = {
+  j_task : Osek_task.t;
+  release : int;
+  mutable remaining : int;
+  mutable started : bool;
+}
+
+let empty_stats =
+  { activations = 0; completions = 0; deadline_misses = 0; max_response = 0;
+    total_response = 0; preemptions = 0 }
+
+let validate tasks =
+  let names = List.map (fun (t : Osek_task.t) -> t.task_name) tasks in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Scheduler.simulate: duplicate task names";
+  let prios = List.map (fun (t : Osek_task.t) -> t.priority) tasks in
+  if List.length (List.sort_uniq Int.compare prios) <> List.length prios then
+    invalid_arg "Scheduler.simulate: duplicate priorities on one ECU"
+
+(* The job to run among ready jobs: a started non-preemptable job wins;
+   otherwise highest priority (smallest number), then earliest release,
+   then task name. *)
+let pick_job ready =
+  let non_preemptable_running =
+    List.find_opt
+      (fun j -> j.started && not j.j_task.Osek_task.preemptable)
+      ready
+  in
+  match non_preemptable_running with
+  | Some j -> Some j
+  | None ->
+    (match ready with
+     | [] -> None
+     | _ :: _ ->
+       let best a b =
+         let pa = a.j_task.Osek_task.priority
+         and pb = b.j_task.Osek_task.priority in
+         if pa <> pb then (if pa < pb then a else b)
+         else if a.release <> b.release then
+           (if a.release < b.release then a else b)
+         else if
+           String.compare a.j_task.Osek_task.task_name
+             b.j_task.Osek_task.task_name <= 0
+         then a
+         else b
+       in
+       (match ready with
+        | first :: rest -> Some (List.fold_left best first rest)
+        | [] -> None))
+
+let simulate ~horizon tasks =
+  validate tasks;
+  if horizon <= 0 then invalid_arg "Scheduler.simulate: horizon must be positive";
+  let stats = Hashtbl.create 16 in
+  List.iter
+    (fun (t : Osek_task.t) -> Hashtbl.replace stats t.task_name empty_stats)
+    tasks;
+  let update name f =
+    let s = Hashtbl.find stats name in
+    Hashtbl.replace stats name (f s)
+  in
+  (* precomputed release instants (periodic or sporadic) + next index *)
+  let releases = Hashtbl.create 16 in
+  let next_release = Hashtbl.create 16 in
+  List.iter
+    (fun (t : Osek_task.t) ->
+      Hashtbl.replace releases t.task_name
+        (Array.of_list (Osek_task.release_times t ~horizon));
+      Hashtbl.replace next_release t.task_name 0)
+    tasks;
+  let release_time (t : Osek_task.t) k =
+    let rs = Hashtbl.find releases t.task_name in
+    if k < Array.length rs then rs.(k) else max_int
+  in
+  let next_release_instant () =
+    List.fold_left
+      (fun acc (t : Osek_task.t) ->
+        let k = Hashtbl.find next_release t.task_name in
+        let r = release_time t k in
+        if r < horizon then Stdlib.min acc r else acc)
+      max_int tasks
+  in
+  let release_jobs now ready =
+    List.fold_left
+      (fun ready (t : Osek_task.t) ->
+        let k = Hashtbl.find next_release t.task_name in
+        let r = release_time t k in
+        if r = now then begin
+          Hashtbl.replace next_release t.task_name (k + 1);
+          update t.task_name (fun s ->
+              { s with activations = s.activations + 1 });
+          { j_task = t; release = now; remaining = t.wcet; started = false }
+          :: ready
+        end
+        else ready)
+      ready tasks
+  in
+  let rec loop now ready busy current =
+    if now >= horizon then (busy, ready)
+    else
+      let ready = release_jobs now ready in
+      (* a running preemptable job may have been preempted at this instant *)
+      let running = pick_job ready in
+      (match current, running with
+       | Some prev, Some next when prev != next && prev.remaining > 0 ->
+         update prev.j_task.Osek_task.task_name (fun s ->
+             { s with preemptions = s.preemptions + 1 })
+       | _ -> ());
+      match running with
+      | None ->
+        let nr = next_release_instant () in
+        if nr = max_int || nr >= horizon then (busy, ready)
+        else loop nr ready busy None
+      | Some job ->
+        job.started <- true;
+        let nr = next_release_instant () in
+        let finish = now + job.remaining in
+        let until = Stdlib.min finish (Stdlib.min nr horizon) in
+        let ran = until - now in
+        job.remaining <- job.remaining - ran;
+        let busy = busy + ran in
+        if job.remaining = 0 then begin
+          let response = until - job.release in
+          let name = job.j_task.Osek_task.task_name in
+          update name (fun s ->
+              { s with
+                completions = s.completions + 1;
+                max_response = Stdlib.max s.max_response response;
+                total_response = s.total_response + response;
+                deadline_misses =
+                  (s.deadline_misses
+                  + if response > job.j_task.Osek_task.deadline then 1 else 0) });
+          let ready = List.filter (fun j -> j != job) ready in
+          loop until ready busy None
+        end
+        else loop until ready busy (Some job)
+  in
+  let busy, leftover = loop 0 [] 0 None in
+  (* jobs still pending at the horizon with passed deadlines count as misses *)
+  List.iter
+    (fun j ->
+      if j.release + j.j_task.Osek_task.deadline <= horizon then
+        update j.j_task.Osek_task.task_name (fun s ->
+            { s with deadline_misses = s.deadline_misses + 1 }))
+    leftover;
+  let per_task =
+    List.map
+      (fun (t : Osek_task.t) -> (t.task_name, Hashtbl.find stats t.task_name))
+      tasks
+  in
+  { horizon;
+    per_task;
+    busy_time = busy;
+    schedulable =
+      List.for_all (fun (_, s) -> s.deadline_misses = 0) per_task }
+
+let average_response result name =
+  match List.assoc_opt name result.per_task with
+  | None -> None
+  | Some s ->
+    if s.completions = 0 then None
+    else Some (float_of_int s.total_response /. float_of_int s.completions)
+
+let response_time_analysis tasks =
+  let higher_priority (t : Osek_task.t) =
+    List.filter
+      (fun (h : Osek_task.t) -> h.priority < t.priority)
+      tasks
+  in
+  List.map
+    (fun (t : Osek_task.t) ->
+      let hp = higher_priority t in
+      let demand r =
+        t.wcet
+        + List.fold_left
+            (fun acc (h : Osek_task.t) ->
+              acc + (((r + h.period - 1) / h.period) * h.wcet))
+            0 hp
+      in
+      let rec iterate r =
+        if r > t.deadline then None
+        else
+          let r' = demand r in
+          if r' = r then Some r else iterate r'
+      in
+      (t.task_name, iterate t.wcet))
+    tasks
+
+type segment = { seg_task : string; seg_start : int; seg_end : int }
+
+(* Re-run the event-driven simulation, recording who owns the CPU.  Kept
+   separate from [simulate] so the hot path carries no tracing cost. *)
+let timeline ~horizon tasks =
+  validate tasks;
+  let releases = Hashtbl.create 16 in
+  let next_release = Hashtbl.create 16 in
+  List.iter
+    (fun (t : Osek_task.t) ->
+      Hashtbl.replace releases t.task_name
+        (Array.of_list (Osek_task.release_times t ~horizon));
+      Hashtbl.replace next_release t.task_name 0)
+    tasks;
+  let release_time (t : Osek_task.t) k =
+    let rs = Hashtbl.find releases t.task_name in
+    if k < Array.length rs then rs.(k) else max_int
+  in
+  let next_release_instant () =
+    List.fold_left
+      (fun acc (t : Osek_task.t) ->
+        let k = Hashtbl.find next_release t.task_name in
+        let r = release_time t k in
+        if r < horizon then Stdlib.min acc r else acc)
+      max_int tasks
+  in
+  let release_jobs now ready =
+    List.fold_left
+      (fun ready (t : Osek_task.t) ->
+        let k = Hashtbl.find next_release t.task_name in
+        if release_time t k = now then begin
+          Hashtbl.replace next_release t.task_name (k + 1);
+          { j_task = t; release = now; remaining = t.wcet; started = false }
+          :: ready
+        end
+        else ready)
+      ready tasks
+  in
+  let segments = ref [] in
+  let emit task s e = if e > s then segments := { seg_task = task; seg_start = s; seg_end = e } :: !segments in
+  let rec loop now ready =
+    if now >= horizon then ()
+    else
+      let ready = release_jobs now ready in
+      match pick_job ready with
+      | None ->
+        let nr = next_release_instant () in
+        let until = Stdlib.min (if nr = max_int then horizon else nr) horizon in
+        emit "idle" now until;
+        if until < horizon then loop until ready
+      | Some job ->
+        job.started <- true;
+        let nr = next_release_instant () in
+        let finish = now + job.remaining in
+        let until = Stdlib.min finish (Stdlib.min nr horizon) in
+        emit job.j_task.Osek_task.task_name now until;
+        job.remaining <- job.remaining - (until - now);
+        let ready = if job.remaining = 0 then List.filter (fun j -> j != job) ready else ready in
+        loop until ready
+  in
+  loop 0 [];
+  (* merge adjacent segments of the same task *)
+  let rec merge = function
+    | a :: b :: rest when String.equal a.seg_task b.seg_task
+                          && a.seg_end = b.seg_start ->
+      merge ({ a with seg_end = b.seg_end } :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  merge (List.rev !segments)
+
+let pp_timeline ?(width = 64) ppf segments =
+  match segments with
+  | [] -> Format.fprintf ppf "(empty timeline)@
+"
+  | _ :: _ ->
+    let horizon =
+      List.fold_left (fun acc s -> Stdlib.max acc s.seg_end) 0 segments
+    in
+    let tasks =
+      List.sort_uniq String.compare
+        (List.filter_map
+           (fun s ->
+             if String.equal s.seg_task "idle" then None else Some s.seg_task)
+           segments)
+    in
+    let col t = t * width / Stdlib.max 1 horizon in
+    List.iter
+      (fun task ->
+        let lane = Bytes.make width '.' in
+        List.iter
+          (fun s ->
+            if String.equal s.seg_task task then
+              for i = col s.seg_start to Stdlib.min (width - 1) (col s.seg_end - 1) do
+                Bytes.set lane i '#'
+              done)
+          segments;
+        Format.fprintf ppf "%-16s |%s|@
+" task (Bytes.to_string lane))
+      tasks;
+    Format.fprintf ppf "%-16s  0%*s@
+" "" (width - 1)
+      (Printf.sprintf "%dus" horizon)
+
+let pp_result ppf r =
+  Format.fprintf ppf "horizon=%dus busy=%dus (%.1f%%) %s@\n" r.horizon
+    r.busy_time
+    (100. *. float_of_int r.busy_time /. float_of_int r.horizon)
+    (if r.schedulable then "schedulable" else "DEADLINE MISSES");
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf
+        "  %-16s act=%d done=%d miss=%d maxR=%dus preempt=%d@\n" name
+        s.activations s.completions s.deadline_misses s.max_response
+        s.preemptions)
+    r.per_task

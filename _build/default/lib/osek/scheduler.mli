@@ -1,0 +1,57 @@
+(** Fixed-priority preemptive scheduling simulation (ERCOS/OSEK-style,
+    paper refs [12], Sec. 3.3).
+
+    Simulates one ECU: periodic tasks released at [offset + k*period],
+    the highest-priority ready job runs, preemption at release instants
+    (non-preemptable tasks finish their job first).  Ties are broken by
+    task name for determinism.  The simulation is event-driven (release
+    and completion instants), so the horizon can be large. *)
+
+type task_stats = {
+  activations : int;
+  completions : int;
+  deadline_misses : int;
+  max_response : int;   (** worst observed response time, us *)
+  total_response : int; (** sum over completed jobs, us *)
+  preemptions : int;    (** times a job of this task was preempted *)
+}
+
+type result = {
+  horizon : int;
+  per_task : (string * task_stats) list;
+  busy_time : int;         (** us the CPU was executing *)
+  schedulable : bool;      (** no deadline miss observed *)
+}
+
+val simulate : horizon:int -> Osek_task.t list -> result
+(** Simulate the task set over [0, horizon).
+    @raise Invalid_argument on duplicate task names or duplicate
+    priorities (OSEK requires unique priorities per ECU). *)
+
+val average_response : result -> string -> float option
+(** Mean response time of a task's completed jobs. *)
+
+val response_time_analysis : Osek_task.t list -> (string * int option) list
+(** Classic worst-case response-time analysis for preemptable,
+    offset-free task sets: the least fixed point of
+    [R = C + sum_{hp} ceil(R/T_j) * C_j], or [None] when the iteration
+    exceeds the deadline (unschedulable).  Offsets are ignored
+    (pessimistic but safe). *)
+
+type segment = {
+  seg_task : string;   (** task name, or ["idle"] *)
+  seg_start : int;
+  seg_end : int;
+}
+
+val timeline : horizon:int -> Osek_task.t list -> segment list
+(** The execution timeline of the simulation: which task occupies the CPU
+    over each maximal interval (idle gaps included), in time order.
+    Same validation as {!simulate}. *)
+
+val pp_timeline :
+  ?width:int -> Format.formatter -> segment list -> unit
+(** Gantt-style text rendering, one lane per task, scaled to [width]
+    columns (default 64). *)
+
+val pp_result : Format.formatter -> result -> unit

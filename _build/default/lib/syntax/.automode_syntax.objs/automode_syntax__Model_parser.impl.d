@@ -1,0 +1,1 @@
+lib/syntax/model_parser.ml: Automode_core Clock Dtype Expr Format List Model String Syntax_lexer Value

@@ -1,0 +1,1 @@
+lib/syntax/model_parser.mli: Automode_core Dtype Model

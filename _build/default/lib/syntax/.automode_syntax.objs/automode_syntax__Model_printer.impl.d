@@ -1,0 +1,1 @@
+lib/syntax/model_printer.ml: Automode_core Clock Dtype Expr Float Format Hashtbl List Model Printf String Value

@@ -1,0 +1,1 @@
+lib/syntax/model_printer.mli: Automode_core Expr Format Model

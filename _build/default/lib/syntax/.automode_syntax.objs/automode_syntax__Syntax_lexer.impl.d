@@ -1,0 +1,1 @@
+lib/syntax/syntax_lexer.ml: List Printf String

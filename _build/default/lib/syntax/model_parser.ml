@@ -1,0 +1,568 @@
+open Automode_core
+module L = Syntax_lexer
+
+exception Parse_error of string * int
+
+type state = {
+  mutable tokens : L.located list;
+  mutable enums : Dtype.enum_decl list;
+}
+
+let error st fmt =
+  let line = match st.tokens with { L.line; _ } :: _ -> line | [] -> 0 in
+  Format.kasprintf (fun s -> raise (Parse_error (s, line))) fmt
+
+let peek st = match st.tokens with { L.tok; _ } :: _ -> tok | [] -> L.EOF
+
+let peek2 st =
+  match st.tokens with _ :: { L.tok; _ } :: _ -> tok | _ -> L.EOF
+
+let advance st =
+  match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st "expected %s, found %s" (L.token_to_string tok)
+      (L.token_to_string (peek st))
+
+let ident st =
+  match peek st with
+  | L.IDENT name -> advance st; name
+  | t -> error st "expected identifier, found %s" (L.token_to_string t)
+
+let keyword st kw =
+  match peek st with
+  | L.IDENT k when String.equal k kw -> advance st
+  | t -> error st "expected %s, found %s" kw (L.token_to_string t)
+
+let at_keyword st kw =
+  match peek st with
+  | L.IDENT k -> String.equal k kw
+  | _ -> false
+
+let int_lit st =
+  match peek st with
+  | L.INT i -> advance st; i
+  | t -> error st "expected integer, found %s" (L.token_to_string t)
+
+let find_enum st name =
+  List.find_opt
+    (fun (e : Dtype.enum_decl) -> String.equal e.enum_name name)
+    st.enums
+
+let enum_value st ty_name lit =
+  match find_enum st ty_name with
+  | None -> error st "unknown enum type %s" ty_name
+  | Some e ->
+    if List.mem lit e.literals then Value.Enum (e.enum_name, lit)
+    else error st "%s is not a literal of %s" lit ty_name
+
+(* literal ::= true | false | INT | FLOAT | -NUM | E.A *)
+let parse_literal st =
+  match peek st with
+  | L.IDENT "true" -> advance st; Value.Bool true
+  | L.IDENT "false" -> advance st; Value.Bool false
+  | L.INT i -> advance st; Value.Int i
+  | L.FLOAT f -> advance st; Value.Float f
+  | L.MINUS ->
+    advance st;
+    (match peek st with
+     | L.INT i -> advance st; Value.Int (-i)
+     | L.FLOAT f -> advance st; Value.Float (-.f)
+     | t -> error st "expected number after -, found %s" (L.token_to_string t))
+  | L.IDENT ty when peek2 st = L.DOT ->
+    advance st; advance st;
+    let lit = ident st in
+    enum_value st ty lit
+  | t -> error st "expected a literal, found %s" (L.token_to_string t)
+
+let parse_type st =
+  match peek st with
+  | L.IDENT "bool" -> advance st; Dtype.Tbool
+  | L.IDENT "int" -> advance st; Dtype.Tint
+  | L.IDENT "float" -> advance st; Dtype.Tfloat
+  | L.IDENT name ->
+    advance st;
+    (match find_enum st name with
+     | Some e -> Dtype.Tenum e
+     | None -> error st "unknown type %s" name)
+  | t -> error st "expected a type, found %s" (L.token_to_string t)
+
+(* clock ::= true | every(n, clock) | shift(k, clock) | event(name) *)
+let rec parse_clock st =
+  match peek st with
+  | L.IDENT "true" -> advance st; Clock.Base
+  | L.IDENT "every" ->
+    advance st; expect st L.LPAREN;
+    let n = int_lit st in
+    expect st L.COMMA;
+    let c = parse_clock st in
+    expect st L.RPAREN;
+    Clock.Every (n, c)
+  | L.IDENT "shift" ->
+    advance st; expect st L.LPAREN;
+    let k = int_lit st in
+    expect st L.COMMA;
+    let c = parse_clock st in
+    expect st L.RPAREN;
+    Clock.Shift (k, c)
+  | L.IDENT "event" ->
+    advance st; expect st L.LPAREN;
+    let name = ident st in
+    expect st L.RPAREN;
+    Clock.Event name
+  | t -> error st "expected a clock, found %s" (L.token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if at_keyword st "or" then begin
+    advance st;
+    Expr.Binop (Expr.Or, lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if at_keyword st "and" then begin
+    advance st;
+    Expr.Binop (Expr.And, lhs, parse_and st)
+  end
+  else lhs
+
+and parse_not st =
+  if at_keyword st "not" then begin
+    advance st;
+    Expr.Unop (Expr.Not, parse_not st)
+  end
+  else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | L.EQ -> Some Expr.Eq
+    | L.NEQ -> Some Expr.Ne
+    | L.LT -> Some Expr.Lt
+    | L.LE -> Some Expr.Le
+    | L.GT -> Some Expr.Gt
+    | L.GE -> Some Expr.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op -> advance st; Expr.Binop (op, lhs, parse_add st)
+  | None -> lhs
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | L.PLUS -> advance st; loop (Expr.Binop (Expr.Add, lhs, parse_mul st))
+    | L.MINUS -> advance st; loop (Expr.Binop (Expr.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | L.STAR -> advance st; loop (Expr.Binop (Expr.Mul, lhs, parse_unary st))
+    | L.SLASH -> advance st; loop (Expr.Binop (Expr.Div, lhs, parse_unary st))
+    | L.IDENT "mod" ->
+      advance st;
+      loop (Expr.Binop (Expr.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | L.MINUS ->
+    advance st;
+    (* canonical form: a negated numeric literal is a constant *)
+    (match peek st with
+     | L.INT i -> advance st; Expr.int (-i)
+     | L.FLOAT f -> advance st; Expr.float (-.f)
+     | _ -> Expr.Unop (Expr.Neg, parse_unary st))
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | L.IDENT "true" -> advance st; Expr.bool true
+  | L.IDENT "false" -> advance st; Expr.bool false
+  | L.INT i -> advance st; Expr.int i
+  | L.FLOAT f -> advance st; Expr.float f
+  | L.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st L.RPAREN;
+    e
+  | L.IDENT "if" ->
+    advance st;
+    let c = parse_expr st in
+    keyword st "then";
+    let a = parse_expr st in
+    keyword st "else";
+    let b = parse_expr st in
+    Expr.If (c, a, b)
+  | L.IDENT "present" when peek2 st = L.LPAREN ->
+    advance st; expect st L.LPAREN;
+    let name = ident st in
+    expect st L.RPAREN;
+    Expr.Is_present name
+  | L.IDENT "pre" when peek2 st = L.LPAREN ->
+    advance st; expect st L.LPAREN;
+    let init = parse_literal st in
+    expect st L.COMMA;
+    let e = parse_expr st in
+    expect st L.RPAREN;
+    Expr.Pre (init, e)
+  | L.IDENT "current" when peek2 st = L.LPAREN ->
+    advance st; expect st L.LPAREN;
+    let init = parse_literal st in
+    expect st L.COMMA;
+    let e = parse_expr st in
+    expect st L.RPAREN;
+    Expr.Current (init, e)
+  | L.IDENT "when" when peek2 st = L.LPAREN ->
+    advance st; expect st L.LPAREN;
+    let e = parse_expr st in
+    expect st L.COMMA;
+    let c = parse_clock st in
+    expect st L.RPAREN;
+    Expr.When (e, c)
+  | L.IDENT "abs" when peek2 st = L.LPAREN ->
+    advance st; expect st L.LPAREN;
+    let e = parse_expr st in
+    expect st L.RPAREN;
+    Expr.Unop (Expr.Abs, e)
+  | L.IDENT "min" when peek2 st = L.LPAREN ->
+    advance st; expect st L.LPAREN;
+    let a = parse_expr st in
+    expect st L.COMMA;
+    let b = parse_expr st in
+    expect st L.RPAREN;
+    Expr.Binop (Expr.Min, a, b)
+  | L.IDENT "max" when peek2 st = L.LPAREN ->
+    advance st; expect st L.LPAREN;
+    let a = parse_expr st in
+    expect st L.COMMA;
+    let b = parse_expr st in
+    expect st L.RPAREN;
+    Expr.Binop (Expr.Max, a, b)
+  | L.IDENT ty when peek2 st = L.DOT ->
+    advance st; advance st;
+    let lit = ident st in
+    Expr.Const (enum_value st ty lit)
+  | L.IDENT name ->
+    advance st;
+    (match peek st with
+     | L.LPAREN ->
+       advance st;
+       let rec args acc =
+         if peek st = L.RPAREN then List.rev acc
+         else
+           let a = parse_expr st in
+           match peek st with
+           | L.COMMA -> advance st; args (a :: acc)
+           | _ -> List.rev (a :: acc)
+       in
+       let arguments = args [] in
+       expect st L.RPAREN;
+       Expr.Call (name, arguments)
+     | _ -> Expr.var name)
+  | t -> error st "expected an expression, found %s" (L.token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Structure                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_endpoint st =
+  match peek st with
+  | L.DOT ->
+    advance st;
+    Model.boundary (ident st)
+  | L.IDENT comp ->
+    advance st;
+    expect st L.DOT;
+    Model.at comp (ident st)
+  | t -> error st "expected an endpoint, found %s" (L.token_to_string t)
+
+let parse_port st =
+  let dir =
+    if at_keyword st "in" then (advance st; Model.In)
+    else if at_keyword st "out" then (advance st; Model.Out)
+    else error st "expected in/out"
+  in
+  let name = ident st in
+  let ty =
+    if peek st = L.COLON then begin
+      advance st;
+      Some (parse_type st)
+    end
+    else None
+  in
+  let clock =
+    if peek st = L.AT then begin
+      advance st;
+      parse_clock st
+    end
+    else Clock.Base
+  in
+  let resource =
+    if at_keyword st "resource" then begin
+      advance st;
+      match peek st with
+      | L.STRING s -> advance st; Some s
+      | t -> error st "expected a string, found %s" (L.token_to_string t)
+    end
+    else None
+  in
+  expect st L.SEMI;
+  { Model.port_name = name; port_dir = dir; port_type = ty;
+    port_clock = clock; port_resource = resource }
+
+let parse_channel st =
+  keyword st "channel";
+  let name = ident st in
+  expect st L.COLON;
+  let src = parse_endpoint st in
+  expect st L.ARROW;
+  let dst = parse_endpoint st in
+  let delayed = at_keyword st "delayed" in
+  if delayed then advance st;
+  let init =
+    if at_keyword st "init" then begin
+      advance st;
+      Some (parse_literal st)
+    end
+    else None
+  in
+  expect st L.SEMI;
+  Model.channel ~delayed ?init ~name src dst
+
+let rec parse_behavior st : Model.behavior =
+  match peek st with
+  | L.IDENT "unspecified" ->
+    advance st; expect st L.SEMI;
+    Model.B_unspecified
+  | L.IDENT "exprs" ->
+    advance st; expect st L.LBRACE;
+    let rec outs acc =
+      match peek st with
+      | L.RBRACE -> List.rev acc
+      | _ ->
+        let port = ident st in
+        expect st L.EQ;
+        let e = parse_expr st in
+        expect st L.SEMI;
+        outs ((port, e) :: acc)
+    in
+    let result = outs [] in
+    expect st L.RBRACE;
+    Model.B_exprs result
+  | L.IDENT "dfd" -> Model.B_dfd (parse_network st "dfd")
+  | L.IDENT "ssd" -> Model.B_ssd (parse_network st "ssd")
+  | L.IDENT "mtd" ->
+    advance st;
+    let name = ident st in
+    expect st L.LBRACE;
+    keyword st "initial";
+    let initial = ident st in
+    expect st L.SEMI;
+    let rec items modes transitions =
+      match peek st with
+      | L.IDENT "mode" ->
+        advance st;
+        let mname = ident st in
+        expect st L.LBRACE;
+        let behavior = parse_behavior st in
+        expect st L.RBRACE;
+        items ({ Model.mode_name = mname; mode_behavior = behavior } :: modes)
+          transitions
+      | L.IDENT "transition" ->
+        advance st;
+        let src = ident st in
+        expect st L.ARROW;
+        let dst = ident st in
+        keyword st "when";
+        let guard = parse_expr st in
+        keyword st "priority";
+        let priority = int_lit st in
+        expect st L.SEMI;
+        items modes
+          ({ Model.mt_src = src; mt_dst = dst; mt_guard = guard;
+             mt_priority = priority }
+          :: transitions)
+      | _ -> (List.rev modes, List.rev transitions)
+    in
+    let modes, transitions = items [] [] in
+    expect st L.RBRACE;
+    Model.B_mtd
+      { mtd_name = name; mtd_modes = modes; mtd_initial = initial;
+        mtd_transitions = transitions }
+  | L.IDENT "std" ->
+    advance st;
+    let name = ident st in
+    expect st L.LBRACE;
+    keyword st "states";
+    let rec state_names acc =
+      match peek st with
+      | L.IDENT s -> advance st; state_names (s :: acc)
+      | L.SEMI -> advance st; List.rev acc
+      | t -> error st "expected state name or ;, found %s" (L.token_to_string t)
+    in
+    let states = state_names [] in
+    keyword st "initial";
+    let initial = ident st in
+    expect st L.SEMI;
+    let rec vars acc =
+      if at_keyword st "var" then begin
+        advance st;
+        let v = ident st in
+        expect st L.EQ;
+        let init = parse_literal st in
+        expect st L.SEMI;
+        vars ((v, init) :: acc)
+      end
+      else List.rev acc
+    in
+    let std_vars = vars [] in
+    let rec transitions acc =
+      if at_keyword st "transition" then begin
+        advance st;
+        let src = ident st in
+        expect st L.ARROW;
+        let dst = ident st in
+        keyword st "when";
+        let guard = parse_expr st in
+        keyword st "priority";
+        let priority = int_lit st in
+        expect st L.LBRACE;
+        let rec actions outs sets =
+          match peek st with
+          | L.IDENT "emit" ->
+            advance st;
+            let port = ident st in
+            expect st L.EQ;
+            let e = parse_expr st in
+            expect st L.SEMI;
+            actions ((port, e) :: outs) sets
+          | L.IDENT "set" ->
+            advance st;
+            let v = ident st in
+            expect st L.EQ;
+            let e = parse_expr st in
+            expect st L.SEMI;
+            actions outs ((v, e) :: sets)
+          | _ -> (List.rev outs, List.rev sets)
+        in
+        let outs, sets = actions [] [] in
+        expect st L.RBRACE;
+        transitions
+          ({ Model.st_src = src; st_dst = dst; st_guard = guard;
+             st_outputs = outs; st_updates = sets; st_priority = priority }
+          :: acc)
+      end
+      else List.rev acc
+    in
+    let std_transitions = transitions [] in
+    expect st L.RBRACE;
+    Model.B_std
+      { std_name = name; std_states = states; std_initial = initial;
+        std_vars; std_transitions }
+  | t -> error st "expected a behavior, found %s" (L.token_to_string t)
+
+and parse_network st kw : Model.network =
+  keyword st kw;
+  let name = ident st in
+  expect st L.LBRACE;
+  let rec items comps channels =
+    match peek st with
+    | L.IDENT "component" ->
+      items (parse_component_decl st :: comps) channels
+    | L.IDENT "channel" -> items comps (parse_channel st :: channels)
+    | _ -> (List.rev comps, List.rev channels)
+  in
+  let comps, channels = items [] [] in
+  expect st L.RBRACE;
+  { net_name = name; net_components = comps; net_channels = channels }
+
+and parse_component_decl st : Model.component =
+  keyword st "component";
+  let name = ident st in
+  expect st L.LBRACE;
+  let rec ports acc =
+    if at_keyword st "in" || at_keyword st "out" then
+      ports (parse_port st :: acc)
+    else List.rev acc
+  in
+  let comp_ports = ports [] in
+  let behavior = parse_behavior st in
+  expect st L.RBRACE;
+  { Model.comp_name = name; comp_ports; comp_behavior = behavior }
+
+let parse_enum_decl st =
+  keyword st "enum";
+  let name = ident st in
+  expect st L.LBRACE;
+  let rec lits acc =
+    let l = ident st in
+    match peek st with
+    | L.COMMA -> advance st; lits (l :: acc)
+    | _ -> List.rev (l :: acc)
+  in
+  let literals = lits [] in
+  expect st L.RBRACE;
+  let decl = { Dtype.enum_name = name; literals } in
+  st.enums <- decl :: st.enums;
+  decl
+
+let level_of_string st = function
+  | "FAA" -> Model.Faa
+  | "FDA" -> Model.Fda
+  | "LA" -> Model.La
+  | "TA" -> Model.Ta
+  | "OA" -> Model.Oa
+  | other -> error st "unknown abstraction level %s" other
+
+let parse_model st : Model.model =
+  keyword st "model";
+  let name = ident st in
+  keyword st "level";
+  let level = level_of_string st (ident st) in
+  let rec enums acc =
+    if at_keyword st "enum" then enums (parse_enum_decl st :: acc)
+    else List.rev acc
+  in
+  let declared = enums [] in
+  let root = parse_component_decl st in
+  (match peek st with
+   | L.EOF -> ()
+   | t -> error st "trailing input: %s" (L.token_to_string t));
+  { Model.model_name = name; model_level = level; model_root = root;
+    model_enums = declared }
+
+let parse src =
+  let st = { tokens = L.tokenize src; enums = [] } in
+  parse_model st
+
+let parse_component ?(enums = []) src =
+  let st = { tokens = L.tokenize src; enums } in
+  let c = parse_component_decl st in
+  (match peek st with
+   | L.EOF -> ()
+   | t -> error st "trailing input: %s" (L.token_to_string t));
+  c
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse src

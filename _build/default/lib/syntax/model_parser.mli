@@ -1,0 +1,45 @@
+(** Parser for the textual AutoMoDe model format (inverse of
+    {!Model_printer}).
+
+    Grammar sketch:
+    {v
+    model     ::= "model" IDENT "level" ("FAA"|"FDA"|"LA"|"TA"|"OA")
+                  enum* component
+    enum      ::= "enum" IDENT "{" IDENT ("," IDENT)* "}"
+    component ::= "component" IDENT "{" port* behavior "}"
+    port      ::= ("in"|"out") IDENT (":" type)? ("@" clock)?
+                  ("resource" STRING)? ";"
+    behavior  ::= "unspecified" ";"
+                | "exprs" "{" (IDENT "=" expr ";")* "}"
+                | ("dfd"|"ssd") IDENT "{" component* channel* "}"
+                | "mtd" IDENT "{" "initial" IDENT ";" mode* mtransition* "}"
+                | "std" IDENT "{" "states" IDENT+ ";" "initial" IDENT ";"
+                  ("var" IDENT "=" literal ";")* stransition* "}"
+    channel   ::= "channel" IDENT ":" endpoint "->" endpoint
+                  ("delayed")? ("init" literal)? ";"
+    endpoint  ::= IDENT "." IDENT | "." IDENT
+    clock     ::= "true" | "every" "(" INT "," clock ")"
+                | "shift" "(" INT "," clock ")" | "event" "(" IDENT ")"
+    expr      ::= infix expression with or < and < not < cmp < +- < */mod
+                  < unary -; primaries: literals, qualified enum literals
+                  [E.A], variables, present(x), pre/current(lit, e),
+                  when(e, clock), if/then/else, calls
+    v}
+
+    Keywords are contextual — any identifier remains usable as a port or
+    component name except inside the position where a keyword is
+    expected. *)
+
+open Automode_core
+
+exception Parse_error of string * int
+
+val parse : string -> Model.model
+(** @raise Parse_error / @raise Syntax_lexer.Lex_error on bad input. *)
+
+val parse_component : ?enums:Dtype.enum_decl list -> string -> Model.component
+(** Parse a bare component (no [model] header); [enums] supplies the
+    enum declarations its types may reference. *)
+
+val parse_file : string -> Model.model
+(** @raise Sys_error on IO failure. *)

@@ -1,0 +1,198 @@
+open Automode_core
+
+exception Unprintable of string
+
+let unprintable fmt = Format.kasprintf (fun s -> raise (Unprintable s)) fmt
+
+(* Floats must re-lex as floats: force a decimal point or exponent. *)
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let pp_value ppf (v : Value.t) =
+  match v with
+  | Value.Bool b -> Format.pp_print_bool ppf b
+  | Value.Int i -> Format.pp_print_int ppf i
+  | Value.Float f -> Format.pp_print_string ppf (float_lit f)
+  | Value.Enum (ty, lit) -> Format.fprintf ppf "%s.%s" ty lit
+  | Value.Tuple _ -> unprintable "tuple literal %a" Value.pp v
+
+let pp_type ppf (ty : Dtype.t) =
+  match ty with
+  | Dtype.Tbool -> Format.pp_print_string ppf "bool"
+  | Dtype.Tint -> Format.pp_print_string ppf "int"
+  | Dtype.Tfloat -> Format.pp_print_string ppf "float"
+  | Dtype.Tenum e -> Format.pp_print_string ppf e.enum_name
+  | Dtype.Ttuple _ -> unprintable "tuple type %s" (Dtype.to_string ty)
+
+let binop_surface = function
+  | Expr.Add -> "+" | Expr.Sub -> "-" | Expr.Mul -> "*" | Expr.Div -> "/"
+  | Expr.Mod -> "mod"
+  | Expr.And -> "and" | Expr.Or -> "or"
+  | Expr.Eq -> "=" | Expr.Ne -> "/=" | Expr.Lt -> "<" | Expr.Le -> "<="
+  | Expr.Gt -> ">" | Expr.Ge -> ">="
+  | Expr.Min -> "min" | Expr.Max -> "max"
+
+let rec pp_expr ppf (e : Expr.t) =
+  match e with
+  | Expr.Const v -> pp_value ppf v
+  | Expr.Var name -> Format.pp_print_string ppf name
+  | Expr.Unop (Expr.Not, a) -> Format.fprintf ppf "(not %a)" pp_expr a
+  | Expr.Unop (Expr.Neg, a) -> Format.fprintf ppf "(-%a)" pp_expr a
+  | Expr.Unop (Expr.Abs, a) -> Format.fprintf ppf "abs(%a)" pp_expr a
+  | Expr.Binop ((Expr.Min | Expr.Max) as op, a, b) ->
+    Format.fprintf ppf "%s(%a, %a)" (binop_surface op) pp_expr a pp_expr b
+  | Expr.Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_surface op) pp_expr b
+  | Expr.If (c, a, b) ->
+    Format.fprintf ppf "(if %a then %a else %a)" pp_expr c pp_expr a pp_expr b
+  | Expr.Pre (init, a) ->
+    Format.fprintf ppf "pre(%a, %a)" pp_value init pp_expr a
+  | Expr.Current (init, a) ->
+    Format.fprintf ppf "current(%a, %a)" pp_value init pp_expr a
+  | Expr.When (a, c) -> Format.fprintf ppf "when(%a, %a)" pp_expr a Clock.pp c
+  | Expr.Is_present name -> Format.fprintf ppf "present(%s)" name
+  | Expr.Call (name, args) ->
+    Format.fprintf ppf "%s(%a)" name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_expr)
+      args
+
+let indent n = String.make (2 * n) ' '
+
+let pp_port ~level ppf (p : Model.port) =
+  let dir = match p.port_dir with Model.In -> "in" | Model.Out -> "out" in
+  Format.fprintf ppf "%s%s %s" (indent level) dir p.port_name;
+  (match p.port_type with
+   | Some ty -> Format.fprintf ppf " : %a" pp_type ty
+   | None -> ());
+  (match p.port_clock with
+   | Clock.Base -> ()
+   | c -> Format.fprintf ppf " @@%a" Clock.pp c);
+  (match p.port_resource with
+   | Some r -> Format.fprintf ppf " resource \"%s\"" r
+   | None -> ());
+  Format.fprintf ppf ";@\n"
+
+let pp_endpoint ppf (ep : Model.endpoint) =
+  match ep.ep_comp with
+  | None -> Format.fprintf ppf ".%s" ep.ep_port
+  | Some c -> Format.fprintf ppf "%s.%s" c ep.ep_port
+
+let pp_channel ~level ppf (ch : Model.channel) =
+  Format.fprintf ppf "%schannel %s : %a -> %a" (indent level) ch.ch_name
+    pp_endpoint ch.ch_src pp_endpoint ch.ch_dst;
+  if ch.ch_delayed then Format.fprintf ppf " delayed";
+  (match ch.ch_init with
+   | Some v -> Format.fprintf ppf " init %a" pp_value v
+   | None -> ());
+  Format.fprintf ppf ";@\n"
+
+let rec pp_behavior ~level ppf (b : Model.behavior) =
+  match b with
+  | Model.B_unspecified -> Format.fprintf ppf "%sunspecified;@\n" (indent level)
+  | Model.B_exprs outs ->
+    Format.fprintf ppf "%sexprs {@\n" (indent level);
+    List.iter
+      (fun (port, e) ->
+        Format.fprintf ppf "%s%s = %a;@\n" (indent (level + 1)) port pp_expr e)
+      outs;
+    Format.fprintf ppf "%s}@\n" (indent level)
+  | Model.B_dfd net -> pp_network ~level ~kw:"dfd" ppf net
+  | Model.B_ssd net -> pp_network ~level ~kw:"ssd" ppf net
+  | Model.B_mtd mtd ->
+    Format.fprintf ppf "%smtd %s {@\n" (indent level) mtd.mtd_name;
+    Format.fprintf ppf "%sinitial %s;@\n" (indent (level + 1)) mtd.mtd_initial;
+    List.iter
+      (fun (m : Model.mode) ->
+        Format.fprintf ppf "%smode %s {@\n" (indent (level + 1)) m.mode_name;
+        pp_behavior ~level:(level + 2) ppf m.mode_behavior;
+        Format.fprintf ppf "%s}@\n" (indent (level + 1)))
+      mtd.mtd_modes;
+    List.iter
+      (fun (t : Model.mtd_transition) ->
+        Format.fprintf ppf "%stransition %s -> %s when %a priority %d;@\n"
+          (indent (level + 1))
+          t.mt_src t.mt_dst pp_expr t.mt_guard t.mt_priority)
+      mtd.mtd_transitions;
+    Format.fprintf ppf "%s}@\n" (indent level)
+  | Model.B_std std ->
+    Format.fprintf ppf "%sstd %s {@\n" (indent level) std.std_name;
+    Format.fprintf ppf "%sstates %s;@\n" (indent (level + 1))
+      (String.concat " " std.std_states);
+    Format.fprintf ppf "%sinitial %s;@\n" (indent (level + 1)) std.std_initial;
+    List.iter
+      (fun (v, init) ->
+        Format.fprintf ppf "%svar %s = %a;@\n" (indent (level + 1)) v pp_value
+          init)
+      std.std_vars;
+    List.iter
+      (fun (t : Model.std_transition) ->
+        Format.fprintf ppf "%stransition %s -> %s when %a priority %d {@\n"
+          (indent (level + 1))
+          t.st_src t.st_dst pp_expr t.st_guard t.st_priority;
+        List.iter
+          (fun (port, e) ->
+            Format.fprintf ppf "%semit %s = %a;@\n" (indent (level + 2)) port
+              pp_expr e)
+          t.st_outputs;
+        List.iter
+          (fun (v, e) ->
+            Format.fprintf ppf "%sset %s = %a;@\n" (indent (level + 2)) v
+              pp_expr e)
+          t.st_updates;
+        Format.fprintf ppf "%s}@\n" (indent (level + 1)))
+      std.std_transitions;
+    Format.fprintf ppf "%s}@\n" (indent level)
+
+and pp_network ~level ~kw ppf (net : Model.network) =
+  Format.fprintf ppf "%s%s %s {@\n" (indent level) kw net.net_name;
+  List.iter (pp_component_at ~level:(level + 1) ppf) net.net_components;
+  List.iter (pp_channel ~level:(level + 1) ppf) net.net_channels;
+  Format.fprintf ppf "%s}@\n" (indent level)
+
+and pp_component_at ~level ppf (c : Model.component) =
+  Format.fprintf ppf "%scomponent %s {@\n" (indent level) c.comp_name;
+  List.iter (pp_port ~level:(level + 1) ppf) c.comp_ports;
+  pp_behavior ~level:(level + 1) ppf c.comp_behavior;
+  Format.fprintf ppf "%s}@\n" (indent level)
+
+let pp_component ppf c = pp_component_at ~level:0 ppf c
+
+(* All enum declarations a model needs: the declared ones plus every enum
+   occurring in port types, literals or initial values of the hierarchy. *)
+let collect_enums (m : Model.model) =
+  let table = Hashtbl.create 8 in
+  let add (e : Dtype.enum_decl) =
+    if not (Hashtbl.mem table e.enum_name) then
+      Hashtbl.replace table e.enum_name e
+  in
+  List.iter add m.model_enums;
+  let add_type = function
+    | Some (Dtype.Tenum e) -> add e
+    | Some (Dtype.Tbool | Dtype.Tint | Dtype.Tfloat | Dtype.Ttuple _) | None ->
+      ()
+  in
+  Model.iter_components
+    (fun _ (c : Model.component) ->
+      List.iter (fun (p : Model.port) -> add_type p.Model.port_type) c.comp_ports)
+    m.model_root;
+  (* deterministic order: by name *)
+  Hashtbl.fold (fun _ e acc -> e :: acc) table []
+  |> List.sort (fun (a : Dtype.enum_decl) b ->
+         String.compare a.enum_name b.enum_name)
+
+let pp_model ppf (m : Model.model) =
+  Format.fprintf ppf "model %s level %s@\n@\n" m.model_name
+    (Model.level_name m.model_level);
+  List.iter
+    (fun (e : Dtype.enum_decl) ->
+      Format.fprintf ppf "enum %s { %s }@\n" e.enum_name
+        (String.concat ", " e.literals))
+    (collect_enums m);
+  Format.pp_print_newline ppf ();
+  pp_component ppf m.model_root
+
+let component_to_string c = Format.asprintf "%a" pp_component c
+let to_string m = Format.asprintf "%a" pp_model m

@@ -1,0 +1,25 @@
+(** Lexer for the textual AutoMoDe model format (see {!Model_parser} for
+    the grammar).  Comments run from ["//"] to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string   (** double-quoted, for resource tags *)
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | COLON | SEMI | COMMA | DOT | AT
+  | ARROW              (** [->] *)
+  | EQ                 (** [=] *)
+  | NEQ                (** [/=] *)
+  | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH
+  | EOF
+
+type located = { tok : token; line : int }
+
+exception Lex_error of string * int
+
+val tokenize : string -> located list
+(** @raise Lex_error on stray characters or unterminated strings. *)
+
+val token_to_string : token -> string

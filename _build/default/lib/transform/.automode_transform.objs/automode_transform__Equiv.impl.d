@@ -1,0 +1,1 @@
+lib/transform/equiv.ml: Automode_core Dtype Float Format Fun List Model Random Sim Trace Value

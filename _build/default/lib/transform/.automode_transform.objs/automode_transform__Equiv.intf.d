@@ -1,0 +1,1 @@
+lib/transform/equiv.mli: Automode_core Format Model Sim Trace Value

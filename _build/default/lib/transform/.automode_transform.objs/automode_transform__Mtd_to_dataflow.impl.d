@@ -1,0 +1,1 @@
+lib/transform/mtd_to_dataflow.ml: Automode_core Automode_la Ccd Clock Cluster List Model Refactor

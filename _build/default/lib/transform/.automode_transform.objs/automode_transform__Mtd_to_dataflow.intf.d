@@ -1,0 +1,1 @@
+lib/transform/mtd_to_dataflow.mli: Automode_core Automode_la Ccd Model

@@ -1,0 +1,1 @@
+lib/transform/reengineer.ml: Ascet_analysis Ascet_ast Automode_ascet Automode_core Automode_osek Clock Dtype Expr Format List Model Option Printf Simplify String Value

@@ -1,0 +1,1 @@
+lib/transform/reengineer.mli: Ascet_ast Automode_ascet Automode_core Automode_osek Format Model

@@ -1,0 +1,1 @@
+lib/transform/refactor.ml: Automode_core Dtype Expr Format List Model Mtd Network Option Printf Stdlib String

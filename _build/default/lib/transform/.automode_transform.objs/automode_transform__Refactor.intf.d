@@ -1,0 +1,1 @@
+lib/transform/refactor.mli: Automode_core Model

@@ -1,0 +1,1 @@
+lib/transform/refine.ml: Automode_core Automode_la Ccd Clock Cluster Dfd Dtype Expr Format Impl_type Int List Model Option Printf Ssd String

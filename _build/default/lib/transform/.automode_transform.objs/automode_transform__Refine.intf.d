@@ -1,0 +1,1 @@
+lib/transform/refine.mli: Automode_core Automode_la Ccd Cluster Expr Impl_type Model

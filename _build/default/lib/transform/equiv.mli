@@ -1,0 +1,53 @@
+(** Trace-equivalence oracle for transformations (paper Sec. 4).
+
+    Every AutoMoDe transformation is meant to be semantics-preserving
+    (refactorings) or a documented refinement.  This module provides the
+    oracle the test-suite and the benches use: simulate two components
+    on the same randomly generated stimuli and compare the output
+    traces. *)
+
+open Automode_core
+
+type divergence = {
+  d_tick : int;
+  d_flow : string;
+  d_left : Value.message;
+  d_right : Value.message;
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+val random_inputs :
+  seed:int -> ?presence:float -> Model.port list -> Sim.input_fn
+(** Random stimulus for the given input ports: each tick, each port
+    carries a message with probability [presence] (default 1.0), with a
+    type-directed random value (ints in [-100, 100], floats in
+    [-100, 100], uniform bools/enum literals).  Deterministic in
+    [seed]. *)
+
+val trace_equivalent :
+  ?ticks:int -> ?seed:int -> ?presence:float -> ?flows:string list ->
+  Model.component -> Model.component -> (unit, divergence) result
+(** Simulate both components (default 64 ticks, seed 42) on identical
+    random stimuli over the {e left} component's input ports and compare
+    outputs (restricted to [flows] when given).  The components must
+    declare the same port names for meaningful results. *)
+
+val equivalent_on_runs :
+  runs:int -> ?ticks:int -> ?presence:float -> ?flows:string list ->
+  Model.component -> Model.component -> (unit, int * divergence) result
+(** Repeat {!trace_equivalent} over [runs] different seeds; [Error]
+    carries the offending seed. *)
+
+val refines_with_latency :
+  ?float_tol:float -> window:int -> warmup:int -> flows:string list ->
+  reference:Trace.t -> Trace.t -> (unit, divergence) result
+(** Timing-refinement check: after [warmup] ticks, every present message
+    of the refined trace must equal a message the [reference] produced
+    on the same flow within the last [window] ticks.  This is the
+    correctness notion for deployment-oriented transformations that
+    insert delay operators (paper Sec. 3.3): values are preserved, their
+    observation may shift by bounded latency.  [float_tol] (default 0)
+    relaxes float comparisons: with continuously varying stimuli a
+    delayed sampling instant yields nearby rather than bit-identical
+    values. *)

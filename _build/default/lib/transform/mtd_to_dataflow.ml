@@ -1,0 +1,51 @@
+open Automode_core
+open Automode_la
+
+exception Not_partitionable of string
+
+let transform ?(period = 1) (comp : Model.component) =
+  let refactored =
+    try Refactor.mtd_to_mode_port_dfd comp
+    with Refactor.Not_applicable msg -> raise (Not_partitionable msg)
+  in
+  let net =
+    match refactored.comp_behavior with
+    | Model.B_dfd net -> net
+    | Model.B_ssd _ | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _
+    | Model.B_unspecified -> assert false
+  in
+  let clock = Clock.every period Clock.Base in
+  let clocked (p : Model.port) = { p with Model.port_clock = clock } in
+  (* Each block of the mode-port DFD becomes a cluster of its own. *)
+  let clusters =
+    List.map
+      (fun (c : Model.component) ->
+        let body : Model.network =
+          { net_name = c.comp_name ^ "_body";
+            net_components = [ { c with comp_name = "impl" } ];
+            net_channels =
+              List.map
+                (fun (p : Model.port) ->
+                  Model.channel ~name:("i_" ^ p.port_name)
+                    (Model.boundary p.port_name)
+                    (Model.at "impl" p.port_name))
+                (Model.input_ports c)
+              @ List.map
+                  (fun (p : Model.port) ->
+                    Model.channel ~name:("o_" ^ p.port_name)
+                      (Model.at "impl" p.port_name)
+                      (Model.boundary p.port_name))
+                  (Model.output_ports c) }
+        in
+        Cluster.make ~name:c.comp_name
+          ~ports:(List.map clocked c.comp_ports)
+          ~body ())
+      net.net_components
+  in
+  Ccd.make
+    ~name:(comp.comp_name ^ "_partitioned")
+    ~clusters ~channels:net.net_channels
+    ~external_ports:(List.map clocked refactored.comp_ports)
+    ()
+
+let to_component = Ccd.to_component

@@ -1,0 +1,29 @@
+(** MTD -> partitionable data-flow model (paper Sec. 3.3).
+
+    "In order to represent high-level MTDs as a network of clusters on
+    the LA level, the AutoMoDe tool prototype features an algorithm to
+    transform an MTD into a semantically equivalent, partitionable
+    data-flow model."
+
+    The algorithm composes the mode-port refactoring of {!Refactor} with
+    clusterization: the mode {e selector}, every {e mode} block and the
+    output {e multiplexer} each become a separate cluster — the smallest
+    deployable units — so that different modes can be deployed to
+    different tasks (or even ECUs). *)
+
+open Automode_core
+open Automode_la
+
+exception Not_partitionable of string
+
+val transform : ?period:int -> Model.component -> Ccd.t
+(** Transform a component with MTD behavior (memoryless expression
+    modes) into a CCD with [2 + #modes] clusters.  All cluster ports are
+    clocked at [period] base ticks (default 1).
+    @raise Not_partitionable when the component has no MTD behavior or
+    the modes are not memoryless expressions (the restriction of
+    {!Refactor.mtd_to_mode_port_dfd}). *)
+
+val to_component : Ccd.t -> Model.component
+(** Re-wrap for simulation ({!Ccd.to_component}), re-exported for
+    equivalence checks against the original MTD component. *)

@@ -1,0 +1,388 @@
+open Automode_core
+
+exception Not_applicable of string
+
+let not_applicable fmt =
+  Format.kasprintf (fun s -> raise (Not_applicable s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* MTD -> DFDs with explicit mode ports                               *)
+(* ------------------------------------------------------------------ *)
+
+let mode_port_name = "mode"
+
+let mtd_to_mode_port_dfd (comp : Model.component) =
+  let mtd =
+    match comp.comp_behavior with
+    | Model.B_mtd mtd -> mtd
+    | Model.B_exprs _ | Model.B_std _ | Model.B_dfd _ | Model.B_ssd _
+    | Model.B_unspecified ->
+      not_applicable "component %s has no MTD behavior" comp.comp_name
+  in
+  let mode_exprs =
+    List.map
+      (fun (m : Model.mode) ->
+        match m.mode_behavior with
+        | Model.B_exprs outs ->
+          List.iter
+            (fun (_, e) ->
+              if Expr.has_memory_operator e then
+                not_applicable
+                  "mode %s of %s uses pre/current (history not convertible)"
+                  m.mode_name comp.comp_name)
+            outs;
+          (m.mode_name, outs)
+        | Model.B_std _ | Model.B_mtd _ | Model.B_dfd _ | Model.B_ssd _
+        | Model.B_unspecified ->
+          not_applicable "mode %s of %s is not an expression mode" m.mode_name
+            comp.comp_name)
+      mtd.mtd_modes
+  in
+  let enum_ty = Mtd.mode_enum mtd in
+  let enum_const mode =
+    Expr.Const (Dtype.enum_value enum_ty mode)
+  in
+  let in_ports = Model.input_ports comp in
+  let out_ports = Model.output_ports comp in
+  let in_names = List.map (fun (p : Model.port) -> p.port_name) in_ports in
+  let out_names = List.map (fun (p : Model.port) -> p.port_name) out_ports in
+  (* Mode selector: an STD over the MTD's transition structure that emits
+     the current mode on an explicit port every tick. *)
+  let max_priority =
+    List.fold_left
+      (fun acc (t : Model.mtd_transition) -> Stdlib.max acc t.mt_priority)
+      0 mtd.mtd_transitions
+  in
+  let selector_std : Model.std =
+    { std_name = comp.comp_name ^ "_selector";
+      std_states = List.map (fun (m : Model.mode) -> m.mode_name) mtd.mtd_modes;
+      std_initial = mtd.mtd_initial;
+      std_vars = [];
+      std_transitions =
+        List.map
+          (fun (t : Model.mtd_transition) ->
+            { Model.st_src = t.mt_src;
+              st_dst = t.mt_dst;
+              st_guard = t.mt_guard;
+              st_outputs = [ (mode_port_name, enum_const t.mt_dst) ];
+              st_updates = [];
+              st_priority = t.mt_priority })
+          mtd.mtd_transitions
+        @ List.map
+            (fun (m : Model.mode) ->
+              { Model.st_src = m.mode_name;
+                st_dst = m.mode_name;
+                st_guard = Expr.bool true;
+                st_outputs = [ (mode_port_name, enum_const m.mode_name) ];
+                st_updates = [];
+                st_priority = max_priority + 1 })
+            mtd.mtd_modes }
+  in
+  let selector =
+    Model.component (comp.comp_name ^ "_selector")
+      ~ports:
+        (List.map (fun (p : Model.port) -> p) in_ports
+        @ [ Model.out_port ~ty:enum_ty mode_port_name ])
+      ~behavior:(Model.B_std selector_std)
+  in
+  (* One DFD block per mode, with an explicit mode input port. *)
+  let mode_block (mode_name, outs) =
+    Model.component
+      (comp.comp_name ^ "_" ^ mode_name)
+      ~ports:
+        (List.map (fun (p : Model.port) -> p) in_ports
+        @ [ Model.in_port ~ty:enum_ty mode_port_name ]
+        @ List.map
+            (fun (p : Model.port) -> Model.out_port ?ty:p.port_type p.port_name)
+            out_ports)
+      ~behavior:(Model.B_exprs outs)
+  in
+  let mode_blocks = List.map mode_block mode_exprs in
+  (* Multiplexer: pick the active mode's outputs. *)
+  let mux_in_name mode out = out ^ "_" ^ mode in
+  let mux_expr out =
+    let rec build = function
+      | [] -> assert false
+      | [ (mode, _) ] -> Expr.var (mux_in_name mode out)
+      | (mode, _) :: rest ->
+        Expr.If
+          ( Expr.Binop (Expr.Eq, Expr.var mode_port_name, enum_const mode),
+            Expr.var (mux_in_name mode out),
+            build rest )
+    in
+    build mode_exprs
+  in
+  let mux =
+    Model.component (comp.comp_name ^ "_mux")
+      ~ports:
+        ([ Model.in_port ~ty:enum_ty mode_port_name ]
+        @ List.concat_map
+            (fun (p : Model.port) ->
+              List.map
+                (fun (mode, _) ->
+                  Model.in_port ?ty:p.port_type (mux_in_name mode p.port_name))
+                mode_exprs)
+            out_ports
+        @ List.map
+            (fun (p : Model.port) -> Model.out_port ?ty:p.port_type p.port_name)
+            out_ports)
+      ~behavior:
+        (Model.B_exprs (List.map (fun o -> (o, mux_expr o)) out_names))
+  in
+  let channels =
+    (* inputs fan out to the selector and the mode blocks *)
+    List.concat_map
+      (fun i ->
+        Model.channel ~name:("sel_" ^ i) (Model.boundary i)
+          (Model.at selector.comp_name i)
+        :: List.map
+             (fun (mode, _) ->
+               Model.channel
+                 ~name:("in_" ^ i ^ "_" ^ mode)
+                 (Model.boundary i)
+                 (Model.at (comp.comp_name ^ "_" ^ mode) i))
+             mode_exprs)
+      in_names
+    (* the mode signal reaches every mode block, the mux, and the boundary *)
+    @ List.map
+        (fun (mode, _) ->
+          Model.channel
+            ~name:("mode_" ^ mode)
+            (Model.at selector.comp_name mode_port_name)
+            (Model.at (comp.comp_name ^ "_" ^ mode) mode_port_name))
+        mode_exprs
+    @ [ Model.channel ~name:"mode_mux"
+          (Model.at selector.comp_name mode_port_name)
+          (Model.at mux.comp_name mode_port_name);
+        Model.channel ~name:"mode_out"
+          (Model.at selector.comp_name mode_port_name)
+          (Model.boundary mode_port_name) ]
+    (* mode outputs into the mux, mux outputs to the boundary *)
+    @ List.concat_map
+        (fun o ->
+          List.map
+            (fun (mode, _) ->
+              Model.channel
+                ~name:("mx_" ^ o ^ "_" ^ mode)
+                (Model.at (comp.comp_name ^ "_" ^ mode) o)
+                (Model.at mux.comp_name (mux_in_name mode o)))
+            mode_exprs
+          @ [ Model.channel ~name:("out_" ^ o)
+                (Model.at mux.comp_name o)
+                (Model.boundary o) ])
+        out_names
+  in
+  let net : Model.network =
+    { net_name = comp.comp_name ^ "_modeports";
+      net_components = (selector :: mode_blocks) @ [ mux ];
+      net_channels = channels }
+  in
+  { comp with
+    comp_ports = comp.comp_ports @ [ Model.out_port ~ty:enum_ty mode_port_name ];
+    comp_behavior = Model.B_dfd net }
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator insertion                                              *)
+(* ------------------------------------------------------------------ *)
+
+let insert_coordinator ~resource ?name (model : Model.model) =
+  let coordinator_name =
+    Option.value name ~default:("coordinate_" ^ resource)
+  in
+  let rewrite (net : Model.network) kind =
+    let writers =
+      List.filter_map
+        (fun (c : Model.component) ->
+          List.find_map
+            (fun (p : Model.port) ->
+              if p.port_dir = Model.Out && p.port_resource = Some resource
+              then Some (c.comp_name, p)
+              else None)
+            c.comp_ports)
+        net.net_components
+    in
+    match writers with
+    | [] | [ _ ] ->
+      not_applicable "fewer than two functions drive actuator %s" resource
+    | _ :: _ :: _ ->
+      let cmd_in i = Printf.sprintf "cmd%d" i in
+      let arbitration =
+        let rec build i = function
+          | [] -> assert false
+          | [ _ ] -> Expr.var (cmd_in i)
+          | _ :: rest ->
+            Expr.If (Expr.Is_present (cmd_in i), Expr.var (cmd_in i),
+                     build (i + 1) rest)
+        in
+        build 0 writers
+      in
+      let out_ty = (snd (List.hd writers)).Model.port_type in
+      let coordinator =
+        Model.component coordinator_name
+          ~ports:
+            (List.mapi
+               (fun i (_, (p : Model.port)) ->
+                 Model.in_port ?ty:p.port_type (cmd_in i))
+               writers
+            @ [ Model.port ?ty:out_ty ~resource Model.Out "cmd" ])
+          ~behavior:(Model.B_exprs [ ("cmd", arbitration) ])
+      in
+      let untag (c : Model.component) =
+        { c with
+          comp_ports =
+            List.map
+              (fun (p : Model.port) ->
+                if p.port_dir = Model.Out && p.port_resource = Some resource
+                then { p with port_resource = None }
+                else p)
+              c.comp_ports }
+      in
+      let channels =
+        net.net_channels
+        @ List.mapi
+            (fun i (writer, (p : Model.port)) ->
+              Model.channel
+                ~name:(Printf.sprintf "coord_%s_%d" resource i)
+                (Model.at writer p.port_name)
+                (Model.at coordinator_name (cmd_in i)))
+            writers
+      in
+      let components =
+        List.map untag net.net_components @ [ coordinator ]
+      in
+      ignore kind;
+      { net with net_components = components; net_channels = channels }
+  in
+  let root = model.model_root in
+  let behavior =
+    match root.comp_behavior with
+    | Model.B_ssd net -> Model.B_ssd (rewrite net `Ssd)
+    | Model.B_dfd net -> Model.B_dfd (rewrite net `Dfd)
+    | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _ | Model.B_unspecified ->
+      not_applicable "model root is not a network"
+  in
+  { model with model_root = { root with comp_behavior = behavior } }
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy restructuring                                            *)
+(* ------------------------------------------------------------------ *)
+
+let group_components ?(kind = `Ssd) ~names ~group_name (net : Model.network) =
+  List.iter
+    (fun n ->
+      if Model.find_component net n = None then
+        not_applicable "unknown component %s" n)
+    names;
+  if Model.find_component net group_name <> None then
+    not_applicable "component %s already exists" group_name;
+  let grouped (c : Model.component) = List.mem c.comp_name names in
+  let in_group (ep : Model.endpoint) =
+    match ep.ep_comp with Some c -> List.mem c names | None -> false
+  in
+  let members, rest = List.partition grouped net.net_components in
+  let port_type_of ep =
+    Option.bind
+      (Network.resolve_port
+         ~enclosing:(Model.component "tmp" ~ports:[])
+         net ep)
+      (fun (p : Model.port) -> p.port_type)
+  in
+  let inner, crossing_in, crossing_out, outer =
+    List.fold_left
+      (fun (inner, cin, cout, outer) (ch : Model.channel) ->
+        match in_group ch.ch_src, in_group ch.ch_dst with
+        | true, true -> (ch :: inner, cin, cout, outer)
+        | false, true -> (inner, ch :: cin, cout, outer)
+        | true, false -> (inner, cin, ch :: cout, outer)
+        | false, false -> (inner, cin, cout, ch :: outer))
+      ([], [], [], []) net.net_channels
+  in
+  let inner = List.rev inner
+  and crossing_in = List.rev crossing_in
+  and crossing_out = List.rev crossing_out
+  and outer = List.rev outer in
+  let gin_name i = Printf.sprintf "gi%d" i in
+  let gout_name i = Printf.sprintf "go%d" i in
+  let group_in_ports =
+    List.mapi
+      (fun i (ch : Model.channel) ->
+        Model.port ?ty:(port_type_of ch.ch_dst) Model.In (gin_name i))
+      crossing_in
+  in
+  let group_out_ports =
+    List.mapi
+      (fun i (ch : Model.channel) ->
+        Model.port ?ty:(port_type_of ch.ch_src) Model.Out (gout_name i))
+      crossing_out
+  in
+  let group_net : Model.network =
+    { net_name = group_name;
+      net_components = members;
+      net_channels =
+        inner
+        @ List.mapi
+            (fun i (ch : Model.channel) ->
+              Model.channel
+                ~name:(Printf.sprintf "fwd_in_%d" i)
+                (Model.boundary (gin_name i))
+                ch.ch_dst)
+            crossing_in
+        @ List.mapi
+            (fun i (ch : Model.channel) ->
+              Model.channel
+                ~name:(Printf.sprintf "fwd_out_%d" i)
+                ch.ch_src
+                (Model.boundary (gout_name i)))
+            crossing_out }
+  in
+  let behavior =
+    match kind with
+    | `Ssd -> Model.B_ssd group_net
+    | `Dfd -> Model.B_dfd group_net
+  in
+  let group =
+    Model.component group_name
+      ~ports:(group_in_ports @ group_out_ports)
+      ~behavior
+  in
+  let channels =
+    outer
+    @ List.mapi
+        (fun i (ch : Model.channel) ->
+          { ch with
+            Model.ch_name = ch.ch_name ^ "_gin";
+            ch_dst = Model.at group_name (gin_name i) })
+        crossing_in
+    @ List.mapi
+        (fun i (ch : Model.channel) ->
+          { ch with
+            Model.ch_name = ch.ch_name ^ "_gout";
+            ch_src = Model.at group_name (gout_name i) })
+        crossing_out
+  in
+  { net with net_components = rest @ [ group ]; net_channels = channels }
+
+let rename_component ~old_name ~new_name (net : Model.network) =
+  if Model.find_component net old_name = None then
+    not_applicable "unknown component %s" old_name;
+  if Model.find_component net new_name <> None then
+    not_applicable "component %s already exists" new_name;
+  let rename_ep (ep : Model.endpoint) =
+    if ep.ep_comp = Some old_name then { ep with ep_comp = Some new_name }
+    else ep
+  in
+  { net with
+    net_components =
+      List.map
+        (fun (c : Model.component) ->
+          if String.equal c.comp_name old_name then
+            { c with comp_name = new_name }
+          else c)
+        net.net_components;
+    net_channels =
+      List.map
+        (fun (ch : Model.channel) ->
+          { ch with
+            ch_src = rename_ep ch.ch_src;
+            ch_dst = rename_ep ch.ch_dst })
+        net.net_channels }

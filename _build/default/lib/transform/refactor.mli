@@ -1,0 +1,51 @@
+(** Refactoring transformations — structural changes on one abstraction
+    level (paper Sec. 4).
+
+    "Other refactoring steps will replace an MTD by several DFDs having
+    explicit mode-ports, or change the structural hierarchy in order to
+    facilitate more efficient implementation"; the FAA example is
+    restructuring around a shared actuator by introducing a coordinating
+    functionality. *)
+
+open Automode_core
+
+exception Not_applicable of string
+
+val mtd_to_mode_port_dfd : Model.component -> Model.component
+(** Replace a component whose behavior is an MTD with {e memoryless
+    expression modes} by a semantically equivalent DFD:
+    - a mode-selector STD replicating the transition structure and
+      emitting the current mode on an explicit enum-typed [mode] port;
+    - one DFD block per mode (the mode's expressions), fed by the
+      component inputs and carrying an explicit [mode] input port;
+    - a multiplexer selecting the active mode's outputs.
+
+    The resulting component has the same interface plus an additional
+    [mode] output port.  Trace-equivalent on the original ports for
+    MTDs whose mode behaviors are [B_exprs] without [Pre]/[Current]
+    (history-free); @raise Not_applicable otherwise. *)
+
+val insert_coordinator :
+  resource:string -> ?name:string -> Model.model -> Model.model
+(** Resolve an actuator conflict (the {!Faa_rules.actuator_conflict}
+    countermeasure): give each conflicting function's port a private
+    name, add a coordinator component that forwards the
+    highest-declared-priority present command to the actuator, and
+    re-tag only the coordinator's output with the resource.
+    @raise Not_applicable when fewer than two functions drive
+    [resource]. *)
+
+val group_components :
+  ?kind:[ `Ssd | `Dfd ] -> names:string list -> group_name:string ->
+  Model.network -> Model.network
+(** Hierarchy restructuring: move the named sibling components into a
+    fresh sub-component (default an SSD group; pass [`Dfd] inside DFDs
+    to preserve instantaneous semantics), re-splicing the crossing
+    channels through boundary ports of the new group.  Channel delay
+    marks are preserved (the new boundary forwarding adds none).
+    @raise Not_applicable on unknown names. *)
+
+val rename_component :
+  old_name:string -> new_name:string -> Model.network -> Model.network
+(** Rename a sibling component and every channel endpoint referring to
+    it.  @raise Not_applicable on unknown or colliding names. *)

@@ -1,0 +1,378 @@
+open Automode_core
+open Automode_la
+
+exception Refine_error of string
+
+let refine_error fmt = Format.kasprintf (fun s -> raise (Refine_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Physical -> implementation signals                                 *)
+(* ------------------------------------------------------------------ *)
+
+let quantize_expr (impl : Impl_type.t) x =
+  let flimit e lo hi =
+    Expr.Call ("limit", [ e; Expr.float lo; Expr.float hi ])
+  in
+  match impl with
+  | Impl_type.Ifloat32 | Impl_type.Ifloat64 -> x
+  | Impl_type.Iint w ->
+    let lo, hi = Impl_type.word_range w in
+    flimit (Expr.Call ("round", [ x ])) (float_of_int lo) (float_of_int hi)
+  | Impl_type.Ifixed { container; scale; offset } ->
+    let lo, hi = Impl_type.word_range container in
+    let raw =
+      flimit
+        (Expr.Call ("round", [ Expr.((x - float offset) / float scale) ]))
+        (float_of_int lo) (float_of_int hi)
+    in
+    Expr.((raw * float scale) + float offset)
+  | Impl_type.Ibool | Impl_type.Ienum _ ->
+    refine_error "quantize_expr: %s is not a numeric encoding"
+      (Impl_type.to_string impl)
+
+let quantizer_block ~name impl =
+  (* dynamically typed ports: the quantizer splices into any numeric
+     channel regardless of the endpoints' static types *)
+  Dfd.block_of_expr ~name
+    ~inputs:[ ("in", None) ]
+    (quantize_expr impl (Expr.var "in"))
+
+let refine_signal ~channel ~impl (net : Model.network) =
+  let target =
+    List.find_opt
+      (fun (ch : Model.channel) -> String.equal ch.ch_name channel)
+      net.net_channels
+  in
+  match target with
+  | None -> refine_error "unknown channel %s" channel
+  | Some ch ->
+    let qname = "q_" ^ channel in
+    let q = quantizer_block ~name:qname impl in
+    let first =
+      { ch with
+        Model.ch_name = channel ^ "_raw";
+        ch_dst = Model.at qname "in" }
+    in
+    let second =
+      Model.channel ~name:channel (Model.at qname "out") ch.Model.ch_dst
+    in
+    { net with
+      net_components = net.net_components @ [ q ];
+      net_channels =
+        List.concat_map
+          (fun (c : Model.channel) ->
+            if String.equal c.ch_name channel then [ first; second ] else [ c ])
+          net.net_channels }
+
+let refine_cluster_types ~choose (cluster : Cluster.t) =
+  let impl_types =
+    List.fold_left
+      (fun acc (p : Model.port) ->
+        match choose p with
+        | None -> acc
+        | Some impl ->
+          (match p.port_type with
+           | Some abstract when not (Impl_type.refines impl abstract) ->
+             refine_error "implementation %s does not refine %s on port %s"
+               (Impl_type.to_string impl) (Dtype.to_string abstract)
+               p.port_name
+           | Some _ | None ->
+             (p.port_name, impl) :: List.remove_assoc p.port_name acc))
+      cluster.Cluster.impl_types cluster.Cluster.ports
+  in
+  { cluster with Cluster.impl_types }
+
+(* ------------------------------------------------------------------ *)
+(* Clustering by clock                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Activation period of a block: gcd of its output-port clock periods
+   (fallback: all ports). *)
+let block_period (c : Model.component) =
+  let periods ports =
+    List.filter_map
+      (fun (p : Model.port) ->
+        match Clock.canon p.port_clock with
+        | Clock.Periodic { period; _ } -> Some period
+        | Clock.Aperiodic _ -> None
+        | exception Clock.Invalid_clock _ -> None)
+      ports
+  in
+  let outs = periods (Model.output_ports c) in
+  let all = if outs = [] then periods c.comp_ports else outs in
+  match all with
+  | [] -> None
+  | p :: rest -> Some (List.fold_left gcd p rest)
+
+let cluster_by_clock ~name (comp : Model.component) =
+  let net =
+    match comp.comp_behavior with
+    | Model.B_dfd net -> net
+    | Model.B_ssd _ | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _
+    | Model.B_unspecified -> refine_error "cluster_by_clock: not a DFD"
+  in
+  List.iter
+    (fun (c : Model.component) ->
+      match c.comp_behavior with
+      | Model.B_dfd _ | Model.B_ssd _ ->
+        refine_error "cluster_by_clock: network not flat (component %s)"
+          c.comp_name
+      | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _ | Model.B_unspecified
+        -> ())
+    net.net_components;
+  let with_periods =
+    List.map
+      (fun (c : Model.component) ->
+        match block_period c with
+        | Some p -> (p, c)
+        | None ->
+          refine_error "cluster_by_clock: block %s has no periodic clock"
+            c.comp_name)
+      net.net_components
+  in
+  let periods =
+    List.sort_uniq Int.compare (List.map fst with_periods)
+  in
+  let cluster_name_of p = Printf.sprintf "%s_%dms" name p in
+  let members p =
+    List.filter_map
+      (fun (p', c) -> if p = p' then Some c else None)
+      with_periods
+  in
+  let period_of_comp cname =
+    List.find_map
+      (fun (p, (c : Model.component)) ->
+        if String.equal c.comp_name cname then Some p else None)
+      with_periods
+  in
+  let cluster_of_ep (ep : Model.endpoint) =
+    match ep.ep_comp with
+    | None -> None
+    | Some cname -> period_of_comp cname
+  in
+  (* Channel classification. *)
+  let internal, _crossing =
+    List.partition
+      (fun (ch : Model.channel) ->
+        match cluster_of_ep ch.ch_src, cluster_of_ep ch.ch_dst with
+        | Some p1, Some p2 -> p1 = p2
+        | None, _ | _, None -> false (* boundary channels handled per side *))
+      net.net_channels
+  in
+  let port_info (ep : Model.endpoint) =
+    match ep.ep_comp with
+    | None ->
+      Option.map
+        (fun (p : Model.port) -> p)
+        (Model.find_port comp ep.ep_port)
+    | Some cname ->
+      Option.bind (Model.find_component net cname) (fun c ->
+          Model.find_port c ep.ep_port)
+  in
+  (* Build one cluster per period. *)
+  let mk_cluster p =
+    let comps = members p in
+    let comp_names = List.map (fun (c : Model.component) -> c.comp_name) comps in
+    let mine (ep : Model.endpoint) =
+      match ep.ep_comp with
+      | Some c -> List.mem c comp_names
+      | None -> false
+    in
+    let body_internal =
+      List.filter (fun (ch : Model.channel) -> mine ch.ch_src && mine ch.ch_dst)
+        internal
+    in
+    (* crossing channels and boundary channels induce cluster ports *)
+    let in_needs =
+      List.filter (fun (ch : Model.channel) -> mine ch.ch_dst && not (mine ch.ch_src))
+        net.net_channels
+    in
+    let out_needs =
+      List.filter (fun (ch : Model.channel) -> mine ch.ch_src && not (mine ch.ch_dst))
+        net.net_channels
+    in
+    let in_port_name (ch : Model.channel) =
+      Printf.sprintf "%s_%s"
+        (Option.value ch.ch_dst.ep_comp ~default:"b")
+        ch.ch_dst.ep_port
+    in
+    let out_port_name (ch : Model.channel) =
+      Printf.sprintf "%s_%s"
+        (Option.value ch.ch_src.ep_comp ~default:"b")
+        ch.ch_src.ep_port
+    in
+    let clock = Clock.every p Clock.Base in
+    let dedup_ports ports =
+      List.fold_left
+        (fun acc (pt : Model.port) ->
+          if List.exists (fun (q : Model.port) -> String.equal q.port_name pt.port_name) acc
+          then acc
+          else pt :: acc)
+        [] ports
+      |> List.rev
+    in
+    let in_ports =
+      dedup_ports
+        (List.map
+           (fun ch ->
+             let ty =
+               Option.bind (port_info ch.Model.ch_dst) (fun pt -> pt.Model.port_type)
+             in
+             Model.in_port ?ty ~clock (in_port_name ch))
+           in_needs)
+    in
+    let out_ports =
+      dedup_ports
+        (List.map
+           (fun ch ->
+             let ty =
+               Option.bind (port_info ch.Model.ch_src) (fun pt -> pt.Model.port_type)
+             in
+             Model.out_port ?ty ~clock (out_port_name ch))
+           out_needs)
+    in
+    let body : Model.network =
+      { net_name = cluster_name_of p ^ "_body";
+        net_components = comps;
+        net_channels =
+          body_internal
+          @ List.map
+              (fun (ch : Model.channel) ->
+                Model.channel
+                  ~name:("in_" ^ ch.ch_name)
+                  (Model.boundary (in_port_name ch))
+                  ch.ch_dst)
+              in_needs
+          @ (* one forwarding channel per distinct out port: fan-out from a
+               single source port to several outside readers shares it *)
+          (List.fold_left
+             (fun acc (ch : Model.channel) ->
+               let port = out_port_name ch in
+               if
+                 List.exists
+                   (fun (c : Model.channel) ->
+                     String.equal c.ch_dst.ep_port port)
+                   acc
+               then acc
+               else
+                 Model.channel
+                   ~name:("out_" ^ ch.ch_name)
+                   ch.ch_src
+                   (Model.boundary port)
+                 :: acc)
+             [] out_needs
+          |> List.rev) }
+    in
+    Cluster.make ~name:(cluster_name_of p)
+      ~ports:(in_ports @ out_ports)
+      ~body ()
+  in
+  let clusters = List.map mk_cluster periods in
+  (* CCD channels: crossing channels between clusters; boundary channels of
+     the original network become external channels. *)
+  let in_port_name (ch : Model.channel) =
+    Printf.sprintf "%s_%s"
+      (Option.value ch.ch_dst.ep_comp ~default:"b")
+      ch.ch_dst.ep_port
+  in
+  let out_port_name (ch : Model.channel) =
+    Printf.sprintf "%s_%s"
+      (Option.value ch.ch_src.ep_comp ~default:"b")
+      ch.ch_src.ep_port
+  in
+  let ccd_channels =
+    List.filter_map
+      (fun (ch : Model.channel) ->
+        let src_cluster = Option.map cluster_name_of (cluster_of_ep ch.ch_src) in
+        let dst_cluster = Option.map cluster_of_ep (Some ch.ch_dst) |> Option.join |> Option.map cluster_name_of in
+        match src_cluster, dst_cluster with
+        | Some s, Some d when not (String.equal s d) ->
+          Some
+            { ch with
+              Model.ch_src = Model.at s (out_port_name ch);
+              ch_dst = Model.at d (in_port_name ch) }
+        | Some s, None ->
+          (* to the boundary *)
+          Some
+            { ch with
+              Model.ch_src = Model.at s (out_port_name ch);
+              ch_dst = ch.ch_dst }
+        | None, Some d ->
+          Some
+            { ch with
+              Model.ch_src = ch.ch_src;
+              ch_dst = Model.at d (in_port_name ch) }
+        | None, None -> Some ch
+        | Some s, Some _ ->
+          ignore s;
+          None (* same cluster: stays internal *))
+      (List.filter
+         (fun (ch : Model.channel) ->
+           match cluster_of_ep ch.ch_src, cluster_of_ep ch.ch_dst with
+           | Some p1, Some p2 -> p1 <> p2
+           | None, _ | _, None -> true)
+         net.net_channels)
+  in
+  Ccd.make ~name ~clusters ~channels:ccd_channels
+    ~external_ports:comp.comp_ports ()
+
+(* ------------------------------------------------------------------ *)
+(* SSD -> CCD                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let wrap_atomic (c : Model.component) : Model.network =
+  let fwd_in =
+    List.map
+      (fun (p : Model.port) ->
+        Model.channel ~name:("i_" ^ p.port_name)
+          (Model.boundary p.port_name)
+          (Model.at "impl" p.port_name))
+      (Model.input_ports c)
+  in
+  let fwd_out =
+    List.map
+      (fun (p : Model.port) ->
+        Model.channel ~name:("o_" ^ p.port_name)
+          (Model.at "impl" p.port_name)
+          (Model.boundary p.port_name))
+      (Model.output_ports c)
+  in
+  { net_name = c.comp_name ^ "_body";
+    net_components = [ { c with comp_name = "impl" } ];
+    net_channels = fwd_in @ fwd_out }
+
+let ssd_to_ccd (comp : Model.component) =
+  let flat_net =
+    match (Ssd.dissolve_top comp).comp_behavior with
+    | Model.B_ssd net ->
+      (* SSD semantics: every channel between siblings is delayed; make it
+         explicit so the flat CCD preserves the timing. *)
+      { net with
+        Model.net_channels =
+          List.map
+            (fun (ch : Model.channel) ->
+              match ch.ch_src.ep_comp, ch.ch_dst.ep_comp with
+              | Some _, Some _ -> { ch with Model.ch_delayed = true }
+              | None, _ | _, None -> ch)
+            net.net_channels }
+    | Model.B_dfd _ | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _
+    | Model.B_unspecified -> refine_error "ssd_to_ccd: component is not an SSD"
+  in
+  let clusters =
+    List.map
+      (fun (c : Model.component) ->
+        match c.comp_behavior with
+        | Model.B_dfd body -> Cluster.make ~name:c.comp_name ~ports:c.comp_ports ~body ()
+        | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _
+        | Model.B_unspecified ->
+          Cluster.make ~name:c.comp_name ~ports:c.comp_ports
+            ~body:(wrap_atomic c) ()
+        | Model.B_ssd _ ->
+          refine_error "ssd_to_ccd: nested SSD survived dissolution in %s"
+            c.comp_name)
+      flat_net.net_components
+  in
+  Ccd.make ~name:(comp.comp_name ^ "_ccd") ~clusters
+    ~channels:flat_net.net_channels ~external_ports:comp.comp_ports ()

@@ -1,0 +1,61 @@
+(** Refinement transformations — from higher to lower abstraction levels
+    (paper Sec. 4): "the transformation of physical signals to
+    implementation signals (i.e. the choice of encoding and data type),
+    clustering of DFDs according to their clocks neglecting their
+    functional coherency and last but not least the mapping of CCDs to
+    ECUs and tasks" (the last one is {!Automode_la.Deploy}). *)
+
+open Automode_core
+open Automode_la
+
+exception Refine_error of string
+
+(** {1 Physical -> implementation signals} *)
+
+val quantize_expr : Impl_type.t -> Expr.t -> Expr.t
+(** The base-language expression computing [decode (encode x)] — the
+    value actually transported once the signal is implemented: scaling,
+    round-to-nearest and container saturation for fixed-point types;
+    rounding+saturation for plain integers; identity for floats.
+    @raise Refine_error on non-numeric implementation types. *)
+
+val quantizer_block : name:string -> Impl_type.t -> Model.component
+(** An atomic block [in -> out] applying {!quantize_expr} — inserted on
+    a channel to make the quantization of a refined signal explicit in
+    the model. *)
+
+val refine_signal :
+  channel:string -> impl:Impl_type.t -> Model.network ->
+  Model.network
+(** Split the named channel and insert a {!quantizer_block}, recording
+    the encoding choice in the model structure.
+    @raise Refine_error on unknown channels. *)
+
+val refine_cluster_types :
+  choose:(Model.port -> Impl_type.t option) -> Cluster.t -> Cluster.t
+(** Record implementation types on a cluster's interface (LA type
+    extension).  Ports for which [choose] returns [None] keep their
+    previous entry.  @raise Refine_error when a choice does not refine
+    the port's abstract type. *)
+
+(** {1 Clustering by clock} *)
+
+val cluster_by_clock : name:string -> Model.component -> Ccd.t
+(** Partition the blocks of a {e flat} FDA-level DFD component by the
+    canonical period of their output clocks — "neglecting their
+    functional coherency" — into one cluster per rate.  Channels between
+    blocks of different rates become CCD channels (delay marks
+    preserved); same-rate channels stay inside the cluster bodies.  The
+    component's boundary ports become external CCD ports.
+    @raise Refine_error on aperiodic blocks, non-flat networks, or
+    non-DFD components. *)
+
+(** {1 SSD -> CCD} *)
+
+val ssd_to_ccd : Model.component -> Ccd.t
+(** Dissolve the topmost SSD hierarchies of the component into a flat
+    CCD (paper Sec. 3.3): composite sub-structures are inlined with
+    their implicit delays turned into explicit channel delays; every
+    remaining atomic component becomes a cluster (expression/STD/MTD
+    behaviors are wrapped into singleton DFD bodies).
+    @raise Refine_error when the component is not an SSD. *)

@@ -1,0 +1,1 @@
+test/test_ascet.ml: Alcotest Ascet_analysis Ascet_ast Ascet_interp Ascet_lexer Ascet_parser Ascet_printer Automode_ascet Automode_core Dtype Expr List Trace Value

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Automode_core Block_lib Clock Dtype Expr Fun Gen Ident List QCheck QCheck_alcotest String Value

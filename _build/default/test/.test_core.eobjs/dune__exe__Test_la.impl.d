@@ -1,0 +1,1 @@
+test/test_la.ml: Alcotest Automode_core Automode_la Automode_osek Ccd Clock Cluster Deploy Dfd Dtype Expr Float Impl_type List Model String Ta Value Well_defined

@@ -1,0 +1,1 @@
+test/test_osek.ml: Alcotest Automode_osek Can_bus Comm_matrix Float Format Gen Ipc List Osek_task Printf QCheck QCheck_alcotest Scheduler String

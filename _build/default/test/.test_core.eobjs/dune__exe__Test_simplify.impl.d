@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Automode_ascet Automode_casestudy Automode_core Automode_transform Clock Expr Hashtbl List Model Option Printf QCheck QCheck_alcotest Random Sim Simplify Trace Value

@@ -1,0 +1,1 @@
+test/test_static_check.ml: Alcotest Automode_casestudy Automode_core Clock Dfd Dtype Expr List Model Static_check String Value

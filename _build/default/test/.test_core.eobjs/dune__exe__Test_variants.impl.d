@@ -1,0 +1,1 @@
+test/test_variants.ml: Alcotest Automode_core Dfd Dtype Expr List Model Network Sim Ssd String Trace Value Variants

@@ -1,0 +1,389 @@
+(* Tests for the ASCET-SD-like substrate: lexer, parser, printer
+   round-trip, interpreter, flag analysis. *)
+
+open Automode_core
+open Automode_ascet
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let throttle_src =
+  {|module ThrottleDemo
+
+enum EngineState { Cranking, Running, Overrun }
+
+input n : float = 0.0
+input desired : float = 0.0
+input current : float = 0.0
+flag b_cranking : bool = false
+message rate : float = 0.0
+output throttle : float = 0.0
+
+task t10 period 10
+task t100 period 100
+
+process detect_cranking on t10 {
+  if n < 400.0 {
+    send b_cranking true;
+  } else {
+    send b_cranking false;
+  }
+}
+
+process rate_of_change on t10 {
+  local tmp : float = 0.0;
+  tmp := desired - current;
+  if b_cranking {
+    send rate 0.5;
+  } else {
+    send rate tmp;
+  }
+}
+
+process actuate on t100 {
+  send throttle rate * 2.0;
+}
+|}
+
+let parsed () = Ascet_parser.parse throttle_src
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_basic () =
+  let toks = Ascet_lexer.tokenize "x := 3.5; // comment\nsend y x;" in
+  let kinds = List.map (fun (t : Ascet_lexer.located) -> t.tok) toks in
+  checkb "tokens" true
+    (kinds
+     = [ Ascet_lexer.IDENT "x"; Ascet_lexer.ASSIGN; Ascet_lexer.FLOAT 3.5;
+         Ascet_lexer.SEMI; Ascet_lexer.KW "send"; Ascet_lexer.IDENT "y";
+         Ascet_lexer.IDENT "x"; Ascet_lexer.SEMI; Ascet_lexer.EOF ])
+
+let test_lexer_line_numbers () =
+  let toks = Ascet_lexer.tokenize "a\nb\nc" in
+  let lines =
+    List.filter_map
+      (fun (t : Ascet_lexer.located) ->
+        match t.tok with Ascet_lexer.IDENT _ -> Some t.line | _ -> None)
+      toks
+  in
+  Alcotest.(check (list int)) "lines" [ 1; 2; 3 ] lines
+
+let test_lexer_operators () =
+  let toks = Ascet_lexer.tokenize "a /= b <= c >= d" in
+  let has tok =
+    List.exists (fun (t : Ascet_lexer.located) -> t.tok = tok) toks
+  in
+  checkb "neq" true (has Ascet_lexer.NEQ);
+  checkb "le" true (has Ascet_lexer.LE);
+  checkb "ge" true (has Ascet_lexer.GE)
+
+let test_lexer_error () =
+  checkb "stray char" true
+    (try ignore (Ascet_lexer.tokenize "a ? b"); false
+     with Ascet_lexer.Lex_error (_, 1) -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_structure () =
+  let m = parsed () in
+  checks "module name" "ThrottleDemo" m.Ascet_ast.mod_name;
+  checki "enums" 1 (List.length m.enums);
+  checki "globals" 6 (List.length m.globals);
+  checki "tasks" 2 (List.length m.tasks);
+  checki "processes" 3 (List.length m.processes);
+  checkb "well-formed" true (Ascet_ast.check m = [])
+
+let test_parse_enum_literal () =
+  let m =
+    Ascet_parser.parse
+      {|module M
+enum S { A, B }
+message st : S = A
+task t period 1
+process p on t {
+  if st = B { send st A; } else { send st B; }
+}
+|}
+  in
+  checkb "well-formed" true (Ascet_ast.check m = []);
+  match (List.hd m.processes).proc_body with
+  | [ Ascet_ast.If (Expr.Binop (Expr.Eq, Expr.Var "st", Expr.Const (Value.Enum ("S", "B"))), _, _) ] -> ()
+  | _ -> Alcotest.fail "enum literal not recognized in condition"
+
+let test_parse_precedence () =
+  let m =
+    Ascet_parser.parse
+      {|module M
+input a : float = 0.0
+output o : float = 0.0
+task t period 1
+process p on t { send o a + 2.0 * a; }
+|}
+  in
+  match (List.hd m.processes).proc_body with
+  | [ Ascet_ast.Send ("o", Expr.Binop (Expr.Add, _, Expr.Binop (Expr.Mul, _, _))) ] -> ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_parse_call_and_not () =
+  let m =
+    Ascet_parser.parse
+      {|module M
+input a : float = 0.0
+flag f : bool = false
+output o : float = 0.0
+task t period 1
+process p on t {
+  if not f and a > 1.0 { send o limit(a, 0.0, 10.0); }
+}
+|}
+  in
+  checkb "ok" true (Ascet_ast.check m = [])
+
+let test_parse_errors () =
+  checkb "missing module" true
+    (try ignore (Ascet_parser.parse "input x : float = 0.0"); false
+     with Ascet_parser.Parse_error _ -> true);
+  checkb "unknown type" true
+    (try ignore (Ascet_parser.parse "module M\ninput x : banana = 0"); false
+     with Ascet_parser.Parse_error _ -> true);
+  checkb "bad statement" true
+    (try
+       ignore
+         (Ascet_parser.parse "module M\ntask t period 1\nprocess p on t { 3; }");
+       false
+     with Ascet_parser.Parse_error _ -> true)
+
+let test_printer_roundtrip () =
+  let m = parsed () in
+  let printed = Ascet_printer.to_string m in
+  let reparsed = Ascet_parser.parse printed in
+  checkb "roundtrip equal" true (m = reparsed)
+
+let test_check_catches_errors () =
+  let bad_send =
+    Ascet_parser.parse
+      {|module M
+input x : float = 0.0
+task t period 1
+process p on t { send x 1.0; }
+|}
+  in
+  checkb "send to input rejected" true (Ascet_ast.check bad_send <> []);
+  let bad_init =
+    { (parsed ()) with
+      Ascet_ast.globals =
+        [ { Ascet_ast.g_name = "g"; g_kind = Ascet_ast.Message;
+            g_type = Dtype.Tbool; g_init = Value.Int 3 } ] }
+  in
+  checkb "bad init rejected" true (Ascet_ast.check bad_init <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let inputs_for speed tick =
+  ignore tick;
+  [ ("n", Value.Float speed); ("desired", Value.Float 10.);
+    ("current", Value.Float 4.) ]
+
+let test_interp_cranking_mode () =
+  let m = parsed () in
+  let trace =
+    Ascet_interp.run m ~ticks:21 ~inputs:(inputs_for 300.)
+      ~observe:[ "rate"; "b_cranking" ]
+  in
+  (* n < 400 -> cranking -> rate 0.5 after the first t10 activation *)
+  checkb "cranking detected" true
+    (Value.equal_message
+       (Trace.get trace ~flow:"b_cranking" ~tick:0)
+       (Value.Present (Value.Bool true)));
+  checkb "rate clamped" true
+    (Value.equal_message
+       (Trace.get trace ~flow:"rate" ~tick:20)
+       (Value.Present (Value.Float 0.5)))
+
+let test_interp_running_mode () =
+  let m = parsed () in
+  let trace =
+    Ascet_interp.run m ~ticks:11 ~inputs:(inputs_for 800.)
+      ~observe:[ "rate"; "throttle" ]
+  in
+  checkb "rate = desired - current" true
+    (Value.equal_message
+       (Trace.get trace ~flow:"rate" ~tick:10)
+       (Value.Present (Value.Float 6.)));
+  (* t100 ran at tick 0, after the t10 processes (task declaration order),
+     so it already saw rate = 6 *)
+  checkb "throttle from same-tick rate" true
+    (Value.equal_message
+       (Trace.get trace ~flow:"throttle" ~tick:10)
+       (Value.Present (Value.Float 12.)))
+
+let test_interp_task_rates () =
+  let m = parsed () in
+  let trace =
+    Ascet_interp.run m ~ticks:101 ~inputs:(inputs_for 800.)
+      ~observe:[ "throttle" ]
+  in
+  (* at t=100 the 100ms task sees rate=6 and writes throttle=12 *)
+  checkb "slow task updates at 100ms" true
+    (Value.equal_message
+       (Trace.get trace ~flow:"throttle" ~tick:100)
+       (Value.Present (Value.Float 12.)))
+
+let test_interp_sequential_order () =
+  (* Reader before writer in the same task sees the previous value. *)
+  let m =
+    Ascet_parser.parse
+      {|module Seq
+input x : float = 0.0
+message mid : float = 0.0
+output before : float = 0.0
+output after : float = 0.0
+task t period 1
+process reader_before on t { send before mid; }
+process writer on t { send mid x; }
+process reader_after on t { send after mid; }
+|}
+  in
+  let inputs tick = [ ("x", Value.Float (float_of_int tick)) ] in
+  let trace =
+    Ascet_interp.run m ~ticks:3 ~inputs ~observe:[ "before"; "after" ]
+  in
+  checkb "after sees fresh" true
+    (Value.equal_message
+       (Trace.get trace ~flow:"after" ~tick:2)
+       (Value.Present (Value.Float 2.)));
+  checkb "before sees previous" true
+    (Value.equal_message
+       (Trace.get trace ~flow:"before" ~tick:2)
+       (Value.Present (Value.Float 1.)))
+
+let test_interp_errors () =
+  let m = parsed () in
+  checkb "bad input name" true
+    (try
+       ignore
+         (Ascet_interp.step m ~inputs:[ ("nope", Value.Int 1) ] ~t_ms:0
+            (Ascet_interp.init m));
+       false
+     with Ascet_interp.Run_error _ -> true);
+  checkb "driving non-input" true
+    (try
+       ignore
+         (Ascet_interp.step m ~inputs:[ ("rate", Value.Float 0.) ] ~t_ms:0
+            (Ascet_interp.init m));
+       false
+     with Ascet_interp.Run_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_analysis_flags () =
+  let m = parsed () in
+  Alcotest.(check (list string)) "declared" [ "b_cranking" ]
+    (Ascet_analysis.declared_flags m);
+  checkb "inferred includes declared" true
+    (List.mem "b_cranking" (Ascet_analysis.inferred_flags m));
+  checkb "rate is not a flag" false
+    (List.mem "rate" (Ascet_analysis.inferred_flags m))
+
+let test_analysis_readers_writers () =
+  let m = parsed () in
+  Alcotest.(check (list string)) "writers" [ "detect_cranking" ]
+    (Ascet_analysis.flag_writers m "b_cranking");
+  Alcotest.(check (list string)) "readers" [ "rate_of_change" ]
+    (Ascet_analysis.flag_readers m "b_cranking")
+
+let test_analysis_implicit_modes () =
+  let m = parsed () in
+  let flags = Ascet_analysis.inferred_flags m in
+  let p =
+    match Ascet_ast.find_process m "rate_of_change" with
+    | Some p -> p
+    | None -> Alcotest.fail "process missing"
+  in
+  (match Ascet_analysis.implicit_modes ~flags p with
+   | Some split ->
+     checki "prefix statements" 1 (List.length split.prefix);
+     checkb "condition over flag" true
+       (Expr.free_vars split.split_condition = [ "b_cranking" ])
+   | None -> Alcotest.fail "mode split expected");
+  let q =
+    match Ascet_ast.find_process m "actuate" with
+    | Some p -> p
+    | None -> Alcotest.fail "process missing"
+  in
+  checkb "no split in plain process" true
+    (Ascet_analysis.implicit_modes ~flags q = None)
+
+let test_analysis_central_emitter () =
+  let m =
+    Ascet_parser.parse
+      {|module Central
+input n : float = 0.0
+flag f1 : bool = false
+flag f2 : bool = false
+flag f3 : bool = false
+output o : float = 0.0
+task t period 1
+process global_state on t {
+  if n > 1.0 { send f1 true; } else { send f1 false; }
+  if n > 2.0 { send f2 true; } else { send f2 false; }
+  if n > 3.0 { send f3 true; } else { send f3 false; }
+}
+process consumer on t {
+  if f1 { send o 1.0; } else { if f2 { send o 2.0; } else { send o 3.0; } }
+}
+|}
+  in
+  (match Ascet_analysis.central_flag_emitters m with
+   | [ (name, count) ] ->
+     checks "emitter" "global_state" name;
+     checki "flag count" 3 count
+   | _ -> Alcotest.fail "one central emitter expected");
+  checki "flag conditionals" 2
+    (Ascet_analysis.count_flag_conditionals
+       ~flags:(Ascet_analysis.inferred_flags m) m)
+
+let test_analysis_dataflow () =
+  let m = parsed () in
+  let edges = Ascet_analysis.process_dataflow m in
+  checkb "cranking edge" true
+    (List.mem ("detect_cranking", "b_cranking", "rate_of_change") edges);
+  checkb "rate edge" true
+    (List.mem ("rate_of_change", "rate", "actuate") edges)
+
+let () =
+  Alcotest.run "automode-ascet"
+    [ ( "lexer",
+        [ Alcotest.test_case "basic" `Quick test_lexer_basic;
+          Alcotest.test_case "line numbers" `Quick test_lexer_line_numbers;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "errors" `Quick test_lexer_error ] );
+      ( "parser",
+        [ Alcotest.test_case "structure" `Quick test_parse_structure;
+          Alcotest.test_case "enum literals" `Quick test_parse_enum_literal;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "calls and not" `Quick test_parse_call_and_not;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "printer roundtrip" `Quick test_printer_roundtrip;
+          Alcotest.test_case "check" `Quick test_check_catches_errors ] );
+      ( "interp",
+        [ Alcotest.test_case "cranking mode" `Quick test_interp_cranking_mode;
+          Alcotest.test_case "running mode" `Quick test_interp_running_mode;
+          Alcotest.test_case "task rates" `Quick test_interp_task_rates;
+          Alcotest.test_case "sequential order" `Quick test_interp_sequential_order;
+          Alcotest.test_case "errors" `Quick test_interp_errors ] );
+      ( "analysis",
+        [ Alcotest.test_case "flags" `Quick test_analysis_flags;
+          Alcotest.test_case "readers/writers" `Quick test_analysis_readers_writers;
+          Alcotest.test_case "implicit modes" `Quick test_analysis_implicit_modes;
+          Alcotest.test_case "central emitter" `Quick test_analysis_central_emitter;
+          Alcotest.test_case "dataflow" `Quick test_analysis_dataflow ] ) ]

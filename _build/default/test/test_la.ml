@@ -1,0 +1,494 @@
+(* Tests for the LA/TA library: implementation types, clusters, CCDs,
+   well-definedness conditions, technical architecture, deployment. *)
+
+open Automode_core
+open Automode_la
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Impl_type                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_impl_widths () =
+  checki "int16" 16 (Impl_type.bit_width (Impl_type.Iint Impl_type.Int16));
+  checki "fixed in int8" 8
+    (Impl_type.bit_width
+       (Impl_type.Ifixed { container = Impl_type.Int8; scale = 0.5; offset = 0. }));
+  checki "float64" 64 (Impl_type.bit_width Impl_type.Ifloat64)
+
+let test_impl_refines () =
+  let enum = { Dtype.enum_name = "E"; literals = [ "A"; "B"; "C" ] } in
+  checkb "int16 refines int" true
+    (Impl_type.refines (Impl_type.Iint Impl_type.Int16) Dtype.Tint);
+  checkb "fixed refines float" true
+    (Impl_type.refines
+       (Impl_type.Ifixed { container = Impl_type.Int16; scale = 0.1; offset = 0. })
+       Dtype.Tfloat);
+  checkb "enum fits uint8" true
+    (Impl_type.refines (Impl_type.Ienum (enum, Impl_type.UInt8)) (Dtype.Tenum enum));
+  checkb "bool does not refine int" false
+    (Impl_type.refines Impl_type.Ibool Dtype.Tint)
+
+let test_impl_encode_decode () =
+  let fx = Impl_type.Ifixed { container = Impl_type.Int16; scale = 0.01; offset = 0. } in
+  (match Impl_type.encode fx (Value.Float 1.23) with
+   | Value.Int raw -> checki "raw" 123 raw
+   | _ -> Alcotest.fail "int expected");
+  (match Impl_type.decode fx (Value.Int 123) with
+   | Value.Float f -> checkb "decoded" true (Float.abs (f -. 1.23) < 1e-9)
+   | _ -> Alcotest.fail "float expected");
+  (* saturation *)
+  (match Impl_type.encode fx (Value.Float 1e9) with
+   | Value.Int raw -> checki "saturated" 32767 raw
+   | _ -> Alcotest.fail "int expected");
+  let enum = { Dtype.enum_name = "E"; literals = [ "A"; "B" ] } in
+  let ie = Impl_type.Ienum (enum, Impl_type.UInt8) in
+  (match Impl_type.encode ie (Value.Enum ("E", "B")) with
+   | Value.Int 1 -> ()
+   | _ -> Alcotest.fail "literal index expected");
+  match Impl_type.decode ie (Value.Int 1) with
+  | Value.Enum ("E", "B") -> ()
+  | _ -> Alcotest.fail "enum roundtrip failed"
+
+let test_impl_physical_range () =
+  match
+    Impl_type.physical_range
+      (Impl_type.Ifixed { container = Impl_type.Int8; scale = 1.; offset = 0. })
+  with
+  | Some (lo, hi) ->
+    checkb "range" true (Float.equal lo (-128.) && Float.equal hi 127.)
+  | None -> Alcotest.fail "range expected"
+
+let test_impl_encode_errors () =
+  checkb "kind mismatch" true
+    (try ignore (Impl_type.encode Impl_type.Ibool (Value.Float 1.)); false
+     with Impl_type.Encode_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let c10 = Clock.every 10 Clock.Base
+let c20 = Clock.every 20 Clock.Base
+
+let simple_body out_expr : Model.network =
+  { net_name = "body";
+    net_components =
+      [ Dfd.block_of_expr ~name:"F" ~inputs:[ ("x", Some Dtype.Tfloat) ]
+          ~out_type:Dtype.Tfloat out_expr ];
+    net_channels =
+      [ Dfd.wire "i" ("", "u") ("F", "x");
+        Dfd.wire "o" ("F", "out") ("", "y") ] }
+
+let mk_cluster ?(name = "C") ?(in_clock = c10) ?(out_clock = c10) () =
+  Cluster.make ~name
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tfloat ~clock:in_clock "u";
+        Model.out_port ~ty:Dtype.Tfloat ~clock:out_clock "y" ]
+    ~body:(simple_body Expr.(var "x" * float 2.))
+    ()
+
+let test_cluster_check_ok () =
+  Alcotest.(check (list string)) "clean" [] (Cluster.check (mk_cluster ()))
+
+let test_cluster_check_untyped () =
+  let c =
+    Cluster.make ~name:"C"
+      ~ports:[ Model.in_port "u" ]
+      ~body:(simple_body (Expr.var "x"))
+      ()
+  in
+  checkb "untyped flagged" true (Cluster.check c <> [])
+
+let test_cluster_check_aperiodic () =
+  let c = mk_cluster ~in_clock:(Clock.event "crash") () in
+  checkb "aperiodic flagged" true (Cluster.check c <> [])
+
+let test_cluster_period () =
+  Alcotest.(check (option int)) "gcd of rates" (Some 10)
+    (Cluster.period (mk_cluster ~in_clock:c10 ~out_clock:c20 ()))
+
+let test_cluster_wcet_monotone () =
+  let small = mk_cluster () in
+  let big =
+    Cluster.make ~name:"Big"
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tfloat ~clock:c10 "u";
+          Model.out_port ~ty:Dtype.Tfloat ~clock:c10 "y" ]
+      ~body:
+        (simple_body
+           Expr.(
+             Call ("limit", [ (var "x" * float 2.) + float 1.; float 0.; float 10. ])))
+      ()
+  in
+  checkb "more expression nodes cost more" true
+    (Cluster.wcet_estimate big > Cluster.wcet_estimate small)
+
+let test_cluster_impl_types () =
+  let impl = Impl_type.Ifixed { container = Impl_type.Int16; scale = 0.1; offset = 0. } in
+  let c =
+    Cluster.make ~name:"C"
+      ~impl_types:[ ("u", impl) ]
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tfloat ~clock:c10 "u";
+          Model.out_port ~ty:Dtype.Tfloat ~clock:c10 "y" ]
+      ~body:(simple_body (Expr.var "x"))
+      ()
+  in
+  Alcotest.(check (list string)) "refining impl ok" [] (Cluster.check c);
+  let bad = { c with Cluster.impl_types = [ ("u", Impl_type.Ibool) ] } in
+  checkb "non-refining impl flagged" true (Cluster.check bad <> [])
+
+(* ------------------------------------------------------------------ *)
+(* CCD and well-definedness                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A fast (10ms) and a slow (100ms) cluster exchanging both ways. *)
+let engine_ccd ~delayed_slow_to_fast =
+  let fast =
+    Cluster.make ~name:"fast"
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tfloat ~clock:c10 "from_slow";
+          Model.out_port ~ty:Dtype.Tfloat ~clock:c10 "speed" ]
+      ~body:
+        { net_name = "fast_body";
+          net_components =
+            [ Dfd.block_of_expr ~name:"F"
+                ~inputs:[ ("x", Some Dtype.Tfloat) ]
+                ~out_type:Dtype.Tfloat
+                Expr.(when_ (current (Value.Float 0.) (var "x") + float 1.) c10) ];
+          net_channels =
+            [ Dfd.wire "i" ("", "from_slow") ("F", "x");
+              Dfd.wire "o" ("F", "out") ("", "speed") ] }
+      ()
+  in
+  let c100 = Clock.every 100 Clock.Base in
+  let slow =
+    Cluster.make ~name:"slow"
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tfloat ~clock:c100 "speed_in";
+          Model.out_port ~ty:Dtype.Tfloat ~clock:c100 "setpoint" ]
+      ~body:
+        { net_name = "slow_body";
+          net_components =
+            [ Dfd.block_of_expr ~name:"S"
+                ~inputs:[ ("x", Some Dtype.Tfloat) ]
+                ~out_type:Dtype.Tfloat
+                Expr.(when_ (current (Value.Float 0.) (var "x") * float 0.5) c100) ];
+          net_channels =
+            [ Dfd.wire "i" ("", "speed_in") ("S", "x");
+              Dfd.wire "o" ("S", "out") ("", "setpoint") ] }
+      ()
+  in
+  Ccd.make ~name:"EngineCcd" ~clusters:[ fast; slow ]
+    ~channels:
+      [ Model.channel ~name:"fast_to_slow" (Model.at "fast" "speed")
+          (Model.at "slow" "speed_in");
+        Model.channel ~delayed:delayed_slow_to_fast
+          ?init:(if delayed_slow_to_fast then Some (Value.Float 0.) else None)
+          ~name:"slow_to_fast" (Model.at "slow" "setpoint")
+          (Model.at "fast" "from_slow") ]
+    ()
+
+let test_ccd_check () =
+  let ccd = engine_ccd ~delayed_slow_to_fast:true in
+  Alcotest.(check (list string)) "well-formed" [] (Ccd.check ccd)
+
+let test_ccd_undelayed_loop_detected () =
+  let ccd = engine_ccd ~delayed_slow_to_fast:false in
+  checkb "instantaneous cluster loop" true
+    (List.exists
+       (fun msg ->
+         String.length msg >= 13 && String.sub msg 0 13 = "instantaneous")
+       (Ccd.check ccd))
+
+let test_ccd_channel_rates () =
+  let ccd = engine_ccd ~delayed_slow_to_fast:true in
+  let rates = Ccd.channel_rates ccd in
+  checki "two channels" 2 (List.length rates);
+  List.iter
+    (fun ((ch : Model.channel), src, dst) ->
+      match ch.ch_name with
+      | "fast_to_slow" ->
+        checkb "10 -> 100" true (src = Some 10 && dst = Some 100)
+      | "slow_to_fast" ->
+        checkb "100 -> 10" true (src = Some 100 && dst = Some 10)
+      | _ -> Alcotest.fail "unexpected channel")
+    rates
+
+let test_well_defined_osek () =
+  let target = Well_defined.osek_fixed_priority in
+  (* undelayed slow->fast violates; fast->slow does not *)
+  let bad = engine_ccd ~delayed_slow_to_fast:false in
+  (match Well_defined.check ~target bad with
+   | [ v ] ->
+     Alcotest.(check string) "offending channel" "slow_to_fast"
+       v.Well_defined.v_channel.Model.ch_name
+   | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+  let good = engine_ccd ~delayed_slow_to_fast:true in
+  checki "no violations" 0 (List.length (Well_defined.check ~target good))
+
+let test_well_defined_repair () =
+  let bad = engine_ccd ~delayed_slow_to_fast:false in
+  let repaired, n =
+    Well_defined.repair ~target:Well_defined.osek_fixed_priority bad
+  in
+  checki "one channel repaired" 1 n;
+  checki "now clean" 0
+    (List.length
+       (Well_defined.check ~target:Well_defined.osek_fixed_priority repaired));
+  (* repair inserted an initial value from the destination type *)
+  checkb "init value present" true
+    (List.exists
+       (fun (ch : Model.channel) ->
+         ch.ch_name = "slow_to_fast" && ch.ch_init <> None && ch.ch_delayed)
+       repaired.Ccd.channels)
+
+let test_well_defined_time_triggered_stricter () =
+  let ccd = engine_ccd ~delayed_slow_to_fast:true in
+  (* TDMA target also requires a delay on the (undelayed) fast->slow link *)
+  checki "tdma flags fast->slow" 1
+    (List.length (Well_defined.check ~target:Well_defined.time_triggered ccd))
+
+(* ------------------------------------------------------------------ *)
+(* TA and deployment                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let engine_ta =
+  Ta.make ~name:"TwoEcu"
+    ~ecus:
+      [ { Ta.ecu_name = "ecu1"; speed_factor = 1.0 };
+        { Ta.ecu_name = "ecu2"; speed_factor = 2.0 } ]
+    ~tasks:
+      [ { Ta.task_name = "t_fast"; task_ecu = "ecu1"; period_us = 10_000;
+          priority = 0; offset_us = 0 };
+        { Ta.task_name = "t_slow"; task_ecu = "ecu2"; period_us = 100_000;
+          priority = 0; offset_us = 0 } ]
+    ~buses:[ { Ta.bus_name = "can0"; bitrate = 500_000 } ]
+    ~frames:
+      [ { Ta.slot_name = "fr1"; slot_bus = "can0"; can_id = 0x10;
+          capacity_bits = 64; slot_period_us = 10_000 };
+        { Ta.slot_name = "fr2"; slot_bus = "can0"; can_id = 0x20;
+          capacity_bits = 64; slot_period_us = 100_000 } ]
+    ()
+
+let test_ta_check () =
+  Alcotest.(check (list string)) "clean" [] (Ta.check engine_ta);
+  let dup_prio =
+    { engine_ta with
+      Ta.tasks =
+        [ { Ta.task_name = "a"; task_ecu = "ecu1"; period_us = 10; priority = 0; offset_us = 0 };
+          { Ta.task_name = "b"; task_ecu = "ecu1"; period_us = 10; priority = 0; offset_us = 0 } ] }
+  in
+  checkb "duplicate priorities" true (Ta.check dup_prio <> []);
+  let bad_frame =
+    { engine_ta with
+      Ta.frames =
+        [ { Ta.slot_name = "f"; slot_bus = "nope"; can_id = 1; capacity_bits = 64;
+            slot_period_us = 100 } ] }
+  in
+  checkb "unknown bus" true (Ta.check bad_frame <> [])
+
+let good_deployment () =
+  let ccd = engine_ccd ~delayed_slow_to_fast:true in
+  Deploy.make ~ccd ~ta:engine_ta
+    ~cluster_task:[ ("fast", "t_fast"); ("slow", "t_slow") ]
+    ~signal_frame:[ ("fast_to_slow", "fr1"); ("slow_to_fast", "fr2") ]
+    ()
+
+let test_deploy_check_ok () =
+  Alcotest.(check (list string)) "clean" [] (Deploy.check (good_deployment ()))
+
+let test_deploy_unmapped_cluster () =
+  let d = good_deployment () in
+  let d = { d with Deploy.cluster_task = [ ("fast", "t_fast") ] } in
+  checkb "unmapped flagged" true
+    (List.exists
+       (fun m -> String.length m > 7 && String.sub m 0 7 = "cluster")
+       (Deploy.check d))
+
+let test_deploy_rate_mismatch () =
+  let d = good_deployment () in
+  (* map the fast cluster onto the slow task: activation too slow *)
+  let d = { d with Deploy.cluster_task = [ ("fast", "t_slow"); ("slow", "t_slow") ] } in
+  checkb "rate mismatch flagged" true (Deploy.check d <> [])
+
+let test_deploy_unmapped_signal () =
+  let d = good_deployment () in
+  let d = { d with Deploy.signal_frame = [] } in
+  checkb "inter-ECU signal unmapped" true
+    (List.exists
+       (fun m ->
+         String.length m > 16 && String.sub m 0 16 = "inter-ECU signal")
+       (Deploy.check d))
+
+let test_deploy_ecu_of_cluster () =
+  let d = good_deployment () in
+  Alcotest.(check (option string)) "fast on ecu1" (Some "ecu1")
+    (Deploy.ecu_of_cluster d "fast");
+  Alcotest.(check (option string)) "slow on ecu2" (Some "ecu2")
+    (Deploy.ecu_of_cluster d "slow");
+  checki "both channels inter-ECU" 2 (List.length (Deploy.inter_ecu_channels d))
+
+let test_deploy_task_sets () =
+  let d = good_deployment () in
+  let sets = Deploy.task_sets d in
+  checki "two ecus" 2 (List.length sets);
+  let ecu1 = List.assoc "ecu1" sets in
+  (match ecu1 with
+   | [ t ] ->
+     Alcotest.(check string) "task" "t_fast" t.Automode_osek.Osek_task.task_name;
+     checkb "wcet positive" true (t.Automode_osek.Osek_task.wcet > 0)
+   | _ -> Alcotest.fail "one task on ecu1");
+  (* the resulting task sets are schedulable on this TA *)
+  List.iter
+    (fun (_, ts) ->
+      if ts <> [] then
+        checkb "schedulable" true
+          (Automode_osek.Scheduler.simulate ~horizon:1_000_000 ts)
+            .Automode_osek.Scheduler.schedulable)
+    sets
+
+let test_deploy_bus_frames_and_matrix () =
+  let d = good_deployment () in
+  let frames = List.assoc "can0" (Deploy.bus_frames d) in
+  checki "two frames used" 2 (List.length frames);
+  let cm = Deploy.comm_matrix d in
+  checki "two entries" 2 (List.length cm.Automode_osek.Comm_matrix.entries);
+  Alcotest.(check (list string)) "matrix clean" []
+    (Automode_osek.Comm_matrix.check cm);
+  (* the CAN traffic derived from the deployment is schedulable *)
+  let r =
+    Automode_osek.Can_bus.simulate { Automode_osek.Can_bus.bitrate = 500_000 }
+      ~horizon:1_000_000 frames
+  in
+  checkb "bus not overloaded" true (r.Automode_osek.Can_bus.load < 0.5)
+
+let test_deploy_auto_map () =
+  let d = good_deployment () in
+  let d = { d with Deploy.signal_frame = [] } in
+  let d = Deploy.auto_map_signals d in
+  Alcotest.(check (list string)) "auto-mapped deployment clean" []
+    (Deploy.check d);
+  checki "two mappings found" 2 (List.length d.Deploy.signal_frame)
+
+let test_deploy_auto_assign () =
+  let ccd = engine_ccd ~delayed_slow_to_fast:true in
+  let assignment = Deploy.auto_assign ~ccd ~ta:engine_ta in
+  (* both clusters get hosted, each at an adequate rate *)
+  Alcotest.(check (option string)) "fast on fast task" (Some "t_fast")
+    (List.assoc_opt "fast" assignment);
+  Alcotest.(check (option string)) "slow hosted" (Some "t_slow")
+    (List.assoc_opt "slow" assignment);
+  (* the resulting deployment is complete and clean after signal mapping *)
+  let d =
+    Deploy.auto_map_signals
+      (Deploy.make ~ccd ~ta:engine_ta ~cluster_task:assignment ())
+  in
+  Alcotest.(check (list string)) "auto deployment clean" [] (Deploy.check d)
+
+let test_deploy_auto_assign_balances () =
+  (* two identical ECUs, two identical tasks: two equal clusters must not
+     land on the same ECU *)
+  let mk_cluster name =
+    Cluster.make ~name
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tfloat ~clock:c10 "u";
+          Model.out_port ~ty:Dtype.Tfloat ~clock:c10 "y" ]
+      ~body:(simple_body Expr.(var "x" * float 2.))
+      ()
+  in
+  let ccd =
+    Ccd.make ~name:"Pair" ~clusters:[ mk_cluster "c1"; mk_cluster "c2" ]
+      ~channels:[] ()
+  in
+  let ta =
+    Ta.make ~name:"Sym"
+      ~ecus:
+        [ { Ta.ecu_name = "e1"; speed_factor = 1.0 };
+          { Ta.ecu_name = "e2"; speed_factor = 1.0 } ]
+      ~tasks:
+        [ { Ta.task_name = "t1"; task_ecu = "e1"; period_us = 10_000;
+            priority = 0; offset_us = 0 };
+          { Ta.task_name = "t2"; task_ecu = "e2"; period_us = 10_000;
+            priority = 0; offset_us = 0 } ]
+      ()
+  in
+  match Deploy.auto_assign ~ccd ~ta with
+  | [ (_, ta1); (_, tb1) ] -> checkb "spread over ECUs" true (ta1 <> tb1)
+  | other -> Alcotest.failf "expected 2 assignments, got %d" (List.length other)
+
+let test_deploy_auto_assign_rejects_impossible () =
+  (* a 10 ms cluster with only a 100 ms task available: not hosted *)
+  let ccd = engine_ccd ~delayed_slow_to_fast:true in
+  let ta =
+    { engine_ta with
+      Ta.tasks =
+        [ { Ta.task_name = "t_slow"; task_ecu = "ecu2"; period_us = 100_000;
+            priority = 0; offset_us = 0 } ] }
+  in
+  let assignment = Deploy.auto_assign ~ccd ~ta in
+  checkb "fast cluster not hosted" true
+    (List.assoc_opt "fast" assignment = None);
+  checkb "slow cluster hosted" true
+    (List.assoc_opt "slow" assignment <> None)
+
+let test_deploy_frame_overload () =
+  let d = good_deployment () in
+  (* cram both signals into one 64-bit frame: 32+32 fits, so tighten *)
+  let ta =
+    { engine_ta with
+      Ta.frames =
+        [ { Ta.slot_name = "fr1"; slot_bus = "can0"; can_id = 0x10;
+            capacity_bits = 40; slot_period_us = 10_000 } ] }
+  in
+  let d =
+    { d with
+      Deploy.ta;
+      signal_frame = [ ("fast_to_slow", "fr1"); ("slow_to_fast", "fr1") ] }
+  in
+  checkb "overload detected" true
+    (List.exists
+       (fun m -> String.length m > 5 && String.sub m 0 5 = "frame")
+       (Deploy.check d))
+
+let () =
+  Alcotest.run "automode-la"
+    [ ( "impl-type",
+        [ Alcotest.test_case "widths" `Quick test_impl_widths;
+          Alcotest.test_case "refines" `Quick test_impl_refines;
+          Alcotest.test_case "encode/decode" `Quick test_impl_encode_decode;
+          Alcotest.test_case "physical range" `Quick test_impl_physical_range;
+          Alcotest.test_case "encode errors" `Quick test_impl_encode_errors ] );
+      ( "cluster",
+        [ Alcotest.test_case "check ok" `Quick test_cluster_check_ok;
+          Alcotest.test_case "untyped" `Quick test_cluster_check_untyped;
+          Alcotest.test_case "aperiodic" `Quick test_cluster_check_aperiodic;
+          Alcotest.test_case "period" `Quick test_cluster_period;
+          Alcotest.test_case "wcet monotone" `Quick test_cluster_wcet_monotone;
+          Alcotest.test_case "impl types" `Quick test_cluster_impl_types ] );
+      ( "ccd",
+        [ Alcotest.test_case "check" `Quick test_ccd_check;
+          Alcotest.test_case "undelayed loop" `Quick test_ccd_undelayed_loop_detected;
+          Alcotest.test_case "channel rates" `Quick test_ccd_channel_rates ] );
+      ( "well-defined",
+        [ Alcotest.test_case "osek slow->fast" `Quick test_well_defined_osek;
+          Alcotest.test_case "repair" `Quick test_well_defined_repair;
+          Alcotest.test_case "tdma stricter" `Quick test_well_defined_time_triggered_stricter ] );
+      ( "ta",
+        [ Alcotest.test_case "check" `Quick test_ta_check ] );
+      ( "deploy",
+        [ Alcotest.test_case "check ok" `Quick test_deploy_check_ok;
+          Alcotest.test_case "unmapped cluster" `Quick test_deploy_unmapped_cluster;
+          Alcotest.test_case "rate mismatch" `Quick test_deploy_rate_mismatch;
+          Alcotest.test_case "unmapped signal" `Quick test_deploy_unmapped_signal;
+          Alcotest.test_case "ecu lookup" `Quick test_deploy_ecu_of_cluster;
+          Alcotest.test_case "task sets" `Quick test_deploy_task_sets;
+          Alcotest.test_case "bus frames + matrix" `Quick test_deploy_bus_frames_and_matrix;
+          Alcotest.test_case "auto map" `Quick test_deploy_auto_map;
+          Alcotest.test_case "auto assign" `Quick test_deploy_auto_assign;
+          Alcotest.test_case "auto assign balances" `Quick test_deploy_auto_assign_balances;
+          Alcotest.test_case "auto assign impossible" `Quick test_deploy_auto_assign_rejects_impossible;
+          Alcotest.test_case "frame overload" `Quick test_deploy_frame_overload ] ) ]

@@ -1,0 +1,1075 @@
+(* Tests for the structural and operational core: Model, Network checks,
+   Causality, STD/MTD semantics, the simulator and traces. *)
+
+open Automode_core
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let present_i i = Value.Present (Value.Int i)
+let present_f f = Value.Present (Value.Float f)
+let present_b b = Value.Present (Value.Bool b)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* adder DFD: out = a + b via an ADD block (paper Sec. 3.2). *)
+let adder_net : Model.network =
+  { net_name = "AdderNet";
+    net_components =
+      [ Dfd.block_of_expr ~name:"ADD"
+          ~inputs:[ ("ch1", None); ("ch2", None) ]
+          Expr.(var "ch1" + var "ch2") ];
+    net_channels =
+      [ Dfd.wire "w1" ("", "a") ("ADD", "ch1");
+        Dfd.wire "w2" ("", "b") ("ADD", "ch2");
+        Dfd.wire "w3" ("ADD", "out") ("", "sum") ] }
+
+let adder =
+  Dfd.of_network
+    ~ports:
+      [ Model.in_port "a"; Model.in_port "b"; Model.out_port "sum" ]
+    adder_net
+
+(* Two-block pipeline with feedback through a delayed channel. *)
+let counter_net : Model.network =
+  { net_name = "CounterNet";
+    net_components =
+      [ Dfd.block_of_expr ~name:"INC"
+          ~inputs:[ ("prev", None); ("step", None) ]
+          Expr.(var "prev" + var "step") ];
+    net_channels =
+      [ Dfd.wire "in" ("", "step") ("INC", "step");
+        Dfd.wire ~delayed:true ~init:(Value.Int 0) "loop" ("INC", "out")
+          ("INC", "prev");
+        Dfd.wire "out" ("INC", "out") ("", "count") ] }
+
+let counter =
+  Dfd.of_network
+    ~ports:[ Model.in_port "step"; Model.out_port "count" ]
+    counter_net
+
+(* ------------------------------------------------------------------ *)
+(* Network checks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_network_ok () =
+  let issues = Network.check ~enclosing:adder adder_net in
+  Alcotest.(check (list string)) "no errors" [] (Network.errors issues)
+
+let test_network_bad_endpoint () =
+  let net =
+    { adder_net with
+      net_channels =
+        Dfd.wire "bad" ("", "a") ("NOPE", "x") :: adder_net.net_channels }
+  in
+  checkb "unresolved endpoint reported" true
+    (Network.errors (Network.check ~enclosing:adder net) <> [])
+
+let test_network_double_driver () =
+  let net =
+    { adder_net with
+      net_channels =
+        Dfd.wire "dup" ("", "b") ("ADD", "ch1") :: adder_net.net_channels }
+  in
+  checkb "double driver reported" true
+    (List.exists
+       (fun m ->
+         (* the duplicate-destination rule fires *)
+         String.length m > 0
+         && String.sub m 0 11 = "destination")
+       (Network.errors (Network.check ~enclosing:adder net)))
+
+let test_network_direction_violation () =
+  let net =
+    { adder_net with
+      net_channels =
+        (* reading an In port of a sibling as a source *)
+        Dfd.wire "rev" ("ADD", "ch1") ("", "sum") :: adder_net.net_channels }
+  in
+  checkb "direction violation" true
+    (Network.errors (Network.check ~enclosing:adder net) <> [])
+
+let test_network_type_mismatch () =
+  let src = Dfd.block_of_expr ~name:"SRC" ~inputs:[] ~out_type:Dtype.Tbool (Expr.bool true) in
+  let dst =
+    Dfd.block_of_expr ~name:"DST"
+      ~inputs:[ ("x", Some Dtype.Tint) ]
+      Expr.(var "x" + int 1)
+  in
+  let net : Model.network =
+    { net_name = "Bad";
+      net_components = [ src; dst ];
+      net_channels = [ Dfd.wire "w" ("SRC", "out") ("DST", "x") ] }
+  in
+  let enclosing = Dfd.of_network net in
+  checkb "bool->int rejected" true
+    (Network.errors (Network.check ~enclosing net) <> [])
+
+let test_ssd_requires_types () =
+  let untyped = Model.component "F" ~ports:[ Model.in_port "x" ] in
+  let net : Model.network =
+    { net_name = "S"; net_components = [ untyped ]; net_channels = [] }
+  in
+  let enclosing = Ssd.of_network net in
+  checkb "untyped port rejected on SSD" true
+    (Network.errors (Ssd.check ~enclosing net) <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Causality                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let loop_net ~delayed : Model.network =
+  let f name = Dfd.block_of_expr ~name ~inputs:[ ("x", None) ] Expr.(var "x" + int 1) in
+  { net_name = "Loop";
+    net_components = [ f "A"; f "B" ];
+    net_channels =
+      [ Dfd.wire "ab" ("A", "out") ("B", "x");
+        Dfd.wire ~delayed ~init:(Value.Int 0) "ba" ("B", "out") ("A", "x") ] }
+
+let test_causality_detects_loop () =
+  match Causality.check (loop_net ~delayed:false) with
+  | Ok () -> Alcotest.fail "loop not detected"
+  | Error [ loop ] ->
+    Alcotest.(check (list string)) "members" [ "A"; "B" ]
+      (List.sort String.compare loop)
+  | Error _ -> Alcotest.fail "expected exactly one loop"
+
+let test_causality_delay_breaks_loop () =
+  (match Causality.check (loop_net ~delayed:true) with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "delayed loop must be legal");
+  match Causality.evaluation_order (loop_net ~delayed:true) with
+  | Ok order -> Alcotest.(check (list string)) "order" [ "A"; "B" ] order
+  | Error _ -> Alcotest.fail "order must exist"
+
+let test_causality_self_loop () =
+  let f = Dfd.block_of_expr ~name:"F" ~inputs:[ ("x", None) ] (Expr.var "x") in
+  let net : Model.network =
+    { net_name = "Self";
+      net_components = [ f ];
+      net_channels = [ Dfd.wire "self" ("F", "out") ("F", "x") ] }
+  in
+  checkb "self loop detected" true (Causality.check net <> Ok ())
+
+let test_causality_order_respects_deps () =
+  (* C depends on B depends on A; declaration order scrambled. *)
+  let blk name = Dfd.block_of_expr ~name ~inputs:[ ("x", None) ] (Expr.var "x") in
+  let net : Model.network =
+    { net_name = "Chain";
+      net_components = [ blk "C"; blk "A"; blk "B" ];
+      net_channels =
+        [ Dfd.wire "ab" ("A", "out") ("B", "x");
+          Dfd.wire "bc" ("B", "out") ("C", "x") ] }
+  in
+  match Causality.evaluation_order net with
+  | Ok order ->
+    let pos n =
+      let rec idx i = function
+        | [] -> -1
+        | x :: rest -> if String.equal x n then i else idx (i + 1) rest
+      in
+      idx 0 order
+    in
+    checkb "A before B" true (pos "A" < pos "B");
+    checkb "B before C" true (pos "B" < pos "C")
+  | Error _ -> Alcotest.fail "chain is acyclic"
+
+let test_causality_recursive () =
+  let inner = Dfd.of_network ~ports:[ Model.in_port "i"; Model.out_port "o" ]
+      (loop_net ~delayed:false)
+  in
+  let outer : Model.network =
+    { net_name = "Outer"; net_components = [ inner ]; net_channels = [] }
+  in
+  let comp = Dfd.of_network outer in
+  checki "one nested loop found" 1 (List.length (Causality.check_recursive comp))
+
+(* Random DAG property: evaluation order exists iff no cyclic SCC. *)
+let test_causality_random =
+  QCheck.Test.make ~name:"evaluation order consistent with check" ~count:100
+    QCheck.(pair (int_range 2 8) (list_of_size (Gen.int_range 0 20) (pair (int_range 0 7) (int_range 0 7))))
+    (fun (n, edges) ->
+      let name i = "N" ^ string_of_int i in
+      let blocks =
+        List.init n (fun i ->
+            Dfd.block_of_expr ~name:(name i) ~inputs:[ ("x", None) ]
+              (Expr.var "x"))
+      in
+      let channels =
+        List.filteri (fun _ (a, b) -> a < n && b < n) edges
+        |> List.mapi (fun i (a, b) ->
+               Dfd.wire (Printf.sprintf "e%d" i) (name a, "out") (name b, "x"))
+      in
+      (* de-duplicate destinations is not needed for causality purposes *)
+      let net : Model.network =
+        { net_name = "Rand"; net_components = blocks; net_channels = channels }
+      in
+      match Causality.check net, Causality.evaluation_order net with
+      | Ok (), Ok order -> List.length order = n
+      | Error _, Error _ -> true
+      | Ok (), Error _ | Error _, Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator: DFD                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_adder () =
+  let inputs tick =
+    [ ("a", present_i tick); ("b", present_i (10 * tick)) ]
+  in
+  let trace = Sim.run ~ticks:4 ~inputs adder in
+  let sums = Trace.column trace "sum" in
+  checkb "sums" true
+    (List.for_all2 Value.equal_message sums
+       [ present_i 0; present_i 11; present_i 22; present_i 33 ])
+
+let test_sim_counter_feedback () =
+  let inputs _ = [ ("step", present_i 1) ] in
+  let trace = Sim.run ~ticks:5 ~inputs counter in
+  let counts = Trace.column trace "count" in
+  checkb "integrates" true
+    (List.for_all2 Value.equal_message counts
+       [ present_i 1; present_i 2; present_i 3; present_i 4; present_i 5 ])
+
+let test_sim_rejects_instantaneous_loop () =
+  let comp = Dfd.of_network (loop_net ~delayed:false) in
+  checkb "init raises" true
+    (try ignore (Sim.init comp); false with Sim.Sim_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator: SSD delay semantics                                     *)
+(* ------------------------------------------------------------------ *)
+
+let identity_block name =
+  Dfd.block_of_expr ~name ~inputs:[ ("x", Some Dtype.Tint) ]
+    ~out_type:Dtype.Tint (Expr.var "x")
+
+let ssd_pipeline =
+  let net : Model.network =
+    { net_name = "Pipe";
+      net_components = [ identity_block "F"; identity_block "G" ];
+      net_channels =
+        [ Dfd.wire "i" ("", "src") ("F", "x");
+          Dfd.wire "m" ("F", "out") ("G", "x");
+          Dfd.wire "o" ("G", "out") ("", "dst") ] }
+  in
+  Ssd.of_network
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tint "src";
+        Model.out_port ~ty:Dtype.Tint "dst" ]
+    net
+
+let test_sim_ssd_channel_delay () =
+  (* One sibling channel F->G: the pipeline output is the input delayed by
+     exactly one tick (boundary forwardings are direct). *)
+  let inputs tick = [ ("src", present_i tick) ] in
+  let trace = Sim.run ~ticks:4 ~inputs ssd_pipeline in
+  let outs = Trace.column trace "dst" in
+  checkb "one tick delay" true
+    (List.for_all2 Value.equal_message outs
+       [ Value.Absent; present_i 0; present_i 1; present_i 2 ])
+
+let test_sim_dfd_same_net_is_instantaneous () =
+  (* The same network as a DFD has no delay. *)
+  let comp =
+    match ssd_pipeline.comp_behavior with
+    | Model.B_ssd net ->
+      Dfd.of_network ~ports:ssd_pipeline.comp_ports net
+    | _ -> assert false
+  in
+  let inputs tick = [ ("src", present_i tick) ] in
+  let trace = Sim.run ~ticks:3 ~inputs comp in
+  let outs = Trace.column trace "dst" in
+  checkb "instantaneous" true
+    (List.for_all2 Value.equal_message outs
+       [ present_i 0; present_i 1; present_i 2 ])
+
+let test_sim_ssd_init_value () =
+  let net : Model.network =
+    { net_name = "Pipe1";
+      net_components = [ identity_block "F"; identity_block "G" ];
+      net_channels =
+        [ Dfd.wire "i" ("", "src") ("F", "x");
+          Dfd.wire ~init:(Value.Int 99) "m" ("F", "out") ("G", "x");
+          Dfd.wire "o" ("G", "out") ("", "dst") ] }
+  in
+  let comp =
+    Ssd.of_network
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tint "src";
+          Model.out_port ~ty:Dtype.Tint "dst" ]
+      net
+  in
+  let inputs tick = [ ("src", present_i tick) ] in
+  let trace = Sim.run ~ticks:2 ~inputs comp in
+  checkb "initial register value" true
+    (Value.equal_message (Trace.get trace ~flow:"dst" ~tick:0) (present_i 99))
+
+(* ------------------------------------------------------------------ *)
+(* STD semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let toggle_std : Model.std =
+  { std_name = "Toggle";
+    std_states = [ "Off"; "On" ];
+    std_initial = "Off";
+    std_vars = [ ("count", Value.Int 0) ];
+    std_transitions =
+      [ { st_src = "Off"; st_dst = "On";
+          st_guard = Expr.var "button";
+          st_outputs = [ ("lamp", Expr.bool true) ];
+          st_updates = [ ("count", Expr.(var "count" + int 1)) ];
+          st_priority = 0 };
+        { st_src = "On"; st_dst = "Off";
+          st_guard = Expr.var "button";
+          st_outputs = [ ("lamp", Expr.bool false) ];
+          st_updates = []; st_priority = 0 } ] }
+
+let test_std_step_and_vars () =
+  let env_press name =
+    if String.equal name "button" then present_b true else Value.Absent
+  in
+  let st0 = Std_machine.init toggle_std in
+  let outs1, st1 = Std_machine.step ~tick:0 ~env:env_press toggle_std st0 in
+  checkb "lamp on" true
+    (Value.equal_message (List.assoc "lamp" outs1) (present_b true));
+  Alcotest.(check string) "state" "On" st1.current;
+  checkb "var incremented" true
+    (Value.equal (List.assoc "count" st1.var_values) (Value.Int 1));
+  (* absent input: stutter *)
+  let outs2, st2 =
+    Std_machine.step ~tick:1 ~env:(fun _ -> Value.Absent) toggle_std st1
+  in
+  checkb "no output" true (outs2 = []);
+  Alcotest.(check string) "still On" "On" st2.current
+
+let test_std_priority () =
+  let std : Model.std =
+    { std_name = "Prio";
+      std_states = [ "S"; "A"; "B" ];
+      std_initial = "S";
+      std_vars = [];
+      std_transitions =
+        [ { st_src = "S"; st_dst = "A"; st_guard = Expr.bool true;
+            st_outputs = []; st_updates = []; st_priority = 5 };
+          { st_src = "S"; st_dst = "B"; st_guard = Expr.bool true;
+            st_outputs = []; st_updates = []; st_priority = 1 } ] }
+  in
+  let _, st = Std_machine.step ~tick:0 ~env:(fun _ -> Value.Absent) std
+      (Std_machine.init std)
+  in
+  Alcotest.(check string) "lower number wins" "B" st.current
+
+let test_std_check () =
+  (match Std_machine.check toggle_std with
+   | Ok () -> ()
+   | Error es -> Alcotest.fail (String.concat "; " es));
+  let bad =
+    { toggle_std with
+      std_transitions =
+        { st_src = "Off"; st_dst = "Nowhere"; st_guard = Expr.bool true;
+          st_outputs = []; st_updates = []; st_priority = 3 }
+        :: toggle_std.std_transitions }
+  in
+  checkb "bad target detected" true (Std_machine.check bad <> Ok ());
+  let nondet =
+    { toggle_std with
+      std_transitions =
+        { st_src = "Off"; st_dst = "On"; st_guard = Expr.bool true;
+          st_outputs = []; st_updates = []; st_priority = 0 }
+        :: toggle_std.std_transitions }
+  in
+  checkb "non-determinism detected" true (Std_machine.check nondet <> Ok ());
+  checkb "deterministic predicate" false (Std_machine.deterministic nondet)
+
+let test_std_reachability () =
+  let std =
+    { toggle_std with
+      std_states = toggle_std.std_states @ [ "Orphan" ] }
+  in
+  Alcotest.(check (list string)) "reachable" [ "Off"; "On" ]
+    (Std_machine.reachable_states std)
+
+(* ------------------------------------------------------------------ *)
+(* MTD semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Fig. 8-like: FuelEnabled / CrankingOverrun with distinct laws. *)
+let throttle_mtd : Model.mtd =
+  { mtd_name = "ThrottleRateOfChange";
+    mtd_modes =
+      [ { mode_name = "FuelEnabled";
+          mode_behavior =
+            Model.B_exprs [ ("rate", Expr.(var "desired" - var "current")) ] };
+        { mode_name = "CrankingOverrun";
+          mode_behavior = Model.B_exprs [ ("rate", Expr.float 0.5) ] } ];
+    mtd_initial = "FuelEnabled";
+    mtd_transitions =
+      [ { mt_src = "FuelEnabled"; mt_dst = "CrankingOverrun";
+          mt_guard = Expr.var "cranking"; mt_priority = 0 };
+        { mt_src = "CrankingOverrun"; mt_dst = "FuelEnabled";
+          mt_guard = Expr.not_ (Expr.var "cranking"); mt_priority = 0 } ] }
+
+let throttle_comp =
+  Model.component "Throttle"
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tbool "cranking";
+        Model.in_port ~ty:Dtype.Tfloat "desired";
+        Model.in_port ~ty:Dtype.Tfloat "current";
+        Model.out_port ~ty:Dtype.Tfloat "rate" ]
+    ~behavior:(Model.B_mtd throttle_mtd)
+
+let test_mtd_check_ok () =
+  match Mtd.check throttle_mtd with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_mtd_strong_preemption () =
+  (* At the very tick cranking arrives, the CrankingOverrun law applies. *)
+  let inputs tick =
+    [ ("cranking", present_b (tick >= 2));
+      ("desired", present_f 10.);
+      ("current", present_f 4.) ]
+  in
+  let trace = Sim.run ~ticks:4 ~inputs throttle_comp in
+  let rates = Trace.column trace "rate" in
+  checkb "mode law switches on the same tick" true
+    (List.for_all2 Value.equal_message rates
+       [ present_f 6.; present_f 6.; present_f 0.5; present_f 0.5 ])
+
+let test_mtd_mode_port () =
+  let comp =
+    { throttle_comp with
+      comp_ports =
+        throttle_comp.comp_ports
+        @ [ Model.out_port ~ty:(Mtd.mode_enum throttle_mtd) "mode" ] }
+  in
+  let inputs _ =
+    [ ("cranking", present_b true); ("desired", present_f 1.);
+      ("current", present_f 1.) ]
+  in
+  let trace = Sim.run ~ticks:1 ~inputs comp in
+  checkb "mode emitted" true
+    (Value.equal_message
+       (Trace.get trace ~flow:"mode" ~tick:0)
+       (Value.Present
+          (Value.Enum ("ThrottleRateOfChange_mode", "CrankingOverrun"))))
+
+let test_mtd_history () =
+  (* Mode-local state survives leaving and re-entering a mode. *)
+  let counting : Model.mtd =
+    { mtd_name = "Hist";
+      mtd_modes =
+        [ { mode_name = "Count";
+            mode_behavior =
+              Model.B_std
+                { std_name = "cnt";
+                  std_states = [ "s" ];
+                  std_initial = "s";
+                  std_vars = [ ("n", Value.Int 0) ];
+                  std_transitions =
+                    [ { st_src = "s"; st_dst = "s";
+                        st_guard = Expr.Is_present "tickin";
+                        st_outputs = [ ("n_out", Expr.(var "n" + int 1)) ];
+                        st_updates = [ ("n", Expr.(var "n" + int 1)) ];
+                        st_priority = 0 } ] } };
+          { mode_name = "Idle"; mode_behavior = Model.B_unspecified } ];
+      mtd_initial = "Count";
+      mtd_transitions =
+        [ { mt_src = "Count"; mt_dst = "Idle"; mt_guard = Expr.var "pause";
+            mt_priority = 0 };
+          { mt_src = "Idle"; mt_dst = "Count";
+            mt_guard = Expr.not_ (Expr.var "pause"); mt_priority = 0 } ] }
+  in
+  let comp =
+    Model.component "H"
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tbool "pause";
+          Model.in_port ~ty:Dtype.Tint "tickin";
+          Model.out_port ~ty:Dtype.Tint "n_out" ]
+      ~behavior:(Model.B_mtd counting)
+  in
+  let inputs tick =
+    [ ("pause", present_b (tick = 2)); ("tickin", present_i tick) ]
+  in
+  let trace = Sim.run ~ticks:5 ~inputs comp in
+  let ns = Trace.column trace "n_out" in
+  checkb "history preserved" true
+    (List.for_all2 Value.equal_message ns
+       [ present_i 1; present_i 2; Value.Absent; present_i 3; present_i 4 ])
+
+let test_mtd_reachability_and_determinism () =
+  Alcotest.(check (list string)) "reachable"
+    [ "FuelEnabled"; "CrankingOverrun" ]
+    (Mtd.reachable_modes throttle_mtd);
+  checkb "deterministic" true (Mtd.deterministic throttle_mtd)
+
+let test_mtd_product () =
+  let mk name a b guard_ab guard_ba : Model.mtd =
+    { mtd_name = name;
+      mtd_modes =
+        [ { mode_name = a; mode_behavior = Model.B_unspecified };
+          { mode_name = b; mode_behavior = Model.B_unspecified } ];
+      mtd_initial = a;
+      mtd_transitions =
+        [ { mt_src = a; mt_dst = b; mt_guard = guard_ab; mt_priority = 0 };
+          { mt_src = b; mt_dst = a; mt_guard = guard_ba; mt_priority = 0 } ] }
+  in
+  let m1 = mk "M1" "P" "Q" (Expr.var "x") (Expr.not_ (Expr.var "x")) in
+  let m2 = mk "M2" "U" "V" (Expr.var "y") (Expr.not_ (Expr.var "y")) in
+  let prod = Mtd.product m1 m2 in
+  checki "4 product modes" 4 (List.length prod.mtd_modes);
+  Alcotest.(check string) "initial" "P_U" prod.mtd_initial;
+  (match Mtd.check prod with
+   | Ok () -> ()
+   | Error es -> Alcotest.fail (String.concat "; " es));
+  (* joint step: x and y simultaneously true moves P_U -> Q_V *)
+  let env name =
+    match name with
+    | "x" | "y" -> present_b true
+    | _ -> Value.Absent
+  in
+  match Mtd.enabled_transition ~tick:0 ~env prod ~current:"P_U" with
+  | Some t -> Alcotest.(check string) "joint move" "Q_V" t.mt_dst
+  | None -> Alcotest.fail "joint transition expected"
+
+let test_mtd_product_single_side () =
+  let mk name a b g : Model.mtd =
+    { mtd_name = name;
+      mtd_modes =
+        [ { mode_name = a; mode_behavior = Model.B_unspecified };
+          { mode_name = b; mode_behavior = Model.B_unspecified } ];
+      mtd_initial = a;
+      mtd_transitions =
+        [ { mt_src = a; mt_dst = b; mt_guard = g; mt_priority = 0 } ] }
+  in
+  let m1 = mk "M1" "P" "Q" (Expr.var "x") in
+  let m2 = mk "M2" "U" "V" (Expr.var "y") in
+  let prod = Mtd.product m1 m2 in
+  let env name =
+    match name with
+    | "x" -> present_b true
+    | "y" -> present_b false
+    | _ -> Value.Absent
+  in
+  match Mtd.enabled_transition ~tick:0 ~env prod ~current:"P_U" with
+  | Some t -> Alcotest.(check string) "left move only" "Q_U" t.mt_dst
+  | None -> Alcotest.fail "single-side transition expected"
+
+let test_std_product_structure () =
+  let mk name out : Model.std =
+    { std_name = name;
+      std_states = [ "Off"; "On" ];
+      std_initial = "Off";
+      std_vars = [];
+      std_transitions =
+        [ { st_src = "Off"; st_dst = "On"; st_guard = Expr.var ("go_" ^ name);
+            st_outputs = [ (out, Expr.bool true) ]; st_updates = [];
+            st_priority = 0 };
+          { st_src = "On"; st_dst = "Off"; st_guard = Expr.var ("stop_" ^ name);
+            st_outputs = [ (out, Expr.bool false) ]; st_updates = [];
+            st_priority = 0 } ] }
+  in
+  let p = Std_machine.product (mk "A" "outA") (mk "B" "outB") in
+  checki "four product states" 4 (List.length p.std_states);
+  Alcotest.(check string) "initial" "Off_Off" p.std_initial;
+  (match Std_machine.check p with
+   | Ok () -> ()
+   | Error es -> Alcotest.fail (String.concat "; " es));
+  checkb "deterministic" true (Std_machine.deterministic p);
+  (* shared outputs rejected *)
+  checkb "shared ports rejected" true
+    (try ignore (Std_machine.product (mk "A" "x") (mk "B" "x")); false
+     with Invalid_argument _ -> true)
+
+let test_std_product_equivalence () =
+  let mk name out : Model.std =
+    { std_name = name;
+      std_states = [ "Off"; "On" ];
+      std_initial = "Off";
+      std_vars = [ ("n_" ^ name, Value.Int 0) ];
+      std_transitions =
+        [ { st_src = "Off"; st_dst = "On"; st_guard = Expr.var ("go_" ^ name);
+            st_outputs = [ (out, Expr.(var ("n_" ^ name) + int 1)) ];
+            st_updates = [ ("n_" ^ name, Expr.(var ("n_" ^ name) + int 1)) ];
+            st_priority = 0 };
+          { st_src = "On"; st_dst = "Off"; st_guard = Expr.var ("stop_" ^ name);
+            st_outputs = []; st_updates = []; st_priority = 0 } ] }
+  in
+  let env_at tick name =
+    let st = Random.State.make [| 5; tick; Hashtbl.hash name |] in
+    if Random.State.int st 3 = 0 then Value.Present (Value.Bool (Random.State.bool st))
+    else Value.Absent
+  in
+  checkb "product equals parallel run" true
+    (Std_machine.behavior_equivalent_to_parallel ~ticks:60 ~env_at
+       (mk "A" "outA") (mk "B" "outB"))
+
+let test_totalize_guard_always_present =
+  QCheck.Test.make ~name:"totalized guards are always present" ~count:200
+    QCheck.(pair small_int (int_range 0 3))
+    (fun (seed, arity) ->
+      (* random small boolean guard over v0..v3 *)
+      let st = Random.State.make [| seed |] in
+      let rec gen depth =
+        if depth = 0 then
+          match Random.State.int st 3 with
+          | 0 -> Expr.var (Printf.sprintf "v%d" (Random.State.int st (arity + 1)))
+          | 1 -> Expr.bool (Random.State.bool st)
+          | _ -> Expr.Is_present (Printf.sprintf "v%d" (Random.State.int st (arity + 1)))
+        else
+          match Random.State.int st 3 with
+          | 0 -> Expr.Binop (Expr.And, gen (depth - 1), gen (depth - 1))
+          | 1 -> Expr.Binop (Expr.Or, gen (depth - 1), gen (depth - 1))
+          | _ -> Expr.not_ (gen (depth - 1))
+      in
+      let g = gen 3 in
+      let tg = Expr.totalize_guard g in
+      (* random presence pattern *)
+      let env name =
+        let h = Random.State.make [| seed; Hashtbl.hash name |] in
+        if Random.State.bool h then Value.Present (Value.Bool (Random.State.bool h))
+        else Value.Absent
+      in
+      match fst (Expr.step ~tick:0 ~env tg (Expr.init_state tg)) with
+      | Value.Present (Value.Bool _) -> true
+      | Value.Present _ | Value.Absent -> false)
+
+(* MTD product vs stepping the factors independently (mode trajectories). *)
+let test_mtd_product_parallel_oracle =
+  QCheck.Test.make ~name:"MTD product tracks factors" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let mk name v : Model.mtd =
+        { mtd_name = name;
+          mtd_modes =
+            [ { mode_name = "P"; mode_behavior = Model.B_unspecified };
+              { mode_name = "Q"; mode_behavior = Model.B_unspecified } ];
+          mtd_initial = "P";
+          mtd_transitions =
+            [ { mt_src = "P"; mt_dst = "Q"; mt_guard = Expr.var v;
+                mt_priority = 0 };
+              { mt_src = "Q"; mt_dst = "P"; mt_guard = Expr.not_ (Expr.var v);
+                mt_priority = 0 } ] }
+      in
+      let a = mk "A" "x" and b = mk "B" "y" in
+      let p = Mtd.product a b in
+      let env_at tick name =
+        let st = Random.State.make [| seed; tick; Hashtbl.hash name |] in
+        if Random.State.int st 3 = 0 then Value.Absent
+        else Value.Present (Value.Bool (Random.State.bool st))
+      in
+      let step_mode mtd current tick =
+        match
+          Mtd.enabled_transition ~tick ~env:(env_at tick) mtd ~current
+        with
+        | Some t -> t.Model.mt_dst
+        | None -> current
+      in
+      let rec go tick ma mb mp =
+        if tick >= 40 then true
+        else
+          let ma' = step_mode a ma tick in
+          let mb' = step_mode b mb tick in
+          let mp' = step_mode p mp tick in
+          String.equal mp' (ma' ^ "_" ^ mb') && go (tick + 1) ma' mb' mp'
+      in
+      go 0 "P" "P" "P_P")
+
+(* ------------------------------------------------------------------ *)
+(* Stdblocks                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_block comp ~ticks ~inputs = Sim.run ~ticks ~inputs comp
+
+let test_stdblocks_integrator () =
+  let comp = Stdblocks.integrator ~name:"I" () in
+  let inputs _ = [ ("in", present_f 2.) ] in
+  let trace = run_block comp ~ticks:3 ~inputs in
+  checkb "accumulates" true
+    (List.for_all2 Value.equal_message
+       (Trace.column trace "out")
+       [ present_f 2.; present_f 4.; present_f 6. ])
+
+let test_stdblocks_rate_limiter () =
+  let comp = Stdblocks.rate_limiter ~name:"RL" ~max_step:1. in
+  let inputs _ = [ ("in", present_f 10.) ] in
+  let trace = run_block comp ~ticks:3 ~inputs in
+  checkb "ramps by 1" true
+    (List.for_all2 Value.equal_message
+       (Trace.column trace "out")
+       [ present_f 1.; present_f 2.; present_f 3. ])
+
+let test_stdblocks_hysteresis () =
+  let comp = Stdblocks.hysteresis ~name:"H" ~low:2. ~high:8. in
+  let signal = [ 0.; 5.; 9.; 5.; 1.; 5. ] in
+  let inputs tick = [ ("in", present_f (List.nth signal tick)) ] in
+  let trace = run_block comp ~ticks:6 ~inputs in
+  checkb "two-point behavior" true
+    (List.for_all2 Value.equal_message
+       (Trace.column trace "out")
+       [ present_b false; present_b false; present_b true; present_b true;
+         present_b false; present_b false ])
+
+let test_stdblocks_derivative () =
+  let comp = Stdblocks.derivative ~name:"D" in
+  let inputs tick = [ ("in", present_f (float_of_int (tick * tick))) ] in
+  let trace = run_block comp ~ticks:4 ~inputs in
+  checkb "first difference" true
+    (List.for_all2 Value.equal_message
+       (Trace.column trace "out")
+       [ present_f 0.; present_f 1.; present_f 3.; present_f 5. ])
+
+let test_stdblocks_sample_hold () =
+  let comp =
+    Stdblocks.sample_hold ~name:"SH" ~clock:(Clock.every 2 Clock.Base)
+      ~init:(Value.Int 0)
+  in
+  let inputs tick = [ ("in", present_i tick) ] in
+  let trace = run_block comp ~ticks:5 ~inputs in
+  checkb "fig2 hold" true
+    (List.for_all2 Value.equal_message
+       (Trace.column trace "out")
+       [ present_i 0; present_i 0; present_i 2; present_i 2; present_i 4 ])
+
+let test_stdblocks_debounce () =
+  let comp = Stdblocks.debounce ~name:"DB" ~ticks:2 in
+  let signal = [ false; true; false; true; true; true; false ] in
+  let inputs tick = [ ("in", present_b (List.nth signal tick)) ] in
+  let trace = run_block comp ~ticks:7 ~inputs in
+  checkb "debounced" true
+    (List.for_all2 Value.equal_message
+       (Trace.column trace "out")
+       [ present_b false; present_b false; present_b false; present_b false;
+         present_b true; present_b true; present_b true ])
+
+(* ------------------------------------------------------------------ *)
+(* Compiled simulation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let assert_compiled_matches name comp ~ticks ~inputs ~flows =
+  let t1 = Sim.run ~ticks ~inputs comp in
+  let t2 = Sim.run_compiled ~ticks ~inputs (Sim.compile comp) in
+  checkb (name ^ ": compiled trace equals interpreted") true
+    (Trace.equal_on ~flows t1 t2)
+
+let test_compiled_adder () =
+  assert_compiled_matches "adder" adder ~ticks:16
+    ~inputs:(fun t -> [ ("a", present_i t); ("b", present_i (2 * t)) ])
+    ~flows:[ "sum" ]
+
+let test_compiled_counter_feedback () =
+  assert_compiled_matches "counter" counter ~ticks:16
+    ~inputs:(fun _ -> [ ("step", present_i 1) ])
+    ~flows:[ "count" ]
+
+let test_compiled_ssd_delays () =
+  assert_compiled_matches "ssd pipeline" ssd_pipeline ~ticks:12
+    ~inputs:(fun t -> [ ("src", present_i t) ])
+    ~flows:[ "dst" ]
+
+let test_compiled_mtd () =
+  assert_compiled_matches "throttle mtd" throttle_comp ~ticks:12
+    ~inputs:(fun t ->
+      [ ("cranking", present_b (t >= 4)); ("desired", present_f 10.);
+        ("current", present_f 2.) ])
+    ~flows:[ "rate" ]
+
+let test_compiled_rejects_loops () =
+  let comp = Dfd.of_network (loop_net ~delayed:false) in
+  checkb "compile raises on instantaneous loop" true
+    (try ignore (Sim.compile comp); false with Sim.Sim_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Trace utilities                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_equal_and_divergence () =
+  let t1 =
+    Trace.record
+      (Trace.record (Trace.make ~flows:[ "x" ]) [ ("x", present_i 1) ])
+      [ ("x", present_i 2) ]
+  in
+  let t2 =
+    Trace.record
+      (Trace.record (Trace.make ~flows:[ "x" ]) [ ("x", present_i 1) ])
+      [ ("x", present_i 3) ]
+  in
+  checkb "equal to itself" true (Trace.equal t1 t1);
+  checkb "not equal" false (Trace.equal t1 t2);
+  match Trace.first_divergence t1 t2 with
+  | Some (tick, flow, l, r) ->
+    checki "tick" 1 tick;
+    Alcotest.(check string) "flow" "x" flow;
+    checkb "values" true
+      (Value.equal_message l (present_i 2) && Value.equal_message r (present_i 3))
+  | None -> Alcotest.fail "divergence expected"
+
+let test_trace_restrict_rename () =
+  let t =
+    Trace.record (Trace.make ~flows:[ "a"; "b" ])
+      [ ("a", present_i 1); ("b", present_i 2) ]
+  in
+  let r = Trace.restrict t [ "b" ] in
+  Alcotest.(check (list string)) "restricted flows" [ "b" ] (Trace.flows r);
+  let rn = Trace.rename t [ ("a", "alpha") ] in
+  checkb "renamed column" true
+    (Value.equal_message (Trace.get rn ~flow:"alpha" ~tick:0) (present_i 1))
+
+let test_network_flatten_semantics () =
+  (* Flattening a hierarchical DFD preserves the simulated trace. *)
+  let inner_net : Model.network =
+    { net_name = "InnerNet";
+      net_components =
+        [ Dfd.block_of_expr ~name:"DOUBLE" ~inputs:[ ("x", None) ]
+            Expr.(var "x" * int 2) ];
+      net_channels =
+        [ Dfd.wire "i" ("", "inp") ("DOUBLE", "x");
+          Dfd.wire "o" ("DOUBLE", "out") ("", "outp") ] }
+  in
+  let inner =
+    Dfd.of_network ~ports:[ Model.in_port "inp"; Model.out_port "outp" ]
+      inner_net
+  in
+  let outer_net : Model.network =
+    { net_name = "OuterNet";
+      net_components =
+        [ inner;
+          Dfd.block_of_expr ~name:"INC" ~inputs:[ ("x", None) ]
+            Expr.(var "x" + int 1) ];
+      net_channels =
+        [ Dfd.wire "a" ("", "src") ("InnerNet", "inp");
+          Dfd.wire "b" ("InnerNet", "outp") ("INC", "x");
+          Dfd.wire "c" ("INC", "out") ("", "dst") ] }
+  in
+  let ports = [ Model.in_port "src"; Model.out_port "dst" ] in
+  let hier = Dfd.of_network ~ports outer_net in
+  let flat = Dfd.of_network ~ports (Dfd.flatten outer_net) in
+  let inputs tick = [ ("src", present_i tick) ] in
+  let t1 = Sim.run ~ticks:6 ~inputs hier in
+  let t2 = Sim.run ~ticks:6 ~inputs flat in
+  checkb "flatten preserves trace" true (Trace.equal t1 t2);
+  (* the flat network has no composite components left *)
+  match flat.comp_behavior with
+  | Model.B_dfd net ->
+    checkb "all atomic" true
+      (List.for_all
+         (fun (c : Model.component) ->
+           match c.comp_behavior with
+           | Model.B_dfd _ | Model.B_ssd _ -> false
+           | _ -> true)
+         net.net_components)
+  | _ -> assert false
+
+let test_ssd_flatten_preserves_delay () =
+  (* Dissolving the SSD pipeline keeps its one-tick delay via channel
+     delay marks. *)
+  let flat = Ssd.dissolve_top ssd_pipeline in
+  let inputs tick = [ ("src", present_i tick) ] in
+  let t1 = Sim.run ~ticks:5 ~inputs ssd_pipeline in
+  let t2 = Sim.run ~ticks:5 ~inputs flat in
+  checkb "delay preserved" true (Trace.equal t1 t2)
+
+(* ------------------------------------------------------------------ *)
+(* Faa_rules                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let vehicle_model : Model.model =
+  let f name ports = Model.component name ~ports in
+  let net : Model.network =
+    { net_name = "Vehicle";
+      net_components =
+        [ f "CruiseControl"
+            [ Model.in_port ~ty:Dtype.Tfloat ~resource:"speed" "v";
+              Model.out_port ~ty:Dtype.Tfloat ~resource:"throttle" "u" ];
+          f "TractionControl"
+            [ Model.in_port ~ty:Dtype.Tfloat ~resource:"speed" "v";
+              Model.out_port ~ty:Dtype.Tfloat ~resource:"throttle" "u" ];
+          f "Wipers" [ Model.in_port ~ty:Dtype.Tbool "rain" ] ];
+      net_channels = [] }
+  in
+  { model_name = "Vehicle";
+    model_level = Model.Faa;
+    model_root = Ssd.of_network net;
+    model_enums = [] }
+
+let test_faa_actuator_conflict () =
+  let findings = Faa_rules.run vehicle_model in
+  checkb "conflict found" true
+    (List.exists
+       (fun (f : Faa_rules.finding) ->
+         f.rule = "actuator-conflict" && f.severity = `Conflict)
+       findings);
+  checkb "countermeasure suggested" true
+    (List.exists
+       (fun (f : Faa_rules.finding) ->
+         f.rule = "actuator-conflict" && f.countermeasure <> None)
+       findings)
+
+let test_faa_shared_sensor_info () =
+  let findings = Faa_rules.run vehicle_model in
+  checkb "shared sensor info" true
+    (List.exists
+       (fun (f : Faa_rules.finding) -> f.rule = "shared-sensor")
+       findings)
+
+let test_faa_unconnected () =
+  let findings = Faa_rules.run vehicle_model in
+  checkb "unconnected warning" true
+    (List.exists
+       (fun (f : Faa_rules.finding) -> f.rule = "unconnected-function")
+       findings)
+
+let test_faa_unspecified_severity () =
+  let fda = { vehicle_model with model_level = Model.Fda } in
+  let sev_of model =
+    List.filter_map
+      (fun (f : Faa_rules.finding) ->
+        if f.rule = "unspecified-behavior" then Some f.severity else None)
+      (Faa_rules.run model)
+  in
+  checkb "warning on FAA" true (List.for_all (( = ) `Warning) (sev_of vehicle_model));
+  checkb "conflict on FDA" true (List.for_all (( = ) `Conflict) (sev_of fda));
+  checkb "summary mentions conflicts" true
+    (String.length (Faa_rules.summary (Faa_rules.run fda)) > 0)
+
+let test_faa_prototype_actuator () =
+  let model =
+    { vehicle_model with
+      Model.model_root =
+        Ssd.of_network
+          { net_name = "V";
+            net_components =
+              [ Model.component "Proto"
+                  ~ports:
+                    [ Model.out_port ~ty:Dtype.Tfloat ~resource:"horn" "h" ] ];
+            net_channels = [] } }
+  in
+  checkb "prototype actuator flagged" true
+    (List.exists
+       (fun (f : Faa_rules.finding) -> f.rule = "prototype-actuator")
+       (Faa_rules.run model))
+
+let test_faa_non_harmonic_channel () =
+  let c2 = Clock.every 2 Clock.Base and c3 = Clock.every 3 Clock.Base in
+  let src =
+    Dfd.block_of_expr ~name:"S" ~inputs:[] ~out_type:Dtype.Tfloat
+      (Expr.float 0.)
+  in
+  let src = { src with Model.comp_ports =
+      [ Model.out_port ~ty:Dtype.Tfloat ~clock:c2 "out" ] } in
+  let dst =
+    Model.component "D"
+      ~ports:[ Model.in_port ~ty:Dtype.Tfloat ~clock:c3 "x" ]
+  in
+  let net : Model.network =
+    { net_name = "NH";
+      net_components = [ src; dst ];
+      net_channels = [ Dfd.wire "w" ("S", "out") ("D", "x") ] }
+  in
+  let model =
+    { Model.model_name = "NH"; model_level = Model.Faa;
+      model_root = Ssd.of_network net; model_enums = [] }
+  in
+  checkb "non-harmonic flagged" true
+    (List.exists
+       (fun (f : Faa_rules.finding) -> f.rule = "non-harmonic-channel")
+       (Faa_rules.run model));
+  (* harmonic 2/4 clocks do not trigger it *)
+  let harmonic_dst =
+    { dst with Model.comp_ports =
+        [ Model.in_port ~ty:Dtype.Tfloat ~clock:(Clock.every 4 Clock.Base) "x" ] }
+  in
+  let model2 =
+    { model with
+      Model.model_root =
+        Ssd.of_network { net with Model.net_components = [ src; harmonic_dst ] } }
+  in
+  checkb "harmonic accepted" false
+    (List.exists
+       (fun (f : Faa_rules.finding) -> f.rule = "non-harmonic-channel")
+       (Faa_rules.run model2))
+
+(* ------------------------------------------------------------------ *)
+(* Render smoke tests                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_render_nonempty () =
+  let s = Render.component_to_string throttle_comp in
+  checkb "renders mtd" true (String.length s > 100);
+  let s2 = Render.component_to_string adder in
+  checkb "renders dfd" true (String.length s2 > 50)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "automode-sim"
+    [ ( "network",
+        [ Alcotest.test_case "well-formed" `Quick test_network_ok;
+          Alcotest.test_case "bad endpoint" `Quick test_network_bad_endpoint;
+          Alcotest.test_case "double driver" `Quick test_network_double_driver;
+          Alcotest.test_case "direction" `Quick test_network_direction_violation;
+          Alcotest.test_case "type mismatch" `Quick test_network_type_mismatch;
+          Alcotest.test_case "ssd static typing" `Quick test_ssd_requires_types ] );
+      ( "causality",
+        [ Alcotest.test_case "detects loop" `Quick test_causality_detects_loop;
+          Alcotest.test_case "delay breaks loop" `Quick test_causality_delay_breaks_loop;
+          Alcotest.test_case "self loop" `Quick test_causality_self_loop;
+          Alcotest.test_case "topological order" `Quick test_causality_order_respects_deps;
+          Alcotest.test_case "recursive check" `Quick test_causality_recursive ]
+        @ qsuite [ test_causality_random ] );
+      ( "sim-dfd",
+        [ Alcotest.test_case "adder" `Quick test_sim_adder;
+          Alcotest.test_case "counter feedback" `Quick test_sim_counter_feedback;
+          Alcotest.test_case "rejects loops" `Quick test_sim_rejects_instantaneous_loop ] );
+      ( "sim-ssd",
+        [ Alcotest.test_case "channel delay" `Quick test_sim_ssd_channel_delay;
+          Alcotest.test_case "dfd instantaneous" `Quick test_sim_dfd_same_net_is_instantaneous;
+          Alcotest.test_case "init value" `Quick test_sim_ssd_init_value ] );
+      ( "std",
+        [ Alcotest.test_case "step and vars" `Quick test_std_step_and_vars;
+          Alcotest.test_case "priority" `Quick test_std_priority;
+          Alcotest.test_case "check" `Quick test_std_check;
+          Alcotest.test_case "reachability" `Quick test_std_reachability;
+          Alcotest.test_case "product structure" `Quick test_std_product_structure;
+          Alcotest.test_case "product equivalence" `Quick test_std_product_equivalence ] );
+      ( "mtd",
+        [ Alcotest.test_case "check" `Quick test_mtd_check_ok;
+          Alcotest.test_case "strong preemption" `Quick test_mtd_strong_preemption;
+          Alcotest.test_case "mode port" `Quick test_mtd_mode_port;
+          Alcotest.test_case "history" `Quick test_mtd_history;
+          Alcotest.test_case "reachability" `Quick test_mtd_reachability_and_determinism;
+          Alcotest.test_case "product joint" `Quick test_mtd_product;
+          Alcotest.test_case "product single-side" `Quick test_mtd_product_single_side ]
+        @ qsuite
+            [ test_totalize_guard_always_present;
+              test_mtd_product_parallel_oracle ] );
+      ( "stdblocks",
+        [ Alcotest.test_case "integrator" `Quick test_stdblocks_integrator;
+          Alcotest.test_case "rate limiter" `Quick test_stdblocks_rate_limiter;
+          Alcotest.test_case "hysteresis" `Quick test_stdblocks_hysteresis;
+          Alcotest.test_case "derivative" `Quick test_stdblocks_derivative;
+          Alcotest.test_case "sample hold" `Quick test_stdblocks_sample_hold;
+          Alcotest.test_case "debounce" `Quick test_stdblocks_debounce ] );
+      ( "compiled-sim",
+        [ Alcotest.test_case "adder" `Quick test_compiled_adder;
+          Alcotest.test_case "counter feedback" `Quick test_compiled_counter_feedback;
+          Alcotest.test_case "ssd delays" `Quick test_compiled_ssd_delays;
+          Alcotest.test_case "mtd" `Quick test_compiled_mtd;
+          Alcotest.test_case "rejects loops" `Quick test_compiled_rejects_loops ] );
+      ( "trace",
+        [ Alcotest.test_case "equality/divergence" `Quick test_trace_equal_and_divergence;
+          Alcotest.test_case "restrict/rename" `Quick test_trace_restrict_rename ] );
+      ( "flatten",
+        [ Alcotest.test_case "dfd flatten trace-equal" `Quick test_network_flatten_semantics;
+          Alcotest.test_case "ssd dissolve keeps delay" `Quick test_ssd_flatten_preserves_delay ] );
+      ( "faa-rules",
+        [ Alcotest.test_case "actuator conflict" `Quick test_faa_actuator_conflict;
+          Alcotest.test_case "shared sensor" `Quick test_faa_shared_sensor_info;
+          Alcotest.test_case "unconnected" `Quick test_faa_unconnected;
+          Alcotest.test_case "unspecified severity" `Quick test_faa_unspecified_severity;
+          Alcotest.test_case "prototype actuator" `Quick test_faa_prototype_actuator;
+          Alcotest.test_case "non-harmonic channel" `Quick test_faa_non_harmonic_channel ] );
+      ( "render",
+        [ Alcotest.test_case "smoke" `Quick test_render_nonempty ] ) ]

@@ -1,0 +1,187 @@
+(* Tests for the whole-model static analysis (type and clock consistency
+   across the meta-model). *)
+
+open Automode_core
+
+let checkb = Alcotest.(check bool)
+
+let has_error issues fragment =
+  List.exists
+    (fun (i : Static_check.issue) ->
+      i.severity = `Error
+      && (let len = String.length fragment in
+          let rec contains k =
+            k + len <= String.length i.msg
+            && (String.equal (String.sub i.msg k len) fragment || contains (k + 1))
+          in
+          contains 0))
+    issues
+
+(* ------------------------------------------------------------------ *)
+(* Clean models stay clean                                            *)
+(* ------------------------------------------------------------------ *)
+
+let assert_clean name comp =
+  let issues = Static_check.component comp in
+  Alcotest.(check (list string)) (name ^ " has no static errors") []
+    (Static_check.errors issues)
+
+let test_casestudy_models_clean () =
+  assert_clean "door lock" Automode_casestudy.Door_lock.component;
+  assert_clean "sampling" (Automode_casestudy.Sampling.component ~factor:2);
+  assert_clean "engine modes" Automode_casestudy.Engine_modes.component;
+  assert_clean "throttle" Automode_casestudy.Throttle.component;
+  assert_clean "engine ccd" Automode_casestudy.Engine_ccd.component
+
+let test_reengineered_clean () =
+  let model, _ = Automode_casestudy.Engine_ascet.reengineer () in
+  Alcotest.(check (list string)) "reengineered model statically clean" []
+    (Static_check.errors (Static_check.model model))
+
+(* ------------------------------------------------------------------ *)
+(* Defect detection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_type_mismatch_detected () =
+  (* output declared bool but computes float *)
+  let comp =
+    Model.component "Bad"
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tfloat "x";
+          Model.out_port ~ty:Dtype.Tbool "y" ]
+      ~behavior:(Model.B_exprs [ ("y", Expr.(var "x" * float 2.)) ])
+  in
+  checkb "mismatch found" true
+    (has_error (Static_check.component comp) "declared")
+
+let test_illtyped_expr_detected () =
+  let comp =
+    Model.component "Bad"
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tbool "b";
+          Model.out_port ~ty:Dtype.Tfloat "y" ]
+      ~behavior:(Model.B_exprs [ ("y", Expr.(var "b" + float 1.)) ])
+  in
+  checkb "type error found" true
+    (Static_check.errors (Static_check.component comp) <> [])
+
+let test_dynamic_ports_skipped () =
+  (* untyped input: type checking is skipped (dynamic DFD typing) *)
+  let comp =
+    Model.component "Dyn"
+      ~ports:[ Model.in_port "x"; Model.out_port ~ty:Dtype.Tbool "y" ]
+      ~behavior:(Model.B_exprs [ ("y", Expr.(var "x" + float 1.)) ])
+  in
+  Alcotest.(check (list string)) "no errors for dynamic ports" []
+    (Static_check.errors (Static_check.component comp))
+
+let test_undeclared_output_detected () =
+  let comp =
+    Model.component "Bad"
+      ~ports:[ Model.in_port ~ty:Dtype.Tfloat "x" ]
+      ~behavior:(Model.B_exprs [ ("ghost", Expr.var "x") ])
+  in
+  checkb "undeclared output" true
+    (has_error (Static_check.component comp) "undeclared output")
+
+let test_clock_mismatch_warns () =
+  let c2 = Clock.every 2 Clock.Base in
+  let comp =
+    Model.component "Rate"
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tfloat "x";
+          (* declared base clock, computed on every(2) *)
+          Model.out_port ~ty:Dtype.Tfloat "y" ]
+      ~behavior:(Model.B_exprs [ ("y", Expr.when_ (Expr.var "x") c2) ])
+  in
+  let issues = Static_check.component comp in
+  checkb "no errors" true (Static_check.errors issues = []);
+  checkb "clock warning" true
+    (List.exists
+       (fun (i : Static_check.issue) ->
+         i.severity = `Warning
+         && String.length i.msg > 5
+         && String.sub i.msg 0 5 = "clock")
+       issues)
+
+let test_bad_guard_detected () =
+  let mtd : Model.mtd =
+    { mtd_name = "M";
+      mtd_modes =
+        [ { mode_name = "A"; mode_behavior = Model.B_unspecified };
+          { mode_name = "B"; mode_behavior = Model.B_unspecified } ];
+      mtd_initial = "A";
+      mtd_transitions =
+        [ { mt_src = "A"; mt_dst = "B"; mt_guard = Expr.(var "x" + float 1.);
+            mt_priority = 0 } ] }
+  in
+  let comp =
+    Model.component "M"
+      ~ports:[ Model.in_port ~ty:Dtype.Tfloat "x" ]
+      ~behavior:(Model.B_mtd mtd)
+  in
+  checkb "non-bool guard" true
+    (has_error (Static_check.component comp) "not bool")
+
+let test_std_update_type_checked () =
+  let std : Model.std =
+    { std_name = "S"; std_states = [ "s" ]; std_initial = "s";
+      std_vars = [ ("count", Value.Int 0) ];
+      std_transitions =
+        [ { st_src = "s"; st_dst = "s"; st_guard = Expr.bool true;
+            st_outputs = [];
+            (* float assigned to an int variable *)
+            st_updates = [ ("count", Expr.float 1.5) ];
+            st_priority = 0 } ] }
+  in
+  let comp =
+    Model.component "S" ~ports:[ Model.in_port ~ty:Dtype.Tfloat "x" ]
+      ~behavior:(Model.B_std std)
+  in
+  checkb "update mismatch" true
+    (has_error (Static_check.component comp) "declared")
+
+let test_nested_issue_paths () =
+  let bad =
+    Model.component "Inner"
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tbool "b";
+          Model.out_port ~ty:Dtype.Tfloat "y" ]
+      ~behavior:(Model.B_exprs [ ("y", Expr.(var "b" + float 1.)) ])
+  in
+  let net : Model.network =
+    { net_name = "Net"; net_components = [ bad ]; net_channels = [] }
+  in
+  let outer = Dfd.of_network ~ports:[] net in
+  let issues = Static_check.component outer in
+  checkb "issue carries nested path" true
+    (List.exists
+       (fun (i : Static_check.issue) -> String.equal i.at "Net.Inner")
+       issues)
+
+let test_summary () =
+  let comp =
+    Model.component "Bad"
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tbool "b";
+          Model.out_port ~ty:Dtype.Tfloat "y" ]
+      ~behavior:(Model.B_exprs [ ("y", Expr.(var "b" + float 1.)) ])
+  in
+  let s = Static_check.summary (Static_check.component comp) in
+  checkb "mentions errors" true (String.length s > 0 && s.[0] = '1')
+
+let () =
+  Alcotest.run "automode-static-check"
+    [ ( "clean-models",
+        [ Alcotest.test_case "case studies" `Quick test_casestudy_models_clean;
+          Alcotest.test_case "reengineered" `Quick test_reengineered_clean ] );
+      ( "defects",
+        [ Alcotest.test_case "type mismatch" `Quick test_type_mismatch_detected;
+          Alcotest.test_case "ill-typed expr" `Quick test_illtyped_expr_detected;
+          Alcotest.test_case "dynamic skipped" `Quick test_dynamic_ports_skipped;
+          Alcotest.test_case "undeclared output" `Quick test_undeclared_output_detected;
+          Alcotest.test_case "clock mismatch warns" `Quick test_clock_mismatch_warns;
+          Alcotest.test_case "bad guard" `Quick test_bad_guard_detected;
+          Alcotest.test_case "std update" `Quick test_std_update_type_checked;
+          Alcotest.test_case "nested paths" `Quick test_nested_issue_paths;
+          Alcotest.test_case "summary" `Quick test_summary ] ) ]

@@ -1,0 +1,253 @@
+(* Tests for the textual AutoMoDe model format: lexer, expression
+   round-trips (property-based), and full-model round-trips over every
+   case-study model including the reengineered engine controller. *)
+
+open Automode_core
+open Automode_syntax
+
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_tokens () =
+  let toks =
+    Syntax_lexer.tokenize "channel c : A.out -> .dst delayed init 1.5e-3;"
+  in
+  let kinds = List.map (fun (t : Syntax_lexer.located) -> t.tok) toks in
+  checkb "arrow and dot lexed" true
+    (List.mem Syntax_lexer.ARROW kinds && List.mem Syntax_lexer.DOT kinds);
+  checkb "scientific float" true
+    (List.exists
+       (function Syntax_lexer.FLOAT f -> Float.equal f 1.5e-3 | _ -> false)
+       kinds)
+
+let test_lexer_strings () =
+  match Syntax_lexer.tokenize "resource \"throttle valve\"" with
+  | [ { tok = IDENT "resource"; _ }; { tok = STRING "throttle valve"; _ };
+      { tok = EOF; _ } ] -> ()
+  | _ -> Alcotest.fail "string token expected"
+
+let test_lexer_errors () =
+  checkb "unterminated string" true
+    (try ignore (Syntax_lexer.tokenize "\"oops"); false
+     with Syntax_lexer.Lex_error _ -> true);
+  checkb "stray char" true
+    (try ignore (Syntax_lexer.tokenize "a ? b"); false
+     with Syntax_lexer.Lex_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Expression round-trip (property)                                   *)
+(* ------------------------------------------------------------------ *)
+
+
+let gen_expr : Expr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var_name = map (Printf.sprintf "v%d") (int_range 0 3) in
+  let leaf =
+    oneof
+      [ map (fun i -> Expr.int i) (int_range (-9) 9);
+        map (fun b -> Expr.bool b) bool;
+        map (fun f -> Expr.float (float_of_int f /. 4.)) (int_range (-20) 20);
+        return (Expr.Const (Value.Enum ("Gear", "D")));
+        map Expr.var var_name;
+        map (fun v -> Expr.Is_present v) var_name ]
+  in
+  let binop =
+    oneofl
+      [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Div; Expr.Mod; Expr.And; Expr.Or;
+        Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge; Expr.Min;
+        Expr.Max ]
+  in
+  let clock =
+    oneofl
+      [ Clock.Base; Clock.every 2 Clock.Base;
+        Clock.shift 1 (Clock.every 4 Clock.Base); Clock.event "crash" ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [ (2, leaf);
+            (4, map3 (fun op a b -> Expr.Binop (op, a, b)) binop
+                 (self (depth - 1)) (self (depth - 1)));
+            (1, map (fun a -> Expr.Unop (Expr.Not, a)) (self (depth - 1)));
+            (1, map (fun a -> Expr.Unop (Expr.Neg, a)) (self (depth - 1)));
+            (1, map (fun a -> Expr.Unop (Expr.Abs, a)) (self (depth - 1)));
+            (2, map3 (fun c a b -> Expr.If (c, a, b)) (self (depth - 1))
+                 (self (depth - 1)) (self (depth - 1)));
+            (1, map (fun a -> Expr.pre (Value.Int 0) a) (self (depth - 1)));
+            (1, map2 (fun a c -> Expr.when_ a c) (self (depth - 1)) clock);
+            (1, map (fun a -> Expr.current (Value.Float 0.5) a)
+                 (self (depth - 1)));
+            (1, map2 (fun a b -> Expr.Call ("interp1", [ a; b; a; b; a ]))
+                 (self (depth - 1)) (self (depth - 1))) ])
+    4
+
+let wrap_component e =
+  Model.component "Wrap"
+    ~ports:
+      [ Model.in_port "v0"; Model.in_port "v1"; Model.in_port "v2";
+        Model.in_port "v3"; Model.out_port "out" ]
+    ~behavior:(Model.B_exprs [ ("out", e) ])
+
+(* Both parsers canonicalize negated numeric literals into constants, so
+   the comparison normalizes generated expressions the same way. *)
+let rec normalize_neg (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Unop (Expr.Neg, Expr.Const (Value.Int i)) -> Expr.int (-i)
+  | Expr.Unop (Expr.Neg, Expr.Const (Value.Float f)) -> Expr.float (-.f)
+  | Expr.Const _ | Expr.Var _ | Expr.Is_present _ -> e
+  | Expr.Unop (op, a) ->
+    let a' = normalize_neg a in
+    (match op, a' with
+     | Expr.Neg, Expr.Const (Value.Int i) -> Expr.int (-i)
+     | Expr.Neg, Expr.Const (Value.Float f) -> Expr.float (-.f)
+     | _ -> Expr.Unop (op, a'))
+  | Expr.Binop (op, a, b) -> Expr.Binop (op, normalize_neg a, normalize_neg b)
+  | Expr.If (c, a, b) ->
+    Expr.If (normalize_neg c, normalize_neg a, normalize_neg b)
+  | Expr.Pre (i, a) -> Expr.Pre (i, normalize_neg a)
+  | Expr.When (a, c) -> Expr.When (normalize_neg a, c)
+  | Expr.Current (i, a) -> Expr.Current (i, normalize_neg a)
+  | Expr.Call (f, args) -> Expr.Call (f, List.map normalize_neg args)
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"printed expression parses back equal" ~count:500
+    (QCheck.make ~print:Expr.to_string gen_expr)
+    (fun e ->
+      let text = Model_printer.component_to_string (wrap_component e) in
+      let parsed =
+        Model_parser.parse_component
+          ~enums:[ { Dtype.enum_name = "Gear"; literals = [ "P"; "R"; "N"; "D" ] } ]
+          text
+      in
+      match parsed.Model.comp_behavior with
+      | Model.B_exprs [ ("out", e') ] -> normalize_neg e = normalize_neg e'
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Model round-trips                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_component ?enums (c : Model.component) =
+  let text = Model_printer.component_to_string c in
+  let parsed =
+    try Model_parser.parse_component ?enums text
+    with Model_parser.Parse_error (msg, line) ->
+      Alcotest.failf "reparse of %s failed at line %d: %s\n%s" c.comp_name
+        line msg text
+  in
+  if parsed <> c then
+    Alcotest.failf "round-trip of %s not structurally equal" c.comp_name
+
+let casestudy_enums =
+  let decl = function
+    | Dtype.Tenum e -> e
+    | _ -> assert false
+  in
+  [ decl Automode_casestudy.Door_lock.lock_status;
+    decl Automode_casestudy.Door_lock.crash_status;
+    decl Automode_casestudy.Door_lock.lock_command;
+    decl Automode_casestudy.Engine_modes.mode_type;
+    decl (Mtd.mode_enum Automode_casestudy.Throttle.mtd) ]
+
+let test_roundtrip_door_lock () =
+  roundtrip_component ~enums:casestudy_enums
+    Automode_casestudy.Door_lock.component
+
+let test_roundtrip_sampling () =
+  roundtrip_component (Automode_casestudy.Sampling.component ~factor:2)
+
+let test_roundtrip_momentum () =
+  roundtrip_component Automode_casestudy.Momentum.component
+
+let test_roundtrip_engine_modes () =
+  roundtrip_component ~enums:casestudy_enums
+    Automode_casestudy.Engine_modes.component
+
+let test_roundtrip_throttle () =
+  roundtrip_component ~enums:casestudy_enums
+    Automode_casestudy.Throttle.component
+
+let test_roundtrip_engine_ccd () =
+  roundtrip_component Automode_casestudy.Engine_ccd.component
+
+let test_roundtrip_reengineered () =
+  (* the big one: the full reengineered engine controller *)
+  let model, _ = Automode_casestudy.Engine_ascet.reengineer () in
+  let text = Model_printer.to_string model in
+  let parsed = Model_parser.parse text in
+  checkb "root equal" true (parsed.Model.model_root = model.Model.model_root);
+  checkb "level kept" true (parsed.Model.model_level = Model.Fda)
+
+let test_roundtrip_preserves_semantics () =
+  (* belt and braces: the reparsed model simulates identically *)
+  let model, _ = Automode_casestudy.Engine_ascet.reengineer () in
+  let parsed = Model_parser.parse (Model_printer.to_string model) in
+  let inputs tick =
+    List.map
+      (fun (n, v) -> (n, Value.Present v))
+      (Automode_casestudy.Engine_ascet.drive_inputs tick)
+  in
+  let t1 = Sim.run ~ticks:200 ~inputs model.Model.model_root in
+  let t2 = Sim.run ~ticks:200 ~inputs parsed.Model.model_root in
+  checkb "identical traces" true (Trace.equal t1 t2)
+
+let test_model_header () =
+  let m : Model.model =
+    { model_name = "Tiny"; model_level = Model.La;
+      model_root =
+        Model.component "Tiny" ~ports:[ Model.in_port ~ty:Dtype.Tint "x" ];
+      model_enums = [] }
+  in
+  let parsed = Model_parser.parse (Model_printer.to_string m) in
+  Alcotest.(check string) "name" "Tiny" parsed.Model.model_name;
+  checkb "level" true (parsed.Model.model_level = Model.La)
+
+let test_parse_errors () =
+  let bad input =
+    try ignore (Model_parser.parse input); false
+    with Model_parser.Parse_error _ -> true
+  in
+  checkb "missing header" true (bad "component C { unspecified; }");
+  checkb "bad level" true (bad "model M level XXL component C { unspecified; }");
+  checkb "unknown enum literal" true
+    (bad
+       "model M level FAA enum E { A } component C { exprs { o = E.B; } }");
+  checkb "trailing input" true
+    (bad "model M level FAA component C { unspecified; } garbage")
+
+let test_unprintable_tuple () =
+  let c =
+    Model.component "T"
+      ~ports:[ Model.in_port ~ty:(Dtype.Ttuple [ Dtype.Tint ]) "x" ]
+  in
+  checkb "tuple rejected" true
+    (try ignore (Model_printer.component_to_string c); false
+     with Model_printer.Unprintable _ -> true)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "automode-syntax"
+    [ ( "lexer",
+        [ Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "strings" `Quick test_lexer_strings;
+          Alcotest.test_case "errors" `Quick test_lexer_errors ] );
+      ( "expr-roundtrip", qsuite [ prop_expr_roundtrip ] );
+      ( "model-roundtrip",
+        [ Alcotest.test_case "door lock" `Quick test_roundtrip_door_lock;
+          Alcotest.test_case "sampling" `Quick test_roundtrip_sampling;
+          Alcotest.test_case "momentum" `Quick test_roundtrip_momentum;
+          Alcotest.test_case "engine modes" `Quick test_roundtrip_engine_modes;
+          Alcotest.test_case "throttle" `Quick test_roundtrip_throttle;
+          Alcotest.test_case "engine ccd" `Quick test_roundtrip_engine_ccd;
+          Alcotest.test_case "reengineered model" `Quick test_roundtrip_reengineered;
+          Alcotest.test_case "semantics preserved" `Quick test_roundtrip_preserves_semantics;
+          Alcotest.test_case "model header" `Quick test_model_header ] );
+      ( "errors",
+        [ Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "unprintable" `Quick test_unprintable_tuple ] ) ]

@@ -1,0 +1,169 @@
+(* Tests for product-family variant management (the paper's intro names
+   variant multiplicity as a core complexity driver). *)
+
+open Automode_core
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* A body-electronics family: base locking + optional comfort features. *)
+let family =
+  let f name ports = Model.component name ~ports in
+  let net : Model.network =
+    { net_name = "Body";
+      net_components =
+        [ f "CentralLocking"
+            [ Model.in_port ~ty:Dtype.Tbool "request";
+              Model.out_port ~ty:Dtype.Tbool ~resource:"locks" "cmd" ];
+          f "RainSensor" [ Model.out_port ~ty:Dtype.Tfloat "intensity" ];
+          f "AutoWiper"
+            [ Model.in_port ~ty:Dtype.Tfloat "rain";
+              Model.out_port ~ty:Dtype.Tint ~resource:"wiper" "speed" ];
+          f "ParkAssist"
+            [ Model.in_port ~ty:Dtype.Tfloat "distance";
+              Model.out_port ~ty:Dtype.Tbool ~resource:"buzzer" "warn" ] ];
+      net_channels =
+        [ Model.channel ~name:"rain_link"
+            (Model.at "RainSensor" "intensity")
+            (Model.at "AutoWiper" "rain") ] }
+  in
+  let model : Model.model =
+    { model_name = "BodyFamily"; model_level = Model.Faa;
+      model_root = Ssd.of_network net; model_enums = [] }
+  in
+  Variants.make model
+    ~presence:
+      [ ("RainSensor", Variants.Fvar "comfort");
+        ("AutoWiper", Variants.Fvar "comfort");
+        ("ParkAssist",
+         Variants.Fand (Variants.Fvar "comfort", Variants.Fvar "premium")) ]
+
+let components_of model =
+  match model.Model.model_root.Model.comp_behavior with
+  | Model.B_ssd net ->
+    List.map (fun (c : Model.component) -> c.comp_name) net.net_components
+  | _ -> Alcotest.fail "root"
+
+let test_condition_eval () =
+  let open Variants in
+  checkb "unassigned is false" false (eval [] (Fvar "x"));
+  checkb "and" true
+    (eval [ ("a", true); ("b", true) ] (Fand (Fvar "a", Fvar "b")));
+  checkb "or short" true (eval [ ("a", true) ] (For (Fvar "a", Fvar "b")));
+  checkb "not" true (eval [] (Fnot (Fvar "a")));
+  Alcotest.(check (list string)) "features" [ "a"; "b" ]
+    (features_of (Fand (Fvar "a", For (Fvar "b", Fvar "a"))))
+
+let test_family_features () =
+  Alcotest.(check (list string)) "feature set" [ "comfort"; "premium" ]
+    (Variants.features family)
+
+let test_configure_base () =
+  let base = Variants.configure family ~assignment:[] in
+  Alcotest.(check (list string)) "only mandatory" [ "CentralLocking" ]
+    (components_of base)
+
+let test_configure_comfort () =
+  let v = Variants.configure family ~assignment:[ ("comfort", true) ] in
+  Alcotest.(check (list string)) "comfort trio"
+    [ "CentralLocking"; "RainSensor"; "AutoWiper" ]
+    (components_of v)
+
+let test_configure_premium_requires_comfort () =
+  let v = Variants.configure family ~assignment:[ ("premium", true) ] in
+  checkb "premium alone adds nothing" false
+    (List.mem "ParkAssist" (components_of v))
+
+let test_channels_pruned () =
+  let base = Variants.configure family ~assignment:[] in
+  (match base.Model.model_root.Model.comp_behavior with
+   | Model.B_ssd net -> checki "no dangling channels" 0 (List.length net.net_channels)
+   | _ -> Alcotest.fail "root");
+  (* every configuration passes the structural SSD checks *)
+  List.iter
+    (fun (label, model) ->
+      let issues = Ssd.check_component model.Model.model_root in
+      Alcotest.(check (list string)) (label ^ " structurally clean") []
+        (Network.errors issues))
+    (Variants.configurations family)
+
+let test_all_configurations () =
+  let confs = Variants.configurations family in
+  checki "2^2 variants" 4 (List.length confs);
+  checkb "labels distinct" true
+    (let labels = List.map fst confs in
+     List.length (List.sort_uniq String.compare labels) = 4)
+
+let test_check_detects_problems () =
+  Alcotest.(check (list string)) "family is sound" [] (Variants.check family);
+  (* make a mandatory consumer depend on an optional provider *)
+  let broken =
+    { family with
+      Variants.presence =
+        [ ("RainSensor", Variants.Fvar "comfort") ]
+        (* AutoWiper now unconditional but reads RainSensor *) }
+  in
+  checkb "dangling dependency flagged" true (Variants.check broken <> []);
+  let unknown =
+    { family with
+      Variants.presence = [ ("Nonexistent", Variants.Fvar "x") ] }
+  in
+  checkb "unknown component flagged" true (Variants.check unknown <> [])
+
+let test_variants_simulate () =
+  (* all variants of a family with behaviors simulate without errors *)
+  let blk name k =
+    Dfd.block_of_expr ~name ~inputs:[ ("x", Some Dtype.Tfloat) ]
+      ~out_type:Dtype.Tfloat
+      Expr.(var "x" * float k)
+  in
+  let net : Model.network =
+    { net_name = "N";
+      net_components = [ blk "Base" 1.; blk "Opt" 2. ];
+      net_channels =
+        [ Dfd.wire "i1" ("", "u") ("Base", "x");
+          Dfd.wire "i2" ("", "u") ("Opt", "x");
+          Dfd.wire "o1" ("Base", "out") ("", "y_base");
+          Dfd.wire "o2" ("Opt", "out") ("", "y_opt") ] }
+  in
+  let model : Model.model =
+    { model_name = "M"; model_level = Model.Fda;
+      model_root =
+        Dfd.of_network
+          ~ports:
+            [ Model.in_port ~ty:Dtype.Tfloat "u";
+              Model.out_port ~ty:Dtype.Tfloat "y_base";
+              Model.out_port ~ty:Dtype.Tfloat "y_opt" ]
+          net;
+      model_enums = [] }
+  in
+  let vm = Variants.make model ~presence:[ ("Opt", Variants.Fvar "extra") ] in
+  let inputs _ = [ ("u", Value.Present (Value.Float 3.)) ] in
+  List.iter
+    (fun (label, variant) ->
+      let trace = Sim.run ~ticks:3 ~inputs variant.Model.model_root in
+      let expect_opt = String.length label > 0 && label.[0] = '+' in
+      checkb (label ^ " base output") true
+        (Value.equal_message
+           (Trace.get trace ~flow:"y_base" ~tick:0)
+           (Value.Present (Value.Float 3.)));
+      checkb (label ^ " optional output") true
+        (Value.equal_message
+           (Trace.get trace ~flow:"y_opt" ~tick:0)
+           (if expect_opt then Value.Present (Value.Float 6.) else Value.Absent)))
+    (Variants.configurations vm)
+
+let () =
+  Alcotest.run "automode-variants"
+    [ ( "conditions",
+        [ Alcotest.test_case "eval" `Quick test_condition_eval;
+          Alcotest.test_case "features" `Quick test_family_features ] );
+      ( "configure",
+        [ Alcotest.test_case "base" `Quick test_configure_base;
+          Alcotest.test_case "comfort" `Quick test_configure_comfort;
+          Alcotest.test_case "premium needs comfort" `Quick test_configure_premium_requires_comfort;
+          Alcotest.test_case "channels pruned" `Quick test_channels_pruned;
+          Alcotest.test_case "all configurations" `Quick test_all_configurations ] );
+      ( "analysis",
+        [ Alcotest.test_case "check" `Quick test_check_detects_problems;
+          Alcotest.test_case "variants simulate" `Quick test_variants_simulate ] ) ]
