@@ -141,7 +141,15 @@ let regenerate_artifacts () =
     (fun (p : Automode_codegen.Ascet_project.project) ->
       Printf.printf "project %s: %d bytes\n" p.project_ecu
         (String.length p.project_text))
-    (Automode_codegen.Ascet_project.generate Engine_ccd.deployment)
+    (Automode_codegen.Ascet_project.generate Engine_ccd.deployment);
+
+  section "E13 | robustness: seeded fault-injection campaigns";
+  print_string
+    (Automode_robust.Report.to_text
+       (Robustness.door_lock_campaign ~seeds:[ 1; 2; 3; 4 ] ()));
+  print_endline "\nengine deployment under CAN loss + timing faults:";
+  Robustness.pp_engine_campaign Format.std_formatter
+    (Robustness.engine_campaign ~seeds:[ 1; 2 ] ())
 
 (* ------------------------------------------------------------------ *)
 (* Benchmarks                                                         *)
@@ -297,6 +305,19 @@ let e12_tests =
       (stage (fun () ->
            Automode_codegen.Ascet_project.generate Engine_ccd.deployment)) ]
 
+let e13_tests =
+  [ Test.make ~name:"E13/door-lock-campaign-4seeds"
+      (stage (fun () ->
+           Robustness.door_lock_campaign ~shrink:false ~seeds:[ 1; 2; 3; 4 ] ()));
+    Test.make ~name:"E13/door-lock-shrink-seed3"
+      (stage (fun () ->
+           Robustness.door_lock_campaign ~shrink:true ~seeds:[ 3 ] ()));
+    Test.make ~name:"E13/engine-injection-200ms"
+      (stage (fun () ->
+           Automode_robust.Inject_net.simulate
+             (Robustness.engine_injection ~seed:1 ())
+             ~horizon:200_000)) ]
+
 (* Tooling-infrastructure benches: persistence, static analysis and
    variant enumeration over the reengineered engine controller. *)
 let infra_tests =
@@ -361,7 +382,7 @@ let all_tests =
   Test.make_grouped ~name:"automode"
     (e1_tests @ e2_tests @ e3_tests @ e4_tests @ e5_tests @ e6_tests
     @ e7_tests @ e8_tests @ e9_tests @ e10_tests @ e11_tests @ e12_tests
-    @ infra_tests @ ablation_tests)
+    @ e13_tests @ infra_tests @ ablation_tests)
 
 let benchmark () =
   let ols =
@@ -403,6 +424,10 @@ let print_results results =
 
 let () =
   regenerate_artifacts ();
-  print_endline "";
-  section "benchmarks (this may take a minute)";
-  print_results (benchmark ())
+  (* --artifacts-only: regenerate the figures without timing anything —
+     the CI smoke invocation. *)
+  if not (Array.exists (String.equal "--artifacts-only") Sys.argv) then begin
+    print_endline "";
+    section "benchmarks (this may take a minute)";
+    print_results (benchmark ())
+  end

@@ -277,6 +277,61 @@ let timeline_cmd =
        ~doc:"Gantt timeline of the engine deployment's task schedules")
     Term.(const run $ horizon_arg)
 
+let robustness_cmd =
+  let run seeds count csv no_shrink engine horizon =
+    let seeds =
+      match seeds with
+      | [] -> List.init count (fun i -> i + 1)
+      | s -> s
+    in
+    if engine then
+      Robustness.pp_engine_campaign Format.std_formatter
+        (Robustness.engine_campaign ~horizon ~seeds ())
+    else begin
+      let campaign =
+        Robustness.door_lock_campaign ~shrink:(not no_shrink) ~seeds ()
+      in
+      print_string
+        (if csv then Automode_robust.Report.to_csv campaign
+         else Automode_robust.Report.to_text campaign)
+    end
+  in
+  let seeds_arg =
+    Arg.(value & opt_all int []
+         & info [ "seed"; "s" ] ~docv:"SEED"
+             ~doc:"Seed to run (repeatable); default: 1..$(b,--count).")
+  in
+  let count_arg =
+    Arg.(value & opt int 10
+         & info [ "count"; "n" ] ~docv:"N"
+             ~doc:"Number of seeds when no explicit $(b,--seed) is given.")
+  in
+  let csv_flag =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the report as CSV.")
+  in
+  let no_shrink_flag =
+    Arg.(value & flag
+         & info [ "no-shrink" ] ~doc:"Skip counterexample shrinking.")
+  in
+  let engine_flag =
+    Arg.(value & flag
+         & info [ "engine" ]
+             ~doc:"Run the engine deployment campaign (CAN loss + timing \
+                   faults) instead of the door-lock stimulus campaign.")
+  in
+  let horizon_arg =
+    Arg.(value & opt int 200_000
+         & info [ "horizon" ] ~docv:"US"
+             ~doc:"Engine campaign horizon in microseconds.")
+  in
+  Cmd.v
+    (Cmd.info "robustness"
+       ~doc:
+         "Seeded fault-injection campaigns over the case studies \
+          (deterministic: the same seeds reproduce the same report)")
+    Term.(const run $ seeds_arg $ count_arg $ csv_flag $ no_shrink_flag
+          $ engine_flag $ horizon_arg)
+
 let pipeline_cmd =
   let run () =
     let r = Pipeline.run () in
@@ -300,4 +355,4 @@ let () =
        (Cmd.group ~default info
           [ simulate_cmd; render_cmd; causality_cmd; rules_cmd; check_cmd;
             reengineer_cmd; deploy_cmd; codegen_cmd; save_cmd;
-            check_model_cmd; timeline_cmd; pipeline_cmd ]))
+            check_model_cmd; timeline_cmd; robustness_cmd; pipeline_cmd ]))

@@ -21,13 +21,22 @@ let length t = List.length t.rev_ticks
 let flows t = t.flow_names
 let ticks t = List.rev t.rev_ticks
 
+let row_get row flow =
+  match List.assoc_opt flow row with
+  | Some msg -> msg
+  | None -> Value.Absent
+
 let get t ~flow ~tick =
   if not (List.mem flow t.flow_names) then raise Not_found;
-  match List.nth_opt (ticks t) tick with
-  | None -> Value.Absent
-  | Some row -> (match List.assoc_opt flow row with
-    | Some msg -> msg
-    | None -> Value.Absent)
+  (* rev_ticks is newest-first: tick [i] lives at index [length - 1 - i];
+     a single nth walk avoids reversing (and allocating) the tick list on
+     every call. *)
+  let n = List.length t.rev_ticks in
+  if tick < 0 || tick >= n then Value.Absent
+  else
+    match List.nth_opt t.rev_ticks (n - 1 - tick) with
+    | None -> Value.Absent
+    | Some row -> row_get row flow
 
 let column t flow =
   if not (List.mem flow t.flow_names) then raise Not_found;
@@ -57,22 +66,31 @@ let first_divergence a b =
   let common =
     List.filter (fun f -> List.mem f b.flow_names) a.flow_names
   in
-  let n = Stdlib.max (length a) (length b) in
-  let rec scan tick =
-    if tick >= n then None
-    else
-      let diff =
-        List.find_opt
-          (fun flow ->
-            not
-              (Value.equal_message (get a ~flow ~tick) (get b ~flow ~tick)))
-          common
+  (* One parallel walk over both tick lists: O(ticks * flows) instead of
+     the O(ticks^2 * flows) of a per-tick [get].  Ticks past the shorter
+     trace's end read as all-absent rows. *)
+  let rec scan tick rows_a rows_b =
+    match rows_a, rows_b with
+    | [], [] -> None
+    | _, _ ->
+      let row_a, rest_a =
+        match rows_a with r :: rest -> (r, rest) | [] -> ([], [])
       in
-      match diff with
-      | Some flow -> Some (tick, flow, get a ~flow ~tick, get b ~flow ~tick)
-      | None -> scan (tick + 1)
+      let row_b, rest_b =
+        match rows_b with r :: rest -> (r, rest) | [] -> ([], [])
+      in
+      (match
+         List.find_opt
+           (fun flow ->
+             not
+               (Value.equal_message (row_get row_a flow) (row_get row_b flow)))
+           common
+       with
+       | Some flow ->
+         Some (tick, flow, row_get row_a flow, row_get row_b flow)
+       | None -> scan (tick + 1) rest_a rest_b)
   in
-  scan 0
+  scan 0 (ticks a) (ticks b)
 
 let restrict t keep =
   let keep = List.filter (fun f -> List.mem f t.flow_names) keep in
@@ -134,9 +152,22 @@ let pp ppf t =
 
 let to_string t = Format.asprintf "%a" pp t
 
+(* RFC 4180: cells containing a comma, double quote, CR or LF are wrapped
+   in double quotes with embedded quotes doubled.  Tuple values render as
+   "(1, 2)" (Value.pp), so they need this. *)
+let csv_cell s =
+  if
+    String.exists
+      (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
+      s
+  then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
 let to_csv t =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf ("tick," ^ String.concat "," t.flow_names ^ "\n");
+  Buffer.add_string buf
+    ("tick," ^ String.concat "," (List.map csv_cell t.flow_names) ^ "\n");
   List.iteri
     (fun tick row ->
       Buffer.add_string buf (string_of_int tick);
@@ -144,7 +175,8 @@ let to_csv t =
         (fun flow ->
           Buffer.add_char buf ',';
           match List.assoc_opt flow row with
-          | Some (Value.Present v) -> Buffer.add_string buf (Value.to_string v)
+          | Some (Value.Present v) ->
+            Buffer.add_string buf (csv_cell (Value.to_string v))
           | Some Value.Absent | None -> ())
         t.flow_names;
       Buffer.add_char buf '\n')

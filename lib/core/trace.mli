@@ -46,4 +46,8 @@ val to_string : t -> string
 
 val to_csv : t -> string
 (** Comma-separated export: header [tick,<flow>,...], one line per tick,
-    absent messages as empty cells — for spreadsheet/plot tooling. *)
+    absent messages as empty cells — for spreadsheet/plot tooling.
+    Cells (and header names) containing commas, double quotes, CR or
+    LF are quoted
+    per RFC 4180 with embedded quotes doubled, so tuple values such as
+    [(1, 2)] round-trip through CSV readers. *)

@@ -25,12 +25,33 @@ let tx_time config f =
   let bits = frame_bits f in
   (bits * 1_000_000 + config.bitrate - 1) / config.bitrate
 
+(* Worst-case error frame + interframe space: 6 flag bits, up to 6
+   echoed flag bits, 8 delimiter bits and 3 intermission bits. *)
+let error_frame_bits = 23
+
+let error_overhead config =
+  (error_frame_bits * 1_000_000 + config.bitrate - 1) / config.bitrate
+
+type fault_model = {
+  loss_rate : float;
+  fault_seed : int;
+  max_retransmits : int;
+}
+
+let fault_model ?(seed = 0) ?(max_retransmits = 8) ~loss_rate () =
+  if loss_rate < 0. || loss_rate > 1. then
+    invalid_arg "Can_bus.fault_model: loss rate outside [0, 1]";
+  if max_retransmits < 0 then
+    invalid_arg "Can_bus.fault_model: negative retransmit bound";
+  { loss_rate; fault_seed = seed; max_retransmits }
+
 type frame_stats = {
   queued : int;
   sent : int;
   max_latency : int;
   total_latency : int;
   dropped : int;
+  errors : int;
 }
 
 type result = {
@@ -41,9 +62,10 @@ type result = {
 }
 
 let empty_stats =
-  { queued = 0; sent = 0; max_latency = 0; total_latency = 0; dropped = 0 }
+  { queued = 0; sent = 0; max_latency = 0; total_latency = 0; dropped = 0;
+    errors = 0 }
 
-type pending = { p_frame : frame; queued_at : int }
+type pending = { p_frame : frame; queued_at : int; attempts : int }
 
 let validate frames =
   let names = List.map (fun f -> f.frame_name) frames in
@@ -53,16 +75,32 @@ let validate frames =
   if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
     invalid_arg "Can_bus.simulate: duplicate CAN identifiers"
 
-let simulate config ~horizon frames =
-  validate frames;
+(* Deterministic per-attempt corruption decision: seeded by the fault
+   seed, the arbitration id, the queuing instant and the attempt index,
+   so identical campaigns replay bit-identically. *)
+let corrupted fm p =
+  fm.loss_rate > 0.
+  && (fm.loss_rate >= 1.
+     ||
+     let st =
+       Random.State.make
+         [| fm.fault_seed; p.p_frame.can_id; p.queued_at; p.attempts |]
+     in
+     Random.State.float st 1.0 < fm.loss_rate)
+
+let simulate ?faults ?(background = []) config ~horizon frames =
+  let all_frames = frames @ background in
+  validate all_frames;
   if horizon <= 0 then invalid_arg "Can_bus.simulate: positive horizon required";
   let stats = Hashtbl.create 16 in
-  List.iter (fun f -> Hashtbl.replace stats f.frame_name empty_stats) frames;
+  List.iter
+    (fun f -> Hashtbl.replace stats f.frame_name empty_stats)
+    all_frames;
   let update name g =
     Hashtbl.replace stats name (g (Hashtbl.find stats name))
   in
   let next_queue = Hashtbl.create 16 in
-  List.iter (fun f -> Hashtbl.replace next_queue f.frame_name 0) frames;
+  List.iter (fun f -> Hashtbl.replace next_queue f.frame_name 0) all_frames;
   let queue_time f k = f.offset + (k * f.period) in
   let next_queue_instant () =
     List.fold_left
@@ -70,7 +108,7 @@ let simulate config ~horizon frames =
         let k = Hashtbl.find next_queue f.frame_name in
         let q = queue_time f k in
         if q < horizon then Stdlib.min acc q else acc)
-      max_int frames
+      max_int all_frames
   in
   let enqueue now pending =
     List.fold_left
@@ -89,10 +127,10 @@ let simulate config ~horizon frames =
             (fun _ ->
               update f.frame_name (fun s -> { s with dropped = s.dropped + 1 }))
             superseded;
-          { p_frame = f; queued_at = now } :: kept
+          { p_frame = f; queued_at = now; attempts = 0 } :: kept
         end
         else pending)
-      pending frames
+      pending all_frames
   in
   let rec loop now pending busy =
     if now >= horizon then busy
@@ -109,7 +147,13 @@ let simulate config ~horizon frames =
               if p.p_frame.can_id < best.p_frame.can_id then p else best)
             (List.hd pending) pending
         in
-        let t = tx_time config winner.p_frame in
+        let hit =
+          match faults with Some fm -> corrupted fm winner | None -> false
+        in
+        let t =
+          tx_time config winner.p_frame
+          + if hit then error_overhead config else 0
+        in
         let finish = now + t in
         (* non-preemptive transmission: new queuings during [now, finish)
            are collected at the completion instant *)
@@ -121,13 +165,41 @@ let simulate config ~horizon frames =
         in
         let pending = List.filter (fun p -> p != winner) pending in
         let pending = catch_up pending (now + 1) in
-        let latency = finish - winner.queued_at in
-        update winner.p_frame.frame_name (fun s ->
-            { s with
-              sent = s.sent + 1;
-              max_latency = Stdlib.max s.max_latency latency;
-              total_latency = s.total_latency + latency });
-        loop finish pending (busy + t)
+        if hit then begin
+          (* error frame: the slot is wasted; the sender retransmits the
+             same instance unless the bound is exhausted or a fresh
+             instance superseded it during the corrupted slot *)
+          update winner.p_frame.frame_name (fun s ->
+              { s with errors = s.errors + 1 });
+          let bound =
+            match faults with Some fm -> fm.max_retransmits | None -> 0
+          in
+          let superseded =
+            List.exists
+              (fun p ->
+                String.equal p.p_frame.frame_name winner.p_frame.frame_name)
+              pending
+          in
+          if superseded then loop finish pending (busy + t)
+          else if winner.attempts >= bound then begin
+            update winner.p_frame.frame_name (fun s ->
+                { s with dropped = s.dropped + 1 });
+            loop finish pending (busy + t)
+          end
+          else
+            loop finish
+              ({ winner with attempts = winner.attempts + 1 } :: pending)
+              (busy + t)
+        end
+        else begin
+          let latency = finish - winner.queued_at in
+          update winner.p_frame.frame_name (fun s ->
+              { s with
+                sent = s.sent + 1;
+                max_latency = Stdlib.max s.max_latency latency;
+                total_latency = s.total_latency + latency });
+          loop finish pending (busy + t)
+        end
   in
   let busy = loop 0 [] 0 in
   { horizon;
@@ -170,6 +242,6 @@ let pp_result ppf r =
   List.iter
     (fun (name, s) ->
       Format.fprintf ppf
-        "  %-16s queued=%d sent=%d dropped=%d maxLat=%dus@\n" name s.queued
-        s.sent s.dropped s.max_latency)
+        "  %-16s queued=%d sent=%d dropped=%d err=%d maxLat=%dus@\n" name
+        s.queued s.sent s.dropped s.errors s.max_latency)
     r.per_frame

@@ -26,12 +26,30 @@ val tx_time : config -> frame -> int
     worst-case frame length [(34 + 8n)/5] stuff bits + [47 + 8n] bits
     for an [n]-byte payload. *)
 
+val error_overhead : config -> int
+(** Time in us wasted by one error frame + interframe space (23 bits
+    worst case) before a retransmission can start. *)
+
+type fault_model = {
+  loss_rate : float;       (** per-transmission corruption probability *)
+  fault_seed : int;        (** PRNG seed — same seed, same corruptions *)
+  max_retransmits : int;   (** attempts per instance before it is dropped *)
+}
+
+val fault_model :
+  ?seed:int -> ?max_retransmits:int -> loss_rate:float -> unit -> fault_model
+(** Deterministic CAN loss/error-frame model (defaults: seed 0, 8
+    retransmits).  [loss_rate = 0.] reproduces the fault-free simulation
+    exactly.  @raise Invalid_argument on a rate outside [0, 1]. *)
+
 type frame_stats = {
   queued : int;
   sent : int;
   max_latency : int;     (** worst observed queuing-to-completion, us *)
   total_latency : int;
-  dropped : int;         (** instances superseded while still queued *)
+  dropped : int;         (** instances superseded while still queued, or
+                             abandoned after [max_retransmits] errors *)
+  errors : int;          (** corrupted transmissions (error frames seen) *)
 }
 
 type result = {
@@ -41,11 +59,23 @@ type result = {
   load : float;          (** busy / horizon *)
 }
 
-val simulate : config -> horizon:int -> frame list -> result
+val simulate :
+  ?faults:fault_model -> ?background:frame list -> config -> horizon:int ->
+  frame list -> result
 (** Event-driven simulation.  A frame instance queued while the previous
     instance of the same frame is still waiting supersedes it (counted
-    as [dropped]).  @raise Invalid_argument on duplicate frame names or
-    CAN identifiers. *)
+    as [dropped]).
+
+    [?faults] injects a deterministic loss model: each transmission is
+    corrupted with probability [loss_rate] (seeded per id/instant/attempt);
+    a corrupted slot costs the transmission time plus {!error_overhead}
+    and the instance retransmits, up to [max_retransmits] attempts.
+    [?background] adds frames that arbitrate and consume bus time (they
+    raise [load]) but are excluded from [per_frame].  Omitting both
+    reproduces today's fault-free behavior exactly.
+
+    @raise Invalid_argument on duplicate frame names or CAN identifiers
+    (background frames included). *)
 
 val response_time_analysis : config -> frame list -> (string * int option) list
 (** Classic worst-case CAN response-time analysis: blocking by the

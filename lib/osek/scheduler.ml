@@ -5,7 +5,57 @@ type task_stats = {
   max_response : int;
   total_response : int;
   preemptions : int;
+  overruns : int;
 }
+
+type exec_model = {
+  jitter_frac : float;
+  overrun_rate : float;
+  overrun_factor : float;
+  exec_seed : int;
+}
+
+let exec_model ?(jitter_frac = 0.) ?(overrun_rate = 0.)
+    ?(overrun_factor = 1.5) ?(seed = 0) () =
+  if jitter_frac < 0. || jitter_frac > 1. then
+    invalid_arg "Scheduler.exec_model: jitter fraction outside [0, 1]";
+  if overrun_rate < 0. || overrun_rate > 1. then
+    invalid_arg "Scheduler.exec_model: overrun rate outside [0, 1]";
+  if overrun_factor < 1. then
+    invalid_arg "Scheduler.exec_model: overrun factor below 1";
+  { jitter_frac; overrun_rate; overrun_factor; exec_seed = seed }
+
+(* Per-job execution demand.  Deterministic in (seed, task, release):
+   with both rates at 0 no PRNG is consulted and the demand is exactly
+   the task's WCET — today's fault-free behavior. *)
+let job_exec_time exec (t : Osek_task.t) ~release =
+  match exec with
+  | None -> t.Osek_task.wcet
+  | Some m ->
+    let wcet = t.Osek_task.wcet in
+    let draw () =
+      Random.State.make
+        [| m.exec_seed; Hashtbl.hash t.Osek_task.task_name; release |]
+    in
+    let overrun =
+      m.overrun_rate > 0.
+      && (m.overrun_rate >= 1.
+         || Random.State.float (draw ()) 1.0 < m.overrun_rate)
+    in
+    if overrun then
+      Stdlib.max (wcet + 1)
+        (int_of_float (ceil (float_of_int wcet *. m.overrun_factor)))
+    else if m.jitter_frac > 0. then begin
+      let lo = float_of_int wcet *. (1. -. m.jitter_frac) in
+      let st = draw () in
+      (* burn the overrun draw so jitter and overrun decisions stay
+         independent of each other's presence *)
+      ignore (Random.State.float st 1.0);
+      Stdlib.max 1
+        (int_of_float
+           (Float.round (lo +. Random.State.float st (float_of_int wcet -. lo))))
+    end
+    else wcet
 
 type result = {
   horizon : int;
@@ -23,7 +73,7 @@ type job = {
 
 let empty_stats =
   { activations = 0; completions = 0; deadline_misses = 0; max_response = 0;
-    total_response = 0; preemptions = 0 }
+    total_response = 0; preemptions = 0; overruns = 0 }
 
 let validate tasks =
   let names = List.map (fun (t : Osek_task.t) -> t.task_name) tasks in
@@ -64,7 +114,7 @@ let pick_job ready =
         | first :: rest -> Some (List.fold_left best first rest)
         | [] -> None))
 
-let simulate ~horizon tasks =
+let simulate ?exec ~horizon tasks =
   validate tasks;
   if horizon <= 0 then invalid_arg "Scheduler.simulate: horizon must be positive";
   let stats = Hashtbl.create 16 in
@@ -103,9 +153,12 @@ let simulate ~horizon tasks =
         let r = release_time t k in
         if r = now then begin
           Hashtbl.replace next_release t.task_name (k + 1);
+          let demand = job_exec_time exec t ~release:now in
           update t.task_name (fun s ->
-              { s with activations = s.activations + 1 });
-          { j_task = t; release = now; remaining = t.wcet; started = false }
+              { s with
+                activations = s.activations + 1;
+                overruns = (s.overruns + if demand > t.wcet then 1 else 0) });
+          { j_task = t; release = now; remaining = demand; started = false }
           :: ready
         end
         else ready)
@@ -314,7 +367,7 @@ let pp_result ppf r =
   List.iter
     (fun (name, s) ->
       Format.fprintf ppf
-        "  %-16s act=%d done=%d miss=%d maxR=%dus preempt=%d@\n" name
-        s.activations s.completions s.deadline_misses s.max_response
-        s.preemptions)
+        "  %-16s act=%d done=%d miss=%d maxR=%dus preempt=%d overrun=%d@\n"
+        name s.activations s.completions s.deadline_misses s.max_response
+        s.preemptions s.overruns)
     r.per_task

@@ -14,7 +14,23 @@ type task_stats = {
   max_response : int;   (** worst observed response time, us *)
   total_response : int; (** sum over completed jobs, us *)
   preemptions : int;    (** times a job of this task was preempted *)
+  overruns : int;       (** jobs whose injected demand exceeded the WCET *)
 }
+
+type exec_model = {
+  jitter_frac : float;    (** job demand drawn from [(1-frac)*wcet, wcet] *)
+  overrun_rate : float;   (** per-job probability of exceeding the WCET *)
+  overrun_factor : float; (** an overrunning job demands [factor * wcet] *)
+  exec_seed : int;        (** PRNG seed — same seed, same schedule *)
+}
+
+val exec_model :
+  ?jitter_frac:float -> ?overrun_rate:float -> ?overrun_factor:float ->
+  ?seed:int -> unit -> exec_model
+(** Deterministic execution-time fault model (defaults: no jitter, no
+    overruns, factor 1.5, seed 0).  With both rates at 0 every job runs
+    exactly its WCET — today's fault-free behavior.
+    @raise Invalid_argument on rates outside [0, 1] or a factor < 1. *)
 
 type result = {
   horizon : int;
@@ -23,8 +39,10 @@ type result = {
   schedulable : bool;      (** no deadline miss observed *)
 }
 
-val simulate : horizon:int -> Osek_task.t list -> result
-(** Simulate the task set over [0, horizon).
+val simulate : ?exec:exec_model -> horizon:int -> Osek_task.t list -> result
+(** Simulate the task set over [0, horizon).  [?exec] injects per-job
+    execution-time jitter and overruns (deterministic in the model's
+    seed); omitting it runs every job for exactly its WCET.
     @raise Invalid_argument on duplicate task names or duplicate
     priorities (OSEK requires unique priorities per ECU). *)
 

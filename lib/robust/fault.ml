@@ -1,0 +1,163 @@
+open Automode_core
+
+type activation =
+  | Always
+  | Window of { from_tick : int; until_tick : int }
+  | Random_ticks of { probability : float; seed : int }
+
+type kind =
+  | Stuck_at_last
+  | Dropout
+  | Noise of { amplitude : float; noise_seed : int }
+  | Spike of { value : Value.t }
+  | Delayed of { by : int }
+
+type t = { flow : string; kind : kind; activation : activation }
+
+let check_activation = function
+  | Always -> ()
+  | Window { from_tick; until_tick } ->
+    if from_tick < 0 || until_tick < from_tick then
+      invalid_arg "Fault: bad activation window"
+  | Random_ticks { probability; _ } ->
+    if probability < 0. || probability > 1. then
+      invalid_arg "Fault: activation probability outside [0, 1]"
+
+let make kind ~flow activation =
+  check_activation activation;
+  { flow; kind; activation }
+
+let stuck_at_last ~flow activation = make Stuck_at_last ~flow activation
+let dropout ~flow activation = make Dropout ~flow activation
+
+let noise ?(seed = 0) ~flow ~amplitude activation =
+  if amplitude < 0. then invalid_arg "Fault.noise: negative amplitude";
+  make (Noise { amplitude; noise_seed = seed }) ~flow activation
+
+let spike ~flow ~value activation = make (Spike { value }) ~flow activation
+
+let delayed ~flow ~by activation =
+  if by < 0 then invalid_arg "Fault.delayed: negative delay";
+  make (Delayed { by }) ~flow activation
+
+let flow t = t.flow
+
+let active t ~tick =
+  match t.activation with
+  | Always -> true
+  | Window { from_tick; until_tick } -> tick >= from_tick && tick < until_tick
+  | Random_ticks { probability; seed } ->
+    probability >= 1.0
+    || (probability > 0.
+       &&
+       let st = Random.State.make [| seed; tick; Hashtbl.hash t.flow |] in
+       Random.State.float st 1.0 < probability)
+
+let describe_activation = function
+  | Always -> "always"
+  | Window { from_tick; until_tick } ->
+    Printf.sprintf "t%d..%d" from_tick until_tick
+  | Random_ticks { probability; seed } ->
+    Printf.sprintf "p=%.3g seed=%d" probability seed
+
+let describe t =
+  let kind =
+    match t.kind with
+    | Stuck_at_last -> "stuck-at-last"
+    | Dropout -> "dropout"
+    | Noise { amplitude; noise_seed } ->
+      Printf.sprintf "noise(+-%g seed=%d)" amplitude noise_seed
+    | Spike { value } -> Printf.sprintf "spike(%s)" (Value.to_string value)
+    | Delayed { by } -> Printf.sprintf "delay(%d)" by
+  in
+  Printf.sprintf "%s@%s[%s]" kind t.flow (describe_activation t.activation)
+
+let pp ppf t = Format.pp_print_string ppf (describe t)
+
+(* ------------------------------------------------------------------ *)
+(* Stimulus transformation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let flow_message msgs flow =
+  match List.assoc_opt flow msgs with Some m -> m | None -> Value.Absent
+
+let set_flow msgs flow msg =
+  (flow, msg) :: List.filter (fun (f, _) -> not (String.equal f flow)) msgs
+
+let noisy ~amplitude ~seed ~flow ~tick = function
+  | Value.Present (Value.Float f) ->
+    let st = Random.State.make [| seed; tick; Hashtbl.hash flow |] in
+    Value.Present
+      (Value.Float (f +. Random.State.float st (2. *. amplitude) -. amplitude))
+  | Value.Present (Value.Int i) ->
+    let a = int_of_float (Float.round amplitude) in
+    if a <= 0 then Value.Present (Value.Int i)
+    else
+      let st = Random.State.make [| seed; tick; Hashtbl.hash flow |] in
+      Value.Present (Value.Int (i + Random.State.int st ((2 * a) + 1) - a))
+  | other -> other
+
+(* One fault over one stimulus.  The returned stimulus is a pure
+   function of the tick: results are memoized and history-dependent
+   kinds (stuck-at-last) force the ticks before them in order, so the
+   transformation is deterministic no matter how the simulator (or two
+   simulators, compiled and interpreted) query it. *)
+let apply_one fault inputs =
+  let cache : (int, (string * Value.message) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let held = ref None in
+  let computed = ref 0 in
+  let compute tick =
+    let base = inputs tick in
+    let orig = flow_message base fault.flow in
+    let act = active fault ~tick in
+    let out =
+      match fault.kind with
+      | Stuck_at_last ->
+        let r =
+          if act then
+            match !held with Some v -> Value.Present v | None -> Value.Absent
+          else orig
+        in
+        (* the frozen sensor does not refresh its held sample *)
+        (match orig with
+         | Value.Present v when not act -> held := Some v
+         | _ -> ());
+        r
+      | Dropout -> if act then Value.Absent else orig
+      | Noise { amplitude; noise_seed } ->
+        if act then
+          noisy ~amplitude ~seed:noise_seed ~flow:fault.flow ~tick orig
+        else orig
+      | Spike { value } -> if act then Value.Present value else orig
+      | Delayed { by } ->
+        if act then
+          if tick >= by then flow_message (inputs (tick - by)) fault.flow
+          else Value.Absent
+        else orig
+    in
+    set_flow base fault.flow out
+  in
+  fun tick ->
+    if tick < 0 then []
+    else begin
+      while !computed <= tick do
+        Hashtbl.replace cache !computed (compute !computed);
+        incr computed
+      done;
+      match Hashtbl.find_opt cache tick with
+      | Some msgs -> msgs
+      | None -> compute tick
+    end
+
+let apply faults inputs = List.fold_left (fun fn f -> apply_one f fn) inputs faults
+
+(* Any event-clocked port whose stimulus gains injected messages (spike
+   storms) needs the event to actually fire: this schedule fires [event]
+   exactly at the ticks where any listed fault is active. *)
+let schedule_of_faults ?(base = Clock.no_events) faults ~event =
+  fun name tick ->
+    base name tick
+    || (String.equal name event
+       && List.exists (fun f -> active f ~tick) faults)

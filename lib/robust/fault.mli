@@ -1,0 +1,65 @@
+(** Deterministic fault catalog over simulation stimuli.
+
+    A fault targets one boundary flow of a component and transforms the
+    stimulus ({!Automode_core.Sim.input_fn}) offered to the simulator.
+    Faults are composable (a list applies left to right) and fully
+    deterministic: activation and noise are drawn from PRNGs seeded per
+    (seed, tick, flow), so the same fault list replays the same faulty
+    stimulus bit-for-bit — on the interpreted and the compiled engine
+    alike. *)
+
+open Automode_core
+
+type activation =
+  | Always
+  | Window of { from_tick : int; until_tick : int }
+      (** active on ticks [from_tick <= t < until_tick] *)
+  | Random_ticks of { probability : float; seed : int }
+      (** active on each tick independently with [probability] *)
+
+type kind =
+  | Stuck_at_last   (** flow repeats the last value delivered before the
+                        fault hit; absent until a value was ever seen *)
+  | Dropout         (** messages on the flow are suppressed (forced "-") *)
+  | Noise of { amplitude : float; noise_seed : int }
+      (** additive uniform noise in [-amplitude, +amplitude] on numeric
+          values (rounded for ints); non-numeric values pass through *)
+  | Spike of { value : Value.t }
+      (** the flow carries [value] — out-of-range samples or event
+          storms, injected even on ticks where the flow was silent *)
+  | Delayed of { by : int }
+      (** messages arrive [by] ticks late while the fault is active *)
+
+type t
+
+val stuck_at_last : flow:string -> activation -> t
+val dropout : flow:string -> activation -> t
+val noise : ?seed:int -> flow:string -> amplitude:float -> activation -> t
+val spike : flow:string -> value:Value.t -> activation -> t
+val delayed : flow:string -> by:int -> activation -> t
+(** Constructors.  @raise Invalid_argument on negative windows, delays
+    or amplitudes, or probabilities outside [0, 1]. *)
+
+val flow : t -> string
+
+val active : t -> tick:int -> bool
+(** Whether the fault fires at [tick] — pure and deterministic. *)
+
+val apply : t list -> Sim.input_fn -> Sim.input_fn
+(** Compose the faults over a stimulus, left to right.  The result
+    memoizes per-tick so history-dependent faults (stuck-at-last) stay
+    deterministic regardless of the caller's query order. *)
+
+val schedule_of_faults :
+  ?base:Clock.schedule -> t list -> event:string -> Clock.schedule
+(** A schedule on which the event clock [event] fires exactly when any
+    of the listed faults is active (in addition to [base], default
+    {!Clock.no_events}) — needed when a spike storm injects messages on
+    an event-clocked port. *)
+
+val describe : t -> string
+(** Stable human-readable one-liner, e.g.
+    [dropout@FZG_V[p=0.2 seed=7]] — used in reports and shrunk
+    counterexamples. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+open Automode_la
+open Automode_osek
+
+type t = {
+  deploy : Deploy.t;
+  can_faults : Can_bus.fault_model option;
+  background : (string * Can_bus.frame list) list;
+  exec : Scheduler.exec_model option;
+}
+
+let nominal deploy = { deploy; can_faults = None; background = []; exec = None }
+
+let with_can_loss ?(seed = 0) ?max_retransmits ~loss_rate t =
+  { t with
+    can_faults = Some (Can_bus.fault_model ?max_retransmits ~seed ~loss_rate ()) }
+
+let with_background ~bus frames t =
+  { t with background = (bus, frames) :: t.background }
+
+let with_exec exec t = { t with exec = Some exec }
+
+type report = {
+  buses : (string * Can_bus.result) list;
+  ecus : (string * Scheduler.result) list;
+}
+
+let bitrate_of ta bus =
+  match
+    List.find_opt (fun (b : Ta.bus) -> String.equal b.Ta.bus_name bus) ta.Ta.buses
+  with
+  | Some b -> b.Ta.bitrate
+  | None -> invalid_arg (Printf.sprintf "Inject_net: unknown bus %s" bus)
+
+let simulate t ~horizon =
+  let ta = t.deploy.Deploy.ta in
+  let buses =
+    List.map
+      (fun (bus, frames) ->
+        let config = { Can_bus.bitrate = bitrate_of ta bus } in
+        let background =
+          List.concat_map snd
+            (List.filter (fun (b, _) -> String.equal b bus) t.background)
+        in
+        (bus, Can_bus.simulate ?faults:t.can_faults ~background config ~horizon frames))
+      (Deploy.bus_frames t.deploy)
+  in
+  let ecus =
+    List.map
+      (fun (ecu, tasks) ->
+        (ecu, Scheduler.simulate ?exec:t.exec ~horizon tasks))
+      (Deploy.task_sets t.deploy)
+  in
+  { buses; ecus }
+
+(* Fold a TA-level report into the same verdict shape the stimulus-level
+   campaigns use, so one report pipeline serves both. *)
+let verdicts report =
+  let bus_verdicts =
+    List.map
+      (fun (bus, (r : Can_bus.result)) ->
+        let lost =
+          List.fold_left
+            (fun acc (_, (s : Can_bus.frame_stats)) -> acc + s.Can_bus.dropped)
+            0 r.Can_bus.per_frame
+        in
+        let v =
+          if lost = 0 then Monitor.Pass
+          else
+            Monitor.Fail
+              { at_tick = 0;
+                reason = Printf.sprintf "%d frame instance(s) lost on %s" lost bus }
+        in
+        (Printf.sprintf "bus:%s:no-frame-loss" bus, v))
+      report.buses
+  in
+  let ecu_verdicts =
+    List.map
+      (fun (ecu, (r : Scheduler.result)) ->
+        let misses =
+          List.fold_left
+            (fun acc (_, (s : Scheduler.task_stats)) ->
+              acc + s.Scheduler.deadline_misses)
+            0 r.Scheduler.per_task
+        in
+        let v =
+          if r.Scheduler.schedulable then Monitor.Pass
+          else
+            Monitor.Fail
+              { at_tick = 0;
+                reason =
+                  Printf.sprintf "%d deadline miss(es) on %s" misses ecu }
+        in
+        (Printf.sprintf "ecu:%s:schedulable" ecu, v))
+      report.ecus
+  in
+  bus_verdicts @ ecu_verdicts

@@ -1,0 +1,42 @@
+(** Technical-architecture fault injection over a deployment.
+
+    Wraps the OSEK substrate's fault models ({!Automode_osek.Can_bus}
+    loss/error frames and background load,
+    {!Automode_osek.Scheduler} execution-time jitter/overruns) around a
+    {!Automode_la.Deploy} deployment, and folds the timing results into
+    the same verdict shape the stimulus-level campaigns use. *)
+
+open Automode_la
+open Automode_osek
+
+type t
+
+val nominal : Deploy.t -> t
+(** Fault-free configuration: simulating it reproduces the plain
+    {!Can_bus.simulate} / {!Scheduler.simulate} results exactly. *)
+
+val with_can_loss :
+  ?seed:int -> ?max_retransmits:int -> loss_rate:float -> t -> t
+(** Corrupt transmissions on every bus with [loss_rate] (deterministic
+    in [seed]). *)
+
+val with_background : bus:string -> Can_bus.frame list -> t -> t
+(** Extra frames raising the load on [bus] (excluded from verdicts). *)
+
+val with_exec : Scheduler.exec_model -> t -> t
+(** Per-job execution-time jitter/overruns on every ECU. *)
+
+type report = {
+  buses : (string * Can_bus.result) list;  (** per deployed bus *)
+  ecus : (string * Scheduler.result) list; (** per deployed ECU *)
+}
+
+val simulate : t -> horizon:int -> report
+(** Simulate every bus ({!Deploy.bus_frames}) and every ECU task set
+    ({!Deploy.task_sets}) of the deployment over [horizon] us.
+    @raise Invalid_argument if background frames name an unknown bus. *)
+
+val verdicts : report -> (string * Monitor.verdict) list
+(** One verdict per bus ([bus:<name>:no-frame-loss] — no dropped frame
+    instances) and per ECU ([ecu:<name>:schedulable] — no deadline
+    misses). *)

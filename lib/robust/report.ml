@@ -1,0 +1,101 @@
+(* Robustness reports.  All output is rendered from the campaign record
+   alone with stable ordering and formatting, so the same campaign (same
+   seeds, same scenario) always produces byte-identical text and CSV. *)
+
+let monitor_names campaign =
+  match campaign.Scenario.results with
+  | [] -> []
+  | r :: _ -> List.map fst r.Scenario.verdicts
+
+let summary campaign =
+  List.map
+    (fun mon ->
+      let fails =
+        List.length
+          (List.filter
+             (fun r ->
+               match List.assoc_opt mon r.Scenario.verdicts with
+               | Some v -> Monitor.is_fail v
+               | None -> false)
+             campaign.Scenario.results)
+      in
+      (mon, List.length campaign.Scenario.results - fails, fails))
+    (monitor_names campaign)
+
+let pad s w = s ^ String.make (max 0 (w - String.length s)) ' '
+
+let buf_addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let to_text campaign =
+  let buf = Buffer.create 1024 in
+  buf_addf buf "robustness report: %s\n" campaign.Scenario.scenario;
+  buf_addf buf "horizon: %d ticks, seeds: %s\n\n" campaign.Scenario.horizon
+    (String.concat ", " (List.map string_of_int campaign.Scenario.seeds));
+  let rows = summary campaign in
+  let w =
+    List.fold_left (fun acc (m, _, _) -> max acc (String.length m)) 7 rows
+  in
+  buf_addf buf "%s  pass  fail\n" (pad "monitor" w);
+  buf_addf buf "%s  ----  ----\n" (String.make w '-');
+  List.iter
+    (fun (m, p, f) -> buf_addf buf "%s  %4d  %4d\n" (pad m w) p f)
+    rows;
+  (match campaign.Scenario.failures with
+   | [] -> buf_addf buf "\nno monitor violations.\n"
+   | failures ->
+     buf_addf buf "\n%d violation(s):\n" (List.length failures);
+     List.iter
+       (fun (fl : Scenario.failure) ->
+         buf_addf buf "- seed %d, monitor %s: %s\n" fl.Scenario.fail_seed
+           fl.Scenario.fail_monitor
+           (Monitor.verdict_to_string fl.Scenario.verdict);
+         match fl.Scenario.shrunk with
+         | None -> ()
+         | Some o ->
+           buf_addf buf "  shrunk: %d tick(s), fault(s): %s\n"
+             o.Shrink.ticks
+             (String.concat "; " (List.map Fault.describe o.Shrink.faults));
+           buf_addf buf "  replay: %s\n" o.Shrink.reason)
+       failures);
+  Buffer.contents buf
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv campaign =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "scenario,seed,monitor,verdict,at_tick,reason,shrunk_faults,shrunk_ticks\n";
+  List.iter
+    (fun (r : Scenario.seed_result) ->
+      List.iter
+        (fun (mon, v) ->
+          let verdict, at_tick, reason =
+            match v with
+            | Monitor.Pass -> ("pass", "", "")
+            | Monitor.Fail { at_tick; reason } ->
+              ("fail", string_of_int at_tick, reason)
+          in
+          let shrunk_faults, shrunk_ticks =
+            match
+              List.find_opt
+                (fun (fl : Scenario.failure) ->
+                  fl.Scenario.fail_seed = r.Scenario.seed
+                  && String.equal fl.Scenario.fail_monitor mon)
+                campaign.Scenario.failures
+            with
+            | Some { Scenario.shrunk = Some o; _ } ->
+              ( String.concat "; " (List.map Fault.describe o.Shrink.faults),
+                string_of_int o.Shrink.ticks )
+            | _ -> ("", "")
+          in
+          buf_addf buf "%s,%s,%s,%s,%s,%s,%s,%s\n"
+            (csv_cell campaign.Scenario.scenario)
+            (string_of_int r.Scenario.seed)
+            (csv_cell mon) verdict at_tick (csv_cell reason)
+            (csv_cell shrunk_faults) shrunk_ticks)
+        r.Scenario.verdicts)
+    campaign.Scenario.results;
+  Buffer.contents buf

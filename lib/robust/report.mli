@@ -1,0 +1,17 @@
+(** Campaign reports.
+
+    Rendering is a pure function of the campaign record with stable
+    ordering, so the same seeds over the same scenario yield
+    byte-identical output — asserted in the test-suite. *)
+
+val summary : Scenario.campaign -> (string * int * int) list
+(** Per monitor (in scenario order): (name, passing seeds, failing
+    seeds). *)
+
+val to_text : Scenario.campaign -> string
+(** Human-readable table plus one block per violation with its shrunk
+    counterexample (fault list and prefix length). *)
+
+val to_csv : Scenario.campaign -> string
+(** One row per (seed, monitor) with verdict, violation tick, reason
+    and shrunk counterexample; RFC 4180 quoting. *)

@@ -1,0 +1,84 @@
+open Automode_core
+
+type t = {
+  scn_name : string;
+  component : Model.component;
+  ticks : int;
+  inputs : Sim.input_fn;
+  faults_of_seed : int -> Fault.t list;
+  schedule : Fault.t list -> Clock.schedule;
+  monitors : Monitor.t list;
+}
+
+let make ?(schedule = fun _ -> Clock.no_events) ~name ~component ~ticks
+    ~inputs ~faults ~monitors () =
+  if ticks < 0 then invalid_arg "Scenario.make: negative horizon";
+  { scn_name = name;
+    component;
+    ticks;
+    inputs;
+    faults_of_seed = faults;
+    schedule;
+    monitors }
+
+let name s = s.scn_name
+let ticks s = s.ticks
+let monitors s = List.map Monitor.name s.monitors
+let faults s ~seed = s.faults_of_seed seed
+
+let trace s ~faults ~ticks =
+  let inputs = Fault.apply faults s.inputs in
+  Sim.run ~schedule:(s.schedule faults) ~ticks ~inputs s.component
+
+let verdicts_of_trace s tr =
+  List.map (fun m -> (Monitor.name m, Monitor.eval m tr)) s.monitors
+
+let run s ~faults ~ticks = verdicts_of_trace s (trace s ~faults ~ticks)
+
+type seed_result = {
+  seed : int;
+  injected : Fault.t list;
+  verdicts : (string * Monitor.verdict) list;
+}
+
+type failure = {
+  fail_seed : int;
+  fail_monitor : string;
+  verdict : Monitor.verdict;
+  shrunk : Fault.t Shrink.outcome option;
+}
+
+type campaign = {
+  scenario : string;
+  horizon : int;
+  seeds : int list;
+  results : seed_result list;
+  failures : failure list;
+}
+
+let sweep ?(shrink = true) s ~seeds =
+  let results =
+    List.map
+      (fun seed ->
+        let injected = s.faults_of_seed seed in
+        { seed; injected; verdicts = run s ~faults:injected ~ticks:s.ticks })
+      seeds
+  in
+  let failures =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun (mon, v) ->
+            if not (Monitor.is_fail v) then None
+            else
+              let shrunk =
+                if shrink then
+                  Shrink.minimize ~run:(run s) ~monitor:mon
+                    ~faults:r.injected ~ticks:s.ticks
+                else None
+              in
+              Some { fail_seed = r.seed; fail_monitor = mon; verdict = v; shrunk })
+          r.verdicts)
+      results
+  in
+  { scenario = s.scn_name; horizon = s.ticks; seeds; results; failures }

@@ -1,0 +1,67 @@
+(** Robustness scenarios: a component under test, a nominal stimulus, a
+    seeded fault recipe and a monitor set — swept over seeds into a
+    campaign of verdicts with shrunk counterexamples.
+
+    Everything downstream of the seed list is deterministic: the fault
+    recipe receives the seed, fault activation and noise are PRNG-seeded
+    per (seed, tick, flow), and simulation itself is pure, so the same
+    sweep replays bit-for-bit. *)
+
+open Automode_core
+
+type t
+
+val make :
+  ?schedule:(Fault.t list -> Clock.schedule) ->
+  name:string ->
+  component:Model.component ->
+  ticks:int ->
+  inputs:Sim.input_fn ->
+  faults:(int -> Fault.t list) ->
+  monitors:Monitor.t list ->
+  unit -> t
+(** [?schedule] derives the clock schedule from the currently injected
+    faults (default: no event clocks fire) — use
+    {!Fault.schedule_of_faults} when spikes target an event-clocked
+    port, so the schedule tracks the fault set as shrinking removes
+    faults.  @raise Invalid_argument on a negative horizon. *)
+
+val name : t -> string
+val ticks : t -> int
+val monitors : t -> string list
+val faults : t -> seed:int -> Fault.t list
+
+val trace : t -> faults:Fault.t list -> ticks:int -> Trace.t
+(** Simulate the component under the given fault set for [ticks] —
+    the replay primitive behind {!run} and shrinking. *)
+
+val run :
+  t -> faults:Fault.t list -> ticks:int -> (string * Monitor.verdict) list
+(** Simulate, then evaluate every monitor on the recorded trace. *)
+
+type seed_result = {
+  seed : int;
+  injected : Fault.t list;
+  verdicts : (string * Monitor.verdict) list;
+}
+
+type failure = {
+  fail_seed : int;
+  fail_monitor : string;
+  verdict : Monitor.verdict;       (** on the full, unshrunk scenario *)
+  shrunk : Fault.t Shrink.outcome option;
+}
+
+type campaign = {
+  scenario : string;
+  horizon : int;
+  seeds : int list;
+  results : seed_result list;   (** one per seed, in seed order *)
+  failures : failure list;
+}
+
+val sweep : ?shrink:bool -> t -> seeds:int list -> campaign
+(** Run the scenario once per seed and collect verdicts; each failing
+    (seed, monitor) pair is shrunk to a minimal fault subset and
+    shortest failing prefix (disable with [~shrink:false] for cheap
+    smoke runs). *)

@@ -1,0 +1,56 @@
+(* Counterexample shrinking.  Generic over how a fault set + horizon is
+   turned into verdicts, so it serves both stimulus-level scenarios and
+   any future TA-level campaigns without a module cycle. *)
+
+type 'a outcome = {
+  faults : 'a list;
+  ticks : int;
+  reason : string;
+}
+
+let find_verdict monitor verdicts =
+  match List.assoc_opt monitor verdicts with
+  | Some v -> v
+  | None -> Monitor.Pass
+
+let fails ~run ~monitor ~faults ~ticks =
+  match find_verdict monitor (run ~faults ~ticks) with
+  | Monitor.Fail { reason; _ } -> Some reason
+  | Monitor.Pass -> None
+
+(* Drop whole faults greedily until no single removal still fails, then
+   binary-search the shortest failing prefix.  Every candidate we keep
+   has been re-run and observed to fail, so the shrunk outcome is
+   guaranteed to replay to a failure of the same monitor. *)
+let minimize ~run ~monitor ~faults ~ticks =
+  match fails ~run ~monitor ~faults ~ticks with
+  | None -> None
+  | Some reason0 ->
+    let drop_one faults =
+      let rec try_at i =
+        if i >= List.length faults then None
+        else
+          let candidate = List.filteri (fun j _ -> j <> i) faults in
+          match fails ~run ~monitor ~faults:candidate ~ticks with
+          | Some reason -> Some (candidate, reason)
+          | None -> try_at (i + 1)
+      in
+      try_at 0
+    in
+    let rec fix faults reason =
+      match drop_one faults with
+      | Some (smaller, reason') -> fix smaller reason'
+      | None -> (faults, reason)
+    in
+    let faults, reason = fix faults reason0 in
+    (* shortest failing prefix: invariant — [hi] always fails *)
+    let rec prefix lo hi reason =
+      if hi - lo <= 1 then (hi, reason)
+      else
+        let mid = (lo + hi) / 2 in
+        match fails ~run ~monitor ~faults ~ticks:mid with
+        | Some reason' -> prefix lo mid reason'
+        | None -> prefix mid hi reason
+    in
+    let ticks, reason = prefix 0 ticks reason in
+    Some { faults; ticks; reason }

@@ -1,0 +1,26 @@
+(** Shrinking of failing fault scenarios.
+
+    Minimization is generic in how a candidate (fault subset, horizon
+    prefix) is executed: the caller supplies [run], typically a closure
+    over a component, stimulus and monitor set.  This keeps the module
+    usable for both stimulus-level and timing-level campaigns. *)
+
+type 'a outcome = {
+  faults : 'a list;  (** minimal fault subset still failing *)
+  ticks : int;       (** shortest failing horizon prefix *)
+  reason : string;   (** the failure reason of the shrunk replay *)
+}
+
+val minimize :
+  run:(faults:'a list -> ticks:int -> (string * Monitor.verdict) list) ->
+  monitor:string ->
+  faults:'a list ->
+  ticks:int ->
+  'a outcome option
+(** [minimize ~run ~monitor ~faults ~ticks] greedily removes faults (to
+    a fixpoint where every remaining fault is necessary), then
+    binary-searches the shortest failing prefix of the horizon.  Every
+    kept candidate was re-executed and observed to fail, so the result —
+    when [Some] — replays to a failure of [monitor] by construction.
+    Returns [None] when the full scenario does not fail [monitor].  Runs
+    O(|faults|^2 + log ticks) simulations. *)

@@ -1,0 +1,474 @@
+(* Tests for the robustness subsystem: fault catalog determinism and
+   semantics, trace monitors, shrinking, report reproducibility, and the
+   OSEK-level fault models (CAN loss, execution-time jitter). *)
+
+open Automode_core
+open Automode_osek
+open Automode_robust
+open Automode_casestudy
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let present_i i = Value.Present (Value.Int i)
+let present_f f = Value.Present (Value.Float f)
+
+let msg_equal = Value.equal_message
+
+(* ------------------------------------------------------------------ *)
+(* Fault catalog                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ramp tick = [ ("x", present_i tick) ]
+
+let flow_at fn flow tick =
+  match List.assoc_opt flow (fn tick) with
+  | Some m -> m
+  | None -> Value.Absent
+
+let test_fault_dropout () =
+  let f = Fault.dropout ~flow:"x" (Fault.Window { from_tick = 2; until_tick = 4 }) in
+  let fn = Fault.apply [ f ] ramp in
+  checkb "t1 untouched" true (msg_equal (flow_at fn "x" 1) (present_i 1));
+  checkb "t2 dropped" true (msg_equal (flow_at fn "x" 2) Value.Absent);
+  checkb "t3 dropped" true (msg_equal (flow_at fn "x" 3) Value.Absent);
+  checkb "t4 back" true (msg_equal (flow_at fn "x" 4) (present_i 4))
+
+let test_fault_stuck_at_last () =
+  let f =
+    Fault.stuck_at_last ~flow:"x" (Fault.Window { from_tick = 3; until_tick = 6 })
+  in
+  let fn = Fault.apply [ f ] ramp in
+  checkb "t3 holds t2" true (msg_equal (flow_at fn "x" 3) (present_i 2));
+  checkb "t5 still holds t2" true (msg_equal (flow_at fn "x" 5) (present_i 2));
+  checkb "t6 recovers" true (msg_equal (flow_at fn "x" 6) (present_i 6))
+
+let test_fault_stuck_before_any_value () =
+  let f =
+    Fault.stuck_at_last ~flow:"x" (Fault.Window { from_tick = 0; until_tick = 2 })
+  in
+  (* the flow was never present before the fault: stuck emits absence *)
+  let sparse tick = if tick >= 1 then [ ("x", present_i tick) ] else [] in
+  let fn = Fault.apply [ f ] sparse in
+  checkb "t0 absent" true (msg_equal (flow_at fn "x" 0) Value.Absent);
+  checkb "t1 absent (no held value)" true
+    (msg_equal (flow_at fn "x" 1) Value.Absent);
+  checkb "t2 passes through" true (msg_equal (flow_at fn "x" 2) (present_i 2))
+
+let test_fault_spike_on_silent_tick () =
+  let f =
+    Fault.spike ~flow:"ev" ~value:(Value.Bool true)
+      (Fault.Window { from_tick = 5; until_tick = 6 })
+  in
+  let fn = Fault.apply [ f ] Sim.no_inputs in
+  checkb "silent tick gains message" true
+    (msg_equal (flow_at fn "ev" 5) (Value.Present (Value.Bool true)));
+  checkb "other ticks silent" true (msg_equal (flow_at fn "ev" 4) Value.Absent)
+
+let test_fault_delayed () =
+  let f = Fault.delayed ~flow:"x" ~by:2 Fault.Always in
+  let fn = Fault.apply [ f ] ramp in
+  checkb "t0 absent" true (msg_equal (flow_at fn "x" 0) Value.Absent);
+  checkb "t5 carries t3" true (msg_equal (flow_at fn "x" 5) (present_i 3))
+
+let test_fault_noise_bounded () =
+  let base tick = [ ("v", present_f (float_of_int tick)) ] in
+  let f = Fault.noise ~seed:7 ~flow:"v" ~amplitude:2.5 Fault.Always in
+  let fn = Fault.apply [ f ] base in
+  for t = 0 to 20 do
+    match flow_at fn "v" t with
+    | Value.Present (Value.Float v) ->
+      checkb "noise within amplitude" true
+        (Float.abs (v -. float_of_int t) <= 2.5)
+    | _ -> Alcotest.fail "noise dropped the message"
+  done
+
+let test_fault_query_order_independent () =
+  (* stuck-at-last is history dependent: querying out of order must give
+     the same stimulus as querying forward *)
+  let faults =
+    [ Fault.stuck_at_last ~flow:"x"
+        (Fault.Random_ticks { probability = 0.5; seed = 11 });
+      Fault.dropout ~flow:"x" (Fault.Random_ticks { probability = 0.2; seed = 12 }) ]
+  in
+  let forward = Fault.apply faults ramp in
+  let backward = Fault.apply faults ramp in
+  let fw = List.init 30 (fun t -> flow_at forward "x" t) in
+  let bw = List.rev (List.rev_map (fun t -> flow_at backward "x" t)
+                       (List.init 30 (fun t -> 29 - t))) in
+  (* bw is now ticks 29..0 in reverse, i.e. 0..29 *)
+  let bw = List.rev bw in
+  checkb "query order irrelevant" true (List.for_all2 msg_equal fw bw)
+
+let test_fault_activation_deterministic () =
+  let f =
+    Fault.dropout ~flow:"x" (Fault.Random_ticks { probability = 0.3; seed = 5 })
+  in
+  let a = List.init 50 (fun t -> Fault.active f ~tick:t) in
+  let b = List.init 50 (fun t -> Fault.active f ~tick:t) in
+  checkb "same seed, same activation" true (a = b);
+  checkb "some ticks active" true (List.exists Fun.id a);
+  checkb "some ticks inactive" true (List.exists not a)
+
+let test_fault_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  checkb "bad probability" true
+    (raises (fun () ->
+         Fault.dropout ~flow:"x" (Fault.Random_ticks { probability = 1.5; seed = 0 })));
+  checkb "bad window" true
+    (raises (fun () ->
+         Fault.dropout ~flow:"x" (Fault.Window { from_tick = 4; until_tick = 2 })));
+  checkb "negative delay" true
+    (raises (fun () -> Fault.delayed ~flow:"x" ~by:(-1) Fault.Always));
+  checkb "negative amplitude" true
+    (raises (fun () -> Fault.noise ~flow:"x" ~amplitude:(-1.) Fault.Always))
+
+(* ------------------------------------------------------------------ *)
+(* Monitors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let trace_of rows =
+  let flows = List.map fst (List.hd rows) in
+  List.fold_left Trace.record (Trace.make ~flows) rows
+
+let test_monitor_range () =
+  let tr =
+    trace_of
+      [ [ ("v", present_f 10.) ]; [ ("v", Value.Absent) ];
+        [ ("v", present_f 99.) ] ]
+  in
+  let m = Monitor.range ~name:"r" ~flow:"v" ~lo:0. ~hi:50. in
+  (match Monitor.eval m tr with
+   | Monitor.Fail { at_tick; _ } -> checki "fails at tick 2" 2 at_tick
+   | Monitor.Pass -> Alcotest.fail "range should fail");
+  let ok = trace_of [ [ ("v", present_f 10.) ]; [ ("v", Value.Absent) ] ] in
+  checkb "absent ticks pass" true (Monitor.eval m ok = Monitor.Pass)
+
+let test_monitor_bounded_response () =
+  let m =
+    Monitor.bounded_response ~name:"b" ~stimulus:"s" ~response:"r" ~within:2 ()
+  in
+  let answered =
+    trace_of
+      [ [ ("s", present_i 1); ("r", Value.Absent) ];
+        [ ("s", Value.Absent); ("r", Value.Absent) ];
+        [ ("s", Value.Absent); ("r", present_i 1) ];
+        [ ("s", Value.Absent); ("r", Value.Absent) ] ]
+  in
+  checkb "answered within window" true (Monitor.eval m answered = Monitor.Pass);
+  let unanswered =
+    trace_of
+      [ [ ("s", present_i 1); ("r", Value.Absent) ];
+        [ ("s", Value.Absent); ("r", Value.Absent) ];
+        [ ("s", Value.Absent); ("r", Value.Absent) ];
+        [ ("s", Value.Absent); ("r", present_i 1) ] ]
+  in
+  (match Monitor.eval m unanswered with
+   | Monitor.Fail { at_tick; _ } -> checki "fails at stimulus tick" 0 at_tick
+   | Monitor.Pass -> Alcotest.fail "late answer should fail");
+  (* obligation whose window runs past the end: inconclusive, not a fail *)
+  let truncated =
+    trace_of
+      [ [ ("s", Value.Absent); ("r", Value.Absent) ];
+        [ ("s", present_i 1); ("r", Value.Absent) ] ]
+  in
+  checkb "truncated window inconclusive" true
+    (Monitor.eval m truncated = Monitor.Pass)
+
+let test_monitor_mode_safety () =
+  let mode m = ("mode", Value.Present (Value.Enum ("M", m))) in
+  let flag b = ("f", Value.Present (Value.Bool b)) in
+  let m =
+    Monitor.mode_safety ~name:"ms" ~mode_flow:"mode" ~mode:"Danger"
+      ~flag_flow:"f"
+  in
+  let bad = trace_of [ [ mode "Safe"; flag true ]; [ mode "Danger"; flag true ] ] in
+  (match Monitor.eval m bad with
+   | Monitor.Fail { at_tick; _ } -> checki "fails at tick 1" 1 at_tick
+   | Monitor.Pass -> Alcotest.fail "mode safety should fail");
+  let ok = trace_of [ [ mode "Danger"; flag false ]; [ mode "Safe"; flag true ] ] in
+  checkb "no overlap passes" true (Monitor.eval m ok = Monitor.Pass)
+
+let test_monitor_never_and_missing_flow () =
+  let m =
+    Monitor.never ~name:"n" ~flows:[ "a"; "b" ]
+      ~pred:(fun row ->
+        match List.assoc "a" row, List.assoc "b" row with
+        | Value.Present x, Value.Present y -> Value.equal x y
+        | _ -> false)
+  in
+  let tr = trace_of [ [ ("a", present_i 1); ("b", present_i 2) ];
+                      [ ("a", present_i 3); ("b", present_i 3) ] ] in
+  checkb "never fires" true (Monitor.is_fail (Monitor.eval m tr));
+  let missing = trace_of [ [ ("a", present_i 1) ] ] in
+  checkb "missing flow is a failure" true
+    (Monitor.is_fail (Monitor.eval m missing))
+
+(* ------------------------------------------------------------------ *)
+(* Scenario sweep, shrinking, report                                  *)
+(* ------------------------------------------------------------------ *)
+
+let seeds = [ 1; 2; 3; 4; 5; 6 ]
+
+let campaign = Robustness.door_lock_campaign ~seeds ()
+
+let test_campaign_finds_violations () =
+  checkb "at least one violation" true (campaign.Scenario.failures <> []);
+  checki "one result per seed" (List.length seeds)
+    (List.length campaign.Scenario.results)
+
+let test_shrunk_counterexamples_replay () =
+  let scenario = Robustness.door_lock_scenario in
+  List.iter
+    (fun (fl : Scenario.failure) ->
+      match fl.Scenario.shrunk with
+      | None -> Alcotest.fail "failure without shrunk counterexample"
+      | Some o ->
+        (* the shrunk scenario replays to a failure of the same monitor *)
+        let verdicts =
+          Scenario.run scenario ~faults:o.Shrink.faults ~ticks:o.Shrink.ticks
+        in
+        (match List.assoc fl.Scenario.fail_monitor verdicts with
+         | Monitor.Fail { reason; _ } ->
+           checks "same failure reason" o.Shrink.reason reason
+         | Monitor.Pass -> Alcotest.fail "shrunk counterexample passes");
+        (* minimality: the shrunk fault list is no larger than injected *)
+        let injected =
+          List.find
+            (fun (r : Scenario.seed_result) ->
+              r.Scenario.seed = fl.Scenario.fail_seed)
+            campaign.Scenario.results
+        in
+        checkb "no more faults than injected" true
+          (List.length o.Shrink.faults
+          <= List.length injected.Scenario.injected);
+        checkb "prefix no longer than horizon" true
+          (o.Shrink.ticks <= campaign.Scenario.horizon))
+    campaign.Scenario.failures
+
+let test_report_byte_identical () =
+  let again = Robustness.door_lock_campaign ~seeds () in
+  checks "text report reproducible" (Report.to_text campaign)
+    (Report.to_text again);
+  checks "csv report reproducible" (Report.to_csv campaign)
+    (Report.to_csv again)
+
+let test_report_csv_shape () =
+  let csv = Report.to_csv campaign in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  checki "header + one row per (seed, monitor)"
+    (1 + (List.length seeds * List.length (Scenario.monitors
+                                             Robustness.door_lock_scenario)))
+    (List.length lines)
+
+let test_scenario_nominal_passes () =
+  (* no faults: every monitor passes on the nominal stimulus *)
+  let verdicts =
+    Scenario.run Robustness.door_lock_scenario ~faults:[]
+      ~ticks:(Scenario.ticks Robustness.door_lock_scenario)
+  in
+  List.iter
+    (fun (name, v) ->
+      checkb (name ^ " passes nominally") true (v = Monitor.Pass))
+    verdicts
+
+(* ------------------------------------------------------------------ *)
+(* CAN loss model                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let config = { Can_bus.bitrate = 500_000 }
+
+let frames =
+  [ Can_bus.frame ~name:"a" ~can_id:1 ~payload_bytes:4 ~period:5_000 ();
+    Can_bus.frame ~name:"b" ~can_id:2 ~payload_bytes:8 ~period:10_000 () ]
+
+let test_can_loss_zero_is_nominal () =
+  let plain = Can_bus.simulate config ~horizon:100_000 frames in
+  let faulted =
+    Can_bus.simulate
+      ~faults:(Can_bus.fault_model ~loss_rate:0. ())
+      config ~horizon:100_000 frames
+  in
+  checkb "loss 0.0 reproduces the fault-free run" true (plain = faulted)
+
+let test_can_loss_produces_errors () =
+  let r =
+    Can_bus.simulate
+      ~faults:(Can_bus.fault_model ~seed:3 ~loss_rate:0.3 ())
+      config ~horizon:200_000 frames
+  in
+  let errors =
+    List.fold_left
+      (fun acc (_, (s : Can_bus.frame_stats)) -> acc + s.Can_bus.errors)
+      0 r.Can_bus.per_frame
+  in
+  checkb "corruptions observed" true (errors > 0);
+  (* retransmission recovered every instance at this load *)
+  List.iter
+    (fun (_, (s : Can_bus.frame_stats)) ->
+      checki "all instances eventually sent" s.Can_bus.queued
+        (s.Can_bus.sent + s.Can_bus.dropped))
+    r.Can_bus.per_frame
+
+let test_can_loss_one_drops_everything () =
+  let r =
+    Can_bus.simulate
+      ~faults:(Can_bus.fault_model ~max_retransmits:2 ~loss_rate:1. ())
+      config ~horizon:50_000 frames
+  in
+  List.iter
+    (fun (n, (s : Can_bus.frame_stats)) ->
+      checki (n ^ ": nothing delivered") 0 s.Can_bus.sent;
+      checkb (n ^ ": drops observed") true (s.Can_bus.dropped > 0))
+    r.Can_bus.per_frame
+
+let test_can_loss_deterministic () =
+  let go () =
+    Can_bus.simulate
+      ~faults:(Can_bus.fault_model ~seed:9 ~loss_rate:0.25 ())
+      config ~horizon:150_000 frames
+  in
+  checkb "same seed, same result" true (go () = go ())
+
+let test_can_background_load () =
+  let bg = [ Can_bus.frame ~name:"bg" ~can_id:0 ~payload_bytes:8 ~period:1_000 () ] in
+  let plain = Can_bus.simulate config ~horizon:100_000 frames in
+  let loaded = Can_bus.simulate ~background:bg config ~horizon:100_000 frames in
+  checkb "background raises load" true (loaded.Can_bus.load > plain.Can_bus.load);
+  checkb "background frames not reported" true
+    (not (List.mem_assoc "bg" loaded.Can_bus.per_frame))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler execution-time faults                                    *)
+(* ------------------------------------------------------------------ *)
+
+let tasks =
+  [ Osek_task.make ~name:"fast" ~period:10_000 ~wcet:2_000 ~priority:0 ();
+    Osek_task.make ~name:"slow" ~period:50_000 ~wcet:10_000 ~priority:1 () ]
+
+let test_exec_nominal_is_plain () =
+  let plain = Scheduler.simulate ~horizon:500_000 tasks in
+  let faulted =
+    Scheduler.simulate ~exec:(Scheduler.exec_model ()) ~horizon:500_000 tasks
+  in
+  checkb "default exec model reproduces the fault-free schedule" true
+    (plain = faulted)
+
+let test_exec_jitter_keeps_schedulable () =
+  let r =
+    Scheduler.simulate
+      ~exec:(Scheduler.exec_model ~jitter_frac:0.3 ~seed:2 ())
+      ~horizon:500_000 tasks
+  in
+  checkb "jitter only shortens demand" true r.Scheduler.schedulable;
+  checkb "busy time reduced" true
+    (r.Scheduler.busy_time
+    < (Scheduler.simulate ~horizon:500_000 tasks).Scheduler.busy_time)
+
+let test_exec_overruns_cause_misses () =
+  let r =
+    Scheduler.simulate
+      ~exec:(Scheduler.exec_model ~overrun_rate:0.5 ~overrun_factor:8. ~seed:4 ())
+      ~horizon:500_000 tasks
+  in
+  let overruns =
+    List.fold_left
+      (fun acc (_, (s : Scheduler.task_stats)) -> acc + s.Scheduler.overruns)
+      0 r.Scheduler.per_task
+  in
+  checkb "overruns observed" true (overruns > 0);
+  checkb "schedule broken" true (not r.Scheduler.schedulable)
+
+let test_exec_deterministic () =
+  let go () =
+    Scheduler.simulate
+      ~exec:(Scheduler.exec_model ~jitter_frac:0.2 ~overrun_rate:0.1 ~seed:6 ())
+      ~horizon:300_000 tasks
+  in
+  checkb "same seed, same schedule" true (go () = go ())
+
+(* ------------------------------------------------------------------ *)
+(* Deployment-level injection                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_inject_net_nominal () =
+  let r =
+    Inject_net.simulate (Inject_net.nominal Engine_ccd.deployment)
+      ~horizon:100_000
+  in
+  List.iter
+    (fun (name, v) -> checkb (name ^ " nominal") true (v = Monitor.Pass))
+    (Inject_net.verdicts r);
+  (* the nominal wrapper reproduces the plain scheduler run *)
+  List.iter
+    (fun (ecu, tasks) ->
+      let plain = Scheduler.simulate ~horizon:100_000 tasks in
+      checkb (ecu ^ " matches plain simulate") true
+        (plain = List.assoc ecu r.Inject_net.ecus))
+    (Automode_la.Deploy.task_sets Engine_ccd.deployment)
+
+let test_inject_net_engine_campaign () =
+  let results = Robustness.engine_campaign ~seeds:[ 1; 2; 3; 4 ] () in
+  checki "one entry per seed" 4 (List.length results);
+  let any_fail =
+    List.exists
+      (fun (_, vs) -> List.exists (fun (_, v) -> Monitor.is_fail v) vs)
+    results
+  in
+  checkb "faults bite at default rates" true any_fail;
+  checkb "campaign deterministic" true
+    (results = Robustness.engine_campaign ~seeds:[ 1; 2; 3; 4 ] ())
+
+let () =
+  Alcotest.run "automode-robust"
+    [ ( "fault",
+        [ Alcotest.test_case "dropout" `Quick test_fault_dropout;
+          Alcotest.test_case "stuck-at-last" `Quick test_fault_stuck_at_last;
+          Alcotest.test_case "stuck without history" `Quick
+            test_fault_stuck_before_any_value;
+          Alcotest.test_case "spike on silent tick" `Quick
+            test_fault_spike_on_silent_tick;
+          Alcotest.test_case "delayed" `Quick test_fault_delayed;
+          Alcotest.test_case "noise bounded" `Quick test_fault_noise_bounded;
+          Alcotest.test_case "query order independent" `Quick
+            test_fault_query_order_independent;
+          Alcotest.test_case "activation deterministic" `Quick
+            test_fault_activation_deterministic;
+          Alcotest.test_case "validation" `Quick test_fault_validation ] );
+      ( "monitor",
+        [ Alcotest.test_case "range" `Quick test_monitor_range;
+          Alcotest.test_case "bounded response" `Quick
+            test_monitor_bounded_response;
+          Alcotest.test_case "mode safety" `Quick test_monitor_mode_safety;
+          Alcotest.test_case "never + missing flow" `Quick
+            test_monitor_never_and_missing_flow ] );
+      ( "campaign",
+        [ Alcotest.test_case "nominal passes" `Quick
+            test_scenario_nominal_passes;
+          Alcotest.test_case "finds violations" `Quick
+            test_campaign_finds_violations;
+          Alcotest.test_case "shrunk counterexamples replay" `Quick
+            test_shrunk_counterexamples_replay;
+          Alcotest.test_case "report byte-identical" `Quick
+            test_report_byte_identical;
+          Alcotest.test_case "csv shape" `Quick test_report_csv_shape ] );
+      ( "can-faults",
+        [ Alcotest.test_case "loss 0 nominal" `Quick
+            test_can_loss_zero_is_nominal;
+          Alcotest.test_case "loss produces errors" `Quick
+            test_can_loss_produces_errors;
+          Alcotest.test_case "loss 1 drops all" `Quick
+            test_can_loss_one_drops_everything;
+          Alcotest.test_case "deterministic" `Quick test_can_loss_deterministic;
+          Alcotest.test_case "background load" `Quick test_can_background_load ] );
+      ( "exec-faults",
+        [ Alcotest.test_case "nominal is plain" `Quick test_exec_nominal_is_plain;
+          Alcotest.test_case "jitter schedulable" `Quick
+            test_exec_jitter_keeps_schedulable;
+          Alcotest.test_case "overruns cause misses" `Quick
+            test_exec_overruns_cause_misses;
+          Alcotest.test_case "deterministic" `Quick test_exec_deterministic ] );
+      ( "inject-net",
+        [ Alcotest.test_case "nominal" `Quick test_inject_net_nominal;
+          Alcotest.test_case "engine campaign" `Quick
+            test_inject_net_engine_campaign ] ) ]

@@ -776,6 +776,41 @@ let test_compiled_mtd () =
         ("current", present_f 2.) ])
     ~flows:[ "rate" ]
 
+let test_compiled_faulted_inputs () =
+  (* trace identity must survive a faulted stimulus: history-dependent
+     fault transforms (memoized per tick) are queried by two different
+     engines and still have to produce the same trace *)
+  let open Automode_robust in
+  let comp = Automode_casestudy.Door_lock.component in
+  let faults =
+    [ Fault.dropout ~flow:"FZG_V"
+        (Fault.Random_ticks { probability = 0.3; seed = 5 });
+      Fault.spike ~flow:"CRSH"
+        ~value:(Value.Enum ("CrashStatus", "Crash"))
+        (Fault.Random_ticks { probability = 0.1; seed = 6 });
+      Fault.stuck_at_last ~flow:"FZG_V"
+        (Fault.Window { from_tick = 12; until_tick = 20 }) ]
+  in
+  let schedule =
+    Fault.schedule_of_faults
+      ~base:(fun name tick -> String.equal name "crash" && tick = 6)
+      (List.filter (fun f -> String.equal (Fault.flow f) "CRSH") faults)
+      ~event:"crash"
+  in
+  let ticks = 32 in
+  let inputs =
+    Fault.apply faults Automode_casestudy.Door_lock.crash_scenario
+  in
+  let t1 = Sim.run ~schedule ~ticks ~inputs comp in
+  let t2 = Sim.run_compiled ~schedule ~ticks ~inputs (Sim.compile comp) in
+  checkb "faulted compiled trace equals interpreted" true (Trace.equal t1 t2);
+  (* and a fresh fault application replays the identical trace *)
+  let inputs' =
+    Fault.apply faults Automode_casestudy.Door_lock.crash_scenario
+  in
+  let t3 = Sim.run ~schedule ~ticks ~inputs:inputs' comp in
+  checkb "fault replay is identical" true (Trace.equal t1 t3)
+
 let test_compiled_rejects_loops () =
   let comp = Dfd.of_network (loop_net ~delayed:false) in
   checkb "compile raises on instantaneous loop" true
@@ -805,6 +840,57 @@ let test_trace_equal_and_divergence () =
     checkb "values" true
       (Value.equal_message l (present_i 2) && Value.equal_message r (present_i 3))
   | None -> Alcotest.fail "divergence expected"
+
+let test_trace_csv_escaping () =
+  (* tuple values render with a comma: the CSV cell must be quoted, and
+     so must header names containing separators (RFC 4180) *)
+  let t =
+    Trace.record
+      (Trace.make ~flows:[ "pair"; "a,b" ])
+      [ ("pair", Value.Present (Value.Tuple [ Value.Int 1; Value.Int 2 ]));
+        ("a,b", present_i 7) ]
+  in
+  let csv = Trace.to_csv t in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (match lines with
+   | [ header; row ] ->
+     Alcotest.(check string) "header quoted" "tick,pair,\"a,b\"" header;
+     Alcotest.(check string) "tuple cell quoted" "0,\"(1, 2)\",7" row
+   | _ -> Alcotest.fail "expected header + one row");
+  (* embedded quotes double *)
+  let t2 =
+    Trace.record (Trace.make ~flows:[ "x\"y" ]) [ ("x\"y", present_i 1) ]
+  in
+  (match String.split_on_char '\n' (String.trim (Trace.to_csv t2)) with
+   | header :: _ ->
+     Alcotest.(check string) "quote doubled" "tick,\"x\"\"y\"" header
+   | [] -> Alcotest.fail "empty csv")
+
+let test_trace_long_linear () =
+  (* regression: get and first_divergence used to reverse the tick list
+     per call; on a long trace this has to stay effectively linear *)
+  let n = 20_000 in
+  let build diverge_at =
+    let rec go t acc =
+      if t = n then acc
+      else
+        go (t + 1)
+          (Trace.record acc
+             [ ("x", present_i (if t = diverge_at then -1 else t)) ])
+    in
+    go 0 (Trace.make ~flows:[ "x" ])
+  in
+  let a = build (-1) and b = build (n - 1) in
+  checkb "get first" true (Value.equal_message (Trace.get a ~flow:"x" ~tick:0) (present_i 0));
+  checkb "get last" true
+    (Value.equal_message (Trace.get a ~flow:"x" ~tick:(n - 1)) (present_i (n - 1)));
+  (match Trace.first_divergence a b with
+   | Some (tick, "x", l, r) ->
+     checki "diverges at the last tick" (n - 1) tick;
+     checkb "sides" true
+       (Value.equal_message l (present_i (n - 1)) && Value.equal_message r (present_i (-1)))
+   | _ -> Alcotest.fail "divergence expected");
+  checkb "equal prefix detected" true (Trace.first_divergence a a = None)
 
 let test_trace_restrict_rename () =
   let t =
@@ -1057,9 +1143,12 @@ let () =
           Alcotest.test_case "counter feedback" `Quick test_compiled_counter_feedback;
           Alcotest.test_case "ssd delays" `Quick test_compiled_ssd_delays;
           Alcotest.test_case "mtd" `Quick test_compiled_mtd;
+          Alcotest.test_case "faulted inputs" `Quick test_compiled_faulted_inputs;
           Alcotest.test_case "rejects loops" `Quick test_compiled_rejects_loops ] );
       ( "trace",
         [ Alcotest.test_case "equality/divergence" `Quick test_trace_equal_and_divergence;
+          Alcotest.test_case "csv escaping" `Quick test_trace_csv_escaping;
+          Alcotest.test_case "long trace linear" `Quick test_trace_long_linear;
           Alcotest.test_case "restrict/rename" `Quick test_trace_restrict_rename ] );
       ( "flatten",
         [ Alcotest.test_case "dfd flatten trace-equal" `Quick test_network_flatten_semantics;
