@@ -149,7 +149,14 @@ let regenerate_artifacts () =
        (Robustness.door_lock_campaign ~seeds:[ 1; 2; 3; 4 ] ()));
   print_endline "\nengine deployment under CAN loss + timing faults:";
   Robustness.pp_engine_campaign Format.std_formatter
-    (Robustness.engine_campaign ~seeds:[ 1; 2 ] ())
+    (Robustness.engine_campaign ~seeds:[ 1; 2 ] ());
+
+  section "E14 | graceful degradation: guarded vs. unguarded";
+  Guarded.pp_comparison Format.std_formatter
+    (Guarded.door_lock_comparison ~shrink:false ~seeds:[ 1; 2; 3; 4 ] ());
+  print_endline "guarded engine deployment (E2E frames + watchdog):";
+  Robustness.pp_engine_campaign Format.std_formatter
+    (Guarded.guarded_engine_campaign ~seeds:[ 1; 2 ] ())
 
 (* ------------------------------------------------------------------ *)
 (* Benchmarks                                                         *)
@@ -318,6 +325,18 @@ let e13_tests =
              (Robustness.engine_injection ~seed:1 ())
              ~horizon:200_000)) ]
 
+let e14_tests =
+  [ sim_bench "E14/door-lock-guarded-sim-64t" Guarded.component
+      Robustness.lock_stimulus 64;
+    Test.make ~name:"E14/guarded-comparison-2seeds"
+      (stage (fun () ->
+           Guarded.door_lock_comparison ~shrink:false ~seeds:[ 1; 2 ] ()));
+    Test.make ~name:"E14/guarded-engine-injection-200ms"
+      (stage (fun () ->
+           Automode_robust.Inject_net.simulate
+             (Guarded.guarded_engine_injection ~seed:1 ())
+             ~horizon:200_000)) ]
+
 (* Tooling-infrastructure benches: persistence, static analysis and
    variant enumeration over the reengineered engine controller. *)
 let infra_tests =
@@ -382,7 +401,7 @@ let all_tests =
   Test.make_grouped ~name:"automode"
     (e1_tests @ e2_tests @ e3_tests @ e4_tests @ e5_tests @ e6_tests
     @ e7_tests @ e8_tests @ e9_tests @ e10_tests @ e11_tests @ e12_tests
-    @ e13_tests @ infra_tests @ ablation_tests)
+    @ e13_tests @ e14_tests @ infra_tests @ ablation_tests)
 
 let benchmark () =
   let ols =

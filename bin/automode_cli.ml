@@ -277,6 +277,14 @@ let timeline_cmd =
        ~doc:"Gantt timeline of the engine deployment's task schedules")
     Term.(const run $ horizon_arg)
 
+let verdicts_fail vs =
+  List.exists
+    (fun (_, v) ->
+      match v with
+      | Automode_robust.Monitor.Fail _ -> true
+      | Automode_robust.Monitor.Pass -> false)
+    vs
+
 let robustness_cmd =
   let run seeds count csv no_shrink engine horizon =
     let seeds =
@@ -284,16 +292,20 @@ let robustness_cmd =
       | [] -> List.init count (fun i -> i + 1)
       | s -> s
     in
-    if engine then
-      Robustness.pp_engine_campaign Format.std_formatter
-        (Robustness.engine_campaign ~horizon ~seeds ())
+    (* CI gate: any failing scenario makes the run exit non-zero *)
+    if engine then begin
+      let results = Robustness.engine_campaign ~horizon ~seeds () in
+      Robustness.pp_engine_campaign Format.std_formatter results;
+      if List.exists (fun (_, vs) -> verdicts_fail vs) results then exit 1
+    end
     else begin
       let campaign =
         Robustness.door_lock_campaign ~shrink:(not no_shrink) ~seeds ()
       in
       print_string
         (if csv then Automode_robust.Report.to_csv campaign
-         else Automode_robust.Report.to_text campaign)
+         else Automode_robust.Report.to_text campaign);
+      if campaign.Automode_robust.Scenario.failures <> [] then exit 1
     end
   in
   let seeds_arg =
@@ -332,6 +344,73 @@ let robustness_cmd =
     Term.(const run $ seeds_arg $ count_arg $ csv_flag $ no_shrink_flag
           $ engine_flag $ horizon_arg)
 
+let guard_cmd =
+  let run seeds count no_shrink engine horizon =
+    let seeds =
+      match seeds with
+      | [] -> List.init count (fun i -> i + 1)
+      | s -> s
+    in
+    if engine then begin
+      let results = Robustness.engine_campaign ~horizon ~seeds () in
+      Format.printf "unguarded engine deployment:@.";
+      Robustness.pp_engine_campaign Format.std_formatter results;
+      let guarded = Guarded.guarded_engine_campaign ~horizon ~seeds () in
+      Format.printf "guarded engine deployment (E2E frames + watchdog):@.";
+      Robustness.pp_engine_campaign Format.std_formatter guarded;
+      (* only the guarded side gates: the unguarded run is the contrast *)
+      if List.exists (fun (_, vs) -> verdicts_fail vs) guarded then exit 1
+    end
+    else begin
+      let shrink = not no_shrink in
+      let cmp = Guarded.door_lock_comparison ~shrink ~seeds () in
+      Guarded.pp_comparison Format.std_formatter cmp;
+      let recovery = Guarded.recovery_campaign ~shrink ~seeds () in
+      Format.printf "%-20s %d/%d seeds failing@." "door-lock-recovery"
+        (List.length recovery.Automode_robust.Scenario.failures)
+        (List.length seeds);
+      if
+        cmp.Guarded.guarded.Automode_robust.Scenario.failures <> []
+        || recovery.Automode_robust.Scenario.failures <> []
+      then exit 1
+    end
+  in
+  let seeds_arg =
+    Arg.(value & opt_all int []
+         & info [ "seed"; "s" ] ~docv:"SEED"
+             ~doc:"Seed to run (repeatable); default: 1..$(b,--count).")
+  in
+  let count_arg =
+    Arg.(value & opt int 10
+         & info [ "count"; "n" ] ~docv:"N"
+             ~doc:"Number of seeds when no explicit $(b,--seed) is given.")
+  in
+  let no_shrink_flag =
+    Arg.(value & flag
+         & info [ "no-shrink" ] ~doc:"Skip counterexample shrinking.")
+  in
+  let engine_flag =
+    Arg.(value & flag
+         & info [ "engine" ]
+             ~doc:"Compare the engine deployment unguarded vs. guarded (E2E \
+                   frame protection + scheduler watchdog) instead of the \
+                   door-lock controller.")
+  in
+  let horizon_arg =
+    Arg.(value & opt int 200_000
+         & info [ "horizon" ] ~docv:"US"
+             ~doc:"Engine campaign horizon in microseconds.")
+  in
+  Cmd.v
+    (Cmd.info "guard"
+       ~doc:
+         "Graceful-degradation campaigns: the same faults against the \
+          unguarded and the guarded controller (health qualification, \
+          limp-home manager, E2E frames, scheduler watchdog); exits \
+          non-zero if the guarded side fails")
+    Term.(const run $ seeds_arg $ count_arg $ no_shrink_flag $ engine_flag
+          $ horizon_arg)
+
 let pipeline_cmd =
   let run () =
     let r = Pipeline.run () in
@@ -355,4 +434,5 @@ let () =
        (Cmd.group ~default info
           [ simulate_cmd; render_cmd; causality_cmd; rules_cmd; check_cmd;
             reengineer_cmd; deploy_cmd; codegen_cmd; save_cmd;
-            check_model_cmd; timeline_cmd; robustness_cmd; pipeline_cmd ]))
+            check_model_cmd; timeline_cmd; robustness_cmd; guard_cmd;
+            pipeline_cmd ]))

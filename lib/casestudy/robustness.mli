@@ -9,9 +9,20 @@ open Automode_robust
 
 (** {1 Door lock under voltage dropout and crash storms} *)
 
+val lock_ticks : int
+val crash_tick : int
+
 val lock_stimulus : Sim.input_fn
 (** Extended Fig. 1 stimulus: voltage every second tick, lock requests
-    at ticks 2 and 22, an unlock request at tick 12, a crash at 34. *)
+    at ticks 2 and 22, an unlock request at tick 12, a crash at
+    [crash_tick]. *)
+
+val lock_schedule : Fault.t list -> Clock.schedule
+(** Fires the [crash] event clock at [crash_tick] and wherever an
+    injected CRSH fault is active. *)
+
+val is_lit : Dtype.t -> string -> Value.t -> bool
+(** [is_lit ty name v]: [v] is the enum literal [name] of [ty]. *)
 
 val lock_faults : int -> Fault.t list
 (** Seeded recipe: FZG_V dropout (p=0.4), CRSH spike storm (p=0.03),

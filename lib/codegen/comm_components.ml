@@ -1,6 +1,7 @@
 module CM = Automode_osek.Comm_matrix
+module E2e = Automode_guard.E2e
 
-let for_node ~node ~frame_of (cm : CM.t) =
+let for_node ~node ~frame_of ?(e2e = fun _ -> None) (cm : CM.t) =
   let buf = Buffer.create 1024 in
   let outgoing =
     List.filter (fun (e : CM.entry) -> String.equal e.sender node) cm.entries
@@ -17,10 +18,20 @@ let for_node ~node ~frame_of (cm : CM.t) =
         | Some f -> f
         | None -> "/* TODO: unmapped */"
       in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "comm send %s { frame = %s; size_bits = %d; period_us = %d; }\n"
-           e.signal frame e.size_bits e.period_us))
+      match e2e e.signal with
+      | None ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "comm send %s { frame = %s; size_bits = %d; period_us = %d; }\n"
+             e.signal frame e.size_bits e.period_us)
+      | Some p ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "comm send %s { frame = %s; size_bits = %d; period_us = %d; \
+              e2e = { data_id = 0x%02X; counter_bits = %d; crc_bits = %d; }; }\n"
+             e.signal frame
+             (e.size_bits + E2e.overhead_bits p)
+             e.period_us p.E2e.data_id p.E2e.counter_bits p.E2e.crc_bits))
     outgoing;
   List.iter
     (fun (e : CM.entry) ->
@@ -29,10 +40,18 @@ let for_node ~node ~frame_of (cm : CM.t) =
         | Some f -> f
         | None -> "/* TODO: unmapped */"
       in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "comm recv %s { frame = %s; publish = data_integrity; /* Ipc copy-out */ }\n"
-           e.signal frame))
+      match e2e e.signal with
+      | None ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "comm recv %s { frame = %s; publish = data_integrity; /* Ipc copy-out */ }\n"
+             e.signal frame)
+      | Some p ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "comm recv %s { frame = %s; publish = data_integrity; /* Ipc \
+              copy-out */ e2e_check = { data_id = 0x%02X; max_gap = %d; }; }\n"
+             e.signal frame p.E2e.data_id (E2e.max_detectable_gap p)))
     incoming;
   Buffer.contents buf
 

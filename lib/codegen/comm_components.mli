@@ -7,14 +7,21 @@
     For every node, the generator emits a send component per outgoing
     signal (pack into the mapped frame, queue on the bus) and a receive
     component per incoming signal (unpack, publish with the ERCOS
-    data-integrity protocol of {!Automode_osek.Ipc}). *)
+    data-integrity protocol of {!Automode_osek.Ipc}).
+
+    Signals mapped to an {!Automode_guard.E2e} profile additionally
+    carry the protection configuration: the send side wraps with data
+    ID / alive counter / checksum (the emitted [size_bits] includes the
+    overhead), the receive side runs the [e2e_check] before publishing. *)
 
 val for_node :
   node:string -> frame_of:(string -> string option) ->
+  ?e2e:(string -> Automode_guard.E2e.profile option) ->
   Automode_osek.Comm_matrix.t -> string
 (** The communication-component section of a node's project text.
     [frame_of signal] is the deployment's signal-to-frame mapping
-    (unmapped signals are emitted with a TODO marker). *)
+    (unmapped signals are emitted with a TODO marker); [e2e signal]
+    selects the signal's protection profile (default: none). *)
 
 val summary : Automode_osek.Comm_matrix.t -> string
 (** One line per signal: sender -> receivers via frame sizes/periods. *)

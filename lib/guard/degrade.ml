@@ -1,0 +1,103 @@
+open Automode_core
+
+(* The degradation automaton proper.  MTD guards are memoryless (checked
+   by Mtd.check), so the debounce counters live in a companion STD inside
+   the manager's DFD and the MTD reacts to the debounced flags only. *)
+let mtd : Model.mtd =
+  let open Expr in
+  let t ?(p = 0) src dst guard =
+    { Model.mt_src = src; mt_dst = dst; mt_guard = guard; mt_priority = p }
+  in
+  let unspec name = { Model.mode_name = name; mode_behavior = Model.B_unspecified } in
+  { mtd_name = "Degradation";
+    mtd_modes = [ unspec "Nominal"; unspec "Degraded"; unspec "LimpHome" ];
+    mtd_initial = "Nominal";
+    mtd_transitions =
+      [ t "Nominal" "Degraded" (not_ (var "ok_d"));
+        t "Degraded" "LimpHome" (var "limp");
+        t ~p:1 "Degraded" "Nominal" (var "ok_d");
+        t "LimpHome" "Nominal" (var "ok_d") ] }
+
+let mode_type = Mtd.mode_enum mtd
+let mode_value = Dtype.enum_value mode_type
+
+(* Debounce over the conjunction of the health flags.  An absent health
+   flag counts as unhealthy: a qualifier that has itself gone silent is
+   exactly the situation limp-home exists for.
+
+   [ok_d] is the debounced all-clear — true once the flags have been
+   healthy for [recover_after] consecutive ticks (and on every healthy
+   tick thereafter); any unhealthy tick clears it.  [limp] rises after
+   [limp_after] consecutive unhealthy ticks. *)
+let debounce_std ~limp_after ~recover_after ~health_inputs =
+  let open Expr in
+  let healthy =
+    List.fold_left
+      (fun acc h -> acc && if_ (Is_present h) (var h) (bool false))
+      (bool true) health_inputs
+  in
+  let t ~guard ~prio ~up outs =
+    { Model.st_src = "Run"; st_dst = "Run"; st_guard = guard;
+      st_outputs = outs; st_updates = up; st_priority = prio }
+  in
+  { Model.std_name = "Debounce";
+    std_states = [ "Run" ];
+    std_initial = "Run";
+    (* [up] starts saturated: health is assumed at startup, so the first
+       unhealthy tick — not the debounce warm-up — leaves Nominal *)
+    std_vars = [ ("up", Value.Int recover_after); ("down", Value.Int 0) ];
+    std_transitions =
+      [ t ~guard:healthy ~prio:0
+          ~up:[ ("up", var "up" + int 1); ("down", int 0) ]
+          [ ("ok_d", var "up" + int 1 >= int recover_after);
+            ("limp", bool false) ];
+        t ~guard:(bool true) ~prio:1
+          ~up:[ ("down", var "down" + int 1); ("up", int 0) ]
+          [ ("ok_d", bool false);
+            ("limp", var "down" + int 1 >= int limp_after) ] ] }
+
+let manager ?name ?(limp_after = 4) ?(recover_after = 3) ~health_inputs () =
+  if health_inputs = [] then
+    invalid_arg "Degrade.manager: no health inputs";
+  if limp_after < 1 then
+    invalid_arg "Degrade.manager: limp_after must be positive";
+  if recover_after < 1 then
+    invalid_arg "Degrade.manager: recover_after must be positive";
+  let name = match name with Some n -> n | None -> "DegradationManager" in
+  let debounce =
+    Model.component "Debounce"
+      ~ports:
+        (List.map (fun h -> Model.in_port ~ty:Dtype.Tbool h) health_inputs
+         @ [ Model.out_port ~ty:Dtype.Tbool "ok_d";
+             Model.out_port ~ty:Dtype.Tbool "limp" ])
+      ~behavior:
+        (Model.B_std (debounce_std ~limp_after ~recover_after ~health_inputs))
+  in
+  let modes =
+    Model.component "Modes"
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tbool "ok_d";
+          Model.in_port ~ty:Dtype.Tbool "limp";
+          Model.out_port ~ty:mode_type "mode" ]
+      ~behavior:(Model.B_mtd mtd)
+  in
+  let chan = Model.channel in
+  let channels =
+    List.map
+      (fun h ->
+        chan ~name:("d_in_" ^ h) (Model.boundary h) (Model.at "Debounce" h))
+      health_inputs
+    @ [ chan ~name:"d_ok" (Model.at "Debounce" "ok_d") (Model.at "Modes" "ok_d");
+        chan ~name:"d_limp" (Model.at "Debounce" "limp")
+          (Model.at "Modes" "limp");
+        chan ~name:"d_mode" (Model.at "Modes" "mode") (Model.boundary "mode") ]
+  in
+  Model.component name
+    ~ports:
+      (List.map (fun h -> Model.in_port ~ty:Dtype.Tbool h) health_inputs
+       @ [ Model.out_port ~ty:mode_type "mode" ])
+    ~behavior:
+      (Model.B_dfd
+         { Model.net_name = name ^ "Net";
+           net_components = [ debounce; modes ];
+           net_channels = channels })

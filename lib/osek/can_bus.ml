@@ -36,14 +36,21 @@ type fault_model = {
   loss_rate : float;
   fault_seed : int;
   max_retransmits : int;
+  burst_rate : float;
+  burst_len : int;
 }
 
-let fault_model ?(seed = 0) ?(max_retransmits = 8) ~loss_rate () =
+let fault_model ?(seed = 0) ?(max_retransmits = 8) ?(burst_rate = 0.)
+    ?(burst_len = 1) ~loss_rate () =
   if loss_rate < 0. || loss_rate > 1. then
     invalid_arg "Can_bus.fault_model: loss rate outside [0, 1]";
   if max_retransmits < 0 then
     invalid_arg "Can_bus.fault_model: negative retransmit bound";
-  { loss_rate; fault_seed = seed; max_retransmits }
+  if burst_rate < 0. || burst_rate > 1. then
+    invalid_arg "Can_bus.fault_model: burst rate outside [0, 1]";
+  if burst_len < 1 then
+    invalid_arg "Can_bus.fault_model: burst length must be positive";
+  { loss_rate; fault_seed = seed; max_retransmits; burst_rate; burst_len }
 
 type frame_stats = {
   queued : int;
@@ -52,6 +59,7 @@ type frame_stats = {
   total_latency : int;
   dropped : int;
   errors : int;
+  max_consec_dropped : int;
 }
 
 type result = {
@@ -63,9 +71,14 @@ type result = {
 
 let empty_stats =
   { queued = 0; sent = 0; max_latency = 0; total_latency = 0; dropped = 0;
-    errors = 0 }
+    errors = 0; max_consec_dropped = 0 }
 
-type pending = { p_frame : frame; queued_at : int; attempts : int }
+type pending = {
+  p_frame : frame;
+  queued_at : int;
+  attempts : int;
+  doomed : bool;  (** instance sits inside an injected loss burst *)
+}
 
 let validate frames =
   let names = List.map (fun f -> f.frame_name) frames in
@@ -79,14 +92,26 @@ let validate frames =
    seed, the arbitration id, the queuing instant and the attempt index,
    so identical campaigns replay bit-identically. *)
 let corrupted fm p =
-  fm.loss_rate > 0.
-  && (fm.loss_rate >= 1.
+  p.doomed
+  || fm.loss_rate > 0.
+     && (fm.loss_rate >= 1.
+        ||
+        let st =
+          Random.State.make
+            [| fm.fault_seed; p.p_frame.can_id; p.queued_at; p.attempts |]
+        in
+        Random.State.float st 1.0 < fm.loss_rate)
+
+(* Deterministic burst starts: a fresh instance opens a burst of
+   [burst_len] doomed instances with probability [burst_rate], seeded by
+   (fault seed, arbitration id, queuing instant) on a stream distinct
+   from the per-attempt corruption draw. *)
+let burst_starts fm ~can_id ~now =
+  fm.burst_rate > 0.
+  && (fm.burst_rate >= 1.
      ||
-     let st =
-       Random.State.make
-         [| fm.fault_seed; p.p_frame.can_id; p.queued_at; p.attempts |]
-     in
-     Random.State.float st 1.0 < fm.loss_rate)
+     let st = Random.State.make [| fm.fault_seed; 0x6275; can_id; now |] in
+     Random.State.float st 1.0 < fm.burst_rate)
 
 let simulate ?faults ?(background = []) config ~horizon frames =
   let all_frames = frames @ background in
@@ -98,6 +123,43 @@ let simulate ?faults ?(background = []) config ~horizon frames =
     all_frames;
   let update name g =
     Hashtbl.replace stats name (g (Hashtbl.find stats name))
+  in
+  (* consecutive-instance loss runs, the gap an E2E alive counter must
+     cover: instances of one frame either complete (streak resets) or are
+     dropped (streak grows) in queuing order *)
+  let streaks = Hashtbl.create 16 in
+  let bump_streak name =
+    let run =
+      (match Hashtbl.find_opt streaks name with Some r -> r | None -> 0) + 1
+    in
+    Hashtbl.replace streaks name run;
+    update name (fun s ->
+        { s with max_consec_dropped = Stdlib.max s.max_consec_dropped run })
+  in
+  let note_dropped name =
+    bump_streak name;
+    update name (fun s -> { s with dropped = s.dropped + 1 })
+  in
+  let note_sent name = Hashtbl.replace streaks name 0 in
+  let burst_left = Hashtbl.create 16 in
+  let dooms f now =
+    match faults with
+    | Some fm when fm.burst_rate > 0. ->
+      let left =
+        match Hashtbl.find_opt burst_left f.frame_name with
+        | Some n -> n
+        | None -> 0
+      in
+      if left > 0 then begin
+        Hashtbl.replace burst_left f.frame_name (left - 1);
+        true
+      end
+      else if burst_starts fm ~can_id:f.can_id ~now then begin
+        Hashtbl.replace burst_left f.frame_name (fm.burst_len - 1);
+        true
+      end
+      else false
+    | Some _ | None -> false
   in
   let next_queue = Hashtbl.create 16 in
   List.iter (fun f -> Hashtbl.replace next_queue f.frame_name 0) all_frames;
@@ -123,11 +185,9 @@ let simulate ?faults ?(background = []) config ~horizon frames =
               (fun p -> String.equal p.p_frame.frame_name f.frame_name)
               pending
           in
-          List.iter
-            (fun _ ->
-              update f.frame_name (fun s -> { s with dropped = s.dropped + 1 }))
-            superseded;
-          { p_frame = f; queued_at = now; attempts = 0 } :: kept
+          List.iter (fun _ -> note_dropped f.frame_name) superseded;
+          { p_frame = f; queued_at = now; attempts = 0; doomed = dooms f now }
+          :: kept
         end
         else pending)
       pending all_frames
@@ -180,10 +240,15 @@ let simulate ?faults ?(background = []) config ~horizon frames =
                 String.equal p.p_frame.frame_name winner.p_frame.frame_name)
               pending
           in
-          if superseded then loop finish pending (busy + t)
+          if superseded then begin
+            (* abandoned in favor of the fresh instance: not a [dropped]
+               stat (never formally given up by the queue) but still a
+               lost instance for the consecutive-loss run *)
+            bump_streak winner.p_frame.frame_name;
+            loop finish pending (busy + t)
+          end
           else if winner.attempts >= bound then begin
-            update winner.p_frame.frame_name (fun s ->
-                { s with dropped = s.dropped + 1 });
+            note_dropped winner.p_frame.frame_name;
             loop finish pending (busy + t)
           end
           else
@@ -193,6 +258,7 @@ let simulate ?faults ?(background = []) config ~horizon frames =
         end
         else begin
           let latency = finish - winner.queued_at in
+          note_sent winner.p_frame.frame_name;
           update winner.p_frame.frame_name (fun s ->
               { s with
                 sent = s.sent + 1;

@@ -34,13 +34,23 @@ type fault_model = {
   loss_rate : float;       (** per-transmission corruption probability *)
   fault_seed : int;        (** PRNG seed — same seed, same corruptions *)
   max_retransmits : int;   (** attempts per instance before it is dropped *)
+  burst_rate : float;      (** per-instance probability of opening a loss
+                               burst: this and the next [burst_len - 1]
+                               instances of the frame are lost outright *)
+  burst_len : int;         (** instances per burst (>= 1) *)
 }
 
 val fault_model :
-  ?seed:int -> ?max_retransmits:int -> loss_rate:float -> unit -> fault_model
+  ?seed:int -> ?max_retransmits:int -> ?burst_rate:float -> ?burst_len:int ->
+  loss_rate:float -> unit -> fault_model
 (** Deterministic CAN loss/error-frame model (defaults: seed 0, 8
-    retransmits).  [loss_rate = 0.] reproduces the fault-free simulation
-    exactly.  @raise Invalid_argument on a rate outside [0, 1]. *)
+    retransmits, no bursts).  [loss_rate = 0.] with [burst_rate = 0.]
+    reproduces the fault-free simulation exactly.  Burst losses are the
+    failure shape E2E alive counters exist to catch: every transmission
+    attempt of a burst-hit instance is corrupted, so consecutive
+    instances of the frame are dropped (seeded per id/instant, stream
+    independent of the per-attempt corruption draw).
+    @raise Invalid_argument on rates outside [0, 1] or [burst_len < 1]. *)
 
 type frame_stats = {
   queued : int;
@@ -50,6 +60,10 @@ type frame_stats = {
   dropped : int;         (** instances superseded while still queued, or
                              abandoned after [max_retransmits] errors *)
   errors : int;          (** corrupted transmissions (error frames seen) *)
+  max_consec_dropped : int;
+      (** longest run of consecutively lost instances — the gap a
+          receiver-side E2E alive counter must cover to detect every
+          loss of this frame *)
 }
 
 type result = {

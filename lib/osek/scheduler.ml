@@ -6,6 +6,7 @@ type task_stats = {
   total_response : int;
   preemptions : int;
   overruns : int;
+  watchdog_fires : int;
 }
 
 type exec_model = {
@@ -57,6 +58,25 @@ let job_exec_time exec (t : Osek_task.t) ~release =
     end
     else wcet
 
+(* Execution-budget watchdog: a job whose injected demand exceeds
+   [budget_factor * wcet] is cut off at the budget.  [Skip] sheds the
+   job (deliberate degradation — not a deadline miss), [Restart] runs a
+   fresh attempt at plain WCET after the budget burn. *)
+type recovery = Skip | Restart
+
+type watchdog = { budget_factor : float; recovery : recovery }
+
+let watchdog ?(budget_factor = 2.) recovery =
+  if budget_factor < 1. then
+    invalid_arg "Scheduler.watchdog: budget factor below 1";
+  { budget_factor; recovery }
+
+let budget_of wd (t : Osek_task.t) =
+  Stdlib.max 1
+    (int_of_float (ceil (float_of_int t.Osek_task.wcet *. wd.budget_factor)))
+
+type wd_mark = Wd_nominal | Wd_killed | Wd_restarted
+
 type result = {
   horizon : int;
   per_task : (string * task_stats) list;
@@ -69,11 +89,12 @@ type job = {
   release : int;
   mutable remaining : int;
   mutable started : bool;
+  wd : wd_mark;
 }
 
 let empty_stats =
   { activations = 0; completions = 0; deadline_misses = 0; max_response = 0;
-    total_response = 0; preemptions = 0; overruns = 0 }
+    total_response = 0; preemptions = 0; overruns = 0; watchdog_fires = 0 }
 
 let validate tasks =
   let names = List.map (fun (t : Osek_task.t) -> t.task_name) tasks in
@@ -114,7 +135,7 @@ let pick_job ready =
         | first :: rest -> Some (List.fold_left best first rest)
         | [] -> None))
 
-let simulate ?exec ~horizon tasks =
+let simulate ?exec ?watchdog ~horizon tasks =
   validate tasks;
   if horizon <= 0 then invalid_arg "Scheduler.simulate: horizon must be positive";
   let stats = Hashtbl.create 16 in
@@ -158,7 +179,18 @@ let simulate ?exec ~horizon tasks =
               { s with
                 activations = s.activations + 1;
                 overruns = (s.overruns + if demand > t.wcet then 1 else 0) });
-          { j_task = t; release = now; remaining = demand; started = false }
+          (* the watchdog cuts runaway demand at the budget: Skip sheds
+             the job after the budget burn, Restart runs a fresh attempt
+             at plain WCET on top of it *)
+          let remaining, wd =
+            match watchdog with
+            | Some w when demand > budget_of w t ->
+              (match w.recovery with
+               | Skip -> (budget_of w t, Wd_killed)
+               | Restart -> (budget_of w t + t.wcet, Wd_restarted))
+            | Some _ | None -> (demand, Wd_nominal)
+          in
+          { j_task = t; release = now; remaining; started = false; wd }
           :: ready
         end
         else ready)
@@ -191,24 +223,47 @@ let simulate ?exec ~horizon tasks =
         if job.remaining = 0 then begin
           let response = until - job.release in
           let name = job.j_task.Osek_task.task_name in
-          update name (fun s ->
-              { s with
-                completions = s.completions + 1;
-                max_response = Stdlib.max s.max_response response;
-                total_response = s.total_response + response;
-                deadline_misses =
-                  (s.deadline_misses
-                  + if response > job.j_task.Osek_task.deadline then 1 else 0) });
+          (match job.wd with
+           | Wd_killed ->
+             (* deliberately shed: a watchdog fire, not a completion and
+                not a deadline miss — the shed protects the other tasks *)
+             update name (fun s ->
+                 { s with watchdog_fires = s.watchdog_fires + 1 })
+           | Wd_restarted ->
+             update name (fun s ->
+                 { s with
+                   watchdog_fires = s.watchdog_fires + 1;
+                   completions = s.completions + 1;
+                   max_response = Stdlib.max s.max_response response;
+                   total_response = s.total_response + response;
+                   deadline_misses =
+                     (s.deadline_misses
+                     + if response > job.j_task.Osek_task.deadline then 1
+                       else 0) })
+           | Wd_nominal ->
+             update name (fun s ->
+                 { s with
+                   completions = s.completions + 1;
+                   max_response = Stdlib.max s.max_response response;
+                   total_response = s.total_response + response;
+                   deadline_misses =
+                     (s.deadline_misses
+                     + if response > job.j_task.Osek_task.deadline then 1
+                       else 0) }));
           let ready = List.filter (fun j -> j != job) ready in
           loop until ready busy None
         end
         else loop until ready busy (Some job)
   in
   let busy, leftover = loop 0 [] 0 None in
-  (* jobs still pending at the horizon with passed deadlines count as misses *)
+  (* jobs still pending at the horizon with passed deadlines count as
+     misses — except jobs the watchdog already marked for shedding *)
   List.iter
     (fun j ->
-      if j.release + j.j_task.Osek_task.deadline <= horizon then
+      if
+        j.wd <> Wd_killed
+        && j.release + j.j_task.Osek_task.deadline <= horizon
+      then
         update j.j_task.Osek_task.task_name (fun s ->
             { s with deadline_misses = s.deadline_misses + 1 }))
     leftover;
@@ -287,7 +342,8 @@ let timeline ~horizon tasks =
         let k = Hashtbl.find next_release t.task_name in
         if release_time t k = now then begin
           Hashtbl.replace next_release t.task_name (k + 1);
-          { j_task = t; release = now; remaining = t.wcet; started = false }
+          { j_task = t; release = now; remaining = t.wcet; started = false;
+            wd = Wd_nominal }
           :: ready
         end
         else ready)
@@ -367,7 +423,7 @@ let pp_result ppf r =
   List.iter
     (fun (name, s) ->
       Format.fprintf ppf
-        "  %-16s act=%d done=%d miss=%d maxR=%dus preempt=%d overrun=%d@\n"
+        "  %-16s act=%d done=%d miss=%d maxR=%dus preempt=%d overrun=%d wd=%d@\n"
         name s.activations s.completions s.deadline_misses s.max_response
-        s.preemptions s.overruns)
+        s.preemptions s.overruns s.watchdog_fires)
     r.per_task

@@ -15,6 +15,7 @@ type task_stats = {
   total_response : int; (** sum over completed jobs, us *)
   preemptions : int;    (** times a job of this task was preempted *)
   overruns : int;       (** jobs whose injected demand exceeded the WCET *)
+  watchdog_fires : int; (** jobs cut off at the watchdog budget *)
 }
 
 type exec_model = {
@@ -32,6 +33,26 @@ val exec_model :
     exactly its WCET — today's fault-free behavior.
     @raise Invalid_argument on rates outside [0, 1] or a factor < 1. *)
 
+(** {1 Execution-budget watchdog}
+
+    Deadline/overrun containment for {!exec_model} runs: a job whose
+    demand exceeds [budget_factor * wcet] is cut off when it has consumed
+    the budget. *)
+
+type recovery =
+  | Skip     (** shed the job: the budget burn is a {!task_stats.watchdog_fires}
+                 fire, not a completion and not a deadline miss — the
+                 deliberate degradation protects the other tasks *)
+  | Restart  (** run a fresh attempt at plain WCET after the budget burn;
+                 the job completes normally (response time includes the
+                 burn, so deadline misses are still possible) *)
+
+type watchdog = { budget_factor : float; recovery : recovery }
+
+val watchdog : ?budget_factor:float -> recovery -> watchdog
+(** Default budget factor 2.0 (a job may use up to twice its WCET).
+    @raise Invalid_argument on a factor below 1. *)
+
 type result = {
   horizon : int;
   per_task : (string * task_stats) list;
@@ -39,10 +60,14 @@ type result = {
   schedulable : bool;      (** no deadline miss observed *)
 }
 
-val simulate : ?exec:exec_model -> horizon:int -> Osek_task.t list -> result
+val simulate :
+  ?exec:exec_model -> ?watchdog:watchdog -> horizon:int ->
+  Osek_task.t list -> result
 (** Simulate the task set over [0, horizon).  [?exec] injects per-job
     execution-time jitter and overruns (deterministic in the model's
     seed); omitting it runs every job for exactly its WCET.
+    [?watchdog] contains runaway jobs at the budget (see {!recovery});
+    omitting it reproduces the unwatched behavior exactly.
     @raise Invalid_argument on duplicate task names or duplicate
     priorities (OSEK requires unique priorities per ECU). *)
 

@@ -53,6 +53,16 @@ let active t ~tick =
        let st = Random.State.make [| seed; tick; Hashtbl.hash t.flow |] in
        Random.State.float st 1.0 < probability)
 
+(* Bounded for Always/Random_ticks activations by the horizon the
+   caller simulates: the latest tick any listed fault fires at. *)
+let last_active_tick faults ~horizon =
+  let rec go t =
+    if t < 0 then None
+    else if List.exists (fun f -> active f ~tick:t) faults then Some t
+    else go (t - 1)
+  in
+  go (horizon - 1)
+
 let describe_activation = function
   | Always -> "always"
   | Window { from_tick; until_tick } ->

@@ -45,6 +45,11 @@ val flow : t -> string
 val active : t -> tick:int -> bool
 (** Whether the fault fires at [tick] — pure and deterministic. *)
 
+val last_active_tick : t list -> horizon:int -> int option
+(** The latest tick below [horizon] where any listed fault is active,
+    or [None] when none ever fires — the reference point of
+    {!Monitor.recovers} obligations. *)
+
 val apply : t list -> Sim.input_fn -> Sim.input_fn
 (** Compose the faults over a stimulus, left to right.  The result
     memoizes per-tick so history-dependent faults (stuck-at-last) stay

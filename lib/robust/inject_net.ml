@@ -6,18 +6,28 @@ type t = {
   can_faults : Can_bus.fault_model option;
   background : (string * Can_bus.frame list) list;
   exec : Scheduler.exec_model option;
+  watchdog : Scheduler.watchdog option;
+  frame_map : (string -> Can_bus.frame -> Can_bus.frame) option;
 }
 
-let nominal deploy = { deploy; can_faults = None; background = []; exec = None }
+let nominal deploy =
+  { deploy; can_faults = None; background = []; exec = None; watchdog = None;
+    frame_map = None }
 
-let with_can_loss ?(seed = 0) ?max_retransmits ~loss_rate t =
+let with_can_loss ?(seed = 0) ?max_retransmits ?burst_rate ?burst_len
+    ~loss_rate t =
   { t with
-    can_faults = Some (Can_bus.fault_model ?max_retransmits ~seed ~loss_rate ()) }
+    can_faults =
+      Some
+        (Can_bus.fault_model ?max_retransmits ?burst_rate ?burst_len ~seed
+           ~loss_rate ()) }
 
 let with_background ~bus frames t =
   { t with background = (bus, frames) :: t.background }
 
 let with_exec exec t = { t with exec = Some exec }
+let with_watchdog wd t = { t with watchdog = Some wd }
+let with_frame_map f t = { t with frame_map = Some f }
 
 type report = {
   buses : (string * Can_bus.result) list;
@@ -37,6 +47,11 @@ let simulate t ~horizon =
     List.map
       (fun (bus, frames) ->
         let config = { Can_bus.bitrate = bitrate_of ta bus } in
+        let frames =
+          match t.frame_map with
+          | Some f -> List.map (f bus) frames
+          | None -> frames
+        in
         let background =
           List.concat_map snd
             (List.filter (fun (b, _) -> String.equal b bus) t.background)
@@ -47,7 +62,7 @@ let simulate t ~horizon =
   let ecus =
     List.map
       (fun (ecu, tasks) ->
-        (ecu, Scheduler.simulate ?exec:t.exec ~horizon tasks))
+        (ecu, Scheduler.simulate ?exec:t.exec ?watchdog:t.watchdog ~horizon tasks))
       (Deploy.task_sets t.deploy)
   in
   { buses; ecus }

@@ -16,15 +16,26 @@ val nominal : Deploy.t -> t
     {!Can_bus.simulate} / {!Scheduler.simulate} results exactly. *)
 
 val with_can_loss :
-  ?seed:int -> ?max_retransmits:int -> loss_rate:float -> t -> t
+  ?seed:int -> ?max_retransmits:int -> ?burst_rate:float -> ?burst_len:int ->
+  loss_rate:float -> t -> t
 (** Corrupt transmissions on every bus with [loss_rate] (deterministic
-    in [seed]). *)
+    in [seed]); [?burst_rate]/[?burst_len] add consecutive-instance
+    loss bursts (see {!Can_bus.fault_model}). *)
 
 val with_background : bus:string -> Can_bus.frame list -> t -> t
 (** Extra frames raising the load on [bus] (excluded from verdicts). *)
 
 val with_exec : Scheduler.exec_model -> t -> t
 (** Per-job execution-time jitter/overruns on every ECU. *)
+
+val with_watchdog : Scheduler.watchdog -> t -> t
+(** Execution-budget watchdog on every ECU (see {!Scheduler.watchdog}). *)
+
+val with_frame_map : (string -> Can_bus.frame -> Can_bus.frame) -> t -> t
+(** Transform every deployed frame before simulation ([bus] is passed
+    first) — e.g. E2E protection overhead added by
+    [Automode_guard.E2e.protect_frame].  Background frames are not
+    transformed. *)
 
 type report = {
   buses : (string * Can_bus.result) list;  (** per deployed bus *)

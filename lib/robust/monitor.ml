@@ -95,6 +95,37 @@ let bounded_response ?stim_pred ?resp_pred ~name ~stimulus ~response ~within ()
                   (Printf.sprintf "%s not answered on %s within %d ticks"
                      stimulus response within))) }
 
+let recovers ?pred ~name ~flow ~after ~within () =
+  if within < 1 then invalid_arg "Monitor.recovers: within must be positive";
+  if after < 0 then invalid_arg "Monitor.recovers: negative reference tick";
+  let p = match pred with Some p -> msg_pred p | None -> default_pred in
+  { mon_name = name;
+    check =
+      (fun trace ->
+        match column trace flow with
+        | None -> missing_flow flow
+        | Some msgs ->
+          let col = Array.of_list msgs in
+          let n = Array.length col in
+          (* a recovery window running past the trace end is inconclusive
+             on this finite trace, like bounded_response obligations *)
+          if after + within >= n then Pass
+          else
+            (* first tick of the stable suffix on which [pred] holds *)
+            let rec last_bad t =
+              if t < 0 then -1 else if p col.(t) then last_bad (t - 1) else t
+            in
+            let stable_from = last_bad (n - 1) + 1 in
+            if stable_from <= after + within then Pass
+            else
+              Fail
+                { at_tick = after + within;
+                  reason =
+                    Printf.sprintf
+                      "%s not stably recovered within %d ticks after t%d \
+                       (last violation at t%d)"
+                      flow within after (stable_from - 1) }) }
+
 let flag_set = function
   | Value.Absent -> false
   | Value.Present (Value.Bool b) -> b

@@ -39,6 +39,17 @@ val bounded_response :
     Obligations whose window extends past the end of the trace are
     inconclusive and do not fail. *)
 
+val recovers :
+  ?pred:(Value.t -> bool) ->
+  name:string -> flow:string -> after:int -> within:int -> unit -> t
+(** After tick [after] (typically {!Fault.last_active_tick} of the
+    injected faults), [flow] must satisfy [pred] (default: any present
+    message; absent ticks never satisfy) at some tick no later than
+    [after + within] and keep satisfying it to the end of the trace.
+    A window running past the trace end is inconclusive (passes), like
+    {!bounded_response} obligations.
+    @raise Invalid_argument on [within < 1] or [after < 0]. *)
+
 val mode_safety :
   name:string -> mode_flow:string -> mode:string -> flag_flow:string -> t
 (** Never in mode [mode] (compared against the enum literal emitted on

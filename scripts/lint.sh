@@ -1,0 +1,36 @@
+#!/bin/sh
+# Style lint for invariants the OCaml toolchain does not enforce:
+#   - no trailing whitespace (sources, docs, build files)
+#   - no tab indentation in OCaml sources (this repo indents with spaces)
+#   - no unresolved merge-conflict markers
+# PAPERS.md and SNIPPETS.md are vendored reference text and exempt from
+# the whitespace rules.  Run from the repository root; exits non-zero
+# listing every offending line.  CI runs this alongside build + runtest.
+set -u
+
+status=0
+tab=$(printf '\t')
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+report() {
+  if [ -s "$tmp" ]; then
+    echo "lint: $1" >&2
+    cat "$tmp" >&2
+    status=1
+  fi
+}
+
+git grep --untracked -nI -e "[ $tab]\$" -- \
+  '*.ml' '*.mli' '*.md' '*.yml' '*.sh' 'dune-project' '*/dune' \
+  ':!PAPERS.md' ':!SNIPPETS.md' >"$tmp" || true
+report "trailing whitespace"
+
+git grep --untracked -nI -e "^$tab" -- '*.ml' '*.mli' >"$tmp" || true
+report "tab indentation in OCaml source"
+
+git grep --untracked -nI -e '^<<<<<<< ' -e '^>>>>>>> ' -e '^||||||| ' -- \
+  '*.ml' '*.mli' '*.md' '*.yml' >"$tmp" || true
+report "merge conflict marker"
+
+exit $status

@@ -339,6 +339,199 @@ let test_can_background_load () =
     (not (List.mem_assoc "bg" loaded.Can_bus.per_frame))
 
 (* ------------------------------------------------------------------ *)
+(* Burst losses                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_can_burst_zero_is_nominal () =
+  let plain =
+    Can_bus.simulate
+      ~faults:(Can_bus.fault_model ~seed:3 ~loss_rate:0.2 ())
+      config ~horizon:200_000 frames
+  in
+  let with_burst_off =
+    Can_bus.simulate
+      ~faults:
+        (Can_bus.fault_model ~seed:3 ~loss_rate:0.2 ~burst_rate:0. ~burst_len:5 ())
+      config ~horizon:200_000 frames
+  in
+  checkb "burst rate 0 reproduces the plain loss run" true
+    (plain = with_burst_off)
+
+let test_can_burst_consecutive_losses () =
+  (* no retransmissions: every burst instance is really lost, so a burst
+     of length 3 must show up as a consecutive-loss run of at least 3 *)
+  let r =
+    Can_bus.simulate
+      ~faults:
+        (Can_bus.fault_model ~seed:7 ~loss_rate:0. ~burst_rate:0.2
+           ~burst_len:3 ~max_retransmits:0 ())
+      config ~horizon:300_000 frames
+  in
+  let max_run =
+    List.fold_left
+      (fun acc (_, (s : Can_bus.frame_stats)) ->
+        Stdlib.max acc s.Can_bus.max_consec_dropped)
+      0 r.Can_bus.per_frame
+  in
+  checkb "a full burst is observed" true (max_run >= 3);
+  let dropped =
+    List.fold_left
+      (fun acc (_, (s : Can_bus.frame_stats)) -> acc + s.Can_bus.dropped)
+      0 r.Can_bus.per_frame
+  in
+  checkb "bursts drop instances" true (dropped > 0)
+
+let test_can_burst_deterministic () =
+  let go () =
+    Can_bus.simulate
+      ~faults:
+        (Can_bus.fault_model ~seed:11 ~loss_rate:0.1 ~burst_rate:0.1
+           ~burst_len:4 ())
+      config ~horizon:200_000 frames
+  in
+  checkb "same seed, same bursts" true (go () = go ());
+  checkb "burst parameters validated" true
+    (try
+       ignore (Can_bus.fault_model ~loss_rate:0. ~burst_rate:1.5 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Monitor edge cases                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_monitor_empty_trace () =
+  let empty = Trace.make ~flows:[ "s"; "r"; "v" ] in
+  checkb "range passes on an empty trace" true
+    (Monitor.eval (Monitor.range ~name:"r" ~flow:"v" ~lo:0. ~hi:1.) empty
+     = Monitor.Pass);
+  checkb "bounded response passes on an empty trace" true
+    (Monitor.eval
+       (Monitor.bounded_response ~name:"b" ~stimulus:"s" ~response:"r"
+          ~within:2 ())
+       empty
+     = Monitor.Pass);
+  checkb "recovers is inconclusive on an empty trace" true
+    (Monitor.eval
+       (Monitor.recovers ~name:"rec" ~flow:"v" ~after:0 ~within:1 ())
+       empty
+     = Monitor.Pass)
+
+let test_monitor_window_at_trace_end () =
+  let m =
+    Monitor.bounded_response ~name:"b" ~stimulus:"s" ~response:"r" ~within:2 ()
+  in
+  (* the window [t, t+2] ends exactly at the last tick: enforced *)
+  let answered_last =
+    trace_of
+      [ [ ("s", present_i 1); ("r", Value.Absent) ];
+        [ ("s", Value.Absent); ("r", Value.Absent) ];
+        [ ("s", Value.Absent); ("r", present_i 1) ] ]
+  in
+  checkb "answer on the last tick counts" true
+    (Monitor.eval m answered_last = Monitor.Pass);
+  let unanswered_last =
+    trace_of
+      [ [ ("s", present_i 1); ("r", Value.Absent) ];
+        [ ("s", Value.Absent); ("r", Value.Absent) ];
+        [ ("s", Value.Absent); ("r", Value.Absent) ] ]
+  in
+  (match Monitor.eval m unanswered_last with
+   | Monitor.Fail { at_tick; _ } ->
+     checki "exact-fit window is enforced" 0 at_tick
+   | Monitor.Pass -> Alcotest.fail "window ending at the last tick must fail");
+  (* one tick later the window runs past the end: inconclusive *)
+  let window_past_end =
+    trace_of
+      [ [ ("s", Value.Absent); ("r", Value.Absent) ];
+        [ ("s", present_i 1); ("r", Value.Absent) ];
+        [ ("s", Value.Absent); ("r", Value.Absent) ] ]
+  in
+  checkb "window past the end is inconclusive" true
+    (Monitor.eval m window_past_end = Monitor.Pass)
+
+let test_monitor_recovers () =
+  let row b = [ ("ok", Value.Present (Value.Bool b)) ] in
+  let m =
+    Monitor.recovers ~name:"rec" ~flow:"ok"
+      ~pred:(fun v -> Value.equal v (Value.Bool true))
+      ~after:2 ~within:3 ()
+  in
+  (* recovers at t4 <= 2+3 and stays good: pass *)
+  let good =
+    trace_of [ row true; row false; row false; row false; row true; row true ]
+  in
+  checkb "stable recovery passes" true (Monitor.eval m good = Monitor.Pass);
+  (* comes back but relapses after the deadline: fail *)
+  let relapse =
+    trace_of [ row true; row false; row false; row true; row true; row false ]
+  in
+  checkb "relapse fails" true (Monitor.is_fail (Monitor.eval m relapse));
+  (* never comes back: fail at the deadline *)
+  let never_back =
+    trace_of
+      [ row true; row false; row false; row false; row false; row false ]
+  in
+  (match Monitor.eval m never_back with
+   | Monitor.Fail { at_tick; _ } -> checki "fails at the deadline" 5 at_tick
+   | Monitor.Pass -> Alcotest.fail "no recovery must fail");
+  (* deadline beyond the trace end: inconclusive *)
+  let short = trace_of [ row true; row false; row false ] in
+  checkb "short trace inconclusive" true (Monitor.eval m short = Monitor.Pass);
+  (* missing flow is a failure *)
+  let missing = trace_of [ [ ("other", present_i 1) ] ] in
+  checkb "missing flow fails" true (Monitor.is_fail (Monitor.eval m missing));
+  checkb "within validated" true
+    (try
+       ignore (Monitor.recovers ~name:"x" ~flow:"f" ~after:0 ~within:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_fault_last_active_tick () =
+  let faults =
+    [ Fault.dropout ~flow:"a" (Fault.Window { from_tick = 2; until_tick = 5 });
+      Fault.spike ~flow:"b" ~value:(Value.Int 1)
+        (Fault.Window { from_tick = 7; until_tick = 9 }) ]
+  in
+  checkb "latest active tick across faults" true
+    (Fault.last_active_tick faults ~horizon:20 = Some 8);
+  checkb "horizon clips the window" true
+    (Fault.last_active_tick faults ~horizon:8 = Some 7);
+  checkb "no faults, no tick" true
+    (Fault.last_active_tick [] ~horizon:20 = None);
+  (* deterministic for seeded activations too *)
+  let seeded =
+    [ Fault.dropout ~flow:"a"
+        (Fault.Random_ticks { probability = 0.3; seed = 5 }) ]
+  in
+  checkb "seeded activation deterministic" true
+    (Fault.last_active_tick seeded ~horizon:50
+    = Fault.last_active_tick seeded ~horizon:50)
+
+(* ------------------------------------------------------------------ *)
+(* Shrink determinism                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_shrink_deterministic () =
+  let shrunk_sig (c : Scenario.campaign) =
+    List.map
+      (fun (f : Scenario.failure) ->
+        ( f.Scenario.fail_seed,
+          f.Scenario.fail_monitor,
+          match f.Scenario.shrunk with
+          | None -> (-1, -1, "")
+          | Some o ->
+            (List.length o.Shrink.faults, o.Shrink.ticks, o.Shrink.reason) ))
+      c.Scenario.failures
+  in
+  let seeds = [ 3; 4 ] in
+  let a = Robustness.door_lock_campaign ~shrink:true ~seeds () in
+  let b = Robustness.door_lock_campaign ~shrink:true ~seeds () in
+  checkb "found failures to shrink" true (a.Scenario.failures <> []);
+  checkb "same seeds shrink to the same counterexamples" true
+    (shrunk_sig a = shrunk_sig b)
+
+(* ------------------------------------------------------------------ *)
 (* Scheduler execution-time faults                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -441,7 +634,13 @@ let () =
             test_monitor_bounded_response;
           Alcotest.test_case "mode safety" `Quick test_monitor_mode_safety;
           Alcotest.test_case "never + missing flow" `Quick
-            test_monitor_never_and_missing_flow ] );
+            test_monitor_never_and_missing_flow;
+          Alcotest.test_case "empty trace" `Quick test_monitor_empty_trace;
+          Alcotest.test_case "window at trace end" `Quick
+            test_monitor_window_at_trace_end;
+          Alcotest.test_case "recovers" `Quick test_monitor_recovers;
+          Alcotest.test_case "last active tick" `Quick
+            test_fault_last_active_tick ] );
       ( "campaign",
         [ Alcotest.test_case "nominal passes" `Quick
             test_scenario_nominal_passes;
@@ -451,7 +650,9 @@ let () =
             test_shrunk_counterexamples_replay;
           Alcotest.test_case "report byte-identical" `Quick
             test_report_byte_identical;
-          Alcotest.test_case "csv shape" `Quick test_report_csv_shape ] );
+          Alcotest.test_case "csv shape" `Quick test_report_csv_shape;
+          Alcotest.test_case "shrink deterministic" `Quick
+            test_shrink_deterministic ] );
       ( "can-faults",
         [ Alcotest.test_case "loss 0 nominal" `Quick
             test_can_loss_zero_is_nominal;
@@ -460,7 +661,13 @@ let () =
           Alcotest.test_case "loss 1 drops all" `Quick
             test_can_loss_one_drops_everything;
           Alcotest.test_case "deterministic" `Quick test_can_loss_deterministic;
-          Alcotest.test_case "background load" `Quick test_can_background_load ] );
+          Alcotest.test_case "background load" `Quick test_can_background_load;
+          Alcotest.test_case "burst rate 0 nominal" `Quick
+            test_can_burst_zero_is_nominal;
+          Alcotest.test_case "burst consecutive losses" `Quick
+            test_can_burst_consecutive_losses;
+          Alcotest.test_case "burst deterministic" `Quick
+            test_can_burst_deterministic ] );
       ( "exec-faults",
         [ Alcotest.test_case "nominal is plain" `Quick test_exec_nominal_is_plain;
           Alcotest.test_case "jitter schedulable" `Quick
