@@ -156,7 +156,16 @@ let regenerate_artifacts () =
     (Guarded.door_lock_comparison ~shrink:false ~seeds:[ 1; 2; 3; 4 ] ());
   print_endline "guarded engine deployment (E2E frames + watchdog):";
   Robustness.pp_engine_campaign Format.std_formatter
-    (Guarded.guarded_engine_campaign ~seeds:[ 1; 2 ] ())
+    (Guarded.guarded_engine_campaign ~seeds:[ 1; 2 ] ());
+
+  section "E15 | redundancy: replicated vs. unreplicated";
+  Replicated.pp_report Format.std_formatter
+    (Replicated.campaign ~shrink:false ~seeds:[ 1; 2; 3; 4 ] ());
+  print_endline "dual-channel TT schedule (fault-free):";
+  Format.printf "%a@." Automode_osek.Tt_bus.pp_result
+    (Automode_osek.Tt_bus.simulate
+       (Replicated.tt_schedule ~dual:true)
+       ~horizon:200_000)
 
 (* ------------------------------------------------------------------ *)
 (* Benchmarks                                                         *)
@@ -337,6 +346,19 @@ let e14_tests =
              (Guarded.guarded_engine_injection ~seed:1 ())
              ~horizon:200_000)) ]
 
+let e15_tests =
+  [ sim_bench "E15/engine-replicated-sim-80t" Replicated.replicated
+      Replicated.repl_stimulus 80;
+    Test.make ~name:"E15/replicated-campaign-2seeds"
+      (stage (fun () ->
+           Replicated.campaign ~shrink:false ~seeds:[ 1; 2 ] ()));
+    Test.make ~name:"E15/tt-bus-dual-200ms"
+      (stage (fun () ->
+           Automode_osek.Tt_bus.simulate
+             ~faults:(Replicated.channel_faults 1)
+             (Replicated.tt_schedule ~dual:true)
+             ~horizon:200_000)) ]
+
 (* Tooling-infrastructure benches: persistence, static analysis and
    variant enumeration over the reengineered engine controller. *)
 let infra_tests =
@@ -401,7 +423,7 @@ let all_tests =
   Test.make_grouped ~name:"automode"
     (e1_tests @ e2_tests @ e3_tests @ e4_tests @ e5_tests @ e6_tests
     @ e7_tests @ e8_tests @ e9_tests @ e10_tests @ e11_tests @ e12_tests
-    @ e13_tests @ e14_tests @ infra_tests @ ablation_tests)
+    @ e13_tests @ e14_tests @ e15_tests @ infra_tests @ ablation_tests)
 
 let benchmark () =
   let ols =

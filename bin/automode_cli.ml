@@ -198,9 +198,10 @@ let deploy_cmd =
     Term.(const run $ const ())
 
 let codegen_cmd =
-  let run dir =
+  let run dir redundant =
     let projects =
-      Automode_codegen.Ascet_project.generate Engine_ccd.deployment
+      if redundant then Replicated.projects ()
+      else Automode_codegen.Ascet_project.generate Engine_ccd.deployment
     in
     match dir with
     | Some dir ->
@@ -217,10 +218,17 @@ let codegen_cmd =
          & info [ "output"; "o" ] ~docv:"DIR"
              ~doc:"Write projects into $(docv) instead of stdout.")
   in
+  let redundant_flag =
+    Arg.(value & flag
+         & info [ "redundant" ]
+             ~doc:"Generate for the replicated engine deployment instead \
+                   (four ECUs, pair voter and heartbeat supervision \
+                   components included).")
+  in
   Cmd.v
     (Cmd.info "codegen"
        ~doc:"Generate per-ECU ASCET projects for the engine deployment")
-    Term.(const run $ dir_arg)
+    Term.(const run $ dir_arg $ redundant_flag)
 
 let check_model_cmd =
   let run name =
@@ -285,45 +293,69 @@ let verdicts_fail vs =
       | Automode_robust.Monitor.Pass -> false)
     vs
 
+(* Shared arguments of the campaign commands (robustness/guard/redund). *)
+
+let seed_list_arg =
+  Arg.(value & opt_all int []
+       & info [ "seed"; "s" ] ~docv:"SEED"
+           ~doc:"Seed to run (repeatable); default: 1..$(b,--seeds).")
+
+let seed_count_arg =
+  Arg.(value & opt int 10
+       & info [ "seeds"; "count"; "n" ] ~docv:"N"
+           ~doc:"Number of seeds when no explicit $(b,--seed) is given.")
+
+let no_shrink_flag =
+  Arg.(value & flag
+       & info [ "no-shrink" ] ~doc:"Skip counterexample shrinking.")
+
+let horizon_arg =
+  Arg.(value & opt int 200_000
+       & info [ "horizon" ] ~docv:"US"
+           ~doc:"Deployment campaign horizon in microseconds.")
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write the report to $(docv) instead of stdout.")
+
+let resolve_seeds seeds count =
+  match seeds with
+  | [] -> List.init count (fun i -> i + 1)
+  | s -> s
+
+(* Reports go through a buffer so --out writes exactly what stdout would
+   have shown — the artifact CI uploads is the gate's evidence. *)
+let emit out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 let robustness_cmd =
-  let run seeds count csv no_shrink engine horizon =
-    let seeds =
-      match seeds with
-      | [] -> List.init count (fun i -> i + 1)
-      | s -> s
-    in
+  let run seeds count csv no_shrink engine horizon out =
+    let seeds = resolve_seeds seeds count in
     (* CI gate: any failing scenario makes the run exit non-zero *)
     if engine then begin
       let results = Robustness.engine_campaign ~horizon ~seeds () in
-      Robustness.pp_engine_campaign Format.std_formatter results;
+      emit out (Format.asprintf "%a" Robustness.pp_engine_campaign results);
       if List.exists (fun (_, vs) -> verdicts_fail vs) results then exit 1
     end
     else begin
       let campaign =
         Robustness.door_lock_campaign ~shrink:(not no_shrink) ~seeds ()
       in
-      print_string
+      emit out
         (if csv then Automode_robust.Report.to_csv campaign
          else Automode_robust.Report.to_text campaign);
       if campaign.Automode_robust.Scenario.failures <> [] then exit 1
     end
   in
-  let seeds_arg =
-    Arg.(value & opt_all int []
-         & info [ "seed"; "s" ] ~docv:"SEED"
-             ~doc:"Seed to run (repeatable); default: 1..$(b,--count).")
-  in
-  let count_arg =
-    Arg.(value & opt int 10
-         & info [ "count"; "n" ] ~docv:"N"
-             ~doc:"Number of seeds when no explicit $(b,--seed) is given.")
-  in
   let csv_flag =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit the report as CSV.")
-  in
-  let no_shrink_flag =
-    Arg.(value & flag
-         & info [ "no-shrink" ] ~doc:"Skip counterexample shrinking.")
   in
   let engine_flag =
     Arg.(value & flag
@@ -331,63 +363,42 @@ let robustness_cmd =
              ~doc:"Run the engine deployment campaign (CAN loss + timing \
                    faults) instead of the door-lock stimulus campaign.")
   in
-  let horizon_arg =
-    Arg.(value & opt int 200_000
-         & info [ "horizon" ] ~docv:"US"
-             ~doc:"Engine campaign horizon in microseconds.")
-  in
   Cmd.v
     (Cmd.info "robustness"
        ~doc:
          "Seeded fault-injection campaigns over the case studies \
           (deterministic: the same seeds reproduce the same report)")
-    Term.(const run $ seeds_arg $ count_arg $ csv_flag $ no_shrink_flag
-          $ engine_flag $ horizon_arg)
+    Term.(const run $ seed_list_arg $ seed_count_arg $ csv_flag
+          $ no_shrink_flag $ engine_flag $ horizon_arg $ out_arg)
 
 let guard_cmd =
-  let run seeds count no_shrink engine horizon =
-    let seeds =
-      match seeds with
-      | [] -> List.init count (fun i -> i + 1)
-      | s -> s
-    in
+  let run seeds count no_shrink engine horizon out =
+    let seeds = resolve_seeds seeds count in
     if engine then begin
       let results = Robustness.engine_campaign ~horizon ~seeds () in
-      Format.printf "unguarded engine deployment:@.";
-      Robustness.pp_engine_campaign Format.std_formatter results;
       let guarded = Guarded.guarded_engine_campaign ~horizon ~seeds () in
-      Format.printf "guarded engine deployment (E2E frames + watchdog):@.";
-      Robustness.pp_engine_campaign Format.std_formatter guarded;
+      emit out
+        (Format.asprintf "unguarded engine deployment:@.%a%s%a"
+           Robustness.pp_engine_campaign results
+           "guarded engine deployment (E2E frames + watchdog):\n"
+           Robustness.pp_engine_campaign guarded);
       (* only the guarded side gates: the unguarded run is the contrast *)
       if List.exists (fun (_, vs) -> verdicts_fail vs) guarded then exit 1
     end
     else begin
       let shrink = not no_shrink in
       let cmp = Guarded.door_lock_comparison ~shrink ~seeds () in
-      Guarded.pp_comparison Format.std_formatter cmp;
       let recovery = Guarded.recovery_campaign ~shrink ~seeds () in
-      Format.printf "%-20s %d/%d seeds failing@." "door-lock-recovery"
-        (List.length recovery.Automode_robust.Scenario.failures)
-        (List.length seeds);
+      emit out
+        (Format.asprintf "%a%-20s %d/%d seeds failing@."
+           Guarded.pp_comparison cmp "door-lock-recovery"
+           (List.length recovery.Automode_robust.Scenario.failures)
+           (List.length seeds));
       if
         cmp.Guarded.guarded.Automode_robust.Scenario.failures <> []
         || recovery.Automode_robust.Scenario.failures <> []
       then exit 1
     end
-  in
-  let seeds_arg =
-    Arg.(value & opt_all int []
-         & info [ "seed"; "s" ] ~docv:"SEED"
-             ~doc:"Seed to run (repeatable); default: 1..$(b,--count).")
-  in
-  let count_arg =
-    Arg.(value & opt int 10
-         & info [ "count"; "n" ] ~docv:"N"
-             ~doc:"Number of seeds when no explicit $(b,--seed) is given.")
-  in
-  let no_shrink_flag =
-    Arg.(value & flag
-         & info [ "no-shrink" ] ~doc:"Skip counterexample shrinking.")
   in
   let engine_flag =
     Arg.(value & flag
@@ -396,11 +407,6 @@ let guard_cmd =
                    frame protection + scheduler watchdog) instead of the \
                    door-lock controller.")
   in
-  let horizon_arg =
-    Arg.(value & opt int 200_000
-         & info [ "horizon" ] ~docv:"US"
-             ~doc:"Engine campaign horizon in microseconds.")
-  in
   Cmd.v
     (Cmd.info "guard"
        ~doc:
@@ -408,8 +414,28 @@ let guard_cmd =
           unguarded and the guarded controller (health qualification, \
           limp-home manager, E2E frames, scheduler watchdog); exits \
           non-zero if the guarded side fails")
-    Term.(const run $ seeds_arg $ count_arg $ no_shrink_flag $ engine_flag
-          $ horizon_arg)
+    Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
+          $ engine_flag $ horizon_arg $ out_arg)
+
+let redund_cmd =
+  let run seeds count no_shrink horizon out =
+    let seeds = resolve_seeds seeds count in
+    let r = Replicated.campaign ~shrink:(not no_shrink) ~horizon ~seeds () in
+    emit out (Format.asprintf "%a" Replicated.pp_report r);
+    (* the protected configurations gate; the simplex and single-channel
+       legs are the contrast *)
+    if not (Replicated.gate r) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "redund"
+       ~doc:
+         "Redundancy campaigns: replicated vs. unreplicated engine \
+          controller under seeded ECU crashes, replica corruption and \
+          channel outages (hot-standby failover, 2oo3 voting, \
+          dual-channel TT bus); exits non-zero if a protected \
+          configuration fails")
+    Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
+          $ horizon_arg $ out_arg)
 
 let pipeline_cmd =
   let run () =
@@ -435,4 +461,4 @@ let () =
           [ simulate_cmd; render_cmd; causality_cmd; rules_cmd; check_cmd;
             reengineer_cmd; deploy_cmd; codegen_cmd; save_cmd;
             check_model_cmd; timeline_cmd; robustness_cmd; guard_cmd;
-            pipeline_cmd ]))
+            redund_cmd; pipeline_cmd ]))

@@ -25,7 +25,7 @@ let cluster_process buf (d : Deploy.t) (task : Ta.task) cluster_name =
     |> List.iter (fun line -> Buffer.add_string buf ("  " ^ line ^ "\n"));
     Buffer.add_string buf "}\n\n"
 
-let generate (d : Deploy.t) =
+let generate ?(voters = []) ?(heartbeats = []) (d : Deploy.t) =
   let cm = Deploy.comm_matrix d in
   List.map
     (fun (ecu : Ta.ecu) ->
@@ -81,6 +81,9 @@ let generate (d : Deploy.t) =
         (Comm_components.for_node ~node:ecu.ecu_name
            ~frame_of:(fun signal -> List.assoc_opt signal d.Deploy.signal_frame)
            cm);
+      Buffer.add_string buf
+        (Comm_components.redundancy_section ~node:ecu.ecu_name ~voters
+           ~heartbeats ());
       { project_ecu = ecu.ecu_name; project_text = Buffer.contents buf })
     d.Deploy.ta.Ta.ecus
 

@@ -16,10 +16,16 @@ type project = {
   project_text : string;
 }
 
-val generate : Deploy.t -> project list
+val generate :
+  ?voters:Comm_components.voter_spec list ->
+  ?heartbeats:Comm_components.heartbeat_spec list ->
+  Deploy.t -> project list
 (** One project per ECU of the deployment's Technical Architecture.
     ECUs without deployed clusters yield a project with only the
-    communication configuration. *)
+    communication configuration.  [?voters]/[?heartbeats] describe the
+    deployment's replication layer; the affected ECUs additionally get
+    the generated voter and heartbeat communication components
+    ({!Comm_components.redundancy_section}). *)
 
 val write_to_dir : dir:string -> project list -> string list
 (** Write each project as [<dir>/<ecu>.ascet_project]; returns the

@@ -55,6 +55,59 @@ let for_node ~node ~frame_of ?(e2e = fun _ -> None) (cm : CM.t) =
     incoming;
   Buffer.contents buf
 
+type voter_spec = {
+  voter_node : string;
+  voted_signal : string;
+  voter_inputs : string list;
+  voter_strategy : string;
+}
+
+type heartbeat_spec = {
+  hb_monitor_node : string;
+  hb_source_node : string;
+  hb_signal : string;
+  hb_timeout_ticks : int;
+}
+
+let redundancy_section ~node ?(voters = []) ?(heartbeats = []) () =
+  let buf = Buffer.create 512 in
+  let mine_v =
+    List.filter (fun v -> String.equal v.voter_node node) voters
+  in
+  let tx =
+    List.filter (fun h -> String.equal h.hb_source_node node) heartbeats
+  in
+  let rx =
+    List.filter (fun h -> String.equal h.hb_monitor_node node) heartbeats
+  in
+  if mine_v <> [] || tx <> [] || rx <> [] then
+    Buffer.add_string buf "/* redundancy components (replication layer) */\n";
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "comm vote %s { inputs = [%s]; strategy = %s; }\n"
+           v.voted_signal
+           (String.concat ", " v.voter_inputs)
+           v.voter_strategy))
+    mine_v;
+  List.iter
+    (fun h ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "comm heartbeat_tx %s { period_ticks = 1; /* monotone counter */ }\n"
+           h.hb_signal))
+    tx;
+  List.iter
+    (fun h ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "comm heartbeat %s { source = %s; timeout_ticks = %d; \
+            on_timeout = failover; }\n"
+           h.hb_signal h.hb_source_node h.hb_timeout_ticks))
+    rx;
+  Buffer.contents buf
+
 let summary (cm : CM.t) =
   let buf = Buffer.create 512 in
   List.iter

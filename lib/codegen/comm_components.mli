@@ -25,3 +25,36 @@ val for_node :
 
 val summary : Automode_osek.Comm_matrix.t -> string
 (** One line per signal: sender -> receivers via frame sizes/periods. *)
+
+(** {1 Redundancy communication components}
+
+    Replicated deployments ({!Automode_redund.Replicate}-style) need two
+    more generated component kinds at the communication layer: the voter
+    node merges the replica streams it receives, and heartbeat
+    supervision ties every replica ECU to its failure detector.  The
+    specs are plain data so any layer (deployment transform, case study,
+    CLI) can derive them without this library depending on the
+    redundancy subsystem. *)
+
+type voter_spec = {
+  voter_node : string;         (** ECU hosting the voter *)
+  voted_signal : string;       (** the merged output signal *)
+  voter_inputs : string list;  (** replica input signals, in replica order *)
+  voter_strategy : string;     (** e.g. ["pair"], ["majority"], ["median"] *)
+}
+
+type heartbeat_spec = {
+  hb_monitor_node : string;    (** ECU running the failure detector *)
+  hb_source_node : string;     (** supervised replica ECU *)
+  hb_signal : string;          (** heartbeat signal name *)
+  hb_timeout_ticks : int;      (** consecutive silent ticks before dead *)
+}
+
+val redundancy_section :
+  node:string -> ?voters:voter_spec list ->
+  ?heartbeats:heartbeat_spec list -> unit -> string
+(** The redundancy communication components of one node's project text:
+    a [comm vote] block per voter hosted on [node], a [comm heartbeat_tx]
+    block per heartbeat the node must publish, and a [comm heartbeat]
+    supervision block per heartbeat the node monitors.  Empty when the
+    node plays no redundancy role. *)

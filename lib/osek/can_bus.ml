@@ -32,16 +32,37 @@ let error_frame_bits = 23
 let error_overhead config =
   (error_frame_bits * 1_000_000 + config.bitrate - 1) / config.bitrate
 
+type bus_off = {
+  error_inc : int;
+  success_dec : int;
+  off_at : int;
+  recovery_us : int;
+}
+
+let bus_off ?(error_inc = 8) ?(success_dec = 1) ?(off_at = 256)
+    ~recovery_us () =
+  if error_inc < 1 then
+    invalid_arg "Can_bus.bus_off: error increment must be positive";
+  if success_dec < 0 then
+    invalid_arg "Can_bus.bus_off: negative success decrement";
+  if off_at < 1 then
+    invalid_arg "Can_bus.bus_off: bus-off threshold must be positive";
+  if recovery_us < 1 then
+    invalid_arg "Can_bus.bus_off: recovery time must be positive";
+  { error_inc; success_dec; off_at; recovery_us }
+
 type fault_model = {
   loss_rate : float;
   fault_seed : int;
   max_retransmits : int;
   burst_rate : float;
   burst_len : int;
+  retry_backoff_us : int;
+  bus_off_model : bus_off option;
 }
 
 let fault_model ?(seed = 0) ?(max_retransmits = 8) ?(burst_rate = 0.)
-    ?(burst_len = 1) ~loss_rate () =
+    ?(burst_len = 1) ?(retry_backoff_us = 0) ?bus_off ~loss_rate () =
   if loss_rate < 0. || loss_rate > 1. then
     invalid_arg "Can_bus.fault_model: loss rate outside [0, 1]";
   if max_retransmits < 0 then
@@ -50,7 +71,17 @@ let fault_model ?(seed = 0) ?(max_retransmits = 8) ?(burst_rate = 0.)
     invalid_arg "Can_bus.fault_model: burst rate outside [0, 1]";
   if burst_len < 1 then
     invalid_arg "Can_bus.fault_model: burst length must be positive";
-  { loss_rate; fault_seed = seed; max_retransmits; burst_rate; burst_len }
+  if retry_backoff_us < 0 then
+    invalid_arg "Can_bus.fault_model: negative retry backoff";
+  { loss_rate; fault_seed = seed; max_retransmits; burst_rate; burst_len;
+    retry_backoff_us; bus_off_model = bus_off }
+
+(* Exponential backoff before attempt [attempts + 1]: the first retry
+   waits one backoff quantum, each further retry doubles it (shift
+   capped so the arithmetic never overflows). *)
+let backoff_delay fm ~attempts =
+  if fm.retry_backoff_us = 0 then 0
+  else fm.retry_backoff_us * (1 lsl Stdlib.min attempts 16)
 
 type frame_stats = {
   queued : int;
@@ -67,6 +98,7 @@ type result = {
   per_frame : (string * frame_stats) list;
   bus_busy : int;
   load : float;
+  bus_offs : int;
 }
 
 let empty_stats =
@@ -78,6 +110,7 @@ type pending = {
   queued_at : int;
   attempts : int;
   doomed : bool;  (** instance sits inside an injected loss burst *)
+  eligible_at : int;  (** earliest retransmission instant (backoff) *)
 }
 
 let validate frames =
@@ -186,26 +219,66 @@ let simulate ?faults ?(background = []) config ~horizon frames =
               pending
           in
           List.iter (fun _ -> note_dropped f.frame_name) superseded;
-          { p_frame = f; queued_at = now; attempts = 0; doomed = dooms f now }
+          { p_frame = f; queued_at = now; attempts = 0; doomed = dooms f now;
+            eligible_at = now }
           :: kept
         end
         else pending)
       pending all_frames
   in
+  (* transmit-error counter and bus-off window, TEC-style: every error
+     frame bumps the counter, every completed transmission decays it;
+     crossing the threshold silences the bus for the recovery time *)
+  let tec = ref 0 in
+  let off_until = ref 0 in
+  let bus_offs = ref 0 in
+  let on_error finish =
+    match faults with
+    | Some { bus_off_model = Some bo; _ } ->
+      tec := !tec + bo.error_inc;
+      if !tec >= bo.off_at then begin
+        tec := 0;
+        incr bus_offs;
+        off_until := finish + bo.recovery_us
+      end
+    | Some _ | None -> ()
+  in
+  let on_success () =
+    match faults with
+    | Some { bus_off_model = Some bo; _ } ->
+      tec := Stdlib.max 0 (!tec - bo.success_dec)
+    | Some _ | None -> ()
+  in
   let rec loop now pending busy =
     if now >= horizon then busy
     else
       let pending = enqueue now pending in
-      match pending with
+      if !off_until > now then begin
+        (* bus-off: nothing transmits until recovery; keep stepping
+           through queue instants so superseding keeps being counted *)
+        let nq = next_queue_instant () in
+        let next = if nq = max_int then !off_until else Stdlib.min !off_until nq in
+        if next >= horizon then busy else loop next pending busy
+      end
+      else
+      let eligible = List.filter (fun p -> p.eligible_at <= now) pending in
+      match eligible with
       | [] ->
         let nq = next_queue_instant () in
-        if nq = max_int || nq >= horizon then busy else loop nq pending busy
+        let ne =
+          List.fold_left
+            (fun acc p -> Stdlib.min acc p.eligible_at)
+            max_int pending
+        in
+        let next = Stdlib.min nq ne in
+        if next = max_int || next >= horizon then busy
+        else loop next pending busy
       | _ :: _ ->
         let winner =
           List.fold_left
             (fun best p ->
               if p.p_frame.can_id < best.p_frame.can_id then p else best)
-            (List.hd pending) pending
+            (List.hd eligible) eligible
         in
         let hit =
           match faults with Some fm -> corrupted fm winner | None -> false
@@ -231,6 +304,7 @@ let simulate ?faults ?(background = []) config ~horizon frames =
              instance superseded it during the corrupted slot *)
           update winner.p_frame.frame_name (fun s ->
               { s with errors = s.errors + 1 });
+          on_error finish;
           let bound =
             match faults with Some fm -> fm.max_retransmits | None -> 0
           in
@@ -252,12 +326,21 @@ let simulate ?faults ?(background = []) config ~horizon frames =
             loop finish pending (busy + t)
           end
           else
+            let delay =
+              match faults with
+              | Some fm -> backoff_delay fm ~attempts:winner.attempts
+              | None -> 0
+            in
             loop finish
-              ({ winner with attempts = winner.attempts + 1 } :: pending)
+              ({ winner with
+                 attempts = winner.attempts + 1;
+                 eligible_at = finish + delay }
+              :: pending)
               (busy + t)
         end
         else begin
           let latency = finish - winner.queued_at in
+          on_success ();
           note_sent winner.p_frame.frame_name;
           update winner.p_frame.frame_name (fun s ->
               { s with
@@ -272,7 +355,8 @@ let simulate ?faults ?(background = []) config ~horizon frames =
     per_frame =
       List.map (fun f -> (f.frame_name, Hashtbl.find stats f.frame_name)) frames;
     bus_busy = busy;
-    load = float_of_int busy /. float_of_int horizon }
+    load = float_of_int busy /. float_of_int horizon;
+    bus_offs = !bus_offs }
 
 let response_time_analysis config frames =
   List.map
@@ -305,6 +389,8 @@ let response_time_analysis config frames =
 let pp_result ppf r =
   Format.fprintf ppf "horizon=%dus busy=%dus load=%.1f%%@\n" r.horizon
     r.bus_busy (100. *. r.load);
+  if r.bus_offs > 0 then
+    Format.fprintf ppf "  bus-off events=%d@\n" r.bus_offs;
   List.iter
     (fun (name, s) ->
       Format.fprintf ppf

@@ -30,6 +30,23 @@ val error_overhead : config -> int
 (** Time in us wasted by one error frame + interframe space (23 bits
     worst case) before a retransmission can start. *)
 
+type bus_off = {
+  error_inc : int;    (** TEC bump per error frame (CAN: 8) *)
+  success_dec : int;  (** TEC decay per completed transmission (CAN: 1) *)
+  off_at : int;       (** TEC threshold that silences the bus (CAN: 256) *)
+  recovery_us : int;  (** bus-off recovery time before rejoining *)
+}
+
+val bus_off :
+  ?error_inc:int -> ?success_dec:int -> ?off_at:int -> recovery_us:int ->
+  unit -> bus_off
+(** Transmit-error-counter / bus-off state machine in the style of the
+    CAN fault-confinement rules (defaults 8 / 1 / 256).  While the bus
+    is off nothing transmits; queuings continue (superseding still
+    counts drops) and transmission resumes after [recovery_us].
+    @raise Invalid_argument on non-positive [error_inc], [off_at] or
+    [recovery_us], or a negative [success_dec]. *)
+
 type fault_model = {
   loss_rate : float;       (** per-transmission corruption probability *)
   fault_seed : int;        (** PRNG seed — same seed, same corruptions *)
@@ -38,19 +55,29 @@ type fault_model = {
                                burst: this and the next [burst_len - 1]
                                instances of the frame are lost outright *)
   burst_len : int;         (** instances per burst (>= 1) *)
+  retry_backoff_us : int;  (** backoff quantum before a retransmission:
+                               retry [k] waits [2^(k-1)] quanta (0 = CAN's
+                               immediate retransmission) *)
+  bus_off_model : bus_off option;  (** error-counter fault confinement *)
 }
 
 val fault_model :
   ?seed:int -> ?max_retransmits:int -> ?burst_rate:float -> ?burst_len:int ->
+  ?retry_backoff_us:int -> ?bus_off:bus_off ->
   loss_rate:float -> unit -> fault_model
 (** Deterministic CAN loss/error-frame model (defaults: seed 0, 8
-    retransmits, no bursts).  [loss_rate = 0.] with [burst_rate = 0.]
-    reproduces the fault-free simulation exactly.  Burst losses are the
-    failure shape E2E alive counters exist to catch: every transmission
-    attempt of a burst-hit instance is corrupted, so consecutive
-    instances of the frame are dropped (seeded per id/instant, stream
-    independent of the per-attempt corruption draw).
-    @raise Invalid_argument on rates outside [0, 1] or [burst_len < 1]. *)
+    retransmits, no bursts, immediate retransmission, no bus-off).
+    [loss_rate = 0.] with [burst_rate = 0.] reproduces the fault-free
+    simulation exactly.  Burst losses are the failure shape E2E alive
+    counters exist to catch: every transmission attempt of a burst-hit
+    instance is corrupted, so consecutive instances of the frame are
+    dropped (seeded per id/instant, stream independent of the
+    per-attempt corruption draw).  [retry_backoff_us > 0] makes a
+    corrupted instance wait exponentially longer before each further
+    attempt instead of re-arbitrating immediately; [bus_off] adds the
+    error-counter state machine, reported in {!result.bus_offs}.
+    @raise Invalid_argument on rates outside [0, 1], [burst_len < 1],
+    or a negative backoff. *)
 
 type frame_stats = {
   queued : int;
@@ -71,6 +98,7 @@ type result = {
   per_frame : (string * frame_stats) list;
   bus_busy : int;
   load : float;          (** busy / horizon *)
+  bus_offs : int;        (** bus-off events over the horizon *)
 }
 
 val simulate :

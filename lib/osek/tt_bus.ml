@@ -1,0 +1,205 @@
+type channel = A | B
+
+let channel_name = function A -> "A" | B -> "B"
+
+type slot = {
+  tt_frame : string;
+  slot_index : int;
+  tt_payload_bytes : int;
+  tx_channels : channel list;
+}
+
+let slot ?(channels = [ A; B ]) ~name ~index ~payload_bytes () =
+  if payload_bytes < 0 || payload_bytes > 254 then
+    invalid_arg "Tt_bus.slot: FlexRay payload is 0..254 bytes";
+  if index < 0 then invalid_arg "Tt_bus.slot: negative slot index";
+  if channels = [] then invalid_arg "Tt_bus.slot: empty channel list";
+  { tt_frame = name; slot_index = index; tt_payload_bytes = payload_bytes;
+    tx_channels = List.sort_uniq Stdlib.compare channels }
+
+type schedule = {
+  slots_per_cycle : int;
+  slot_us : int;
+  bitrate : int;
+  slots : slot list;
+}
+
+(* FlexRay static frame: 5-byte header, payload, 3-byte trailer CRC; the
+   byte-encoding (TSS, FSS, one BSS pair per byte, FES) costs roughly
+   25% on the wire. *)
+let tx_time_us ~bitrate ~payload_bytes =
+  let bits = (5 + payload_bytes + 3) * 8 * 5 / 4 in
+  (bits * 1_000_000 + bitrate - 1) / bitrate
+
+let schedule ?(bitrate = 10_000_000) ~slots_per_cycle ~slot_us slots =
+  if slots_per_cycle <= 0 then
+    invalid_arg "Tt_bus.schedule: positive cycle length required";
+  if slot_us <= 0 then invalid_arg "Tt_bus.schedule: positive slot length";
+  if bitrate <= 0 then invalid_arg "Tt_bus.schedule: positive bitrate";
+  let names = List.map (fun s -> s.tt_frame) slots in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Tt_bus.schedule: duplicate frame names";
+  List.iter
+    (fun s ->
+      if s.slot_index >= slots_per_cycle then
+        invalid_arg
+          (Printf.sprintf "Tt_bus.schedule: slot %s index %d outside cycle"
+             s.tt_frame s.slot_index);
+      let t = tx_time_us ~bitrate ~payload_bytes:s.tt_payload_bytes in
+      if t > slot_us then
+        invalid_arg
+          (Printf.sprintf
+             "Tt_bus.schedule: slot %s needs %dus on the wire, slot is %dus"
+             s.tt_frame t slot_us))
+    slots;
+  (* per channel, a slot index is owned by at most one frame *)
+  List.iter
+    (fun ch ->
+      let idxs =
+        List.filter_map
+          (fun s ->
+            if List.mem ch s.tx_channels then Some s.slot_index else None)
+          slots
+      in
+      if List.length (List.sort_uniq Int.compare idxs) <> List.length idxs
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Tt_bus.schedule: duplicate slot index on channel %s"
+             (channel_name ch)))
+    [ A; B ];
+  { slots_per_cycle; slot_us; bitrate; slots }
+
+let cycle_us sched = sched.slots_per_cycle * sched.slot_us
+
+let utilization sched ch =
+  let used =
+    List.length (List.filter (fun s -> List.mem ch s.tx_channels) sched.slots)
+  in
+  float_of_int used /. float_of_int sched.slots_per_cycle
+
+type chan_faults = {
+  ch_loss_rate : float;
+  ch_dead : (int * int) list;
+}
+
+let chan_faults ?(loss_rate = 0.) ?(dead = []) () =
+  if loss_rate < 0. || loss_rate > 1. then
+    invalid_arg "Tt_bus.chan_faults: loss rate outside [0, 1]";
+  List.iter
+    (fun (f, u) ->
+      if f < 0 || u < f then
+        invalid_arg "Tt_bus.chan_faults: bad outage window")
+    dead;
+  { ch_loss_rate = loss_rate; ch_dead = dead }
+
+let channel_dead cf ~at =
+  List.exists (fun (f, u) -> at >= f && at < u) cf.ch_dead
+
+type fault_model = {
+  tt_seed : int;
+  chan_a : chan_faults;
+  chan_b : chan_faults;
+}
+
+let no_faults = { ch_loss_rate = 0.; ch_dead = [] }
+
+let fault_model ?(seed = 0) ?(a = no_faults) ?(b = no_faults) () =
+  { tt_seed = seed; chan_a = a; chan_b = b }
+
+(* Deterministic per-transmission corruption: seeded by (fault seed,
+   channel tag, slot index, cycle), a stream per channel so A and B fail
+   independently — same seed, same corruptions, bit-for-bit. *)
+let corrupted fm ch ~slot_index ~cycle =
+  let cf = match ch with A -> fm.chan_a | B -> fm.chan_b in
+  cf.ch_loss_rate > 0.
+  && (cf.ch_loss_rate >= 1.
+     ||
+     let tag = match ch with A -> 0xA | B -> 0xB in
+     let st = Random.State.make [| fm.tt_seed; tag; slot_index; cycle |] in
+     Random.State.float st 1.0 < cf.ch_loss_rate)
+
+type slot_stats = {
+  instances : int;
+  delivered : int;
+  undelivered : int;
+  lost_a : int;
+  lost_b : int;
+  max_consec_undelivered : int;
+}
+
+let empty_stats =
+  { instances = 0; delivered = 0; undelivered = 0; lost_a = 0; lost_b = 0;
+    max_consec_undelivered = 0 }
+
+type result = {
+  horizon : int;
+  cycles : int;
+  per_slot : (string * slot_stats) list;
+}
+
+let simulate ?faults sched ~horizon =
+  let cyc = cycle_us sched in
+  if horizon < cyc then
+    invalid_arg "Tt_bus.simulate: horizon holds no complete cycle";
+  let cycles = horizon / cyc in
+  let stats = Hashtbl.create 16 in
+  let streaks = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace stats s.tt_frame empty_stats;
+      Hashtbl.replace streaks s.tt_frame 0)
+    sched.slots;
+  let update name g =
+    Hashtbl.replace stats name (g (Hashtbl.find stats name))
+  in
+  for cycle = 0 to cycles - 1 do
+    List.iter
+      (fun s ->
+        let at = (cycle * cyc) + (s.slot_index * sched.slot_us) in
+        let ok_on ch =
+          match faults with
+          | None -> true
+          | Some fm ->
+            let cf = match ch with A -> fm.chan_a | B -> fm.chan_b in
+            (not (channel_dead cf ~at))
+            && not (corrupted fm ch ~slot_index:s.slot_index ~cycle)
+        in
+        let results = List.map (fun ch -> (ch, ok_on ch)) s.tx_channels in
+        let delivered = List.exists snd results in
+        let lost ch =
+          List.exists (fun (c, ok) -> c = ch && not ok) results
+        in
+        update s.tt_frame (fun st ->
+            { st with
+              instances = st.instances + 1;
+              delivered = (st.delivered + if delivered then 1 else 0);
+              undelivered = (st.undelivered + if delivered then 0 else 1);
+              lost_a = (st.lost_a + if lost A then 1 else 0);
+              lost_b = (st.lost_b + if lost B then 1 else 0) });
+        if delivered then Hashtbl.replace streaks s.tt_frame 0
+        else begin
+          let run = Hashtbl.find streaks s.tt_frame + 1 in
+          Hashtbl.replace streaks s.tt_frame run;
+          update s.tt_frame (fun st ->
+              { st with
+                max_consec_undelivered =
+                  Stdlib.max st.max_consec_undelivered run })
+        end)
+      sched.slots
+  done;
+  { horizon;
+    cycles;
+    per_slot =
+      List.map (fun s -> (s.tt_frame, Hashtbl.find stats s.tt_frame))
+        sched.slots }
+
+let pp_result ppf r =
+  Format.fprintf ppf "horizon=%dus cycles=%d@\n" r.horizon r.cycles;
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf
+        "  %-16s inst=%d ok=%d lost=%d (A:%d B:%d) maxGap=%d@\n" name
+        s.instances s.delivered s.undelivered s.lost_a s.lost_b
+        s.max_consec_undelivered)
+    r.per_slot

@@ -1,0 +1,76 @@
+open Automode_core
+
+(* The switchover automaton.  The guard totalizes the liveness flag: an
+   absent [p_alive] counts as dead, so a silent failure detector fails
+   safe (towards the standby) instead of freezing the selection. *)
+let mtd : Model.mtd =
+  let open Expr in
+  let alive = if_ (Is_present "p_alive") (var "p_alive") (bool false) in
+  let t src dst guard =
+    { Model.mt_src = src; mt_dst = dst; mt_guard = guard; mt_priority = 0 }
+  in
+  let mode name out_src =
+    { Model.mode_name = name;
+      mode_behavior = Model.B_exprs [ ("out", var out_src) ] }
+  in
+  { mtd_name = "Failover";
+    mtd_modes = [ mode "Primary" "out_p"; mode "Standby" "out_s" ];
+    mtd_initial = "Primary";
+    mtd_transitions =
+      [ t "Primary" "Standby" (not_ alive); t "Standby" "Primary" alive ] }
+
+let mode_type = Mtd.mode_enum mtd
+let mode_value = Dtype.enum_value mode_type
+
+let selector ?(name = "FailoverSwitch") ?ty () =
+  Model.component name
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tbool "p_alive";
+        Model.in_port ?ty "out_p";
+        Model.in_port ?ty "out_s";
+        Model.out_port ?ty "out";
+        Model.out_port ~ty:mode_type "mode" ]
+    ~behavior:(Model.B_mtd mtd)
+
+let manager ?(name = "FailoverManager") ?ty ~timeout_ticks () =
+  let monitor =
+    Heartbeat.monitor ~name:"Liveness" ~timeout_ticks
+      ~heartbeats:[ "hb_p"; "hb_s" ] ()
+  in
+  let switch = selector ~name:"Switch" ?ty () in
+  let chan = Model.channel in
+  let p_alive = Heartbeat.alive_flow "hb_p" in
+  let s_alive = Heartbeat.alive_flow "hb_s" in
+  Model.component name
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tint "hb_p";
+        Model.in_port ~ty:Dtype.Tint "hb_s";
+        Model.in_port ?ty "out_p";
+        Model.in_port ?ty "out_s";
+        Model.out_port ?ty "out";
+        Model.out_port ~ty:mode_type "mode";
+        Model.out_port ~ty:Dtype.Tbool "p_alive";
+        Model.out_port ~ty:Dtype.Tbool "s_alive" ]
+    ~behavior:
+      (Model.B_dfd
+         { Model.net_name = name ^ "Net";
+           net_components = [ monitor; switch ];
+           net_channels =
+             [ chan ~name:"fo_hb_p" (Model.boundary "hb_p")
+                 (Model.at "Liveness" "hb_p");
+               chan ~name:"fo_hb_s" (Model.boundary "hb_s")
+                 (Model.at "Liveness" "hb_s");
+               chan ~name:"fo_palive" (Model.at "Liveness" p_alive)
+                 (Model.at "Switch" "p_alive");
+               chan ~name:"fo_palive_out" (Model.at "Liveness" p_alive)
+                 (Model.boundary "p_alive");
+               chan ~name:"fo_salive_out" (Model.at "Liveness" s_alive)
+                 (Model.boundary "s_alive");
+               chan ~name:"fo_out_p" (Model.boundary "out_p")
+                 (Model.at "Switch" "out_p");
+               chan ~name:"fo_out_s" (Model.boundary "out_s")
+                 (Model.at "Switch" "out_s");
+               chan ~name:"fo_out" (Model.at "Switch" "out")
+                 (Model.boundary "out");
+               chan ~name:"fo_mode" (Model.at "Switch" "mode")
+                 (Model.boundary "mode") ] })

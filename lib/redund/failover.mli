@@ -1,0 +1,44 @@
+(** Deterministic failover switchover for a hot-standby pair.
+
+    The switchover automaton is a {!Automode_core.Mtd}-based manager in
+    the style of {!Automode_guard.Degrade}: MTD guards are memoryless,
+    so liveness debouncing lives in the companion {!Heartbeat.monitor}
+    STD and the MTD reacts to the always-present [p_alive] flag only.
+
+    Mode discipline: [Primary] routes the primary replica's output
+    stream; the tick [p_alive] turns [false] (the heartbeat monitor's
+    timeout verdict) switches to [Standby], which routes the standby's
+    stream; the primary's first heartbeat after an outage switches
+    back.  An {e absent} [p_alive] flag counts as dead — a failure
+    detector that has itself gone silent must not keep the primary
+    selected.  Switchover latency is therefore exactly the monitor's
+    [timeout_ticks]. *)
+
+open Automode_core
+
+val mtd : Model.mtd
+(** The two-mode switchover automaton over [p_alive], modes [Primary]
+    (behavior [out = out_p]) and [Standby] (behavior [out = out_s]). *)
+
+val mode_type : Dtype.t
+(** [Failover_mode = Primary | Standby]. *)
+
+val mode_value : string -> Value.t
+
+val selector : ?name:string -> ?ty:Dtype.t -> unit -> Model.component
+(** The automaton packaged as a component (default name
+    ["FailoverSwitch"]): inputs [p_alive] (boolean), [out_p] and
+    [out_s] (the replica streams, typed by [ty]); outputs [out] (the
+    routed stream) and [mode] (the current {!mode_type} mode, every
+    tick). *)
+
+val manager :
+  ?name:string -> ?ty:Dtype.t -> timeout_ticks:int -> unit ->
+  Model.component
+(** The complete failover manager (default name ["FailoverManager"]):
+    a DFD combining a two-heartbeat {!Heartbeat.monitor} with the
+    {!selector}.  Inputs [hb_p]/[hb_s] (replica heartbeats) and
+    [out_p]/[out_s] (replica output streams); outputs [out] (the
+    selected stream), [mode] (current mode), and the liveness flags
+    [p_alive]/[s_alive].
+    @raise Invalid_argument on a non-positive timeout. *)

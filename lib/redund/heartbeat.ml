@@ -1,0 +1,59 @@
+open Automode_core
+
+let flow ecu = ecu ^ "_hb"
+let alive_flow hb = hb ^ "_alive"
+
+let source ?(name = "HeartbeatSource") () =
+  let open Expr in
+  let std =
+    { Model.std_name = name;
+      std_states = [ "Run" ];
+      std_initial = "Run";
+      std_vars = [ ("n", Value.Int 0) ];
+      std_transitions =
+        [ { Model.st_src = "Run"; st_dst = "Run"; st_guard = bool true;
+            st_outputs = [ ("hb", var "n") ];
+            st_updates = [ ("n", var "n" + int 1) ];
+            st_priority = 0 } ] }
+  in
+  Model.component name
+    ~ports:[ Model.out_port ~ty:Dtype.Tint "hb" ]
+    ~behavior:(Model.B_std std)
+
+let miss_var hb = "miss_" ^ hb
+
+let monitor_std ~timeout_ticks ~heartbeats =
+  let open Expr in
+  let outputs =
+    List.map
+      (fun hb ->
+        ( alive_flow hb,
+          if_ (Is_present hb) (bool true)
+            (var (miss_var hb) + int 1 < int timeout_ticks) ))
+      heartbeats
+  in
+  let updates =
+    List.map
+      (fun hb ->
+        (miss_var hb, if_ (Is_present hb) (int 0) (var (miss_var hb) + int 1)))
+      heartbeats
+  in
+  { Model.std_name = "HeartbeatMonitor";
+    std_states = [ "Run" ];
+    std_initial = "Run";
+    std_vars = List.map (fun hb -> (miss_var hb, Value.Int 0)) heartbeats;
+    std_transitions =
+      [ { Model.st_src = "Run"; st_dst = "Run"; st_guard = bool true;
+          st_outputs = outputs; st_updates = updates; st_priority = 0 } ] }
+
+let monitor ?(name = "HeartbeatMonitor") ~timeout_ticks ~heartbeats () =
+  if heartbeats = [] then invalid_arg "Heartbeat.monitor: no heartbeats";
+  if timeout_ticks < 1 then
+    invalid_arg "Heartbeat.monitor: timeout must be positive";
+  Model.component name
+    ~ports:
+      (List.map (fun hb -> Model.in_port ~ty:Dtype.Tint hb) heartbeats
+       @ List.map
+           (fun hb -> Model.out_port ~ty:Dtype.Tbool (alive_flow hb))
+           heartbeats)
+    ~behavior:(Model.B_std (monitor_std ~timeout_ticks ~heartbeats))

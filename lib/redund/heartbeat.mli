@@ -1,0 +1,33 @@
+(** Heartbeat-based ECU failure detection.
+
+    Each ECU (replica) publishes a heartbeat flow — a monotone counter
+    present on every activation.  A crashed ECU goes fail-silent, so its
+    heartbeat flow turns absent; the monitor counts consecutive silent
+    base-clock ticks per heartbeat and declares the source dead after
+    [timeout_ticks] of them.  Both sides are plain model elements
+    (an STD each), deterministic and engine-independent. *)
+
+open Automode_core
+
+val flow : string -> string
+(** [<ecu>_hb] — conventional heartbeat flow name. *)
+
+val alive_flow : string -> string
+(** [<hb>_alive] — the monitor's liveness flag for heartbeat [hb]. *)
+
+val source : ?name:string -> unit -> Model.component
+(** Heartbeat generator (default name ["HeartbeatSource"]): output port
+    [hb] carries a counter 0, 1, 2, ... — one message per tick. *)
+
+val monitor :
+  ?name:string -> timeout_ticks:int -> heartbeats:string list -> unit ->
+  Model.component
+(** Failure detector (default name ["HeartbeatMonitor"]): one input
+    port per listed heartbeat flow and one always-present boolean
+    output [<hb>_alive] per flow.  [<hb>_alive] turns [false] on the
+    [timeout_ticks]-th consecutive tick without a message on [hb] (so
+    detection latency is exactly [timeout_ticks] ticks) and recovers on
+    the first heartbeat after the outage.  At startup every source is
+    presumed alive.
+    @raise Invalid_argument on an empty heartbeat list or a
+    non-positive timeout. *)

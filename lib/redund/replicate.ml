@@ -1,0 +1,188 @@
+open Automode_core
+open Automode_la
+
+let replica_name c k = Printf.sprintf "%s_r%d" c k
+let voter_name c = c ^ "_voter"
+let agree_port p = p ^ "_agree"
+
+let voter_in_port p k = Printf.sprintf "%s_r%d" p k
+
+let voter_input_channel ~cluster ~port k =
+  Printf.sprintf "%s_%s_v%d" cluster port k
+
+(* The generated voter cluster: per replicated output port one voter
+   component (pair comparator for 2, 2oo3 voter for 3), the replica
+   streams in, the voted stream out under the original port name, plus
+   an always-present agreement flag per port. *)
+let voter_cluster ~strategy ~replicas (c : Cluster.t) =
+  let outs =
+    List.filter (fun p -> p.Model.port_dir = Model.Out) c.Cluster.ports
+  in
+  if outs = [] then
+    invalid_arg "Replicate: cluster has no output ports to vote on";
+  let vname p = "V_" ^ p.Model.port_name in
+  let voters =
+    List.map
+      (fun p ->
+        let ty = p.Model.port_type in
+        if replicas = 2 then Voter.pair ~name:(vname p) ?ty ()
+        else Voter.tmr ~name:(vname p) ?ty ~strategy ())
+      outs
+  in
+  let ports =
+    List.concat_map
+      (fun p ->
+        List.init replicas (fun i ->
+            { p with Model.port_dir = Model.In;
+              port_name = voter_in_port p.Model.port_name (i + 1) }))
+      outs
+    @ outs
+    @ List.map
+        (fun p ->
+          Model.out_port ~ty:Dtype.Tbool ~clock:p.Model.port_clock
+            (agree_port p.Model.port_name))
+        outs
+  in
+  let chan = Model.channel in
+  let channels =
+    List.concat_map
+      (fun p ->
+        let pn = p.Model.port_name in
+        let into k dst_port =
+          chan
+            ~name:(Printf.sprintf "vc_%s_r%d" pn k)
+            (Model.boundary (voter_in_port pn k))
+            (Model.at (vname p) dst_port)
+        in
+        let ins =
+          if replicas = 2 then [ into 1 "primary"; into 2 "standby" ]
+          else List.init replicas (fun i -> into (i + 1) (Printf.sprintf "in%d" (i + 1)))
+        in
+        ins
+        @ [ chan ~name:("vc_" ^ pn ^ "_out") (Model.at (vname p) "out")
+              (Model.boundary pn);
+            chan ~name:("vc_" ^ pn ^ "_agree") (Model.at (vname p) "agree")
+              (Model.boundary (agree_port pn)) ])
+      outs
+  in
+  let impl_types =
+    List.concat_map
+      (fun p ->
+        let pn = p.Model.port_name in
+        match List.assoc_opt pn c.Cluster.impl_types with
+        | None -> []
+        | Some it ->
+          (pn, it)
+          :: List.init replicas (fun i -> (voter_in_port pn (i + 1), it)))
+      outs
+  in
+  Cluster.make ~impl_types ~name:(voter_name c.Cluster.cluster_name) ~ports
+    ~body:
+      { Model.net_name = voter_name c.Cluster.cluster_name ^ "Net";
+        net_components = voters;
+        net_channels = channels }
+    ()
+
+let in_ccd ?(strategy = Voter.Majority) ~cluster ~replicas (ccd : Ccd.t) =
+  if replicas <> 2 && replicas <> 3 then
+    invalid_arg "Replicate.in_ccd: 2 (hot standby) or 3 (TMR) replicas";
+  let c =
+    match Ccd.find_cluster ccd cluster with
+    | Some c -> c
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Replicate.in_ccd: unknown cluster %s" cluster)
+  in
+  let reps =
+    List.init replicas (fun i ->
+        Cluster.make ~impl_types:c.Cluster.impl_types
+          ~name:(replica_name cluster (i + 1))
+          ~ports:c.Cluster.ports ~body:c.Cluster.body ())
+  in
+  let voter = voter_cluster ~strategy ~replicas c in
+  let clusters =
+    List.concat_map
+      (fun (cl : Cluster.t) ->
+        if String.equal cl.Cluster.cluster_name cluster then reps else [ cl ])
+      ccd.Ccd.clusters
+    @ [ voter ]
+  in
+  let is_c (ep : Model.endpoint) =
+    match ep.Model.ep_comp with
+    | Some n -> String.equal n cluster
+    | None -> false
+  in
+  let remake ?name (ch : Model.channel) src dst =
+    Model.channel ~delayed:ch.Model.ch_delayed ?init:ch.Model.ch_init
+      ~name:(match name with Some n -> n | None -> ch.Model.ch_name)
+      src dst
+  in
+  let channels =
+    List.concat_map
+      (fun (ch : Model.channel) ->
+        let src =
+          if is_c ch.Model.ch_src then
+            Model.at (voter_name cluster) ch.Model.ch_src.Model.ep_port
+          else ch.Model.ch_src
+        in
+        if is_c ch.Model.ch_dst then
+          List.init replicas (fun i ->
+              remake
+                ~name:(Printf.sprintf "%s_r%d" ch.Model.ch_name (i + 1))
+                ch src
+                (Model.at
+                   (replica_name cluster (i + 1))
+                   ch.Model.ch_dst.Model.ep_port))
+        else [ remake ch src ch.Model.ch_dst ])
+      ccd.Ccd.channels
+  in
+  let to_voter =
+    List.concat_map
+      (fun (p : Model.port) ->
+        if p.Model.port_dir <> Model.Out then []
+        else
+          List.init replicas (fun i ->
+              Model.channel
+                ~name:
+                  (voter_input_channel ~cluster ~port:p.Model.port_name (i + 1))
+                (Model.at (replica_name cluster (i + 1)) p.Model.port_name)
+                (Model.at (voter_name cluster)
+                   (voter_in_port p.Model.port_name (i + 1)))))
+      c.Cluster.ports
+  in
+  Ccd.make ~external_ports:ccd.Ccd.external_ports ~name:ccd.Ccd.ccd_name
+    ~clusters ~channels:(channels @ to_voter) ()
+
+let deploy ?strategy ~cluster ~replica_tasks ~voter_task (d : Deploy.t) =
+  let replicas = List.length replica_tasks in
+  let ccd = in_ccd ?strategy ~cluster ~replicas d.Deploy.ccd in
+  let cluster_task =
+    List.filter
+      (fun (c, _) -> not (String.equal c cluster))
+      d.Deploy.cluster_task
+    @ List.mapi (fun i t -> (replica_name cluster (i + 1), t)) replica_tasks
+    @ [ (voter_name cluster, voter_task) ]
+  in
+  (* frame mappings of rewired channels are stale: the channels into the
+     cluster were renamed per replica and the voter may sit on another
+     ECU, so drop them and let first-fit remap what is still inter-ECU *)
+  let touched =
+    List.filter_map
+      (fun (ch : Model.channel) ->
+        let names_c (ep : Model.endpoint) =
+          match ep.Model.ep_comp with
+          | Some n -> String.equal n cluster
+          | None -> false
+        in
+        if names_c ch.Model.ch_src || names_c ch.Model.ch_dst then
+          Some ch.Model.ch_name
+        else None)
+      d.Deploy.ccd.Ccd.channels
+  in
+  let signal_frame =
+    List.filter
+      (fun (sig_, _) -> not (List.mem sig_ touched))
+      d.Deploy.signal_frame
+  in
+  Deploy.make ~ccd ~ta:d.Deploy.ta ~cluster_task ~signal_frame ()
+  |> Deploy.auto_map_signals

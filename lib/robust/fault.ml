@@ -3,6 +3,7 @@ open Automode_core
 type activation =
   | Always
   | Window of { from_tick : int; until_tick : int }
+  | From of { from_tick : int }
   | Random_ticks of { probability : float; seed : int }
 
 type kind =
@@ -19,6 +20,8 @@ let check_activation = function
   | Window { from_tick; until_tick } ->
     if from_tick < 0 || until_tick < from_tick then
       invalid_arg "Fault: bad activation window"
+  | From { from_tick } ->
+    if from_tick < 0 then invalid_arg "Fault: negative activation start"
   | Random_ticks { probability; _ } ->
     if probability < 0. || probability > 1. then
       invalid_arg "Fault: activation probability outside [0, 1]"
@@ -42,10 +45,29 @@ let delayed ~flow ~by activation =
 
 let flow t = t.flow
 
+(* An ECU failure silences every boundary flow the ECU sources at once:
+   a crash permanently (fail-silent), a reset for [down_ticks] ticks.
+   Modeled as coordinated dropouts so the existing stimulus-transform
+   machinery applies unchanged. *)
+let ecu_crash ~flows ~at_tick =
+  if flows = [] then invalid_arg "Fault.ecu_crash: no flows";
+  List.map (fun f -> dropout ~flow:f (From { from_tick = at_tick })) flows
+
+let ecu_reset ~flows ~at_tick ~down_ticks =
+  if flows = [] then invalid_arg "Fault.ecu_reset: no flows";
+  if down_ticks <= 0 then
+    invalid_arg "Fault.ecu_reset: outage must last at least one tick";
+  List.map
+    (fun f ->
+      dropout ~flow:f
+        (Window { from_tick = at_tick; until_tick = at_tick + down_ticks }))
+    flows
+
 let active t ~tick =
   match t.activation with
   | Always -> true
   | Window { from_tick; until_tick } -> tick >= from_tick && tick < until_tick
+  | From { from_tick } -> tick >= from_tick
   | Random_ticks { probability; seed } ->
     probability >= 1.0
     || (probability > 0.
@@ -67,6 +89,7 @@ let describe_activation = function
   | Always -> "always"
   | Window { from_tick; until_tick } ->
     Printf.sprintf "t%d..%d" from_tick until_tick
+  | From { from_tick } -> Printf.sprintf "t%d.." from_tick
   | Random_ticks { probability; seed } ->
     Printf.sprintf "p=%.3g seed=%d" probability seed
 

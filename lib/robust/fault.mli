@@ -14,6 +14,8 @@ type activation =
   | Always
   | Window of { from_tick : int; until_tick : int }
       (** active on ticks [from_tick <= t < until_tick] *)
+  | From of { from_tick : int }
+      (** active on every tick [t >= from_tick] — permanent failures *)
   | Random_ticks of { probability : float; seed : int }
       (** active on each tick independently with [probability] *)
 
@@ -39,6 +41,18 @@ val spike : flow:string -> value:Value.t -> activation -> t
 val delayed : flow:string -> by:int -> activation -> t
 (** Constructors.  @raise Invalid_argument on negative windows, delays
     or amplitudes, or probabilities outside [0, 1]. *)
+
+val ecu_crash : flows:string list -> at_tick:int -> t list
+(** Fail-silent ECU crash: every listed boundary flow (the flows the
+    ECU sources — its sensor feeds, heartbeats, published outputs) is
+    permanently dropped from [at_tick] on.
+    @raise Invalid_argument on an empty flow list. *)
+
+val ecu_reset : flows:string list -> at_tick:int -> down_ticks:int -> t list
+(** Transient ECU reset: the listed flows are silent for ticks
+    [at_tick <= t < at_tick + down_ticks], then the ECU rejoins.
+    @raise Invalid_argument on an empty flow list or a non-positive
+    outage. *)
 
 val flow : t -> string
 

@@ -8,11 +8,12 @@ type t = {
   exec : Scheduler.exec_model option;
   watchdog : Scheduler.watchdog option;
   frame_map : (string -> Can_bus.frame -> Can_bus.frame) option;
+  tt : (string * Tt_bus.schedule * Tt_bus.fault_model option) list;
 }
 
 let nominal deploy =
   { deploy; can_faults = None; background = []; exec = None; watchdog = None;
-    frame_map = None }
+    frame_map = None; tt = [] }
 
 let with_can_loss ?(seed = 0) ?max_retransmits ?burst_rate ?burst_len
     ~loss_rate t =
@@ -29,9 +30,15 @@ let with_exec exec t = { t with exec = Some exec }
 let with_watchdog wd t = { t with watchdog = Some wd }
 let with_frame_map f t = { t with frame_map = Some f }
 
+let with_tt ?(name = "flexray") ?faults ~schedule t =
+  if List.exists (fun (n, _, _) -> String.equal n name) t.tt then
+    invalid_arg (Printf.sprintf "Inject_net.with_tt: duplicate TT bus %s" name);
+  { t with tt = t.tt @ [ (name, schedule, faults) ] }
+
 type report = {
   buses : (string * Can_bus.result) list;
   ecus : (string * Scheduler.result) list;
+  tt_buses : (string * Tt_bus.result) list;
 }
 
 let bitrate_of ta bus =
@@ -65,7 +72,13 @@ let simulate t ~horizon =
         (ecu, Scheduler.simulate ?exec:t.exec ?watchdog:t.watchdog ~horizon tasks))
       (Deploy.task_sets t.deploy)
   in
-  { buses; ecus }
+  let tt_buses =
+    List.map
+      (fun (name, sched, faults) ->
+        (name, Tt_bus.simulate ?faults sched ~horizon))
+      t.tt
+  in
+  { buses; ecus; tt_buses }
 
 (* Fold a TA-level report into the same verdict shape the stimulus-level
    campaigns use, so one report pipeline serves both. *)
@@ -108,4 +121,25 @@ let verdicts report =
         (Printf.sprintf "ecu:%s:schedulable" ecu, v))
       report.ecus
   in
-  bus_verdicts @ ecu_verdicts
+  let tt_verdicts =
+    List.map
+      (fun (name, (r : Tt_bus.result)) ->
+        let lost =
+          List.fold_left
+            (fun acc (_, (s : Tt_bus.slot_stats)) ->
+              acc + s.Tt_bus.undelivered)
+            0 r.Tt_bus.per_slot
+        in
+        let v =
+          if lost = 0 then Monitor.Pass
+          else
+            Monitor.Fail
+              { at_tick = 0;
+                reason =
+                  Printf.sprintf "%d slot instance(s) undelivered on %s" lost
+                    name }
+        in
+        (Printf.sprintf "ttbus:%s:delivery" name, v))
+      report.tt_buses
+  in
+  bus_verdicts @ ecu_verdicts @ tt_verdicts

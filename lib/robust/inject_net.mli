@@ -37,9 +37,18 @@ val with_frame_map : (string -> Can_bus.frame -> Can_bus.frame) -> t -> t
     [Automode_guard.E2e.protect_frame].  Background frames are not
     transformed. *)
 
+val with_tt :
+  ?name:string -> ?faults:Tt_bus.fault_model -> schedule:Tt_bus.schedule ->
+  t -> t
+(** Attach a dual-channel time-triggered bus (default name
+    ["flexray"]): {!simulate} walks the static schedule over the same
+    horizon, with per-channel corruption and outage faults from
+    [?faults].  @raise Invalid_argument on a duplicate TT bus name. *)
+
 type report = {
   buses : (string * Can_bus.result) list;  (** per deployed bus *)
   ecus : (string * Scheduler.result) list; (** per deployed ECU *)
+  tt_buses : (string * Tt_bus.result) list; (** per attached TT bus *)
 }
 
 val simulate : t -> horizon:int -> report
@@ -49,5 +58,6 @@ val simulate : t -> horizon:int -> report
 
 val verdicts : report -> (string * Monitor.verdict) list
 (** One verdict per bus ([bus:<name>:no-frame-loss] — no dropped frame
-    instances) and per ECU ([ecu:<name>:schedulable] — no deadline
-    misses). *)
+    instances), per ECU ([ecu:<name>:schedulable] — no deadline
+    misses), and per TT bus ([ttbus:<name>:delivery] — no slot instance
+    undelivered on every configured channel). *)

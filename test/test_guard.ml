@@ -444,6 +444,62 @@ let test_guarded_engine () =
        (fun (_, vs) -> List.exists (fun (_, v) -> Monitor.is_fail v) vs)
        unguarded)
 
+(* ------------------------------------------------------------------ *)
+(* bus_verdict fuzzing: the detectable-gap bound is never violated     *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the CAN fault model across ~100 random (seed, loss, burst)
+   configurations and check that bus_verdict renders Pass exactly when
+   every frame's longest consecutive-loss run stays within the
+   profile's detectable gap — no silent wrap in either direction. *)
+let fuzz_frames =
+  [ Can_bus.frame ~name:"fa" ~can_id:1 ~payload_bytes:4 ~period:2_000 ();
+    Can_bus.frame ~name:"fb" ~can_id:2 ~payload_bytes:2 ~period:5_000 ();
+    Can_bus.frame ~name:"fc" ~can_id:3 ~payload_bytes:6 ~period:10_000 () ]
+
+let fuzz_result ~seed ~loss ~burst_pct ~burst_len =
+  let faults =
+    Can_bus.fault_model ~seed ~max_retransmits:3
+      ~burst_rate:(float_of_int burst_pct /. 100.)
+      ~burst_len
+      ~loss_rate:(float_of_int loss /. 100.)
+      ()
+  in
+  Can_bus.simulate ~faults { Can_bus.bitrate = 500_000 } ~horizon:200_000
+    fuzz_frames
+
+let test_bus_verdict_consistent_prop =
+  QCheck.Test.make ~name:"bus_verdict <-> max_consec_dropped bound" ~count:100
+    QCheck.(
+      quad (int_range 0 1_000_000) (int_range 0 100) (int_range 0 30)
+        (int_range 1 6))
+    (fun (seed, loss, burst_pct, burst_len) ->
+      let r = fuzz_result ~seed ~loss ~burst_pct ~burst_len in
+      let profile = E2e.profile ~data_id:0x11 ~counter_bits:2 () in
+      let gap = E2e.max_detectable_gap profile in
+      let within =
+        List.for_all
+          (fun (_, (s : Can_bus.frame_stats)) ->
+            s.Can_bus.max_consec_dropped <= gap)
+          r.Can_bus.per_frame
+      in
+      let _, v = E2e.bus_verdict profile ~bus:"b" r in
+      (v = Monitor.Pass) = within)
+
+let test_bus_verdict_wide_counter_prop =
+  QCheck.Test.make
+    ~name:"wide alive counter covers every fuzzed loss run" ~count:100
+    QCheck.(triple (int_range 0 1_000_000) (int_range 0 80) (int_range 1 4))
+    (fun (seed, loss, burst_len) ->
+      let r = fuzz_result ~seed ~loss ~burst_pct:10 ~burst_len in
+      (* 8-bit counter: a gap of 255 cannot occur in a 200 ms horizon
+         with these periods, so the bound must never be violated *)
+      let profile = E2e.profile ~data_id:0x11 ~counter_bits:8 () in
+      let _, v = E2e.bus_verdict profile ~bus:"b" r in
+      v = Monitor.Pass)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
 let () =
   Alcotest.run "automode-guard"
     [ ( "e2e",
@@ -452,7 +508,10 @@ let () =
           Alcotest.test_case "repetition + tamper" `Quick
             test_e2e_repetition_and_tamper;
           Alcotest.test_case "capacity accounting" `Quick test_e2e_capacity;
-          Alcotest.test_case "bus verdict gap" `Quick test_e2e_bus_verdict_gap ] );
+          Alcotest.test_case "bus verdict gap" `Quick test_e2e_bus_verdict_gap ]
+        @ qsuite
+            [ test_bus_verdict_consistent_prop;
+              test_bus_verdict_wide_counter_prop ] );
       ( "health",
         [ Alcotest.test_case "qualifier lifecycle" `Quick
             test_health_qualifier_lifecycle;

@@ -401,6 +401,183 @@ let test_matrix_queries () =
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
+(* ------------------------------------------------------------------ *)
+(* Scheduler watchdog Restart accounting                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression pin for the Restart recovery's budget accounting: a
+   restarted job costs exactly the budget burn (budget_factor * wcet)
+   plus one fresh attempt at plain WCET — the budget must not be
+   charged again for the restarted attempt.  overrun_rate 1 makes every
+   job overrun, so the numbers are exact. *)
+let test_watchdog_restart_accounting () =
+  let t = task ~name:"t" ~period:100 ~wcet:10 ~priority:0 () in
+  let exec =
+    Scheduler.exec_model ~overrun_rate:1.0 ~overrun_factor:5.0 ~seed:1 ()
+  in
+  let r =
+    Scheduler.simulate ~exec
+      ~watchdog:(Scheduler.watchdog ~budget_factor:2.0 Scheduler.Restart)
+      ~horizon:1000 [ t ]
+  in
+  let st = List.assoc "t" r.Scheduler.per_task in
+  checki "every job fires the watchdog" 10 st.Scheduler.watchdog_fires;
+  checki "every job still completes" 10 st.Scheduler.completions;
+  (* burn = 2 * wcet, restart = wcet: 30 us per job, not 40 *)
+  checki "response = burn + one fresh attempt" 30 st.Scheduler.max_response;
+  checki "no double budget accounting in busy time" 300 r.Scheduler.busy_time;
+  checkb "restart keeps the set schedulable" true r.Scheduler.schedulable;
+  (* contrast: Skip sheds the job after the same burn *)
+  let r2 =
+    Scheduler.simulate ~exec
+      ~watchdog:(Scheduler.watchdog ~budget_factor:2.0 Scheduler.Skip)
+      ~horizon:1000 [ t ]
+  in
+  let st2 = List.assoc "t" r2.Scheduler.per_task in
+  checki "skip: no completions" 0 st2.Scheduler.completions;
+  checki "skip: only the burns" 200 r2.Scheduler.busy_time
+
+(* ------------------------------------------------------------------ *)
+(* CAN retry backoff and bus-off                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cfg500 = { Can_bus.bitrate = 500_000 }
+
+let test_can_defaults_unchanged () =
+  let frames =
+    [ Can_bus.frame ~name:"a" ~can_id:1 ~payload_bytes:4 ~period:1000 () ]
+  in
+  let base = Can_bus.simulate cfg500 ~horizon:20_000 frames in
+  let with_defaults =
+    Can_bus.simulate ~faults:(Can_bus.fault_model ~loss_rate:0. ()) cfg500
+      ~horizon:20_000 frames
+  in
+  checkb "default fault model reproduces fault-free run" true
+    (base = with_defaults);
+  checki "no bus-off events without a bus-off model" 0 base.Can_bus.bus_offs
+
+let test_can_bus_off () =
+  let frames =
+    [ Can_bus.frame ~name:"a" ~can_id:1 ~payload_bytes:2 ~period:2000 () ]
+  in
+  let faults =
+    Can_bus.fault_model ~seed:3 ~max_retransmits:4
+      ~bus_off:(Can_bus.bus_off ~off_at:16 ~recovery_us:4000 ())
+      ~loss_rate:1.0 ()
+  in
+  let r = Can_bus.simulate ~faults cfg500 ~horizon:40_000 frames in
+  checkb "permanent corruption drives the bus off" true
+    (r.Can_bus.bus_offs > 0);
+  let st = List.assoc "a" r.Can_bus.per_frame in
+  checki "nothing gets through" 0 st.Can_bus.sent;
+  (* deterministic replay *)
+  let r2 = Can_bus.simulate ~faults cfg500 ~horizon:40_000 frames in
+  checkb "bus-off run replays bit-for-bit" true (r = r2)
+
+let test_can_retry_backoff () =
+  let frames =
+    [ Can_bus.frame ~name:"a" ~can_id:1 ~payload_bytes:4 ~period:5000 () ]
+  in
+  let run backoff =
+    let faults =
+      Can_bus.fault_model ~seed:11 ~retry_backoff_us:backoff ~loss_rate:0.5 ()
+    in
+    Can_bus.simulate ~faults cfg500 ~horizon:100_000 frames
+  in
+  let immediate = run 0 and delayed = run 200 in
+  let lat r = (List.assoc "a" r.Can_bus.per_frame).Can_bus.max_latency in
+  checkb "backoff stretches worst-case latency" true
+    (lat delayed > lat immediate);
+  checkb "backoff run replays bit-for-bit" true (run 200 = delayed)
+
+(* ------------------------------------------------------------------ *)
+(* Dual-channel TT bus                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tt_sched channels =
+  Tt_bus.schedule ~slots_per_cycle:4 ~slot_us:25
+    [ Tt_bus.slot ~channels ~name:"x" ~index:0 ~payload_bytes:4 ();
+      Tt_bus.slot ~channels ~name:"y" ~index:1 ~payload_bytes:2 () ]
+
+let test_tt_fault_free () =
+  let r = Tt_bus.simulate (tt_sched [ Tt_bus.A; Tt_bus.B ]) ~horizon:10_000 in
+  checki "cycles" 100 r.Tt_bus.cycles;
+  List.iter
+    (fun (_, (s : Tt_bus.slot_stats)) ->
+      checki "every instance delivered" s.Tt_bus.instances s.Tt_bus.delivered;
+      checki "no undelivered" 0 s.Tt_bus.undelivered;
+      checki "no gap" 0 s.Tt_bus.max_consec_undelivered)
+    r.Tt_bus.per_slot
+
+let test_tt_validation () =
+  checkb "payload too large" true
+    (try
+       ignore (Tt_bus.slot ~name:"x" ~index:0 ~payload_bytes:255 ());
+       false
+     with Invalid_argument _ -> true);
+  checkb "duplicate index on a channel" true
+    (try
+       ignore
+         (Tt_bus.schedule ~slots_per_cycle:4 ~slot_us:25
+            [ Tt_bus.slot ~name:"x" ~index:0 ~payload_bytes:1 ();
+              Tt_bus.slot ~name:"y" ~index:0 ~payload_bytes:1 () ]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "slot shorter than wire time" true
+    (try
+       ignore
+         (Tt_bus.schedule ~slots_per_cycle:2 ~slot_us:5
+            [ Tt_bus.slot ~name:"x" ~index:0 ~payload_bytes:100 () ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* The redundancy claim at bus level: an outage of channel A loses every
+   single-channel slot inside the window but no dual-channel slot. *)
+let test_tt_channel_outage () =
+  let faults =
+    Tt_bus.fault_model ~seed:1
+      ~a:(Tt_bus.chan_faults ~dead:[ (2_000, 4_000) ] ())
+      ()
+  in
+  let dual =
+    Tt_bus.simulate ~faults (tt_sched [ Tt_bus.A; Tt_bus.B ]) ~horizon:10_000
+  in
+  let single =
+    Tt_bus.simulate ~faults (tt_sched [ Tt_bus.A ]) ~horizon:10_000
+  in
+  List.iter
+    (fun (_, (s : Tt_bus.slot_stats)) ->
+      checki "dual survives the channel-A outage" 0 s.Tt_bus.undelivered;
+      checkb "losses recorded on A" true (s.Tt_bus.lost_a > 0))
+    dual.Tt_bus.per_slot;
+  List.iter
+    (fun (_, (s : Tt_bus.slot_stats)) ->
+      checki "single loses the whole window" 20 s.Tt_bus.undelivered;
+      checkb "gap spans the outage" true
+        (s.Tt_bus.max_consec_undelivered >= 20))
+    single.Tt_bus.per_slot;
+  checkb "deterministic replay" true
+    (Tt_bus.simulate ~faults (tt_sched [ Tt_bus.A ]) ~horizon:10_000 = single)
+
+let test_tt_independent_channels () =
+  (* heavy independent corruption: dual delivery strictly better than
+     single-channel delivery under the same seed *)
+  let faults =
+    Tt_bus.fault_model ~seed:7
+      ~a:(Tt_bus.chan_faults ~loss_rate:0.3 ())
+      ~b:(Tt_bus.chan_faults ~loss_rate:0.3 ())
+      ()
+  in
+  let delivered sched =
+    let r = Tt_bus.simulate ~faults sched ~horizon:50_000 in
+    List.fold_left
+      (fun acc (_, (s : Tt_bus.slot_stats)) -> acc + s.Tt_bus.delivered)
+      0 r.Tt_bus.per_slot
+  in
+  checkb "redundant transmission beats one channel" true
+    (delivered (tt_sched [ Tt_bus.A; Tt_bus.B ])
+    > delivered (tt_sched [ Tt_bus.A ]))
+
 let () =
   Alcotest.run "automode-osek"
     [ ( "task",
@@ -420,7 +597,9 @@ let () =
           Alcotest.test_case "timeline coverage" `Quick test_timeline_coverage;
           Alcotest.test_case "timeline order" `Quick test_timeline_preemption_order;
           Alcotest.test_case "timeline render" `Quick test_timeline_render;
-          Alcotest.test_case "RTA unschedulable" `Quick test_rta_unschedulable ]
+          Alcotest.test_case "RTA unschedulable" `Quick test_rta_unschedulable;
+          Alcotest.test_case "watchdog restart accounting" `Quick
+            test_watchdog_restart_accounting ]
         @ qsuite [ test_rta_property_sim_bounded ] );
       ( "ipc",
         [ Alcotest.test_case "snapshot consistency" `Quick test_ipc_snapshot_consistency;
@@ -433,7 +612,17 @@ let () =
           Alcotest.test_case "load" `Quick test_can_load;
           Alcotest.test_case "supersede" `Quick test_can_supersede;
           Alcotest.test_case "validation" `Quick test_can_validation;
-          Alcotest.test_case "RTA bounds sim" `Quick test_can_rta_bounds_sim ] );
+          Alcotest.test_case "RTA bounds sim" `Quick test_can_rta_bounds_sim;
+          Alcotest.test_case "fault defaults unchanged" `Quick
+            test_can_defaults_unchanged;
+          Alcotest.test_case "bus-off" `Quick test_can_bus_off;
+          Alcotest.test_case "retry backoff" `Quick test_can_retry_backoff ] );
+      ( "tt-bus",
+        [ Alcotest.test_case "fault-free delivery" `Quick test_tt_fault_free;
+          Alcotest.test_case "validation" `Quick test_tt_validation;
+          Alcotest.test_case "channel outage" `Quick test_tt_channel_outage;
+          Alcotest.test_case "independent channels" `Quick
+            test_tt_independent_channels ] );
       ( "comm-matrix",
         [ Alcotest.test_case "check" `Quick test_matrix_check;
           Alcotest.test_case "generator" `Quick test_matrix_generator;

@@ -612,6 +612,62 @@ let test_inject_net_engine_campaign () =
   checkb "campaign deterministic" true
     (results = Robustness.engine_campaign ~seeds:[ 1; 2; 3; 4 ] ())
 
+(* ------------------------------------------------------------------ *)
+(* ECU crash / reset faults (From activation)                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_from_activation () =
+  let f = Fault.dropout ~flow:"x" (Fault.From { from_tick = 5 }) in
+  checkb "inactive before" false (Fault.active f ~tick:4);
+  checkb "active at the crash tick" true (Fault.active f ~tick:5);
+  checkb "permanent" true (Fault.active f ~tick:5000);
+  checkb "negative from rejected" true
+    (try
+       ignore (Fault.dropout ~flow:"x" (Fault.From { from_tick = -1 }));
+       false
+     with Invalid_argument _ -> true)
+
+let test_fault_ecu_crash () =
+  let fs = Fault.ecu_crash ~flows:[ "sensor"; "hb" ] ~at_tick:7 in
+  checki "one dropout per flow" 2 (List.length fs);
+  List.iter
+    (fun f ->
+      checkb "silent from the crash on" true
+        (Fault.active f ~tick:7 && Fault.active f ~tick:100);
+      checkb "alive before" false (Fault.active f ~tick:6))
+    fs;
+  checkb "empty flow list rejected" true
+    (try ignore (Fault.ecu_crash ~flows:[] ~at_tick:0); false
+     with Invalid_argument _ -> true)
+
+let test_fault_ecu_reset () =
+  let fs = Fault.ecu_reset ~flows:[ "sensor" ] ~at_tick:10 ~down_ticks:4 in
+  let f = List.hd fs in
+  checkb "down during the outage" true
+    (Fault.active f ~tick:10 && Fault.active f ~tick:13);
+  checkb "rejoins afterwards" false (Fault.active f ~tick:14);
+  checkb "non-positive outage rejected" true
+    (try
+       ignore (Fault.ecu_reset ~flows:[ "s" ] ~at_tick:0 ~down_ticks:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* A crash drops the flow's messages mid-run: stimulus present every
+   tick, faulty stream absent exactly from the crash tick. *)
+let test_fault_crash_applies () =
+  let stimulus tick = [ ("s", Value.Present (Value.Int tick)) ] in
+  let faulty =
+    Fault.apply (Fault.ecu_crash ~flows:[ "s" ] ~at_tick:3) stimulus
+  in
+  List.iter
+    (fun tick ->
+      let v = List.assoc "s" (faulty tick) in
+      if tick < 3 then
+        checkb "delivered before the crash" true
+          (v = Value.Present (Value.Int tick))
+      else checkb "silent after the crash" true (v = Value.Absent))
+    [ 0; 1; 2; 3; 4; 9 ]
+
 let () =
   Alcotest.run "automode-robust"
     [ ( "fault",
@@ -627,7 +683,13 @@ let () =
             test_fault_query_order_independent;
           Alcotest.test_case "activation deterministic" `Quick
             test_fault_activation_deterministic;
-          Alcotest.test_case "validation" `Quick test_fault_validation ] );
+          Alcotest.test_case "validation" `Quick test_fault_validation;
+          Alcotest.test_case "From activation" `Quick
+            test_fault_from_activation;
+          Alcotest.test_case "ecu crash" `Quick test_fault_ecu_crash;
+          Alcotest.test_case "ecu reset" `Quick test_fault_ecu_reset;
+          Alcotest.test_case "crash applies to stimulus" `Quick
+            test_fault_crash_applies ] );
       ( "monitor",
         [ Alcotest.test_case "range" `Quick test_monitor_range;
           Alcotest.test_case "bounded response" `Quick
