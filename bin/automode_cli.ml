@@ -335,22 +335,76 @@ let emit out text =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
+(* Observability: --metrics/--trace flags shared by the campaign
+   commands and the profile command. *)
+
+module Obs = Automode_obs
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write a deterministic metrics CSV to $(docv).")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome-trace JSON (open in chrome://tracing or \
+                 Perfetto) to $(docv).")
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* Run [f] under a standard probe sink when any observability output was
+   requested.  Returns [f]'s result plus the deterministic metrics
+   appendix destined for the report: counters only, never wall-clock
+   data, so reports stay byte-identical across reruns. *)
+let with_observability ~metrics ~trace_out f =
+  if metrics = None && trace_out = None then (f (), None)
+  else begin
+    let m = Obs.Metrics.create () in
+    let span = Option.map (fun _ -> Obs.Span.create ()) trace_out in
+    let sink = Obs.Probe.standard ?span m in
+    let result = Obs.Probe.with_sink sink f in
+    Option.iter (fun p -> write_file p (Obs.Metrics.to_csv m)) metrics;
+    (match span, trace_out with
+     | Some sp, Some p -> write_file p (Obs.Span.to_chrome_json sp)
+     | _ -> ());
+    (result, Some ("\nmetrics appendix:\n" ^ Obs.Metrics.to_text m))
+  end
+
+let append_appendix text = function
+  | None -> text
+  | Some appendix -> text ^ appendix
+
 let robustness_cmd =
-  let run seeds count csv no_shrink engine horizon out =
+  let run seeds count csv no_shrink engine horizon out metrics trace_out =
     let seeds = resolve_seeds seeds count in
     (* CI gate: any failing scenario makes the run exit non-zero *)
     if engine then begin
-      let results = Robustness.engine_campaign ~horizon ~seeds () in
-      emit out (Format.asprintf "%a" Robustness.pp_engine_campaign results);
+      let results, appendix =
+        with_observability ~metrics ~trace_out (fun () ->
+            Robustness.engine_campaign ~horizon ~seeds ())
+      in
+      emit out
+        (append_appendix
+           (Format.asprintf "%a" Robustness.pp_engine_campaign results)
+           appendix);
       if List.exists (fun (_, vs) -> verdicts_fail vs) results then exit 1
     end
     else begin
-      let campaign =
-        Robustness.door_lock_campaign ~shrink:(not no_shrink) ~seeds ()
+      let campaign, appendix =
+        with_observability ~metrics ~trace_out (fun () ->
+            Robustness.door_lock_campaign ~shrink:(not no_shrink) ~seeds ())
       in
       emit out
         (if csv then Automode_robust.Report.to_csv campaign
-         else Automode_robust.Report.to_text campaign);
+         else
+           append_appendix
+             (Automode_robust.Report.to_text campaign)
+             appendix);
       if campaign.Automode_robust.Scenario.failures <> [] then exit 1
     end
   in
@@ -369,31 +423,42 @@ let robustness_cmd =
          "Seeded fault-injection campaigns over the case studies \
           (deterministic: the same seeds reproduce the same report)")
     Term.(const run $ seed_list_arg $ seed_count_arg $ csv_flag
-          $ no_shrink_flag $ engine_flag $ horizon_arg $ out_arg)
+          $ no_shrink_flag $ engine_flag $ horizon_arg $ out_arg
+          $ metrics_arg $ trace_out_arg)
 
 let guard_cmd =
-  let run seeds count no_shrink engine horizon out =
+  let run seeds count no_shrink engine horizon out metrics trace_out =
     let seeds = resolve_seeds seeds count in
     if engine then begin
-      let results = Robustness.engine_campaign ~horizon ~seeds () in
-      let guarded = Guarded.guarded_engine_campaign ~horizon ~seeds () in
+      let (results, guarded), appendix =
+        with_observability ~metrics ~trace_out (fun () ->
+            ( Robustness.engine_campaign ~horizon ~seeds (),
+              Guarded.guarded_engine_campaign ~horizon ~seeds () ))
+      in
       emit out
-        (Format.asprintf "unguarded engine deployment:@.%a%s%a"
-           Robustness.pp_engine_campaign results
-           "guarded engine deployment (E2E frames + watchdog):\n"
-           Robustness.pp_engine_campaign guarded);
+        (append_appendix
+           (Format.asprintf "unguarded engine deployment:@.%a%s%a"
+              Robustness.pp_engine_campaign results
+              "guarded engine deployment (E2E frames + watchdog):\n"
+              Robustness.pp_engine_campaign guarded)
+           appendix);
       (* only the guarded side gates: the unguarded run is the contrast *)
       if List.exists (fun (_, vs) -> verdicts_fail vs) guarded then exit 1
     end
     else begin
       let shrink = not no_shrink in
-      let cmp = Guarded.door_lock_comparison ~shrink ~seeds () in
-      let recovery = Guarded.recovery_campaign ~shrink ~seeds () in
+      let (cmp, recovery), appendix =
+        with_observability ~metrics ~trace_out (fun () ->
+            ( Guarded.door_lock_comparison ~shrink ~seeds (),
+              Guarded.recovery_campaign ~shrink ~seeds () ))
+      in
       emit out
-        (Format.asprintf "%a%-20s %d/%d seeds failing@."
-           Guarded.pp_comparison cmp "door-lock-recovery"
-           (List.length recovery.Automode_robust.Scenario.failures)
-           (List.length seeds));
+        (append_appendix
+           (Format.asprintf "%a%-20s %d/%d seeds failing@."
+              Guarded.pp_comparison cmp "door-lock-recovery"
+              (List.length recovery.Automode_robust.Scenario.failures)
+              (List.length seeds))
+           appendix);
       if
         cmp.Guarded.guarded.Automode_robust.Scenario.failures <> []
         || recovery.Automode_robust.Scenario.failures <> []
@@ -415,13 +480,18 @@ let guard_cmd =
           limp-home manager, E2E frames, scheduler watchdog); exits \
           non-zero if the guarded side fails")
     Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
-          $ engine_flag $ horizon_arg $ out_arg)
+          $ engine_flag $ horizon_arg $ out_arg $ metrics_arg
+          $ trace_out_arg)
 
 let redund_cmd =
-  let run seeds count no_shrink horizon out =
+  let run seeds count no_shrink horizon out metrics trace_out =
     let seeds = resolve_seeds seeds count in
-    let r = Replicated.campaign ~shrink:(not no_shrink) ~horizon ~seeds () in
-    emit out (Format.asprintf "%a" Replicated.pp_report r);
+    let r, appendix =
+      with_observability ~metrics ~trace_out (fun () ->
+          Replicated.campaign ~shrink:(not no_shrink) ~horizon ~seeds ())
+    in
+    emit out
+      (append_appendix (Format.asprintf "%a" Replicated.pp_report r) appendix);
     (* the protected configurations gate; the simplex and single-channel
        legs are the contrast *)
     if not (Replicated.gate r) then exit 1
@@ -435,7 +505,83 @@ let redund_cmd =
           dual-channel TT bus); exits non-zero if a protected \
           configuration fails")
     Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
-          $ horizon_arg $ out_arg)
+          $ horizon_arg $ out_arg $ metrics_arg $ trace_out_arg)
+
+let profile_cmd =
+  (* Target registry: a name, a short description, and the action to run
+     under the probe sink.  Trace-producing targets feed the guard/redund
+     trace observers so health/voter/failover metrics appear too. *)
+  let targets : (string * string * (ticks:int -> unit)) list =
+    [ ( "pipeline", "full reengineer/cluster/deploy/codegen pipeline (E3)",
+        fun ~ticks:_ -> ignore (Pipeline.run ()) );
+      ( "guarded",
+        "guarded door-lock controller on the lock stimulus (health flows)",
+        fun ~ticks ->
+          let trace =
+            Sim.run ~ticks ~inputs:Robustness.lock_stimulus Guarded.component
+          in
+          Automode_guard.Health.observe trace );
+      ( "replicated",
+        "replicated engine cluster on the drive stimulus (voter/failover)",
+        fun ~ticks ->
+          let trace =
+            Sim.run ~ticks ~inputs:Replicated.repl_stimulus
+              Replicated.replicated
+          in
+          Automode_guard.Health.observe trace;
+          Automode_redund.Voter.observe trace;
+          Automode_redund.Failover.observe trace ) ]
+    @ List.map
+        (fun (name, mk) ->
+          ( name, "bundled model on its demo stimulus",
+            fun ~ticks ->
+              let trace = mk ticks in
+              Automode_guard.Health.observe trace ))
+        bundled_traces
+  in
+  let run name ticks metrics trace_out =
+    let _, _, action =
+      match
+        List.find_opt (fun (n, _, _) -> String.equal n name) targets
+      with
+      | Some t -> t
+      | None ->
+        prerr_endline
+          ("error: unknown profile target " ^ name ^ " (available: "
+          ^ String.concat ", " (List.map (fun (n, _, _) -> n) targets)
+          ^ ")");
+        exit 1
+    in
+    let m = Obs.Metrics.create () in
+    let span = Obs.Span.create () in
+    let prof = Obs.Profile.create () in
+    let sink = Obs.Probe.standard ~span ~profile:prof m in
+    Obs.Profile.time prof ("profile." ^ name) (fun () ->
+        Obs.Probe.with_sink sink (fun () -> action ~ticks));
+    (* deterministic artifacts first, wall-clock summary (stdout only,
+       never a byte-compared artifact) last *)
+    Option.iter (fun p -> write_file p (Obs.Metrics.to_csv m)) metrics;
+    Option.iter (fun p -> write_file p (Obs.Span.to_chrome_json span)) trace_out;
+    print_string (Obs.Metrics.to_text m);
+    print_newline ();
+    print_string (Obs.Profile.summary prof)
+  in
+  let target_arg =
+    let doc =
+      "Profile target: pipeline, guarded, replicated, or a bundled model ("
+      ^ String.concat ", " model_names ^ ")."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a case study under full instrumentation: deterministic \
+          metrics (--metrics CSV, byte-identical across runs), \
+          Chrome-trace spans (--trace JSON), and a wall-clock \
+          per-component summary on stdout")
+    Term.(const run $ target_arg $ ticks_arg 200 $ metrics_arg
+          $ trace_out_arg)
 
 let pipeline_cmd =
   let run () =
@@ -461,4 +607,4 @@ let () =
           [ simulate_cmd; render_cmd; causality_cmd; rules_cmd; check_cmd;
             reengineer_cmd; deploy_cmd; codegen_cmd; save_cmd;
             check_model_cmd; timeline_cmd; robustness_cmd; guard_cmd;
-            redund_cmd; pipeline_cmd ]))
+            redund_cmd; profile_cmd; pipeline_cmd ]))

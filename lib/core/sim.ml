@@ -2,6 +2,42 @@ exception Sim_error of string
 
 let sim_error fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
 
+(* Observability hooks.  Every probe site is guarded by [Probe.active]
+   (a single ref load), so an uninstrumented run takes the exact same
+   path and produces byte-identical traces.  Metric keys are memoized —
+   the same channels and components fire every tick, and rebuilding
+   "sim.ch.<name>.present" each time dominates probe cost (E16). *)
+module Probe = Automode_obs.Probe
+
+let memo_key (table : (string, 'a) Hashtbl.t) build name =
+  match Hashtbl.find table name with
+  | k -> k
+  | exception Not_found ->
+    let k = build name in
+    Hashtbl.add table name k;
+    k
+
+let chan_keys : (string, Probe.counter * Probe.counter) Hashtbl.t =
+  Hashtbl.create 64
+
+let probe_channel_counters name =
+  memo_key chan_keys
+    (fun name ->
+      ( Probe.counter ("sim.ch." ^ name ^ ".present"),
+        Probe.counter ("sim.ch." ^ name ^ ".absent") ))
+    name
+
+let fire_keys : (string, Probe.counter) Hashtbl.t = Hashtbl.create 64
+
+let probe_fire_counter name =
+  memo_key fire_keys (fun name -> Probe.counter ("sim.fire." ^ name)) name
+
+let probe_value (present, absent) v =
+  Probe.hit
+    (match v with Value.Present _ -> present | Value.Absent -> absent)
+
+let sim_ticks = Probe.counter "sim.ticks"
+
 type comp_state =
   | S_exprs of (string * Expr.state) list
   | S_std of Std_machine.state
@@ -10,11 +46,15 @@ type comp_state =
   | S_unspec
 
 and net_state = {
-  (* evaluation order of sub-components (topological for DFDs) *)
-  order : string list;
+  (* evaluation order of sub-components (topological for DFDs), each
+     with its pre-resolved fire-count probe handle *)
+  order : (string * Probe.counter) list;
   sub : (string * comp_state) list;
   (* delay registers, keyed by channel name *)
   buffers : (string * Value.message) list;
+  (* per-channel present/absent probe handles, aligned with the
+     network's channel list — resolved once at init, not per tick *)
+  chan_probes : (Probe.counter * Probe.counter) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -51,7 +91,11 @@ let rec init_behavior (behavior : Model.behavior) : comp_state =
   | Model.B_unspecified -> S_unspec
 
 and init_net ~order (net : Model.network) =
-  { order;
+  { order = List.map (fun name -> (name, probe_fire_counter name)) order;
+    chan_probes =
+      List.map
+        (fun (ch : Model.channel) -> probe_channel_counters ch.ch_name)
+        net.net_channels;
     sub =
       List.map
         (fun (c : Model.component) -> (c.comp_name, init_behavior c.comp_behavior))
@@ -116,6 +160,7 @@ let rec step_behavior ~schedule ~tick ~(ports : Model.port list)
     in
     (outs, S_std st')
   | Model.B_mtd mtd, S_mtd { current; mode_states } ->
+    let previous = current in
     let current =
       match
         Mtd.enabled_transition ~schedule ~tick ~env:inputs mtd ~current
@@ -123,6 +168,12 @@ let rec step_behavior ~schedule ~tick ~(ports : Model.port list)
       | Some t -> t.mt_dst
       | None -> current
     in
+    if Probe.active () && not (String.equal previous current) then begin
+      Probe.count
+        ("mtd." ^ mtd.mtd_name ^ ".switch." ^ previous ^ "->" ^ current);
+      Probe.instant ~tick ~cat:"mode"
+        (mtd.mtd_name ^ ":" ^ previous ^ "->" ^ current)
+    end;
     let mode =
       match Mtd.find_mode mtd current with
       | Some m -> m
@@ -211,7 +262,7 @@ and step_network ~schedule ~tick ~inputs ~ssd (net : Model.network) ns =
   (* Evaluate sub-components in (topological) order. *)
   let computed, sub' =
     List.fold_left
-      (fun (computed, sub_states) comp_name ->
+      (fun (computed, sub_states) (comp_name, fire) ->
         let comp =
           match Model.find_component net comp_name with
           | Some c -> c
@@ -223,10 +274,15 @@ and step_network ~schedule ~tick ~inputs ~ssd (net : Model.network) ns =
           | None -> init_behavior comp.comp_behavior
         in
         let comp_inputs port = input_of computed comp_name port in
+        if Probe.active () then begin
+          Probe.hit fire;
+          if Probe.spans_on () then Probe.enter ~tick comp_name
+        end;
         let outs, st' =
           step_behavior ~schedule ~tick ~ports:comp.comp_ports
             ~inputs:comp_inputs comp.comp_behavior st
         in
+        if Probe.spans_on () then Probe.exit_ ~tick comp_name;
         ((comp_name, outs) :: computed, (comp_name, st') :: sub_states))
       ([], []) ns.order
   in
@@ -242,9 +298,12 @@ and step_network ~schedule ~tick ~inputs ~ssd (net : Model.network) ns =
   in
   (* Refresh every delay register with this tick's source value. *)
   let buffers' =
-    List.map
-      (fun (ch : Model.channel) -> (ch.ch_name, source_value computed ch))
-      net.net_channels
+    List.map2
+      (fun (ch : Model.channel) probes ->
+        let v = source_value computed ch in
+        if Probe.active () then probe_value probes v;
+        (ch.ch_name, v))
+      net.net_channels ns.chan_probes
   in
   (boundary_outputs, S_net { ns with sub = sub'; buffers = buffers' })
 
@@ -293,7 +352,12 @@ let run ?(schedule = Clock.no_events) ~ticks ~inputs (comp : Model.component) =
         | Some msg -> msg
         | None -> Value.Absent
       in
+      if Probe.active () then begin
+        Probe.hit sim_ticks;
+        if Probe.spans_on () then Probe.enter ~tick ~cat:"tick" "tick"
+      end;
       let outs, state' = step ~schedule ~tick ~inputs:input_fn comp state in
+      if Probe.spans_on () then Probe.exit_ ~tick ~cat:"tick" "tick";
       let row =
         List.map (fun port -> (port, input_fn port)) in_names @ outs
       in
@@ -315,6 +379,10 @@ type routed_channel = {
   rc_name : string;
   rc_source : source;
   rc_delayed : bool;
+  (* probe handles resolved at compile time — the compiled engine's
+     hot loop must not hash key strings per tick (E16) *)
+  rc_present : Probe.counter;
+  rc_absent : Probe.counter;
 }
 
 type compiled_comp = {
@@ -367,7 +435,9 @@ and compile_network ~name ~out_ports ~ssd (net : Model.network) =
         (match ch.ch_src.ep_comp with
          | None -> From_boundary ch.ch_src.ep_port
          | Some comp -> From_component (comp, ch.ch_src.ep_port));
-      rc_delayed = channel_is_delayed ~ssd ch }
+      rc_delayed = channel_is_delayed ~ssd ch;
+      rc_present = fst (probe_channel_counters ch.ch_name);
+      rc_absent = snd (probe_channel_counters ch.ch_name) }
   in
   (* per sub-component, its compiled step and the driving channel of every
      input port, resolved once *)
@@ -398,7 +468,8 @@ and compile_network ~name ~out_ports ~ssd (net : Model.network) =
         ( comp_name,
           drivers,
           compile_behavior ~name:comp_name ~ports:comp.comp_ports
-            comp.comp_behavior ))
+            comp.comp_behavior,
+          probe_fire_counter comp_name ))
       order
   in
   let boundary_channels =
@@ -433,7 +504,7 @@ and compile_network ~name ~out_ports ~ssd (net : Model.network) =
     in
     let computed, sub' =
       List.fold_left
-        (fun (computed, sub_states) (comp_name, drivers, cc) ->
+        (fun (computed, sub_states) (comp_name, drivers, cc, fire) ->
           let st =
             match List.assoc_opt comp_name ns.sub with
             | Some st -> st
@@ -444,7 +515,12 @@ and compile_network ~name ~out_ports ~ssd (net : Model.network) =
             | Some rc -> channel_read ns.buffers computed inputs rc
             | None -> Value.Absent
           in
+          if Probe.active () then begin
+            Probe.hit fire;
+            if Probe.spans_on () then Probe.enter ~tick comp_name
+          end;
           let outs, st' = cc.cc_step schedule tick comp_inputs st in
+          if Probe.spans_on () then Probe.exit_ ~tick comp_name;
           ((comp_name, outs) :: computed, (comp_name, st') :: sub_states))
         ([], []) compiled_subs
     in
@@ -456,7 +532,14 @@ and compile_network ~name ~out_ports ~ssd (net : Model.network) =
     in
     let buffers' =
       List.map
-        (fun rc -> (rc.rc_name, source_value computed inputs rc.rc_source))
+        (fun rc ->
+          let v = source_value computed inputs rc.rc_source in
+          if Probe.active () then
+            Probe.hit
+              (match v with
+               | Value.Present _ -> rc.rc_present
+               | Value.Absent -> rc.rc_absent);
+          (rc.rc_name, v))
         all_routes
     in
     (boundary_outputs, S_net { ns with sub = List.rev sub'; buffers = buffers' })
@@ -508,7 +591,12 @@ let run_compiled ?(schedule = Clock.no_events) ~ticks ~inputs (cc : compiled) =
         | Some msg -> msg
         | None -> Value.Absent
       in
+      if Probe.active () then begin
+        Probe.hit sim_ticks;
+        if Probe.spans_on () then Probe.enter ~tick ~cat:"tick" "tick"
+      end;
       let outs, state' = compiled_step ~schedule ~tick ~inputs:input_fn cc state in
+      if Probe.spans_on () then Probe.exit_ ~tick ~cat:"tick" "tick";
       let row = List.map (fun port -> (port, input_fn port)) in_names @ outs in
       go (tick + 1) state' (Trace.record trace row)
   in

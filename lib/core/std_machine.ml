@@ -52,6 +52,10 @@ let step ?(schedule = Clock.no_events) ~tick ~env (std : Model.std) state =
   match fired with
   | None -> ([], state)
   | Some t ->
+    if Automode_obs.Probe.active () && not (String.equal t.st_src t.st_dst)
+    then
+      Automode_obs.Probe.count
+        ("std." ^ std.std_name ^ "." ^ t.st_src ^ "->" ^ t.st_dst);
     let outputs =
       List.map
         (fun (port, expr) ->

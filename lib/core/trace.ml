@@ -152,17 +152,9 @@ let pp ppf t =
 
 let to_string t = Format.asprintf "%a" pp t
 
-(* RFC 4180: cells containing a comma, double quote, CR or LF are wrapped
-   in double quotes with embedded quotes doubled.  Tuple values render as
-   "(1, 2)" (Value.pp), so they need this. *)
-let csv_cell s =
-  if
-    String.exists
-      (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
-      s
-  then
-    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
-  else s
+(* Tuple values render as "(1, 2)" (Value.pp), so cells need RFC 4180
+   quoting — done by the one shared writer in Obs.Csv. *)
+let csv_cell = Automode_obs.Csv.cell
 
 let to_csv t =
   let buf = Buffer.create 256 in

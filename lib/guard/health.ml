@@ -252,3 +252,38 @@ let protect ?name ?(expose_qualified = false) ~flows comp =
          { Model.net_name = wrapper_name ^ "Net";
            net_components = qualifiers @ [ comp ];
            net_channels = qual_channels @ forward_channels @ out_channels })
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let chop_suffix name suffix =
+  let nl = String.length name and sl = String.length suffix in
+  if nl > sl && String.equal (String.sub name (nl - sl) sl) suffix then
+    Some (String.sub name 0 (nl - sl))
+  else None
+
+let observe trace =
+  if Automode_obs.Probe.active () then
+    List.iter
+      (fun flow ->
+        match chop_suffix flow "_status" with
+        | None -> ()
+        | Some base ->
+          let previous = ref None in
+          List.iter
+            (fun msg ->
+              match msg with
+              | Value.Absent -> ()
+              | Value.Present v ->
+                let status = Value.to_string v in
+                Automode_obs.Probe.count
+                  ("health." ^ base ^ "." ^ status);
+                (match !previous with
+                 | Some prev when not (String.equal prev status) ->
+                   Automode_obs.Probe.count
+                     ("health." ^ base ^ ".transitions")
+                 | Some _ | None -> ());
+                previous := Some status)
+            (Trace.column trace flow))
+      (Trace.flows trace)

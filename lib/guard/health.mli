@@ -95,3 +95,10 @@ val protect :
     Default name: [<comp>Guarded].
     @raise Invalid_argument on an empty flow list or a name that is not
     an input port of [comp]. *)
+
+val observe : Trace.t -> unit
+(** Feed health-qualification metrics from a finished trace to the
+    installed probe sink (a no-op without one): for every flow named
+    [<base>_status], count per-verdict ticks as [health.<base>.<Status>]
+    and verdict changes as [health.<base>.transitions].  Scanning the
+    trace after the run keeps the simulation itself untouched. *)

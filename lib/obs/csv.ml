@@ -1,0 +1,19 @@
+(* The one RFC 4180 quoting implementation shared by every CSV writer in
+   the repository (Trace.to_csv, robustness campaign reports, metrics
+   dumps).  Kept dependency-free so any library can use it. *)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let cell s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let line cells = String.concat "," (List.map cell cells) ^ "\n"
+
+let table ~header rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line header);
+  List.iter (fun row -> Buffer.add_string buf (line row)) rows;
+  Buffer.contents buf

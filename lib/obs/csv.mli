@@ -1,0 +1,23 @@
+(** Shared RFC 4180 CSV writing.
+
+    Every CSV emitted by this repository (simulation traces, campaign
+    reports, metrics dumps) goes through this one quoting
+    implementation, so the quoting rules cannot drift between writers:
+    a cell containing a comma, a double quote, a CR or an LF is wrapped
+    in double quotes with embedded double quotes doubled; every other
+    cell is passed through verbatim.  Output is deterministic — the
+    same cells always render to the same bytes. *)
+
+val cell : string -> string
+(** Quote one cell per RFC 4180 (see above).  The empty string renders
+    as the empty string, not as [""]. *)
+
+val line : string list -> string
+(** Render one record: the quoted cells joined by commas, terminated by
+    a single [\n] (RFC 4180 permits bare LF; all writers in this
+    repository use it for byte-identical output across platforms). *)
+
+val table : header:string list -> string list list -> string
+(** [table ~header rows] renders the header line followed by one line
+    per row.  Rows are not padded or truncated to the header width —
+    callers are expected to pass rectangular data. *)

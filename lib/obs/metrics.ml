@@ -1,0 +1,157 @@
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  buckets : int array; (* bucket i counts samples <= 2^i - 1 *)
+}
+
+type cell = Counter of int ref | Gauge of int ref | Hist of hist
+
+let n_buckets = 31
+
+type t = {
+  cells : (string, cell) Hashtbl.t;
+  mutable rev_keys : string list; (* newest first *)
+}
+
+let create () = { cells = Hashtbl.create 64; rev_keys = [] }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let mismatch key want cell =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: key %S is a %s, not a %s" key
+       (kind_name cell) want)
+
+let register t key cell =
+  Hashtbl.add t.cells key cell;
+  t.rev_keys <- key :: t.rev_keys
+
+(* [Hashtbl.find] + [Not_found] rather than [find_opt]: the hit path is
+   the per-event hot path and must not allocate an option. *)
+let add t key by =
+  match Hashtbl.find t.cells key with
+  | Counter r -> r := !r + by
+  | c -> mismatch key "counter" c
+  | exception Not_found -> register t key (Counter (ref by))
+
+let incr t ?(by = 1) key = add t key by
+
+let counter_cell t key =
+  match Hashtbl.find t.cells key with
+  | Counter r -> r
+  | c -> mismatch key "counter" c
+  | exception Not_found ->
+    let r = ref 0 in
+    register t key (Counter r);
+    r
+
+let set_gauge t key v =
+  match Hashtbl.find_opt t.cells key with
+  | Some (Gauge r) -> r := v
+  | Some c -> mismatch key "gauge" c
+  | None -> register t key (Gauge (ref v))
+
+let bucket_of v =
+  (* first i with 2^i - 1 >= v; negatives land in bucket 0 *)
+  let rec go i bound = if v <= bound || i = n_buckets - 1 then i else go (i + 1) ((2 * bound) + 1) in
+  go 0 0
+
+let observe t key v =
+  let h =
+    match Hashtbl.find_opt t.cells key with
+    | Some (Hist h) -> h
+    | Some c -> mismatch key "histogram" c
+    | None ->
+      let h =
+        { h_count = 0; h_sum = 0; h_min = max_int; h_max = min_int;
+          buckets = Array.make n_buckets 0 }
+      in
+      register t key (Hist h);
+      h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let value t key =
+  match Hashtbl.find_opt t.cells key with
+  | Some (Counter r) | Some (Gauge r) -> Some !r
+  | Some (Hist h) -> Some h.h_count
+  | None -> None
+
+let keys t = List.rev t.rev_keys
+
+let reset t =
+  Hashtbl.reset t.cells;
+  t.rev_keys <- []
+
+let fold t f =
+  List.map (fun key -> f key (Hashtbl.find t.cells key)) (keys t)
+
+let to_text t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun key ->
+      match Hashtbl.find t.cells key with
+      | Counter r -> Buffer.add_string buf (Printf.sprintf "%s = %d\n" key !r)
+      | Gauge r -> Buffer.add_string buf (Printf.sprintf "%s = %d (gauge)\n" key !r)
+      | Hist h ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s : count=%d sum=%d min=%d max=%d\n" key
+             h.h_count h.h_sum
+             (if h.h_count = 0 then 0 else h.h_min)
+             (if h.h_count = 0 then 0 else h.h_max)))
+    (keys t);
+  Buffer.contents buf
+
+let to_csv t =
+  let rows =
+    fold t (fun key cell ->
+        match cell with
+        | Counter r -> [ key; "counter"; string_of_int !r; ""; ""; ""; "" ]
+        | Gauge r -> [ key; "gauge"; string_of_int !r; ""; ""; ""; "" ]
+        | Hist h ->
+          [ key; "histogram"; "";
+            string_of_int h.h_count;
+            string_of_int h.h_sum;
+            string_of_int (if h.h_count = 0 then 0 else h.h_min);
+            string_of_int (if h.h_count = 0 then 0 else h.h_max) ])
+  in
+  Csv.table ~header:[ "key"; "kind"; "value"; "count"; "sum"; "min"; "max" ] rows
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i key ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Span.json_string key);
+      Buffer.add_char buf ':';
+      match Hashtbl.find t.cells key with
+      | Counter r | Gauge r -> Buffer.add_string buf (string_of_int !r)
+      | Hist h ->
+        (* trim trailing empty buckets for compactness *)
+        let last = ref 0 in
+        Array.iteri (fun i c -> if c > 0 then last := i) h.buckets;
+        let bs =
+          Array.to_list (Array.sub h.buckets 0 (!last + 1))
+          |> List.map string_of_int |> String.concat ","
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"buckets\":[%s]}"
+             h.h_count h.h_sum
+             (if h.h_count = 0 then 0 else h.h_min)
+             (if h.h_count = 0 then 0 else h.h_max)
+             bs))
+    (keys t);
+  Buffer.add_char buf '}';
+  Buffer.contents buf

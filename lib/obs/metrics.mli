@@ -1,0 +1,75 @@
+(** Deterministic metrics registry.
+
+    A registry holds string-keyed, integer-valued cells — counters,
+    gauges and histograms — in {e insertion order}.  All values are
+    derived from the deterministic simulation (ticks, fire counts,
+    frame counts), never from wall time, so the rendered output of two
+    identical runs is byte-identical.  Wall-clock measurement lives in
+    {!Profile}, deliberately kept out of this registry.
+
+    Keys follow a dotted naming scheme, e.g. [sim.fire.controller],
+    [sched.door_task.activations], [can.lock_cmd.dropped].  A key is
+    bound to one kind on first use; using it with a different kind
+    raises [Invalid_argument]. *)
+
+type t
+(** A mutable metrics registry. *)
+
+val create : unit -> t
+(** A fresh registry with no cells. *)
+
+val incr : t -> ?by:int -> string -> unit
+(** [incr t key] adds [by] (default 1) to the counter [key], creating
+    it at 0 first if absent.  @raise Invalid_argument if [key] already
+    names a gauge or histogram. *)
+
+val add : t -> string -> int -> unit
+(** [add t key by] is [incr t ~by key] without the optional-argument
+    wrapper — the allocation-free form used by the {!Probe.standard}
+    sink on the per-event hot path. *)
+
+val counter_cell : t -> string -> int ref
+(** The underlying cell of counter [key], created at 0 if absent.
+    Resolve once, then increment through the ref with no further
+    lookups — this is what makes {!Probe.counter} handles cheap.
+    @raise Invalid_argument if [key] names a gauge or histogram. *)
+
+val set_gauge : t -> string -> int -> unit
+(** [set_gauge t key v] sets the gauge [key] to [v], creating it if
+    absent.  @raise Invalid_argument if [key] already names a counter
+    or histogram. *)
+
+val observe : t -> string -> int -> unit
+(** [observe t key v] records sample [v] into the histogram [key],
+    creating it if absent.  Histograms track count, sum, min, max and
+    power-of-two bucket counts (a sample [v] lands in the first bucket
+    whose upper bound [2^i - 1] is [>= v]; negative samples land in the
+    first bucket).  @raise Invalid_argument if [key] already names a
+    counter or gauge. *)
+
+val value : t -> string -> int option
+(** Current value of counter/gauge [key] ([None] if absent).  For a
+    histogram, returns its sample count. *)
+
+val keys : t -> string list
+(** All registered keys in insertion order. *)
+
+val reset : t -> unit
+(** Remove every cell, returning the registry to its freshly-created
+    state. *)
+
+val to_text : t -> string
+(** Human-readable dump, one [key = value] line per cell in insertion
+    order; histograms render count/sum/min/max.  Deterministic. *)
+
+val to_csv : t -> string
+(** CSV dump with header [key,kind,value,count,sum,min,max], one row
+    per cell in insertion order, quoted by {!Csv}.  Counters and gauges
+    fill only [value]; histograms fill [count,sum,min,max].
+    Deterministic — byte-identical across identical runs. *)
+
+val to_json : t -> string
+(** JSON object mapping each key (insertion order preserved) to either
+    an integer (counter/gauge) or an object
+    [{"count":..,"sum":..,"min":..,"max":..,"buckets":[..]}]
+    (histogram).  Deterministic. *)

@@ -1,0 +1,60 @@
+type acc = { mutable count : int; mutable total : float; mutable max : float }
+
+type entry = {
+  pr_key : string;
+  pr_count : int;
+  pr_total_s : float;
+  pr_max_s : float;
+}
+
+type t = {
+  accs : (string, acc) Hashtbl.t;
+  mutable rev_keys : string list;
+}
+
+let create () = { accs = Hashtbl.create 16; rev_keys = [] }
+
+let record t key seconds =
+  let seconds = if seconds < 0. then 0. else seconds in
+  let a =
+    match Hashtbl.find_opt t.accs key with
+    | Some a -> a
+    | None ->
+      let a = { count = 0; total = 0.; max = 0. } in
+      Hashtbl.add t.accs key a;
+      t.rev_keys <- key :: t.rev_keys;
+      a
+  in
+  a.count <- a.count + 1;
+  a.total <- a.total +. seconds;
+  if seconds > a.max then a.max <- seconds
+
+let time t key f =
+  let t0 = Unix.gettimeofday () in
+  let finish () = record t key (Unix.gettimeofday () -. t0) in
+  match f () with
+  | v -> finish (); v
+  | exception e -> finish (); raise e
+
+let entries t =
+  List.map
+    (fun key ->
+      let a = Hashtbl.find t.accs key in
+      { pr_key = key; pr_count = a.count; pr_total_s = a.total; pr_max_s = a.max })
+    (List.rev t.rev_keys)
+
+let summary t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-32s %8s %12s %10s %10s\n" "scope" "count" "total_ms"
+       "mean_us" "max_us");
+  List.iter
+    (fun e ->
+      let mean_us =
+        if e.pr_count = 0 then 0. else e.pr_total_s /. float_of_int e.pr_count *. 1e6
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-32s %8d %12.3f %10.1f %10.1f\n" e.pr_key e.pr_count
+           (e.pr_total_s *. 1e3) mean_us (e.pr_max_s *. 1e6)))
+    (entries t);
+  Buffer.contents buf

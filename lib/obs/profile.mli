@@ -1,0 +1,38 @@
+(** Wall-clock profiling, kept strictly separate from {!Metrics}.
+
+    A profile accumulates real elapsed time per string key.  Its
+    numbers are inherently non-deterministic (they depend on the host
+    machine and load), which is why they never flow into the
+    deterministic metrics registry or into any byte-compared artifact:
+    profile summaries are printed to stdout only, never written to the
+    [--metrics]/[--trace] files. *)
+
+type t
+(** A mutable wall-clock accumulator. *)
+
+type entry = {
+  pr_key : string;    (** profiled scope name *)
+  pr_count : int;     (** number of recorded intervals *)
+  pr_total_s : float; (** total elapsed seconds across intervals *)
+  pr_max_s : float;   (** longest single interval in seconds *)
+}
+
+val create : unit -> t
+(** A fresh, empty profile. *)
+
+val record : t -> string -> float -> unit
+(** [record t key seconds] folds one elapsed interval into [key]'s
+    entry, creating it if absent.  Negative durations are clamped
+    to 0. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t key f] runs [f ()], records its wall-clock duration under
+    [key] (also when [f] raises), and returns its result. *)
+
+val entries : t -> entry list
+(** All entries in insertion order of first recording. *)
+
+val summary : t -> string
+(** Human-readable table (key, count, total ms, mean µs, max µs) in
+    insertion order.  Wall-clock derived, hence {e not} deterministic —
+    print it, never diff it. *)

@@ -1,0 +1,78 @@
+type phase = Enter | Exit | Instant
+
+type event = {
+  ev_tick : int;
+  ev_phase : phase;
+  ev_cat : string;
+  ev_name : string;
+}
+
+(* newest event first; reversed on export *)
+type t = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let record t tick phase cat name =
+  t.rev_events <-
+    { ev_tick = tick; ev_phase = phase; ev_cat = cat; ev_name = name }
+    :: t.rev_events;
+  t.count <- t.count + 1
+
+let enter t ~tick ?(cat = "sim") name = record t tick Enter cat name
+let exit_ t ~tick ?(cat = "sim") name = record t tick Exit cat name
+let instant t ~tick ?(cat = "sim") name = record t tick Instant cat name
+
+let length t = t.count
+let events t = List.rev t.rev_events
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let phase_tag = function Enter -> "B" | Exit -> "E" | Instant -> "i"
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":%s,\"cat\":%s,\"ph\":\"%s\",\"ts\":%d,\"pid\":0,\"tid\":0}"
+           (json_string ev.ev_name) (json_string ev.ev_cat)
+           (phase_tag ev.ev_phase) ev.ev_tick))
+    (events t);
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let to_timeline t =
+  let buf = Buffer.create 1024 in
+  let depth = ref 0 in
+  List.iter
+    (fun ev ->
+      (match ev.ev_phase with Exit -> decr depth | Enter | Instant -> ());
+      if !depth < 0 then depth := 0;
+      let marker =
+        match ev.ev_phase with Enter -> ">" | Exit -> "<" | Instant -> "*"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "tick %4d: %s%s %s\n" ev.ev_tick
+           (String.make (2 * !depth) ' ')
+           marker ev.ev_name);
+      match ev.ev_phase with Enter -> incr depth | Exit | Instant -> ())
+    (events t);
+  Buffer.contents buf

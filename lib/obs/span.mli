@@ -1,0 +1,61 @@
+(** Tick-scoped trace spans.
+
+    A span recorder collects enter/exit/instant events against the
+    simulation's abstract clock ([tick]), not wall time — the recorded
+    stream is therefore {e deterministic}: the same simulation produces
+    the same events in the same order, byte-identical across reruns.
+    Events are appended by the {!Probe} sink while instrumented code
+    runs and exported afterwards, either as a Chrome-trace-compatible
+    JSON document (load it in [chrome://tracing] or Perfetto) or as a
+    plain-text timeline. *)
+
+type phase =
+  | Enter    (** component/scope entry at a tick *)
+  | Exit     (** matching scope exit at the same tick *)
+  | Instant  (** point event (e.g. a clock firing) *)
+
+type event = {
+  ev_tick : int;     (** abstract clock tick the event belongs to *)
+  ev_phase : phase;
+  ev_cat : string;   (** category, e.g. ["sim"] or ["clock"] *)
+  ev_name : string;  (** component or scope name *)
+}
+
+type t
+(** A mutable event recorder. *)
+
+val create : unit -> t
+(** A fresh, empty recorder. *)
+
+val enter : t -> tick:int -> ?cat:string -> string -> unit
+(** Record a scope entry (default category ["sim"]). *)
+
+val exit_ : t -> tick:int -> ?cat:string -> string -> unit
+(** Record the matching scope exit.  Named [exit_] to avoid shadowing
+    [Stdlib.exit]. *)
+
+val instant : t -> tick:int -> ?cat:string -> string -> unit
+(** Record a point event. *)
+
+val length : t -> int
+(** Number of recorded events. *)
+
+val events : t -> event list
+(** All events, oldest first. *)
+
+val json_string : string -> string
+(** A JSON string literal (including the surrounding quotes) for [s]:
+    escapes backslash, double quote, and control characters.  Shared by
+    the Chrome-trace export and {!Metrics.to_json}. *)
+
+val to_chrome_json : t -> string
+(** The events as a Chrome-trace JSON document
+    ([{"traceEvents": [...]}]): [Enter]/[Exit] map to the [B]/[E]
+    duration phases, [Instant] to [i]; the abstract tick is used as the
+    microsecond timestamp.  Deterministic — byte-identical across
+    reruns of the same simulation. *)
+
+val to_timeline : t -> string
+(** A deterministic plain-text rendering: one line per event,
+    [tick N: > name] on entry, [< name] on exit, [* name] for instants,
+    indented by nesting depth. *)

@@ -1,3 +1,24 @@
+(* Observability hooks: no-ops (one ref load) unless a sink is
+   installed, so bus results and timings are unchanged.  Per-frame
+   handles and key strings are memoized — transmissions are per-frame
+   per-period events and must not rebuild keys each time (E16). *)
+module Probe = Automode_obs.Probe
+
+let frame_probes : (string, Probe.counter * Probe.counter * string) Hashtbl.t =
+  Hashtbl.create 16
+
+let probes_of frame_name =
+  match Hashtbl.find frame_probes frame_name with
+  | p -> p
+  | exception Not_found ->
+    let p =
+      ( Probe.counter ("can." ^ frame_name ^ ".sent"),
+        Probe.counter ("can." ^ frame_name ^ ".retries"),
+        "can." ^ frame_name ^ ".latency_us" )
+    in
+    Hashtbl.add frame_probes frame_name p;
+    p
+
 type frame = {
   frame_name : string;
   can_id : int;
@@ -171,6 +192,7 @@ let simulate ?faults ?(background = []) config ~horizon frames =
   in
   let note_dropped name =
     bump_streak name;
+    if Probe.active () then Probe.count ("can." ^ name ^ ".dropped");
     update name (fun s -> { s with dropped = s.dropped + 1 })
   in
   let note_sent name = Hashtbl.replace streaks name 0 in
@@ -239,6 +261,10 @@ let simulate ?faults ?(background = []) config ~horizon frames =
       if !tec >= bo.off_at then begin
         tec := 0;
         incr bus_offs;
+        if Probe.active () then begin
+          Probe.count "can.bus_off";
+          Probe.instant ~tick:finish ~cat:"can" "bus_off"
+        end;
         off_until := finish + bo.recovery_us
       end
     | Some _ | None -> ()
@@ -325,7 +351,11 @@ let simulate ?faults ?(background = []) config ~horizon frames =
             note_dropped winner.p_frame.frame_name;
             loop finish pending (busy + t)
           end
-          else
+          else begin
+            if Probe.active () then begin
+              let _, retries, _ = probes_of winner.p_frame.frame_name in
+              Probe.hit retries
+            end;
             let delay =
               match faults with
               | Some fm -> backoff_delay fm ~attempts:winner.attempts
@@ -337,11 +367,17 @@ let simulate ?faults ?(background = []) config ~horizon frames =
                  eligible_at = finish + delay }
               :: pending)
               (busy + t)
+          end
         end
         else begin
           let latency = finish - winner.queued_at in
           on_success ();
           note_sent winner.p_frame.frame_name;
+          if Probe.active () then begin
+            let sent, _, latency_key = probes_of winner.p_frame.frame_name in
+            Probe.hit sent;
+            Probe.sample latency_key latency
+          end;
           update winner.p_frame.frame_name (fun s ->
               { s with
                 sent = s.sent + 1;

@@ -1,3 +1,23 @@
+(* Observability hooks: no-ops (one ref load) unless a sink is
+   installed, so scheduling results and timings are unchanged. *)
+module Probe = Automode_obs.Probe
+
+(* Per-task probe handles, memoized: activations and response-time
+   samples fire once per job and must not rebuild key strings (E16). *)
+let task_probes : (string, Probe.counter * string) Hashtbl.t =
+  Hashtbl.create 16
+
+let probes_of task_name =
+  match Hashtbl.find task_probes task_name with
+  | p -> p
+  | exception Not_found ->
+    let p =
+      ( Probe.counter ("sched." ^ task_name ^ ".activations"),
+        "sched." ^ task_name ^ ".response_us" )
+    in
+    Hashtbl.add task_probes task_name p;
+    p
+
 type task_stats = {
   activations : int;
   completions : int;
@@ -179,6 +199,15 @@ let simulate ?exec ?watchdog ~horizon tasks =
               { s with
                 activations = s.activations + 1;
                 overruns = (s.overruns + if demand > t.wcet then 1 else 0) });
+          if Probe.active () then begin
+            Probe.hit (fst (probes_of t.task_name));
+            if demand > t.wcet then begin
+              Probe.count ("sched." ^ t.task_name ^ ".overruns");
+              Probe.count ~by:(demand - t.wcet)
+                ("sched." ^ t.task_name ^ ".budget_burn_us")
+            end;
+            Probe.instant ~tick:now ~cat:"sched" (t.task_name ^ ":release")
+          end;
           (* the watchdog cuts runaway demand at the budget: Skip sheds
              the job after the budget burn, Restart runs a fresh attempt
              at plain WCET on top of it *)
@@ -190,6 +219,12 @@ let simulate ?exec ?watchdog ~horizon tasks =
                | Restart -> (budget_of w t + t.wcet, Wd_restarted))
             | Some _ | None -> (demand, Wd_nominal)
           in
+          if Probe.active () then
+            (match wd with
+             | Wd_killed -> Probe.count ("sched." ^ t.task_name ^ ".wd_skip")
+             | Wd_restarted ->
+               Probe.count ("sched." ^ t.task_name ^ ".wd_restart")
+             | Wd_nominal -> ());
           { j_task = t; release = now; remaining; started = false; wd }
           :: ready
         end
@@ -223,6 +258,8 @@ let simulate ?exec ?watchdog ~horizon tasks =
         if job.remaining = 0 then begin
           let response = until - job.release in
           let name = job.j_task.Osek_task.task_name in
+          if Probe.active () && job.wd <> Wd_killed then
+            Probe.sample (snd (probes_of name)) response;
           (match job.wd with
            | Wd_killed ->
              (* deliberately shed: a watchdog fire, not a completion and

@@ -177,6 +177,10 @@ let simulate ?faults sched ~horizon =
               undelivered = (st.undelivered + if delivered then 0 else 1);
               lost_a = (st.lost_a + if lost A then 1 else 0);
               lost_b = (st.lost_b + if lost B then 1 else 0) });
+        if Automode_obs.Probe.active () then
+          Automode_obs.Probe.count
+            ("tt." ^ s.tt_frame
+            ^ if delivered then ".delivered" else ".undelivered");
         if delivered then Hashtbl.replace streaks s.tt_frame 0
         else begin
           let run = Hashtbl.find streaks s.tt_frame + 1 in
@@ -188,6 +192,14 @@ let simulate ?faults sched ~horizon =
         end)
       sched.slots
   done;
+  if Automode_obs.Probe.active () then
+    List.iter
+      (fun s ->
+        let st = Hashtbl.find stats s.tt_frame in
+        Automode_obs.Probe.gauge
+          ("tt." ^ s.tt_frame ^ ".max_consec_undelivered")
+          st.max_consec_undelivered)
+      sched.slots;
   { horizon;
     cycles;
     per_slot =

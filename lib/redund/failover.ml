@@ -74,3 +74,35 @@ let manager ?(name = "FailoverManager") ?ty ~timeout_ticks () =
                  (Model.boundary "out");
                chan ~name:"fo_mode" (Model.at "Switch" "mode")
                  (Model.boundary "mode") ] })
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let observe trace =
+  if Automode_obs.Probe.active () then
+    List.iter
+      (fun flow ->
+        let fl = String.length flow in
+        let is_mode =
+          String.equal flow "mode"
+          || (fl > 5 && String.equal (String.sub flow (fl - 5) 5) "_mode")
+        in
+        if is_mode then begin
+          let previous = ref None in
+          List.iteri
+            (fun tick msg ->
+              match msg with
+              | Value.Absent -> ()
+              | Value.Present v ->
+                let mode = Value.to_string v in
+                (match !previous with
+                 | Some prev when not (String.equal prev mode) ->
+                   Automode_obs.Probe.count ("failover." ^ flow ^ ".switches");
+                   Automode_obs.Probe.instant ~tick ~cat:"failover"
+                     (flow ^ ":" ^ prev ^ "->" ^ mode)
+                 | Some _ | None -> ());
+                previous := Some mode)
+            (Trace.column trace flow)
+        end)
+      (Trace.flows trace)

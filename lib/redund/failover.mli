@@ -24,6 +24,9 @@ val mode_type : Dtype.t
 (** [Failover_mode = Primary | Standby]. *)
 
 val mode_value : string -> Value.t
+(** [mode_value m] is the {!mode_type} enum value for mode name [m]
+    (["Primary"] or ["Standby"]) — the shape the selector emits on its
+    [mode] port, for use in monitors and expected traces. *)
 
 val selector : ?name:string -> ?ty:Dtype.t -> unit -> Model.component
 (** The automaton packaged as a component (default name
@@ -42,3 +45,10 @@ val manager :
     selected stream), [mode] (current mode), and the liveness flags
     [p_alive]/[s_alive].
     @raise Invalid_argument on a non-positive timeout. *)
+
+val observe : Trace.t -> unit
+(** Feed failover metrics from a finished trace to the installed probe
+    sink (a no-op without one): for every mode flow ([mode] or
+    [<x>_mode]), count present-value changes as
+    [failover.<flow>.switches].  Scanning the trace after the run keeps
+    the simulation itself untouched. *)

@@ -106,3 +106,27 @@ let qualified ?(name = "QualifiedVoter") ?ty ?strategy ~config () =
                  (Model.boundary "agree");
                chan ~name:"qv_nvalid" (Model.at "Voter" "nvalid")
                  (Model.boundary "nvalid") ] })
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let observe trace =
+  if Automode_obs.Probe.active () then
+    List.iter
+      (fun flow ->
+        let fl = String.length flow in
+        let is_agree =
+          String.equal flow "agree"
+          || (fl > 6
+              && String.equal (String.sub flow (fl - 6) 6) "_agree")
+        in
+        if is_agree then
+          List.iter
+            (fun msg ->
+              match msg with
+              | Value.Present (Value.Bool false) ->
+                Automode_obs.Probe.count ("voter." ^ flow ^ ".disagreements")
+              | Value.Present _ | Value.Absent -> ())
+            (Trace.column trace flow))
+      (Trace.flows trace)

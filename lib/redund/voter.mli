@@ -57,3 +57,10 @@ val qualified :
     qualified voted stream), [ok] and [status] (the qualifier's
     verdict), [agree] and [nvalid] (the voter's flags) — the wiring
     that lets voter verdicts feed degradation managers. *)
+
+val observe : Trace.t -> unit
+(** Feed voting metrics from a finished trace to the installed probe
+    sink (a no-op without one): for every agreement flow ([agree] or
+    [<x>_agree]), count ticks carrying an explicit [false] verdict as
+    [voter.<flow>.disagreements].  Scanning the trace after the run
+    keeps the simulation itself untouched. *)

@@ -59,43 +59,39 @@ let to_text campaign =
        failures);
   Buffer.contents buf
 
-let csv_cell s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
-  then "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
-  else s
-
+(* CSV quoting is delegated to the one shared RFC 4180 writer. *)
 let to_csv campaign =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf
-    "scenario,seed,monitor,verdict,at_tick,reason,shrunk_faults,shrunk_ticks\n";
-  List.iter
-    (fun (r : Scenario.seed_result) ->
-      List.iter
-        (fun (mon, v) ->
-          let verdict, at_tick, reason =
-            match v with
-            | Monitor.Pass -> ("pass", "", "")
-            | Monitor.Fail { at_tick; reason } ->
-              ("fail", string_of_int at_tick, reason)
-          in
-          let shrunk_faults, shrunk_ticks =
-            match
-              List.find_opt
-                (fun (fl : Scenario.failure) ->
-                  fl.Scenario.fail_seed = r.Scenario.seed
-                  && String.equal fl.Scenario.fail_monitor mon)
-                campaign.Scenario.failures
-            with
-            | Some { Scenario.shrunk = Some o; _ } ->
-              ( String.concat "; " (List.map Fault.describe o.Shrink.faults),
-                string_of_int o.Shrink.ticks )
-            | _ -> ("", "")
-          in
-          buf_addf buf "%s,%s,%s,%s,%s,%s,%s,%s\n"
-            (csv_cell campaign.Scenario.scenario)
-            (string_of_int r.Scenario.seed)
-            (csv_cell mon) verdict at_tick (csv_cell reason)
-            (csv_cell shrunk_faults) shrunk_ticks)
-        r.Scenario.verdicts)
-    campaign.Scenario.results;
-  Buffer.contents buf
+  let rows =
+    List.concat_map
+      (fun (r : Scenario.seed_result) ->
+        List.map
+          (fun (mon, v) ->
+            let verdict, at_tick, reason =
+              match v with
+              | Monitor.Pass -> ("pass", "", "")
+              | Monitor.Fail { at_tick; reason } ->
+                ("fail", string_of_int at_tick, reason)
+            in
+            let shrunk_faults, shrunk_ticks =
+              match
+                List.find_opt
+                  (fun (fl : Scenario.failure) ->
+                    fl.Scenario.fail_seed = r.Scenario.seed
+                    && String.equal fl.Scenario.fail_monitor mon)
+                  campaign.Scenario.failures
+              with
+              | Some { Scenario.shrunk = Some o; _ } ->
+                ( String.concat "; " (List.map Fault.describe o.Shrink.faults),
+                  string_of_int o.Shrink.ticks )
+              | _ -> ("", "")
+            in
+            [ campaign.Scenario.scenario; string_of_int r.Scenario.seed;
+              mon; verdict; at_tick; reason; shrunk_faults; shrunk_ticks ])
+          r.Scenario.verdicts)
+      campaign.Scenario.results
+  in
+  Automode_obs.Csv.table
+    ~header:
+      [ "scenario"; "seed"; "monitor"; "verdict"; "at_tick"; "reason";
+        "shrunk_faults"; "shrunk_ticks" ]
+    rows

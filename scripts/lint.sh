@@ -33,4 +33,24 @@ git grep --untracked -nI -e '^<<<<<<< ' -e '^>>>>>>> ' -e '^||||||| ' -- \
   '*.ml' '*.mli' '*.md' '*.yml' >"$tmp" || true
 report "merge conflict marker"
 
+# Every public value in the observability and redundancy interfaces
+# must carry an odoc comment (this repo documents values with a
+# (** ... *) immediately after the declaration).  A val with no doc
+# comment before the next val (or EOF) is flagged.
+for f in lib/obs/*.mli lib/redund/*.mli; do
+  awk -v file="$f" '
+    /^val / {
+      if (pending != "" && !documented)
+        printf "%s:%d: undocumented public value: %s\n", file, pline, pending
+      pending = $2; sub(/:$/, "", pending); pline = NR; documented = 0
+    }
+    /\(\*\*/ { documented = 1 }
+    END {
+      if (pending != "" && !documented)
+        printf "%s:%d: undocumented public value: %s\n", file, pline, pending
+    }
+  ' "$f"
+done >"$tmp"
+report "undocumented public .mli value (lib/obs, lib/redund)"
+
 exit $status
