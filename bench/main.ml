@@ -9,6 +9,7 @@ open Automode_core
 open Automode_la
 open Automode_transform
 open Automode_casestudy
+open Automode_workloads
 
 let line () = print_endline (String.make 72 '-')
 
@@ -214,6 +215,109 @@ let e16_overhead ~assert_bound () =
     if overhead < 10. then print_endline "overhead bound < 10%: OK"
     else begin
       Printf.printf "overhead bound < 10%%: FAILED (%+.1f%%)\n" overhead;
+      exit 1
+    end
+
+(* E17: the index-compiled engine vs. the closure-compiled one, and the
+   domain-parallel campaign sweep vs. serial.  Engine speedups are
+   asserted in full bench mode; the parallel speedup additionally needs
+   actual cores (a single-CPU runner can only lose wall clock to domain
+   overhead, while the byte-identity of the reports holds anywhere and
+   is asserted whenever the section runs). *)
+let e17_speedups ~domains ~assert_bounds () =
+  section "E17 | indexed engine + domain-parallel campaign sweeps";
+  let reps = 5 in
+  let min_time f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  (* engine speedup: same workloads as ablation/engine-sim-compiled-500t
+     and E5/dfd-sim-200-32t *)
+  let fda, _ = Engine_ascet.reengineer () in
+  let fda_inputs tick =
+    List.map
+      (fun (n, v) -> (n, Value.Present v))
+      (Engine_ascet.drive_inputs tick)
+  in
+  let dfd = Workloads.random_dfd_component ~seed:42 ~n:200 in
+  let dfd_inputs t = [ ("src", Value.Present (Value.Float (float_of_int t))) ] in
+  let engine_rows =
+    List.map
+      (fun (name, comp, inputs, ticks) ->
+        let compiled = Sim.compile comp in
+        let indexed = Sim.index comp in
+        let t_c = min_time (fun () -> Sim.run_compiled ~ticks ~inputs compiled) in
+        let t_i = min_time (fun () -> Sim.run_indexed ~ticks ~inputs indexed) in
+        (name, t_c, t_i, t_c /. t_i))
+      [ ("engine-fda-500t", fda.Model.model_root, fda_inputs, 500);
+        ("random-dfd-200-32t", dfd, dfd_inputs, 32) ]
+  in
+  Printf.printf "%-22s %14s %14s %9s\n" "workload" "closure ms" "indexed ms"
+    "speedup";
+  List.iter
+    (fun (name, t_c, t_i, r) ->
+      Printf.printf "%-22s %14.2f %14.2f %8.2fx\n" name (t_c *. 1e3)
+        (t_i *. 1e3) r)
+    engine_rows;
+  if assert_bounds then
+    List.iter
+      (fun (name, _, _, r) ->
+        if r >= 3. then Printf.printf "%s speedup >= 3x: OK\n" name
+        else begin
+          Printf.printf "%s speedup >= 3x: FAILED (%.2fx)\n" name r;
+          exit 1
+        end)
+      engine_rows;
+  (* campaign sweep: the E13 door-lock campaign, 16 seeds, horizon scaled
+     up so per-seed work dominates the domain-spawn overhead *)
+  let scn =
+    Automode_robust.Scenario.make ~schedule:Robustness.lock_schedule
+      ~name:"door-lock-xl" ~component:Door_lock.component ~ticks:2000
+      ~inputs:Robustness.lock_stimulus ~faults:Robustness.lock_faults
+      ~monitors:Robustness.lock_monitors ()
+  in
+  let seeds = List.init 16 (fun i -> i + 1) in
+  let sweep ~domains () =
+    Automode_robust.Scenario.sweep ~shrink:false ~domains scn ~seeds
+  in
+  let serial_report = sweep ~domains:1 () in
+  let parallel_report = sweep ~domains () in
+  let identical =
+    String.equal
+      (Automode_robust.Report.to_text serial_report)
+      (Automode_robust.Report.to_text parallel_report)
+    && String.equal
+         (Automode_robust.Report.to_csv serial_report)
+         (Automode_robust.Report.to_csv parallel_report)
+  in
+  let t_serial = min_time (fun () -> sweep ~domains:1 ()) in
+  let t_par = min_time (fun () -> sweep ~domains ()) in
+  let speedup = t_serial /. t_par in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "door-lock campaign, 16 seeds, 2000t: serial %.1f ms, %d domains %.1f \
+     ms (%.2fx on %d core%s); reports byte-identical: %b\n"
+    (t_serial *. 1e3) domains (t_par *. 1e3) speedup cores
+    (if cores = 1 then "" else "s")
+    identical;
+  if not identical then begin
+    print_endline "serial vs parallel report identity: FAILED";
+    exit 1
+  end;
+  if assert_bounds then
+    if cores < 4 then
+      Printf.printf
+        "parallel speedup > 1.5x: skipped (%d core%s available)\n" cores
+        (if cores = 1 then "" else "s")
+    else if speedup > 1.5 then print_endline "parallel speedup > 1.5x: OK"
+    else begin
+      Printf.printf "parallel speedup > 1.5x: FAILED (%.2fx)\n" speedup;
       exit 1
     end
 
@@ -467,6 +571,22 @@ let ablation_tests =
      let compiled = Sim.compile fda.Model.model_root in
      Test.make ~name:"ablation/engine-sim-compiled-500t"
        (stage (fun () -> Sim.run_compiled ~ticks:500 ~inputs compiled)));
+    (let fda, _ = Engine_ascet.reengineer () in
+     let inputs tick =
+       List.map
+         (fun (n, v) -> (n, Value.Present v))
+         (Engine_ascet.drive_inputs tick)
+     in
+     let indexed = Sim.index fda.Model.model_root in
+     Test.make ~name:"ablation/engine-sim-indexed-500t"
+       (stage (fun () -> Sim.run_indexed ~ticks:500 ~inputs indexed)));
+    (let indexed = Sim.index (Workloads.random_dfd_component ~seed:42 ~n:200) in
+     Test.make ~name:"ablation/dfd-sim-indexed-200-32t"
+       (stage (fun () ->
+            Sim.run_indexed ~ticks:32
+              ~inputs:(fun t ->
+                [ ("src", Value.Present (Value.Float (float_of_int t))) ])
+              indexed)));
     Test.make ~name:"ablation/reengineer-no-simplify"
       (stage (fun () ->
            Reengineer.whitebox ~simplify:false Engine_ascet.ascet_model));
@@ -507,8 +627,9 @@ let benchmark () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   results
 
-let print_results results =
-  section "measurements (monotonic clock, ns per run)";
+(* Flatten Bechamel's OLS table to a sorted (name, ns/run) list; sorting
+   makes both the printed table and the JSON dump diff cleanly. *)
+let estimates_of results =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols ->
@@ -519,7 +640,31 @@ let print_results results =
       in
       rows := (name, est) :: !rows)
     results;
-  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
+
+(* Machine-readable results: benchmark name -> ns/run.  NaN estimates
+   (benchmark produced no usable samples) serialize as null. *)
+let results_to_json rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  %S: %s" name
+           (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)))
+    rows;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc (results_to_json rows);
+  close_out oc;
+  Printf.printf "wrote %d benchmark estimates to %s\n" (List.length rows) path
+
+let print_results rows =
+  section "measurements (monotonic clock, ns per run)";
   Printf.printf "%-44s %16s\n" "benchmark" "time/run";
   List.iter
     (fun (name, ns) ->
@@ -533,6 +678,16 @@ let print_results results =
       Printf.printf "%-44s %16s\n" name human)
     rows
 
+(* Value of "--flag VALUE" in Sys.argv, if present. *)
+let arg_value flag =
+  let n = Array.length Sys.argv in
+  let rec go i =
+    if i >= n - 1 then None
+    else if String.equal Sys.argv.(i) flag then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
 let () =
   regenerate_artifacts ();
   (* --artifacts-only: regenerate the figures without timing anything —
@@ -542,9 +697,25 @@ let () =
   let artifacts_only =
     Array.exists (String.equal "--artifacts-only") Sys.argv
   in
-  e16_overhead ~assert_bound:(not artifacts_only) ();
+  (* --no-assert: time everything but skip the wall-clock bound checks —
+     for CI runs that want the JSON estimates without flaky gates. *)
+  let assert_bounds =
+    (not artifacts_only)
+    && not (Array.exists (String.equal "--no-assert") Sys.argv)
+  in
+  e16_overhead ~assert_bound:assert_bounds ();
+  let domains =
+    match arg_value "--domains" with
+    | Some n -> (try Stdlib.max 2 (int_of_string n) with _ -> 4)
+    | None -> 4
+  in
+  e17_speedups ~domains ~assert_bounds ();
   if not artifacts_only then begin
     print_endline "";
     section "benchmarks (this may take a minute)";
-    print_results (benchmark ())
+    let rows = estimates_of (benchmark ()) in
+    print_results rows;
+    match arg_value "--json" with
+    | Some path -> write_json path rows
+    | None -> ()
   end

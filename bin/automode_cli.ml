@@ -319,6 +319,14 @@ let out_arg =
        & info [ "out"; "o" ] ~docv:"FILE"
            ~doc:"Write the report to $(docv) instead of stdout.")
 
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains"; "j" ] ~docv:"N"
+           ~doc:"Fan the per-seed simulations over $(docv) parallel OCaml \
+                 domains (default 1 = serial).  Verdicts are merged back \
+                 in seed order, so the report is identical to a serial \
+                 run.")
+
 let resolve_seeds seeds count =
   match seeds with
   | [] -> List.init count (fun i -> i + 1)
@@ -380,13 +388,14 @@ let append_appendix text = function
   | Some appendix -> text ^ appendix
 
 let robustness_cmd =
-  let run seeds count csv no_shrink engine horizon out metrics trace_out =
+  let run seeds count csv no_shrink engine horizon domains out metrics
+      trace_out =
     let seeds = resolve_seeds seeds count in
     (* CI gate: any failing scenario makes the run exit non-zero *)
     if engine then begin
       let results, appendix =
         with_observability ~metrics ~trace_out (fun () ->
-            Robustness.engine_campaign ~horizon ~seeds ())
+            Robustness.engine_campaign ~horizon ~domains ~seeds ())
       in
       emit out
         (append_appendix
@@ -397,7 +406,8 @@ let robustness_cmd =
     else begin
       let campaign, appendix =
         with_observability ~metrics ~trace_out (fun () ->
-            Robustness.door_lock_campaign ~shrink:(not no_shrink) ~seeds ())
+            Robustness.door_lock_campaign ~shrink:(not no_shrink) ~domains
+              ~seeds ())
       in
       emit out
         (if csv then Automode_robust.Report.to_csv campaign
@@ -423,17 +433,17 @@ let robustness_cmd =
          "Seeded fault-injection campaigns over the case studies \
           (deterministic: the same seeds reproduce the same report)")
     Term.(const run $ seed_list_arg $ seed_count_arg $ csv_flag
-          $ no_shrink_flag $ engine_flag $ horizon_arg $ out_arg
-          $ metrics_arg $ trace_out_arg)
+          $ no_shrink_flag $ engine_flag $ horizon_arg $ domains_arg
+          $ out_arg $ metrics_arg $ trace_out_arg)
 
 let guard_cmd =
-  let run seeds count no_shrink engine horizon out metrics trace_out =
+  let run seeds count no_shrink engine horizon domains out metrics trace_out =
     let seeds = resolve_seeds seeds count in
     if engine then begin
       let (results, guarded), appendix =
         with_observability ~metrics ~trace_out (fun () ->
-            ( Robustness.engine_campaign ~horizon ~seeds (),
-              Guarded.guarded_engine_campaign ~horizon ~seeds () ))
+            ( Robustness.engine_campaign ~horizon ~domains ~seeds (),
+              Guarded.guarded_engine_campaign ~horizon ~domains ~seeds () ))
       in
       emit out
         (append_appendix
@@ -449,8 +459,8 @@ let guard_cmd =
       let shrink = not no_shrink in
       let (cmp, recovery), appendix =
         with_observability ~metrics ~trace_out (fun () ->
-            ( Guarded.door_lock_comparison ~shrink ~seeds (),
-              Guarded.recovery_campaign ~shrink ~seeds () ))
+            ( Guarded.door_lock_comparison ~shrink ~domains ~seeds (),
+              Guarded.recovery_campaign ~shrink ~domains ~seeds () ))
       in
       emit out
         (append_appendix
@@ -480,15 +490,16 @@ let guard_cmd =
           limp-home manager, E2E frames, scheduler watchdog); exits \
           non-zero if the guarded side fails")
     Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
-          $ engine_flag $ horizon_arg $ out_arg $ metrics_arg
+          $ engine_flag $ horizon_arg $ domains_arg $ out_arg $ metrics_arg
           $ trace_out_arg)
 
 let redund_cmd =
-  let run seeds count no_shrink horizon out metrics trace_out =
+  let run seeds count no_shrink horizon domains out metrics trace_out =
     let seeds = resolve_seeds seeds count in
     let r, appendix =
       with_observability ~metrics ~trace_out (fun () ->
-          Replicated.campaign ~shrink:(not no_shrink) ~horizon ~seeds ())
+          Replicated.campaign ~shrink:(not no_shrink) ~domains ~horizon
+            ~seeds ())
     in
     emit out
       (append_appendix (Format.asprintf "%a" Replicated.pp_report r) appendix);
@@ -505,7 +516,8 @@ let redund_cmd =
           dual-channel TT bus); exits non-zero if a protected \
           configuration fails")
     Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
-          $ horizon_arg $ out_arg $ metrics_arg $ trace_out_arg)
+          $ horizon_arg $ domains_arg $ out_arg $ metrics_arg
+          $ trace_out_arg)
 
 let profile_cmd =
   (* Target registry: a name, a short description, and the action to run
@@ -539,7 +551,7 @@ let profile_cmd =
               Automode_guard.Health.observe trace ))
         bundled_traces
   in
-  let run name ticks metrics trace_out =
+  let run name ticks domains metrics trace_out =
     let _, _, action =
       match
         List.find_opt (fun (n, _, _) -> String.equal n name) targets
@@ -557,7 +569,17 @@ let profile_cmd =
     let prof = Obs.Profile.create () in
     let sink = Obs.Probe.standard ~span ~profile:prof m in
     Obs.Profile.time prof ("profile." ^ name) (fun () ->
-        Obs.Probe.with_sink sink (fun () -> action ~ticks));
+        Obs.Probe.with_sink sink (fun () ->
+            if domains <= 1 then action ~ticks
+            else
+              (* stress mode: one run of the target per domain, all
+                 feeding the same (mutex-guarded) sink; metrics then
+                 aggregate N runs and are only byte-stable at the
+                 serial default *)
+              ignore
+                (Automode_robust.Parallel.map ~domains
+                   (fun () -> action ~ticks)
+                   (List.init domains (fun _ -> ())))));
     (* deterministic artifacts first, wall-clock summary (stdout only,
        never a byte-compared artifact) last *)
     Option.iter (fun p -> write_file p (Obs.Metrics.to_csv m)) metrics;
@@ -580,8 +602,8 @@ let profile_cmd =
           metrics (--metrics CSV, byte-identical across runs), \
           Chrome-trace spans (--trace JSON), and a wall-clock \
           per-component summary on stdout")
-    Term.(const run $ target_arg $ ticks_arg 200 $ metrics_arg
-          $ trace_out_arg)
+    Term.(const run $ target_arg $ ticks_arg 200 $ domains_arg
+          $ metrics_arg $ trace_out_arg)
 
 let pipeline_cmd =
   let run () =

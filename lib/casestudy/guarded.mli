@@ -52,10 +52,11 @@ type comparison = {
   guarded : Scenario.campaign;
 }
 
-val door_lock_comparison : ?shrink:bool -> seeds:int list -> unit -> comparison
+val door_lock_comparison :
+  ?shrink:bool -> ?domains:int -> seeds:int list -> unit -> comparison
 (** Sweep both scenarios over the same seeds.  Expected shape: the
     unguarded campaign fails on most seeds, the guarded campaign on
-    none. *)
+    none.  [?domains] parallelises each sweep (see {!Scenario.sweep}). *)
 
 val pp_comparison : Format.formatter -> comparison -> unit
 
@@ -71,7 +72,8 @@ val recovery_scenario : Scenario.t
     the health flag must return to [true] within 6 ticks and stay
     there. *)
 
-val recovery_campaign : ?shrink:bool -> seeds:int list -> unit -> Scenario.campaign
+val recovery_campaign :
+  ?shrink:bool -> ?domains:int -> seeds:int list -> unit -> Scenario.campaign
 
 (** {1 Guarded engine deployment} *)
 
@@ -96,5 +98,5 @@ val guarded_engine_verdicts :
 
 val guarded_engine_campaign :
   ?horizon:int -> ?loss_rate:float -> ?burst_rate:float -> ?burst_len:int ->
-  ?overrun_rate:float -> ?overrun_factor:float -> seeds:int list -> unit ->
-  (int * (string * Monitor.verdict) list) list
+  ?overrun_rate:float -> ?overrun_factor:float -> ?domains:int ->
+  seeds:int list -> unit -> (int * (string * Monitor.verdict) list) list

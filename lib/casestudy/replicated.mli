@@ -119,8 +119,12 @@ type report = {
   single : (int * (string * Monitor.verdict) list) list;
 }
 
-val campaign : ?shrink:bool -> ?horizon:int -> seeds:int list -> unit -> report
-(** Run every leg over the seed list. *)
+val campaign :
+  ?shrink:bool -> ?domains:int -> ?horizon:int -> seeds:int list -> unit ->
+  report
+(** Run every leg over the seed list.  [?domains] parallelises the
+    scenario sweeps (see {!Scenario.sweep}); the report is identical to
+    a serial run. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Stable rendering: same seeds, byte-identical output. *)

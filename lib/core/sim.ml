@@ -9,12 +9,22 @@ let sim_error fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
    "sim.ch.<name>.present" each time dominates probe cost (E16). *)
 module Probe = Automode_obs.Probe
 
+(* The memo tables are process-global, so compiling/initializing models
+   from several domains at once (parallel campaign sweeps) must not race
+   on the underlying Hashtbl.  The lock is only taken at init/compile
+   time, never in the per-tick hot path (handles are pre-resolved). *)
+let memo_mutex = Mutex.create ()
+
 let memo_key (table : (string, 'a) Hashtbl.t) build name =
+  Mutex.lock memo_mutex;
   match Hashtbl.find table name with
-  | k -> k
+  | k ->
+    Mutex.unlock memo_mutex;
+    k
   | exception Not_found ->
     let k = build name in
     Hashtbl.add table name k;
+    Mutex.unlock memo_mutex;
     k
 
 let chan_keys : (string, Probe.counter * Probe.counter) Hashtbl.t =
@@ -41,7 +51,15 @@ let sim_ticks = Probe.counter "sim.ticks"
 type comp_state =
   | S_exprs of (string * Expr.state) list
   | S_std of Std_machine.state
-  | S_mtd of { current : string; mode_states : (string * comp_state) list }
+  | S_mtd of {
+      current : string;
+      mode_states : (string * comp_state) list;
+      (* [Some enum_name] when the component declares an output port
+         named "mode": the current mode is emitted on it as an enum of
+         that type.  Resolved once at init so the per-tick step does not
+         scan the port list. *)
+      mode_out : string option;
+    }
   | S_net of net_state
   | S_unspec
 
@@ -61,7 +79,23 @@ and net_state = {
 (* Initialization                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let rec init_behavior (behavior : Model.behavior) : comp_state =
+(* The enum name emitted on a declared "mode" output port, if any. *)
+let mtd_mode_out ~(ports : Model.port list) (mtd : Model.mtd) =
+  match
+    List.find_opt
+      (fun (p : Model.port) ->
+        p.port_dir = Model.Out && String.equal p.port_name "mode")
+      ports
+  with
+  | None -> None
+  | Some p ->
+    Some
+      (match p.port_type with
+       | Some (Dtype.Tenum e) -> e.enum_name
+       | Some _ | None -> mtd.mtd_name ^ "_mode")
+
+let rec init_behavior ~(ports : Model.port list) (behavior : Model.behavior) :
+    comp_state =
   match behavior with
   | Model.B_exprs outs ->
     S_exprs (List.map (fun (port, e) -> (port, Expr.init_state e)) outs)
@@ -70,9 +104,13 @@ let rec init_behavior (behavior : Model.behavior) : comp_state =
     S_mtd
       { current = mtd.mtd_initial;
         mode_states =
+          (* mode behaviors run against the MTD component's own port
+             list (step passes the same ~ports down) *)
           List.map
-            (fun (m : Model.mode) -> (m.mode_name, init_behavior m.mode_behavior))
-            mtd.mtd_modes }
+            (fun (m : Model.mode) ->
+              (m.mode_name, init_behavior ~ports m.mode_behavior))
+            mtd.mtd_modes;
+        mode_out = mtd_mode_out ~ports mtd }
   | Model.B_dfd net ->
     let order =
       match Causality.evaluation_order net with
@@ -98,7 +136,8 @@ and init_net ~order (net : Model.network) =
         net.net_channels;
     sub =
       List.map
-        (fun (c : Model.component) -> (c.comp_name, init_behavior c.comp_behavior))
+        (fun (c : Model.component) ->
+          (c.comp_name, init_behavior ~ports:c.comp_ports c.comp_behavior))
         net.net_components;
     buffers =
       List.map
@@ -111,7 +150,8 @@ and init_net ~order (net : Model.network) =
           (ch.ch_name, v))
         net.net_channels }
 
-let init (comp : Model.component) = init_behavior comp.comp_behavior
+let init (comp : Model.component) =
+  init_behavior ~ports:comp.comp_ports comp.comp_behavior
 
 (* ------------------------------------------------------------------ *)
 (* Stepping                                                           *)
@@ -159,7 +199,7 @@ let rec step_behavior ~schedule ~tick ~(ports : Model.port list)
       with Std_machine.Step_error msg -> sim_error "STD %s: %s" std.std_name msg
     in
     (outs, S_std st')
-  | Model.B_mtd mtd, S_mtd { current; mode_states } ->
+  | Model.B_mtd mtd, S_mtd { current; mode_states; mode_out } ->
     let previous = current in
     let current =
       match
@@ -182,7 +222,7 @@ let rec step_behavior ~schedule ~tick ~(ports : Model.port list)
     let mode_state =
       match List.assoc_opt current mode_states with
       | Some st -> st
-      | None -> init_behavior mode.mode_behavior
+      | None -> init_behavior ~ports mode.mode_behavior
     in
     let outs, mode_state' =
       step_behavior ~schedule ~tick ~ports ~inputs mode.mode_behavior
@@ -192,25 +232,16 @@ let rec step_behavior ~schedule ~tick ~(ports : Model.port list)
       (current, mode_state')
       :: List.remove_assoc current mode_states
     in
-    (* Emit the current mode on a declared "mode" output port, if any. *)
+    (* Emit the current mode on a declared "mode" output port, if any
+       (port lookup precomputed at init — see [mtd_mode_out]). *)
     let outs =
-      match
-        List.find_opt
-          (fun (p : Model.port) ->
-            p.port_dir = Model.Out && String.equal p.port_name "mode")
-          ports
-      with
+      match mode_out with
       | None -> outs
-      | Some p ->
-        let enum_name =
-          match p.port_type with
-          | Some (Dtype.Tenum e) -> e.enum_name
-          | Some _ | None -> mtd.mtd_name ^ "_mode"
-        in
+      | Some enum_name ->
         ("mode", Value.Present (Value.Enum (enum_name, current)))
         :: List.remove_assoc "mode" outs
     in
-    (outs, S_mtd { current; mode_states })
+    (outs, S_mtd { current; mode_states; mode_out })
   | Model.B_dfd net, S_net ns ->
     step_network ~schedule ~tick ~inputs ~ssd:false net ns
   | Model.B_ssd net, S_net ns ->
@@ -271,7 +302,7 @@ and step_network ~schedule ~tick ~inputs ~ssd (net : Model.network) ns =
         let st =
           match List.assoc_opt comp_name ns.sub with
           | Some st -> st
-          | None -> init_behavior comp.comp_behavior
+          | None -> init_behavior ~ports:comp.comp_ports comp.comp_behavior
         in
         let comp_inputs port = input_of computed comp_name port in
         if Probe.active () then begin
@@ -387,6 +418,9 @@ type routed_channel = {
 
 type compiled_comp = {
   cc_name : string;
+  (* declared input ports, recorded at compile time so [run_compiled]
+     names its trace flows without sampling the stimulus *)
+  cc_in_ports : string list;
   cc_out_ports : string list;
   cc_step :
     Clock.schedule -> int -> (string -> Value.message) -> comp_state ->
@@ -406,19 +440,26 @@ let rec compile_behavior ~name ~(ports : Model.port list)
         if p.port_dir = Model.Out then Some p.port_name else None)
       ports
   in
+  let in_ports =
+    List.filter_map
+      (fun (p : Model.port) ->
+        if p.port_dir = Model.In then Some p.port_name else None)
+      ports
+  in
   match behavior with
-  | Model.B_dfd net -> compile_network ~name ~out_ports ~ssd:false net
-  | Model.B_ssd net -> compile_network ~name ~out_ports ~ssd:true net
+  | Model.B_dfd net -> compile_network ~name ~in_ports ~out_ports ~ssd:false net
+  | Model.B_ssd net -> compile_network ~name ~in_ports ~out_ports ~ssd:true net
   | Model.B_exprs _ | Model.B_std _ | Model.B_mtd _ | Model.B_unspecified ->
     (* atomic behaviors already run without name resolution *)
     { cc_name = name;
+      cc_in_ports = in_ports;
       cc_out_ports = out_ports;
       cc_step =
         (fun schedule tick inputs state ->
           step_behavior ~schedule ~tick ~ports ~inputs behavior state);
-      cc_init = (fun () -> init_behavior behavior) }
+      cc_init = (fun () -> init_behavior ~ports behavior) }
 
-and compile_network ~name ~out_ports ~ssd (net : Model.network) =
+and compile_network ~name ~in_ports ~out_ports ~ssd (net : Model.network) =
   let order =
     if ssd then
       List.map (fun (c : Model.component) -> c.comp_name) net.net_components
@@ -547,7 +588,8 @@ and compile_network ~name ~out_ports ~ssd (net : Model.network) =
   let cc_init () =
     S_net (init_net ~order net)
   in
-  { cc_name = name; cc_out_ports = out_ports; cc_step; cc_init }
+  { cc_name = name; cc_in_ports = in_ports; cc_out_ports = out_ports;
+    cc_step; cc_init }
 
 let compile (comp : Model.component) =
   compile_behavior ~name:comp.comp_name ~ports:comp.comp_ports
@@ -566,21 +608,10 @@ let compiled_step ?(schedule = Clock.no_events) ~tick ~inputs (cc : compiled)
   (outs, state')
 
 let run_compiled ?(schedule = Clock.no_events) ~ticks ~inputs (cc : compiled) =
-  (* flows mirror [run]: we only know output ports here, so inputs are
-     recorded from the stimulus directly *)
-  let rec flows_of tick acc =
-    (* collect input names from the first few stimulus ticks *)
-    if tick >= Stdlib.min ticks 4 then List.rev acc
-    else
-      let names = List.map fst (inputs tick) in
-      let acc =
-        List.fold_left
-          (fun acc n -> if List.mem n acc then acc else n :: acc)
-          acc names
-      in
-      flows_of (tick + 1) acc
-  in
-  let in_names = flows_of 0 [] in
+  (* flows mirror [run]: declared input ports recorded at compile time
+     (sampling the stimulus instead used to drop trace columns for
+     inputs first offered at tick >= 4) *)
+  let in_names = cc.cc_in_ports in
   let trace = Trace.make ~flows:(in_names @ cc.cc_out_ports) in
   let rec go tick state trace =
     if tick >= ticks then trace
@@ -601,3 +632,397 @@ let run_compiled ?(schedule = Clock.no_events) ~ticks ~inputs (cc : compiled) =
       go (tick + 1) state' (Trace.record trace row)
   in
   go 0 (compiled_init cc) trace
+
+(* ------------------------------------------------------------------ *)
+(* Indexed simulation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Second lowering stage on top of {!compile}'s routing resolution:
+   every channel, sub-component output and delay register is numbered at
+   index time, so a per-tick driver lookup is an array read instead of
+   an assoc scan and the tick loop mutates pre-sized arrays in place.
+   All mutable run-time state lives in {!ix_state} values created fresh
+   by {!indexed_init}; an [indexed] value itself is immutable and can be
+   shared freely, including across domains.
+
+   Per network and tick the phases mirror the other two engines exactly
+   (the trace-identity tests depend on it):
+   1. sweep sub-components in evaluation order — instantaneous reads see
+      the slots already written this tick, delayed reads the registers
+      from last tick;
+   2. collect boundary outputs, still against the old registers;
+   3. refresh every delay register from its source (slots/inputs only —
+      never other registers), firing the per-channel probes. *)
+
+type ix_read =
+  | Rd_boundary of string  (* enclosing input port *)
+  | Rd_slot of int         (* instantaneous: output slot written this tick *)
+  | Rd_buffer of int       (* delayed: register holding last tick's value *)
+
+type ix_node =
+  | Ix_atomic of { xa_ports : Model.port list; xa_behavior : Model.behavior }
+  | Ix_net of ix_net
+
+and ix_net = {
+  xn_subs : ix_sub array;      (* evaluation order *)
+  xn_chans : ix_chan array;    (* register refresh plan, channel order *)
+  xn_bounds : ix_bound array;  (* boundary outputs, channel order *)
+  xn_nslots : int;
+  xn_buf_init : Value.message array; (* channel ch_init values *)
+}
+
+and ix_sub = {
+  xs_name : string;
+  xs_fire : Probe.counter;
+  xs_node : ix_node;
+  (* input port -> resolved read; scanned linearly (ports per component
+     are few), each hit is then an array access *)
+  xs_drivers : (string * ix_read) array;
+  xs_outs : xs_outs;
+}
+
+(* How a stepped sub-component's outputs reach the parent's slots. *)
+and xs_outs =
+  | Xo_atomic of (string * int) array (* (output port, slot) *)
+  | Xo_net of (int * int) array       (* (child bound index or -1, slot) *)
+
+and ix_bound = { xb_port : string; xb_read : ix_read }
+
+and ix_chan = {
+  xc_src : ix_read; (* Rd_boundary or Rd_slot only — sources are never
+                       read through a register *)
+  xc_buf : int;
+  xc_present : Probe.counter;
+  xc_absent : Probe.counter;
+}
+
+type ix_net_state = {
+  x_slots : Value.message array;   (* this tick's sub-component outputs *)
+  x_buffers : Value.message array; (* delay registers, one per channel *)
+  x_bout : Value.message array;    (* this tick's boundary outputs *)
+  x_subs : ix_state array;
+}
+
+and ix_state =
+  | Xst_atomic of { mutable xst : comp_state }
+  | Xst_net of ix_net_state
+
+type indexed = {
+  ix_name : string;
+  ix_in_ports : string list;
+  ix_out_ports : string list;
+  ix_root : ix_node;
+  (* per declared output port, the root network's boundary index (-1
+     when the port is never driven); [None] for atomic roots *)
+  ix_out_bounds : int array option;
+}
+
+let rec index_behavior ~(ports : Model.port list) (behavior : Model.behavior) :
+    ix_node =
+  match behavior with
+  | Model.B_dfd net -> Ix_net (index_network ~ssd:false net)
+  | Model.B_ssd net -> Ix_net (index_network ~ssd:true net)
+  | (Model.B_exprs _ | Model.B_std _ | Model.B_mtd _ | Model.B_unspecified)
+    as b ->
+    (* atomic behaviors step through the (pure) interpreter — identical
+       semantics by construction, incl. MTD mode history *)
+    Ix_atomic { xa_ports = ports; xa_behavior = b }
+
+and index_network ~ssd (net : Model.network) : ix_net =
+  let order =
+    if ssd then
+      List.map (fun (c : Model.component) -> c.comp_name) net.net_components
+    else
+      match Causality.evaluation_order net with
+      | Ok order -> order
+      | Error loops ->
+        sim_error "instantaneous loop in DFD %s: %s" net.net_name
+          (String.concat " <-> " (List.concat loops))
+  in
+  (* Number every (component, output port) pair used as a channel
+     source; topological order guarantees a slot is written before any
+     instantaneous read of it. *)
+  let slot_tbl : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
+  let nslots = ref 0 in
+  let slot_of comp port =
+    match Hashtbl.find_opt slot_tbl (comp, port) with
+    | Some i -> i
+    | None ->
+      let i = !nslots in
+      incr nslots;
+      Hashtbl.add slot_tbl (comp, port) i;
+      i
+  in
+  let buf_of =
+    let tbl = Hashtbl.create 32 in
+    List.iteri
+      (fun i (ch : Model.channel) -> Hashtbl.replace tbl ch.ch_name i)
+      net.net_channels;
+    fun name -> Hashtbl.find tbl name
+  in
+  let chan_src (ch : Model.channel) =
+    match ch.ch_src.ep_comp with
+    | None -> Rd_boundary ch.ch_src.ep_port
+    | Some comp -> Rd_slot (slot_of comp ch.ch_src.ep_port)
+  in
+  let read_of (ch : Model.channel) =
+    if channel_is_delayed ~ssd ch then Rd_buffer (buf_of ch.ch_name)
+    else chan_src ch
+  in
+  (* Channels first: this allocates every slot. *)
+  let chans =
+    Array.of_list
+      (List.mapi
+         (fun i (ch : Model.channel) ->
+           let present, absent = probe_channel_counters ch.ch_name in
+           { xc_src = chan_src ch;
+             xc_buf = i;
+             xc_present = present;
+             xc_absent = absent })
+         net.net_channels)
+  in
+  let bounds =
+    Array.of_list
+      (List.filter_map
+         (fun (ch : Model.channel) ->
+           match ch.ch_dst.ep_comp with
+           | Some _ -> None
+           | None -> Some { xb_port = ch.ch_dst.ep_port; xb_read = read_of ch })
+         net.net_channels)
+  in
+  let bound_index (child : ix_net) port =
+    let bi = ref (-1) in
+    Array.iteri
+      (fun i (b : ix_bound) ->
+        if !bi < 0 && String.equal b.xb_port port then bi := i)
+      child.xn_bounds;
+    !bi
+  in
+  let subs =
+    Array.of_list
+      (List.map
+         (fun comp_name ->
+           let comp =
+             match Model.find_component net comp_name with
+             | Some c -> c
+             | None ->
+               sim_error "network %s: unknown component %s" net.net_name
+                 comp_name
+           in
+           let drivers =
+             Array.of_list
+               (List.filter_map
+                  (fun (p : Model.port) ->
+                    if p.port_dir <> Model.In then None
+                    else
+                      let driver =
+                        List.find_opt
+                          (fun (ch : Model.channel) ->
+                            ch.ch_dst.ep_comp = Some comp_name
+                            && String.equal ch.ch_dst.ep_port p.port_name)
+                          net.net_channels
+                      in
+                      Option.map (fun ch -> (p.port_name, read_of ch)) driver)
+                  comp.comp_ports)
+           in
+           let node = index_behavior ~ports:comp.comp_ports comp.comp_behavior in
+           let my_slots =
+             Hashtbl.fold
+               (fun (c, port) slot acc ->
+                 if String.equal c comp_name then (port, slot) :: acc else acc)
+               slot_tbl []
+           in
+           let outs =
+             match node with
+             | Ix_atomic _ -> Xo_atomic (Array.of_list my_slots)
+             | Ix_net child ->
+               Xo_net
+                 (Array.of_list
+                    (List.map
+                       (fun (port, slot) -> (bound_index child port, slot))
+                       my_slots))
+           in
+           { xs_name = comp_name;
+             xs_fire = probe_fire_counter comp_name;
+             xs_node = node;
+             xs_drivers = drivers;
+             xs_outs = outs })
+         order)
+  in
+  { xn_subs = subs;
+    xn_chans = chans;
+    xn_bounds = bounds;
+    xn_nslots = !nslots;
+    xn_buf_init =
+      Array.of_list
+        (List.map
+           (fun (ch : Model.channel) ->
+             match ch.ch_init with
+             | Some v -> Value.Present v
+             | None -> Value.Absent)
+           net.net_channels) }
+
+let index (comp : Model.component) : indexed =
+  let in_ports =
+    List.map (fun (p : Model.port) -> p.port_name) (Model.input_ports comp)
+  in
+  let out_ports =
+    List.map (fun (p : Model.port) -> p.port_name) (Model.output_ports comp)
+  in
+  let root = index_behavior ~ports:comp.comp_ports comp.comp_behavior in
+  let out_bounds =
+    match root with
+    | Ix_atomic _ -> None
+    | Ix_net n ->
+      Some
+        (Array.of_list
+           (List.map
+              (fun port ->
+                let bi = ref (-1) in
+                Array.iteri
+                  (fun i (b : ix_bound) ->
+                    if !bi < 0 && String.equal b.xb_port port then bi := i)
+                  n.xn_bounds;
+                !bi)
+              out_ports))
+  in
+  { ix_name = comp.comp_name;
+    ix_in_ports = in_ports;
+    ix_out_ports = out_ports;
+    ix_root = root;
+    ix_out_bounds = out_bounds }
+
+let rec ix_init_node (node : ix_node) : ix_state =
+  match node with
+  | Ix_atomic a ->
+    Xst_atomic { xst = init_behavior ~ports:a.xa_ports a.xa_behavior }
+  | Ix_net n ->
+    Xst_net
+      { x_slots = Array.make n.xn_nslots Value.Absent;
+        x_buffers = Array.copy n.xn_buf_init;
+        x_bout = Array.make (Array.length n.xn_bounds) Value.Absent;
+        x_subs = Array.map (fun s -> ix_init_node s.xs_node) n.xn_subs }
+
+let indexed_init (ix : indexed) = ix_init_node ix.ix_root
+
+(* Atomic nodes return their outputs; network nodes write theirs into
+   their state's [x_bout] array and return []. *)
+let rec ix_step_node ~schedule ~tick ~inputs (node : ix_node)
+    (state : ix_state) : (string * Value.message) list =
+  match node, state with
+  | Ix_atomic a, Xst_atomic st ->
+    let outs, st' =
+      step_behavior ~schedule ~tick ~ports:a.xa_ports ~inputs a.xa_behavior
+        st.xst
+    in
+    st.xst <- st';
+    outs
+  | Ix_net n, Xst_net ns ->
+    ix_step_net ~schedule ~tick ~inputs n ns;
+    []
+  | (Ix_atomic _ | Ix_net _), (Xst_atomic _ | Xst_net _) ->
+    sim_error "indexed behavior/state shape mismatch"
+
+and ix_step_net ~schedule ~tick ~inputs (n : ix_net) (ns : ix_net_state) =
+  let read = function
+    | Rd_boundary port -> inputs port
+    | Rd_slot i -> Array.unsafe_get ns.x_slots i
+    | Rd_buffer i -> Array.unsafe_get ns.x_buffers i
+  in
+  (* 1. sweep *)
+  for i = 0 to Array.length n.xn_subs - 1 do
+    let sub = Array.unsafe_get n.xn_subs i in
+    let sub_state = Array.unsafe_get ns.x_subs i in
+    let drivers = sub.xs_drivers in
+    let ndrv = Array.length drivers in
+    let sub_inputs port =
+      let rec find j =
+        if j >= ndrv then Value.Absent
+        else
+          let p, rd = Array.unsafe_get drivers j in
+          if String.equal p port then read rd else find (j + 1)
+      in
+      find 0
+    in
+    if Probe.active () then begin
+      Probe.hit sub.xs_fire;
+      if Probe.spans_on () then Probe.enter ~tick sub.xs_name
+    end;
+    let outs =
+      ix_step_node ~schedule ~tick ~inputs:sub_inputs sub.xs_node sub_state
+    in
+    if Probe.spans_on () then Probe.exit_ ~tick sub.xs_name;
+    match sub.xs_outs with
+    | Xo_atomic pairs ->
+      Array.iter
+        (fun (port, slot) -> ns.x_slots.(slot) <- lookup_outputs outs port)
+        pairs
+    | Xo_net pairs ->
+      let child_out =
+        match sub_state with
+        | Xst_net c -> c.x_bout
+        | Xst_atomic _ -> sim_error "indexed behavior/state shape mismatch"
+      in
+      Array.iter
+        (fun (bi, slot) ->
+          ns.x_slots.(slot) <-
+            (if bi < 0 then Value.Absent else Array.unsafe_get child_out bi))
+        pairs
+  done;
+  (* 2. boundary outputs (old registers) *)
+  Array.iteri
+    (fun i (b : ix_bound) -> ns.x_bout.(i) <- read b.xb_read)
+    n.xn_bounds;
+  (* 3. refresh delay registers *)
+  let probing = Probe.active () in
+  Array.iter
+    (fun (ch : ix_chan) ->
+      let v = read ch.xc_src in
+      if probing then
+        Probe.hit
+          (match v with
+           | Value.Present _ -> ch.xc_present
+           | Value.Absent -> ch.xc_absent);
+      ns.x_buffers.(ch.xc_buf) <- v)
+    n.xn_chans
+
+let indexed_step ?(schedule = Clock.no_events) ~tick ~inputs (ix : indexed)
+    state =
+  let outs = ix_step_node ~schedule ~tick ~inputs ix.ix_root state in
+  match ix.ix_out_bounds, state with
+  | Some bounds, Xst_net ns ->
+    List.mapi
+      (fun i port ->
+        let bi = bounds.(i) in
+        (port, if bi < 0 then Value.Absent else ns.x_bout.(bi)))
+      ix.ix_out_ports
+  | None, _ ->
+    List.map (fun port -> (port, lookup_outputs outs port)) ix.ix_out_ports
+  | Some _, Xst_atomic _ -> sim_error "indexed behavior/state shape mismatch"
+
+let run_indexed ?(schedule = Clock.no_events) ~ticks ~inputs (ix : indexed) =
+  let in_names = ix.ix_in_ports in
+  let trace = Trace.make ~flows:(in_names @ ix.ix_out_ports) in
+  let state = indexed_init ix in
+  let rec go tick trace =
+    if tick >= ticks then trace
+    else begin
+      let offered = inputs tick in
+      let input_fn port =
+        match List.assoc_opt port offered with
+        | Some msg -> msg
+        | None -> Value.Absent
+      in
+      if Probe.active () then begin
+        Probe.hit sim_ticks;
+        if Probe.spans_on () then Probe.enter ~tick ~cat:"tick" "tick"
+      end;
+      let outs = indexed_step ~schedule ~tick ~inputs:input_fn ix state in
+      if Probe.spans_on () then Probe.exit_ ~tick ~cat:"tick" "tick";
+      (* rows are built in flow order (inputs then declared outputs), so
+         the per-flow projection of Trace.record is unnecessary *)
+      let row = List.map (fun port -> (port, input_fn port)) in_names @ outs in
+      go (tick + 1) (Trace.record_ordered trace row)
+    end
+  in
+  go 0 trace

@@ -79,3 +79,41 @@ val run_compiled :
   ?schedule:Clock.schedule -> ticks:int -> inputs:input_fn -> compiled ->
   Trace.t
 (** Like {!run}, over a precompiled component. *)
+
+(** {1 Indexed simulation}
+
+    A second lowering stage on top of {!compile}: components, ports and
+    channels are numbered at index time, sub-states, delay registers and
+    per-tick outputs live in pre-sized arrays mutated in place, and a
+    driver lookup is an array read instead of a per-port assoc scan.
+    An {!indexed} value is immutable — all run-time mutation happens
+    inside the {!ix_state} created fresh by each {!indexed_init} call,
+    so one indexed component can drive many concurrent simulations
+    (including from different domains).  All three engines produce
+    identical traces (asserted in the test-suite); the speedup is
+    measured by the E17 bench section. *)
+
+type indexed
+
+val index : Model.component -> indexed
+(** @raise Sim_error on instantaneous loops (as {!init}). *)
+
+type ix_state
+(** Mutable run-time state of one indexed simulation: pre-sized slot,
+    register and sub-state arrays, updated in place each tick. *)
+
+val indexed_init : indexed -> ix_state
+(** A fresh, independent state (arrays are not shared between calls). *)
+
+val indexed_step :
+  ?schedule:Clock.schedule -> tick:int ->
+  inputs:(string -> Value.message) -> indexed -> ix_state ->
+  (string * Value.message) list
+(** One synchronous step, mutating [ix_state] in place.  Reports every
+    declared output port, absent if not computed — exactly as {!step}. *)
+
+val run_indexed :
+  ?schedule:Clock.schedule -> ticks:int -> inputs:input_fn -> indexed ->
+  Trace.t
+(** Like {!run}, over an indexed component (one fresh {!indexed_init}
+    per call). *)

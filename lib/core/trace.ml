@@ -17,6 +17,11 @@ let record t tick_msgs =
   in
   { t with rev_ticks = tick :: t.rev_ticks }
 
+(* The caller guarantees [tick_msgs] covers every flow, in flow order —
+   the per-flow assoc projection of [record] is skipped entirely (the
+   indexed engine's tick loop builds its rows in flow order already). *)
+let record_ordered t tick_msgs = { t with rev_ticks = tick_msgs :: t.rev_ticks }
+
 let length t = List.length t.rev_ticks
 let flows t = t.flow_names
 let ticks t = List.rev t.rev_ticks

@@ -13,6 +13,12 @@ val record : t -> (string * Value.message) list -> t
 (** Append one tick.  Flows not mentioned get [Absent]; unknown flow
     names are ignored. *)
 
+val record_ordered : t -> (string * Value.message) list -> t
+(** Append one tick whose messages are already listed exactly in flow
+    order (one entry per flow) — skips the per-flow projection of
+    {!record}.  Used by hot simulation loops; behavior is unspecified
+    if the invariant is violated. *)
+
 val length : t -> int
 val flows : t -> string list
 

@@ -13,9 +13,21 @@ let n_buckets = 31
 type t = {
   cells : (string, cell) Hashtbl.t;
   mutable rev_keys : string list; (* newest first *)
+  lock : Mutex.t;
+  (* Guards [cells]/[rev_keys] so registration from parallel campaign
+     domains cannot corrupt the table.  Cell *contents* are updated
+     outside the lock on the hot path (see {!counter_cell}): lost
+     increments under contention are acceptable for observability
+     counters, a torn Hashtbl is not. *)
 }
 
-let create () = { cells = Hashtbl.create 64; rev_keys = [] }
+let create () = { cells = Hashtbl.create 64; rev_keys = []; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v -> Mutex.unlock t.lock; v
+  | exception e -> Mutex.unlock t.lock; raise e
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -37,7 +49,12 @@ let add t key by =
   match Hashtbl.find t.cells key with
   | Counter r -> r := !r + by
   | c -> mismatch key "counter" c
-  | exception Not_found -> register t key (Counter (ref by))
+  | exception Not_found ->
+    locked t (fun () ->
+        match Hashtbl.find_opt t.cells key with
+        | Some (Counter r) -> r := !r + by
+        | Some c -> mismatch key "counter" c
+        | None -> register t key (Counter (ref by)))
 
 let incr t ?(by = 1) key = add t key by
 
@@ -46,15 +63,25 @@ let counter_cell t key =
   | Counter r -> r
   | c -> mismatch key "counter" c
   | exception Not_found ->
-    let r = ref 0 in
-    register t key (Counter r);
-    r
+    locked t (fun () ->
+        match Hashtbl.find_opt t.cells key with
+        | Some (Counter r) -> r
+        | Some c -> mismatch key "counter" c
+        | None ->
+          let r = ref 0 in
+          register t key (Counter r);
+          r)
 
 let set_gauge t key v =
   match Hashtbl.find_opt t.cells key with
   | Some (Gauge r) -> r := v
   | Some c -> mismatch key "gauge" c
-  | None -> register t key (Gauge (ref v))
+  | None ->
+    locked t (fun () ->
+        match Hashtbl.find_opt t.cells key with
+        | Some (Gauge r) -> r := v
+        | Some c -> mismatch key "gauge" c
+        | None -> register t key (Gauge (ref v)))
 
 let bucket_of v =
   (* first i with 2^i - 1 >= v; negatives land in bucket 0 *)
@@ -67,12 +94,17 @@ let observe t key v =
     | Some (Hist h) -> h
     | Some c -> mismatch key "histogram" c
     | None ->
-      let h =
-        { h_count = 0; h_sum = 0; h_min = max_int; h_max = min_int;
-          buckets = Array.make n_buckets 0 }
-      in
-      register t key (Hist h);
-      h
+      locked t (fun () ->
+          match Hashtbl.find_opt t.cells key with
+          | Some (Hist h) -> h
+          | Some c -> mismatch key "histogram" c
+          | None ->
+            let h =
+              { h_count = 0; h_sum = 0; h_min = max_int; h_max = min_int;
+                buckets = Array.make n_buckets 0 }
+            in
+            register t key (Hist h);
+            h)
   in
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum + v;
@@ -90,8 +122,9 @@ let value t key =
 let keys t = List.rev t.rev_keys
 
 let reset t =
-  Hashtbl.reset t.cells;
-  t.rev_keys <- []
+  locked t (fun () ->
+      Hashtbl.reset t.cells;
+      t.rev_keys <- [])
 
 let fold t f =
   List.map (fun key -> f key (Hashtbl.find t.cells key)) (keys t)

@@ -84,31 +84,46 @@ let instant ~tick ?(cat = "sim") name =
   | _ -> ()
 
 let standard ?span ?profile metrics =
-  (* per-scope start-time stacks for wall-clock pairing *)
+  (* per-scope start-time stacks for wall-clock pairing; the mutex keeps
+     the table intact if spans ever fire from several domains at once *)
   let starts : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  let starts_lock = Mutex.create () in
+  let with_starts f =
+    Mutex.lock starts_lock;
+    match f () with
+    | v -> Mutex.unlock starts_lock; v
+    | exception e -> Mutex.unlock starts_lock; raise e
+  in
   let prof_enter name =
     match profile with
     | None -> ()
     | Some _ ->
-      let stack =
-        match Hashtbl.find_opt starts name with
-        | Some st -> st
-        | None ->
-          let st = ref [] in
-          Hashtbl.add starts name st;
-          st
-      in
-      stack := Unix.gettimeofday () :: !stack
+      with_starts (fun () ->
+          let stack =
+            match Hashtbl.find_opt starts name with
+            | Some st -> st
+            | None ->
+              let st = ref [] in
+              Hashtbl.add starts name st;
+              st
+          in
+          stack := Unix.gettimeofday () :: !stack)
   in
   let prof_exit name =
     match profile with
     | None -> ()
     | Some p -> (
-      match Hashtbl.find_opt starts name with
-      | Some ({ contents = t0 :: rest } as stack) ->
-        stack := rest;
-        Profile.record p name (Unix.gettimeofday () -. t0)
-      | _ -> ())
+      let t0 =
+        with_starts (fun () ->
+            match Hashtbl.find_opt starts name with
+            | Some ({ contents = t0 :: rest } as stack) ->
+              stack := rest;
+              Some t0
+            | _ -> None)
+      in
+      match t0 with
+      | Some t0 -> Profile.record p name (Unix.gettimeofday () -. t0)
+      | None -> ())
   in
   let span_ev f ~tick ~cat name =
     match span with Some sp -> f sp ~tick ~cat name | None -> ()

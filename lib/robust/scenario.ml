@@ -3,6 +3,7 @@ open Automode_core
 type t = {
   scn_name : string;
   component : Model.component;
+  indexed : Sim.indexed Lazy.t;
   ticks : int;
   inputs : Sim.input_fn;
   faults_of_seed : int -> Fault.t list;
@@ -15,6 +16,7 @@ let make ?(schedule = fun _ -> Clock.no_events) ~name ~component ~ticks
   if ticks < 0 then invalid_arg "Scenario.make: negative horizon";
   { scn_name = name;
     component;
+    indexed = lazy (Sim.index component);
     ticks;
     inputs;
     faults_of_seed = faults;
@@ -28,7 +30,8 @@ let faults s ~seed = s.faults_of_seed seed
 
 let trace s ~faults ~ticks =
   let inputs = Fault.apply faults s.inputs in
-  Sim.run ~schedule:(s.schedule faults) ~ticks ~inputs s.component
+  Sim.run_indexed ~schedule:(s.schedule faults) ~ticks ~inputs
+    (Lazy.force s.indexed)
 
 let verdicts_of_trace s tr =
   List.map (fun m -> (Monitor.name m, Monitor.eval m tr)) s.monitors
@@ -56,9 +59,12 @@ type campaign = {
   failures : failure list;
 }
 
-let sweep ?(shrink = true) s ~seeds =
+let sweep ?(shrink = true) ?(domains = 1) s ~seeds =
+  (* Force the index compilation before fanning out, so domains share
+     the immutable compiled form instead of racing on the lazy. *)
+  let _ = Lazy.force s.indexed in
   let results =
-    List.map
+    Parallel.map ~domains
       (fun seed ->
         let injected = s.faults_of_seed seed in
         { seed; injected; verdicts = run s ~faults:injected ~ticks:s.ticks })

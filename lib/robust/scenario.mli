@@ -60,8 +60,12 @@ type campaign = {
   failures : failure list;
 }
 
-val sweep : ?shrink:bool -> t -> seeds:int list -> campaign
+val sweep : ?shrink:bool -> ?domains:int -> t -> seeds:int list -> campaign
 (** Run the scenario once per seed and collect verdicts; each failing
     (seed, monitor) pair is shrunk to a minimal fault subset and
     shortest failing prefix (disable with [~shrink:false] for cheap
-    smoke runs). *)
+    smoke runs).  [?domains] (default 1) fans the per-seed simulations
+    out over an OCaml 5 domain pool via {!Parallel.map}; verdicts are
+    merged back in seed order, so the resulting campaign — and any
+    report rendered from it — is identical to a serial sweep.
+    Shrinking always runs serially after the sweep. *)

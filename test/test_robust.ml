@@ -668,6 +668,57 @@ let test_fault_crash_applies () =
       else checkb "silent after the crash" true (v = Value.Absent))
     [ 0; 1; 2; 3; 4; 9 ]
 
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel sweeps                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_map_order () =
+  let items = List.init 37 (fun i -> i) in
+  let f x = x * x in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map order, %d domains" domains)
+        (List.map f items)
+        (Parallel.map ~domains f items))
+    [ 1; 2; 4; 8 ]
+
+exception Boom of int
+
+let test_parallel_map_raises () =
+  checkb "earliest failure re-raised" true
+    (try
+       ignore
+         (Parallel.map ~domains:4
+            (fun i -> if i mod 3 = 0 then raise (Boom i) else i)
+            (List.init 10 (fun i -> i + 1)));
+       false
+     with Boom i -> i = 3)
+
+(* The tentpole's determinism claim: a parallel sweep renders the very
+   same report bytes as the serial one, at any domain count. *)
+let test_parallel_campaign_byte_identical () =
+  let seeds = List.init 8 (fun i -> i + 1) in
+  let serial = Robustness.door_lock_campaign ~shrink:false ~seeds () in
+  List.iter
+    (fun domains ->
+      let par =
+        Robustness.door_lock_campaign ~shrink:false ~domains ~seeds ()
+      in
+      checks
+        (Printf.sprintf "text report identical, %d domains" domains)
+        (Report.to_text serial) (Report.to_text par);
+      checks
+        (Printf.sprintf "csv report identical, %d domains" domains)
+        (Report.to_csv serial) (Report.to_csv par))
+    [ 2; 4 ]
+
+let test_parallel_engine_campaign_identical () =
+  let seeds = [ 1; 2; 3 ] in
+  let serial = Robustness.engine_campaign ~horizon:50_000 ~seeds () in
+  checkb "engine campaign identical at 2 domains" true
+    (serial = Robustness.engine_campaign ~horizon:50_000 ~domains:2 ~seeds ())
+
 let () =
   Alcotest.run "automode-robust"
     [ ( "fault",
@@ -740,4 +791,11 @@ let () =
       ( "inject-net",
         [ Alcotest.test_case "nominal" `Quick test_inject_net_nominal;
           Alcotest.test_case "engine campaign" `Quick
-            test_inject_net_engine_campaign ] ) ]
+            test_inject_net_engine_campaign ] );
+      ( "parallel",
+        [ Alcotest.test_case "map order" `Quick test_parallel_map_order;
+          Alcotest.test_case "map raises" `Quick test_parallel_map_raises;
+          Alcotest.test_case "campaign byte-identical" `Quick
+            test_parallel_campaign_byte_identical;
+          Alcotest.test_case "engine campaign identical" `Quick
+            test_parallel_engine_campaign_identical ] ) ]

@@ -804,6 +804,8 @@ let test_compiled_faulted_inputs () =
   let t1 = Sim.run ~schedule ~ticks ~inputs comp in
   let t2 = Sim.run_compiled ~schedule ~ticks ~inputs (Sim.compile comp) in
   checkb "faulted compiled trace equals interpreted" true (Trace.equal t1 t2);
+  let t2i = Sim.run_indexed ~schedule ~ticks ~inputs (Sim.index comp) in
+  checkb "faulted indexed trace equals interpreted" true (Trace.equal t1 t2i);
   (* and a fresh fault application replays the identical trace *)
   let inputs' =
     Fault.apply faults Automode_casestudy.Door_lock.crash_scenario
@@ -815,6 +817,149 @@ let test_compiled_rejects_loops () =
   let comp = Dfd.of_network (loop_net ~delayed:false) in
   checkb "compile raises on instantaneous loop" true
     (try ignore (Sim.compile comp); false with Sim.Sim_error _ -> true)
+
+let test_compiled_late_inputs () =
+  (* regression: inputs first offered at tick >= 4 used to vanish from
+     the compiled trace's flow set, because the flows were sampled from
+     the first four stimulus ticks; they now come from the declared
+     ports recorded at compile time *)
+  let inputs tick =
+    if tick < 6 then []
+    else [ ("a", present_i 1); ("b", present_i (tick - 6)) ]
+  in
+  let t1 = Sim.run ~ticks:12 ~inputs adder in
+  let t2 = Sim.run_compiled ~ticks:12 ~inputs (Sim.compile adder) in
+  checkb "late input flows recorded" true
+    (List.mem "a" (Trace.flows t2) && List.mem "b" (Trace.flows t2));
+  checkb "late input trace equals interpreted" true (Trace.equal t1 t2)
+
+(* ------------------------------------------------------------------ *)
+(* Indexed simulation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Full-trace identity across all three engines: interpreted =
+   closure-compiled = indexed (same flows, same messages everywhere). *)
+let assert_engines_match ?schedule name comp ~ticks ~inputs =
+  let t1 = Sim.run ?schedule ~ticks ~inputs comp in
+  let t2 = Sim.run_compiled ?schedule ~ticks ~inputs (Sim.compile comp) in
+  let t3 = Sim.run_indexed ?schedule ~ticks ~inputs (Sim.index comp) in
+  checkb (name ^ ": compiled trace equals interpreted") true
+    (Trace.equal t1 t2);
+  checkb (name ^ ": indexed trace equals interpreted") true
+    (Trace.equal t1 t3)
+
+let test_indexed_fixtures () =
+  assert_engines_match "adder" adder ~ticks:16
+    ~inputs:(fun t -> [ ("a", present_i t); ("b", present_i (2 * t)) ]);
+  assert_engines_match "counter" counter ~ticks:16
+    ~inputs:(fun _ -> [ ("step", present_i 1) ]);
+  assert_engines_match "ssd pipeline" ssd_pipeline ~ticks:12
+    ~inputs:(fun t -> [ ("src", present_i t) ]);
+  assert_engines_match "throttle mtd" throttle_comp ~ticks:12
+    ~inputs:(fun t ->
+      [ ("cranking", present_b (t >= 4)); ("desired", present_f 10.);
+        ("current", present_f 2.) ])
+
+let test_indexed_random_dfds () =
+  List.iter
+    (fun (seed, n) ->
+      let comp = Automode_workloads.Workloads.random_dfd_component ~seed ~n in
+      assert_engines_match
+        (Printf.sprintf "random dfd seed=%d n=%d" seed n)
+        comp ~ticks:24
+        ~inputs:(fun t -> [ ("src", present_f (float_of_int t)) ]))
+    [ (7, 10); (42, 50); (3, 80) ]
+
+let test_indexed_door_lock () =
+  assert_engines_match "door lock (E1)"
+    Automode_casestudy.Door_lock.component ~ticks:64
+    ~inputs:Automode_casestudy.Door_lock.crash_scenario
+
+let test_indexed_engine_fda () =
+  let fda, _ = Automode_casestudy.Engine_ascet.reengineer () in
+  let inputs tick =
+    List.map
+      (fun (n, v) -> (n, Value.Present v))
+      (Automode_casestudy.Engine_ascet.drive_inputs tick)
+  in
+  assert_engines_match "engine fda (E8)" fda.Model.model_root ~ticks:96 ~inputs
+
+let test_indexed_guarded () =
+  assert_engines_match "guarded door lock (E14)"
+    Automode_casestudy.Guarded.component ~ticks:64
+    ~inputs:Automode_casestudy.Robustness.lock_stimulus
+
+(* An SSD network whose sub-component is an MTD with a "mode" output
+   port: exercises delayed sibling channels feeding/reading a
+   mode-switching component in all three engines. *)
+let mtd_under_ssd =
+  let mode_ty = Mtd.mode_enum throttle_mtd in
+  let mtd_comp =
+    Model.component "Ctl"
+      ~ports:
+        [ Model.in_port ~ty:Dtype.Tbool "cranking";
+          Model.in_port ~ty:Dtype.Tfloat "desired";
+          Model.in_port ~ty:Dtype.Tfloat "current";
+          Model.out_port ~ty:Dtype.Tfloat "rate";
+          Model.out_port ~ty:mode_ty "mode" ]
+      ~behavior:(Model.B_mtd throttle_mtd)
+  in
+  let scale =
+    Dfd.block_of_expr ~name:"Scale" ~inputs:[ ("x", Some Dtype.Tfloat) ]
+      ~out_type:Dtype.Tfloat
+      Expr.(current (Value.Float 0.) (var "x") * float 2.)
+  in
+  let net : Model.network =
+    { net_name = "CtlNet";
+      net_components = [ mtd_comp; scale ];
+      net_channels =
+        [ Dfd.wire "c" ("", "cranking") ("Ctl", "cranking");
+          Dfd.wire "d" ("", "desired") ("Ctl", "desired");
+          Dfd.wire "u" ("", "current") ("Ctl", "current");
+          (* sibling channel: one-tick delay under SSD semantics *)
+          Dfd.wire "r" ("Ctl", "rate") ("Scale", "x");
+          Dfd.wire "o" ("Scale", "out") ("", "scaled");
+          Dfd.wire "m" ("Ctl", "mode") ("", "mode") ] }
+  in
+  Ssd.of_network
+    ~ports:
+      [ Model.in_port ~ty:Dtype.Tbool "cranking";
+        Model.in_port ~ty:Dtype.Tfloat "desired";
+        Model.in_port ~ty:Dtype.Tfloat "current";
+        Model.out_port ~ty:Dtype.Tfloat "scaled";
+        Model.out_port ~ty:mode_ty "mode" ]
+    net
+
+let test_indexed_mtd_under_ssd () =
+  assert_engines_match "mtd under ssd" mtd_under_ssd ~ticks:16
+    ~inputs:(fun t ->
+      [ ("cranking", present_b (4 <= t && t < 9));
+        ("desired", present_f 10.);
+        ("current", present_f (float_of_int t)) ])
+
+let test_indexed_reentrant () =
+  (* one indexed value, two independent states: advancing one must not
+     disturb the other (fresh arrays per indexed_init) *)
+  let ix = Sim.index counter in
+  let st1 = Sim.indexed_init ix in
+  let st2 = Sim.indexed_init ix in
+  let inputs port =
+    if String.equal port "step" then present_i 1 else Value.Absent
+  in
+  for tick = 0 to 3 do
+    ignore (Sim.indexed_step ~tick ~inputs ix st1)
+  done;
+  let o2 = Sim.indexed_step ~tick:0 ~inputs ix st2 in
+  checkb "fresh state unaffected by sibling state" true
+    (Value.equal_message (List.assoc "count" o2) (present_i 1));
+  let o1 = Sim.indexed_step ~tick:4 ~inputs ix st1 in
+  checkb "advanced state keeps its own registers" true
+    (Value.equal_message (List.assoc "count" o1) (present_i 5))
+
+let test_indexed_rejects_loops () =
+  let comp = Dfd.of_network (loop_net ~delayed:false) in
+  checkb "index raises on instantaneous loop" true
+    (try ignore (Sim.index comp); false with Sim.Sim_error _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Trace utilities                                                    *)
@@ -1144,7 +1289,17 @@ let () =
           Alcotest.test_case "ssd delays" `Quick test_compiled_ssd_delays;
           Alcotest.test_case "mtd" `Quick test_compiled_mtd;
           Alcotest.test_case "faulted inputs" `Quick test_compiled_faulted_inputs;
+          Alcotest.test_case "late inputs" `Quick test_compiled_late_inputs;
           Alcotest.test_case "rejects loops" `Quick test_compiled_rejects_loops ] );
+      ( "indexed-sim",
+        [ Alcotest.test_case "fixtures" `Quick test_indexed_fixtures;
+          Alcotest.test_case "random dfds" `Quick test_indexed_random_dfds;
+          Alcotest.test_case "door lock (E1)" `Quick test_indexed_door_lock;
+          Alcotest.test_case "engine fda (E8)" `Quick test_indexed_engine_fda;
+          Alcotest.test_case "guarded (E14)" `Quick test_indexed_guarded;
+          Alcotest.test_case "mtd under ssd" `Quick test_indexed_mtd_under_ssd;
+          Alcotest.test_case "re-entrant states" `Quick test_indexed_reentrant;
+          Alcotest.test_case "rejects loops" `Quick test_indexed_rejects_loops ] );
       ( "trace",
         [ Alcotest.test_case "equality/divergence" `Quick test_trace_equal_and_divergence;
           Alcotest.test_case "csv escaping" `Quick test_trace_csv_escaping;
