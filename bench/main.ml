@@ -321,6 +321,68 @@ let e17_speedups ~domains ~assert_bounds () =
       exit 1
     end
 
+(* E18: the campaign service's content-addressed verdict cache.  A warm
+   sweep (every per-seed verdict spliced from the cache) must return a
+   report byte-identical to the cold compute and to the plain uncached
+   sweep — asserted whenever the section runs — and be substantially
+   faster (asserted in full bench mode only).  Returns (name, ns/run)
+   rows for the JSON dump. *)
+let e18_cache ~assert_bounds () =
+  section "E18 | campaign-as-a-service: content-addressed verdict cache";
+  let reps = 5 in
+  let min_time f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let module Serve = Automode_serve in
+  let scn = Robustness.door_lock_scenario in
+  let seeds = List.init 8 (fun i -> i + 1) in
+  (* cold: a fresh cache per run, so every seed is computed and stored *)
+  let t_cold =
+    min_time (fun () ->
+        Serve.Cached.sweep ~cache:(Serve.Cache.create ()) ~shrink:false scn
+          ~seeds)
+  in
+  let cache = Serve.Cache.create () in
+  let cold_report =
+    Automode_robust.Report.to_text
+      (Serve.Cached.sweep ~cache ~shrink:false scn ~seeds)
+  in
+  let warm () = Serve.Cached.sweep ~cache ~shrink:false scn ~seeds in
+  let warm_report = Automode_robust.Report.to_text (warm ()) in
+  let t_warm = min_time warm in
+  let plain_report =
+    Automode_robust.Report.to_text
+      (Automode_robust.Scenario.sweep ~shrink:false scn ~seeds)
+  in
+  let identical =
+    String.equal cold_report warm_report
+    && String.equal cold_report plain_report
+  in
+  let speedup = t_cold /. t_warm in
+  Printf.printf
+    "door-lock campaign, 8 seeds: cold %.2f ms, warm (all %d seeds from \
+     cache) %.2f ms (%.1fx); reports byte-identical: %b\n"
+    (t_cold *. 1e3) (List.length seeds) (t_warm *. 1e3) speedup identical;
+  if not identical then begin
+    print_endline "cold vs warm report identity: FAILED";
+    exit 1
+  end;
+  if assert_bounds then
+    if speedup >= 2. then print_endline "warm-cache speedup >= 2x: OK"
+    else begin
+      Printf.printf "warm-cache speedup >= 2x: FAILED (%.2fx)\n" speedup;
+      exit 1
+    end;
+  [ ("serve/E18-campaign-cold-8seeds", t_cold *. 1e9);
+    ("serve/E18-campaign-warm-8seeds", t_warm *. 1e9) ]
+
 (* ------------------------------------------------------------------ *)
 (* Benchmarks                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -710,10 +772,15 @@ let () =
     | None -> 4
   in
   e17_speedups ~domains ~assert_bounds ();
+  let serve_rows = e18_cache ~assert_bounds () in
   if not artifacts_only then begin
     print_endline "";
     section "benchmarks (this may take a minute)";
-    let rows = estimates_of (benchmark ()) in
+    let rows =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (estimates_of (benchmark ()) @ serve_rows)
+    in
     print_results rows;
     match arg_value "--json" with
     | Some path -> write_json path rows

@@ -285,14 +285,6 @@ let timeline_cmd =
        ~doc:"Gantt timeline of the engine deployment's task schedules")
     Term.(const run $ horizon_arg)
 
-let verdicts_fail vs =
-  List.exists
-    (fun (_, v) ->
-      match v with
-      | Automode_robust.Monitor.Fail _ -> true
-      | Automode_robust.Monitor.Pass -> false)
-    vs
-
 (* Shared arguments of the campaign commands (robustness/guard/redund). *)
 
 let seed_list_arg =
@@ -327,7 +319,19 @@ let domains_arg =
                  in seed order, so the report is identical to a serial \
                  run.")
 
+(* Validation shared by the campaign/profile commands: seed counts,
+   explicit seeds and domain counts must be positive — a zero-seed
+   campaign would trivially "pass" its gate, so it is rejected loudly
+   instead. *)
+let validate_positive what v =
+  if v < 1 then begin
+    Printf.eprintf "error: %s must be >= 1 (got %d)\n" what v;
+    exit 1
+  end
+
 let resolve_seeds seeds count =
+  validate_positive "--seeds" count;
+  List.iter (validate_positive "--seed values") seeds;
   match seeds with
   | [] -> List.init count (fun i -> i + 1)
   | s -> s
@@ -387,35 +391,47 @@ let append_appendix text = function
   | None -> text
   | Some appendix -> text ^ appendix
 
+(* Campaign service: --cache-dir routes the campaign commands through
+   the content-addressed verdict cache in lib/serve. *)
+
+module Serve = Automode_serve
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Content-addressed verdict cache: per-seed results are \
+                 read from and stored under $(docv), so repeated and \
+                 overlapping sweeps recompute only uncached seeds.  The \
+                 report is byte-identical with or without the cache.")
+
+let make_cache cache_dir =
+  Option.map (fun dir -> Serve.Cache.create ~dir ()) cache_dir
+
 let robustness_cmd =
   let run seeds count csv no_shrink engine horizon domains out metrics
-      trace_out =
+      trace_out cache_dir =
+    validate_positive "--domains" domains;
     let seeds = resolve_seeds seeds count in
+    let cache = make_cache cache_dir in
     (* CI gate: any failing scenario makes the run exit non-zero *)
-    if engine then begin
-      let results, appendix =
+    if csv && not engine then begin
+      (* the CSV rendering needs the campaign record itself *)
+      let campaign, _ =
         with_observability ~metrics ~trace_out (fun () ->
-            Robustness.engine_campaign ~horizon ~domains ~seeds ())
-      in
-      emit out
-        (append_appendix
-           (Format.asprintf "%a" Robustness.pp_engine_campaign results)
-           appendix);
-      if List.exists (fun (_, vs) -> verdicts_fail vs) results then exit 1
-    end
-    else begin
-      let campaign, appendix =
-        with_observability ~metrics ~trace_out (fun () ->
-            Robustness.door_lock_campaign ~shrink:(not no_shrink) ~domains
+            Serve.Catalog.robustness ?cache ~shrink:(not no_shrink) ~domains
               ~seeds ())
       in
-      emit out
-        (if csv then Automode_robust.Report.to_csv campaign
-         else
-           append_appendix
-             (Automode_robust.Report.to_text campaign)
-             appendix);
+      emit out (Automode_robust.Report.to_csv campaign);
       if campaign.Automode_robust.Scenario.failures <> [] then exit 1
+    end
+    else begin
+      let outcome, appendix =
+        with_observability ~metrics ~trace_out (fun () ->
+            Serve.Catalog.run ?cache ~shrink:(not no_shrink) ~domains
+              ~horizon ~kind:Serve.Job.Robustness ~engine ~seeds ())
+      in
+      emit out (append_appendix outcome.Serve.Catalog.report appendix);
+      if not outcome.Serve.Catalog.gate_ok then exit 1
     end
   in
   let csv_flag =
@@ -434,46 +450,22 @@ let robustness_cmd =
           (deterministic: the same seeds reproduce the same report)")
     Term.(const run $ seed_list_arg $ seed_count_arg $ csv_flag
           $ no_shrink_flag $ engine_flag $ horizon_arg $ domains_arg
-          $ out_arg $ metrics_arg $ trace_out_arg)
+          $ out_arg $ metrics_arg $ trace_out_arg $ cache_dir_arg)
 
 let guard_cmd =
-  let run seeds count no_shrink engine horizon domains out metrics trace_out =
+  let run seeds count no_shrink engine horizon domains out metrics trace_out
+      cache_dir =
+    validate_positive "--domains" domains;
     let seeds = resolve_seeds seeds count in
-    if engine then begin
-      let (results, guarded), appendix =
-        with_observability ~metrics ~trace_out (fun () ->
-            ( Robustness.engine_campaign ~horizon ~domains ~seeds (),
-              Guarded.guarded_engine_campaign ~horizon ~domains ~seeds () ))
-      in
-      emit out
-        (append_appendix
-           (Format.asprintf "unguarded engine deployment:@.%a%s%a"
-              Robustness.pp_engine_campaign results
-              "guarded engine deployment (E2E frames + watchdog):\n"
-              Robustness.pp_engine_campaign guarded)
-           appendix);
-      (* only the guarded side gates: the unguarded run is the contrast *)
-      if List.exists (fun (_, vs) -> verdicts_fail vs) guarded then exit 1
-    end
-    else begin
-      let shrink = not no_shrink in
-      let (cmp, recovery), appendix =
-        with_observability ~metrics ~trace_out (fun () ->
-            ( Guarded.door_lock_comparison ~shrink ~domains ~seeds (),
-              Guarded.recovery_campaign ~shrink ~domains ~seeds () ))
-      in
-      emit out
-        (append_appendix
-           (Format.asprintf "%a%-20s %d/%d seeds failing@."
-              Guarded.pp_comparison cmp "door-lock-recovery"
-              (List.length recovery.Automode_robust.Scenario.failures)
-              (List.length seeds))
-           appendix);
-      if
-        cmp.Guarded.guarded.Automode_robust.Scenario.failures <> []
-        || recovery.Automode_robust.Scenario.failures <> []
-      then exit 1
-    end
+    let cache = make_cache cache_dir in
+    (* only the guarded side gates: the unguarded run is the contrast *)
+    let outcome, appendix =
+      with_observability ~metrics ~trace_out (fun () ->
+          Serve.Catalog.run ?cache ~shrink:(not no_shrink) ~domains ~horizon
+            ~kind:Serve.Job.Guard ~engine ~seeds ())
+    in
+    emit out (append_appendix outcome.Serve.Catalog.report appendix);
+    if not outcome.Serve.Catalog.gate_ok then exit 1
   in
   let engine_flag =
     Arg.(value & flag
@@ -491,21 +483,23 @@ let guard_cmd =
           non-zero if the guarded side fails")
     Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
           $ engine_flag $ horizon_arg $ domains_arg $ out_arg $ metrics_arg
-          $ trace_out_arg)
+          $ trace_out_arg $ cache_dir_arg)
 
 let redund_cmd =
-  let run seeds count no_shrink horizon domains out metrics trace_out =
+  let run seeds count no_shrink horizon domains out metrics trace_out
+      cache_dir =
+    validate_positive "--domains" domains;
     let seeds = resolve_seeds seeds count in
-    let r, appendix =
-      with_observability ~metrics ~trace_out (fun () ->
-          Replicated.campaign ~shrink:(not no_shrink) ~domains ~horizon
-            ~seeds ())
-    in
-    emit out
-      (append_appendix (Format.asprintf "%a" Replicated.pp_report r) appendix);
+    let cache = make_cache cache_dir in
     (* the protected configurations gate; the simplex and single-channel
        legs are the contrast *)
-    if not (Replicated.gate r) then exit 1
+    let outcome, appendix =
+      with_observability ~metrics ~trace_out (fun () ->
+          Serve.Catalog.run ?cache ~shrink:(not no_shrink) ~domains ~horizon
+            ~kind:Serve.Job.Redund ~engine:false ~seeds ())
+    in
+    emit out (append_appendix outcome.Serve.Catalog.report appendix);
+    if not outcome.Serve.Catalog.gate_ok then exit 1
   in
   Cmd.v
     (Cmd.info "redund"
@@ -517,7 +511,7 @@ let redund_cmd =
           configuration fails")
     Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
           $ horizon_arg $ domains_arg $ out_arg $ metrics_arg
-          $ trace_out_arg)
+          $ trace_out_arg $ cache_dir_arg)
 
 let profile_cmd =
   (* Target registry: a name, a short description, and the action to run
@@ -552,6 +546,7 @@ let profile_cmd =
         bundled_traces
   in
   let run name ticks domains metrics trace_out =
+    validate_positive "--domains" domains;
     let _, _, action =
       match
         List.find_opt (fun (n, _, _) -> String.equal n name) targets
@@ -605,6 +600,88 @@ let profile_cmd =
     Term.(const run $ target_arg $ ticks_arg 200 $ domains_arg
           $ metrics_arg $ trace_out_arg)
 
+let serve_cmd =
+  let run spool results cache_dir workers domains once poll_ms max_jobs
+      socket metrics =
+    validate_positive "--workers" workers;
+    validate_positive "--domains" domains;
+    validate_positive "--poll-ms" poll_ms;
+    Option.iter (validate_positive "--max-jobs") max_jobs;
+    let cache = make_cache cache_dir in
+    let m = Option.map (fun _ -> Obs.Metrics.create ()) metrics in
+    let config =
+      { Serve.Daemon.spool;
+        results =
+          (match results with
+           | Some r -> r
+           | None -> Filename.concat spool "results");
+        cache; workers; domains;
+        poll_s = float_of_int poll_ms /. 1000.;
+        once; max_jobs; socket }
+    in
+    let summary = Serve.Daemon.run ?metrics:m config in
+    (match (metrics, m) with
+     | Some path, Some m -> write_file path (Obs.Metrics.to_csv m)
+     | _ -> ());
+    Printf.printf "serve: accepted %d, completed %d, failed %d\n"
+      summary.Serve.Daemon.accepted summary.Serve.Daemon.completed
+      summary.Serve.Daemon.failed;
+    if summary.Serve.Daemon.failed > 0 then exit 1
+  in
+  let spool_arg =
+    Arg.(required & opt (some string) None
+         & info [ "spool" ] ~docv:"DIR"
+             ~doc:"Job inbox: $(docv)/*.json files of newline-delimited \
+                   JSON campaign jobs.  Claimed files move to \
+                   $(docv)/running and end in $(docv)/done or \
+                   $(docv)/failed; a $(docv)/stop file shuts the daemon \
+                   down.")
+  in
+  let results_arg =
+    Arg.(value & opt (some string) None
+         & info [ "results" ] ~docv:"DIR"
+             ~doc:"Where per-job report and status files go (default: \
+                   $(b,--spool)/results).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Concurrent jobs per batch (OCaml domains).")
+  in
+  let once_flag =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Drain the spool, then exit instead of polling.")
+  in
+  let poll_ms_arg =
+    Arg.(value & opt int 500
+         & info [ "poll-ms" ] ~docv:"MS"
+             ~doc:"Idle sleep between spool scans, in milliseconds.")
+  in
+  let max_jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-jobs" ] ~docv:"N"
+             ~doc:"Exit after $(docv) jobs have finished.")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Also accept jobs on a Unix-domain socket at $(docv): \
+                   each connection sends newline-delimited jobs and gets \
+                   one $(b,queued)/$(b,error) line back per job.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Campaign-as-a-service: a job-queue daemon running robustness, \
+          guard and redundancy campaigns from a file spool (and \
+          optionally a Unix socket), with per-seed verdicts served from \
+          the content-addressed cache.  Job reports are byte-identical \
+          to the matching one-shot subcommand run")
+    Term.(const run $ spool_arg $ results_arg $ cache_dir_arg $ workers_arg
+          $ domains_arg $ once_flag $ poll_ms_arg $ max_jobs_arg
+          $ socket_arg $ metrics_arg)
+
 let pipeline_cmd =
   let run () =
     let r = Pipeline.run () in
@@ -629,4 +706,4 @@ let () =
           [ simulate_cmd; render_cmd; causality_cmd; rules_cmd; check_cmd;
             reengineer_cmd; deploy_cmd; codegen_cmd; save_cmd;
             check_model_cmd; timeline_cmd; robustness_cmd; guard_cmd;
-            redund_cmd; profile_cmd; pipeline_cmd ]))
+            redund_cmd; serve_cmd; profile_cmd; pipeline_cmd ]))

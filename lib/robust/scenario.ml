@@ -11,12 +11,12 @@ type t = {
   monitors : Monitor.t list;
 }
 
-let make ?(schedule = fun _ -> Clock.no_events) ~name ~component ~ticks
-    ~inputs ~faults ~monitors () =
+let make ?(schedule = fun _ -> Clock.no_events) ?(index = Sim.index) ~name
+    ~component ~ticks ~inputs ~faults ~monitors () =
   if ticks < 0 then invalid_arg "Scenario.make: negative horizon";
   { scn_name = name;
     component;
-    indexed = lazy (Sim.index component);
+    indexed = lazy (index component);
     ticks;
     inputs;
     faults_of_seed = faults;
@@ -25,8 +25,10 @@ let make ?(schedule = fun _ -> Clock.no_events) ~name ~component ~ticks
 
 let name s = s.scn_name
 let ticks s = s.ticks
+let component s = s.component
 let monitors s = List.map Monitor.name s.monitors
 let faults s ~seed = s.faults_of_seed seed
+let prepare s = ignore (Lazy.force s.indexed)
 
 let trace s ~faults ~ticks =
   let inputs = Fault.apply faults s.inputs in
@@ -59,32 +61,28 @@ type campaign = {
   failures : failure list;
 }
 
+let run_seed s ~seed =
+  let injected = s.faults_of_seed seed in
+  { seed; injected; verdicts = run s ~faults:injected ~ticks:s.ticks }
+
+let seed_failures ?(shrink = true) s r =
+  List.filter_map
+    (fun (mon, v) ->
+      if not (Monitor.is_fail v) then None
+      else
+        let shrunk =
+          if shrink then
+            Shrink.minimize ~run:(run s) ~monitor:mon ~faults:r.injected
+              ~ticks:s.ticks
+          else None
+        in
+        Some { fail_seed = r.seed; fail_monitor = mon; verdict = v; shrunk })
+    r.verdicts
+
 let sweep ?(shrink = true) ?(domains = 1) s ~seeds =
   (* Force the index compilation before fanning out, so domains share
      the immutable compiled form instead of racing on the lazy. *)
-  let _ = Lazy.force s.indexed in
-  let results =
-    Parallel.map ~domains
-      (fun seed ->
-        let injected = s.faults_of_seed seed in
-        { seed; injected; verdicts = run s ~faults:injected ~ticks:s.ticks })
-      seeds
-  in
-  let failures =
-    List.concat_map
-      (fun r ->
-        List.filter_map
-          (fun (mon, v) ->
-            if not (Monitor.is_fail v) then None
-            else
-              let shrunk =
-                if shrink then
-                  Shrink.minimize ~run:(run s) ~monitor:mon
-                    ~faults:r.injected ~ticks:s.ticks
-                else None
-              in
-              Some { fail_seed = r.seed; fail_monitor = mon; verdict = v; shrunk })
-          r.verdicts)
-      results
-  in
+  prepare s;
+  let results = Parallel.map ~domains (fun seed -> run_seed s ~seed) seeds in
+  let failures = List.concat_map (seed_failures ~shrink s) results in
   { scenario = s.scn_name; horizon = s.ticks; seeds; results; failures }

@@ -13,6 +13,7 @@ type t
 
 val make :
   ?schedule:(Fault.t list -> Clock.schedule) ->
+  ?index:(Model.component -> Sim.indexed) ->
   name:string ->
   component:Model.component ->
   ticks:int ->
@@ -24,12 +25,24 @@ val make :
     faults (default: no event clocks fire) — use
     {!Fault.schedule_of_faults} when spikes target an event-clocked
     port, so the schedule tracks the fault set as shrinking removes
-    faults.  @raise Invalid_argument on a negative horizon. *)
+    faults.  [?index] (default {!Sim.index}) compiles the component to
+    its indexed form — pass a hash-consing wrapper (e.g.
+    [Serve.Digest.shared_index]) to share one compiled net across all
+    scenarios over structurally equal models.
+    @raise Invalid_argument on a negative horizon. *)
 
 val name : t -> string
 val ticks : t -> int
+val component : t -> Model.component
 val monitors : t -> string list
 val faults : t -> seed:int -> Fault.t list
+
+val prepare : t -> unit
+(** Force the index compilation now.  {!sweep} calls it before fanning
+    out over domains; callers that fan out themselves (e.g. a cached
+    sweep computing only the uncached seeds in parallel) should too, so
+    domains share the immutable compiled form instead of racing on the
+    lazy. *)
 
 val trace : t -> faults:Fault.t list -> ticks:int -> Trace.t
 (** Simulate the component under the given fault set for [ticks] —
@@ -59,6 +72,17 @@ type campaign = {
   results : seed_result list;   (** one per seed, in seed order *)
   failures : failure list;
 }
+
+val run_seed : t -> seed:int -> seed_result
+(** Derive the seed's fault set, simulate, evaluate every monitor —
+    one seed of a {!sweep}, exposed so callers (the content-addressed
+    campaign cache) can compute exactly the seeds they are missing and
+    splice the rest from storage. *)
+
+val seed_failures : ?shrink:bool -> t -> seed_result -> failure list
+(** The failing (monitor, verdict) pairs of one seed's result, each
+    shrunk to a minimal fault subset unless [~shrink:false] — the
+    per-seed slice of a campaign's [failures] list, in verdict order. *)
 
 val sweep : ?shrink:bool -> ?domains:int -> t -> seeds:int list -> campaign
 (** Run the scenario once per seed and collect verdicts; each failing

@@ -1,0 +1,94 @@
+(* Cached counterparts of the CLI campaigns.  Report strings are
+   rendered with the exact format strings bin/automode_cli.ml uses, so
+   a daemon job's report file is byte-identical to the one-shot CLI
+   run with the same parameters. *)
+
+open Automode_robust
+open Automode_casestudy
+
+let robustness ?cache ?shrink ?domains ~seeds () =
+  Cached.sweep ?cache ?shrink ?domains Robustness.door_lock_scenario ~seeds
+
+let robustness_engine ?cache ?domains ~horizon ~seeds () =
+  Cached.net_campaign ?cache
+    ~leg:(Printf.sprintf "robustness-engine|h=%d" horizon)
+    ~run:(fun ~seeds -> Robustness.engine_campaign ~horizon ?domains ~seeds ())
+    ~seeds ()
+
+let guard ?cache ?shrink ?domains ~seeds () =
+  let sweep scn = Cached.sweep ?cache ?shrink ?domains scn ~seeds in
+  ( { Guarded.unguarded = sweep Guarded.unguarded_scenario;
+      guarded = sweep Guarded.guarded_scenario },
+    sweep Guarded.recovery_scenario )
+
+let guard_engine ?cache ?domains ~horizon ~seeds () =
+  ( robustness_engine ?cache ?domains ~horizon ~seeds (),
+    Cached.net_campaign ?cache
+      ~leg:(Printf.sprintf "guard-engine|h=%d" horizon)
+      ~run:(fun ~seeds ->
+        Guarded.guarded_engine_campaign ~horizon ?domains ~seeds ())
+      ~seeds () )
+
+let redund ?cache ?shrink ?domains ~horizon ~seeds () =
+  let sweep scn = Cached.sweep ?cache ?shrink ?domains scn ~seeds in
+  let channel ~dual =
+    Cached.net_campaign ?cache
+      ~leg:
+        (Printf.sprintf "redund-%s|h=%d"
+           (if dual then "dual" else "single")
+           horizon)
+      ~run:(fun ~seeds -> Replicated.channel_campaign ~horizon ~dual ~seeds ())
+      ~seeds ()
+  in
+  { Replicated.replicated = sweep Replicated.replicated_scenario;
+    simplex = sweep Replicated.simplex_scenario;
+    reset = sweep Replicated.reset_scenario;
+    tmr = sweep Replicated.tmr_scenario;
+    tmr_simplex = sweep Replicated.tmr_simplex_scenario;
+    dual = channel ~dual:true;
+    single = channel ~dual:false }
+
+type outcome = {
+  report : string;
+  gate_ok : bool;
+}
+
+let verdicts_fail vs =
+  List.exists
+    (fun (_, v) ->
+      match v with Monitor.Fail _ -> true | Monitor.Pass -> false)
+    vs
+
+let run ?cache ?shrink ?(domains = 1) ?(horizon = 200_000) ~kind ~engine
+    ~seeds () =
+  match (kind, engine) with
+  | Job.Robustness, true ->
+    let results = robustness_engine ?cache ~domains ~horizon ~seeds () in
+    { report = Format.asprintf "%a" Robustness.pp_engine_campaign results;
+      gate_ok = not (List.exists (fun (_, vs) -> verdicts_fail vs) results) }
+  | Job.Robustness, false ->
+    let campaign = robustness ?cache ?shrink ~domains ~seeds () in
+    { report = Report.to_text campaign;
+      gate_ok = campaign.Scenario.failures = [] }
+  | Job.Guard, true ->
+    let results, guarded = guard_engine ?cache ~domains ~horizon ~seeds () in
+    { report =
+        Format.asprintf "unguarded engine deployment:@.%a%s%a"
+          Robustness.pp_engine_campaign results
+          "guarded engine deployment (E2E frames + watchdog):\n"
+          Robustness.pp_engine_campaign guarded;
+      gate_ok = not (List.exists (fun (_, vs) -> verdicts_fail vs) guarded) }
+  | Job.Guard, false ->
+    let cmp, recovery = guard ?cache ?shrink ~domains ~seeds () in
+    { report =
+        Format.asprintf "%a%-20s %d/%d seeds failing@." Guarded.pp_comparison
+          cmp "door-lock-recovery"
+          (List.length recovery.Scenario.failures)
+          (List.length seeds);
+      gate_ok =
+        cmp.Guarded.guarded.Scenario.failures = []
+        && recovery.Scenario.failures = [] }
+  | Job.Redund, _ ->
+    let r = redund ?cache ?shrink ~domains ~horizon ~seeds () in
+    { report = Format.asprintf "%a" Replicated.pp_report r;
+      gate_ok = Replicated.gate r }

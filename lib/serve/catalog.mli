@@ -1,0 +1,55 @@
+(** The campaigns the service can run, routed through the
+    content-addressed cache.
+
+    Each function reproduces the corresponding one-shot CLI campaign
+    {e exactly}: with no cache it delegates to the very
+    [Scenario.sweep]s the case-study modules run, and with a cache it
+    splices per-seed verdicts (see {!Cached}) into a structurally
+    identical campaign record — so {!run}'s report is byte-identical to
+    the CLI's for the same job parameters, cold or warm. *)
+
+open Automode_robust
+open Automode_casestudy
+
+val robustness :
+  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> seeds:int list ->
+  unit -> Scenario.campaign
+(** The door-lock fault-injection campaign
+    ({!Automode_casestudy.Robustness.door_lock_campaign}). *)
+
+val robustness_engine :
+  ?cache:Cache.t -> ?domains:int -> horizon:int -> seeds:int list ->
+  unit -> (int * (string * Monitor.verdict) list) list
+(** The engine-deployment campaign (CAN loss + timing faults). *)
+
+val guard :
+  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> seeds:int list ->
+  unit -> Guarded.comparison * Scenario.campaign
+(** The unguarded/guarded door-lock comparison plus the recovery
+    campaign — the two halves of the CLI's [guard] report. *)
+
+val guard_engine :
+  ?cache:Cache.t -> ?domains:int -> horizon:int -> seeds:int list ->
+  unit ->
+  (int * (string * Monitor.verdict) list) list
+  * (int * (string * Monitor.verdict) list) list
+(** [(unguarded, guarded)] engine campaigns of [guard --engine]. *)
+
+val redund :
+  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> horizon:int ->
+  seeds:int list -> unit -> Replicated.report
+(** All seven legs of the redundancy campaign
+    ({!Automode_casestudy.Replicated.campaign}). *)
+
+type outcome = {
+  report : string;   (** byte-identical to the one-shot CLI report *)
+  gate_ok : bool;    (** the campaign's CI gate (CLI exit status) *)
+}
+
+val run :
+  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?horizon:int ->
+  kind:Job.kind -> engine:bool -> seeds:int list -> unit -> outcome
+(** Render one job's report exactly as the matching CLI subcommand
+    would print it ([robustness] / [guard] / [redund], [--engine] when
+    [engine]), and evaluate the same pass/fail gate the CLI turns into
+    its exit status. *)

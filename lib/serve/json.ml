@@ -1,0 +1,252 @@
+(* Hand-rolled recursive-descent JSON.  Small on purpose: the job queue
+   and the cache entries are the only consumers, and the container bakes
+   in no JSON library.  Mutual recursion over a cursor into the input
+   string; errors report the offset where parsing stopped. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Bad of int * string
+
+let fail pos msg = raise (Bad (pos, msg))
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws s pos =
+  let n = String.length s in
+  let p = ref pos in
+  while !p < n && is_ws s.[!p] do incr p done;
+  !p
+
+let expect s pos c =
+  if pos < String.length s && s.[pos] = c then pos + 1
+  else fail pos (Printf.sprintf "expected '%c'" c)
+
+(* Encode a BMP code point as UTF-8 (surrogate pairs are combined by the
+   caller; lone surrogates encode as-is, like most lenient decoders). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let hex4 s pos =
+  if pos + 4 > String.length s then fail pos "truncated \\u escape";
+  let v = ref 0 in
+  for i = pos to pos + 3 do
+    let d =
+      match s.[i] with
+      | '0' .. '9' as c -> Char.code c - Char.code '0'
+      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+      | _ -> fail i "bad hex digit in \\u escape"
+    in
+    v := (!v * 16) + d
+  done;
+  !v
+
+let parse_string s pos =
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let pos = expect s pos '"' in
+  let rec go p =
+    if p >= n then fail p "unterminated string"
+    else
+      match s.[p] with
+      | '"' -> (Buffer.contents buf, p + 1)
+      | '\\' ->
+        if p + 1 >= n then fail p "truncated escape";
+        (match s.[p + 1] with
+         | '"' -> Buffer.add_char buf '"'; go (p + 2)
+         | '\\' -> Buffer.add_char buf '\\'; go (p + 2)
+         | '/' -> Buffer.add_char buf '/'; go (p + 2)
+         | 'b' -> Buffer.add_char buf '\b'; go (p + 2)
+         | 'f' -> Buffer.add_char buf '\012'; go (p + 2)
+         | 'n' -> Buffer.add_char buf '\n'; go (p + 2)
+         | 'r' -> Buffer.add_char buf '\r'; go (p + 2)
+         | 't' -> Buffer.add_char buf '\t'; go (p + 2)
+         | 'u' ->
+           let cp = hex4 s (p + 2) in
+           (* high surrogate followed by \uDC00-\uDFFF: combine *)
+           if cp >= 0xD800 && cp <= 0xDBFF && p + 11 < n
+              && s.[p + 6] = '\\' && s.[p + 7] = 'u' then begin
+             let lo = hex4 s (p + 8) in
+             if lo >= 0xDC00 && lo <= 0xDFFF then begin
+               add_utf8 buf
+                 (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00));
+               go (p + 12)
+             end
+             else begin add_utf8 buf cp; go (p + 6) end
+           end
+           else begin add_utf8 buf cp; go (p + 6) end
+         | c -> fail (p + 1) (Printf.sprintf "bad escape '\\%c'" c))
+      | c when Char.code c < 0x20 -> fail p "raw control character in string"
+      | c -> Buffer.add_char buf c; go (p + 1)
+  in
+  go pos
+
+let parse_number s pos =
+  let n = String.length s in
+  let p = ref pos in
+  let is_float = ref false in
+  if !p < n && s.[!p] = '-' then incr p;
+  while
+    !p < n
+    && (match s.[!p] with
+        | '0' .. '9' -> true
+        | '.' | 'e' | 'E' | '+' | '-' -> is_float := true; true
+        | _ -> false)
+  do incr p done;
+  let text = String.sub s pos (!p - pos) in
+  if text = "" || text = "-" then fail pos "bad number";
+  let v =
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail pos "bad number"
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None ->
+        (* out of int range: fall back to float *)
+        (match float_of_string_opt text with
+         | Some f -> Float f
+         | None -> fail pos "bad number")
+  in
+  (v, !p)
+
+let literal s pos word v =
+  let n = String.length word in
+  if pos + n <= String.length s && String.sub s pos n = word then (v, pos + n)
+  else fail pos ("expected " ^ word)
+
+let rec parse_value s pos =
+  let pos = skip_ws s pos in
+  if pos >= String.length s then fail pos "unexpected end of input"
+  else
+    match s.[pos] with
+    | '{' -> parse_obj s (pos + 1)
+    | '[' -> parse_list s (pos + 1)
+    | '"' -> let v, p = parse_string s pos in (String v, p)
+    | 't' -> literal s pos "true" (Bool true)
+    | 'f' -> literal s pos "false" (Bool false)
+    | 'n' -> literal s pos "null" Null
+    | '-' | '0' .. '9' -> parse_number s pos
+    | c -> fail pos (Printf.sprintf "unexpected '%c'" c)
+
+and parse_obj s pos =
+  let pos = skip_ws s pos in
+  if pos < String.length s && s.[pos] = '}' then (Obj [], pos + 1)
+  else
+    let rec fields acc pos =
+      let pos = skip_ws s pos in
+      let k, pos = parse_string s pos in
+      let pos = expect s (skip_ws s pos) ':' in
+      let v, pos = parse_value s pos in
+      let pos = skip_ws s pos in
+      if pos >= String.length s then fail pos "unterminated object"
+      else
+        match s.[pos] with
+        | ',' -> fields ((k, v) :: acc) (pos + 1)
+        | '}' -> (Obj (List.rev ((k, v) :: acc)), pos + 1)
+        | _ -> fail pos "expected ',' or '}'"
+    in
+    fields [] pos
+
+and parse_list s pos =
+  let pos = skip_ws s pos in
+  if pos < String.length s && s.[pos] = ']' then (List [], pos + 1)
+  else
+    let rec items acc pos =
+      let v, pos = parse_value s pos in
+      let pos = skip_ws s pos in
+      if pos >= String.length s then fail pos "unterminated array"
+      else
+        match s.[pos] with
+        | ',' -> items (v :: acc) (pos + 1)
+        | ']' -> (List (List.rev (v :: acc)), pos + 1)
+        | _ -> fail pos "expected ',' or ']'"
+    in
+    items [] pos
+
+let parse s =
+  match parse_value s 0 with
+  | v, pos ->
+    let pos = skip_ws s pos in
+    if pos = String.length s then Ok v
+    else Error (Printf.sprintf "offset %d: trailing garbage" pos)
+  | exception Bad (pos, msg) -> Error (Printf.sprintf "offset %d: %s" pos msg)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    | String s -> escape_to buf s
+    | List l ->
+      Buffer.add_char buf '[';
+      List.iteri (fun i v -> if i > 0 then Buffer.add_char buf ','; go v) l;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          go v)
+        fields;
+      Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None

@@ -1,0 +1,44 @@
+(** Minimal JSON values: the wire format of the job queue and the cache
+    entries.
+
+    The repo already {e emits} JSON in several places
+    ({!Automode_obs.Metrics.to_json}, Chrome traces, bench estimates);
+    this module adds the one thing the serve layer needs on top — a
+    parser — without pulling in an external dependency.  Printing is
+    deterministic (object fields keep their construction order), so a
+    value round-trips to byte-identical text. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error).  Numbers without [.]/[e] parse as [Int],
+    others as [Float]; [\uXXXX] escapes decode to UTF-8 bytes.  The
+    error string carries a character offset. *)
+
+val to_string : t -> string
+(** Compact deterministic rendering (no whitespace); strings are
+    escaped per RFC 8259.  [Float] values print with [%.17g], enough to
+    round-trip. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else or when absent. *)
+
+val to_int : t -> int option
+(** [Int n] as [Some n]; everything else [None]. *)
+
+val to_str : t -> string option
+(** [String s] as [Some s]; everything else [None]. *)
+
+val to_list : t -> t list option
+(** [List l] as [Some l]; everything else [None]. *)
+
+val to_bool : t -> bool option
+(** [Bool b] as [Some b]; everything else [None]. *)

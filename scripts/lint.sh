@@ -33,11 +33,11 @@ git grep --untracked -nI -e '^<<<<<<< ' -e '^>>>>>>> ' -e '^||||||| ' -- \
   '*.ml' '*.mli' '*.md' '*.yml' >"$tmp" || true
 report "merge conflict marker"
 
-# Every public value in the observability and redundancy interfaces
-# must carry an odoc comment (this repo documents values with a
-# (** ... *) immediately after the declaration).  A val with no doc
-# comment before the next val (or EOF) is flagged.
-for f in lib/obs/*.mli lib/redund/*.mli; do
+# Every public value in the observability, redundancy and campaign
+# service interfaces must carry an odoc comment (this repo documents
+# values with a (** ... *) immediately after the declaration).  A val
+# with no doc comment before the next val (or EOF) is flagged.
+for f in lib/obs/*.mli lib/redund/*.mli lib/serve/*.mli; do
   awk -v file="$f" '
     /^val / {
       if (pending != "" && !documented)
@@ -51,6 +51,6 @@ for f in lib/obs/*.mli lib/redund/*.mli; do
     }
   ' "$f"
 done >"$tmp"
-report "undocumented public .mli value (lib/obs, lib/redund)"
+report "undocumented public .mli value (lib/obs, lib/redund, lib/serve)"
 
 exit $status
