@@ -383,6 +383,90 @@ let e18_cache ~assert_bounds () =
   [ ("serve/E18-campaign-cold-8seeds", t_cold *. 1e9);
     ("serve/E18-campaign-warm-8seeds", t_warm *. 1e9) ]
 
+(* E19: the property-testing builder's abstraction cost.  The same 16
+   (seed, iteration) cases of the unguarded door-lock spec are run once
+   through [Builder.run] and once through a hand-assembled loop (expand
+   the operations, compile the fault list, derive the crash-event
+   schedule, simulate on the pre-built index, judge every monitor).
+   Verdict identity is asserted whenever the section runs; the <= 1.2x
+   overhead bound only gates full bench runs.  Returns (name, ns/run)
+   rows for the JSON dump. *)
+let e19_proptest ~assert_bounds () =
+  section "E19 | property-testing builder: overhead vs hand-assembled loop";
+  let reps = 5 in
+  let min_time f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let module P = Automode_proptest in
+  let module R = Automode_robust in
+  let spec = Propcase.unguarded in
+  let seeds = List.init 8 (fun i -> i + 1) in
+  let iterations = P.Builder.iterations spec in
+  P.Builder.prepare spec;
+  let builder () = P.Builder.run ~shrink:false spec ~seeds in
+  let monitors =
+    P.Derive.monitors ~ranges:[ ("FZG_V", 5., 32.) ] Door_lock.component
+  in
+  let indexed = Sim.index Door_lock.component in
+  let base name tick =
+    String.equal name "crash" && tick = Robustness.crash_tick
+  in
+  let hand () =
+    List.concat_map
+      (fun seed ->
+        List.init iterations (fun i ->
+            let iteration = i + 1 in
+            let ops = P.Builder.expand spec ~seed ~iteration in
+            let faults = List.concat_map P.Op.compile ops in
+            let crash_faults =
+              List.filter
+                (fun f -> String.equal (R.Fault.flow f) "CRSH")
+                faults
+            in
+            let schedule =
+              R.Fault.schedule_of_faults ~base crash_faults ~event:"crash"
+            in
+            let inputs = R.Fault.apply faults Robustness.lock_stimulus in
+            let trace =
+              Sim.run_indexed ~schedule ~ticks:Robustness.lock_ticks ~inputs
+                indexed
+            in
+            List.map
+              (fun m -> (R.Monitor.name m, R.Monitor.eval m trace))
+              monitors))
+      seeds
+  in
+  let builder_verdicts =
+    List.map (fun c -> c.P.Builder.verdicts) (builder ()).P.Builder.cases
+  in
+  let identical = builder_verdicts = hand () in
+  let t_builder = min_time builder in
+  let t_hand = min_time hand in
+  let overhead = t_builder /. t_hand in
+  Printf.printf
+    "unguarded door-lock spec, 8 seeds x %d iterations: builder %.2f ms, \
+     hand-assembled loop %.2f ms (%.2fx); verdicts identical: %b\n"
+    iterations (t_builder *. 1e3) (t_hand *. 1e3) overhead identical;
+  if not identical then begin
+    print_endline "builder vs hand-assembled verdict identity: FAILED";
+    exit 1
+  end;
+  if assert_bounds then
+    if overhead <= 1.2 then print_endline "builder overhead <= 1.2x: OK"
+    else begin
+      Printf.printf "builder overhead <= 1.2x: FAILED (%.2fx)\n" overhead;
+      exit 1
+    end;
+  [ ("proptest/E19-builder-16cases", t_builder *. 1e9);
+    ("proptest/E19-hand-16cases", t_hand *. 1e9) ]
+
 (* ------------------------------------------------------------------ *)
 (* Benchmarks                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -773,13 +857,14 @@ let () =
   in
   e17_speedups ~domains ~assert_bounds ();
   let serve_rows = e18_cache ~assert_bounds () in
+  let prop_rows = e19_proptest ~assert_bounds () in
   if not artifacts_only then begin
     print_endline "";
     section "benchmarks (this may take a minute)";
     let rows =
       List.sort
         (fun (a, _) (b, _) -> String.compare a b)
-        (estimates_of (benchmark ()) @ serve_rows)
+        (estimates_of (benchmark ()) @ serve_rows @ prop_rows)
     in
     print_results rows;
     match arg_value "--json" with

@@ -513,6 +513,75 @@ let redund_cmd =
           $ horizon_arg $ domains_arg $ out_arg $ metrics_arg
           $ trace_out_arg $ cache_dir_arg)
 
+let proptest_cmd =
+  let module B = Automode_proptest.Builder in
+  let run seeds count no_shrink iterations target domains out metrics
+      trace_out cache_dir =
+    validate_positive "--domains" domains;
+    validate_positive "--iterations" iterations;
+    let seeds = resolve_seeds seeds count in
+    let shrink = not no_shrink in
+    match target with
+    | "pair" ->
+      (* The paired comparison routes through the serve catalog, so the
+         report (and its whole-report cache entry) is byte-identical to
+         a daemon-served proptest job with the same parameters. *)
+      let cache = make_cache cache_dir in
+      let outcome, appendix =
+        with_observability ~metrics ~trace_out (fun () ->
+            Serve.Catalog.proptest ?cache ~shrink ~domains ~iterations
+              ~seeds ())
+      in
+      emit out (append_appendix outcome.Serve.Catalog.report appendix);
+      if not outcome.Serve.Catalog.gate_ok then exit 1
+    | "unguarded" | "guarded" ->
+      (* single-target runs gate on the campaign itself: the unguarded
+         door lock is the known-failing target (CI asserts non-zero) *)
+      let spec =
+        if String.equal target "unguarded" then Propcase.unguarded
+        else Propcase.guarded
+      in
+      let campaign, appendix =
+        with_observability ~metrics ~trace_out (fun () ->
+            B.run ~shrink ~domains (B.with_iterations iterations spec) ~seeds)
+      in
+      emit out (append_appendix (B.to_text campaign) appendix);
+      if not (B.gate campaign) then exit 1
+    | t ->
+      Printf.eprintf
+        "error: unknown proptest target %s (available: pair, unguarded, \
+         guarded)\n"
+        t;
+      exit 1
+  in
+  let iterations_arg =
+    Arg.(value & opt int 2
+         & info [ "iterations"; "i" ] ~docv:"N"
+             ~doc:"Generated operation sequences per seed.")
+  in
+  let target_arg =
+    Arg.(value & opt string "pair"
+         & info [ "target" ] ~docv:"TARGET"
+             ~doc:"What to run and gate on: $(b,pair) (default — both \
+                   controllers; passes when the unguarded side fails and \
+                   the guarded side is clean), $(b,unguarded) (the \
+                   known-failing contrast target; exits non-zero) or \
+                   $(b,guarded).")
+  in
+  Cmd.v
+    (Cmd.info "proptest"
+       ~doc:
+         "Property-testing campaigns over the door-lock case study: each \
+          (seed, iteration) expands deterministically into a generated \
+          sequence of timed operations (mode commands, sensor silences, \
+          implausible spikes, crashes, resets); failures shrink to a \
+          minimal operation subsequence that replays bit-for-bit.  \
+          Reports are byte-identical across reruns, --domains fan-outs \
+          and daemon-served execution")
+    Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
+          $ iterations_arg $ target_arg $ domains_arg $ out_arg
+          $ metrics_arg $ trace_out_arg $ cache_dir_arg)
+
 let profile_cmd =
   (* Target registry: a name, a short description, and the action to run
      under the probe sink.  Trace-producing targets feed the guard/redund
@@ -706,4 +775,5 @@ let () =
           [ simulate_cmd; render_cmd; causality_cmd; rules_cmd; check_cmd;
             reengineer_cmd; deploy_cmd; codegen_cmd; save_cmd;
             check_model_cmd; timeline_cmd; robustness_cmd; guard_cmd;
-            redund_cmd; serve_cmd; profile_cmd; pipeline_cmd ]))
+            redund_cmd; proptest_cmd; serve_cmd; profile_cmd;
+            pipeline_cmd ]))

@@ -1,0 +1,169 @@
+(** The unified property-testing builder over the robustness stack.
+
+    Declare a system under test (a component plus an engine choice),
+    attach weighted generators of timed operations ({!Opgen}), base
+    fault recipes, invariants (hand-written {!Automode_robust.Monitor}s
+    plus monitors auto-derived from port types via {!Derive}) and trace
+    observers, then sweep (seed, iteration) pairs: every pair expands
+    deterministically into an operation sequence, simulates, and is
+    judged by every monitor.  Failing cases are shrunk {e at the
+    sequence level} — a delta-debugging pass over the operation list
+    followed by {!Automode_robust.Shrink.minimize}'s fault-subset and
+    horizon-prefix pass — down to a minimal failing trace that replays
+    bit-for-bit.
+
+    Everything downstream of (seed, iteration) is pure, so campaigns,
+    reports and shrunk counterexamples are byte-identical across
+    reruns, engines and [?domains] fan-outs. *)
+
+open Automode_core
+open Automode_robust
+
+type engine = Interpreted | Compiled | Indexed
+
+type t
+(** A test specification (immutable; the [with_*] combinators return
+    extended copies). *)
+
+val spec :
+  name:string -> component:Model.component -> ticks:int ->
+  ?inputs:Sim.input_fn -> unit -> t
+(** A spec over [component] simulated for [ticks] ticks against the
+    nominal stimulus [?inputs] (default {!Automode_core.Sim.no_inputs}).
+    Defaults: no generators, no monitors, 1 iteration per seed,
+    {!Indexed} engine.  @raise Invalid_argument on a negative horizon. *)
+
+val with_ops : ?min_ops:int -> ?max_ops:int -> Opgen.t list -> t -> t
+(** Attach the weighted generator set; each case draws between
+    [?min_ops] (default 1) and [?max_ops] (default 8) operations.
+    @raise Invalid_argument on negative or inverted bounds. *)
+
+val with_base_faults : (int -> Fault.t list) -> t -> t
+(** A static per-seed fault recipe injected underneath every generated
+    sequence (the classic {!Automode_robust.Scenario} catalog). *)
+
+val with_monitors : Monitor.t list -> t -> t
+(** Append hand-written invariants (cumulative). *)
+
+val with_derived_monitors :
+  ?ranges:(string * float * float) list ->
+  ?staleness:(string * int) list -> t -> t
+(** Append {!Derive.monitors} of the spec's component. *)
+
+val with_observers : (Trace.t -> unit) list -> t -> t
+(** Attach trace observers (e.g.
+    {!Automode_guard.Health.observe},
+    {!Automode_redund.Voter.observe},
+    {!Automode_redund.Failover.observe}) — run over every case trace
+    for their probe side effects; they render no verdicts. *)
+
+val with_event : event:string -> flow:string -> t -> t
+(** Declare that input [flow] is clocked by event [event]: the event
+    fires whenever an operation or fault is active on the flow (in
+    addition to the spec's base schedule), and keeps tracking the fault
+    set as shrinking removes operations. *)
+
+val with_schedule : (Fault.t list -> Clock.schedule) -> t -> t
+(** Replace the base schedule derivation (default: no event fires). *)
+
+val with_engine : engine -> t -> t
+(** Choose the simulation engine (default {!Indexed}); all three
+    produce identical traces, so campaigns and shrunk counterexamples
+    are engine-independent — pinned in the test-suite. *)
+
+val with_iterations : int -> t -> t
+(** Generated sequences per seed (default 1).
+    @raise Invalid_argument on a non-positive count. *)
+
+val name : t -> string
+(** The spec's declared name (report header). *)
+
+val ticks : t -> int
+(** The simulation horizon. *)
+
+val component : t -> Model.component
+(** The system under test. *)
+
+val iterations : t -> int
+(** Generated sequences per seed. *)
+
+val monitors : t -> string list
+(** Names of every attached monitor, in declaration order. *)
+
+val generators : t -> (string * int) list
+(** Declared generator (name, weight) pairs, in declaration order. *)
+
+val prepare : t -> unit
+(** Force the engine compilation now, so parallel sweeps share the
+    immutable compiled form instead of racing on the lazy. *)
+
+val expand : t -> seed:int -> iteration:int -> Op.t list
+(** The operation sequence of (seed, iteration) — pure
+    ({!Opgen.expand} over the spec's generator set and horizon). *)
+
+val faults_of : t -> seed:int -> ops:Op.t list -> Fault.t list
+(** The complete fault list of a case: the base recipe of [seed], then
+    every operation compiled in sequence order. *)
+
+val run_ops :
+  t -> seed:int -> ops:Op.t list -> ticks:int ->
+  (string * Monitor.verdict) list
+(** Simulate the case defined by an explicit operation list and
+    evaluate every monitor — the replay primitive behind shrinking. *)
+
+type case = {
+  seed : int;
+  iteration : int;
+  ops : Op.t list;
+  verdicts : (string * Monitor.verdict) list;
+}
+
+type shrunk = {
+  shrunk_ops : Op.t list;     (** minimal failing subsequence *)
+  shrunk_faults : Fault.t list;
+      (** minimal fault subset of the minimal sequence *)
+  shrunk_ticks : int;         (** shortest failing horizon prefix *)
+  shrunk_reason : string;     (** failure reason of the minimal replay *)
+}
+
+type failure = {
+  fail_seed : int;
+  fail_iteration : int;
+  fail_monitor : string;
+  verdict : Monitor.verdict;  (** on the full, unshrunk case *)
+  shrunk : shrunk option;
+}
+
+type campaign = {
+  spec_name : string;
+  horizon : int;
+  seeds : int list;
+  case_iterations : int;
+  gens : (string * int) list;
+  cases : case list;          (** seed-major, iteration-minor order *)
+  failures : failure list;
+}
+
+val run_case : t -> seed:int -> iteration:int -> case
+(** Expand, simulate, observe, judge — one case of a campaign. *)
+
+val case_failures : ?shrink:bool -> t -> case -> failure list
+(** The failing (monitor, verdict) pairs of one case, each shrunk to a
+    minimal operation subsequence, fault subset and horizon prefix
+    unless [~shrink:false]. *)
+
+val run : ?shrink:bool -> ?domains:int -> t -> seeds:int list -> campaign
+(** The full sweep: [iterations] cases per seed, fanned out over
+    [?domains] (default 1) per-seed via
+    {!Automode_robust.Parallel.map} and merged back in seed order;
+    shrinking always runs serially after the sweep.  The resulting
+    campaign is identical to a serial run. *)
+
+val gate : campaign -> bool
+(** [true] iff the campaign has no failures — the CI exit-code gate. *)
+
+val to_text : campaign -> string
+(** Byte-stable report: generator table, per-monitor verdict counts
+    over all cases, and one block per failure with the original
+    sequence, the shrunk minimal sequence, its fault set, prefix length
+    and replay reason. *)

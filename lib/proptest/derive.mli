@@ -1,0 +1,38 @@
+(** Invariants auto-derived from a component's port types.
+
+    The port declarations of a system under test already state a lot of
+    what "healthy" means: numeric outputs must stay finite, enum outputs
+    must carry declared literals, periodically clocked outputs must not
+    go stale.  This module turns those declarations into
+    {!Automode_robust.Monitor} values so every property test gets a
+    baseline oracle for free; callers add domain ranges and staleness
+    bounds per flow on top. *)
+
+open Automode_core
+open Automode_robust
+
+val finite : flow:string -> Monitor.t
+(** [derived-finite:<flow>]: every present numeric message is finite
+    (no NaN, no infinity). *)
+
+val conforms : flow:string -> ty:Dtype.t -> Monitor.t
+(** [derived-type:<flow>]: every present message has the declared port
+    type (enum literals resolved against the declaration). *)
+
+val fresh : flow:string -> max_gap:int -> Monitor.t
+(** [derived-fresh:<flow>]: the flow is never absent for more than
+    [max_gap] consecutive ticks once it has delivered a first message.
+    @raise Invalid_argument on [max_gap < 1]. *)
+
+val range : flow:string -> lo:float -> hi:float -> Monitor.t
+(** [derived-range:<flow>]: {!Automode_robust.Monitor.range} under the
+    derived naming scheme. *)
+
+val monitors :
+  ?ranges:(string * float * float) list ->
+  ?staleness:(string * int) list ->
+  Model.component -> Monitor.t list
+(** The derived monitor set of a component, in stable order: one
+    {!conforms} per typed output port, one {!finite} per numeric output
+    port, then one {!range} per [?ranges] entry and one {!fresh} per
+    [?staleness] entry (both may also name input flows). *)

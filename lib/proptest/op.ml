@@ -1,0 +1,79 @@
+open Automode_core
+open Automode_robust
+
+type t =
+  | Command of { flow : string; value : Value.t; at : int; hold : int }
+  | Silence of { flow : string; at : int; hold : int }
+  | Inject of Fault.t
+  | Crash of { flows : string list; at : int }
+  | Reset of { flows : string list; at : int; down : int }
+
+let check_window ~what ~at ~hold =
+  if at < 0 then invalid_arg (what ^ ": negative tick");
+  if hold < 1 then invalid_arg (what ^ ": hold must be at least one tick")
+
+let command ~flow ~value ~at ?(hold = 1) () =
+  check_window ~what:"Op.command" ~at ~hold;
+  Command { flow; value; at; hold }
+
+let silence ~flow ~at ~hold =
+  check_window ~what:"Op.silence" ~at ~hold;
+  Silence { flow; at; hold }
+
+let inject f = Inject f
+
+let crash ~flows ~at =
+  if flows = [] then invalid_arg "Op.crash: no flows";
+  if at < 0 then invalid_arg "Op.crash: negative tick";
+  Crash { flows; at }
+
+let reset ~flows ~at ~down =
+  check_window ~what:"Op.reset" ~at ~hold:down;
+  if flows = [] then invalid_arg "Op.reset: no flows";
+  Reset { flows; at; down }
+
+(* A Random_ticks activation has no first tick without scanning; its
+   start sorts as 0, which keeps the sort deterministic. *)
+let activation_start = function
+  | Fault.Always | Fault.Random_ticks _ -> 0
+  | Fault.Window { from_tick; _ } | Fault.From { from_tick } -> from_tick
+
+let start_tick = function
+  | Command { at; _ } | Silence { at; _ } | Crash { at; _ } | Reset { at; _ }
+    -> at
+  | Inject f -> activation_start (Fault.activation f)
+
+let flows = function
+  | Command { flow; _ } | Silence { flow; _ } -> [ flow ]
+  | Inject f -> [ Fault.flow f ]
+  | Crash { flows; _ } | Reset { flows; _ } -> flows
+
+let compile = function
+  | Command { flow; value; at; hold } ->
+    [ Fault.spike ~flow ~value
+        (Fault.Window { from_tick = at; until_tick = at + hold }) ]
+  | Silence { flow; at; hold } ->
+    [ Fault.dropout ~flow
+        (Fault.Window { from_tick = at; until_tick = at + hold }) ]
+  | Inject f -> [ f ]
+  | Crash { flows; at } -> Fault.ecu_crash ~flows ~at_tick:at
+  | Reset { flows; at; down } ->
+    Fault.ecu_reset ~flows ~at_tick:at ~down_ticks:down
+
+let describe = function
+  | Command { flow; value; at; hold } ->
+    if hold = 1 then
+      Printf.sprintf "cmd %s:=%s@t%d" flow (Value.to_string value) at
+    else
+      Printf.sprintf "cmd %s:=%s@t%d..%d" flow (Value.to_string value) at
+        (at + hold)
+  | Silence { flow; at; hold } ->
+    Printf.sprintf "silence %s@t%d..%d" flow at (at + hold)
+  | Inject f -> "inject " ^ Fault.describe f
+  | Crash { flows; at } ->
+    Printf.sprintf "crash {%s}@t%d" (String.concat "," flows) at
+  | Reset { flows; at; down } ->
+    Printf.sprintf "reset {%s}@t%d..%d" (String.concat "," flows) at
+      (at + down)
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -1,0 +1,63 @@
+(** Timed operations: the alphabet of generated test sequences.
+
+    An operation is one externally visible event offered to the system
+    under test at a chosen tick — a mode command driven through an input
+    override, a stimulus perturbation, a fault activation drawn from a
+    {!Automode_robust.Fault} catalog, or an ECU crash/reset silencing a
+    set of boundary flows.  Every operation compiles to a (non-empty)
+    fault list over the base stimulus, so the whole existing robustness
+    machinery — {!Automode_robust.Fault.apply}, event schedules,
+    {!Automode_robust.Shrink.minimize} — applies to generated sequences
+    unchanged. *)
+
+open Automode_core
+open Automode_robust
+
+type t =
+  | Command of { flow : string; value : Value.t; at : int; hold : int }
+      (** the input [flow] carries [value] on ticks
+          [at <= t < at + hold] — mode commands, operator requests *)
+  | Silence of { flow : string; at : int; hold : int }
+      (** the input [flow] is dropped on ticks [at <= t < at + hold] *)
+  | Inject of Fault.t
+      (** a fault activation from a {!Automode_robust.Fault} catalog *)
+  | Crash of { flows : string list; at : int }
+      (** fail-silent ECU crash: every listed flow is permanently
+          silenced from [at] on ({!Automode_robust.Fault.ecu_crash}) *)
+  | Reset of { flows : string list; at : int; down : int }
+      (** transient ECU reset: the listed flows are silent for
+          [at <= t < at + down] ({!Automode_robust.Fault.ecu_reset}) *)
+
+val command : flow:string -> value:Value.t -> at:int -> ?hold:int -> unit -> t
+(** A one-tick input override by default ([?hold] defaults to 1).
+    @raise Invalid_argument on a negative tick or non-positive hold. *)
+
+val silence : flow:string -> at:int -> hold:int -> t
+(** @raise Invalid_argument on a negative tick or non-positive hold. *)
+
+val inject : Fault.t -> t
+(** Wrap a catalog fault as an operation. *)
+
+val crash : flows:string list -> at:int -> t
+(** @raise Invalid_argument on a negative tick or an empty flow list. *)
+
+val reset : flows:string list -> at:int -> down:int -> t
+(** @raise Invalid_argument on a negative tick, non-positive outage or
+    an empty flow list. *)
+
+val start_tick : t -> int
+(** The first tick the operation acts at — the stable sort key of a
+    generated sequence. *)
+
+val flows : t -> string list
+(** Every boundary flow the operation touches. *)
+
+val compile : t -> Fault.t list
+(** The operation as stimulus-transforming faults (non-empty). *)
+
+val describe : t -> string
+(** Stable one-liner used in reports and shrunk counterexamples, e.g.
+    [cmd T4S:=Locked@t5] or [inject dropout@FZG_V[t3..9]]. *)
+
+val pp : Format.formatter -> t -> unit
+(** {!describe} as a [Format] printer. *)

@@ -44,6 +44,7 @@ let delayed ~flow ~by activation =
   make (Delayed { by }) ~flow activation
 
 let flow t = t.flow
+let activation t = t.activation
 
 (* An ECU failure silences every boundary flow the ECU sources at once:
    a crash permanently (fail-silent), a reset for [down_ticks] ticks.

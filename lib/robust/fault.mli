@@ -56,6 +56,10 @@ val ecu_reset : flows:string list -> at_tick:int -> down_ticks:int -> t list
 
 val flow : t -> string
 
+val activation : t -> activation
+(** The fault's activation pattern — lets sequence generators sort and
+    describe injected faults without re-deriving when they fire. *)
+
 val active : t -> tick:int -> bool
 (** Whether the fault fires at [tick] — pure and deterministic. *)
 

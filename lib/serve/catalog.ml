@@ -53,15 +53,60 @@ type outcome = {
   gate_ok : bool;
 }
 
+(* Property-testing campaigns cache at whole-report granularity: the
+   comparison is a pure function of (components, iterations, shrink,
+   seeds, engine revision), and the report already contains everything
+   a resubmission needs — so identical jobs are pure cache hits.  The
+   payload is "gate=0|1\n" followed by the raw report bytes (no JSON
+   escaping to keep byte-identity trivially audit-able on disk). *)
+let proptest ?cache ?(shrink = true) ?domains ?(iterations = 2) ~seeds () =
+  let compute () =
+    let c = Automode_casestudy.Propcase.run ~shrink ?domains ~iterations ~seeds () in
+    { report = Automode_casestudy.Propcase.to_text c;
+      gate_ok = Automode_casestudy.Propcase.contrast_holds c }
+  in
+  match cache with
+  | None -> compute ()
+  | Some cache ->
+    let key =
+      Printf.sprintf "proptest|%s|%s|it=%d|shrink=%b|seeds=%s|%s"
+        (Digest.component Door_lock.component)
+        (Digest.component Guarded.component)
+        iterations shrink
+        (Digest.string (String.concat "," (List.map string_of_int seeds)))
+        Digest.engine_rev
+    in
+    let decode payload =
+      match String.index_opt payload '\n' with
+      | None -> None
+      | Some i ->
+        let report =
+          String.sub payload (i + 1) (String.length payload - i - 1)
+        in
+        (match String.sub payload 0 i with
+         | "gate=1" -> Some { report; gate_ok = true }
+         | "gate=0" -> Some { report; gate_ok = false }
+         | _ -> None)
+    in
+    (match Cache.find cache ~key ~decode with
+     | Some o -> o
+     | None ->
+       let o = compute () in
+       Cache.store cache ~key
+         ((if o.gate_ok then "gate=1\n" else "gate=0\n") ^ o.report);
+       o)
+
 let verdicts_fail vs =
   List.exists
     (fun (_, v) ->
       match v with Monitor.Fail _ -> true | Monitor.Pass -> false)
     vs
 
-let run ?cache ?shrink ?(domains = 1) ?(horizon = 200_000) ~kind ~engine
-    ~seeds () =
+let run ?cache ?shrink ?(domains = 1) ?(horizon = 200_000) ?(iterations = 2)
+    ~kind ~engine ~seeds () =
   match (kind, engine) with
+  | Job.Proptest, _ ->
+    proptest ?cache ?shrink ~domains ~iterations ~seeds ()
   | Job.Robustness, true ->
     let results = robustness_engine ?cache ~domains ~horizon ~seeds () in
     { report = Format.asprintf "%a" Robustness.pp_engine_campaign results;

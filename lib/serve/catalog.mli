@@ -46,10 +46,24 @@ type outcome = {
   gate_ok : bool;    (** the campaign's CI gate (CLI exit status) *)
 }
 
+val proptest :
+  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?iterations:int ->
+  seeds:int list -> unit -> outcome
+(** The generated-sequence door-lock comparison
+    ({!Automode_casestudy.Propcase.run}, [?iterations] sequences per
+    seed, default 2), rendered with
+    {!Automode_casestudy.Propcase.to_text}; the gate is
+    {!Automode_casestudy.Propcase.contrast_holds} (unguarded fails,
+    guarded clean).  Cached at whole-report granularity — the report
+    is a pure function of (components, iterations, shrink, seeds,
+    engine revision), so a resubmitted job is one cache hit. *)
+
 val run :
   ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?horizon:int ->
+  ?iterations:int ->
   kind:Job.kind -> engine:bool -> seeds:int list -> unit -> outcome
 (** Render one job's report exactly as the matching CLI subcommand
-    would print it ([robustness] / [guard] / [redund], [--engine] when
-    [engine]), and evaluate the same pass/fail gate the CLI turns into
-    its exit status. *)
+    would print it ([robustness] / [guard] / [redund] / [proptest],
+    [--engine] when [engine]), and evaluate the same pass/fail gate
+    the CLI turns into its exit status.  [?iterations] only affects
+    the [proptest] kind. *)

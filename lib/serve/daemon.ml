@@ -25,6 +25,7 @@ type summary = {
 let running_dir c = Filename.concat c.spool "running"
 let done_dir c = Filename.concat c.spool "done"
 let failed_dir c = Filename.concat c.spool "failed"
+let quarantine_dir c = Filename.concat c.spool "quarantine"
 let stop_file c = Filename.concat c.spool "stop"
 
 let read_file path =
@@ -109,8 +110,8 @@ let run_job c job =
   in
   match
     Catalog.run ?cache:c.cache ~shrink:job.Job.shrink ~domains:job_domains
-      ~horizon:job.Job.horizon ~kind:job.Job.kind ~engine:job.Job.engine
-      ~seeds:job.Job.seeds ()
+      ~horizon:job.Job.horizon ~iterations:job.Job.iterations
+      ~kind:job.Job.kind ~engine:job.Job.engine ~seeds:job.Job.seeds ()
   with
   | outcome ->
     let latency_ms =
@@ -262,7 +263,12 @@ let process_batch c files summary_ref =
       | Ok _ -> summary_ref := (a, co + 1, f)
       | Error _ -> summary_ref := (a, co, f + 1))
     outcomes;
-  (* a file fails if any of its lines did *)
+  (* A poison file — lines present, none of them a parseable job — is
+     quarantined: moved aside with a JSON error status in the results
+     directory, so a malformed producer never wedges the worker loop
+     and the operator can see exactly why each file was set aside.
+     Files that mix valid and broken lines keep the failed/ verdict:
+     their valid jobs did run. *)
   List.iter
     (fun (path, line_results) ->
       let job_failed id =
@@ -270,14 +276,38 @@ let process_batch c files summary_ref =
         | Some (Error _) -> true
         | Some (Ok _) | None -> false
       in
-      let bad =
-        List.exists
-          (function
-            | Error _ -> true
-            | Ok job -> job_failed job.Job.id)
-          line_results
+      let poison =
+        line_results <> [] && List.for_all Result.is_error line_results
       in
-      move path (if bad then failed_dir c else done_dir c))
+      if poison then begin
+        let base = Filename.basename path in
+        Cache.write_atomic
+          ~path:(Filename.concat c.results (base ^ ".quarantine.json"))
+          (Json.to_string
+             (Json.Obj
+                [ ("file", Json.String base);
+                  ("status", Json.String "quarantined");
+                  ( "errors",
+                    Json.List
+                      (List.filter_map
+                         (function
+                           | Error e -> Some (Json.String e)
+                           | Ok _ -> None)
+                         line_results) ) ])
+           ^ "\n");
+        Probe.count "serve.jobs.quarantined";
+        move path (quarantine_dir c)
+      end
+      else begin
+        let bad =
+          List.exists
+            (function
+              | Error _ -> true
+              | Ok job -> job_failed job.Job.id)
+            line_results
+        in
+        move path (if bad then failed_dir c else done_dir c)
+      end)
     parsed;
   List.length jobs
 
@@ -285,7 +315,8 @@ let run ?metrics c =
   if c.workers < 1 then invalid_arg "Daemon.run: workers < 1";
   if c.domains < 1 then invalid_arg "Daemon.run: domains < 1";
   List.iter Cache.mkdir_p
-    [ c.spool; running_dir c; done_dir c; failed_dir c; c.results ];
+    [ c.spool; running_dir c; done_dir c; failed_dir c; quarantine_dir c;
+      c.results ];
   let listener = Option.map open_socket c.socket in
   let summary_ref = ref (0, 0, 0) in
   let loop () =

@@ -7,8 +7,12 @@
     atomicity).  The daemon claims a file by renaming it into
     [spool/running/], runs every job in it through {!Catalog.run}, and
     moves the file to [spool/done/] (or [spool/failed/] if any line
-    failed to parse or a job raised).  Per job [id] it writes, into the
-    results directory:
+    failed to parse or a job raised).  A {e poison} file — non-empty
+    but without a single parseable job line — is instead moved to
+    [spool/quarantine/] with a [<file>.quarantine.json] error status
+    (the per-line parse errors) in the results directory; the worker
+    loop carries on with the surrounding files either way.  Per job
+    [id] it writes, into the results directory:
 
     - [<id>.report.txt] — the campaign report, byte-identical to the
       one-shot CLI run with the same parameters;

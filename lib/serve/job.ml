@@ -1,4 +1,4 @@
-type kind = Robustness | Guard | Redund
+type kind = Robustness | Guard | Redund | Proptest
 
 type t = {
   id : string;
@@ -7,17 +7,20 @@ type t = {
   shrink : bool;
   engine : bool;
   horizon : int;
+  iterations : int;
 }
 
 let kind_to_string = function
   | Robustness -> "robustness"
   | Guard -> "guard"
   | Redund -> "redund"
+  | Proptest -> "proptest"
 
 let kind_of_string = function
   | "robustness" -> Some Robustness
   | "guard" -> Some Guard
   | "redund" -> Some Redund
+  | "proptest" -> Some Proptest
   | _ -> None
 
 let max_id_len = 64
@@ -83,7 +86,9 @@ let of_json json =
         (match kind_of_string k with
          | Some k -> Ok k
          | None ->
-           Error "kind: expected \"robustness\", \"guard\" or \"redund\"")
+           Error
+             "kind: expected \"robustness\", \"guard\", \"redund\" or \
+              \"proptest\"")
     in
     let* seeds =
       match Json.member "seeds" json with
@@ -101,7 +106,16 @@ let of_json json =
          | Some _ -> Error "horizon: must be positive"
          | None -> Error "horizon: expected an integer")
     in
-    Ok { id; kind; seeds; shrink; engine; horizon }
+    let* iterations =
+      match Json.member "iterations" json with
+      | None | Some Json.Null -> Ok 2
+      | Some j ->
+        (match Json.to_int j with
+         | Some i when i > 0 -> Ok i
+         | Some _ -> Error "iterations: must be positive"
+         | None -> Error "iterations: expected an integer")
+    in
+    Ok { id; kind; seeds; shrink; engine; horizon; iterations }
   | _ -> Error "job: expected a JSON object"
 
 let parse_line line =
@@ -116,4 +130,5 @@ let to_json t =
       ("seeds", Json.List (List.map (fun s -> Json.Int s) t.seeds));
       ("shrink", Json.Bool t.shrink);
       ("engine", Json.Bool t.engine);
-      ("horizon", Json.Int t.horizon) ]
+      ("horizon", Json.Int t.horizon);
+      ("iterations", Json.Int t.iterations) ]

@@ -9,8 +9,9 @@
 
     - [id] (required): [A-Za-z0-9._-]+, at most 64 chars — it names the
       result files, so it must be a safe file name;
-    - [kind] (required): ["robustness" | "guard" | "redund"] — the same
-      campaigns the one-shot CLI subcommands run;
+    - [kind] (required): ["robustness" | "guard" | "redund" |
+      "proptest"] — the same campaigns the one-shot CLI subcommands
+      run;
     - [seeds] (required): either an explicit array [[1,7,9]] of
       positive seeds or an inclusive range [{"from":1,"to":10}] (at
       most 100000 seeds);
@@ -18,9 +19,11 @@
     - [engine] (default [false]): the TA-level engine campaign variant
       of [robustness]/[guard] (ignored by [redund]);
     - [horizon] (default [200000]): deployment campaign horizon in
-      microseconds, for the TA-level legs. *)
+      microseconds, for the TA-level legs;
+    - [iterations] (default [2]): generated sequences per seed, for
+      the [proptest] kind (ignored by the others). *)
 
-type kind = Robustness | Guard | Redund
+type kind = Robustness | Guard | Redund | Proptest
 
 type t = {
   id : string;
@@ -29,10 +32,11 @@ type t = {
   shrink : bool;
   engine : bool;
   horizon : int;
+  iterations : int;
 }
 
 val kind_to_string : kind -> string
-(** ["robustness" | "guard" | "redund"]. *)
+(** ["robustness" | "guard" | "redund" | "proptest"]. *)
 
 val valid_id : string -> bool
 (** Non-empty, at most 64 chars, only [A-Za-z0-9._-], not starting

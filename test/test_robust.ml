@@ -531,6 +531,38 @@ let test_shrink_deterministic () =
   checkb "same seeds shrink to the same counterexamples" true
     (shrunk_sig a = shrunk_sig b)
 
+(* Sequence-level shrinking (lib/proptest): the same failing
+   (seed, iteration), shrunk twice and across the interpreted and
+   indexed engines, pins to byte-identical minimal traces. *)
+module PB = Automode_proptest.Builder
+
+let sequence_shrunk_signature spec ~seed ~iteration =
+  let case = PB.run_case spec ~seed ~iteration in
+  PB.case_failures spec case
+  |> List.map (fun (f : PB.failure) ->
+         f.PB.fail_monitor ^ "|"
+         ^
+         match f.PB.shrunk with
+         | None -> "unshrunk"
+         | Some o ->
+           String.concat ";"
+             (List.map Automode_proptest.Op.describe o.PB.shrunk_ops)
+           ^ "|"
+           ^ String.concat ";" (List.map Fault.describe o.PB.shrunk_faults)
+           ^ "|" ^ string_of_int o.PB.shrunk_ticks ^ "|" ^ o.PB.shrunk_reason)
+  |> String.concat "\n"
+
+let test_sequence_shrink_deterministic () =
+  let spec = Propcase.unguarded in
+  let a = sequence_shrunk_signature spec ~seed:4 ~iteration:1 in
+  checkb "the pinned (seed, iteration) fails" true (a <> "");
+  checks "shrinking the same case twice is byte-identical" a
+    (sequence_shrunk_signature spec ~seed:4 ~iteration:1);
+  checks "interpreted engine shrinks to the same minimal trace" a
+    (sequence_shrunk_signature
+       (PB.with_engine PB.Interpreted spec)
+       ~seed:4 ~iteration:1)
+
 (* ------------------------------------------------------------------ *)
 (* Scheduler execution-time faults                                    *)
 (* ------------------------------------------------------------------ *)
@@ -765,7 +797,9 @@ let () =
             test_report_byte_identical;
           Alcotest.test_case "csv shape" `Quick test_report_csv_shape;
           Alcotest.test_case "shrink deterministic" `Quick
-            test_shrink_deterministic ] );
+            test_shrink_deterministic;
+          Alcotest.test_case "sequence shrink deterministic" `Quick
+            test_sequence_shrink_deterministic ] );
       ( "can-faults",
         [ Alcotest.test_case "loss 0 nominal" `Quick
             test_can_loss_zero_is_nominal;

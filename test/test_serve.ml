@@ -310,6 +310,82 @@ let test_daemon_spool () =
     checkb "no recompute" true
       (Option.bind (member [ "cache"; "misses" ]) Serve.Json.to_int = Some 0)
 
+(* A poison file — no parseable line at all — is quarantined with a JSON
+   error status, and the valid files around it both complete. *)
+let test_daemon_poison_quarantine () =
+  let spool = temp_dir "automode-spoolq" in
+  let results = temp_dir "automode-resultsq" in
+  write_job spool "10-ok.json"
+    [ "{\"id\":\"q-a\",\"kind\":\"robustness\",\"seeds\":[1],\
+       \"shrink\":false}" ];
+  write_job spool "20-poison.json"
+    [ "this is not json"; "{\"also\": \"not a job\"}" ];
+  write_job spool "30-ok.json"
+    [ "{\"id\":\"q-b\",\"kind\":\"robustness\",\"seeds\":[2],\
+       \"shrink\":false}" ];
+  let summary = Serve.Daemon.run (daemon_config ~spool ~results ()) in
+  checki "both valid jobs completed" 2 summary.Serve.Daemon.completed;
+  checki "both poison lines counted failed" 2 summary.Serve.Daemon.failed;
+  checkb "valid files done" true
+    (Sys.file_exists (Filename.concat spool "done/10-ok.json")
+     && Sys.file_exists (Filename.concat spool "done/30-ok.json"));
+  checkb "poison file quarantined, not failed" true
+    (Sys.file_exists (Filename.concat spool "quarantine/20-poison.json")
+     && not (Sys.file_exists (Filename.concat spool "failed/20-poison.json")));
+  checkb "valid reports written" true
+    (Sys.file_exists (Filename.concat results "q-a.report.txt")
+     && Sys.file_exists (Filename.concat results "q-b.report.txt"));
+  let slurp p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let status_path =
+    Filename.concat results "20-poison.json.quarantine.json"
+  in
+  checkb "quarantine status written" true (Sys.file_exists status_path);
+  match Serve.Json.parse (slurp status_path) with
+  | Error e -> Alcotest.failf "quarantine status json: %s" e
+  | Ok j ->
+    checkb "status says quarantined" true
+      (Option.bind (Serve.Json.member "status" j) Serve.Json.to_str
+       = Some "quarantined");
+    checkb "one error per poison line" true
+      (match Serve.Json.member "errors" j with
+       | Some (Serve.Json.List es) -> List.length es = 2
+       | _ -> false)
+
+(* Proptest jobs: the catalog arm is the same code path the CLI's pair
+   target uses, and the whole-report cache entry replays byte for
+   byte. *)
+let test_proptest_job () =
+  let cache = Serve.Cache.create () in
+  let cold =
+    Serve.Catalog.run ~cache ~kind:Serve.Job.Proptest ~engine:false
+      ~iterations:2 ~seeds:[ 1; 2 ] ()
+  in
+  checkb "contrast gate holds" true cold.Serve.Catalog.gate_ok;
+  let direct = Serve.Catalog.proptest ~iterations:2 ~seeds:[ 1; 2 ] () in
+  checks "catalog arm == direct proptest" direct.Serve.Catalog.report
+    cold.Serve.Catalog.report;
+  let h0, m0, _ = Serve.Cache.stats cache in
+  let warm =
+    Serve.Catalog.run ~cache ~kind:Serve.Job.Proptest ~engine:false
+      ~iterations:2 ~seeds:[ 1; 2 ] ()
+  in
+  let h1, _, _ = Serve.Cache.stats cache in
+  checks "warm report byte-identical" cold.Serve.Catalog.report
+    warm.Serve.Catalog.report;
+  checkb "warm run is one whole-report hit" true (h1 = h0 + 1 && m0 = 1);
+  (* different iterations key differently *)
+  let other =
+    Serve.Catalog.run ~cache ~kind:Serve.Job.Proptest ~engine:false
+      ~iterations:1 ~seeds:[ 1; 2 ] ()
+  in
+  checkb "iterations partition the cache" true
+    (not (String.equal other.Serve.Catalog.report cold.Serve.Catalog.report))
+
 let test_daemon_concurrent_workers () =
   let spool = temp_dir "automode-spool2" in
   let results = temp_dir "automode-results2" in
@@ -391,6 +467,9 @@ let suite =
     Alcotest.test_case "net campaign cached" `Quick test_net_campaign_cached;
     Alcotest.test_case "job parsing" `Quick test_job_parsing;
     Alcotest.test_case "daemon spool end-to-end" `Quick test_daemon_spool;
+    Alcotest.test_case "daemon poison-job quarantine" `Quick
+      test_daemon_poison_quarantine;
+    Alcotest.test_case "proptest job kind" `Quick test_proptest_job;
     Alcotest.test_case "daemon concurrent workers" `Quick
       test_daemon_concurrent_workers;
     Alcotest.test_case "daemon socket intake" `Quick test_daemon_socket ]
