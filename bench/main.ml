@@ -467,6 +467,58 @@ let e19_proptest ~assert_bounds () =
   [ ("proptest/E19-builder-16cases", t_builder *. 1e9);
     ("proptest/E19-hand-16cases", t_hand *. 1e9) ]
 
+(* E20: bounded-exhaustive litmus synthesis, cold vs. warm per-scenario
+   classification cache.  The warm run answers every scenario from the
+   cache, so its report must be byte-identical to the cold compute —
+   asserted whenever the section runs — and at least 2x faster (full
+   bench mode only).  Returns (name, ns/run) rows for the JSON dump. *)
+let e20_litmus ~assert_bounds () =
+  section "E20 | litmus synthesis: enumeration throughput, cold vs warm cache";
+  let reps = 5 in
+  let min_time f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let module Serve = Automode_serve in
+  let module Synth = Automode_litmus.Synth in
+  let bound = 2 in
+  let t_cold =
+    min_time (fun () ->
+        Serve.Catalog.litmus_result ~cache:(Serve.Cache.create ()) ~bound ())
+  in
+  let cache = Serve.Cache.create () in
+  let cold = Serve.Catalog.litmus_result ~cache ~bound () in
+  let warm () = Serve.Catalog.litmus_result ~cache ~bound () in
+  let warm_r = warm () in
+  let t_warm = min_time warm in
+  let identical = String.equal (Synth.to_text cold) (Synth.to_text warm_r) in
+  let speedup = t_cold /. t_warm in
+  Printf.printf
+    "door-lock twin, bound %d: %d scenarios enumerated, %d unique; cold \
+     %.1f ms (%.0f scenarios/s), warm (all classifications from cache) \
+     %.1f ms (%.1fx); reports byte-identical: %b\n"
+    bound cold.Synth.res_enumerated cold.Synth.res_unique (t_cold *. 1e3)
+    (float_of_int cold.Synth.res_evaluated /. t_cold)
+    (t_warm *. 1e3) speedup identical;
+  if not identical then begin
+    print_endline "cold vs warm report identity: FAILED";
+    exit 1
+  end;
+  if assert_bounds then
+    if speedup >= 2. then print_endline "warm-cache speedup >= 2x: OK"
+    else begin
+      Printf.printf "warm-cache speedup >= 2x: FAILED (%.2fx)\n" speedup;
+      exit 1
+    end;
+  [ ("litmus/E20-enum-cold-k2", t_cold *. 1e9);
+    ("litmus/E20-enum-warm-k2", t_warm *. 1e9) ]
+
 (* ------------------------------------------------------------------ *)
 (* Benchmarks                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -858,13 +910,14 @@ let () =
   e17_speedups ~domains ~assert_bounds ();
   let serve_rows = e18_cache ~assert_bounds () in
   let prop_rows = e19_proptest ~assert_bounds () in
+  let litmus_rows = e20_litmus ~assert_bounds () in
   if not artifacts_only then begin
     print_endline "";
     section "benchmarks (this may take a minute)";
     let rows =
       List.sort
         (fun (a, _) (b, _) -> String.compare a b)
-        (estimates_of (benchmark ()) @ serve_rows @ prop_rows)
+        (estimates_of (benchmark ()) @ serve_rows @ prop_rows @ litmus_rows)
     in
     print_results rows;
     match arg_value "--json" with

@@ -582,6 +582,111 @@ let proptest_cmd =
           $ iterations_arg $ target_arg $ domains_arg $ out_arg
           $ metrics_arg $ trace_out_arg $ cache_dir_arg)
 
+let litmus_cmd =
+  let module Synth = Automode_litmus.Synth in
+  let module Suite = Automode_litmus.Suite in
+  let module B = Automode_proptest.Builder in
+  let resolve_engine = function
+    | "indexed" -> B.Indexed
+    | "interpreted" -> B.Interpreted
+    | "compiled" -> B.Compiled
+    | e ->
+      Printf.eprintf
+        "error: unknown engine %s (available: indexed, interpreted, \
+         compiled)\n"
+        e;
+      exit 1
+  in
+  let run bound max_scenarios engine domains replay suite_out out metrics
+      trace_out cache_dir =
+    validate_positive "--bound" bound;
+    validate_positive "--max-scenarios" max_scenarios;
+    validate_positive "--domains" domains;
+    let engine = resolve_engine engine in
+    match replay with
+    | Some path ->
+      if not (Sys.file_exists path) then (
+        Printf.eprintf "error: suite file %s does not exist\n" path;
+        exit 1);
+      (match Suite.load path with
+       | Error e ->
+         Printf.eprintf "error: %s\n" e;
+         exit 1
+       | Ok suite ->
+         let r, appendix =
+           with_observability ~metrics ~trace_out (fun () ->
+               Litmus_lock.replay ~domains
+                 ~model:(Serve.Catalog.litmus_model ()) ~engine suite)
+         in
+         emit out (append_appendix r.Suite.rep_report appendix);
+         if not (Suite.ok r) then exit 1)
+    | None ->
+      (* Synthesis routes through the serve catalog, so the memoized
+         per-scenario classifications (and the report) are shared with
+         daemon-served litmus jobs. *)
+      let cache = make_cache cache_dir in
+      let result, appendix =
+        with_observability ~metrics ~trace_out (fun () ->
+            Serve.Catalog.litmus_result ?cache ~domains ~bound
+              ~max_scenarios ~engine ())
+      in
+      emit out (append_appendix (Synth.to_text result) appendix);
+      Option.iter
+        (fun path ->
+          Suite.write ~path
+            (Suite.of_result ~model:(Serve.Catalog.litmus_model ()) result))
+        suite_out;
+      if not (Synth.gate result) then exit 1
+  in
+  let bound_arg =
+    Arg.(value & opt int 2
+         & info [ "bound"; "k" ] ~docv:"K"
+             ~doc:"Enumerate every fault scenario combining up to $(docv) \
+                   alphabet atoms.")
+  in
+  let max_scenarios_arg =
+    Arg.(value & opt int 100_000
+         & info [ "max-scenarios" ] ~docv:"N"
+             ~doc:"Safety cap on evaluated scenarios; the report flags \
+                   when the enumeration was truncated.")
+  in
+  let engine_arg =
+    Arg.(value & opt string "indexed"
+         & info [ "sim" ] ~docv:"ENGINE"
+             ~doc:"Simulation engine: $(b,indexed) (default), \
+                   $(b,interpreted) or $(b,compiled).  All three yield \
+                   byte-identical reports; CI replays the suite under two \
+                   of them to pin that.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a checked-in suite file instead of \
+                   synthesizing: re-evaluate every pinned scenario and \
+                   exit non-zero if any hash or classification \
+                   regressed.")
+  in
+  let suite_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "suite-out" ] ~docv:"FILE"
+             ~doc:"Also write the minimal scenarios as a byte-stable \
+                   suite file for later $(b,--replay).")
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:
+         "Bounded-exhaustive litmus synthesis over the door-lock twin: \
+          enumerate every fault scenario up to --bound atoms, \
+          deduplicate by trace-divergence hash, classify against the \
+          guarded deployment's stated bounds and shrink the survivors to \
+          minimal pinned scenarios; exits non-zero unless at least one \
+          minimal distinguishing scenario exists and no stated bound is \
+          violated.  --replay re-checks a pinned suite and exits \
+          non-zero on any regression")
+    Term.(const run $ bound_arg $ max_scenarios_arg $ engine_arg
+          $ domains_arg $ replay_arg $ suite_out_arg $ out_arg
+          $ metrics_arg $ trace_out_arg $ cache_dir_arg)
+
 let profile_cmd =
   (* Target registry: a name, a short description, and the action to run
      under the probe sink.  Trace-producing targets feed the guard/redund
@@ -671,11 +776,17 @@ let profile_cmd =
 
 let serve_cmd =
   let run spool results cache_dir workers domains once poll_ms max_jobs
-      socket metrics =
+      socket reclaim_s metrics =
     validate_positive "--workers" workers;
     validate_positive "--domains" domains;
     validate_positive "--poll-ms" poll_ms;
     Option.iter (validate_positive "--max-jobs") max_jobs;
+    Option.iter
+      (fun s ->
+        if s <= 0. then (
+          Printf.eprintf "error: --reclaim-s must be positive (got %g)\n" s;
+          exit 1))
+      reclaim_s;
     let cache = make_cache cache_dir in
     let m = Option.map (fun _ -> Obs.Metrics.create ()) metrics in
     let config =
@@ -686,7 +797,7 @@ let serve_cmd =
            | None -> Filename.concat spool "results");
         cache; workers; domains;
         poll_s = float_of_int poll_ms /. 1000.;
-        once; max_jobs; socket }
+        once; max_jobs; socket; reclaim_s }
     in
     let summary = Serve.Daemon.run ?metrics:m config in
     (match (metrics, m) with
@@ -739,6 +850,15 @@ let serve_cmd =
                    each connection sends newline-delimited jobs and gets \
                    one $(b,queued)/$(b,error) line back per job.")
   in
+  let reclaim_arg =
+    Arg.(value & opt (some float) None
+         & info [ "reclaim-s" ] ~docv:"SECONDS"
+             ~doc:"Stale-claim timeout: spool files claimed into \
+                   running/ but not finished within $(docv) seconds \
+                   (their worker crashed) are put back into the spool \
+                   and re-run.  Set it above the worst-case job latency; \
+                   omitted, orphaned claims wait for an operator.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -749,7 +869,7 @@ let serve_cmd =
           to the matching one-shot subcommand run")
     Term.(const run $ spool_arg $ results_arg $ cache_dir_arg $ workers_arg
           $ domains_arg $ once_flag $ poll_ms_arg $ max_jobs_arg
-          $ socket_arg $ metrics_arg)
+          $ socket_arg $ reclaim_arg $ metrics_arg)
 
 let pipeline_cmd =
   let run () =
@@ -775,5 +895,5 @@ let () =
           [ simulate_cmd; render_cmd; causality_cmd; rules_cmd; check_cmd;
             reengineer_cmd; deploy_cmd; codegen_cmd; save_cmd;
             check_model_cmd; timeline_cmd; robustness_cmd; guard_cmd;
-            redund_cmd; proptest_cmd; serve_cmd; profile_cmd;
+            redund_cmd; proptest_cmd; litmus_cmd; serve_cmd; profile_cmd;
             pipeline_cmd ]))

@@ -1,0 +1,73 @@
+open Automode_core
+open Automode_proptest
+
+type t = (string * Op.t) list
+
+let to_list t = t
+let size = List.length
+let names t = List.map fst t
+let find t name = List.assoc_opt name t
+
+let spikes ~flow ~values ~at ~hold =
+  List.concat_map
+    (fun v ->
+      List.map
+        (fun tick ->
+          ( Printf.sprintf "spike:%s=%s@t%dh%d" flow (Value.to_string v) tick
+              hold,
+            Op.command ~flow ~value:v ~at:tick ~hold () ))
+        at)
+    values
+
+let commands ~flow ~values ~at =
+  List.concat_map
+    (fun v ->
+      List.map
+        (fun tick ->
+          ( Printf.sprintf "cmd:%s=%s@t%d" flow (Value.to_string v) tick,
+            Op.command ~flow ~value:v ~at:tick () ))
+        at)
+    values
+
+let silences ~flow ~at ~holds =
+  List.concat_map
+    (fun tick ->
+      List.map
+        (fun hold ->
+          ( Printf.sprintf "silence:%s@t%dh%d" flow tick hold,
+            Op.silence ~flow ~at:tick ~hold ))
+        holds)
+    at
+
+let crashes ~flows ~at =
+  List.map
+    (fun tick ->
+      ( Printf.sprintf "crash:%s@t%d" (String.concat "+" flows) tick,
+        Op.crash ~flows ~at:tick ))
+    at
+
+let resets ~flows ~at ~down =
+  List.map
+    (fun tick ->
+      ( Printf.sprintf "reset:%s@t%dd%d" (String.concat "+" flows) tick down,
+        Op.reset ~flows ~at:tick ~down ))
+    at
+
+let inject ~name fault =
+  if
+    String.exists
+      (function ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      name
+  then invalid_arg "Alphabet.inject: atom names must not contain whitespace";
+  [ ("inject:" ^ name, Op.inject fault) ]
+
+let union ts =
+  let all = List.concat ts in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then
+        invalid_arg ("Alphabet.union: duplicate atom name " ^ name);
+      Hashtbl.add seen name ())
+    all;
+  all

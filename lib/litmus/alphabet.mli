@@ -1,0 +1,62 @@
+(** Named fault-activation atoms — the alphabet litmus scenarios are
+    spelled in.
+
+    An atom is a named {!Automode_proptest.Op.t}: the name is the
+    stable identity used in suite files and replay (atom parameters
+    are derivable from the name but never re-parsed from it), the
+    operation is what compiles to plain {!Automode_robust.Fault.t}
+    lists and replays on every engine.  Constructors generate names
+    deterministically from their parameters, so the same alphabet
+    declaration always produces the same names — byte-stable suites
+    depend on this. *)
+
+open Automode_core
+open Automode_robust
+open Automode_proptest
+
+type t
+(** An ordered list of uniquely-named atoms.  Enumeration order (and
+    therefore scenario canonical forms) follows declaration order. *)
+
+val to_list : t -> (string * Op.t) list
+(** The atoms in declaration order. *)
+
+val size : t -> int
+(** Number of atoms. *)
+
+val names : t -> string list
+(** Atom names in declaration order. *)
+
+val find : t -> string -> Op.t option
+(** Resolve an atom by name — the suite-replay lookup. *)
+
+val spikes : flow:string -> values:Value.t list -> at:int list -> hold:int -> t
+(** One atom per (value, tick): inject [value] on [flow] for [hold]
+    ticks starting at each tick — named [spike:<flow>=<v>@t<n>h<hold>].
+    The value × tick grid is emitted value-major. *)
+
+val commands : flow:string -> values:Value.t list -> at:int list -> t
+(** Like {!spikes} but hold 1 and named [cmd:<flow>=<v>@t<n>] — the
+    conventional spelling for discrete mode/request overrides. *)
+
+val silences : flow:string -> at:int list -> holds:int list -> t
+(** One atom per (tick, hold): drop [flow] for [hold] ticks from each
+    tick — named [silence:<flow>@t<n>h<hold>], tick-major. *)
+
+val crashes : flows:string list -> at:int list -> t
+(** Permanent loss of every listed flow from each tick on — named
+    [crash:<f1>+<f2>@t<n>]. *)
+
+val resets : flows:string list -> at:int list -> down:int -> t
+(** Transient loss of every listed flow for [down] ticks from each
+    tick — named [reset:<f1>+<f2>@t<n>d<down>]. *)
+
+val inject : name:string -> Fault.t -> t
+(** An arbitrary catalog fault as a single atom named [inject:<name>].
+    @raise Invalid_argument when [name] contains whitespace (atom
+    names must stay single-token for the suite file format). *)
+
+val union : t list -> t
+(** Concatenate alphabets in order.
+    @raise Invalid_argument on a duplicate atom name — every atom's
+    identity must be unambiguous in suite files. *)

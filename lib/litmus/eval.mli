@@ -1,0 +1,69 @@
+(** Scenario evaluation against a guarded/unguarded twin.
+
+    One scenario runs on both twins (2 faulty simulations; the nominal
+    pair is computed once per synthesis), every attached monitor
+    judges both traces, every {!Check} inspects the four traces, and
+    the whole outcome is folded into a {!classification} whose
+    identity is the canonical trace-divergence hash: two scenarios
+    with equal hashes have byte-equal faulty traces and therefore
+    byte-equal classifications — the deduplication invariant the
+    fuzz-suite pins. *)
+
+open Automode_core
+open Automode_proptest
+
+type twin = {
+  twin_name : string;
+  unguarded : Builder.t;
+  guarded : Builder.t;
+  checks : Check.t list;
+}
+(** The system under synthesis.  Both builders must share the horizon
+    and stimulus; litmus runs them with seed 0 and no generated
+    sequences, so base-fault recipes should be empty. *)
+
+type nominal = {
+  nom_unguarded : Trace.t;
+  nom_guarded : Trace.t;
+}
+
+val nominal : twin -> nominal
+(** The fault-free reference traces (computed once, shared by every
+    scenario evaluation). *)
+
+type classification = {
+  canon : string;              (** the scenario's canonical form *)
+  hash : string;               (** canonical trace-divergence hash (hex) *)
+  unguarded_failures : (string * int * string) list;
+      (** (monitor, tick, reason), declaration order *)
+  guarded_failures : (string * int * string) list;
+  tags : string list;          (** sorted classification tags *)
+  violations : (string * string) list;
+      (** (check, detail) — stated bounds that do not hold *)
+}
+
+val distinguishing : classification -> bool
+(** The verdict contrast: unguarded fails at least one monitor while
+    the guarded twin is completely clean. *)
+
+val survivor : classification -> bool
+(** Worth keeping: distinguishing, or violating a stated bound. *)
+
+val evaluate : twin -> nominal:nominal -> Space.scenario -> classification
+(** Run one scenario on both twins and classify it.  Pure: equal
+    (twin, scenario) always yields the same classification. *)
+
+val evaluate_ops :
+  twin -> nominal:nominal -> canon:string -> Op.t list -> classification
+(** {!evaluate} over an explicit operation list (minimality probes and
+    suite replay), labelled with the caller's canonical form. *)
+
+val encode : classification -> string
+(** Canonical byte encoding of everything {e except} [canon] — equal
+    hashes must encode identically even across different scenarios,
+    which is exactly what the dedup fuzz test compares.  Also the
+    cache payload body. *)
+
+val decode : canon:string -> string -> classification option
+(** Inverse of {!encode} (plus the given [canon]); [None] on any
+    malformed input — cache corruption degrades to a recompute. *)

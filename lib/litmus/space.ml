@@ -1,0 +1,49 @@
+open Automode_proptest
+
+type scenario = (string * Op.t) list
+
+let atoms s = s
+let ops s = List.map snd s
+let size = List.length
+let canonical s = String.concat "+" (List.map fst s)
+
+let of_atoms = function
+  | [] -> invalid_arg "Space.of_atoms: empty scenario"
+  | atoms -> atoms
+
+(* All k-subsets of [start, n), lexicographic over positions. *)
+let rec subsets start k n =
+  if k = 0 then [ [] ]
+  else if n - start < k then []
+  else
+    List.map (fun rest -> start :: rest) (subsets (start + 1) (k - 1) n)
+    @ subsets (start + 1) k n
+
+let enumerate ~alphabet ~bound =
+  if bound < 1 then invalid_arg "Space.enumerate: bound must be >= 1";
+  let arr = Array.of_list (Alphabet.to_list alphabet) in
+  let n = Array.length arr in
+  List.concat_map
+    (fun k -> List.map (List.map (Array.get arr)) (subsets 0 (k + 1) n))
+    (List.init bound Fun.id)
+
+let total ~alphabet ~bound =
+  if bound < 1 then invalid_arg "Space.total: bound must be >= 1";
+  let rec go i acc binom =
+    if i > min bound alphabet then acc
+    else
+      (* C(n, i) = C(n, i-1) * (n - i + 1) / i *)
+      let binom = binom * (alphabet - i + 1) / i in
+      go (i + 1) (acc + binom) binom
+  in
+  go 1 0 1
+
+let cap n scenarios =
+  let rec take n = function
+    | [] -> ([], false)
+    | _ :: _ when n = 0 -> ([], true)
+    | x :: rest ->
+      let kept, capped = take (n - 1) rest in
+      (x :: kept, capped)
+  in
+  take (max 0 n) scenarios

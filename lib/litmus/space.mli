@@ -1,0 +1,44 @@
+(** The bounded-exhaustive scenario space over an alphabet.
+
+    A scenario is a non-empty subset of at most [bound] atoms; its
+    canonical form is the atom names joined with ["+"] in alphabet
+    order, which is what deduplication, caching and suite files key
+    on.  Enumeration is fully deterministic: size-ascending, and
+    within one size lexicographic over atom positions — so scenario
+    [k] of a given (alphabet, bound) is the same scenario forever. *)
+
+open Automode_proptest
+
+type scenario
+(** One enumerated scenario: an ordered atom subset. *)
+
+val atoms : scenario -> (string * Op.t) list
+(** The scenario's atoms, in alphabet order. *)
+
+val ops : scenario -> Op.t list
+(** The operation list the scenario compiles to (alphabet order —
+    faults compose left to right like generated sequences do). *)
+
+val size : scenario -> int
+(** Number of atoms (1 ≤ size ≤ bound). *)
+
+val canonical : scenario -> string
+(** Canonical form: atom names joined with ["+"]. *)
+
+val of_atoms : (string * Op.t) list -> scenario
+(** Rebuild a scenario from explicit atoms (suite replay) — the caller
+    is responsible for alphabet ordering.
+    @raise Invalid_argument on an empty atom list. *)
+
+val enumerate : alphabet:Alphabet.t -> bound:int -> scenario list
+(** Every scenario of size 1..[bound], size-ascending then
+    lexicographic.  @raise Invalid_argument on [bound < 1]. *)
+
+val total : alphabet:int -> bound:int -> int
+(** [Σ_{i=1..min bound alphabet} C(alphabet, i)] — the size of the
+    space without materializing it. *)
+
+val cap : int -> scenario list -> scenario list * bool
+(** [cap n scenarios] keeps the first [n] (enumeration order) and
+    reports whether anything was dropped — the [--max-scenarios]
+    truncation, explicit so reports can say so. *)

@@ -127,6 +127,11 @@ let run_faults t ~faults ~ticks = verdicts_of t (trace_of t ~faults ~ticks)
 let run_ops t ~seed ~ops ~ticks =
   run_faults t ~faults:(faults_of t ~seed ~ops) ~ticks
 
+let trace_ops t ~seed ~ops ~ticks =
+  trace_of t ~faults:(faults_of t ~seed ~ops) ~ticks
+
+let eval_monitors t tr = verdicts_of t tr
+
 type case = {
   seed : int;
   iteration : int;
@@ -226,6 +231,11 @@ let still_fails ~run ~monitor ~faults ~ticks =
   match List.assoc_opt monitor (run ~faults ~ticks) with
   | Some (Monitor.Fail { reason; _ }) -> Some reason
   | Some Monitor.Pass | None -> None
+
+let ddmin_ops ~fails ops =
+  match fails ops with
+  | None -> None
+  | Some reason -> Some (ddmin ~fails ops reason)
 
 let shrink_case t ~seed ~mon ~ops =
   let run_on_ops ~faults ~ticks = run_ops t ~seed ~ops:faults ~ticks in

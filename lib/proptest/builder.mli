@@ -111,6 +111,32 @@ val run_ops :
 (** Simulate the case defined by an explicit operation list and
     evaluate every monitor — the replay primitive behind shrinking. *)
 
+val run_faults :
+  t -> faults:Fault.t list -> ticks:int ->
+  (string * Monitor.verdict) list
+(** Simulate an explicit fault list (bypassing the op layer) and
+    evaluate every monitor — the runner shape
+    {!Automode_robust.Shrink.minimize} expects. *)
+
+val trace_ops : t -> seed:int -> ops:Op.t list -> ticks:int -> Trace.t
+(** The raw trace of the case defined by an explicit operation list —
+    {!run_ops} without the monitor pass, for callers that canonicalize
+    or diff traces themselves (e.g. litmus-scenario deduplication). *)
+
+val eval_monitors : t -> Trace.t -> (string * Monitor.verdict) list
+(** Judge an already-recorded trace against every attached monitor, in
+    declaration order — the oracle half of {!run_ops}. *)
+
+val ddmin_ops :
+  fails:(Op.t list -> string option) ->
+  Op.t list -> (Op.t list * string) option
+(** The sequence-level delta-debugging pass used by shrinking, exposed
+    for external minimality certification: [fails ops] returns [Some
+    reason] when the candidate still exhibits the failure.  Returns the
+    minimal failing subsequence and its reason, or [None] when the full
+    list does not fail.  Every kept candidate was re-executed, so the
+    result fails by construction. *)
+
 type case = {
   seed : int;
   iteration : int;

@@ -96,6 +96,37 @@ let proptest ?cache ?(shrink = true) ?domains ?(iterations = 2) ~seeds () =
          ((if o.gate_ok then "gate=1\n" else "gate=0\n") ^ o.report);
        o)
 
+module Synth = Automode_litmus.Synth
+
+(* Litmus synthesis memoizes per-scenario classifications: the key
+   prefix binds both component digests and the engine revision, so a
+   model edit recomputes only what changed while the canonical-form
+   suffix carries the scenario identity. *)
+let litmus_model () =
+  Digest.string
+    (Digest.component Door_lock.component ^ "|"
+     ^ Digest.component Guarded.component ^ "|" ^ Digest.engine_rev)
+
+let litmus_hooks cache =
+  { Synth.cache_prefix =
+      Printf.sprintf "litmus|%s|%s|%s|"
+        (Digest.component Door_lock.component)
+        (Digest.component Guarded.component)
+        Digest.engine_rev;
+    cache_find = (fun key -> Cache.find cache ~key ~decode:Option.some);
+    cache_store = (fun key payload -> Cache.store cache ~key payload) }
+
+let litmus_result ?cache ?(domains = 1) ?(bound = 2)
+    ?(max_scenarios = 100_000) ?engine () =
+  Litmus_lock.synthesize
+    ?cache:(Option.map litmus_hooks cache)
+    ~config:{ Synth.bound; max_scenarios; shrink = true }
+    ~domains ?engine ()
+
+let litmus ?cache ?domains ?bound ?max_scenarios () =
+  let r = litmus_result ?cache ?domains ?bound ?max_scenarios () in
+  { report = Synth.to_text r; gate_ok = Synth.gate r }
+
 let verdicts_fail vs =
   List.exists
     (fun (_, v) ->
@@ -103,8 +134,9 @@ let verdicts_fail vs =
     vs
 
 let run ?cache ?shrink ?(domains = 1) ?(horizon = 200_000) ?(iterations = 2)
-    ~kind ~engine ~seeds () =
+    ?(bound = 2) ~kind ~engine ~seeds () =
   match (kind, engine) with
+  | Job.Litmus, _ -> litmus ?cache ~domains ~bound ()
   | Job.Proptest, _ ->
     proptest ?cache ?shrink ~domains ~iterations ~seeds ()
   | Job.Robustness, true ->

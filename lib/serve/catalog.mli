@@ -58,12 +58,35 @@ val proptest :
     is a pure function of (components, iterations, shrink, seeds,
     engine revision), so a resubmitted job is one cache hit. *)
 
+val litmus_model : unit -> string
+(** Digest tag binding both door-lock twin components and the engine
+    revision — stamped into generated suite files so replay can detect
+    a model drift explicitly. *)
+
+val litmus_result :
+  ?cache:Cache.t -> ?domains:int -> ?bound:int -> ?max_scenarios:int ->
+  ?engine:Automode_proptest.Builder.engine ->
+  unit -> Automode_litmus.Synth.result
+(** Bounded-exhaustive synthesis over the door-lock twin
+    ({!Automode_casestudy.Litmus_lock.synthesize}), memoizing
+    per-scenario classifications through the cache under a
+    [litmus|<digests>|<engine-rev>|<canonical-form>] key — after a
+    model edit only changed scenarios recompute.  Defaults: bound 2,
+    max_scenarios 100000, 1 domain, indexed engine. *)
+
+val litmus :
+  ?cache:Cache.t -> ?domains:int -> ?bound:int -> ?max_scenarios:int ->
+  unit -> outcome
+(** {!litmus_result} rendered with {!Automode_litmus.Synth.to_text};
+    the gate is {!Automode_litmus.Synth.gate} (at least one minimal
+    distinguishing scenario, no stated-bound violations). *)
+
 val run :
   ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?horizon:int ->
-  ?iterations:int ->
+  ?iterations:int -> ?bound:int ->
   kind:Job.kind -> engine:bool -> seeds:int list -> unit -> outcome
 (** Render one job's report exactly as the matching CLI subcommand
-    would print it ([robustness] / [guard] / [redund] / [proptest],
-    [--engine] when [engine]), and evaluate the same pass/fail gate
-    the CLI turns into its exit status.  [?iterations] only affects
-    the [proptest] kind. *)
+    would print it ([robustness] / [guard] / [redund] / [proptest] /
+    [litmus], [--engine] when [engine]), and evaluate the same
+    pass/fail gate the CLI turns into its exit status.  [?iterations]
+    only affects the [proptest] kind, [?bound] only [litmus]. *)

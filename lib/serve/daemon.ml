@@ -14,6 +14,7 @@ type config = {
   once : bool;
   max_jobs : int option;
   socket : string option;
+  reclaim_s : float option;
 }
 
 type summary = {
@@ -49,12 +50,47 @@ let pending_files c =
     |> List.map (Filename.concat c.spool)
   | exception Sys_error _ -> []
 
-(* Claim by rename: losing a race to another daemon is not an error. *)
+(* Claim by rename: losing a race to another daemon is not an error.
+   The claim is stamped with the current time (rename preserves the
+   submitter's mtime), so stale-claim recovery measures time since the
+   claim, not since submission. *)
 let claim c path =
   let dst = Filename.concat (running_dir c) (Filename.basename path) in
   match Sys.rename path dst with
-  | () -> Some dst
+  | () ->
+    (try Unix.utimes dst 0. 0. with Unix.Unix_error _ -> ());
+    Some dst
   | exception Sys_error _ -> None
+
+(* A file sitting in running/ longer than [reclaim_s] belongs to a
+   worker that died mid-job (a live worker would have moved it to
+   done/ or failed/).  Rename it back into the spool so the next scan
+   re-runs it — at-least-once semantics; losing the reclaim race to
+   another daemon is fine.  [reclaim_s] must exceed the worst-case job
+   latency or a slow job runs twice. *)
+let reclaim_stale c =
+  match c.reclaim_s with
+  | None -> 0
+  | Some timeout ->
+    let now = Unix.gettimeofday () in
+    (match Sys.readdir (running_dir c) with
+     | exception Sys_error _ -> 0
+     | entries ->
+       Array.fold_left
+         (fun n f ->
+           if not (Filename.check_suffix f ".json") then n
+           else
+             let path = Filename.concat (running_dir c) f in
+             match Unix.stat path with
+             | { Unix.st_mtime; _ } when now -. st_mtime >= timeout ->
+               (match Sys.rename path (Filename.concat c.spool f) with
+                | () ->
+                  Probe.count "serve.jobs.reclaimed";
+                  n + 1
+                | exception Sys_error _ -> n)
+             | _ -> n
+             | exception Unix.Unix_error _ -> n)
+         0 entries)
 
 let non_empty_lines text =
   String.split_on_char '\n' text
@@ -111,7 +147,8 @@ let run_job c job =
   match
     Catalog.run ?cache:c.cache ~shrink:job.Job.shrink ~domains:job_domains
       ~horizon:job.Job.horizon ~iterations:job.Job.iterations
-      ~kind:job.Job.kind ~engine:job.Job.engine ~seeds:job.Job.seeds ()
+      ~bound:job.Job.bound ~kind:job.Job.kind ~engine:job.Job.engine
+      ~seeds:job.Job.seeds ()
   with
   | outcome ->
     let latency_ms =
@@ -324,6 +361,7 @@ let run ?metrics c =
     while not !finished do
       ignore
         (Option.map (fun fd -> drain_socket fd ~spool:c.spool) listener);
+      ignore (reclaim_stale c);
       let files = pending_files c in
       Probe.gauge "serve.queue.depth" (List.length files);
       let ran = process_batch c files summary_ref in

@@ -27,6 +27,12 @@
     files are written atomically, so concurrent jobs interleave
     safely.
 
+    Crash recovery: a claim is stamped with its claim time, and every
+    scan first sweeps [spool/running/] for files older than the
+    configured [reclaim_s] — jobs orphaned by a worker that died
+    mid-run complete on the next live daemon instead of hanging
+    forever (counter [serve.jobs.reclaimed]).
+
     Observability (through {!Automode_obs.Probe}): counters
     [serve.jobs.accepted] / [serve.jobs.completed] /
     [serve.jobs.failed], gauge [serve.queue.depth], histogram
@@ -44,6 +50,13 @@ type config = {
   once : bool;           (** drain what is there, then exit *)
   max_jobs : int option; (** exit after this many jobs, if given *)
   socket : string option;(** Unix-domain socket path, when enabled *)
+  reclaim_s : float option;
+      (** stale-claim timeout: a spool file claimed into
+          [spool/running/] but neither completed nor failed within
+          this many seconds (its worker crashed) is renamed back into
+          the spool and re-run — at-least-once recovery, so set it
+          above the worst-case job latency.  [None] disables
+          reclaiming; orphaned claims then wait for an operator. *)
 }
 
 type summary = {

@@ -1,4 +1,4 @@
-type kind = Robustness | Guard | Redund | Proptest
+type kind = Robustness | Guard | Redund | Proptest | Litmus
 
 type t = {
   id : string;
@@ -8,6 +8,7 @@ type t = {
   engine : bool;
   horizon : int;
   iterations : int;
+  bound : int;
 }
 
 let kind_to_string = function
@@ -15,12 +16,14 @@ let kind_to_string = function
   | Guard -> "guard"
   | Redund -> "redund"
   | Proptest -> "proptest"
+  | Litmus -> "litmus"
 
 let kind_of_string = function
   | "robustness" -> Some Robustness
   | "guard" -> Some Guard
   | "redund" -> Some Redund
   | "proptest" -> Some Proptest
+  | "litmus" -> Some Litmus
   | _ -> None
 
 let max_id_len = 64
@@ -87,12 +90,15 @@ let of_json json =
          | Some k -> Ok k
          | None ->
            Error
-             "kind: expected \"robustness\", \"guard\", \"redund\" or \
-              \"proptest\"")
+             "kind: expected \"robustness\", \"guard\", \"redund\", \
+              \"proptest\" or \"litmus\"")
     in
     let* seeds =
+      (* litmus enumerates instead of sweeping seeds *)
       match Json.member "seeds" json with
-      | None -> Error "seeds: required"
+      | None | Some Json.Null | Some (Json.List []) when kind = Litmus ->
+        Ok []
+      | None | Some Json.Null -> Error "seeds: required"
       | Some s -> decode_seeds s
     in
     let* shrink = opt_bool ~field:"shrink" ~default:true json in
@@ -115,7 +121,16 @@ let of_json json =
          | Some _ -> Error "iterations: must be positive"
          | None -> Error "iterations: expected an integer")
     in
-    Ok { id; kind; seeds; shrink; engine; horizon; iterations }
+    let* bound =
+      match Json.member "bound" json with
+      | None | Some Json.Null -> Ok 2
+      | Some j ->
+        (match Json.to_int j with
+         | Some b when b > 0 -> Ok b
+         | Some _ -> Error "bound: must be positive"
+         | None -> Error "bound: expected an integer")
+    in
+    Ok { id; kind; seeds; shrink; engine; horizon; iterations; bound }
   | _ -> Error "job: expected a JSON object"
 
 let parse_line line =
@@ -131,4 +146,5 @@ let to_json t =
       ("shrink", Json.Bool t.shrink);
       ("engine", Json.Bool t.engine);
       ("horizon", Json.Int t.horizon);
-      ("iterations", Json.Int t.iterations) ]
+      ("iterations", Json.Int t.iterations);
+      ("bound", Json.Int t.bound) ]

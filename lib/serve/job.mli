@@ -10,20 +10,23 @@
     - [id] (required): [A-Za-z0-9._-]+, at most 64 chars — it names the
       result files, so it must be a safe file name;
     - [kind] (required): ["robustness" | "guard" | "redund" |
-      "proptest"] — the same campaigns the one-shot CLI subcommands
-      run;
-    - [seeds] (required): either an explicit array [[1,7,9]] of
-      positive seeds or an inclusive range [{"from":1,"to":10}] (at
-      most 100000 seeds);
+      "proptest" | "litmus"] — the same campaigns the one-shot CLI
+      subcommands run;
+    - [seeds] (required except for [litmus], which enumerates instead
+      of sweeping): either an explicit array [[1,7,9]] of positive
+      seeds or an inclusive range [{"from":1,"to":10}] (at most
+      100000 seeds);
     - [shrink] (default [true]): counterexample shrinking;
     - [engine] (default [false]): the TA-level engine campaign variant
       of [robustness]/[guard] (ignored by [redund]);
     - [horizon] (default [200000]): deployment campaign horizon in
       microseconds, for the TA-level legs;
     - [iterations] (default [2]): generated sequences per seed, for
-      the [proptest] kind (ignored by the others). *)
+      the [proptest] kind (ignored by the others);
+    - [bound] (default [2]): max fault atoms per enumerated scenario,
+      for the [litmus] kind (ignored by the others). *)
 
-type kind = Robustness | Guard | Redund | Proptest
+type kind = Robustness | Guard | Redund | Proptest | Litmus
 
 type t = {
   id : string;
@@ -33,10 +36,11 @@ type t = {
   engine : bool;
   horizon : int;
   iterations : int;
+  bound : int;
 }
 
 val kind_to_string : kind -> string
-(** ["robustness" | "guard" | "redund" | "proptest"]. *)
+(** ["robustness" | "guard" | "redund" | "proptest" | "litmus"]. *)
 
 val valid_id : string -> bool
 (** Non-empty, at most 64 chars, only [A-Za-z0-9._-], not starting

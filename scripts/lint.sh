@@ -37,7 +37,7 @@ report "merge conflict marker"
 # service interfaces must carry an odoc comment (this repo documents
 # values with a (** ... *) immediately after the declaration).  A val
 # with no doc comment before the next val (or EOF) is flagged.
-for f in lib/obs/*.mli lib/proptest/*.mli lib/redund/*.mli lib/serve/*.mli; do
+for f in lib/obs/*.mli lib/litmus/*.mli lib/proptest/*.mli lib/redund/*.mli lib/serve/*.mli; do
   awk -v file="$f" '
     /^val / {
       if (pending != "" && !documented)
@@ -51,6 +51,6 @@ for f in lib/obs/*.mli lib/proptest/*.mli lib/redund/*.mli lib/serve/*.mli; do
     }
   ' "$f"
 done >"$tmp"
-report "undocumented public .mli value (lib/obs, lib/proptest, lib/redund, lib/serve)"
+report "undocumented public .mli value (lib/obs, lib/litmus, lib/proptest, lib/redund, lib/serve)"
 
 exit $status

@@ -254,9 +254,9 @@ let write_job dir name lines =
   List.iter (fun l -> output_string oc (l ^ "\n")) lines;
   close_out oc
 
-let daemon_config ~spool ~results ?cache ?(workers = 1) () =
+let daemon_config ~spool ~results ?cache ?(workers = 1) ?reclaim_s () =
   { Serve.Daemon.spool; results; cache; workers; domains = 1;
-    poll_s = 0.05; once = true; max_jobs = None; socket = None }
+    poll_s = 0.05; once = true; max_jobs = None; socket = None; reclaim_s }
 
 let test_daemon_spool () =
   let spool = temp_dir "automode-spool" in
@@ -386,6 +386,120 @@ let test_proptest_job () =
   checkb "iterations partition the cache" true
     (not (String.equal other.Serve.Catalog.report cold.Serve.Catalog.report))
 
+(* Litmus jobs: seeds are optional, bound validates, and the catalog
+   arm serves warm runs entirely from the per-scenario cache with a
+   byte-identical report. *)
+let test_litmus_job () =
+  (match Serve.Job.parse_line "{\"id\":\"l1\",\"kind\":\"litmus\"}" with
+   | Ok j ->
+     checkb "kind" true (j.Serve.Job.kind = Serve.Job.Litmus);
+     checki "default bound" 2 j.Serve.Job.bound;
+     Alcotest.(check (list int)) "seeds optional for litmus" []
+       j.Serve.Job.seeds
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match
+     Serve.Job.parse_line "{\"id\":\"l2\",\"kind\":\"litmus\",\"bound\":3}"
+   with
+   | Ok j ->
+     checki "explicit bound" 3 j.Serve.Job.bound;
+     (* to_json round-trips the bound *)
+     (match
+        Serve.Job.parse_line (Serve.Json.to_string (Serve.Job.to_json j))
+      with
+      | Ok j' -> checkb "reparse equal" true (j = j')
+      | Error e -> Alcotest.failf "reparse failed: %s" e)
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  let rejected line =
+    match Serve.Job.parse_line line with Ok _ -> false | Error _ -> true
+  in
+  checkb "non-positive bound rejected" true
+    (rejected "{\"id\":\"l\",\"kind\":\"litmus\",\"bound\":0}");
+  checkb "seeds still required for campaign kinds" true
+    (rejected "{\"id\":\"l\",\"kind\":\"guard\"}");
+  let cache = Serve.Cache.create () in
+  let cold =
+    Serve.Catalog.run ~cache ~kind:Serve.Job.Litmus ~engine:false ~bound:2
+      ~seeds:[] ()
+  in
+  checkb "litmus gate holds" true cold.Serve.Catalog.gate_ok;
+  let direct = Serve.Catalog.litmus ~bound:2 () in
+  checks "catalog arm == direct litmus" direct.Serve.Catalog.report
+    cold.Serve.Catalog.report;
+  let h0, _, _ = Serve.Cache.stats cache in
+  let warm =
+    Serve.Catalog.run ~cache ~kind:Serve.Job.Litmus ~engine:false ~bound:2
+      ~seeds:[] ()
+  in
+  let h1, _, _ = Serve.Cache.stats cache in
+  checks "warm report byte-identical" cold.Serve.Catalog.report
+    warm.Serve.Catalog.report;
+  checki "every scenario served from cache" 120 (h1 - h0)
+
+(* Stale-claim recovery: a worker claims a spool file and is killed
+   before running the job; the file sits orphaned in running/ until a
+   daemon with a reclaim timeout sweeps it back and completes it. *)
+let test_daemon_reclaims_stale_claim () =
+  let spool = temp_dir "automode-spoolr" in
+  let results = temp_dir "automode-resultsr" in
+  let running = Filename.concat spool "running" in
+  Unix.mkdir running 0o755;
+  write_job spool "50-orphan.json"
+    [ "{\"id\":\"r1\",\"kind\":\"robustness\",\"seeds\":[1],\
+       \"shrink\":false}" ];
+  (* the doomed worker: claim the file like the daemon would, then die
+     without touching it again *)
+  (match Unix.fork () with
+   | 0 ->
+     (try
+        Unix.rename
+          (Filename.concat spool "50-orphan.json")
+          (Filename.concat running "50-orphan.json")
+      with _ -> ());
+     Unix._exit 0
+   | pid -> ignore (Unix.waitpid [] pid));
+  checkb "claim orphaned in running/" true
+    (Sys.file_exists (Filename.concat running "50-orphan.json"));
+  (* a fresh-looking claim must NOT be reclaimed before the timeout *)
+  let summary =
+    Serve.Daemon.run (daemon_config ~spool ~results ~reclaim_s:3600. ())
+  in
+  checki "young claim left alone" 0 summary.Serve.Daemon.completed;
+  checkb "still orphaned" true
+    (Sys.file_exists (Filename.concat running "50-orphan.json"));
+  (* age the claim past the timeout (deterministic stand-in for
+     waiting out the wall clock) *)
+  Unix.utimes (Filename.concat running "50-orphan.json") 1. 1.;
+  let summary =
+    Serve.Daemon.run (daemon_config ~spool ~results ~reclaim_s:1. ())
+  in
+  checki "reclaimed job completed" 1 summary.Serve.Daemon.completed;
+  checki "nothing failed" 0 summary.Serve.Daemon.failed;
+  checkb "report written" true
+    (Sys.file_exists (Filename.concat results "r1.report.txt"));
+  checkb "spool file ends in done/" true
+    (Sys.file_exists (Filename.concat spool "done/50-orphan.json"));
+  checkb "running/ drained" true
+    (not (Sys.file_exists (Filename.concat running "50-orphan.json")))
+
+(* A litmus job through the spool: the daemon's report file is
+   byte-identical to the one-shot catalog rendering. *)
+let test_daemon_litmus_job () =
+  let spool = temp_dir "automode-spooll" in
+  let results = temp_dir "automode-resultsl" in
+  write_job spool "lit.json"
+    [ "{\"id\":\"lit-1\",\"kind\":\"litmus\",\"bound\":2}" ];
+  let summary = Serve.Daemon.run (daemon_config ~spool ~results ()) in
+  checki "litmus job completed" 1 summary.Serve.Daemon.completed;
+  let slurp p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  checks "daemon litmus report == one-shot catalog run"
+    (Serve.Catalog.litmus ~bound:2 ()).Serve.Catalog.report
+    (slurp (Filename.concat results "lit-1.report.txt"))
+
 let test_daemon_concurrent_workers () =
   let spool = temp_dir "automode-spool2" in
   let results = temp_dir "automode-results2" in
@@ -470,6 +584,10 @@ let suite =
     Alcotest.test_case "daemon poison-job quarantine" `Quick
       test_daemon_poison_quarantine;
     Alcotest.test_case "proptest job kind" `Quick test_proptest_job;
+    Alcotest.test_case "litmus job kind" `Quick test_litmus_job;
+    Alcotest.test_case "daemon reclaims stale claims" `Quick
+      test_daemon_reclaims_stale_claim;
+    Alcotest.test_case "daemon litmus job" `Quick test_daemon_litmus_job;
     Alcotest.test_case "daemon concurrent workers" `Quick
       test_daemon_concurrent_workers;
     Alcotest.test_case "daemon socket intake" `Quick test_daemon_socket ]
