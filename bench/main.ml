@@ -519,6 +519,99 @@ let e20_litmus ~assert_bounds () =
   [ ("litmus/E20-enum-cold-k2", t_cold *. 1e9);
     ("litmus/E20-enum-warm-k2", t_warm *. 1e9) ]
 
+(* E21: the struct-of-arrays batched engine vs. looping [run_indexed]
+   over the instance axis.  One batch steps 1000 divergent instances of
+   the 200-node random DFD; the pinned >= 10x instance-ticks/sec ratio
+   and the per-instance trace identity (looped vs batched vs
+   domain-sharded) are asserted whenever the section runs — the ratio
+   compares two measurements from the same process, so it is stable
+   even on noisy CI runners.  Returns (name, ns/run) rows for the JSON
+   dump. *)
+let e21_batch ~domains () =
+  section "E21 | batched engine: instance axis vs looped run_indexed";
+  let reps = 3 in
+  let min_time f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let dfd = Workloads.random_dfd_component ~seed:42 ~n:200 in
+  let ix = Sim.index dfd in
+  let instances = 1000 in
+  let ticks = 32 in
+  (* per-instance stimuli diverge, so every instance simulates a
+     different trajectory through the same compiled net *)
+  let inputs i t =
+    [ ( "src",
+        Value.Present
+          (Value.Float (float_of_int t +. (0.25 *. float_of_int i))) ) ]
+  in
+  let looped () =
+    Array.init instances (fun i ->
+        Sim.run_indexed ~ticks ~inputs:(inputs i) ix)
+  in
+  let t_loop = min_time looped in
+  let t_cold =
+    min_time (fun () ->
+        let b = Sim.batch ~instances ix in
+        Sim.run_batch ~ticks ~inputs b;
+        b)
+  in
+  let b = Sim.batch ~instances ix in
+  let t_warm = min_time (fun () -> Sim.run_batch ~ticks ~inputs b) in
+  let reference = looped () in
+  let identical_to_reference () =
+    let ok = ref true in
+    for i = 0 to instances - 1 do
+      if
+        not
+          (String.equal
+             (Trace.to_csv (Sim.batch_trace b ~instance:i))
+             (Trace.to_csv reference.(i)))
+      then ok := false
+    done;
+    !ok
+  in
+  Sim.run_batch ~ticks ~inputs b;
+  let identical = identical_to_reference () in
+  Sim.run_batch ~shards:domains
+    ~map:(fun thunks ->
+      ignore
+        (Automode_robust.Parallel.map ~domains (fun f -> f ()) thunks))
+    ~ticks ~inputs b;
+  let identical_sharded = identical_to_reference () in
+  let ratio_cold = t_loop /. t_cold in
+  let ratio_warm = t_loop /. t_warm in
+  let itps t = float_of_int (instances * ticks) /. t in
+  Printf.printf
+    "random-dfd-200, %d instances x %d ticks: looped %.1f ms (%.2e \
+     instance-ticks/s), batched cold %.1f ms (%.2e, %.1fx), batched warm \
+     %.1f ms (%.2e, %.1fx)\n"
+    instances ticks (t_loop *. 1e3) (itps t_loop) (t_cold *. 1e3)
+    (itps t_cold) ratio_cold (t_warm *. 1e3) (itps t_warm) ratio_warm;
+  Printf.printf
+    "per-instance traces byte-identical: %b (1 shard), %b (%d shards)\n"
+    identical identical_sharded domains;
+  if not (identical && identical_sharded) then begin
+    print_endline "batched vs looped trace identity: FAILED";
+    exit 1
+  end;
+  if ratio_cold >= 10. then
+    print_endline "batched >= 10x instance-ticks/sec (cold): OK"
+  else begin
+    Printf.printf
+      "batched >= 10x instance-ticks/sec (cold): FAILED (%.2fx)\n" ratio_cold;
+    exit 1
+  end;
+  [ ("core/E21-looped-1000x32", t_loop *. 1e9);
+    ("core/E21-batch-cold-1000x32", t_cold *. 1e9);
+    ("core/E21-batch-warm-1000x32", t_warm *. 1e9) ]
+
 (* ------------------------------------------------------------------ *)
 (* Benchmarks                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -911,13 +1004,18 @@ let () =
   let serve_rows = e18_cache ~assert_bounds () in
   let prop_rows = e19_proptest ~assert_bounds () in
   let litmus_rows = e20_litmus ~assert_bounds () in
+  (* E21 asserts its ratio and identity in every mode, including the
+     --artifacts-only CI smoke: both sides of the ratio come from the
+     same process on the same machine. *)
+  let batch_rows = e21_batch ~domains () in
   if not artifacts_only then begin
     print_endline "";
     section "benchmarks (this may take a minute)";
     let rows =
       List.sort
         (fun (a, _) (b, _) -> String.compare a b)
-        (estimates_of (benchmark ()) @ serve_rows @ prop_rows @ litmus_rows)
+        (estimates_of (benchmark ()) @ serve_rows @ prop_rows @ litmus_rows
+        @ batch_rows)
     in
     print_results rows;
     match arg_value "--json" with

@@ -319,6 +319,14 @@ let domains_arg =
                  in seed order, so the report is identical to a serial \
                  run.")
 
+let instances_arg =
+  Arg.(value & opt int 1
+       & info [ "instances" ] ~docv:"N"
+           ~doc:"Batch up to $(docv) simulations per domain through the \
+                 struct-of-arrays engine (default 1 = looped).  Purely a \
+                 throughput knob: verdicts keep seed order and every \
+                 report is byte-identical to the looped run.")
+
 (* Validation shared by the campaign/profile commands: seed counts,
    explicit seeds and domain counts must be positive — a zero-seed
    campaign would trivially "pass" its gate, so it is rejected loudly
@@ -408,9 +416,10 @@ let make_cache cache_dir =
   Option.map (fun dir -> Serve.Cache.create ~dir ()) cache_dir
 
 let robustness_cmd =
-  let run seeds count csv no_shrink engine horizon domains out metrics
-      trace_out cache_dir =
+  let run seeds count csv no_shrink engine horizon domains instances out
+      metrics trace_out cache_dir =
     validate_positive "--domains" domains;
+    validate_positive "--instances" instances;
     let seeds = resolve_seeds seeds count in
     let cache = make_cache cache_dir in
     (* CI gate: any failing scenario makes the run exit non-zero *)
@@ -419,7 +428,7 @@ let robustness_cmd =
       let campaign, _ =
         with_observability ~metrics ~trace_out (fun () ->
             Serve.Catalog.robustness ?cache ~shrink:(not no_shrink) ~domains
-              ~seeds ())
+              ~instances ~seeds ())
       in
       emit out (Automode_robust.Report.to_csv campaign);
       if campaign.Automode_robust.Scenario.failures <> [] then exit 1
@@ -428,7 +437,8 @@ let robustness_cmd =
       let outcome, appendix =
         with_observability ~metrics ~trace_out (fun () ->
             Serve.Catalog.run ?cache ~shrink:(not no_shrink) ~domains
-              ~horizon ~kind:Serve.Job.Robustness ~engine ~seeds ())
+              ~instances ~horizon ~kind:Serve.Job.Robustness ~engine
+              ~seeds ())
       in
       emit out (append_appendix outcome.Serve.Catalog.report appendix);
       if not outcome.Serve.Catalog.gate_ok then exit 1
@@ -450,19 +460,21 @@ let robustness_cmd =
           (deterministic: the same seeds reproduce the same report)")
     Term.(const run $ seed_list_arg $ seed_count_arg $ csv_flag
           $ no_shrink_flag $ engine_flag $ horizon_arg $ domains_arg
-          $ out_arg $ metrics_arg $ trace_out_arg $ cache_dir_arg)
+          $ instances_arg $ out_arg $ metrics_arg $ trace_out_arg
+          $ cache_dir_arg)
 
 let guard_cmd =
-  let run seeds count no_shrink engine horizon domains out metrics trace_out
-      cache_dir =
+  let run seeds count no_shrink engine horizon domains instances out metrics
+      trace_out cache_dir =
     validate_positive "--domains" domains;
+    validate_positive "--instances" instances;
     let seeds = resolve_seeds seeds count in
     let cache = make_cache cache_dir in
     (* only the guarded side gates: the unguarded run is the contrast *)
     let outcome, appendix =
       with_observability ~metrics ~trace_out (fun () ->
-          Serve.Catalog.run ?cache ~shrink:(not no_shrink) ~domains ~horizon
-            ~kind:Serve.Job.Guard ~engine ~seeds ())
+          Serve.Catalog.run ?cache ~shrink:(not no_shrink) ~domains ~instances
+            ~horizon ~kind:Serve.Job.Guard ~engine ~seeds ())
     in
     emit out (append_appendix outcome.Serve.Catalog.report appendix);
     if not outcome.Serve.Catalog.gate_ok then exit 1
@@ -482,21 +494,22 @@ let guard_cmd =
           limp-home manager, E2E frames, scheduler watchdog); exits \
           non-zero if the guarded side fails")
     Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
-          $ engine_flag $ horizon_arg $ domains_arg $ out_arg $ metrics_arg
-          $ trace_out_arg $ cache_dir_arg)
+          $ engine_flag $ horizon_arg $ domains_arg $ instances_arg
+          $ out_arg $ metrics_arg $ trace_out_arg $ cache_dir_arg)
 
 let redund_cmd =
-  let run seeds count no_shrink horizon domains out metrics trace_out
-      cache_dir =
+  let run seeds count no_shrink horizon domains instances out metrics
+      trace_out cache_dir =
     validate_positive "--domains" domains;
+    validate_positive "--instances" instances;
     let seeds = resolve_seeds seeds count in
     let cache = make_cache cache_dir in
     (* the protected configurations gate; the simplex and single-channel
        legs are the contrast *)
     let outcome, appendix =
       with_observability ~metrics ~trace_out (fun () ->
-          Serve.Catalog.run ?cache ~shrink:(not no_shrink) ~domains ~horizon
-            ~kind:Serve.Job.Redund ~engine:false ~seeds ())
+          Serve.Catalog.run ?cache ~shrink:(not no_shrink) ~domains ~instances
+            ~horizon ~kind:Serve.Job.Redund ~engine:false ~seeds ())
     in
     emit out (append_appendix outcome.Serve.Catalog.report appendix);
     if not outcome.Serve.Catalog.gate_ok then exit 1
@@ -510,14 +523,15 @@ let redund_cmd =
           dual-channel TT bus); exits non-zero if a protected \
           configuration fails")
     Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
-          $ horizon_arg $ domains_arg $ out_arg $ metrics_arg
-          $ trace_out_arg $ cache_dir_arg)
+          $ horizon_arg $ domains_arg $ instances_arg $ out_arg
+          $ metrics_arg $ trace_out_arg $ cache_dir_arg)
 
 let proptest_cmd =
   let module B = Automode_proptest.Builder in
-  let run seeds count no_shrink iterations target domains out metrics
-      trace_out cache_dir =
+  let run seeds count no_shrink iterations target domains instances out
+      metrics trace_out cache_dir =
     validate_positive "--domains" domains;
+    validate_positive "--instances" instances;
     validate_positive "--iterations" iterations;
     let seeds = resolve_seeds seeds count in
     let shrink = not no_shrink in
@@ -529,8 +543,8 @@ let proptest_cmd =
       let cache = make_cache cache_dir in
       let outcome, appendix =
         with_observability ~metrics ~trace_out (fun () ->
-            Serve.Catalog.proptest ?cache ~shrink ~domains ~iterations
-              ~seeds ())
+            Serve.Catalog.proptest ?cache ~shrink ~domains ~instances
+              ~iterations ~seeds ())
       in
       emit out (append_appendix outcome.Serve.Catalog.report appendix);
       if not outcome.Serve.Catalog.gate_ok then exit 1
@@ -543,7 +557,9 @@ let proptest_cmd =
       in
       let campaign, appendix =
         with_observability ~metrics ~trace_out (fun () ->
-            B.run ~shrink ~domains (B.with_iterations iterations spec) ~seeds)
+            B.run ~shrink ~domains ~instances
+              (B.with_iterations iterations spec)
+              ~seeds)
       in
       emit out (append_appendix (B.to_text campaign) appendix);
       if not (B.gate campaign) then exit 1
@@ -579,8 +595,8 @@ let proptest_cmd =
           Reports are byte-identical across reruns, --domains fan-outs \
           and daemon-served execution")
     Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
-          $ iterations_arg $ target_arg $ domains_arg $ out_arg
-          $ metrics_arg $ trace_out_arg $ cache_dir_arg)
+          $ iterations_arg $ target_arg $ domains_arg $ instances_arg
+          $ out_arg $ metrics_arg $ trace_out_arg $ cache_dir_arg)
 
 let litmus_cmd =
   let module Synth = Automode_litmus.Synth in
@@ -597,11 +613,12 @@ let litmus_cmd =
         e;
       exit 1
   in
-  let run bound max_scenarios engine domains replay suite_out out metrics
-      trace_out cache_dir =
+  let run bound max_scenarios engine domains instances replay suite_out out
+      metrics trace_out cache_dir =
     validate_positive "--bound" bound;
     validate_positive "--max-scenarios" max_scenarios;
     validate_positive "--domains" domains;
+    validate_positive "--instances" instances;
     let engine = resolve_engine engine in
     match replay with
     | Some path ->
@@ -627,7 +644,7 @@ let litmus_cmd =
       let cache = make_cache cache_dir in
       let result, appendix =
         with_observability ~metrics ~trace_out (fun () ->
-            Serve.Catalog.litmus_result ?cache ~domains ~bound
+            Serve.Catalog.litmus_result ?cache ~domains ~instances ~bound
               ~max_scenarios ~engine ())
       in
       emit out (append_appendix (Synth.to_text result) appendix);
@@ -684,8 +701,8 @@ let litmus_cmd =
           violated.  --replay re-checks a pinned suite and exits \
           non-zero on any regression")
     Term.(const run $ bound_arg $ max_scenarios_arg $ engine_arg
-          $ domains_arg $ replay_arg $ suite_out_arg $ out_arg
-          $ metrics_arg $ trace_out_arg $ cache_dir_arg)
+          $ domains_arg $ instances_arg $ replay_arg $ suite_out_arg
+          $ out_arg $ metrics_arg $ trace_out_arg $ cache_dir_arg)
 
 let profile_cmd =
   (* Target registry: a name, a short description, and the action to run

@@ -36,8 +36,10 @@ val alphabet : Alphabet.t
 
 val synthesize :
   ?cache:Synth.cache -> ?config:Synth.config -> ?domains:int ->
-  ?engine:Builder.engine -> unit -> Synth.result
-(** {!Automode_litmus.Synth.run} over {!twin} and {!alphabet}. *)
+  ?instances:int -> ?engine:Builder.engine -> unit -> Synth.result
+(** {!Automode_litmus.Synth.run} over {!twin} and {!alphabet};
+    [?instances] batches uncached scenario evaluations through the
+    struct-of-arrays engine, byte-identically. *)
 
 val replay :
   ?domains:int -> ?model:string -> ?engine:Builder.engine ->

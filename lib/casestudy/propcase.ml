@@ -50,9 +50,9 @@ type comparison = {
   guarded : Builder.campaign;
 }
 
-let run ?shrink ?domains ?(iterations = 2) ~seeds () =
+let run ?shrink ?domains ?instances ?(iterations = 2) ~seeds () =
   let sweep spec =
-    Builder.run ?shrink ?domains
+    Builder.run ?shrink ?domains ?instances
       (Builder.with_iterations iterations spec)
       ~seeds
   in

@@ -102,6 +102,15 @@ val step :
 (** Evaluate one tick.  @raise Eval_error on unknown variables or
     library functions, and on run-time type errors. *)
 
+val apply_unop : unop -> Value.t -> Value.t
+(** The {!Value} operation behind a unary operator — exposed so staged
+    evaluators (the batched engine) share the exact interpreter
+    semantics.  @raise Value.Type_error as the underlying operation. *)
+
+val apply_binop : binop -> Value.t -> Value.t -> Value.t
+(** As {!apply_unop}, for binary operators.  @raise Value.Type_error
+    (and [Division_by_zero] for [Div]/[Mod] on a zero right operand). *)
+
 (** {1 Static checks} *)
 
 type tenv = string -> Dtype.t option

@@ -1026,3 +1026,1463 @@ let run_indexed ?(schedule = Clock.no_events) ~ticks ~inputs (ix : indexed) =
     end
   in
   go 0 trace
+
+(* ------------------------------------------------------------------ *)
+(* Batched simulation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Third lowering stage: one compiled net stepped across N instances at
+   once (a "fleet").  Per-tick values live in struct-of-arrays planes —
+   for every slot/register/port row, [instances] consecutive cells, one
+   per instance — so the driver loops iterate the instance axis
+   innermost over cache-sequential storage.  Atomic behaviors are
+   *staged*: every expression is translated once, at batch-compile
+   time, into a closure kernel that reads and writes a mutable scratch
+   register file ([benv]), so the per-instance step executes no AST
+   dispatch, no environment lookups and no allocation on the fast
+   (bool/int/float) paths.  Enum/tuple values and rarely-taken type
+   paths fall back to the exact {!Value} operations, and MTD behaviors
+   fall back to the per-instance interpreter — semantics are identical
+   to {!run_indexed} by construction and asserted per instance by the
+   test-suite and the E21 bench.
+
+   Value encoding: a plane stores a message as a tag byte plus three
+   payload lanes (native [int array] for bool/int — exact 63-bit ints —
+   a float64 Bigarray for floats, and a boxed [Value.t array] for
+   enums/tuples).  Cell [row * instances + i] belongs to instance [i]:
+   instances are columns, rows are slots. *)
+
+let tag_absent = 0
+let tag_bool = 1
+let tag_int = 2
+let tag_float = 3
+let tag_boxed = 4
+
+type bplanes = {
+  bp_tag : (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  bp_int : int array;
+  bp_flt : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  bp_box : Value.t array;
+}
+
+let bplanes_make ~stride rows =
+  let n = max 1 (rows * stride) in
+  let tag = Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout n in
+  Bigarray.Array1.fill tag tag_absent;
+  let flt = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill flt 0.;
+  { bp_tag = tag;
+    bp_int = Array.make n 0;
+    bp_flt = flt;
+    bp_box = Array.make n (Value.Bool false) }
+
+(* Mutable scratch register file threaded through every staged kernel.
+   The float payload lives in a one-element [floatarray] so that
+   writing it never allocates (a mutable float field in a mixed record
+   would box on every store). *)
+type benv = {
+  mutable b_inst : int;                (* current instance (absolute) *)
+  mutable b_tick : int;
+  mutable b_sched : Clock.schedule;    (* schedule of current instance *)
+  b_scheds : Clock.schedule array;
+  mutable b_tag : int;
+  mutable b_int : int;                 (* bool/int payload *)
+  b_flt : floatarray;                  (* float payload, length 1 *)
+  mutable b_box : Value.t;             (* enum/tuple payload *)
+}
+
+type bkern = benv -> unit
+
+let benv_make scheds =
+  { b_inst = 0;
+    b_tick = 0;
+    b_sched = Clock.no_events;
+    b_scheds = scheds;
+    b_tag = tag_absent;
+    b_int = 0;
+    b_flt = Float.Array.make 1 0.;
+    b_box = Value.Bool false }
+
+let[@inline] be_inst be i =
+  be.b_inst <- i;
+  be.b_sched <- Array.unsafe_get be.b_scheds i
+
+(* A resolved read target: a plane row, or statically absent. *)
+type brow = Brow of bplanes * int | Brow_absent
+
+let[@inline] bp_load p ofs be =
+  let i = ofs + be.b_inst in
+  let t = Bigarray.Array1.unsafe_get p.bp_tag i in
+  be.b_tag <- t;
+  if t = tag_boxed then be.b_box <- Array.unsafe_get p.bp_box i
+  else begin
+    be.b_int <- Array.unsafe_get p.bp_int i;
+    Float.Array.unsafe_set be.b_flt 0 (Bigarray.Array1.unsafe_get p.bp_flt i)
+  end
+
+let[@inline] bp_store p ofs be =
+  let i = ofs + be.b_inst in
+  let t = be.b_tag in
+  Bigarray.Array1.unsafe_set p.bp_tag i t;
+  if t = tag_boxed then Array.unsafe_set p.bp_box i be.b_box
+  else begin
+    Array.unsafe_set p.bp_int i be.b_int;
+    Bigarray.Array1.unsafe_set p.bp_flt i (Float.Array.unsafe_get be.b_flt 0)
+  end
+
+(* Shared [Present (Bool _)] messages keep trace decode allocation-free
+   for the most common payload. *)
+let msg_true = Value.Present (Value.Bool true)
+let msg_false = Value.Present (Value.Bool false)
+
+let value_parts (v : Value.t) =
+  match v with
+  | Value.Bool b -> (tag_bool, (if b then 1 else 0), 0., v)
+  | Value.Int i -> (tag_int, i, 0., v)
+  | Value.Float f -> (tag_float, 0, f, v)
+  | Value.Enum _ | Value.Tuple _ -> (tag_boxed, 0, 0., v)
+
+let value_of_parts tag i f box : Value.t =
+  if tag = tag_bool then Value.Bool (i <> 0)
+  else if tag = tag_int then Value.Int i
+  else if tag = tag_float then Value.Float f
+  else box
+
+let[@inline] scratch_set_parts be t i f b =
+  be.b_tag <- t;
+  be.b_int <- i;
+  Float.Array.unsafe_set be.b_flt 0 f;
+  if t = tag_boxed then be.b_box <- b
+
+let scratch_set_value be (v : Value.t) =
+  match v with
+  | Value.Bool b ->
+    be.b_tag <- tag_bool;
+    be.b_int <- (if b then 1 else 0)
+  | Value.Int i ->
+    be.b_tag <- tag_int;
+    be.b_int <- i
+  | Value.Float f ->
+    be.b_tag <- tag_float;
+    Float.Array.unsafe_set be.b_flt 0 f
+  | Value.Enum _ | Value.Tuple _ ->
+    be.b_tag <- tag_boxed;
+    be.b_box <- v
+
+let scratch_value be =
+  value_of_parts be.b_tag be.b_int (Float.Array.unsafe_get be.b_flt 0) be.b_box
+
+let scratch_message be =
+  if be.b_tag = tag_absent then Value.Absent
+  else Value.Present (scratch_value be)
+
+let bp_message p i : Value.message =
+  match Bigarray.Array1.unsafe_get p.bp_tag i with
+  | 0 -> Value.Absent
+  | 1 -> if Array.unsafe_get p.bp_int i <> 0 then msg_true else msg_false
+  | 2 -> Value.Present (Value.Int (Array.unsafe_get p.bp_int i))
+  | 3 -> Value.Present (Value.Float (Bigarray.Array1.unsafe_get p.bp_flt i))
+  | _ -> Value.Present (Array.unsafe_get p.bp_box i)
+
+let bp_set_value p i (v : Value.t) =
+  match v with
+  | Value.Bool b ->
+    Bigarray.Array1.unsafe_set p.bp_tag i tag_bool;
+    Array.unsafe_set p.bp_int i (if b then 1 else 0)
+  | Value.Int n ->
+    Bigarray.Array1.unsafe_set p.bp_tag i tag_int;
+    Array.unsafe_set p.bp_int i n
+  | Value.Float f ->
+    Bigarray.Array1.unsafe_set p.bp_tag i tag_float;
+    Bigarray.Array1.unsafe_set p.bp_flt i f
+  | Value.Enum _ | Value.Tuple _ ->
+    Bigarray.Array1.unsafe_set p.bp_tag i tag_boxed;
+    Array.unsafe_set p.bp_box i v
+
+let bp_set_message p i = function
+  | Value.Absent -> Bigarray.Array1.unsafe_set p.bp_tag i tag_absent
+  | Value.Present v -> bp_set_value p i v
+
+(* Row-wise operations over one instance range. *)
+let row_fill_absent p ofs lo hi =
+  for i = lo + ofs to hi - 1 + ofs do
+    Bigarray.Array1.unsafe_set p.bp_tag i tag_absent
+  done
+
+let row_copy sp sofs dp dofs lo hi =
+  for i = lo to hi - 1 do
+    let t = Bigarray.Array1.unsafe_get sp.bp_tag (sofs + i) in
+    Bigarray.Array1.unsafe_set dp.bp_tag (dofs + i) t;
+    if t = tag_boxed then
+      Array.unsafe_set dp.bp_box (dofs + i) (Array.unsafe_get sp.bp_box (sofs + i))
+    else begin
+      Array.unsafe_set dp.bp_int (dofs + i) (Array.unsafe_get sp.bp_int (sofs + i));
+      Bigarray.Array1.unsafe_set dp.bp_flt (dofs + i)
+        (Bigarray.Array1.unsafe_get sp.bp_flt (sofs + i))
+    end
+  done
+
+let elt_copy sp si dp di =
+  let t = Bigarray.Array1.unsafe_get sp.bp_tag si in
+  Bigarray.Array1.unsafe_set dp.bp_tag di t;
+  if t = tag_boxed then
+    Array.unsafe_set dp.bp_box di (Array.unsafe_get sp.bp_box si)
+  else begin
+    Array.unsafe_set dp.bp_int di (Array.unsafe_get sp.bp_int si);
+    Bigarray.Array1.unsafe_set dp.bp_flt di (Bigarray.Array1.unsafe_get sp.bp_flt si)
+  end
+
+(* ---------------- Expression staging ------------------------------ *)
+
+(* The slow paths decode scratch back to {!Value.t} and call the same
+   operations as the interpreter, so every error message and every
+   mixed-type corner (NaN equality via [Float.equal], comparisons
+   through [Value.to_float], native-int division by zero) is identical
+   to {!Expr.step}. *)
+
+let eval_err msg = raise (Expr.Eval_error msg)
+
+let slow_unop op ta ia fa ba be =
+  let v = value_of_parts ta ia fa ba in
+  match Expr.apply_unop op v with
+  | r -> scratch_set_value be r
+  | exception Value.Type_error msg -> eval_err msg
+
+let slow_binop op ta ia fa ba be =
+  let vb = scratch_value be in
+  let va = value_of_parts ta ia fa ba in
+  match Expr.apply_binop op va vb with
+  | r -> scratch_set_value be r
+  | exception Value.Type_error msg -> eval_err msg
+
+(* Left operand in (ta, ia, fa, ba), right operand in scratch, both
+   present.  Result goes to scratch. *)
+let binop_combine op ta ia fa ba be =
+  let tb = be.b_tag in
+  match op with
+  | Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Min | Expr.Max ->
+    if ta = tag_int && tb = tag_int then begin
+      let x = ia and y = be.b_int in
+      match op with
+      | Expr.Add -> be.b_int <- x + y
+      | Expr.Sub -> be.b_int <- x - y
+      | Expr.Mul -> be.b_int <- x * y
+      | Expr.Div -> be.b_int <- x / y (* raises Division_by_zero, as Value.div *)
+      | Expr.Min -> be.b_int <- (if x <= y then x else y)
+      | Expr.Max -> be.b_int <- (if x >= y then x else y)
+      | _ -> assert false
+    end
+    else if
+      (ta = tag_int || ta = tag_float) && (tb = tag_int || tb = tag_float)
+    then begin
+      let x = if ta = tag_int then float_of_int ia else fa in
+      let y =
+        if tb = tag_int then float_of_int be.b_int
+        else Float.Array.unsafe_get be.b_flt 0
+      in
+      let r =
+        match op with
+        | Expr.Add -> x +. y
+        | Expr.Sub -> x -. y
+        | Expr.Mul -> x *. y
+        | Expr.Div -> x /. y
+        | Expr.Min -> Float.min x y
+        | Expr.Max -> Float.max x y
+        | _ -> assert false
+      in
+      Float.Array.unsafe_set be.b_flt 0 r;
+      be.b_tag <- tag_float
+    end
+    else slow_binop op ta ia fa ba be
+  | Expr.Mod ->
+    if ta = tag_int && tb = tag_int then begin
+      let y = be.b_int in
+      if y = 0 then raise Division_by_zero;
+      be.b_int <- ia mod y
+    end
+    else slow_binop op ta ia fa ba be
+  | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge ->
+    if (ta = tag_int || ta = tag_float) && (tb = tag_int || tb = tag_float)
+    then begin
+      (* exact [Value.cmp] semantics: both sides through [to_float] *)
+      let x = if ta = tag_int then float_of_int ia else fa in
+      let y =
+        if tb = tag_int then float_of_int be.b_int
+        else Float.Array.unsafe_get be.b_flt 0
+      in
+      let r =
+        match op with
+        | Expr.Lt -> x < y
+        | Expr.Le -> x <= y
+        | Expr.Gt -> x > y
+        | Expr.Ge -> x >= y
+        | _ -> assert false
+      in
+      be.b_int <- (if r then 1 else 0);
+      be.b_tag <- tag_bool
+    end
+    else slow_binop op ta ia fa ba be
+  | Expr.Eq | Expr.Ne ->
+    let r =
+      if ta <> tb then false
+      else if ta = tag_float then
+        Float.equal fa (Float.Array.unsafe_get be.b_flt 0)
+      else if ta = tag_boxed then Value.equal ba be.b_box
+      else ia = be.b_int
+    in
+    let r = if op = Expr.Ne then not r else r in
+    be.b_int <- (if r then 1 else 0);
+    be.b_tag <- tag_bool
+  | Expr.And ->
+    if ta = tag_bool && ia = 0 then begin
+      (* short-circuit: [truth b] is never checked, as [( && )] *)
+      be.b_tag <- tag_bool;
+      be.b_int <- 0
+    end
+    else if ta = tag_bool && tb = tag_bool then () (* result is [b], in scratch *)
+    else slow_binop op ta ia fa ba be
+  | Expr.Or ->
+    if ta = tag_bool && ia <> 0 then begin
+      be.b_tag <- tag_bool;
+      be.b_int <- 1
+    end
+    else if ta = tag_bool && tb = tag_bool then ()
+    else slow_binop op ta ia fa ba be
+
+let truth_parts t i f b =
+  if t = tag_bool then i <> 0
+  else
+    match Value.truth (value_of_parts t i f b) with
+    | r -> r
+    | exception Value.Type_error msg -> eval_err msg
+
+(* Scratch-kernel staging, used for STD guards/outputs/updates where
+   control flow is per-instance anyway.  Expressions are evaluated with
+   the STD's stateless semantics: every evaluation runs against fresh
+   registers ([Std_machine.eval_to_value] builds a fresh
+   [Expr.init_state] per call).  Data-flow expression blocks use the
+   row-granular stager below instead. *)
+let rec stage_expr resolve (e : Expr.t) : bkern =
+  match e with
+  | Expr.Const v ->
+    let t, i, f, b = value_parts v in
+    fun be -> scratch_set_parts be t i f b
+  | Expr.Var name -> (
+    match resolve name with
+    | Brow_absent -> fun be -> be.b_tag <- tag_absent
+    | Brow (p, ofs) -> fun be -> bp_load p ofs be)
+  | Expr.Is_present name -> (
+    match resolve name with
+    | Brow_absent ->
+      fun be ->
+        be.b_tag <- tag_bool;
+        be.b_int <- 0
+    | Brow (p, ofs) ->
+      fun be ->
+        be.b_int <-
+          (if Bigarray.Array1.unsafe_get p.bp_tag (ofs + be.b_inst) = tag_absent
+           then 0
+           else 1);
+        be.b_tag <- tag_bool)
+  | Expr.Unop (op, a) ->
+    let ka = stage_expr resolve a in
+    fun be ->
+      ka be;
+      (match be.b_tag with
+       | 0 -> ()
+       | 2 when op = Expr.Neg -> be.b_int <- -be.b_int
+       | 3 when op = Expr.Neg ->
+         Float.Array.unsafe_set be.b_flt 0
+           (-.Float.Array.unsafe_get be.b_flt 0)
+       | 1 when op = Expr.Not -> be.b_int <- 1 - be.b_int
+       | 2 when op = Expr.Abs -> be.b_int <- Stdlib.abs be.b_int
+       | 3 when op = Expr.Abs ->
+         Float.Array.unsafe_set be.b_flt 0
+           (Float.abs (Float.Array.unsafe_get be.b_flt 0))
+       | t ->
+         slow_unop op t be.b_int
+           (Float.Array.unsafe_get be.b_flt 0)
+           be.b_box be)
+  | Expr.Binop (op, Expr.Const v, b) ->
+    (* constant left operand: no save/restore, no second kernel call *)
+    let tc, ic, fc, bc = value_parts v in
+    let kb = stage_expr resolve b in
+    fun be ->
+      kb be;
+      if be.b_tag <> tag_absent then binop_combine op tc ic fc bc be
+  | Expr.Binop (op, a, Expr.Const v) ->
+    let tc, ic, fc, bc = value_parts v in
+    let ka = stage_expr resolve a in
+    fun be ->
+      ka be;
+      if be.b_tag <> tag_absent then begin
+        let ta = be.b_tag and ia = be.b_int and ba = be.b_box in
+        let fa = Float.Array.unsafe_get be.b_flt 0 in
+        scratch_set_parts be tc ic fc bc;
+        binop_combine op ta ia fa ba be
+      end
+  | Expr.Binop (op, a, b) ->
+    let ka = stage_expr resolve a in
+    let kb = stage_expr resolve b in
+    fun be ->
+      ka be;
+      if be.b_tag = tag_absent then begin
+        (* the interpreter still evaluates [b] (register advancement) *)
+        kb be;
+        be.b_tag <- tag_absent
+      end
+      else begin
+        let ta = be.b_tag and ia = be.b_int and ba = be.b_box in
+        let fa = Float.Array.unsafe_get be.b_flt 0 in
+        kb be;
+        if be.b_tag <> tag_absent then binop_combine op ta ia fa ba be
+      end
+  | Expr.If (c, a, b) ->
+    let kc = stage_expr resolve c in
+    let ka = stage_expr resolve a in
+    let kb = stage_expr resolve b in
+    fun be ->
+      kc be;
+      let tc = be.b_tag and ic = be.b_int and bc = be.b_box in
+      let fc = Float.Array.unsafe_get be.b_flt 0 in
+      (* both branches always run, matching data-flow semantics *)
+      ka be;
+      let ta = be.b_tag and ia = be.b_int and ba = be.b_box in
+      let fa = Float.Array.unsafe_get be.b_flt 0 in
+      kb be;
+      if tc = tag_absent then be.b_tag <- tag_absent
+      else if truth_parts tc ic fc bc then scratch_set_parts be ta ia fa ba
+  | Expr.Pre (init, a) ->
+    let ti, ii, fi, bi = value_parts init in
+    let ka = stage_expr resolve a in
+    fun be ->
+      ka be;
+      if be.b_tag <> tag_absent then scratch_set_parts be ti ii fi bi
+  | Expr.Current (init, a) ->
+    let ti, ii, fi, bi = value_parts init in
+    let ka = stage_expr resolve a in
+    fun be ->
+      ka be;
+      if be.b_tag = tag_absent then scratch_set_parts be ti ii fi bi
+  | Expr.When (a, c) ->
+    let ka = stage_expr resolve a in
+    fun be ->
+      ka be;
+      if
+        be.b_tag <> tag_absent
+        && not (Clock.active ~schedule:be.b_sched c be.b_tick)
+      then be.b_tag <- tag_absent
+  | Expr.Call (name, args) ->
+    let ks = Array.of_list (List.map (stage_expr resolve) args) in
+    let n = Array.length ks in
+    fun be ->
+      let msgs = Array.make n Value.Absent in
+      for i = 0 to n - 1 do
+        (Array.unsafe_get ks i) be;
+        msgs.(i) <- scratch_message be
+      done;
+      let rec collect i acc =
+        if i < 0 then Some acc
+        else
+          match msgs.(i) with
+          | Value.Present v -> collect (i - 1) (v :: acc)
+          | Value.Absent -> None
+      in
+      (match collect (n - 1) [] with
+       | None -> be.b_tag <- tag_absent
+       | Some vals -> (
+         match Block_lib.eval name vals with
+         | r -> scratch_set_value be r
+         | exception Block_lib.Unknown_function fn ->
+           eval_err (Printf.sprintf "unknown library function %s" fn)
+         | exception (Block_lib.Arity_error msg | Value.Type_error msg) ->
+           eval_err msg))
+
+(* ---------------- Node staging ------------------------------------ *)
+
+(* A staged step over one contiguous instance range [lo, hi). *)
+type bstep = benv -> int -> int -> unit
+
+let reg_alloc ~stride ~resets init =
+  let p = bplanes_make ~stride 1 in
+  resets :=
+    (fun () ->
+      for i = 0 to stride - 1 do
+        bp_set_value p i init
+      done)
+    :: !resets;
+  (p, 0)
+
+(* First matching driver wins, as the indexed engine's linear scan. *)
+let resolve_of (drivers : (string * brow) array) name =
+  let n = Array.length drivers in
+  let rec find j =
+    if j >= n then Brow_absent
+    else
+      let p, row = Array.unsafe_get drivers j in
+      if String.equal p name then row else find (j + 1)
+  in
+  find 0
+
+(* ---------------- Row-granular staging (expression blocks) -------- *)
+
+(* Data-flow expression blocks have no per-instance control flow, so
+   every AST node can run as ONE loop over the whole instance range
+   (instance axis innermost, branch-light) instead of a per-instance
+   kernel call.  Each node's result lives in a one-row plane; [Var],
+   [Const] and [Current] results are aliases, so reads cost nothing.
+   This is what makes the batched engine an order of magnitude faster
+   than looping [run_indexed]: the per-node interpretive overhead
+   (closure dispatch, scratch traffic) is amortized over the range. *)
+
+let[@inline] tag_at p i = Bigarray.Array1.unsafe_get p.bp_tag i
+let[@inline] set_absent p i = Bigarray.Array1.unsafe_set p.bp_tag i tag_absent
+let[@inline] int_at p i = Array.unsafe_get p.bp_int i
+let[@inline] flt_at p i = Bigarray.Array1.unsafe_get p.bp_flt i
+
+let[@inline] set_ires p i n =
+  Bigarray.Array1.unsafe_set p.bp_tag i tag_int;
+  Array.unsafe_set p.bp_int i n
+
+let[@inline] set_fres p i f =
+  Bigarray.Array1.unsafe_set p.bp_tag i tag_float;
+  Bigarray.Array1.unsafe_set p.bp_flt i f
+
+let[@inline] set_bres p i b =
+  Bigarray.Array1.unsafe_set p.bp_tag i tag_bool;
+  Array.unsafe_set p.bp_int i (if b then 1 else 0)
+
+let elt_value p i =
+  value_of_parts (tag_at p i) (int_at p i) (flt_at p i)
+    (Array.unsafe_get p.bp_box i)
+
+let truth_elt p i =
+  if tag_at p i = tag_bool then int_at p i <> 0
+  else
+    match Value.truth (elt_value p i) with
+    | r -> r
+    | exception Value.Type_error msg -> eval_err msg
+
+(* Mixed/boxed operands: decode and run the interpreter's operation,
+   so every error message and corner case is identical. *)
+let binop_slow_elt op ap ai bp bi dp di =
+  let va = elt_value ap ai and vb = elt_value bp bi in
+  match Expr.apply_binop op va vb with
+  | r -> bp_set_value dp di r
+  | exception Value.Type_error msg -> eval_err msg
+
+let binop_row op (ap, aofs) (bp, bofs) (dp, dofs) : bstep =
+  fun _be lo hi ->
+    for i = lo to hi - 1 do
+      let ai = aofs + i and bi = bofs + i and di = dofs + i in
+      let ta = tag_at ap ai and tb = tag_at bp bi in
+      if ta = tag_absent || tb = tag_absent then set_absent dp di
+      else if ta = tag_float && tb = tag_float then begin
+        let x = flt_at ap ai and y = flt_at bp bi in
+        match op with
+        | Expr.Add -> set_fres dp di (x +. y)
+        | Expr.Sub -> set_fres dp di (x -. y)
+        | Expr.Mul -> set_fres dp di (x *. y)
+        | Expr.Div -> set_fres dp di (x /. y)
+        | Expr.Min -> set_fres dp di (Float.min x y)
+        | Expr.Max -> set_fres dp di (Float.max x y)
+        | Expr.Lt -> set_bres dp di (x < y)
+        | Expr.Le -> set_bres dp di (x <= y)
+        | Expr.Gt -> set_bres dp di (x > y)
+        | Expr.Ge -> set_bres dp di (x >= y)
+        | Expr.Eq -> set_bres dp di (Float.equal x y)
+        | Expr.Ne -> set_bres dp di (not (Float.equal x y))
+        | Expr.Mod | Expr.And | Expr.Or -> binop_slow_elt op ap ai bp bi dp di
+      end
+      else if ta = tag_int && tb = tag_int then begin
+        let x = int_at ap ai and y = int_at bp bi in
+        match op with
+        | Expr.Add -> set_ires dp di (x + y)
+        | Expr.Sub -> set_ires dp di (x - y)
+        | Expr.Mul -> set_ires dp di (x * y)
+        | Expr.Div -> set_ires dp di (x / y) (* Division_by_zero, as Value.div *)
+        | Expr.Mod ->
+          if y = 0 then raise Division_by_zero else set_ires dp di (x mod y)
+        | Expr.Min -> set_ires dp di (if x <= y then x else y)
+        | Expr.Max -> set_ires dp di (if x >= y then x else y)
+        (* exact [Value.cmp] semantics: both sides through [to_float] *)
+        | Expr.Lt -> set_bres dp di (float_of_int x < float_of_int y)
+        | Expr.Le -> set_bres dp di (float_of_int x <= float_of_int y)
+        | Expr.Gt -> set_bres dp di (float_of_int x > float_of_int y)
+        | Expr.Ge -> set_bres dp di (float_of_int x >= float_of_int y)
+        | Expr.Eq -> set_bres dp di (x = y)
+        | Expr.Ne -> set_bres dp di (x <> y)
+        | Expr.And | Expr.Or -> binop_slow_elt op ap ai bp bi dp di
+      end
+      else if ta = tag_bool && tb = tag_bool then begin
+        let x = int_at ap ai <> 0 and y = int_at bp bi <> 0 in
+        match op with
+        | Expr.And -> set_bres dp di (x && y)
+        | Expr.Or -> set_bres dp di (x || y)
+        | Expr.Eq -> set_bres dp di (x = y)
+        | Expr.Ne -> set_bres dp di (x <> y)
+        | _ -> binop_slow_elt op ap ai bp bi dp di
+      end
+      else binop_slow_elt op ap ai bp bi dp di
+    done
+
+let unop_row op (sp, sofs) (dp, dofs) : bstep =
+  fun _be lo hi ->
+    for i = lo to hi - 1 do
+      let si = sofs + i and di = dofs + i in
+      match tag_at sp si with
+      | 0 -> set_absent dp di
+      | 2 when op = Expr.Neg -> set_ires dp di (-int_at sp si)
+      | 3 when op = Expr.Neg -> set_fres dp di (-.flt_at sp si)
+      | 1 when op = Expr.Not -> set_bres dp di (int_at sp si = 0)
+      | 2 when op = Expr.Abs -> set_ires dp di (Stdlib.abs (int_at sp si))
+      | 3 when op = Expr.Abs -> set_fres dp di (Float.abs (flt_at sp si))
+      | _ ->
+        (match Expr.apply_unop op (elt_value sp si) with
+         | r -> bp_set_value dp di r
+         | exception Value.Type_error msg -> eval_err msg)
+    done
+
+let is_present_row (sp, sofs) (dp, dofs) : bstep =
+  fun _be lo hi ->
+    for i = lo to hi - 1 do
+      set_bres dp (dofs + i) (tag_at sp (sofs + i) <> tag_absent)
+    done
+
+(* Both branches are already computed (data-flow semantics); the select
+   only checks the condition's truth, as the interpreter. *)
+let if_row (cp, cofs) ra rb (dp, dofs) : bstep =
+  fun _be lo hi ->
+    for i = lo to hi - 1 do
+      let ci = cofs + i and di = dofs + i in
+      if tag_at cp ci = tag_absent then set_absent dp di
+      else
+        match (if truth_elt cp ci then ra else rb) with
+        | Brow_absent -> set_absent dp di
+        | Brow (sp, sofs) -> elt_copy sp (sofs + i) dp di
+    done
+
+(* Register rows always hold a value (never absent): initialized from
+   the declared init and only ever overwritten with present values. *)
+let pre_row (sp, sofs) (rp, rofs) (dp, dofs) : bstep =
+  fun _be lo hi ->
+    for i = lo to hi - 1 do
+      let si = sofs + i and di = dofs + i in
+      if tag_at sp si = tag_absent then set_absent dp di
+      else begin
+        let ri = rofs + i in
+        elt_copy rp ri dp di;
+        elt_copy sp si rp ri
+      end
+    done
+
+(* [Current]'s result row IS its register row: hold the last present
+   value, so only present source elements are copied in. *)
+let current_row (sp, sofs) (rp, rofs) : bstep =
+  fun _be lo hi ->
+    for i = lo to hi - 1 do
+      let si = sofs + i in
+      if tag_at sp si <> tag_absent then elt_copy sp si rp (rofs + i)
+    done
+
+let when_row c (sp, sofs) (dp, dofs) : bstep =
+  fun be lo hi ->
+    for i = lo to hi - 1 do
+      let si = sofs + i and di = dofs + i in
+      if
+        tag_at sp si <> tag_absent
+        && Clock.active ~schedule:(Array.unsafe_get be.b_scheds i) c be.b_tick
+      then elt_copy sp si dp di
+      else set_absent dp di
+    done
+
+let call_row name (args : (bplanes * int) array) (dp, dofs) : bstep =
+  let n = Array.length args in
+  fun _be lo hi ->
+    for i = lo to hi - 1 do
+      let di = dofs + i in
+      let rec collect j acc =
+        if j < 0 then Some acc
+        else
+          let p, ofs = Array.unsafe_get args j in
+          if tag_at p (ofs + i) = tag_absent then None
+          else collect (j - 1) (elt_value p (ofs + i) :: acc)
+      in
+      match collect (n - 1) [] with
+      | None -> set_absent dp di
+      | Some vals -> (
+        match Block_lib.eval name vals with
+        | r -> bp_set_value dp di r
+        | exception Block_lib.Unknown_function fn ->
+          eval_err (Printf.sprintf "unknown library function %s" fn)
+        | exception (Block_lib.Arity_error msg | Value.Type_error msg) ->
+          eval_err msg)
+    done
+
+let stage_exprs ~stride ~resets ~resolve ~(outs : (string * Expr.t) list)
+    ~(sinks : (string * (bplanes * int)) list) : bstep =
+  let temp () = (bplanes_make ~stride 1, 0) in
+  let const_row v =
+    let (p, _) as row = temp () in
+    for i = 0 to stride - 1 do
+      bp_set_value p i v
+    done;
+    row
+  in
+  let ops = ref [] in
+  let add op = ops := op :: !ops in
+  (* Emits the node's operation(s) and returns the row holding its
+     result.  Producing nodes write into [dst] when given (so an
+     output's top node writes the sink slot row directly); statically
+     absent subtrees return [Brow_absent] while their registers still
+     advance, as the interpreter's strict evaluation. *)
+  let rec emit ?dst (e : Expr.t) : brow =
+    let out () = match dst with Some row -> row | None -> temp () in
+    match e with
+    | Expr.Const v ->
+      let p, ofs = const_row v in
+      Brow (p, ofs)
+    | Expr.Var name -> resolve name
+    | Expr.Is_present name -> (
+      match resolve name with
+      | Brow_absent ->
+        let p, ofs = const_row (Value.Bool false) in
+        Brow (p, ofs)
+      | Brow (sp, sofs) ->
+        let (dp, dofs) as d = out () in
+        add (is_present_row (sp, sofs) d);
+        Brow (dp, dofs))
+    | Expr.Unop (op, a) -> (
+      match emit a with
+      | Brow_absent -> Brow_absent
+      | Brow (ap, aofs) ->
+        let (dp, dofs) as d = out () in
+        add (unop_row op (ap, aofs) d);
+        Brow (dp, dofs))
+    | Expr.Binop (op, a, b) -> (
+      let ra = emit a in
+      let rb = emit b in
+      match (ra, rb) with
+      | Brow_absent, _ | _, Brow_absent -> Brow_absent
+      | Brow (ap, aofs), Brow (bp, bofs) ->
+        let (dp, dofs) as d = out () in
+        add (binop_row op (ap, aofs) (bp, bofs) d);
+        Brow (dp, dofs))
+    | Expr.If (c, a, b) -> (
+      let rc = emit c in
+      let ra = emit a in
+      let rb = emit b in
+      match rc with
+      | Brow_absent -> Brow_absent
+      | Brow (cp, cofs) ->
+        let (dp, dofs) as d = out () in
+        add (if_row (cp, cofs) ra rb d);
+        Brow (dp, dofs))
+    | Expr.Pre (init, a) -> (
+      match emit a with
+      | Brow_absent -> Brow_absent (* register never advances *)
+      | Brow (ap, aofs) ->
+        let r = reg_alloc ~stride ~resets init in
+        let (dp, dofs) as d = out () in
+        add (pre_row (ap, aofs) r d);
+        Brow (dp, dofs))
+    | Expr.Current (init, a) -> (
+      let ((rp, rofs) as r) = reg_alloc ~stride ~resets init in
+      match emit a with
+      | Brow_absent -> Brow (rp, rofs) (* holds [init] forever *)
+      | Brow (ap, aofs) ->
+        add (current_row (ap, aofs) r);
+        Brow (rp, rofs))
+    | Expr.When (a, c) -> (
+      match emit a with
+      | Brow_absent -> Brow_absent
+      | Brow (ap, aofs) -> (
+        match c with
+        | Clock.Base -> Brow (ap, aofs) (* the base clock is always active *)
+        | _ ->
+          let (dp, dofs) as d = out () in
+          add (when_row c (ap, aofs) d);
+          Brow (dp, dofs)))
+    | Expr.Call (name, args) ->
+      let rows = List.map (fun a -> emit a) args in
+      if List.exists (function Brow_absent -> true | _ -> false) rows then
+        Brow_absent (* any absent argument: result is absent *)
+      else
+        let rows =
+          Array.of_list
+            (List.map
+               (function Brow (p, o) -> (p, o) | Brow_absent -> assert false)
+               rows)
+        in
+        let (dp, dofs) as d = out () in
+        add (call_row name rows d);
+        Brow (dp, dofs)
+  in
+  let seen = Hashtbl.create 8 in
+  let staged =
+    List.map
+      (fun (port, e) ->
+        (* first occurrence wins for duplicate ports, as [List.assoc_opt];
+           undeclared and duplicate ports are still evaluated, as the
+           interpreter (registers advance), their result discarded *)
+        let sink =
+          if Hashtbl.mem seen port then None
+          else begin
+            Hashtbl.add seen port ();
+            List.assoc_opt port sinks
+          end
+        in
+        ops := [];
+        let row =
+          match sink with Some d -> emit ~dst:d e | None -> emit e
+        in
+        let port_ops = Array.of_list (List.rev !ops) in
+        let finish : bstep option =
+          match sink with
+          | None -> None
+          | Some (sp, sofs) -> (
+            match row with
+            | Brow (p, o) when p == sp && o = sofs -> None
+            | Brow (p, o) -> Some (fun _be lo hi -> row_copy p o sp sofs lo hi)
+            | Brow_absent ->
+              Some (fun _be lo hi -> row_fill_absent sp sofs lo hi))
+        in
+        (port, port_ops, finish))
+      outs
+  in
+  let staged = Array.of_list staged in
+  let leftover =
+    List.filter_map
+      (fun (port, row) -> if Hashtbl.mem seen port then None else Some row)
+      sinks
+  in
+  fun be lo hi ->
+    Array.iter
+      (fun (port, port_ops, finish) ->
+        try
+          Array.iter (fun op -> op be lo hi) port_ops;
+          match finish with Some f -> f be lo hi | None -> ()
+        with Expr.Eval_error msg -> sim_error "output %s: %s" port msg)
+      staged;
+    List.iter (fun (p, ofs) -> row_fill_absent p ofs lo hi) leftover
+
+(* Staged STD transition: everything name-resolved and sorted at
+   compile time; the per-instance step only walks int-indexed arrays. *)
+type bt_sout = {
+  so_port : string;
+  so_kern : bkern;
+  so_sink : (bplanes * int) option;
+}
+
+type bt_supd =
+  | Su_undeclared of string
+  | Su_eval of string * bkern * int (* name, kernel, scratch row offset *)
+
+type bt_trans = {
+  tr_src : string;
+  tr_dst_name : string;
+  tr_dst : int;
+  tr_guard : bkern;
+  tr_probe : string option; (* "std.<name>.<src>-><dst>" when src <> dst *)
+  tr_outs : bt_sout array;
+  tr_absent : (bplanes * int) list; (* sinks this transition leaves absent *)
+  tr_updates : bt_supd array;
+  tr_apply : (int * int) array; (* (var row offset, scratch row offset) *)
+}
+
+let stage_std ~stride ~resets ~resolve
+    ~(sinks : (string * (bplanes * int)) list) (std : Model.std) : bstep =
+  let state_idx name =
+    let rec go i = function
+      | [] -> sim_error "STD %s: unknown state %s" std.Model.std_name name
+      | s :: rest -> if String.equal s name then i else go (i + 1) rest
+    in
+    go 0 std.Model.std_states
+  in
+  let vars = Array.of_list std.Model.std_vars in
+  let nvars = Array.length vars in
+  let var_planes = bplanes_make ~stride nvars in
+  let var_row name =
+    let r = ref (-1) in
+    Array.iteri
+      (fun i (n, _) -> if !r < 0 && String.equal n name then r := i)
+      vars;
+    !r
+  in
+  (* state variables shadow input ports, as [extend_env] *)
+  let resolve_v name =
+    let vr = var_row name in
+    if vr >= 0 then Brow (var_planes, vr * stride) else resolve name
+  in
+  let max_upd =
+    List.fold_left
+      (fun m (t : Model.std_transition) -> max m (List.length t.st_updates))
+      0 std.Model.std_transitions
+  in
+  let upd_planes = bplanes_make ~stride max_upd in
+  let stage_trans (t : Model.std_transition) =
+    let seen = Hashtbl.create 8 in
+    let souts =
+      List.map
+        (fun (port, e) ->
+          let sink =
+            if Hashtbl.mem seen port then None
+            else begin
+              Hashtbl.add seen port ();
+              List.assoc_opt port sinks
+            end
+          in
+          { so_port = port; so_kern = stage_expr resolve_v e; so_sink = sink })
+        t.st_outputs
+    in
+    let absent =
+      List.filter_map
+        (fun (port, row) -> if Hashtbl.mem seen port then None else Some row)
+        sinks
+    in
+    let upd_names = Array.of_list (List.map fst t.st_updates) in
+    let updates =
+      List.mapi
+        (fun j (name, e) ->
+          if var_row name < 0 then Su_undeclared name
+          else Su_eval (name, stage_expr resolve_v e, j * stride))
+        t.st_updates
+    in
+    let apply = ref [] in
+    Array.iteri
+      (fun v (name, _) ->
+        let j = ref (-1) in
+        Array.iteri
+          (fun k un -> if !j < 0 && String.equal un name then j := k)
+          upd_names;
+        if !j >= 0 then apply := (v * stride, !j * stride) :: !apply)
+      vars;
+    { tr_src = t.st_src;
+      tr_dst_name = t.st_dst;
+      tr_dst = state_idx t.st_dst;
+      tr_guard = stage_expr resolve_v t.st_guard;
+      tr_probe =
+        (if String.equal t.st_src t.st_dst then None
+         else
+           Some
+             ("std." ^ std.Model.std_name ^ "." ^ t.st_src ^ "->" ^ t.st_dst));
+      tr_outs = Array.of_list souts;
+      tr_absent = absent;
+      tr_updates = Array.of_list updates;
+      tr_apply = Array.of_list (List.rev !apply) }
+  in
+  (* per-state candidates: same filter + [List.sort] as the interpreter,
+     so evaluation order (hence error order) is identical *)
+  let by_state =
+    Array.of_list
+      (List.map
+         (fun s ->
+           let candidates =
+             List.filter
+               (fun (t : Model.std_transition) -> String.equal t.st_src s)
+               std.Model.std_transitions
+           in
+           let sorted =
+             List.sort
+               (fun (a : Model.std_transition) b ->
+                 Int.compare a.st_priority b.st_priority)
+               candidates
+           in
+           Array.of_list (List.map stage_trans sorted))
+         std.Model.std_states)
+  in
+  let init_state = state_idx std.Model.std_initial in
+  let state_col = Array.make stride init_state in
+  resets :=
+    (fun () ->
+      Array.fill state_col 0 stride init_state;
+      Array.iteri
+        (fun v (_, init) ->
+          for i = 0 to stride - 1 do
+            bp_set_value var_planes ((v * stride) + i) init
+          done)
+        vars)
+    :: !resets;
+  let all_sinks = List.map snd sinks in
+  let name = std.Model.std_name in
+  fun be lo hi ->
+    let probing = Probe.active () in
+    for i = lo to hi - 1 do
+      be_inst be i;
+      let trans = Array.unsafe_get by_state (Array.unsafe_get state_col i) in
+      let nt = Array.length trans in
+      let fired = ref (-1) in
+      let j = ref 0 in
+      while !fired < 0 && !j < nt do
+        let t = Array.unsafe_get trans !j in
+        let enabled =
+          match t.tr_guard be with
+          | () ->
+            if be.b_tag = tag_absent then false
+            else if be.b_tag = tag_bool then be.b_int <> 0
+            else (
+              match Value.truth (scratch_value be) with
+              | r -> r
+              | exception Value.Type_error msg ->
+                sim_error "STD %s: guard: %s" name msg)
+          | exception Expr.Eval_error msg ->
+            sim_error "STD %s: guard of %s->%s: %s" name t.tr_src
+              t.tr_dst_name msg
+        in
+        if enabled then fired := !j else incr j
+      done;
+      if !fired < 0 then
+        (* stutter: all outputs absent, state unchanged *)
+        List.iter
+          (fun (p, ofs) ->
+            Bigarray.Array1.unsafe_set p.bp_tag (ofs + i) tag_absent)
+          all_sinks
+      else begin
+        let t = Array.unsafe_get trans !fired in
+        (match t.tr_probe with
+         | Some key when probing -> Probe.count key
+         | Some _ | None -> ());
+        Array.iter
+          (fun so ->
+            (match so.so_kern be with
+             | () -> ()
+             | exception Expr.Eval_error msg ->
+               sim_error "STD %s: output %s: %s" name so.so_port msg);
+            if be.b_tag = tag_absent then
+              sim_error "STD %s: output %s evaluated to an absent message"
+                name so.so_port;
+            match so.so_sink with
+            | Some (p, ofs) -> bp_store p ofs be
+            | None -> ())
+          t.tr_outs;
+        List.iter
+          (fun (p, ofs) ->
+            Bigarray.Array1.unsafe_set p.bp_tag (ofs + i) tag_absent)
+          t.tr_absent;
+        Array.iter
+          (function
+            | Su_undeclared uname ->
+              sim_error "STD %s: assignment to undeclared variable %s" name
+                uname
+            | Su_eval (uname, k, row) ->
+              (match k be with
+               | () -> ()
+               | exception Expr.Eval_error msg ->
+                 sim_error "STD %s: update %s: %s" name uname msg);
+              if be.b_tag = tag_absent then
+                sim_error "STD %s: update %s evaluated to an absent message"
+                  name uname;
+              bp_store upd_planes row be)
+          t.tr_updates;
+        Array.iter
+          (fun (vrow, urow) ->
+            elt_copy upd_planes (urow + i) var_planes (vrow + i))
+          t.tr_apply;
+        Array.unsafe_set state_col i t.tr_dst
+      end
+    done
+
+(* Per-instance interpreter fallback (MTDs: mode history + strong
+   preemption are cheap to keep exact this way; identical semantics and
+   probes by construction). *)
+let stage_interp ~stride ~resets ~(drivers : (string * brow) array)
+    ~(sinks : (string * (bplanes * int)) list) ~ports behavior : bstep =
+  let states = Array.init stride (fun _ -> init_behavior ~ports behavior) in
+  resets :=
+    (fun () ->
+      for i = 0 to stride - 1 do
+        states.(i) <- init_behavior ~ports behavior
+      done)
+    :: !resets;
+  let ndrv = Array.length drivers in
+  let sinks = Array.of_list sinks in
+  fun be lo hi ->
+    for i = lo to hi - 1 do
+      be_inst be i;
+      let inputs port =
+        let rec find j =
+          if j >= ndrv then Value.Absent
+          else
+            let p, row = Array.unsafe_get drivers j in
+            if String.equal p port then
+              match row with
+              | Brow_absent -> Value.Absent
+              | Brow (pl, ofs) -> bp_message pl (ofs + i)
+            else find (j + 1)
+        in
+        find 0
+      in
+      let outs, st' =
+        step_behavior ~schedule:be.b_sched ~tick:be.b_tick ~ports ~inputs
+          behavior states.(i)
+      in
+      states.(i) <- st';
+      Array.iter
+        (fun (port, (p, ofs)) ->
+          bp_set_message p (ofs + i) (lookup_outputs outs port))
+        sinks
+    done
+
+let stage_atomic ~stride ~resets ~drivers ~resolve ~sinks ~ports behavior :
+    bstep =
+  match behavior with
+  | Model.B_exprs outs ->
+    stage_exprs ~stride ~resets ~resolve ~outs ~sinks
+  | Model.B_std std -> stage_std ~stride ~resets ~resolve ~sinks std
+  | Model.B_unspecified ->
+    let rows = List.map snd sinks in
+    fun _be lo hi ->
+      List.iter (fun (p, ofs) -> row_fill_absent p ofs lo hi) rows
+  | Model.B_mtd _ -> stage_interp ~stride ~resets ~drivers ~sinks ~ports behavior
+  | Model.B_dfd _ | Model.B_ssd _ ->
+    sim_error "batch: network behavior in atomic position"
+
+let rec stage_net ~stride ~resets ~(boundary : string -> brow) (n : ix_net) :
+    bstep * bplanes =
+  let nslots = n.xn_nslots in
+  let slots = bplanes_make ~stride nslots in
+  let nchans = Array.length n.xn_chans in
+  let buffers = bplanes_make ~stride nchans in
+  let nbounds = Array.length n.xn_bounds in
+  let bout = bplanes_make ~stride nbounds in
+  resets :=
+    (fun () ->
+      for r = 0 to nslots - 1 do
+        row_fill_absent slots (r * stride) 0 stride
+      done;
+      for c = 0 to nchans - 1 do
+        let init = n.xn_buf_init.(c) in
+        for i = 0 to stride - 1 do
+          bp_set_message buffers ((c * stride) + i) init
+        done
+      done;
+      for r = 0 to nbounds - 1 do
+        row_fill_absent bout (r * stride) 0 stride
+      done)
+    :: !resets;
+  let brow_of = function
+    | Rd_boundary port -> boundary port
+    | Rd_slot i -> Brow (slots, i * stride)
+    | Rd_buffer i -> Brow (buffers, i * stride)
+  in
+  let stage_sub (sub : ix_sub) : bstep =
+    let drivers = Array.map (fun (p, rd) -> (p, brow_of rd)) sub.xs_drivers in
+    let resolve = resolve_of drivers in
+    let inner =
+      match sub.xs_node with
+      | Ix_atomic { xa_ports; xa_behavior } ->
+        let sinks =
+          match sub.xs_outs with
+          | Xo_atomic pairs ->
+            Array.to_list
+              (Array.map (fun (port, slot) -> (port, (slots, slot * stride))) pairs)
+          | Xo_net _ -> sim_error "batch: atomic sub with network outputs"
+        in
+        stage_atomic ~stride ~resets ~drivers ~resolve ~sinks ~ports:xa_ports
+          xa_behavior
+      | Ix_net child ->
+        let child_step, child_bout =
+          stage_net ~stride ~resets ~boundary:resolve child
+        in
+        let pairs =
+          match sub.xs_outs with
+          | Xo_net pairs -> pairs
+          | Xo_atomic _ -> sim_error "batch: network sub with atomic outputs"
+        in
+        fun be lo hi ->
+          child_step be lo hi;
+          Array.iter
+            (fun (bi, slot) ->
+              if bi < 0 then row_fill_absent slots (slot * stride) lo hi
+              else row_copy child_bout (bi * stride) slots (slot * stride) lo hi)
+            pairs
+    in
+    let fire = sub.xs_fire in
+    let sub_name = sub.xs_name in
+    fun be lo hi ->
+      if Probe.active () then begin
+        (* one fire per instance, keeping counter totals identical to a
+           looped sweep; spans wrap the whole batched sub-step *)
+        for _ = lo to hi - 1 do
+          Probe.hit fire
+        done;
+        if Probe.spans_on () then Probe.enter ~tick:be.b_tick sub_name
+      end;
+      inner be lo hi;
+      if Probe.spans_on () then Probe.exit_ ~tick:be.b_tick sub_name
+  in
+  let sub_steps = Array.map stage_sub n.xn_subs in
+  let bound_srcs = Array.map (fun (b : ix_bound) -> brow_of b.xb_read) n.xn_bounds in
+  (* A delay buffer only needs its per-tick refresh if some read in this
+     net actually targets it (instantaneous channels leave their buffer
+     unread); probe counters still fire for every channel. *)
+  let buf_needed = Array.make (max 1 nchans) false in
+  let mark_read = function
+    | Rd_buffer i -> buf_needed.(i) <- true
+    | Rd_boundary _ | Rd_slot _ -> ()
+  in
+  Array.iter
+    (fun (s : ix_sub) -> Array.iter (fun (_, rd) -> mark_read rd) s.xs_drivers)
+    n.xn_subs;
+  Array.iter (fun (b : ix_bound) -> mark_read b.xb_read) n.xn_bounds;
+  let chan_srcs =
+    Array.map
+      (fun (ch : ix_chan) ->
+        (brow_of ch.xc_src, ch.xc_buf, buf_needed.(ch.xc_buf), ch.xc_present,
+         ch.xc_absent))
+      n.xn_chans
+  in
+  let step be lo hi =
+    (* 1. sweep sub-components in evaluation order *)
+    Array.iter (fun f -> f be lo hi) sub_steps;
+    (* 2. boundary outputs, against the old registers *)
+    Array.iteri
+      (fun i src ->
+        match src with
+        | Brow_absent -> row_fill_absent bout (i * stride) lo hi
+        | Brow (p, ofs) -> row_copy p ofs bout (i * stride) lo hi)
+      bound_srcs;
+    (* 3. refresh delay registers *)
+    let probing = Probe.active () in
+    Array.iter
+      (fun (src, buf, needed, present, absent) ->
+        let dofs = buf * stride in
+        match src with
+        | Brow_absent ->
+          if probing then
+            for _ = lo to hi - 1 do
+              Probe.hit absent
+            done;
+          if needed then row_fill_absent buffers dofs lo hi
+        | Brow (p, sofs) ->
+          if probing then
+            for i = lo to hi - 1 do
+              Probe.hit
+                (if Bigarray.Array1.unsafe_get p.bp_tag (sofs + i) = tag_absent
+                 then absent
+                 else present)
+            done;
+          if needed then row_copy p sofs buffers dofs lo hi)
+      chan_srcs
+  in
+  (step, bout)
+
+(* ---------------- Batch compile and drive ------------------------- *)
+
+type batch = {
+  bb_ix : indexed;
+  bb_instances : int;
+  bb_in_names : string list; (* declared input ports, trace order *)
+  bb_nflows : int;
+  bb_in_rows : int array; (* per declared input port, its row in bb_ins *)
+  bb_in_tbl : (string, int) Hashtbl.t; (* + undeclared boundary reads *)
+  bb_nin_rows : int;
+  bb_ins : bplanes;
+  bb_out_rows : brow array; (* per declared output port *)
+  bb_step : bstep;
+  bb_reset : unit -> unit;
+  mutable bb_count : int;
+  mutable bb_ticks : int;
+  mutable bb_trace : bplanes;
+}
+
+(* Input names an atomic root behavior may read through its environment
+   (state variables may shadow some — extra rows are harmless). *)
+let rec behavior_inputs (b : Model.behavior) =
+  match b with
+  | Model.B_exprs outs -> List.concat_map (fun (_, e) -> Expr.free_vars e) outs
+  | Model.B_std std ->
+    List.concat_map
+      (fun (t : Model.std_transition) ->
+        Expr.free_vars t.st_guard
+        @ List.concat_map (fun (_, e) -> Expr.free_vars e) t.st_outputs
+        @ List.concat_map (fun (_, e) -> Expr.free_vars e) t.st_updates)
+      std.Model.std_transitions
+  | Model.B_mtd mtd ->
+    List.concat_map
+      (fun (t : Model.mtd_transition) -> Expr.free_vars t.mt_guard)
+      mtd.Model.mtd_transitions
+    @ List.concat_map
+        (fun (m : Model.mode) -> behavior_inputs m.mode_behavior)
+        mtd.Model.mtd_modes
+  | Model.B_dfd _ | Model.B_ssd _ | Model.B_unspecified -> []
+
+let batch ~instances (ix : indexed) : batch =
+  if instances <= 0 then
+    sim_error "batch: instances must be positive (got %d)" instances;
+  let stride = instances in
+  let resets = ref [] in
+  let tbl = Hashtbl.create 16 in
+  let add name =
+    if not (Hashtbl.mem tbl name) then Hashtbl.add tbl name (Hashtbl.length tbl)
+  in
+  List.iter add ix.ix_in_ports;
+  (match ix.ix_root with
+   | Ix_net n ->
+     let add_read = function Rd_boundary p -> add p | Rd_slot _ | Rd_buffer _ -> () in
+     Array.iter
+       (fun (s : ix_sub) -> Array.iter (fun (_, rd) -> add_read rd) s.xs_drivers)
+       n.xn_subs;
+     Array.iter (fun (c : ix_chan) -> add_read c.xc_src) n.xn_chans;
+     Array.iter (fun (b : ix_bound) -> add_read b.xb_read) n.xn_bounds
+   | Ix_atomic a -> List.iter add (behavior_inputs a.xa_behavior));
+  let nin_rows = Hashtbl.length tbl in
+  let ins = bplanes_make ~stride nin_rows in
+  let boundary name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> Brow (ins, r * stride)
+    | None -> Brow_absent
+  in
+  let step, out_rows =
+    match ix.ix_root with
+    | Ix_net n ->
+      let step, bout = stage_net ~stride ~resets ~boundary n in
+      let bounds =
+        match ix.ix_out_bounds with
+        | Some b -> b
+        | None -> sim_error "batch: network root without boundary indices"
+      in
+      ( step,
+        Array.map
+          (fun bi -> if bi < 0 then Brow_absent else Brow (bout, bi * stride))
+          bounds )
+    | Ix_atomic a ->
+      let out_planes = bplanes_make ~stride (List.length ix.ix_out_ports) in
+      let sinks =
+        List.mapi (fun i port -> (port, (out_planes, i * stride))) ix.ix_out_ports
+      in
+      let drivers =
+        Array.of_list
+          (Hashtbl.fold (fun name r acc -> (name, Brow (ins, r * stride)) :: acc) tbl [])
+      in
+      let step =
+        stage_atomic ~stride ~resets ~drivers ~resolve:boundary ~sinks
+          ~ports:a.xa_ports a.xa_behavior
+      in
+      (step, Array.of_list (List.map (fun (_, row) -> Brow (fst row, snd row)) sinks))
+  in
+  let rs = !resets in
+  let reset () = List.iter (fun f -> f ()) rs in
+  reset ();
+  { bb_ix = ix;
+    bb_instances = instances;
+    bb_in_names = ix.ix_in_ports;
+    bb_nflows = List.length ix.ix_in_ports + List.length ix.ix_out_ports;
+    bb_in_rows =
+      Array.of_list (List.map (fun p -> Hashtbl.find tbl p) ix.ix_in_ports);
+    bb_in_tbl = tbl;
+    bb_nin_rows = nin_rows;
+    bb_ins = ins;
+    bb_out_rows = out_rows;
+    bb_step = step;
+    bb_reset = reset;
+    bb_count = 0;
+    bb_ticks = 0;
+    bb_trace = bplanes_make ~stride 0 }
+
+let batch_instances b = b.bb_instances
+let batch_count b = b.bb_count
+
+let run_batch ?schedules ?map ?(shards = 1) ?count ~ticks ~inputs (b : batch)
+    =
+  let count = match count with Some c -> c | None -> b.bb_instances in
+  if count <= 0 || count > b.bb_instances then
+    sim_error "run_batch: count %d out of range (batch holds %d instances)"
+      count b.bb_instances;
+  if ticks < 0 then sim_error "run_batch: negative ticks (%d)" ticks;
+  let shards = max 1 (min shards count) in
+  b.bb_reset ();
+  let infns : input_fn array = Array.init count inputs in
+  let scheds =
+    match schedules with
+    | None -> Array.make count Clock.no_events
+    | Some f -> Array.init count f
+  in
+  let stride = b.bb_instances in
+  let nflows = b.bb_nflows in
+  let trace = bplanes_make ~stride (nflows * ticks) in
+  b.bb_trace <- trace;
+  b.bb_count <- count;
+  b.bb_ticks <- ticks;
+  let nin_rows = b.bb_nin_rows in
+  let ntrace_in = Array.length b.bb_in_rows in
+  let run_range lo hi () =
+    let be = benv_make scheds in
+    (* first-offered-wins per port and tick, as [List.assoc_opt] *)
+    let stamp = Array.make (max 1 nin_rows) (-1) in
+    let gen = ref 0 in
+    for tick = 0 to ticks - 1 do
+      be.b_tick <- tick;
+      if Probe.active () then
+        for _ = lo to hi - 1 do
+          Probe.hit sim_ticks
+        done;
+      for r = 0 to nin_rows - 1 do
+        row_fill_absent b.bb_ins (r * stride) lo hi
+      done;
+      for i = lo to hi - 1 do
+        incr gen;
+        let g = !gen in
+        let offered = (Array.unsafe_get infns i) tick in
+        List.iter
+          (fun (port, msg) ->
+            match Hashtbl.find_opt b.bb_in_tbl port with
+            | None -> () (* port read by nothing: ignored, as the looped run *)
+            | Some r ->
+              if stamp.(r) <> g then begin
+                stamp.(r) <- g;
+                bp_set_message b.bb_ins ((r * stride) + i) msg
+              end)
+          offered
+      done;
+      b.bb_step be lo hi;
+      let base = tick * nflows in
+      Array.iteri
+        (fun f r ->
+          row_copy b.bb_ins (r * stride) trace ((base + f) * stride) lo hi)
+        b.bb_in_rows;
+      Array.iteri
+        (fun k src ->
+          let f = ntrace_in + k in
+          match src with
+          | Brow_absent -> row_fill_absent trace ((base + f) * stride) lo hi
+          | Brow (p, ofs) -> row_copy p ofs trace ((base + f) * stride) lo hi)
+        b.bb_out_rows
+    done
+  in
+  let thunks =
+    if shards = 1 then [ run_range 0 count ]
+    else begin
+      let per = count / shards and rem = count mod shards in
+      let rec build i lo acc =
+        if i >= shards then List.rev acc
+        else
+          let size = per + if i < rem then 1 else 0 in
+          build (i + 1) (lo + size) (run_range lo (lo + size) :: acc)
+      in
+      build 0 0 []
+    end
+  in
+  match map with
+  | None -> List.iter (fun f -> f ()) thunks
+  | Some m -> m thunks
+
+let batch_trace (b : batch) ~instance =
+  if instance < 0 || instance >= b.bb_count then
+    sim_error "batch_trace: instance %d out of range (last run had %d)"
+      instance b.bb_count;
+  let flows = b.bb_in_names @ b.bb_ix.ix_out_ports in
+  let stride = b.bb_instances in
+  let nflows = b.bb_nflows in
+  let trace = ref (Trace.make ~flows) in
+  for tick = 0 to b.bb_ticks - 1 do
+    let base = tick * nflows in
+    let row =
+      List.mapi
+        (fun f name ->
+          (name, bp_message b.bb_trace (((base + f) * stride) + instance)))
+        flows
+    in
+    trace := Trace.record_ordered !trace row
+  done;
+  !trace

@@ -117,3 +117,88 @@ val run_indexed :
   Trace.t
 (** Like {!run}, over an indexed component (one fresh {!indexed_init}
     per call). *)
+
+(** {1 Batched simulation}
+
+    A third lowering stage on top of {!index}: one compiled net stepped
+    across [instances] independent instances at once (a "fleet"), each
+    with its own stimulus, clock schedule and (through the stimulus)
+    fault seed.
+
+    {b Memory layout.}  All per-tick values live in struct-of-arrays
+    planes: for every slot, delay register, boundary port and [Pre] /
+    [Current] register there is one {e row} of [instances] consecutive
+    cells (tag byte + int / float64-Bigarray / boxed payload lanes), and
+    cell [row * instances + i] belongs to instance [i].  The driver
+    loops iterate the instance axis innermost, so the hot loop walks
+    cache-sequential storage; bools, ints and floats never allocate.
+
+    {b Staging.}  Expression blocks are translated once, at
+    {!batch}-compile time, into {e row operations}: every AST node
+    becomes one branch-light loop over the whole instance range, with
+    intermediate results in one-row planes and [Var] / [Const] /
+    [Current] results mere row aliases — the interpretive overhead is
+    amortized over the range instead of being paid per instance.  STD
+    transitions stage into per-instance scratch kernels (their control
+    flow diverges per instance); MTD behaviors fall back to the
+    per-instance interpreter.  Slow paths (enum/tuple payloads, mixed
+    types, errors) decode back to the same {!Value} operations as the
+    interpreter, so traces, error messages and probe counter totals are
+    identical to {!run_indexed} — asserted per instance by the
+    test-suite and pinned by bench section E21.
+
+    {b Instance-axis invariants.}  Instances never interact: each owns
+    disjoint plane columns, so any contiguous instance range can be
+    stepped by a different domain ([shards] ranges executed by [map]).
+    Per instance, ticks run strictly in order (stimuli built by
+    [Robust.Fault.apply] rely on it).
+
+    {b Determinism contract.}  [run_batch] over instances
+    [0..count-1] with stimulus [inputs i] and schedule [schedules i]
+    yields, for every [i], a {!batch_trace} byte-identical to
+    [run_indexed ~schedule:(schedules i) ~ticks ~inputs:(inputs i)] —
+    independent of [shards], of the [map] executor, and of how
+    instances are packed into batches.  If a step raises (e.g.
+    [Sim_error] on an evaluation failure), the whole run aborts; which
+    instance's error surfaces is unspecified when several fail. *)
+
+type batch
+(** A batch-compiled component: staged kernels plus the mutable planes
+    holding the state of [instances] instances.  Unlike {!indexed}, a
+    [batch] value owns run-time state — use one batch per concurrent
+    run (the instance axis inside it may still be sharded across
+    domains). *)
+
+val batch : instances:int -> indexed -> batch
+(** Compile for a fixed instance capacity.  @raise Sim_error when
+    [instances <= 0]. *)
+
+val batch_instances : batch -> int
+(** The compiled instance capacity. *)
+
+val batch_count : batch -> int
+(** Instances simulated by the most recent {!run_batch} (0 before the
+    first run). *)
+
+val run_batch :
+  ?schedules:(int -> Clock.schedule) ->
+  ?map:((unit -> unit) list -> unit) ->
+  ?shards:int ->
+  ?count:int ->
+  ticks:int -> inputs:(int -> input_fn) -> batch -> unit
+(** Step instances [0..count-1] (default: the full capacity) for
+    [ticks] ticks, resetting all state first — a batch is reusable
+    across runs.  [inputs i] / [schedules i] give instance [i]'s
+    stimulus and clock schedule (default: no events).  The instance
+    axis is split into [shards] contiguous ranges (default 1), one
+    thunk each, executed by [map] (default: sequential [List.iter]);
+    pass a domain pool's map to run shards in parallel — results are
+    deterministic either way.  Traces are recorded into planes and
+    materialized lazily by {!batch_trace}.
+    @raise Sim_error when [count] exceeds the compiled capacity. *)
+
+val batch_trace : batch -> instance:int -> Trace.t
+(** The trace instance [instance] produced in the most recent
+    {!run_batch} — byte-identical to the {!run_indexed} trace under the
+    same stimulus and schedule.  @raise Sim_error when [instance] is
+    outside the last run. *)

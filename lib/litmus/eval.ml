@@ -65,15 +65,8 @@ let failures_of verdicts =
       | Monitor.Fail { at_tick; reason } -> Some (m, at_tick, reason))
     verdicts
 
-let evaluate_ops twin ~nominal ~canon ops =
+let evaluate_traces twin ~nominal ~canon ~faulty_unguarded ~faulty_guarded =
   let horizon = Builder.ticks twin.unguarded in
-  let faulty_unguarded =
-    Builder.trace_ops twin.unguarded ~seed:0 ~ops ~ticks:horizon
-  in
-  let faulty_guarded =
-    Builder.trace_ops twin.guarded ~seed:0 ~ops
-      ~ticks:(Builder.ticks twin.guarded)
-  in
   let unguarded_failures =
     failures_of (Builder.eval_monitors twin.unguarded faulty_unguarded)
   in
@@ -119,6 +112,17 @@ let evaluate_ops twin ~nominal ~canon ops =
     List.sort_uniq String.compare (base_tags @ infos)
   in
   { canon; hash; unguarded_failures; guarded_failures; tags; violations }
+
+let evaluate_ops twin ~nominal ~canon ops =
+  let faulty_unguarded =
+    Builder.trace_ops twin.unguarded ~seed:0 ~ops
+      ~ticks:(Builder.ticks twin.unguarded)
+  in
+  let faulty_guarded =
+    Builder.trace_ops twin.guarded ~seed:0 ~ops
+      ~ticks:(Builder.ticks twin.guarded)
+  in
+  evaluate_traces twin ~nominal ~canon ~faulty_unguarded ~faulty_guarded
 
 let evaluate twin ~nominal scenario =
   evaluate_ops twin ~nominal

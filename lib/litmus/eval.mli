@@ -58,6 +58,16 @@ val evaluate_ops :
 (** {!evaluate} over an explicit operation list (minimality probes and
     suite replay), labelled with the caller's canonical form. *)
 
+val evaluate_traces :
+  twin -> nominal:nominal -> canon:string ->
+  faulty_unguarded:Trace.t -> faulty_guarded:Trace.t -> classification
+(** The classifier half of {!evaluate_ops}: judge a pre-computed pair
+    of faulty traces (one per twin, as produced by
+    {!Automode_proptest.Builder.trace_cases} under batched synthesis).
+    [evaluate_ops twin ~nominal ~canon ops] is exactly this applied to
+    the two seed-0 traces of [ops], so batched and looped synthesis
+    classify identically. *)
+
 val encode : classification -> string
 (** Canonical byte encoding of everything {e except} [canon] — equal
     hashes must encode identically even across different scenarios,

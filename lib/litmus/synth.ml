@@ -67,11 +67,13 @@ let proper_subset_canons atoms =
         (subsets 0 k))
     (List.init (max 0 (n - 1)) (fun i -> i + 1))
 
-let run ?cache ?(config = default_config) ?(domains = 1) ~twin ~alphabet () =
+let run ?cache ?(config = default_config) ?(domains = 1) ?(instances = 1)
+    ~twin ~alphabet () =
   if config.bound < 1 then invalid_arg "Synth.run: bound must be >= 1";
   if config.max_scenarios < 1 then
     invalid_arg "Synth.run: max_scenarios must be >= 1";
   if domains < 1 then invalid_arg "Synth.run: domains must be >= 1";
+  if instances < 1 then invalid_arg "Synth.run: instances must be >= 1";
   Builder.prepare twin.Eval.unguarded;
   Builder.prepare twin.Eval.guarded;
   let nominal = Eval.nominal twin in
@@ -79,15 +81,14 @@ let run ?cache ?(config = default_config) ?(domains = 1) ~twin ~alphabet () =
   let space = Space.enumerate ~alphabet ~bound:config.bound in
   let enumerated = List.length space in
   let scenarios, capped = Space.cap config.max_scenarios space in
-  let eval_one scenario =
+  let key_of c canon =
+    c.cache_prefix ^ Stdlib.Digest.to_hex (Stdlib.Digest.string canon)
+  in
+  let lookup scenario =
     let canon = Space.canonical scenario in
     match cache with
-    | None -> (scenario, Eval.evaluate twin ~nominal scenario, false)
+    | None -> (scenario, canon, None)
     | Some c ->
-      let key =
-        c.cache_prefix
-        ^ Stdlib.Digest.to_hex (Stdlib.Digest.string canon)
-      in
       let decode payload =
         match String.index_opt payload '\n' with
         | Some i when String.sub payload 0 i = "canon " ^ canon ->
@@ -95,15 +96,68 @@ let run ?cache ?(config = default_config) ?(domains = 1) ~twin ~alphabet () =
             (String.sub payload (i + 1) (String.length payload - i - 1))
         | _ -> None
       in
-      (match Option.bind (c.cache_find key) decode with
-       | Some cls -> (scenario, cls, true)
-       | None ->
-         let cls = Eval.evaluate twin ~nominal scenario in
-         c.cache_store key ("canon " ^ canon ^ "\n" ^ Eval.encode cls);
-         (scenario, cls, false))
+      (scenario, canon, Option.bind (c.cache_find (key_of c canon)) decode)
+  in
+  let store canon cls =
+    match cache with
+    | None -> ()
+    | Some c ->
+      c.cache_store (key_of c canon) ("canon " ^ canon ^ "\n" ^ Eval.encode cls)
+  in
+  let eval_one scenario =
+    match lookup scenario with
+    | scenario, _, Some cls -> (scenario, cls, true)
+    | scenario, canon, None ->
+      let cls = Eval.evaluate twin ~nominal scenario in
+      store canon cls;
+      (scenario, cls, false)
+  in
+  let eval_batched () =
+    (* probe the cache serially, batch the misses' faulty traces — one
+       instance column per (scenario, twin side) — and splice the fresh
+       classifications back in enumeration order *)
+    let probed = List.map lookup scenarios in
+    let missing =
+      List.filter_map
+        (fun (s, canon, hit) -> if hit = None then Some (s, canon) else None)
+        probed
+    in
+    let fresh =
+      if missing = [] then []
+      else
+        let opss = Array.of_list (List.map (fun (s, _) -> Space.ops s) missing) in
+        let faulty_u =
+          Builder.trace_cases ~domains ~instances twin.Eval.unguarded ~seed:0
+            ~ticks:horizon opss
+        in
+        let faulty_g =
+          Builder.trace_cases ~domains ~instances twin.Eval.guarded ~seed:0
+            ~ticks:(Builder.ticks twin.Eval.guarded) opss
+        in
+        List.mapi
+          (fun i (s, canon) ->
+            let cls =
+              Eval.evaluate_traces twin ~nominal ~canon
+                ~faulty_unguarded:faulty_u.(i) ~faulty_guarded:faulty_g.(i)
+            in
+            store canon cls;
+            (s, cls))
+          missing
+    in
+    let rest = ref fresh in
+    List.map
+      (fun (s, _, hit) ->
+        match (hit, !rest) with
+        | Some cls, _ -> (s, cls, true)
+        | None, (_, cls) :: tl ->
+          rest := tl;
+          (s, cls, false)
+        | None, [] -> assert false)
+      probed
   in
   let evaluated =
-    if domains > 1 then Parallel.map ~domains eval_one scenarios
+    if instances > 1 then eval_batched ()
+    else if domains > 1 then Parallel.map ~domains eval_one scenarios
     else List.map eval_one scenarios
   in
   let cache_hits =

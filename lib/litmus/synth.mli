@@ -73,10 +73,16 @@ type result = {
 }
 
 val run :
-  ?cache:cache -> ?config:config -> ?domains:int ->
+  ?cache:cache -> ?config:config -> ?domains:int -> ?instances:int ->
   twin:Eval.twin -> alphabet:Alphabet.t -> unit -> result
-(** Synthesize.  @raise Invalid_argument on a non-positive bound,
-    cap or domain count. *)
+(** Synthesize.  With [?instances] > 1 the cache-missing scenarios'
+    faulty traces run through the struct-of-arrays batched engine
+    ({!Automode_proptest.Builder.trace_cases}, one instance column per
+    scenario and twin side) and are classified with
+    {!Eval.evaluate_traces} in enumeration order — the result, the
+    report and the cache contents are byte-identical to the looped
+    evaluation.  @raise Invalid_argument on a non-positive bound, cap,
+    domain or instance count. *)
 
 val gate : result -> bool
 (** The CI gate: at least one minimal distinguishing scenario found

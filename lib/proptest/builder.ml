@@ -23,11 +23,13 @@ type t = {
   events : (string * string) list;  (* (event clock, flow), newest first *)
   base_schedule : Fault.t list -> Clock.schedule;
   engine : engine;
+  ixc : Sim.indexed Lazy.t;   (* shared by the Indexed runner and the
+                                 batched ([?instances]) path *)
   runner : runner Lazy.t;
   iters : int;
 }
 
-let make_runner engine comp =
+let make_runner engine comp ixc =
   match engine with
   | Interpreted ->
     lazy
@@ -39,12 +41,13 @@ let make_runner engine comp =
          Sim.run_compiled ~schedule ~ticks ~inputs compiled)
   | Indexed ->
     lazy
-      (let indexed = Sim.index comp in
+      (let indexed = Lazy.force ixc in
        fun ~schedule ~ticks ~inputs ->
          Sim.run_indexed ~schedule ~ticks ~inputs indexed)
 
 let spec ~name ~component ~ticks ?(inputs = Sim.no_inputs) () =
   if ticks < 0 then invalid_arg "Builder.spec: negative horizon";
+  let ixc = lazy (Sim.index component) in
   { spec_name = name;
     comp = component;
     spec_ticks = ticks;
@@ -58,7 +61,8 @@ let spec ~name ~component ~ticks ?(inputs = Sim.no_inputs) () =
     events = [];
     base_schedule = (fun _ -> Clock.no_events);
     engine = Indexed;
-    runner = make_runner Indexed component;
+    ixc;
+    runner = make_runner Indexed component ixc;
     iters = 1 }
 
 let with_ops ?(min_ops = 1) ?(max_ops = 8) gens t =
@@ -79,7 +83,7 @@ let with_event ~event ~flow t = { t with events = (event, flow) :: t.events }
 let with_schedule base_schedule t = { t with base_schedule }
 
 let with_engine engine t =
-  { t with engine; runner = make_runner engine t.comp }
+  { t with engine; runner = make_runner engine t.comp t.ixc }
 
 let with_iterations iters t =
   if iters < 1 then invalid_arg "Builder.with_iterations: non-positive count";
@@ -129,6 +133,22 @@ let run_ops t ~seed ~ops ~ticks =
 
 let trace_ops t ~seed ~ops ~ticks =
   trace_of t ~faults:(faults_of t ~seed ~ops) ~ticks
+
+(* Batched traces over many op lists of one spec: the struct-of-arrays
+   engine when [instances > 1] and the spec runs the Indexed engine, a
+   plain [trace_ops] loop otherwise.  Trace i belongs to opss.(i); both
+   paths are byte-identical. *)
+let trace_cases ?(domains = 1) ?(instances = 1) t ~seed ~ticks opss =
+  if instances > 1 && t.engine = Indexed then
+    let cases =
+      Array.map
+        (fun ops ->
+          let faults = faults_of t ~seed ~ops in
+          (Fault.apply faults t.inputs, schedule_of t faults))
+        opss
+    in
+    Fleet.traces ~domains ~instances ~ix:(Lazy.force t.ixc) ~ticks cases
+  else Array.map (fun ops -> trace_ops t ~seed ~ops ~ticks) opss
 
 let eval_monitors t tr = verdicts_of t tr
 
@@ -293,12 +313,52 @@ let case_failures ?(shrink = true) t case =
             shrunk })
     case.verdicts
 
-let run ?(shrink = true) ?(domains = 1) t ~seeds =
-  prepare t;
-  let cases_of_seed seed =
-    List.init t.iters (fun i -> run_case t ~seed ~iteration:(i + 1))
+(* Batched case execution: expand every (seed, iteration) case's op
+   sequence up front, step all stimuli through the batched engine, then
+   evaluate observers and monitors in case order.  Only meaningful for
+   the Indexed engine — the other engines exist to be compared against
+   and stay looped. *)
+let run_cases_batched ~domains ~instances t ~seeds =
+  let specs =
+    Array.of_list
+      (List.concat_map
+         (fun seed -> List.init t.iters (fun i -> (seed, i + 1)))
+         seeds)
   in
-  let cases = List.concat (Parallel.map ~domains cases_of_seed seeds) in
+  let opss =
+    Array.map (fun (seed, iteration) -> expand t ~seed ~iteration) specs
+  in
+  let faultss =
+    Array.mapi (fun i ops -> faults_of t ~seed:(fst specs.(i)) ~ops) opss
+  in
+  let cases =
+    Array.map
+      (fun faults -> (Fault.apply faults t.inputs, schedule_of t faults))
+      faultss
+  in
+  let traces =
+    Fleet.traces ~domains ~instances ~ix:(Lazy.force t.ixc)
+      ~ticks:t.spec_ticks cases
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i tr ->
+         List.iter (fun obs -> obs tr) t.observers;
+         let seed, iteration = specs.(i) in
+         { seed; iteration; ops = opss.(i); verdicts = verdicts_of t tr })
+       traces)
+
+let run ?(shrink = true) ?(domains = 1) ?(instances = 1) t ~seeds =
+  prepare t;
+  let cases =
+    if instances > 1 && t.engine = Indexed then
+      run_cases_batched ~domains ~instances t ~seeds
+    else
+      let cases_of_seed seed =
+        List.init t.iters (fun i -> run_case t ~seed ~iteration:(i + 1))
+      in
+      List.concat (Parallel.map ~domains cases_of_seed seeds)
+  in
   let failures = List.concat_map (case_failures ~shrink t) cases in
   { spec_name = t.spec_name;
     horizon = t.spec_ticks;

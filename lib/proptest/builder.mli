@@ -123,6 +123,17 @@ val trace_ops : t -> seed:int -> ops:Op.t list -> ticks:int -> Trace.t
     {!run_ops} without the monitor pass, for callers that canonicalize
     or diff traces themselves (e.g. litmus-scenario deduplication). *)
 
+val trace_cases :
+  ?domains:int -> ?instances:int -> t -> seed:int -> ticks:int ->
+  Op.t list array -> Trace.t array
+(** {!trace_ops} over many operation lists at once: trace [i] belongs
+    to element [i] of the input.  With [?instances] > 1 and the
+    {!Indexed} engine the lists run through the struct-of-arrays
+    batched engine ({!Automode_robust.Fleet.traces}, sharded over
+    [?domains]); otherwise they loop through {!trace_ops}.  Both paths
+    yield byte-identical traces — this is the litmus synthesis
+    fan-out primitive. *)
+
 val eval_monitors : t -> Trace.t -> (string * Monitor.verdict) list
 (** Judge an already-recorded trace against every attached monitor, in
     declaration order — the oracle half of {!run_ops}. *)
@@ -178,12 +189,17 @@ val case_failures : ?shrink:bool -> t -> case -> failure list
     minimal operation subsequence, fault subset and horizon prefix
     unless [~shrink:false]. *)
 
-val run : ?shrink:bool -> ?domains:int -> t -> seeds:int list -> campaign
+val run :
+  ?shrink:bool -> ?domains:int -> ?instances:int -> t -> seeds:int list ->
+  campaign
 (** The full sweep: [iterations] cases per seed, fanned out over
     [?domains] (default 1) per-seed via
     {!Automode_robust.Parallel.map} and merged back in seed order;
-    shrinking always runs serially after the sweep.  The resulting
-    campaign is identical to a serial run. *)
+    shrinking always runs serially after the sweep.  [?instances]
+    (default 1) batches the cases through the struct-of-arrays engine
+    ({!Automode_robust.Fleet.traces}) when the spec runs the [Indexed]
+    engine — observers then fire in case order, and the campaign is
+    byte-identical to the looped run either way. *)
 
 val gate : campaign -> bool
 (** [true] iff the campaign has no failures — the CI exit-code gate. *)

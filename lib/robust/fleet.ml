@@ -1,0 +1,32 @@
+open Automode_core
+
+let traces ?(domains = 1) ?(instances = 1) ~ix ~ticks
+    (cases : (Sim.input_fn * Clock.schedule) array) : Trace.t array =
+  let n = Array.length cases in
+  if instances <= 1 || n <= 1 then
+    Array.map
+      (fun (inputs, schedule) -> Sim.run_indexed ~schedule ~ticks ~inputs ix)
+      cases
+  else begin
+    let width = min instances n in
+    let b = Sim.batch ~instances:width ix in
+    let out = Array.make n None in
+    let pos = ref 0 in
+    while !pos < n do
+      let lo = !pos in
+      let count = min width (n - lo) in
+      Sim.run_batch ~count ~ticks
+        ~inputs:(fun i -> fst cases.(lo + i))
+        ~schedules:(fun i -> snd cases.(lo + i))
+        ~shards:domains
+        ~map:(fun thunks ->
+          ignore (Parallel.map ~domains (fun f -> f ()) thunks))
+        b;
+      (* materialize before the next chunk overwrites the planes *)
+      for i = 0 to count - 1 do
+        out.(lo + i) <- Some (Sim.batch_trace b ~instance:i)
+      done;
+      pos := lo + count
+    done;
+    Array.map (function Some t -> t | None -> assert false) out
+  end

@@ -1,0 +1,28 @@
+(** Fleet execution: many (stimulus, schedule) cases of one compiled
+    component, run through the batched engine ({!Sim.batch}).
+
+    This is the campaign-side driver of the struct-of-arrays engine:
+    callers hand over the per-case stimuli (typically seeds already
+    expanded through [Fault.apply]) and get back one trace per case,
+    in case order, byte-identical to looping {!Sim.run_indexed} — so
+    every report computed from the traces is byte-identical too. *)
+
+open Automode_core
+
+val traces :
+  ?domains:int ->
+  ?instances:int ->
+  ix:Sim.indexed ->
+  ticks:int ->
+  (Sim.input_fn * Clock.schedule) array ->
+  Trace.t array
+(** [traces ~domains ~instances ~ix ~ticks cases] simulates every case
+    for [ticks] ticks and returns the traces in case order.
+
+    [instances] (default 1) caps the batch width: with [instances <= 1]
+    each case runs through {!Sim.run_indexed} (today's looped path);
+    otherwise one {!Sim.batch} of width [min instances (length cases)]
+    is compiled and reused across sequential chunks of cases.
+    [domains] (default 1) shards each batch's instance axis over a
+    {!Parallel.map} domain pool.  Both knobs are pure throughput knobs:
+    the traces are identical for every combination. *)

@@ -79,10 +79,34 @@ let seed_failures ?(shrink = true) s r =
         Some { fail_seed = r.seed; fail_monitor = mon; verdict = v; shrunk })
     r.verdicts
 
-let sweep ?(shrink = true) ?(domains = 1) s ~seeds =
+let run_seeds ?(domains = 1) ?(instances = 1) s ~seeds =
   (* Force the index compilation before fanning out, so domains share
      the immutable compiled form instead of racing on the lazy. *)
   prepare s;
-  let results = Parallel.map ~domains (fun seed -> run_seed s ~seed) seeds in
+  if instances <= 1 then
+    Parallel.map ~domains (fun seed -> run_seed s ~seed) seeds
+  else begin
+    let seeds = Array.of_list seeds in
+    let injected = Array.map s.faults_of_seed seeds in
+    let cases =
+      Array.map
+        (fun faults -> (Fault.apply faults s.inputs, s.schedule faults))
+        injected
+    in
+    let traces =
+      Fleet.traces ~domains ~instances ~ix:(Lazy.force s.indexed)
+        ~ticks:s.ticks cases
+    in
+    Array.to_list
+      (Array.mapi
+         (fun i tr ->
+           { seed = seeds.(i);
+             injected = injected.(i);
+             verdicts = verdicts_of_trace s tr })
+         traces)
+  end
+
+let sweep ?(shrink = true) ?(domains = 1) ?(instances = 1) s ~seeds =
+  let results = run_seeds ~domains ~instances s ~seeds in
   let failures = List.concat_map (seed_failures ~shrink s) results in
   { scenario = s.scn_name; horizon = s.ticks; seeds; results; failures }

@@ -84,12 +84,27 @@ val seed_failures : ?shrink:bool -> t -> seed_result -> failure list
     shrunk to a minimal fault subset unless [~shrink:false] — the
     per-seed slice of a campaign's [failures] list, in verdict order. *)
 
-val sweep : ?shrink:bool -> ?domains:int -> t -> seeds:int list -> campaign
+val run_seeds :
+  ?domains:int -> ?instances:int -> t -> seeds:int list -> seed_result list
+(** {!run_seed} over a seed list, results in seed order.  [?instances]
+    (default 1) routes the per-seed simulations through the batched
+    engine ({!Fleet.traces}): with [instances > 1] all seeds' stimuli
+    are expanded first and stepped in lockstep batches of that width.
+    [?domains] (default 1) fans out either path over a {!Parallel.map}
+    domain pool (per-seed for the looped path, instance-axis shards for
+    the batched one).  Results are byte-identical for every
+    (domains, instances) combination. *)
+
+val sweep :
+  ?shrink:bool -> ?domains:int -> ?instances:int -> t -> seeds:int list ->
+  campaign
 (** Run the scenario once per seed and collect verdicts; each failing
     (seed, monitor) pair is shrunk to a minimal fault subset and
     shortest failing prefix (disable with [~shrink:false] for cheap
     smoke runs).  [?domains] (default 1) fans the per-seed simulations
-    out over an OCaml 5 domain pool via {!Parallel.map}; verdicts are
-    merged back in seed order, so the resulting campaign — and any
-    report rendered from it — is identical to a serial sweep.
-    Shrinking always runs serially after the sweep. *)
+    out over an OCaml 5 domain pool via {!Parallel.map}; [?instances]
+    (default 1) batches them through the struct-of-arrays engine (see
+    {!run_seeds}).  Verdicts are merged back in seed order, so the
+    resulting campaign — and any report rendered from it — is identical
+    to a serial sweep.  Shrinking always runs serially after the
+    sweep. *)

@@ -168,9 +168,9 @@ let seed_key ~scenario_digest scn ~shrink seed =
     (Digest.faults (Scenario.faults scn ~seed))
     shrink Digest.engine_rev
 
-let sweep ?cache ?(shrink = true) ?(domains = 1) scn ~seeds =
+let sweep ?cache ?(shrink = true) ?(domains = 1) ?(instances = 1) scn ~seeds =
   match cache with
-  | None -> Scenario.sweep ~shrink ~domains scn ~seeds
+  | None -> Scenario.sweep ~shrink ~domains ~instances scn ~seeds
   | Some cache ->
     let scenario_digest = Digest.scenario scn in
     let key = seed_key ~scenario_digest scn ~shrink in
@@ -190,12 +190,9 @@ let sweep ?cache ?(shrink = true) ?(domains = 1) scn ~seeds =
     let fresh =
       if missing = [] then []
       else begin
-        Scenario.prepare scn;
-        let results =
-          Parallel.map ~domains
-            (fun seed -> Scenario.run_seed scn ~seed)
-            missing
-        in
+        (* only the uncached seeds are simulated — batched over the
+           instance axis when [instances > 1], as Scenario.sweep *)
+        let results = Scenario.run_seeds ~domains ~instances scn ~seeds:missing in
         (* shrinking runs serially after the sweep, as in Scenario.sweep *)
         List.map2
           (fun seed r ->

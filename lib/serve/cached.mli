@@ -13,12 +13,13 @@
 open Automode_robust
 
 val sweep :
-  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> Scenario.t ->
-  seeds:int list -> Scenario.campaign
+  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?instances:int ->
+  Scenario.t -> seeds:int list -> Scenario.campaign
 (** Like {!Automode_robust.Scenario.sweep}, but seeds present in
     [cache] are spliced from storage and only the missing seeds are
-    simulated (in parallel over [?domains], shrinking serial, exactly
-    like the uncached sweep) and then stored.  With no cache this {e is}
+    simulated (in parallel over [?domains], batched over the instance
+    axis with [?instances], shrinking serial, exactly like the uncached
+    sweep) and then stored.  With no cache this {e is}
     [Scenario.sweep].  The resulting campaign — results in seed order,
     failures in (seed, verdict) order — is structurally identical to a
     cold sweep, hence byte-identical reports. *)

@@ -6,8 +6,9 @@
 open Automode_robust
 open Automode_casestudy
 
-let robustness ?cache ?shrink ?domains ~seeds () =
-  Cached.sweep ?cache ?shrink ?domains Robustness.door_lock_scenario ~seeds
+let robustness ?cache ?shrink ?domains ?instances ~seeds () =
+  Cached.sweep ?cache ?shrink ?domains ?instances
+    Robustness.door_lock_scenario ~seeds
 
 let robustness_engine ?cache ?domains ~horizon ~seeds () =
   Cached.net_campaign ?cache
@@ -15,8 +16,8 @@ let robustness_engine ?cache ?domains ~horizon ~seeds () =
     ~run:(fun ~seeds -> Robustness.engine_campaign ~horizon ?domains ~seeds ())
     ~seeds ()
 
-let guard ?cache ?shrink ?domains ~seeds () =
-  let sweep scn = Cached.sweep ?cache ?shrink ?domains scn ~seeds in
+let guard ?cache ?shrink ?domains ?instances ~seeds () =
+  let sweep scn = Cached.sweep ?cache ?shrink ?domains ?instances scn ~seeds in
   ( { Guarded.unguarded = sweep Guarded.unguarded_scenario;
       guarded = sweep Guarded.guarded_scenario },
     sweep Guarded.recovery_scenario )
@@ -29,8 +30,8 @@ let guard_engine ?cache ?domains ~horizon ~seeds () =
         Guarded.guarded_engine_campaign ~horizon ?domains ~seeds ())
       ~seeds () )
 
-let redund ?cache ?shrink ?domains ~horizon ~seeds () =
-  let sweep scn = Cached.sweep ?cache ?shrink ?domains scn ~seeds in
+let redund ?cache ?shrink ?domains ?instances ~horizon ~seeds () =
+  let sweep scn = Cached.sweep ?cache ?shrink ?domains ?instances scn ~seeds in
   let channel ~dual =
     Cached.net_campaign ?cache
       ~leg:
@@ -59,9 +60,16 @@ type outcome = {
    a resubmission needs — so identical jobs are pure cache hits.  The
    payload is "gate=0|1\n" followed by the raw report bytes (no JSON
    escaping to keep byte-identity trivially audit-able on disk). *)
-let proptest ?cache ?(shrink = true) ?domains ?(iterations = 2) ~seeds () =
+(* [?instances] is deliberately absent from the cache key: batched and
+   looped campaigns render byte-identical reports, so they share
+   entries. *)
+let proptest ?cache ?(shrink = true) ?domains ?instances ?(iterations = 2)
+    ~seeds () =
   let compute () =
-    let c = Automode_casestudy.Propcase.run ~shrink ?domains ~iterations ~seeds () in
+    let c =
+      Automode_casestudy.Propcase.run ~shrink ?domains ?instances ~iterations
+        ~seeds ()
+    in
     { report = Automode_casestudy.Propcase.to_text c;
       gate_ok = Automode_casestudy.Propcase.contrast_holds c }
   in
@@ -116,15 +124,15 @@ let litmus_hooks cache =
     cache_find = (fun key -> Cache.find cache ~key ~decode:Option.some);
     cache_store = (fun key payload -> Cache.store cache ~key payload) }
 
-let litmus_result ?cache ?(domains = 1) ?(bound = 2)
+let litmus_result ?cache ?(domains = 1) ?instances ?(bound = 2)
     ?(max_scenarios = 100_000) ?engine () =
   Litmus_lock.synthesize
     ?cache:(Option.map litmus_hooks cache)
     ~config:{ Synth.bound; max_scenarios; shrink = true }
-    ~domains ?engine ()
+    ~domains ?instances ?engine ()
 
-let litmus ?cache ?domains ?bound ?max_scenarios () =
-  let r = litmus_result ?cache ?domains ?bound ?max_scenarios () in
+let litmus ?cache ?domains ?instances ?bound ?max_scenarios () =
+  let r = litmus_result ?cache ?domains ?instances ?bound ?max_scenarios () in
   { report = Synth.to_text r; gate_ok = Synth.gate r }
 
 let verdicts_fail vs =
@@ -133,18 +141,18 @@ let verdicts_fail vs =
       match v with Monitor.Fail _ -> true | Monitor.Pass -> false)
     vs
 
-let run ?cache ?shrink ?(domains = 1) ?(horizon = 200_000) ?(iterations = 2)
-    ?(bound = 2) ~kind ~engine ~seeds () =
+let run ?cache ?shrink ?(domains = 1) ?(instances = 1) ?(horizon = 200_000)
+    ?(iterations = 2) ?(bound = 2) ~kind ~engine ~seeds () =
   match (kind, engine) with
-  | Job.Litmus, _ -> litmus ?cache ~domains ~bound ()
+  | Job.Litmus, _ -> litmus ?cache ~domains ~instances ~bound ()
   | Job.Proptest, _ ->
-    proptest ?cache ?shrink ~domains ~iterations ~seeds ()
+    proptest ?cache ?shrink ~domains ~instances ~iterations ~seeds ()
   | Job.Robustness, true ->
     let results = robustness_engine ?cache ~domains ~horizon ~seeds () in
     { report = Format.asprintf "%a" Robustness.pp_engine_campaign results;
       gate_ok = not (List.exists (fun (_, vs) -> verdicts_fail vs) results) }
   | Job.Robustness, false ->
-    let campaign = robustness ?cache ?shrink ~domains ~seeds () in
+    let campaign = robustness ?cache ?shrink ~domains ~instances ~seeds () in
     { report = Report.to_text campaign;
       gate_ok = campaign.Scenario.failures = [] }
   | Job.Guard, true ->
@@ -156,7 +164,7 @@ let run ?cache ?shrink ?(domains = 1) ?(horizon = 200_000) ?(iterations = 2)
           Robustness.pp_engine_campaign guarded;
       gate_ok = not (List.exists (fun (_, vs) -> verdicts_fail vs) guarded) }
   | Job.Guard, false ->
-    let cmp, recovery = guard ?cache ?shrink ~domains ~seeds () in
+    let cmp, recovery = guard ?cache ?shrink ~domains ~instances ~seeds () in
     { report =
         Format.asprintf "%a%-20s %d/%d seeds failing@." Guarded.pp_comparison
           cmp "door-lock-recovery"
@@ -166,6 +174,6 @@ let run ?cache ?shrink ?(domains = 1) ?(horizon = 200_000) ?(iterations = 2)
         cmp.Guarded.guarded.Scenario.failures = []
         && recovery.Scenario.failures = [] }
   | Job.Redund, _ ->
-    let r = redund ?cache ?shrink ~domains ~horizon ~seeds () in
+    let r = redund ?cache ?shrink ~domains ~instances ~horizon ~seeds () in
     { report = Format.asprintf "%a" Replicated.pp_report r;
       gate_ok = Replicated.gate r }

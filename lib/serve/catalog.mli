@@ -12,8 +12,8 @@ open Automode_robust
 open Automode_casestudy
 
 val robustness :
-  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> seeds:int list ->
-  unit -> Scenario.campaign
+  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?instances:int ->
+  seeds:int list -> unit -> Scenario.campaign
 (** The door-lock fault-injection campaign
     ({!Automode_casestudy.Robustness.door_lock_campaign}). *)
 
@@ -23,8 +23,8 @@ val robustness_engine :
 (** The engine-deployment campaign (CAN loss + timing faults). *)
 
 val guard :
-  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> seeds:int list ->
-  unit -> Guarded.comparison * Scenario.campaign
+  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?instances:int ->
+  seeds:int list -> unit -> Guarded.comparison * Scenario.campaign
 (** The unguarded/guarded door-lock comparison plus the recovery
     campaign — the two halves of the CLI's [guard] report. *)
 
@@ -36,8 +36,8 @@ val guard_engine :
 (** [(unguarded, guarded)] engine campaigns of [guard --engine]. *)
 
 val redund :
-  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> horizon:int ->
-  seeds:int list -> unit -> Replicated.report
+  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?instances:int ->
+  horizon:int -> seeds:int list -> unit -> Replicated.report
 (** All seven legs of the redundancy campaign
     ({!Automode_casestudy.Replicated.campaign}). *)
 
@@ -47,8 +47,8 @@ type outcome = {
 }
 
 val proptest :
-  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?iterations:int ->
-  seeds:int list -> unit -> outcome
+  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?instances:int ->
+  ?iterations:int -> seeds:int list -> unit -> outcome
 (** The generated-sequence door-lock comparison
     ({!Automode_casestudy.Propcase.run}, [?iterations] sequences per
     seed, default 2), rendered with
@@ -64,8 +64,8 @@ val litmus_model : unit -> string
     a model drift explicitly. *)
 
 val litmus_result :
-  ?cache:Cache.t -> ?domains:int -> ?bound:int -> ?max_scenarios:int ->
-  ?engine:Automode_proptest.Builder.engine ->
+  ?cache:Cache.t -> ?domains:int -> ?instances:int -> ?bound:int ->
+  ?max_scenarios:int -> ?engine:Automode_proptest.Builder.engine ->
   unit -> Automode_litmus.Synth.result
 (** Bounded-exhaustive synthesis over the door-lock twin
     ({!Automode_casestudy.Litmus_lock.synthesize}), memoizing
@@ -75,18 +75,20 @@ val litmus_result :
     max_scenarios 100000, 1 domain, indexed engine. *)
 
 val litmus :
-  ?cache:Cache.t -> ?domains:int -> ?bound:int -> ?max_scenarios:int ->
-  unit -> outcome
+  ?cache:Cache.t -> ?domains:int -> ?instances:int -> ?bound:int ->
+  ?max_scenarios:int -> unit -> outcome
 (** {!litmus_result} rendered with {!Automode_litmus.Synth.to_text};
     the gate is {!Automode_litmus.Synth.gate} (at least one minimal
     distinguishing scenario, no stated-bound violations). *)
 
 val run :
-  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?horizon:int ->
-  ?iterations:int -> ?bound:int ->
+  ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?instances:int ->
+  ?horizon:int -> ?iterations:int -> ?bound:int ->
   kind:Job.kind -> engine:bool -> seeds:int list -> unit -> outcome
 (** Render one job's report exactly as the matching CLI subcommand
     would print it ([robustness] / [guard] / [redund] / [proptest] /
     [litmus], [--engine] when [engine]), and evaluate the same
     pass/fail gate the CLI turns into its exit status.  [?iterations]
-    only affects the [proptest] kind, [?bound] only [litmus]. *)
+    only affects the [proptest] kind, [?bound] only [litmus];
+    [?instances] batches the scenario sweeps through the
+    struct-of-arrays engine without changing a byte of any report. *)

@@ -146,9 +146,9 @@ let run_job c job =
   in
   match
     Catalog.run ?cache:c.cache ~shrink:job.Job.shrink ~domains:job_domains
-      ~horizon:job.Job.horizon ~iterations:job.Job.iterations
-      ~bound:job.Job.bound ~kind:job.Job.kind ~engine:job.Job.engine
-      ~seeds:job.Job.seeds ()
+      ~instances:job.Job.instances ~horizon:job.Job.horizon
+      ~iterations:job.Job.iterations ~bound:job.Job.bound ~kind:job.Job.kind
+      ~engine:job.Job.engine ~seeds:job.Job.seeds ()
   with
   | outcome ->
     let latency_ms =

@@ -9,6 +9,7 @@ type t = {
   horizon : int;
   iterations : int;
   bound : int;
+  instances : int;
 }
 
 let kind_to_string = function
@@ -130,7 +131,16 @@ let of_json json =
          | Some _ -> Error "bound: must be positive"
          | None -> Error "bound: expected an integer")
     in
-    Ok { id; kind; seeds; shrink; engine; horizon; iterations; bound }
+    let* instances =
+      match Json.member "instances" json with
+      | None | Some Json.Null -> Ok 1
+      | Some j ->
+        (match Json.to_int j with
+         | Some i when i > 0 -> Ok i
+         | Some _ -> Error "instances: must be positive"
+         | None -> Error "instances: expected an integer")
+    in
+    Ok { id; kind; seeds; shrink; engine; horizon; iterations; bound; instances }
   | _ -> Error "job: expected a JSON object"
 
 let parse_line line =
@@ -147,4 +157,5 @@ let to_json t =
       ("engine", Json.Bool t.engine);
       ("horizon", Json.Int t.horizon);
       ("iterations", Json.Int t.iterations);
-      ("bound", Json.Int t.bound) ]
+      ("bound", Json.Int t.bound);
+      ("instances", Json.Int t.instances) ]

@@ -24,7 +24,10 @@
     - [iterations] (default [2]): generated sequences per seed, for
       the [proptest] kind (ignored by the others);
     - [bound] (default [2]): max fault atoms per enumerated scenario,
-      for the [litmus] kind (ignored by the others). *)
+      for the [litmus] kind (ignored by the others);
+    - [instances] (default [1]): instance-axis width of the
+      struct-of-arrays batched engine — purely a throughput knob,
+      every report stays byte-identical to the looped run. *)
 
 type kind = Robustness | Guard | Redund | Proptest | Litmus
 
@@ -37,6 +40,7 @@ type t = {
   horizon : int;
   iterations : int;
   bound : int;
+  instances : int;
 }
 
 val kind_to_string : kind -> string

@@ -148,10 +148,10 @@ let qcheck_hash_determines_classification =
 (* Synthesis                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let synth ?cache ?(bound = 2) ?domains ?engine () =
+let synth ?cache ?(bound = 2) ?domains ?instances ?engine () =
   Litmus_lock.synthesize ?cache
     ~config:{ Synth.default_config with Synth.bound }
-    ?domains ?engine ()
+    ?domains ?instances ?engine ()
 
 let test_synth_counts_coherent () =
   let r = synth () in
@@ -230,6 +230,36 @@ let test_synth_deterministic_report () =
     Synth.to_text (synth ~engine:Automode_proptest.Builder.Interpreted ())
   in
   checks "report identical across engines" a e
+
+let test_synth_batched_identical () =
+  let looped = Synth.to_text (synth ()) in
+  checks "16 instances byte-identical" looped (Synth.to_text (synth ~instances:16 ()));
+  checks "domains x instances byte-identical" looped
+    (Synth.to_text (synth ~domains:4 ~instances:4 ()));
+  (* The per-scenario cache must also be oblivious to batching: a cache
+     warmed by a batched run serves a looped run entirely from hits, and
+     the stored payloads are identical either way. *)
+  let store : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let hooks =
+    { Synth.cache_prefix = "batch|";
+      cache_find = Hashtbl.find_opt store;
+      cache_store = (fun k v -> Hashtbl.replace store k v) }
+  in
+  let cold = synth ~cache:hooks ~instances:16 () in
+  let batched_payloads = Hashtbl.copy store in
+  let warm = synth ~cache:hooks () in
+  checki "looped run after batched warm-up hits everything"
+    warm.Synth.res_evaluated warm.Synth.res_cache_hits;
+  checks "batched and looped cached reports byte-identical"
+    (Synth.to_text cold) (Synth.to_text warm);
+  Hashtbl.reset store;
+  let _ = synth ~cache:hooks () in
+  Hashtbl.iter
+    (fun k v ->
+      match Hashtbl.find_opt batched_payloads k with
+      | None -> Alcotest.failf "looped run stored an unknown key %s" k
+      | Some v' -> checks "cache payload identical" v' v)
+    store
 
 let test_synth_cache_roundtrip () =
   let store : (string, string) Hashtbl.t = Hashtbl.create 64 in
@@ -343,7 +373,9 @@ let () =
           Alcotest.test_case "report byte-stable across domains/engines"
             `Quick test_synth_deterministic_report;
           Alcotest.test_case "cache round-trip" `Quick
-            test_synth_cache_roundtrip ] );
+            test_synth_cache_roundtrip;
+          Alcotest.test_case "batched synthesis byte-identical" `Quick
+            test_synth_batched_identical ] );
       ( "suite",
         [ Alcotest.test_case "round-trip" `Quick test_suite_roundtrip;
           Alcotest.test_case "replay green and deterministic" `Quick

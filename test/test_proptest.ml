@@ -252,6 +252,20 @@ let test_campaign_deterministic () =
   checks "rerun byte-identical" a (go ());
   checks "4 domains byte-identical" a (go ~domains:4 ())
 
+(* [~instances] batches the cases through the struct-of-arrays engine;
+   the campaign (cases, verdicts, shrunk counterexamples) must be
+   byte-identical to the looped run at any width, and [~instances:1] is
+   exactly today's looped path. *)
+let test_campaign_batched_identical () =
+  let go ?domains ?instances () =
+    Builder.to_text (Builder.run ?domains ?instances Propcase.unguarded ~seeds)
+  in
+  let looped = go () in
+  checks "1 instance == looped" looped (go ~instances:1 ());
+  checks "8 instances byte-identical" looped (go ~instances:8 ());
+  checks "4 domains x 4 instances byte-identical" looped
+    (go ~domains:4 ~instances:4 ())
+
 let rec is_subseq small big =
   match (small, big) with
   | [], _ -> true
@@ -360,6 +374,8 @@ let () =
             test_engines_identical;
           Alcotest.test_case "campaign deterministic" `Quick
             test_campaign_deterministic;
+          Alcotest.test_case "campaign batched identical" `Quick
+            test_campaign_batched_identical;
           Alcotest.test_case "shrunk is a subsequence" `Quick
             test_shrunk_is_subsequence;
           Alcotest.test_case "shrunk replays bit-for-bit" `Quick

@@ -751,6 +751,43 @@ let test_parallel_engine_campaign_identical () =
   checkb "engine campaign identical at 2 domains" true
     (serial = Robustness.engine_campaign ~horizon:50_000 ~domains:2 ~seeds ())
 
+(* ------------------------------------------------------------------ *)
+(* Instance-batched sweeps                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The batched engine is purely a throughput knob: a sweep at any
+   (domains, instances) combination renders the very same report bytes
+   as the looped serial sweep, and [~instances:1] is exactly today's
+   looped path. *)
+let test_batched_campaign_byte_identical () =
+  let seeds = List.init 6 (fun i -> i + 1) in
+  let scn = Robustness.door_lock_scenario in
+  let looped = Scenario.sweep ~shrink:false scn ~seeds in
+  List.iter
+    (fun (domains, instances) ->
+      let batched =
+        Scenario.sweep ~shrink:false ~domains ~instances scn ~seeds
+      in
+      checks
+        (Printf.sprintf "text report identical, %d domains x %d instances"
+           domains instances)
+        (Report.to_text looped) (Report.to_text batched);
+      checks
+        (Printf.sprintf "csv report identical, %d domains x %d instances"
+           domains instances)
+        (Report.to_csv looped) (Report.to_csv batched))
+    [ (1, 1); (1, 3); (1, 64); (4, 4) ]
+
+(* Shrinking stays serial after a batched sweep: shrunk counterexamples
+   must also match the looped run exactly. *)
+let test_batched_sweep_shrinks_identically () =
+  let seeds = [ 1; 2; 3 ] in
+  let scn = Robustness.door_lock_scenario in
+  let looped = Scenario.sweep scn ~seeds in
+  let batched = Scenario.sweep ~instances:8 scn ~seeds in
+  checks "shrunk report identical" (Report.to_text looped)
+    (Report.to_text batched)
+
 let () =
   Alcotest.run "automode-robust"
     [ ( "fault",
@@ -829,6 +866,10 @@ let () =
       ( "parallel",
         [ Alcotest.test_case "map order" `Quick test_parallel_map_order;
           Alcotest.test_case "map raises" `Quick test_parallel_map_raises;
+          Alcotest.test_case "batched campaign byte-identical" `Quick
+            test_batched_campaign_byte_identical;
+          Alcotest.test_case "batched sweep shrinks identically" `Quick
+            test_batched_sweep_shrinks_identically;
           Alcotest.test_case "campaign byte-identical" `Quick
             test_parallel_campaign_byte_identical;
           Alcotest.test_case "engine campaign identical" `Quick

@@ -529,6 +529,27 @@ let test_daemon_concurrent_workers () =
       .Serve.Catalog.report
     (slurp (Filename.concat results "d.report.txt"))
 
+let test_catalog_batched_identical () =
+  List.iter
+    (fun (name, kind) ->
+      let go ?domains ?instances () =
+        Serve.Catalog.run ?domains ?instances ~shrink:false ~horizon:50_000
+          ~kind ~engine:false ~seeds:[ 1; 2 ] ()
+      in
+      let looped = go () in
+      let same label (batched : Serve.Catalog.outcome) =
+        checks (name ^ " " ^ label) looped.Serve.Catalog.report
+          batched.Serve.Catalog.report;
+        checkb (name ^ " " ^ label ^ " gate") looped.Serve.Catalog.gate_ok
+          batched.Serve.Catalog.gate_ok
+      in
+      same "8 instances byte-identical" (go ~instances:8 ());
+      same "4 domains x 4 instances byte-identical"
+        (go ~domains:4 ~instances:4 ()))
+    [ ("robustness", Serve.Job.Robustness);
+      ("guard", Serve.Job.Guard);
+      ("redund", Serve.Job.Redund) ]
+
 let test_daemon_socket () =
   let spool = temp_dir "automode-spool3" in
   let sock_path = Filename.concat spool "sock" in
@@ -590,6 +611,8 @@ let suite =
     Alcotest.test_case "daemon litmus job" `Quick test_daemon_litmus_job;
     Alcotest.test_case "daemon concurrent workers" `Quick
       test_daemon_concurrent_workers;
+    Alcotest.test_case "catalog batched byte-identical" `Quick
+      test_catalog_batched_identical;
     Alcotest.test_case "daemon socket intake" `Quick test_daemon_socket ]
 
 let () = Alcotest.run "serve" [ ("serve", suite) ]

@@ -962,6 +962,133 @@ let test_indexed_rejects_loops () =
     (try ignore (Sim.index comp); false with Sim.Sim_error _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Batched simulation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The batch determinism contract: every instance of a batch must
+   reproduce the [run_indexed] trace of its own stimulus and schedule,
+   byte for byte. *)
+let assert_batch_matches ?schedules name comp ~instances ~ticks ~inputs =
+  let ix = Sim.index comp in
+  let b = Sim.batch ~instances ix in
+  Sim.run_batch ?schedules ~ticks ~inputs b;
+  for i = 0 to instances - 1 do
+    let reference =
+      Sim.run_indexed
+        ?schedule:(Option.map (fun s -> s i) schedules)
+        ~ticks ~inputs:(inputs i) ix
+    in
+    checkb
+      (Printf.sprintf "%s: instance %d equals run_indexed" name i)
+      true
+      (Trace.equal (Sim.batch_trace b ~instance:i) reference)
+  done
+
+let test_batch_fixtures () =
+  assert_batch_matches "adder" adder ~instances:8 ~ticks:16
+    ~inputs:(fun i t ->
+      [ ("a", present_i (t + i)); ("b", present_i (2 * t)) ]);
+  assert_batch_matches "counter" counter ~instances:5 ~ticks:16
+    ~inputs:(fun i _ -> [ ("step", present_i (1 + i)) ]);
+  assert_batch_matches "ssd pipeline" ssd_pipeline ~instances:4 ~ticks:12
+    ~inputs:(fun i t -> [ ("src", present_i (t * (i + 1))) ]);
+  assert_batch_matches "throttle mtd" throttle_comp ~instances:4 ~ticks:12
+    ~inputs:(fun i t ->
+      [ ("cranking", present_b (t >= 3 + (i mod 3)));
+        ("desired", present_f 10.);
+        ("current", present_f (2. +. float_of_int i)) ]);
+  assert_batch_matches "mtd under ssd" mtd_under_ssd ~instances:3 ~ticks:16
+    ~inputs:(fun i t ->
+      [ ("cranking", present_b (4 <= t && t < 9 - i));
+        ("desired", present_f 10.);
+        ("current", present_f (float_of_int (t + i))) ])
+
+let test_batch_random_dfds () =
+  List.iter
+    (fun (seed, n) ->
+      let comp = Automode_workloads.Workloads.random_dfd_component ~seed ~n in
+      assert_batch_matches
+        (Printf.sprintf "random dfd seed=%d n=%d" seed n)
+        comp ~instances:7 ~ticks:24
+        ~inputs:(fun i t ->
+          [ ("src", present_f (float_of_int t +. (0.5 *. float_of_int i))) ]))
+    [ (7, 10); (42, 50) ]
+
+(* Identity must survive per-instance fault columns: each instance gets
+   its own injected stimulus (dropouts, spikes, ECU crash/reset) and its
+   own event schedule. *)
+let test_batch_faulted_door_lock () =
+  let open Automode_robust in
+  let comp = Automode_casestudy.Door_lock.component in
+  let instances = 6 in
+  let faults_of i =
+    [ Fault.dropout ~flow:"FZG_V"
+        (Fault.Random_ticks { probability = 0.3; seed = i }) ]
+    @ (if i mod 2 = 0 then
+         Fault.ecu_crash ~flows:[ "FZG_V" ] ~at_tick:(10 + i)
+       else
+         Fault.ecu_reset ~flows:[ "FZG_V" ] ~at_tick:(8 + i) ~down_ticks:4)
+    @
+    if i mod 3 = 0 then
+      [ Fault.spike ~flow:"CRSH"
+          ~value:(Value.Enum ("CrashStatus", "Crash"))
+          (Fault.Random_ticks { probability = 0.1; seed = 6 + i }) ]
+    else []
+  in
+  let schedule_of i =
+    Fault.schedule_of_faults
+      ~base:(fun name tick -> String.equal name "crash" && tick = 6)
+      (List.filter
+         (fun f -> String.equal (Fault.flow f) "CRSH")
+         (faults_of i))
+      ~event:"crash"
+  in
+  let inputs i =
+    Fault.apply (faults_of i) Automode_casestudy.Door_lock.crash_scenario
+  in
+  assert_batch_matches "faulted door lock" comp ~instances ~ticks:32 ~inputs
+    ~schedules:schedule_of
+
+(* A batch is reusable: a second run with different stimuli and a
+   partial count fully resets state; sharded execution changes
+   nothing. *)
+let test_batch_reuse_and_shards () =
+  let ix = Sim.index counter in
+  let b = Sim.batch ~instances:6 ix in
+  let inputs1 i _ = [ ("step", present_i (i + 1)) ] in
+  Sim.run_batch ~ticks:10 ~inputs:inputs1 b;
+  checki "full run count" 6 (Sim.batch_count b);
+  let inputs2 i _ = [ ("step", present_i (10 * (i + 1))) ] in
+  Sim.run_batch ~count:3 ~ticks:7 ~inputs:inputs2 ~shards:3 b;
+  checki "partial run count" 3 (Sim.batch_count b);
+  for i = 0 to 2 do
+    checkb
+      (Printf.sprintf "reused batch instance %d equals fresh indexed" i)
+      true
+      (Trace.equal
+         (Sim.batch_trace b ~instance:i)
+         (Sim.run_indexed ~ticks:7 ~inputs:(inputs2 i) ix))
+  done
+
+let test_batch_rejects () =
+  let ix = Sim.index counter in
+  checkb "batch raises on zero instances" true
+    (try ignore (Sim.batch ~instances:0 ix); false
+     with Sim.Sim_error _ -> true);
+  let b = Sim.batch ~instances:2 ix in
+  checkb "run_batch raises when count exceeds capacity" true
+    (try
+       Sim.run_batch ~count:3 ~ticks:1
+         ~inputs:(fun _ _ -> [ ("step", present_i 1) ])
+         b;
+       false
+     with Sim.Sim_error _ -> true);
+  Sim.run_batch ~ticks:1 ~inputs:(fun _ _ -> [ ("step", present_i 1) ]) b;
+  checkb "batch_trace raises outside the last run" true
+    (try ignore (Sim.batch_trace b ~instance:2); false
+     with Sim.Sim_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Trace utilities                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1300,6 +1427,14 @@ let () =
           Alcotest.test_case "mtd under ssd" `Quick test_indexed_mtd_under_ssd;
           Alcotest.test_case "re-entrant states" `Quick test_indexed_reentrant;
           Alcotest.test_case "rejects loops" `Quick test_indexed_rejects_loops ] );
+      ( "batched",
+        [ Alcotest.test_case "fixtures" `Quick test_batch_fixtures;
+          Alcotest.test_case "random dfds" `Quick test_batch_random_dfds;
+          Alcotest.test_case "faulted door lock" `Quick
+            test_batch_faulted_door_lock;
+          Alcotest.test_case "reuse and shards" `Quick
+            test_batch_reuse_and_shards;
+          Alcotest.test_case "rejects" `Quick test_batch_rejects ] );
       ( "trace",
         [ Alcotest.test_case "equality/divergence" `Quick test_trace_equal_and_divergence;
           Alcotest.test_case "csv escaping" `Quick test_trace_csv_escaping;
