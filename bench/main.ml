@@ -612,6 +612,158 @@ let e21_batch ~domains () =
     ("core/E21-batch-cold-1000x32", t_cold *. 1e9);
     ("core/E21-batch-warm-1000x32", t_warm *. 1e9) ]
 
+(* E22: checkpointed prefix-sharing campaign execution (Sim.Snapshot +
+   fork-from-divergence scheduling).  Two workloads whose faults all
+   activate late in the horizon, so almost the whole simulation is a
+   shared fault-free prefix:
+
+   - a door-lock litmus twin with a late-activating k=2 alphabet (every
+     atom >= tick 168 of a 200-tick horizon): prefix-shared enumeration
+     must be >= 3x the straight per-scenario loop;
+   - a 1000-seed robustness sweep whose dropout windows open at
+     >= 0.93 * horizon: prefix-shared must be >= 2x the loop.
+
+   Both ratios compare two measurements from the same process, so they
+   are stable on noisy runners, and report byte-identity (serial,
+   --domains, --instances and their cross product) is asserted whenever
+   the section runs.  The prefix counters of the shared sweep are
+   printed as the shared/replayed-ticks table of EXPERIMENTS E22. *)
+let e22_prefix ~domains () =
+  section "E22 | prefix sharing: checkpointed campaigns vs straight loops";
+  let reps = 3 in
+  let min_time f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let module B = Automode_proptest.Builder in
+  let module L = Automode_litmus in
+  let module R = Automode_robust in
+  (* -- late-atom door-lock litmus twin, k = 2 ---------------------- *)
+  let horizon = 200 in
+  let lit name = Dtype.enum_value Door_lock.lock_status name in
+  let spec ~name ~component ~flow =
+    B.spec ~name ~component ~ticks:horizon ~inputs:Robustness.lock_stimulus ()
+    |> B.with_monitors
+         [ Automode_robust.Monitor.range ~name:"volt-range" ~flow ~lo:5.
+             ~hi:32. ]
+  in
+  let twin =
+    { L.Eval.twin_name = "door-lock-late";
+      unguarded =
+        spec ~name:"door-lock-unguarded-late" ~component:Door_lock.component
+          ~flow:"FZG_V";
+      guarded =
+        spec ~name:"door-lock-guarded-late" ~component:Guarded.component
+          ~flow:(Automode_guard.Health.qualified_flow "FZG_V");
+      checks = [] }
+  in
+  let alphabet =
+    L.Alphabet.union
+      [ L.Alphabet.spikes ~flow:"FZG_V"
+          ~values:[ Value.Float 2.; Value.Float 40. ]
+          ~at:[ 170; 185 ] ~hold:3;
+        L.Alphabet.silences ~flow:"FZG_V" ~at:[ 168; 182 ] ~holds:[ 6; 10 ];
+        L.Alphabet.commands ~flow:"T4S"
+          ~values:[ lit "Locked"; lit "Unlocked" ]
+          ~at:[ 175 ];
+        L.Alphabet.crashes ~flows:[ "FZG_V" ] ~at:[ 172; 190 ];
+        L.Alphabet.resets ~flows:[ "FZG_V" ] ~at:[ 174; 192 ] ~down:6 ]
+  in
+  let config =
+    { L.Synth.bound = 2; max_scenarios = 100_000; shrink = false }
+  in
+  let synth ~prefix_share ?(instances = 1) () =
+    L.Synth.run ~config ~instances ~prefix_share ~twin ~alphabet ()
+  in
+  let t_lit_loop = min_time (fun () -> synth ~prefix_share:false ()) in
+  let t_lit_shared = min_time (fun () -> synth ~prefix_share:true ()) in
+  let lit_ref = L.Synth.to_text (synth ~prefix_share:false ()) in
+  let lit_identical =
+    List.for_all
+      (fun r -> String.equal lit_ref (L.Synth.to_text (r ())))
+      [ (fun () -> synth ~prefix_share:true ());
+        (fun () -> synth ~prefix_share:true ~instances:32 ()) ]
+  in
+  let ratio_lit = t_lit_loop /. t_lit_shared in
+  Printf.printf
+    "litmus k=2, %d-atom late alphabet, horizon %d: looped %.1f ms, \
+     prefix-shared %.1f ms (%.1fx); reports byte-identical: %b\n"
+    (L.Alphabet.size alphabet) horizon (t_lit_loop *. 1e3)
+    (t_lit_shared *. 1e3) ratio_lit lit_identical;
+  (* -- 1000-seed late-fault robustness sweep ----------------------- *)
+  let sweep_ticks = 200 in
+  let seeds = List.init 1000 (fun i -> i + 1) in
+  let scn =
+    R.Scenario.make ~name:"door-lock-late-dropout"
+      ~component:Door_lock.component ~ticks:sweep_ticks
+      ~inputs:Robustness.lock_stimulus
+      ~faults:(fun seed ->
+        [ R.Fault.dropout ~flow:"FZG_V"
+            (R.Fault.Window
+               { from_tick = 186 + (seed mod 8); until_tick = sweep_ticks })
+        ])
+      ~monitors:
+        [ R.Monitor.range ~name:"volt-range" ~flow:"FZG_V" ~lo:0. ~hi:48. ]
+      ()
+  in
+  let sweep ~prefix_share ?(domains = 1) ?(instances = 1) () =
+    R.Scenario.sweep ~shrink:false ~domains ~instances ~prefix_share scn
+      ~seeds
+  in
+  let t_sw_loop = min_time (fun () -> sweep ~prefix_share:false ()) in
+  let t_sw_shared = min_time (fun () -> sweep ~prefix_share:true ()) in
+  let sw_ref = R.Report.to_text (sweep ~prefix_share:false ()) in
+  let sw_identical =
+    List.for_all
+      (fun r -> String.equal sw_ref (R.Report.to_text (r ())))
+      [ (fun () -> sweep ~prefix_share:true ());
+        (fun () -> sweep ~prefix_share:true ~domains ());
+        (fun () -> sweep ~prefix_share:true ~instances:64 ());
+        (fun () -> sweep ~prefix_share:true ~domains ~instances:64 ()) ]
+  in
+  let ratio_sw = t_sw_loop /. t_sw_shared in
+  Printf.printf
+    "robustness sweep, %d seeds x %d ticks, dropout windows from t>=186: \
+     looped %.1f ms, prefix-shared %.1f ms (%.1fx); reports \
+     byte-identical (serial/domains/instances/both): %b\n"
+    (List.length seeds) sweep_ticks (t_sw_loop *. 1e3) (t_sw_shared *. 1e3)
+    ratio_sw sw_identical;
+  (* shared/replayed tick accounting of the shared sweep (the
+     EXPERIMENTS E22 table); counters are inert without this sink *)
+  let m = Automode_obs.Metrics.create () in
+  ignore
+    (Automode_obs.Probe.with_sink
+       (Automode_obs.Probe.standard m)
+       (fun () -> sweep ~prefix_share:true ()));
+  print_string (Automode_obs.Metrics.to_text m);
+  if not (lit_identical && sw_identical) then begin
+    print_endline "prefix-shared vs looped report identity: FAILED";
+    exit 1
+  end;
+  if ratio_lit >= 3. then
+    print_endline "litmus prefix sharing >= 3x: OK"
+  else begin
+    Printf.printf "litmus prefix sharing >= 3x: FAILED (%.2fx)\n" ratio_lit;
+    exit 1
+  end;
+  if ratio_sw >= 2. then
+    print_endline "robustness-sweep prefix sharing >= 2x: OK"
+  else begin
+    Printf.printf "robustness-sweep prefix sharing >= 2x: FAILED (%.2fx)\n"
+      ratio_sw;
+    exit 1
+  end;
+  [ ("litmus/E22-litmus-looped-k2", t_lit_loop *. 1e9);
+    ("litmus/E22-litmus-shared-k2", t_lit_shared *. 1e9);
+    ("robust/E22-sweep-looped-1000", t_sw_loop *. 1e9);
+    ("robust/E22-sweep-shared-1000", t_sw_shared *. 1e9) ]
+
 (* ------------------------------------------------------------------ *)
 (* Benchmarks                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -1008,6 +1160,9 @@ let () =
      --artifacts-only CI smoke: both sides of the ratio come from the
      same process on the same machine. *)
   let batch_rows = e21_batch ~domains () in
+  (* E22, like E21, asserts its ratios and report identity in every
+     mode — both sides of each ratio come from the same process. *)
+  let prefix_rows = e22_prefix ~domains () in
   if not artifacts_only then begin
     print_endline "";
     section "benchmarks (this may take a minute)";
@@ -1015,7 +1170,7 @@ let () =
       List.sort
         (fun (a, _) (b, _) -> String.compare a b)
         (estimates_of (benchmark ()) @ serve_rows @ prop_rows @ litmus_rows
-        @ batch_rows)
+        @ batch_rows @ prefix_rows)
     in
     print_results rows;
     match arg_value "--json" with

@@ -327,6 +327,18 @@ let instances_arg =
                  throughput knob: verdicts keep seed order and every \
                  report is byte-identical to the looped run.")
 
+let no_prefix_share_flag =
+  Arg.(value & flag
+       & info [ "no-prefix-share" ]
+           ~doc:"Disable checkpointed prefix sharing: by default the \
+                 campaign simulates the fault-free prefix shared by the \
+                 cases once, snapshots at each divergence tick and \
+                 replays only suffixes.  Purely a throughput knob — \
+                 every report is byte-identical either way — so this \
+                 escape hatch exists for benchmarking and for custom \
+                 schedules that consult the fault list before its first \
+                 activation.")
+
 (* Validation shared by the campaign/profile commands: seed counts,
    explicit seeds and domain counts must be positive — a zero-seed
    campaign would trivially "pass" its gate, so it is rejected loudly
@@ -416,10 +428,11 @@ let make_cache cache_dir =
   Option.map (fun dir -> Serve.Cache.create ~dir ()) cache_dir
 
 let robustness_cmd =
-  let run seeds count csv no_shrink engine horizon domains instances out
-      metrics trace_out cache_dir =
+  let run seeds count csv no_shrink engine horizon domains instances
+      no_prefix_share out metrics trace_out cache_dir =
     validate_positive "--domains" domains;
     validate_positive "--instances" instances;
+    let prefix_share = not no_prefix_share in
     let seeds = resolve_seeds seeds count in
     let cache = make_cache cache_dir in
     (* CI gate: any failing scenario makes the run exit non-zero *)
@@ -428,7 +441,7 @@ let robustness_cmd =
       let campaign, _ =
         with_observability ~metrics ~trace_out (fun () ->
             Serve.Catalog.robustness ?cache ~shrink:(not no_shrink) ~domains
-              ~instances ~seeds ())
+              ~instances ~prefix_share ~seeds ())
       in
       emit out (Automode_robust.Report.to_csv campaign);
       if campaign.Automode_robust.Scenario.failures <> [] then exit 1
@@ -437,8 +450,8 @@ let robustness_cmd =
       let outcome, appendix =
         with_observability ~metrics ~trace_out (fun () ->
             Serve.Catalog.run ?cache ~shrink:(not no_shrink) ~domains
-              ~instances ~horizon ~kind:Serve.Job.Robustness ~engine
-              ~seeds ())
+              ~instances ~prefix_share ~horizon ~kind:Serve.Job.Robustness
+              ~engine ~seeds ())
       in
       emit out (append_appendix outcome.Serve.Catalog.report appendix);
       if not outcome.Serve.Catalog.gate_ok then exit 1
@@ -460,21 +473,22 @@ let robustness_cmd =
           (deterministic: the same seeds reproduce the same report)")
     Term.(const run $ seed_list_arg $ seed_count_arg $ csv_flag
           $ no_shrink_flag $ engine_flag $ horizon_arg $ domains_arg
-          $ instances_arg $ out_arg $ metrics_arg $ trace_out_arg
-          $ cache_dir_arg)
+          $ instances_arg $ no_prefix_share_flag $ out_arg $ metrics_arg
+          $ trace_out_arg $ cache_dir_arg)
 
 let guard_cmd =
-  let run seeds count no_shrink engine horizon domains instances out metrics
-      trace_out cache_dir =
+  let run seeds count no_shrink engine horizon domains instances
+      no_prefix_share out metrics trace_out cache_dir =
     validate_positive "--domains" domains;
     validate_positive "--instances" instances;
+    let prefix_share = not no_prefix_share in
     let seeds = resolve_seeds seeds count in
     let cache = make_cache cache_dir in
     (* only the guarded side gates: the unguarded run is the contrast *)
     let outcome, appendix =
       with_observability ~metrics ~trace_out (fun () ->
           Serve.Catalog.run ?cache ~shrink:(not no_shrink) ~domains ~instances
-            ~horizon ~kind:Serve.Job.Guard ~engine ~seeds ())
+            ~prefix_share ~horizon ~kind:Serve.Job.Guard ~engine ~seeds ())
     in
     emit out (append_appendix outcome.Serve.Catalog.report appendix);
     if not outcome.Serve.Catalog.gate_ok then exit 1
@@ -495,13 +509,15 @@ let guard_cmd =
           non-zero if the guarded side fails")
     Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
           $ engine_flag $ horizon_arg $ domains_arg $ instances_arg
-          $ out_arg $ metrics_arg $ trace_out_arg $ cache_dir_arg)
+          $ no_prefix_share_flag $ out_arg $ metrics_arg $ trace_out_arg
+          $ cache_dir_arg)
 
 let redund_cmd =
-  let run seeds count no_shrink horizon domains instances out metrics
-      trace_out cache_dir =
+  let run seeds count no_shrink horizon domains instances no_prefix_share
+      out metrics trace_out cache_dir =
     validate_positive "--domains" domains;
     validate_positive "--instances" instances;
+    let prefix_share = not no_prefix_share in
     let seeds = resolve_seeds seeds count in
     let cache = make_cache cache_dir in
     (* the protected configurations gate; the simplex and single-channel
@@ -509,7 +525,8 @@ let redund_cmd =
     let outcome, appendix =
       with_observability ~metrics ~trace_out (fun () ->
           Serve.Catalog.run ?cache ~shrink:(not no_shrink) ~domains ~instances
-            ~horizon ~kind:Serve.Job.Redund ~engine:false ~seeds ())
+            ~prefix_share ~horizon ~kind:Serve.Job.Redund ~engine:false
+            ~seeds ())
     in
     emit out (append_appendix outcome.Serve.Catalog.report appendix);
     if not outcome.Serve.Catalog.gate_ok then exit 1
@@ -523,18 +540,19 @@ let redund_cmd =
           dual-channel TT bus); exits non-zero if a protected \
           configuration fails")
     Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
-          $ horizon_arg $ domains_arg $ instances_arg $ out_arg
-          $ metrics_arg $ trace_out_arg $ cache_dir_arg)
+          $ horizon_arg $ domains_arg $ instances_arg $ no_prefix_share_flag
+          $ out_arg $ metrics_arg $ trace_out_arg $ cache_dir_arg)
 
 let proptest_cmd =
   let module B = Automode_proptest.Builder in
-  let run seeds count no_shrink iterations target domains instances out
-      metrics trace_out cache_dir =
+  let run seeds count no_shrink iterations target domains instances
+      no_prefix_share out metrics trace_out cache_dir =
     validate_positive "--domains" domains;
     validate_positive "--instances" instances;
     validate_positive "--iterations" iterations;
     let seeds = resolve_seeds seeds count in
     let shrink = not no_shrink in
+    let prefix_share = not no_prefix_share in
     match target with
     | "pair" ->
       (* The paired comparison routes through the serve catalog, so the
@@ -544,7 +562,7 @@ let proptest_cmd =
       let outcome, appendix =
         with_observability ~metrics ~trace_out (fun () ->
             Serve.Catalog.proptest ?cache ~shrink ~domains ~instances
-              ~iterations ~seeds ())
+              ~prefix_share ~iterations ~seeds ())
       in
       emit out (append_appendix outcome.Serve.Catalog.report appendix);
       if not outcome.Serve.Catalog.gate_ok then exit 1
@@ -557,7 +575,7 @@ let proptest_cmd =
       in
       let campaign, appendix =
         with_observability ~metrics ~trace_out (fun () ->
-            B.run ~shrink ~domains ~instances
+            B.run ~shrink ~domains ~instances ~prefix_share
               (B.with_iterations iterations spec)
               ~seeds)
       in
@@ -596,7 +614,8 @@ let proptest_cmd =
           and daemon-served execution")
     Term.(const run $ seed_list_arg $ seed_count_arg $ no_shrink_flag
           $ iterations_arg $ target_arg $ domains_arg $ instances_arg
-          $ out_arg $ metrics_arg $ trace_out_arg $ cache_dir_arg)
+          $ no_prefix_share_flag $ out_arg $ metrics_arg $ trace_out_arg
+          $ cache_dir_arg)
 
 let litmus_cmd =
   let module Synth = Automode_litmus.Synth in
@@ -613,12 +632,13 @@ let litmus_cmd =
         e;
       exit 1
   in
-  let run bound max_scenarios engine domains instances replay suite_out out
-      metrics trace_out cache_dir =
+  let run bound max_scenarios engine domains instances no_prefix_share
+      replay suite_out out metrics trace_out cache_dir =
     validate_positive "--bound" bound;
     validate_positive "--max-scenarios" max_scenarios;
     validate_positive "--domains" domains;
     validate_positive "--instances" instances;
+    let prefix_share = not no_prefix_share in
     let engine = resolve_engine engine in
     match replay with
     | Some path ->
@@ -644,8 +664,8 @@ let litmus_cmd =
       let cache = make_cache cache_dir in
       let result, appendix =
         with_observability ~metrics ~trace_out (fun () ->
-            Serve.Catalog.litmus_result ?cache ~domains ~instances ~bound
-              ~max_scenarios ~engine ())
+            Serve.Catalog.litmus_result ?cache ~domains ~instances
+              ~prefix_share ~bound ~max_scenarios ~engine ())
       in
       emit out (append_appendix (Synth.to_text result) appendix);
       Option.iter
@@ -701,8 +721,9 @@ let litmus_cmd =
           violated.  --replay re-checks a pinned suite and exits \
           non-zero on any regression")
     Term.(const run $ bound_arg $ max_scenarios_arg $ engine_arg
-          $ domains_arg $ instances_arg $ replay_arg $ suite_out_arg
-          $ out_arg $ metrics_arg $ trace_out_arg $ cache_dir_arg)
+          $ domains_arg $ instances_arg $ no_prefix_share_flag $ replay_arg
+          $ suite_out_arg $ out_arg $ metrics_arg $ trace_out_arg
+          $ cache_dir_arg)
 
 let profile_cmd =
   (* Target registry: a name, a short description, and the action to run

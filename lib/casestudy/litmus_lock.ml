@@ -73,9 +73,9 @@ let alphabet =
            (Automode_robust.Fault.Window { from_tick = 20; until_tick = 27 }))
     ]
 
-let synthesize ?cache ?config ?domains ?instances ?engine () =
-  Synth.run ?cache ?config ?domains ?instances ~twin:(twin ?engine ())
-    ~alphabet ()
+let synthesize ?cache ?config ?domains ?instances ?prefix_share ?engine () =
+  Synth.run ?cache ?config ?domains ?instances ?prefix_share
+    ~twin:(twin ?engine ()) ~alphabet ()
 
 let replay ?domains ?model ?engine suite =
   Suite.replay ?domains ?model ~twin:(twin ?engine ()) ~alphabet suite

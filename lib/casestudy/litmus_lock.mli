@@ -36,10 +36,14 @@ val alphabet : Alphabet.t
 
 val synthesize :
   ?cache:Synth.cache -> ?config:Synth.config -> ?domains:int ->
-  ?instances:int -> ?engine:Builder.engine -> unit -> Synth.result
+  ?instances:int -> ?prefix_share:bool -> ?engine:Builder.engine -> unit ->
+  Synth.result
 (** {!Automode_litmus.Synth.run} over {!twin} and {!alphabet};
     [?instances] batches uncached scenario evaluations through the
-    struct-of-arrays engine, byte-identically. *)
+    struct-of-arrays engine and [?prefix_share] (default [true]) shares
+    the fault-free prefix across scenarios via
+    {!Automode_robust.Prefix} — both byte-identical to the looped
+    evaluation. *)
 
 val replay :
   ?domains:int -> ?model:string -> ?engine:Builder.engine ->

@@ -50,9 +50,10 @@ type comparison = {
   guarded : Builder.campaign;
 }
 
-let run ?shrink ?domains ?instances ?(iterations = 2) ~seeds () =
+let run ?shrink ?domains ?instances ?prefix_share ?(iterations = 2) ~seeds ()
+    =
   let sweep spec =
-    Builder.run ?shrink ?domains ?instances
+    Builder.run ?shrink ?domains ?instances ?prefix_share
       (Builder.with_iterations iterations spec)
       ~seeds
   in

@@ -47,6 +47,8 @@ let probe_value (present, absent) v =
     (match v with Value.Present _ -> present | Value.Absent -> absent)
 
 let sim_ticks = Probe.counter "sim.ticks"
+let snapshot_capture = Probe.counter "sim.snapshot.capture"
+let snapshot_restore = Probe.counter "sim.snapshot.restore"
 
 type comp_state =
   | S_exprs of (string * Expr.state) list
@@ -1000,12 +1002,15 @@ let indexed_step ?(schedule = Clock.no_events) ~tick ~inputs (ix : indexed)
     List.map (fun port -> (port, lookup_outputs outs port)) ix.ix_out_ports
   | Some _, Xst_atomic _ -> sim_error "indexed behavior/state shape mismatch"
 
-let run_indexed ?(schedule = Clock.no_events) ~ticks ~inputs (ix : indexed) =
+(* The tick loop shared by [run_indexed] (span [0, ticks)) and the
+   snapshot machinery (spans that stop at a capture tick or resume from
+   one).  A straight run and a capture+resume pair execute the exact
+   same sequence of loop bodies — that is the whole byte-identity
+   argument, so keep this the single copy of the body. *)
+let ix_run_span ~schedule ~start ~stop ~inputs (ix : indexed) state trace =
   let in_names = ix.ix_in_ports in
-  let trace = Trace.make ~flows:(in_names @ ix.ix_out_ports) in
-  let state = indexed_init ix in
   let rec go tick trace =
-    if tick >= ticks then trace
+    if tick >= stop then trace
     else begin
       let offered = inputs tick in
       let input_fn port =
@@ -1025,7 +1030,78 @@ let run_indexed ?(schedule = Clock.no_events) ~ticks ~inputs (ix : indexed) =
       go (tick + 1) (Trace.record_ordered trace row)
     end
   in
-  go 0 trace
+  go start trace
+
+let run_indexed ?(schedule = Clock.no_events) ~ticks ~inputs (ix : indexed) =
+  let trace = Trace.make ~flows:(ix.ix_in_ports @ ix.ix_out_ports) in
+  let state = indexed_init ix in
+  ix_run_span ~schedule ~start:0 ~stop:ticks ~inputs ix state trace
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots of indexed runs                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A deep copy of an [ix_state].  [comp_state] values are immutable
+   (persistent interpreter states), so copying the one mutable [xst]
+   cell suffices for atomic nodes; network nodes copy their message
+   arrays (messages themselves are immutable values).  Cost is
+   O(slots + registers + bounds) per net — no traversal of the model. *)
+let rec ix_copy_state (state : ix_state) : ix_state =
+  match state with
+  | Xst_atomic { xst } -> Xst_atomic { xst }
+  | Xst_net ns ->
+    Xst_net
+      { x_slots = Array.copy ns.x_slots;
+        x_buffers = Array.copy ns.x_buffers;
+        x_bout = Array.copy ns.x_bout;
+        x_subs = Array.map ix_copy_state ns.x_subs }
+
+module Snapshot = struct
+  type t = {
+    sn_ix : indexed;
+    sn_tick : int;
+    sn_state : ix_state; (* private copy, never stepped *)
+    sn_trace : Trace.t;  (* persistent: rows [0, sn_tick) *)
+  }
+
+  let tick s = s.sn_tick
+  let trace s = s.sn_trace
+end
+
+let snapshot_run ?(schedule = Clock.no_events) ~at ~inputs (ix : indexed) =
+  let trace = Trace.make ~flows:(ix.ix_in_ports @ ix.ix_out_ports) in
+  let state = indexed_init ix in
+  let rec go tick trace at acc =
+    match at with
+    | [] -> List.rev acc
+    | t :: rest when t = tick ->
+      if Probe.active () then Probe.hit snapshot_capture;
+      let snap =
+        { Snapshot.sn_ix = ix;
+          sn_tick = tick;
+          sn_state = ix_copy_state state;
+          sn_trace = trace }
+      in
+      go tick trace rest (snap :: acc)
+    | t :: _ ->
+      if t < tick then
+        sim_error "snapshot_run: capture ticks must be sorted ascending"
+      else
+        let trace =
+          ix_run_span ~schedule ~start:tick ~stop:t ~inputs ix state trace
+        in
+        go t trace at acc
+  in
+  go 0 trace at []
+
+let resume_indexed ?(schedule = Clock.no_events) ~ticks ~inputs
+    (snap : Snapshot.t) =
+  if snap.Snapshot.sn_tick > ticks then
+    sim_error "resume_indexed: snapshot is past the requested horizon";
+  if Probe.active () then Probe.hit snapshot_restore;
+  let state = ix_copy_state snap.Snapshot.sn_state in
+  ix_run_span ~schedule ~start:snap.Snapshot.sn_tick ~stop:ticks ~inputs
+    snap.Snapshot.sn_ix state snap.Snapshot.sn_trace
 
 (* ------------------------------------------------------------------ *)
 (* Batched simulation                                                 *)
@@ -1503,14 +1579,52 @@ let rec stage_expr resolve (e : Expr.t) : bkern =
 (* A staged step over one contiguous instance range [lo, hi). *)
 type bstep = benv -> int -> int -> unit
 
+(* Registry of a staged batch's per-instance state.  Every staging
+   function that allocates state carrying over from tick to tick
+   registers both a reset (all columns back to initial values) and a
+   snapshot site: [site col] copies column [col]'s cells into private
+   storage and returns a writer that deposits them into any destination
+   column.  Per-tick scratch (expression temps, update staging planes,
+   the input planes) is deliberately NOT registered — it is fully
+   rewritten before being read each tick. *)
+type breg = {
+  mutable rg_resets : (unit -> unit) list;
+  mutable rg_sites : (int -> int -> unit) list;
+}
+
+let reg_reset reg f = reg.rg_resets <- f :: reg.rg_resets
+
+(* Snapshot site over [rows] rows of plane [p]. *)
+let reg_plane_site reg ~stride p rows =
+  if rows > 0 then
+    reg.rg_sites <-
+      (fun col ->
+        let tmp = bplanes_make ~stride:1 rows in
+        for r = 0 to rows - 1 do
+          elt_copy p ((r * stride) + col) tmp r
+        done;
+        fun dst ->
+          for r = 0 to rows - 1 do
+            elt_copy tmp r p ((r * stride) + dst)
+          done)
+      :: reg.rg_sites
+
+(* Snapshot site over one cell per column of an ordinary array holding
+   immutable elements (STD state indices, interpreter states). *)
+let reg_cell_site reg ~get ~set =
+  reg.rg_sites <-
+    (fun col ->
+      let v = get col in
+      fun dst -> set dst v)
+    :: reg.rg_sites
+
 let reg_alloc ~stride ~resets init =
   let p = bplanes_make ~stride 1 in
-  resets :=
-    (fun () ->
+  reg_reset resets (fun () ->
       for i = 0 to stride - 1 do
         bp_set_value p i init
-      done)
-    :: !resets;
+      done);
+  reg_plane_site resets ~stride p 1;
   (p, 0)
 
 (* First matching driver wins, as the indexed engine's linear scan. *)
@@ -1993,16 +2107,18 @@ let stage_std ~stride ~resets ~resolve
   in
   let init_state = state_idx std.Model.std_initial in
   let state_col = Array.make stride init_state in
-  resets :=
-    (fun () ->
+  reg_reset resets (fun () ->
       Array.fill state_col 0 stride init_state;
       Array.iteri
         (fun v (_, init) ->
           for i = 0 to stride - 1 do
             bp_set_value var_planes ((v * stride) + i) init
           done)
-        vars)
-    :: !resets;
+        vars);
+  reg_plane_site resets ~stride var_planes nvars;
+  reg_cell_site resets
+    ~get:(fun c -> Array.unsafe_get state_col c)
+    ~set:(fun c v -> Array.unsafe_set state_col c v);
   let all_sinks = List.map snd sinks in
   let name = std.Model.std_name in
   fun be lo hi ->
@@ -2088,12 +2204,15 @@ let stage_std ~stride ~resets ~resolve
 let stage_interp ~stride ~resets ~(drivers : (string * brow) array)
     ~(sinks : (string * (bplanes * int)) list) ~ports behavior : bstep =
   let states = Array.init stride (fun _ -> init_behavior ~ports behavior) in
-  resets :=
-    (fun () ->
+  reg_reset resets (fun () ->
       for i = 0 to stride - 1 do
         states.(i) <- init_behavior ~ports behavior
-      done)
-    :: !resets;
+      done);
+  (* [comp_state] values are immutable, so sharing one across columns is
+     safe *)
+  reg_cell_site resets
+    ~get:(fun c -> Array.unsafe_get states c)
+    ~set:(fun c v -> Array.unsafe_set states c v);
   let ndrv = Array.length drivers in
   let sinks = Array.of_list sinks in
   fun be lo hi ->
@@ -2145,8 +2264,7 @@ let rec stage_net ~stride ~resets ~(boundary : string -> brow) (n : ix_net) :
   let buffers = bplanes_make ~stride nchans in
   let nbounds = Array.length n.xn_bounds in
   let bout = bplanes_make ~stride nbounds in
-  resets :=
-    (fun () ->
+  reg_reset resets (fun () ->
       for r = 0 to nslots - 1 do
         row_fill_absent slots (r * stride) 0 stride
       done;
@@ -2158,8 +2276,13 @@ let rec stage_net ~stride ~resets ~(boundary : string -> brow) (n : ix_net) :
       done;
       for r = 0 to nbounds - 1 do
         row_fill_absent bout (r * stride) 0 stride
-      done)
-    :: !resets;
+      done);
+  (* the delay registers are the only carried state here; slots and
+     boundary outputs are fully rewritten before being read each tick,
+     but snapshotting them too keeps capture trivially complete *)
+  reg_plane_site resets ~stride slots nslots;
+  reg_plane_site resets ~stride buffers nchans;
+  reg_plane_site resets ~stride bout nbounds;
   let brow_of = function
     | Rd_boundary port -> boundary port
     | Rd_slot i -> Brow (slots, i * stride)
@@ -2281,6 +2404,7 @@ type batch = {
   bb_out_rows : brow array; (* per declared output port *)
   bb_step : bstep;
   bb_reset : unit -> unit;
+  bb_sites : (int -> int -> unit) list; (* per-instance snapshot sites *)
   mutable bb_count : int;
   mutable bb_ticks : int;
   mutable bb_trace : bplanes;
@@ -2311,7 +2435,7 @@ let batch ~instances (ix : indexed) : batch =
   if instances <= 0 then
     sim_error "batch: instances must be positive (got %d)" instances;
   let stride = instances in
-  let resets = ref [] in
+  let resets = { rg_resets = []; rg_sites = [] } in
   let tbl = Hashtbl.create 16 in
   let add name =
     if not (Hashtbl.mem tbl name) then Hashtbl.add tbl name (Hashtbl.length tbl)
@@ -2348,6 +2472,7 @@ let batch ~instances (ix : indexed) : batch =
           bounds )
     | Ix_atomic a ->
       let out_planes = bplanes_make ~stride (List.length ix.ix_out_ports) in
+      reg_plane_site resets ~stride out_planes (List.length ix.ix_out_ports);
       let sinks =
         List.mapi (fun i port -> (port, (out_planes, i * stride))) ix.ix_out_ports
       in
@@ -2361,7 +2486,7 @@ let batch ~instances (ix : indexed) : batch =
       in
       (step, Array.of_list (List.map (fun (_, row) -> Brow (fst row, snd row)) sinks))
   in
-  let rs = !resets in
+  let rs = resets.rg_resets in
   let reset () = List.iter (fun f -> f ()) rs in
   reset ();
   { bb_ix = ix;
@@ -2376,6 +2501,7 @@ let batch ~instances (ix : indexed) : batch =
     bb_out_rows = out_rows;
     bb_step = step;
     bb_reset = reset;
+    bb_sites = resets.rg_sites;
     bb_count = 0;
     bb_ticks = 0;
     bb_trace = bplanes_make ~stride 0 }
@@ -2383,27 +2509,36 @@ let batch ~instances (ix : indexed) : batch =
 let batch_instances b = b.bb_instances
 let batch_count b = b.bb_count
 
-let run_batch ?schedules ?map ?(shards = 1) ?count ~ticks ~inputs (b : batch)
-    =
+let run_batch ?schedules ?map ?(shards = 1) ?count ?(start = 0) ?stop
+    ?(reset = true) ~ticks ~inputs (b : batch) =
   let count = match count with Some c -> c | None -> b.bb_instances in
   if count <= 0 || count > b.bb_instances then
     sim_error "run_batch: count %d out of range (batch holds %d instances)"
       count b.bb_instances;
   if ticks < 0 then sim_error "run_batch: negative ticks (%d)" ticks;
+  let stop = match stop with Some s -> s | None -> ticks in
+  if start < 0 || start > stop || stop > ticks then
+    sim_error "run_batch: bad span [%d, %d) over %d ticks" start stop ticks;
   let shards = max 1 (min shards count) in
-  b.bb_reset ();
+  let stride = b.bb_instances in
+  let nflows = b.bb_nflows in
+  if reset then begin
+    b.bb_reset ();
+    b.bb_trace <- bplanes_make ~stride (nflows * ticks);
+    b.bb_ticks <- ticks
+  end
+  else if b.bb_ticks <> ticks then
+    sim_error
+      "run_batch: resumed span expects the previous horizon %d (got %d)"
+      b.bb_ticks ticks;
   let infns : input_fn array = Array.init count inputs in
   let scheds =
     match schedules with
     | None -> Array.make count Clock.no_events
     | Some f -> Array.init count f
   in
-  let stride = b.bb_instances in
-  let nflows = b.bb_nflows in
-  let trace = bplanes_make ~stride (nflows * ticks) in
-  b.bb_trace <- trace;
+  let trace = b.bb_trace in
   b.bb_count <- count;
-  b.bb_ticks <- ticks;
   let nin_rows = b.bb_nin_rows in
   let ntrace_in = Array.length b.bb_in_rows in
   let run_range lo hi () =
@@ -2411,7 +2546,7 @@ let run_batch ?schedules ?map ?(shards = 1) ?count ~ticks ~inputs (b : batch)
     (* first-offered-wins per port and tick, as [List.assoc_opt] *)
     let stamp = Array.make (max 1 nin_rows) (-1) in
     let gen = ref 0 in
-    for tick = 0 to ticks - 1 do
+    for tick = start to stop - 1 do
       be.b_tick <- tick;
       if Probe.active () then
         for _ = lo to hi - 1 do
@@ -2486,3 +2621,54 @@ let batch_trace (b : batch) ~instance =
     trace := Trace.record_ordered !trace row
   done;
   !trace
+
+(* ---------------- Batched snapshots ------------------------------- *)
+
+type batch_snapshot = {
+  bn_batch : batch;
+  bn_tick : int;
+  bn_ticks : int; (* horizon of the span being snapshotted *)
+  bn_writers : (int -> unit) list;
+  bn_trace : bplanes; (* captured trace prefix, stride 1 *)
+}
+
+let batch_snapshot (b : batch) ~instance ~tick =
+  if instance < 0 || instance >= b.bb_instances then
+    sim_error "batch_snapshot: instance %d out of range (batch holds %d)"
+      instance b.bb_instances;
+  if tick < 0 || tick > b.bb_ticks then
+    sim_error "batch_snapshot: tick %d out of range (horizon %d)" tick
+      b.bb_ticks;
+  if Probe.active () then Probe.hit snapshot_capture;
+  let stride = b.bb_instances in
+  let rows = tick * b.bb_nflows in
+  let tr = bplanes_make ~stride:1 rows in
+  for r = 0 to rows - 1 do
+    elt_copy b.bb_trace ((r * stride) + instance) tr r
+  done;
+  { bn_batch = b;
+    bn_tick = tick;
+    bn_ticks = b.bb_ticks;
+    (* each site copies its column's cells out now, so the snapshot
+       stays valid when the source column is stepped on or reused *)
+    bn_writers = List.map (fun site -> site instance) b.bb_sites;
+    bn_trace = tr }
+
+let batch_snapshot_tick s = s.bn_tick
+
+let batch_restore (b : batch) (snap : batch_snapshot) ~instance =
+  if snap.bn_batch != b then
+    sim_error "batch_restore: snapshot belongs to a different batch";
+  if instance < 0 || instance >= b.bb_instances then
+    sim_error "batch_restore: instance %d out of range (batch holds %d)"
+      instance b.bb_instances;
+  if b.bb_ticks <> snap.bn_ticks then
+    sim_error "batch_restore: batch horizon changed since capture (%d vs %d)"
+      b.bb_ticks snap.bn_ticks;
+  if Probe.active () then Probe.hit snapshot_restore;
+  List.iter (fun w -> w instance) snap.bn_writers;
+  let stride = b.bb_instances in
+  let rows = snap.bn_tick * b.bb_nflows in
+  for r = 0 to rows - 1 do
+    elt_copy snap.bn_trace r b.bb_trace ((r * stride) + instance)
+  done

@@ -118,6 +118,67 @@ val run_indexed :
 (** Like {!run}, over an indexed component (one fresh {!indexed_init}
     per call). *)
 
+(** {1 Snapshots}
+
+    First-class checkpoints of an indexed run, the substrate for
+    prefix-sharing campaign execution ([Robust.Prefix]): when many
+    scenarios agree on a stimulus prefix, the prefix is simulated once,
+    snapshotted at each divergence tick, and only the suffixes replay.
+
+    {b Determinism contract.}  Snapshot capture copies the complete
+    mutable run state — every value slot, delay register, boundary
+    output and sub-component state (STD states and variables, MTD mode
+    history, [Pre]/[Current] registers), recursively — in
+    O(slots + registers) time, without touching the model.  Resuming a
+    snapshot taken at tick [t] and running to [ticks] therefore replays
+    {e exactly} the loop iterations [t..ticks-1] of a straight
+    {!run_indexed}: if the resumed [inputs] and [schedule] agree with
+    the capture run on every tick [>= t], the resulting trace is
+    byte-identical to the straight run's — independent of how many
+    snapshots were taken, of resume order, and of which domain resumes
+    (a resume never mutates the snapshot; each call steps a private
+    copy).  Asserted at [cmp] level by the test-suite across faulted,
+    guarded and replicated nets, including mid-silence-window capture
+    points.
+
+    Probe counters [sim.snapshot.capture] / [sim.snapshot.restore]
+    count captures and resumes; like all probes they are no-ops without
+    an installed sink, so default reports are unaffected. *)
+
+module Snapshot : sig
+  type t
+  (** An immutable checkpoint: the capture tick, a private copy of the
+      run state, and the (persistent) trace prefix up to the capture
+      tick. *)
+
+  val tick : t -> int
+  (** The tick at which the snapshot was captured. *)
+
+  val trace : t -> Trace.t
+  (** The trace rows recorded before the capture tick.  Persistent —
+      shared structurally by every resumed run, so N suffixes of one
+      prefix cost no prefix re-recording. *)
+end
+
+val snapshot_run :
+  ?schedule:Clock.schedule -> at:int list -> inputs:input_fn -> indexed ->
+  Snapshot.t list
+(** Run one simulation from tick 0, capturing a snapshot at each tick
+    in [at] (sorted ascending, duplicates allowed; a capture at tick
+    [t] happens before tick [t]'s step, so [at = [0]] checkpoints the
+    initial state).  The run stops at the last capture tick.  Returns
+    the snapshots in capture order.
+    @raise Sim_error when [at] is not sorted ascending. *)
+
+val resume_indexed :
+  ?schedule:Clock.schedule -> ticks:int -> inputs:input_fn -> Snapshot.t ->
+  Trace.t
+(** Continue a snapshot to [ticks] total ticks (ticks [t..ticks-1] are
+    simulated, where [t] is the capture tick).  See the determinism
+    contract above: byte-identical to the straight run whenever the
+    suffix stimulus and schedule agree with the capture run's prefix.
+    @raise Sim_error when the snapshot lies past [ticks]. *)
+
 (** {1 Batched simulation}
 
     A third lowering stage on top of {!index}: one compiled net stepped
@@ -185,20 +246,58 @@ val run_batch :
   ?map:((unit -> unit) list -> unit) ->
   ?shards:int ->
   ?count:int ->
+  ?start:int ->
+  ?stop:int ->
+  ?reset:bool ->
   ticks:int -> inputs:(int -> input_fn) -> batch -> unit
-(** Step instances [0..count-1] (default: the full capacity) for
-    [ticks] ticks, resetting all state first — a batch is reusable
-    across runs.  [inputs i] / [schedules i] give instance [i]'s
-    stimulus and clock schedule (default: no events).  The instance
-    axis is split into [shards] contiguous ranges (default 1), one
-    thunk each, executed by [map] (default: sequential [List.iter]);
-    pass a domain pool's map to run shards in parallel — results are
-    deterministic either way.  Traces are recorded into planes and
-    materialized lazily by {!batch_trace}.
-    @raise Sim_error when [count] exceeds the compiled capacity. *)
+(** Step instances [0..count-1] (default: the full capacity) over the
+    tick span [\[start, stop)] (defaults [0] and [ticks]) of a
+    [ticks]-tick horizon.  With [reset] (the default) all state is
+    reset first and a fresh trace store for the full horizon is
+    allocated — a batch is reusable across runs; with [~reset:false]
+    the batch continues from its current state (after a previous span
+    or a {!batch_restore}) and keeps recording into the same trace
+    store, which requires the same [ticks] as the allocating run.
+    [inputs i] / [schedules i] give instance [i]'s stimulus and clock
+    schedule (default: no events).  The instance axis is split into
+    [shards] contiguous ranges (default 1), one thunk each, executed by
+    [map] (default: sequential [List.iter]); pass a domain pool's map
+    to run shards in parallel — results are deterministic either way.
+    Traces are recorded into planes and materialized lazily by
+    {!batch_trace}.  Running [\[0, t)] then [\[t, ticks)] without reset
+    is byte-identical to one [\[0, ticks)] run (same loop iterations).
+    @raise Sim_error when [count] exceeds the compiled capacity or the
+    span is out of range. *)
 
 val batch_trace : batch -> instance:int -> Trace.t
 (** The trace instance [instance] produced in the most recent
     {!run_batch} — byte-identical to the {!run_indexed} trace under the
     same stimulus and schedule.  @raise Sim_error when [instance] is
     outside the last run. *)
+
+type batch_snapshot
+(** A checkpoint of one instance column of a batch: the capture tick,
+    every snapshot site's cells for that column (copied out, so the
+    column may be stepped on or reused) and the column's trace rows
+    before the capture tick.  The batched counterpart of
+    {!Snapshot.t}, with the same determinism contract:
+    [batch_restore] into any column followed by a [~reset:false] span
+    [\[t, ticks)] replays exactly the loop iterations a straight run
+    would execute for that column. *)
+
+val batch_snapshot : batch -> instance:int -> tick:int -> batch_snapshot
+(** Capture instance [instance]'s state, asserting it has been stepped
+    exactly to [tick] (rows after [tick] are not captured).  O(sites)
+    per call; hits [sim.snapshot.capture].
+    @raise Sim_error when [instance] or [tick] is out of range. *)
+
+val batch_snapshot_tick : batch_snapshot -> int
+(** The capture tick. *)
+
+val batch_restore : batch -> batch_snapshot -> instance:int -> unit
+(** Write the snapshot's state and trace prefix into column
+    [instance] (any column — forking one snapshot across the instance
+    axis is the point).  The snapshot must come from this batch and the
+    batch's horizon must be unchanged since capture.  Follow with
+    [run_batch ~reset:false ~start:(batch_snapshot_tick snap)].
+    @raise Sim_error on batch mismatch or horizon change. *)

@@ -52,6 +52,32 @@ let column t flow =
       | None -> Value.Absent)
     (ticks t)
 
+(* Every column in one walk over the rows.  Rows recorded through
+   [record] (and [record_ordered]'s contract) are already in flow-name
+   order, so each row zips against the column list directly; a row that
+   is not in order falls back to the assoc lookup per flow. *)
+let columns t =
+  let n = List.length t.rev_ticks in
+  let cols = List.map (fun f -> (f, Array.make n Value.Absent)) t.flow_names in
+  List.iteri
+    (fun i row ->
+      let tick = n - 1 - i in
+      let rec go cs r =
+        match cs with
+        | [] -> ()
+        | (f, arr) :: cs' ->
+          (match r with
+           | (f', msg) :: r' when String.equal f f' ->
+             arr.(tick) <- msg;
+             go cs' r'
+           | _ ->
+             arr.(tick) <- row_get row f;
+             go cs' r)
+      in
+      go cols row)
+    t.rev_ticks;
+  cols
+
 let equal_on ~flows:fs a b =
   length a = length b
   && List.for_all

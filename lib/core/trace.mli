@@ -28,6 +28,12 @@ val get : t -> flow:string -> tick:int -> Value.message
 val column : t -> string -> Value.message list
 (** The full message stream of one flow.  @raise Not_found. *)
 
+val columns : t -> (string * Value.message array) list
+(** Every flow's column at once, in declaration order — one O(ticks *
+    flows) walk over the rows instead of a {!column} call per flow.
+    Equivalent to [List.map (fun f -> (f, Array.of_list (column t f)))
+    (flows t)]. *)
+
 val equal : t -> t -> bool
 (** Same flows (in any order), same length, same messages everywhere. *)
 

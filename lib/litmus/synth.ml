@@ -68,7 +68,7 @@ let proper_subset_canons atoms =
     (List.init (max 0 (n - 1)) (fun i -> i + 1))
 
 let run ?cache ?(config = default_config) ?(domains = 1) ?(instances = 1)
-    ~twin ~alphabet () =
+    ?(prefix_share = true) ~twin ~alphabet () =
   if config.bound < 1 then invalid_arg "Synth.run: bound must be >= 1";
   if config.max_scenarios < 1 then
     invalid_arg "Synth.run: max_scenarios must be >= 1";
@@ -127,12 +127,13 @@ let run ?cache ?(config = default_config) ?(domains = 1) ?(instances = 1)
       else
         let opss = Array.of_list (List.map (fun (s, _) -> Space.ops s) missing) in
         let faulty_u =
-          Builder.trace_cases ~domains ~instances twin.Eval.unguarded ~seed:0
-            ~ticks:horizon opss
+          Builder.trace_cases ~domains ~instances ~share:prefix_share
+            twin.Eval.unguarded ~seed:0 ~ticks:horizon opss
         in
         let faulty_g =
-          Builder.trace_cases ~domains ~instances twin.Eval.guarded ~seed:0
-            ~ticks:(Builder.ticks twin.Eval.guarded) opss
+          Builder.trace_cases ~domains ~instances ~share:prefix_share
+            twin.Eval.guarded ~seed:0 ~ticks:(Builder.ticks twin.Eval.guarded)
+            opss
         in
         List.mapi
           (fun i (s, canon) ->
@@ -156,7 +157,7 @@ let run ?cache ?(config = default_config) ?(domains = 1) ?(instances = 1)
       probed
   in
   let evaluated =
-    if instances > 1 then eval_batched ()
+    if instances > 1 || prefix_share then eval_batched ()
     else if domains > 1 then Parallel.map ~domains eval_one scenarios
     else List.map eval_one scenarios
   in

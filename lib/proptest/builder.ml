@@ -134,20 +134,22 @@ let run_ops t ~seed ~ops ~ticks =
 let trace_ops t ~seed ~ops ~ticks =
   trace_of t ~faults:(faults_of t ~seed ~ops) ~ticks
 
-(* Batched traces over many op lists of one spec: the struct-of-arrays
-   engine when [instances > 1] and the spec runs the Indexed engine, a
-   plain [trace_ops] loop otherwise.  Trace i belongs to opss.(i); both
-   paths are byte-identical. *)
-let trace_cases ?(domains = 1) ?(instances = 1) t ~seed ~ticks opss =
-  if instances > 1 && t.engine = Indexed then
+(* Batched traces over many op lists of one spec: the prefix-sharing
+   executor when [share] is set or [instances > 1] and the spec runs
+   the Indexed engine, a plain [trace_ops] loop otherwise.  Trace i
+   belongs to opss.(i); all paths are byte-identical. *)
+let trace_cases ?(domains = 1) ?(instances = 1) ?(share = false) t ~seed
+    ~ticks opss =
+  if (instances > 1 || share) && t.engine = Indexed then
     let cases =
       Array.map
         (fun ops ->
           let faults = faults_of t ~seed ~ops in
-          (Fault.apply faults t.inputs, schedule_of t faults))
+          (faults, Fault.apply faults t.inputs, schedule_of t faults))
         opss
     in
-    Fleet.traces ~domains ~instances ~ix:(Lazy.force t.ixc) ~ticks cases
+    Prefix.traces ~domains ~instances ~share ~ix:(Lazy.force t.ixc) ~ticks
+      ~base_inputs:t.inputs ~base_schedule:(schedule_of t []) cases
   else Array.map (fun ops -> trace_ops t ~seed ~ops ~ticks) opss
 
 let eval_monitors t tr = verdicts_of t tr
@@ -318,7 +320,7 @@ let case_failures ?(shrink = true) t case =
    evaluate observers and monitors in case order.  Only meaningful for
    the Indexed engine — the other engines exist to be compared against
    and stay looped. *)
-let run_cases_batched ~domains ~instances t ~seeds =
+let run_cases_batched ~domains ~instances ~share t ~seeds =
   let specs =
     Array.of_list
       (List.concat_map
@@ -333,12 +335,14 @@ let run_cases_batched ~domains ~instances t ~seeds =
   in
   let cases =
     Array.map
-      (fun faults -> (Fault.apply faults t.inputs, schedule_of t faults))
+      (fun faults ->
+        (faults, Fault.apply faults t.inputs, schedule_of t faults))
       faultss
   in
   let traces =
-    Fleet.traces ~domains ~instances ~ix:(Lazy.force t.ixc)
-      ~ticks:t.spec_ticks cases
+    Prefix.traces ~domains ~instances ~share ~ix:(Lazy.force t.ixc)
+      ~ticks:t.spec_ticks ~base_inputs:t.inputs
+      ~base_schedule:(schedule_of t []) cases
   in
   Array.to_list
     (Array.mapi
@@ -348,11 +352,12 @@ let run_cases_batched ~domains ~instances t ~seeds =
          { seed; iteration; ops = opss.(i); verdicts = verdicts_of t tr })
        traces)
 
-let run ?(shrink = true) ?(domains = 1) ?(instances = 1) t ~seeds =
+let run ?(shrink = true) ?(domains = 1) ?(instances = 1)
+    ?(prefix_share = true) t ~seeds =
   prepare t;
   let cases =
-    if instances > 1 && t.engine = Indexed then
-      run_cases_batched ~domains ~instances t ~seeds
+    if (instances > 1 || prefix_share) && t.engine = Indexed then
+      run_cases_batched ~domains ~instances ~share:prefix_share t ~seeds
     else
       let cases_of_seed seed =
         List.init t.iters (fun i -> run_case t ~seed ~iteration:(i + 1))

@@ -124,15 +124,18 @@ val trace_ops : t -> seed:int -> ops:Op.t list -> ticks:int -> Trace.t
     or diff traces themselves (e.g. litmus-scenario deduplication). *)
 
 val trace_cases :
-  ?domains:int -> ?instances:int -> t -> seed:int -> ticks:int ->
-  Op.t list array -> Trace.t array
+  ?domains:int -> ?instances:int -> ?share:bool -> t -> seed:int ->
+  ticks:int -> Op.t list array -> Trace.t array
 (** {!trace_ops} over many operation lists at once: trace [i] belongs
-    to element [i] of the input.  With [?instances] > 1 and the
-    {!Indexed} engine the lists run through the struct-of-arrays
-    batched engine ({!Automode_robust.Fleet.traces}, sharded over
-    [?domains]); otherwise they loop through {!trace_ops}.  Both paths
-    yield byte-identical traces — this is the litmus synthesis
-    fan-out primitive. *)
+    to element [i] of the input.  With [?instances] > 1 or
+    [~share:true] (default [false]) and the {!Indexed} engine the
+    lists run through the prefix-sharing executor
+    ({!Automode_robust.Prefix.traces}, sharded over [?domains]):
+    [share] simulates the fault-free prefix common to the compiled op
+    sequences once and replays only suffixes; [instances] forks
+    snapshots across the batched engine's instance axis.  Otherwise
+    they loop through {!trace_ops}.  All paths yield byte-identical
+    traces — this is the litmus synthesis fan-out primitive. *)
 
 val eval_monitors : t -> Trace.t -> (string * Monitor.verdict) list
 (** Judge an already-recorded trace against every attached monitor, in
@@ -190,16 +193,18 @@ val case_failures : ?shrink:bool -> t -> case -> failure list
     unless [~shrink:false]. *)
 
 val run :
-  ?shrink:bool -> ?domains:int -> ?instances:int -> t -> seeds:int list ->
-  campaign
+  ?shrink:bool -> ?domains:int -> ?instances:int -> ?prefix_share:bool ->
+  t -> seeds:int list -> campaign
 (** The full sweep: [iterations] cases per seed, fanned out over
     [?domains] (default 1) per-seed via
     {!Automode_robust.Parallel.map} and merged back in seed order;
     shrinking always runs serially after the sweep.  [?instances]
     (default 1) batches the cases through the struct-of-arrays engine
-    ({!Automode_robust.Fleet.traces}) when the spec runs the [Indexed]
+    and [?prefix_share] (default [true]) shares the fault-free prefix
+    common to the generated op sequences via
+    {!Automode_robust.Prefix.traces} when the spec runs the [Indexed]
     engine — observers then fire in case order, and the campaign is
-    byte-identical to the looped run either way. *)
+    byte-identical to the looped run in every mode. *)
 
 val gate : campaign -> bool
 (** [true] iff the campaign has no failures — the CI exit-code gate. *)

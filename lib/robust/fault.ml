@@ -86,6 +86,39 @@ let last_active_tick faults ~horizon =
   in
   go (horizon - 1)
 
+(* The first tick a fault can alter its flow (or fire an event through
+   {!schedule_of_faults}).  Exact: the deterministic activations read
+   their bounds, [Random_ticks] scans [active] (a pure function of the
+   tick).  Every fault kind passes the original stimulus through
+   unchanged while inactive, so below the minimum first-active tick of
+   a catalog the transformed stimulus — and any schedule derived via
+   {!schedule_of_faults} — is identical to the fault-free one; that is
+   the divergence analysis prefix-sharing execution builds on. *)
+let first_active_tick t ~horizon =
+  if horizon <= 0 then horizon
+  else
+    match t.activation with
+    | Always -> 0
+    | From { from_tick } -> min from_tick horizon
+    | Window { from_tick; until_tick } ->
+      if until_tick <= from_tick || from_tick >= horizon then horizon
+      else from_tick
+    | Random_ticks { probability; _ } ->
+      if probability >= 1.0 then 0
+      else if probability <= 0. then horizon
+      else
+        let rec go tick =
+          if tick >= horizon then horizon
+          else if active t ~tick then tick
+          else go (tick + 1)
+        in
+        go 0
+
+let first_effect_tick faults ~horizon =
+  List.fold_left
+    (fun acc f -> min acc (first_active_tick f ~horizon))
+    horizon faults
+
 let describe_activation = function
   | Always -> "always"
   | Window { from_tick; until_tick } ->
@@ -140,50 +173,72 @@ let apply_one fault inputs =
   let cache : (int, (string * Value.message) list) Hashtbl.t =
     Hashtbl.create 64
   in
-  let held = ref None in
-  let computed = ref 0 in
-  let compute tick =
-    let base = inputs tick in
-    let orig = flow_message base fault.flow in
-    let act = active fault ~tick in
-    let out =
-      match fault.kind with
-      | Stuck_at_last ->
-        let r =
-          if act then
-            match !held with Some v -> Value.Present v | None -> Value.Absent
-          else orig
-        in
-        (* the frozen sensor does not refresh its held sample *)
-        (match orig with
-         | Value.Present v when not act -> held := Some v
-         | _ -> ());
-        r
-      | Dropout -> if act then Value.Absent else orig
-      | Noise { amplitude; noise_seed } ->
+  match fault.kind with
+  | Stuck_at_last ->
+    (* history-dependent: the held sample depends on every tick before
+       the query, so queries force the ticks before them in order *)
+    let held = ref None in
+    let computed = ref 0 in
+    let compute tick =
+      let base = inputs tick in
+      let orig = flow_message base fault.flow in
+      let act = active fault ~tick in
+      let r =
         if act then
-          noisy ~amplitude ~seed:noise_seed ~flow:fault.flow ~tick orig
+          match !held with Some v -> Value.Present v | None -> Value.Absent
         else orig
-      | Spike { value } -> if act then Value.Present value else orig
-      | Delayed { by } ->
-        if act then
-          if tick >= by then flow_message (inputs (tick - by)) fault.flow
-          else Value.Absent
-        else orig
+      in
+      (* the frozen sensor does not refresh its held sample *)
+      (match orig with
+       | Value.Present v when not act -> held := Some v
+       | _ -> ());
+      set_flow base fault.flow r
     in
-    set_flow base fault.flow out
-  in
-  fun tick ->
-    if tick < 0 then []
-    else begin
-      while !computed <= tick do
-        Hashtbl.replace cache !computed (compute !computed);
-        incr computed
-      done;
-      match Hashtbl.find_opt cache tick with
-      | Some msgs -> msgs
-      | None -> compute tick
-    end
+    fun tick ->
+      if tick < 0 then []
+      else begin
+        while !computed <= tick do
+          Hashtbl.replace cache !computed (compute !computed);
+          incr computed
+        done;
+        match Hashtbl.find_opt cache tick with
+        | Some msgs -> msgs
+        | None -> compute tick
+      end
+  | Dropout | Noise _ | Spike _ | Delayed _ ->
+    (* pure per tick (Noise re-seeds its RNG from the tick), so queries
+       memoize without forcing earlier ticks — a run resumed from a
+       snapshot at tick t costs O(horizon - t), not O(horizon) *)
+    let compute tick =
+      let base = inputs tick in
+      let orig = flow_message base fault.flow in
+      let act = active fault ~tick in
+      let out =
+        match fault.kind with
+        | Stuck_at_last -> assert false
+        | Dropout -> if act then Value.Absent else orig
+        | Noise { amplitude; noise_seed } ->
+          if act then
+            noisy ~amplitude ~seed:noise_seed ~flow:fault.flow ~tick orig
+          else orig
+        | Spike { value } -> if act then Value.Present value else orig
+        | Delayed { by } ->
+          if act then
+            if tick >= by then flow_message (inputs (tick - by)) fault.flow
+            else Value.Absent
+          else orig
+      in
+      set_flow base fault.flow out
+    in
+    fun tick ->
+      if tick < 0 then []
+      else (
+        match Hashtbl.find_opt cache tick with
+        | Some msgs -> msgs
+        | None ->
+          let msgs = compute tick in
+          Hashtbl.replace cache tick msgs;
+          msgs)
 
 let apply faults inputs = List.fold_left (fun fn f -> apply_one f fn) inputs faults
 

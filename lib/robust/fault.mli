@@ -68,6 +68,21 @@ val last_active_tick : t list -> horizon:int -> int option
     or [None] when none ever fires — the reference point of
     {!Monitor.recovers} obligations. *)
 
+val first_active_tick : t -> horizon:int -> int
+(** The first tick below [horizon] where the fault is active, or
+    [horizon] when it never activates in range.  Exact: deterministic
+    activations read their bounds, [Random_ticks] scans the pure
+    {!active} predicate. *)
+
+val first_effect_tick : t list -> horizon:int -> int
+(** The first tick below [horizon] where {e any} listed fault is
+    active, or [horizon] for a fault-free (or never-active) catalog.
+    Every fault kind passes the original stimulus through unchanged
+    while inactive, so strictly below this tick the {!apply}-transformed
+    stimulus and any {!schedule_of_faults}-derived schedule are
+    identical to the fault-free ones — the divergence analysis that
+    {!Prefix} builds its fork tree from. *)
+
 val apply : t list -> Sim.input_fn -> Sim.input_fn
 (** Compose the faults over a stimulus, left to right.  The result
     memoizes per-tick so history-dependent faults (stuck-at-last) stay

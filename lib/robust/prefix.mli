@@ -1,0 +1,51 @@
+(** Checkpointed prefix-sharing campaign execution.
+
+    Campaign cases over one compiled net are byte-identical until their
+    fault catalogs first take effect: every fault kind passes the
+    original stimulus through while inactive, and schedules derived via
+    {!Fault.schedule_of_faults} only add events at active ticks.  This
+    executor therefore simulates the fault-free {e trunk} once,
+    snapshots it at every distinct first-effect tick
+    ({!Fault.first_effect_tick}), and replays only the per-case
+    suffixes — byte-identical to looping [run_indexed] by construction
+    (asserted by the test-suite for all five campaign kinds, pinned by
+    bench section E22).
+
+    Probe counters (no-ops without a sink, as all probes):
+    - [campaign.prefix.groups] — distinct fork ticks (snapshots taken);
+    - [campaign.prefix.forks] — cases resumed from a snapshot;
+    - [campaign.prefix.shared_ticks] — prefix ticks {e not}
+      re-simulated, summed over resumed cases;
+    - [campaign.prefix.replayed_ticks] — ticks actually simulated
+      (trunk + all suffixes + full runs of tick-0 cases). *)
+
+val traces :
+  ?domains:int ->
+  ?instances:int ->
+  ?share:bool ->
+  ix:Automode_core.Sim.indexed ->
+  ticks:int ->
+  base_inputs:Automode_core.Sim.input_fn ->
+  base_schedule:Automode_core.Clock.schedule ->
+  (Fault.t list * Automode_core.Sim.input_fn * Automode_core.Clock.schedule)
+  array ->
+  Automode_core.Trace.t array
+(** [traces ~ix ~ticks ~base_inputs ~base_schedule cases] simulates
+    every [(faults, inputs, schedule)] case and returns its trace, in
+    case order.  [base_inputs] / [base_schedule] are the fault-free
+    stimulus and schedule the trunk runs under; each case's [inputs] /
+    [schedule] must agree with them strictly below the case's
+    {!Fault.first_effect_tick} — automatic when [inputs] is
+    [Fault.apply faults base_inputs] and [schedule] is derived from
+    [faults] via {!Fault.schedule_of_faults} over a fault-independent
+    base.  Callers with hand-written schedules that consult the fault
+    list before its first activation must pass [~share:false].
+
+    With [~share:false] (or when every case forks at tick 0, or
+    [ticks = 0]) execution falls back to plain looped/fleet execution:
+    {!Fleet.traces} when [instances > 1], else one [run_indexed] per
+    case fanned out over [domains].  With sharing on, [instances > 1]
+    forks each snapshot across the instance axis of a {!Sim.batch}
+    ([run_batch]'s span API), so prefix sharing composes with both
+    [--instances] and [--domains].  The result is byte-identical in
+    every mode. *)

@@ -79,23 +79,26 @@ let seed_failures ?(shrink = true) s r =
         Some { fail_seed = r.seed; fail_monitor = mon; verdict = v; shrunk })
     r.verdicts
 
-let run_seeds ?(domains = 1) ?(instances = 1) s ~seeds =
+let run_seeds ?(domains = 1) ?(instances = 1) ?(prefix_share = true) s ~seeds
+    =
   (* Force the index compilation before fanning out, so domains share
      the immutable compiled form instead of racing on the lazy. *)
   prepare s;
-  if instances <= 1 then
+  if instances <= 1 && not prefix_share then
     Parallel.map ~domains (fun seed -> run_seed s ~seed) seeds
   else begin
     let seeds = Array.of_list seeds in
     let injected = Array.map s.faults_of_seed seeds in
     let cases =
       Array.map
-        (fun faults -> (Fault.apply faults s.inputs, s.schedule faults))
+        (fun faults ->
+          (faults, Fault.apply faults s.inputs, s.schedule faults))
         injected
     in
     let traces =
-      Fleet.traces ~domains ~instances ~ix:(Lazy.force s.indexed)
-        ~ticks:s.ticks cases
+      Prefix.traces ~domains ~instances ~share:prefix_share
+        ~ix:(Lazy.force s.indexed) ~ticks:s.ticks ~base_inputs:s.inputs
+        ~base_schedule:(s.schedule []) cases
     in
     Array.to_list
       (Array.mapi
@@ -106,7 +109,8 @@ let run_seeds ?(domains = 1) ?(instances = 1) s ~seeds =
          traces)
   end
 
-let sweep ?(shrink = true) ?(domains = 1) ?(instances = 1) s ~seeds =
-  let results = run_seeds ~domains ~instances s ~seeds in
+let sweep ?(shrink = true) ?(domains = 1) ?(instances = 1)
+    ?(prefix_share = true) s ~seeds =
+  let results = run_seeds ~domains ~instances ~prefix_share s ~seeds in
   let failures = List.concat_map (seed_failures ~shrink s) results in
   { scenario = s.scn_name; horizon = s.ticks; seeds; results; failures }

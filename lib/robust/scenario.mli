@@ -85,19 +85,26 @@ val seed_failures : ?shrink:bool -> t -> seed_result -> failure list
     per-seed slice of a campaign's [failures] list, in verdict order. *)
 
 val run_seeds :
-  ?domains:int -> ?instances:int -> t -> seeds:int list -> seed_result list
+  ?domains:int -> ?instances:int -> ?prefix_share:bool -> t ->
+  seeds:int list -> seed_result list
 (** {!run_seed} over a seed list, results in seed order.  [?instances]
     (default 1) routes the per-seed simulations through the batched
     engine ({!Fleet.traces}): with [instances > 1] all seeds' stimuli
     are expanded first and stepped in lockstep batches of that width.
     [?domains] (default 1) fans out either path over a {!Parallel.map}
     domain pool (per-seed for the looped path, instance-axis shards for
-    the batched one).  Results are byte-identical for every
-    (domains, instances) combination. *)
+    the batched one).  [?prefix_share] (default [true]) executes
+    through {!Prefix.traces}: the fault-free prefix shared by the
+    seeds' catalogs is simulated once and only suffixes replay.  The
+    scenario's [~schedule] function must then agree with
+    [schedule []] strictly below each catalog's first activation
+    (automatic for {!Fault.schedule_of_faults}-derived schedules; pass
+    [~prefix_share:false] otherwise).  Results are byte-identical for
+    every (domains, instances, prefix_share) combination. *)
 
 val sweep :
-  ?shrink:bool -> ?domains:int -> ?instances:int -> t -> seeds:int list ->
-  campaign
+  ?shrink:bool -> ?domains:int -> ?instances:int -> ?prefix_share:bool ->
+  t -> seeds:int list -> campaign
 (** Run the scenario once per seed and collect verdicts; each failing
     (seed, monitor) pair is shrunk to a minimal fault subset and
     shortest failing prefix (disable with [~shrink:false] for cheap

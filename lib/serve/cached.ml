@@ -168,9 +168,13 @@ let seed_key ~scenario_digest scn ~shrink seed =
     (Digest.faults (Scenario.faults scn ~seed))
     shrink Digest.engine_rev
 
-let sweep ?cache ?(shrink = true) ?(domains = 1) ?(instances = 1) scn ~seeds =
+(* [prefix_share] is deliberately absent from the cache key: the
+   prefix-shared execution is byte-identical to the looped one, so
+   entries computed either way are interchangeable. *)
+let sweep ?cache ?(shrink = true) ?(domains = 1) ?(instances = 1)
+    ?(prefix_share = true) scn ~seeds =
   match cache with
-  | None -> Scenario.sweep ~shrink ~domains ~instances scn ~seeds
+  | None -> Scenario.sweep ~shrink ~domains ~instances ~prefix_share scn ~seeds
   | Some cache ->
     let scenario_digest = Digest.scenario scn in
     let key = seed_key ~scenario_digest scn ~shrink in
@@ -191,8 +195,12 @@ let sweep ?cache ?(shrink = true) ?(domains = 1) ?(instances = 1) scn ~seeds =
       if missing = [] then []
       else begin
         (* only the uncached seeds are simulated — batched over the
-           instance axis when [instances > 1], as Scenario.sweep *)
-        let results = Scenario.run_seeds ~domains ~instances scn ~seeds:missing in
+           instance axis when [instances > 1] and prefix-shared by
+           default, as Scenario.sweep *)
+        let results =
+          Scenario.run_seeds ~domains ~instances ~prefix_share scn
+            ~seeds:missing
+        in
         (* shrinking runs serially after the sweep, as in Scenario.sweep *)
         List.map2
           (fun seed r ->

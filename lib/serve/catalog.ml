@@ -6,8 +6,8 @@
 open Automode_robust
 open Automode_casestudy
 
-let robustness ?cache ?shrink ?domains ?instances ~seeds () =
-  Cached.sweep ?cache ?shrink ?domains ?instances
+let robustness ?cache ?shrink ?domains ?instances ?prefix_share ~seeds () =
+  Cached.sweep ?cache ?shrink ?domains ?instances ?prefix_share
     Robustness.door_lock_scenario ~seeds
 
 let robustness_engine ?cache ?domains ~horizon ~seeds () =
@@ -16,8 +16,10 @@ let robustness_engine ?cache ?domains ~horizon ~seeds () =
     ~run:(fun ~seeds -> Robustness.engine_campaign ~horizon ?domains ~seeds ())
     ~seeds ()
 
-let guard ?cache ?shrink ?domains ?instances ~seeds () =
-  let sweep scn = Cached.sweep ?cache ?shrink ?domains ?instances scn ~seeds in
+let guard ?cache ?shrink ?domains ?instances ?prefix_share ~seeds () =
+  let sweep scn =
+    Cached.sweep ?cache ?shrink ?domains ?instances ?prefix_share scn ~seeds
+  in
   ( { Guarded.unguarded = sweep Guarded.unguarded_scenario;
       guarded = sweep Guarded.guarded_scenario },
     sweep Guarded.recovery_scenario )
@@ -30,8 +32,11 @@ let guard_engine ?cache ?domains ~horizon ~seeds () =
         Guarded.guarded_engine_campaign ~horizon ?domains ~seeds ())
       ~seeds () )
 
-let redund ?cache ?shrink ?domains ?instances ~horizon ~seeds () =
-  let sweep scn = Cached.sweep ?cache ?shrink ?domains ?instances scn ~seeds in
+let redund ?cache ?shrink ?domains ?instances ?prefix_share ~horizon ~seeds
+    () =
+  let sweep scn =
+    Cached.sweep ?cache ?shrink ?domains ?instances ?prefix_share scn ~seeds
+  in
   let channel ~dual =
     Cached.net_campaign ?cache
       ~leg:
@@ -60,15 +65,15 @@ type outcome = {
    a resubmission needs — so identical jobs are pure cache hits.  The
    payload is "gate=0|1\n" followed by the raw report bytes (no JSON
    escaping to keep byte-identity trivially audit-able on disk). *)
-(* [?instances] is deliberately absent from the cache key: batched and
-   looped campaigns render byte-identical reports, so they share
-   entries. *)
-let proptest ?cache ?(shrink = true) ?domains ?instances ?(iterations = 2)
-    ~seeds () =
+(* [?instances] and [?prefix_share] are deliberately absent from the
+   cache key: batched, prefix-shared and looped campaigns render
+   byte-identical reports, so they share entries. *)
+let proptest ?cache ?(shrink = true) ?domains ?instances ?prefix_share
+    ?(iterations = 2) ~seeds () =
   let compute () =
     let c =
-      Automode_casestudy.Propcase.run ~shrink ?domains ?instances ~iterations
-        ~seeds ()
+      Automode_casestudy.Propcase.run ~shrink ?domains ?instances
+        ?prefix_share ~iterations ~seeds ()
     in
     { report = Automode_casestudy.Propcase.to_text c;
       gate_ok = Automode_casestudy.Propcase.contrast_holds c }
@@ -124,15 +129,18 @@ let litmus_hooks cache =
     cache_find = (fun key -> Cache.find cache ~key ~decode:Option.some);
     cache_store = (fun key payload -> Cache.store cache ~key payload) }
 
-let litmus_result ?cache ?(domains = 1) ?instances ?(bound = 2)
-    ?(max_scenarios = 100_000) ?engine () =
+let litmus_result ?cache ?(domains = 1) ?instances ?prefix_share
+    ?(bound = 2) ?(max_scenarios = 100_000) ?engine () =
   Litmus_lock.synthesize
     ?cache:(Option.map litmus_hooks cache)
     ~config:{ Synth.bound; max_scenarios; shrink = true }
-    ~domains ?instances ?engine ()
+    ~domains ?instances ?prefix_share ?engine ()
 
-let litmus ?cache ?domains ?instances ?bound ?max_scenarios () =
-  let r = litmus_result ?cache ?domains ?instances ?bound ?max_scenarios () in
+let litmus ?cache ?domains ?instances ?prefix_share ?bound ?max_scenarios () =
+  let r =
+    litmus_result ?cache ?domains ?instances ?prefix_share ?bound
+      ?max_scenarios ()
+  in
   { report = Synth.to_text r; gate_ok = Synth.gate r }
 
 let verdicts_fail vs =
@@ -141,18 +149,22 @@ let verdicts_fail vs =
       match v with Monitor.Fail _ -> true | Monitor.Pass -> false)
     vs
 
-let run ?cache ?shrink ?(domains = 1) ?(instances = 1) ?(horizon = 200_000)
-    ?(iterations = 2) ?(bound = 2) ~kind ~engine ~seeds () =
+let run ?cache ?shrink ?(domains = 1) ?(instances = 1)
+    ?(prefix_share = true) ?(horizon = 200_000) ?(iterations = 2)
+    ?(bound = 2) ~kind ~engine ~seeds () =
   match (kind, engine) with
-  | Job.Litmus, _ -> litmus ?cache ~domains ~instances ~bound ()
+  | Job.Litmus, _ -> litmus ?cache ~domains ~instances ~prefix_share ~bound ()
   | Job.Proptest, _ ->
-    proptest ?cache ?shrink ~domains ~instances ~iterations ~seeds ()
+    proptest ?cache ?shrink ~domains ~instances ~prefix_share ~iterations
+      ~seeds ()
   | Job.Robustness, true ->
     let results = robustness_engine ?cache ~domains ~horizon ~seeds () in
     { report = Format.asprintf "%a" Robustness.pp_engine_campaign results;
       gate_ok = not (List.exists (fun (_, vs) -> verdicts_fail vs) results) }
   | Job.Robustness, false ->
-    let campaign = robustness ?cache ?shrink ~domains ~instances ~seeds () in
+    let campaign =
+      robustness ?cache ?shrink ~domains ~instances ~prefix_share ~seeds ()
+    in
     { report = Report.to_text campaign;
       gate_ok = campaign.Scenario.failures = [] }
   | Job.Guard, true ->
@@ -164,7 +176,9 @@ let run ?cache ?shrink ?(domains = 1) ?(instances = 1) ?(horizon = 200_000)
           Robustness.pp_engine_campaign guarded;
       gate_ok = not (List.exists (fun (_, vs) -> verdicts_fail vs) guarded) }
   | Job.Guard, false ->
-    let cmp, recovery = guard ?cache ?shrink ~domains ~instances ~seeds () in
+    let cmp, recovery =
+      guard ?cache ?shrink ~domains ~instances ~prefix_share ~seeds ()
+    in
     { report =
         Format.asprintf "%a%-20s %d/%d seeds failing@." Guarded.pp_comparison
           cmp "door-lock-recovery"
@@ -174,6 +188,9 @@ let run ?cache ?shrink ?(domains = 1) ?(instances = 1) ?(horizon = 200_000)
         cmp.Guarded.guarded.Scenario.failures = []
         && recovery.Scenario.failures = [] }
   | Job.Redund, _ ->
-    let r = redund ?cache ?shrink ~domains ~instances ~horizon ~seeds () in
+    let r =
+      redund ?cache ?shrink ~domains ~instances ~prefix_share ~horizon ~seeds
+        ()
+    in
     { report = Format.asprintf "%a" Replicated.pp_report r;
       gate_ok = Replicated.gate r }

@@ -13,7 +13,7 @@ open Automode_casestudy
 
 val robustness :
   ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?instances:int ->
-  seeds:int list -> unit -> Scenario.campaign
+  ?prefix_share:bool -> seeds:int list -> unit -> Scenario.campaign
 (** The door-lock fault-injection campaign
     ({!Automode_casestudy.Robustness.door_lock_campaign}). *)
 
@@ -24,7 +24,8 @@ val robustness_engine :
 
 val guard :
   ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?instances:int ->
-  seeds:int list -> unit -> Guarded.comparison * Scenario.campaign
+  ?prefix_share:bool -> seeds:int list -> unit ->
+  Guarded.comparison * Scenario.campaign
 (** The unguarded/guarded door-lock comparison plus the recovery
     campaign — the two halves of the CLI's [guard] report. *)
 
@@ -37,7 +38,8 @@ val guard_engine :
 
 val redund :
   ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?instances:int ->
-  horizon:int -> seeds:int list -> unit -> Replicated.report
+  ?prefix_share:bool -> horizon:int -> seeds:int list -> unit ->
+  Replicated.report
 (** All seven legs of the redundancy campaign
     ({!Automode_casestudy.Replicated.campaign}). *)
 
@@ -48,7 +50,7 @@ type outcome = {
 
 val proptest :
   ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?instances:int ->
-  ?iterations:int -> seeds:int list -> unit -> outcome
+  ?prefix_share:bool -> ?iterations:int -> seeds:int list -> unit -> outcome
 (** The generated-sequence door-lock comparison
     ({!Automode_casestudy.Propcase.run}, [?iterations] sequences per
     seed, default 2), rendered with
@@ -64,8 +66,9 @@ val litmus_model : unit -> string
     a model drift explicitly. *)
 
 val litmus_result :
-  ?cache:Cache.t -> ?domains:int -> ?instances:int -> ?bound:int ->
-  ?max_scenarios:int -> ?engine:Automode_proptest.Builder.engine ->
+  ?cache:Cache.t -> ?domains:int -> ?instances:int -> ?prefix_share:bool ->
+  ?bound:int -> ?max_scenarios:int ->
+  ?engine:Automode_proptest.Builder.engine ->
   unit -> Automode_litmus.Synth.result
 (** Bounded-exhaustive synthesis over the door-lock twin
     ({!Automode_casestudy.Litmus_lock.synthesize}), memoizing
@@ -75,15 +78,15 @@ val litmus_result :
     max_scenarios 100000, 1 domain, indexed engine. *)
 
 val litmus :
-  ?cache:Cache.t -> ?domains:int -> ?instances:int -> ?bound:int ->
-  ?max_scenarios:int -> unit -> outcome
+  ?cache:Cache.t -> ?domains:int -> ?instances:int -> ?prefix_share:bool ->
+  ?bound:int -> ?max_scenarios:int -> unit -> outcome
 (** {!litmus_result} rendered with {!Automode_litmus.Synth.to_text};
     the gate is {!Automode_litmus.Synth.gate} (at least one minimal
     distinguishing scenario, no stated-bound violations). *)
 
 val run :
   ?cache:Cache.t -> ?shrink:bool -> ?domains:int -> ?instances:int ->
-  ?horizon:int -> ?iterations:int -> ?bound:int ->
+  ?prefix_share:bool -> ?horizon:int -> ?iterations:int -> ?bound:int ->
   kind:Job.kind -> engine:bool -> seeds:int list -> unit -> outcome
 (** Render one job's report exactly as the matching CLI subcommand
     would print it ([robustness] / [guard] / [redund] / [proptest] /
@@ -91,4 +94,7 @@ val run :
     pass/fail gate the CLI turns into its exit status.  [?iterations]
     only affects the [proptest] kind, [?bound] only [litmus];
     [?instances] batches the scenario sweeps through the
-    struct-of-arrays engine without changing a byte of any report. *)
+    struct-of-arrays engine and [?prefix_share] (default [true])
+    shares fault-free prefixes across cases via
+    {!Automode_robust.Prefix} — neither changes a byte of any
+    report.  Both are deliberately excluded from cache keys. *)

@@ -146,9 +146,10 @@ let run_job c job =
   in
   match
     Catalog.run ?cache:c.cache ~shrink:job.Job.shrink ~domains:job_domains
-      ~instances:job.Job.instances ~horizon:job.Job.horizon
-      ~iterations:job.Job.iterations ~bound:job.Job.bound ~kind:job.Job.kind
-      ~engine:job.Job.engine ~seeds:job.Job.seeds ()
+      ~instances:job.Job.instances ~prefix_share:job.Job.prefix_share
+      ~horizon:job.Job.horizon ~iterations:job.Job.iterations
+      ~bound:job.Job.bound ~kind:job.Job.kind ~engine:job.Job.engine
+      ~seeds:job.Job.seeds ()
   with
   | outcome ->
     let latency_ms =

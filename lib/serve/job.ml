@@ -10,6 +10,7 @@ type t = {
   iterations : int;
   bound : int;
   instances : int;
+  prefix_share : bool;
 }
 
 let kind_to_string = function
@@ -140,7 +141,10 @@ let of_json json =
          | Some _ -> Error "instances: must be positive"
          | None -> Error "instances: expected an integer")
     in
-    Ok { id; kind; seeds; shrink; engine; horizon; iterations; bound; instances }
+    let* prefix_share = opt_bool ~field:"prefix_share" ~default:true json in
+    Ok
+      { id; kind; seeds; shrink; engine; horizon; iterations; bound;
+        instances; prefix_share }
   | _ -> Error "job: expected a JSON object"
 
 let parse_line line =
@@ -158,4 +162,5 @@ let to_json t =
       ("horizon", Json.Int t.horizon);
       ("iterations", Json.Int t.iterations);
       ("bound", Json.Int t.bound);
-      ("instances", Json.Int t.instances) ]
+      ("instances", Json.Int t.instances);
+      ("prefix_share", Json.Bool t.prefix_share) ]

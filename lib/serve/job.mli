@@ -27,7 +27,11 @@
       for the [litmus] kind (ignored by the others);
     - [instances] (default [1]): instance-axis width of the
       struct-of-arrays batched engine — purely a throughput knob,
-      every report stays byte-identical to the looped run. *)
+      every report stays byte-identical to the looped run;
+    - [prefix_share] (default [true]): checkpointed prefix-sharing
+      execution ({!Automode_robust.Prefix}) — like [instances], a pure
+      throughput knob with byte-identical reports; set [false] to
+      force the straight per-case loop. *)
 
 type kind = Robustness | Guard | Redund | Proptest | Litmus
 
@@ -41,6 +45,7 @@ type t = {
   iterations : int;
   bound : int;
   instances : int;
+  prefix_share : bool;
 }
 
 val kind_to_string : kind -> string

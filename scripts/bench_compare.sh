@@ -1,0 +1,64 @@
+#!/bin/sh
+# Compare a `bench --json` dump against the committed baseline and flag
+# every pinned row that got slower by more than the threshold (default
+# 30%).  Rows present in only one of the two files are listed as
+# informational — benches come and go; the baseline pins history.
+#
+#   scripts/bench_compare.sh [current.json] [baseline.json]
+#
+# Exits non-zero on a regression unless BENCH_COMPARE_SOFT=1 (set on CI
+# runners, whose shared hardware is too noisy to gate on) — then the
+# regressions print as warnings only.  BENCH_COMPARE_THRESHOLD overrides
+# the percentage.
+set -u
+
+current=${1:-bench-current.json}
+baseline=${2:-BENCH_baseline.json}
+threshold=${BENCH_COMPARE_THRESHOLD:-30}
+
+[ -f "$current" ] || { echo "bench_compare: missing $current" >&2; exit 2; }
+[ -f "$baseline" ] || { echo "bench_compare: missing $baseline" >&2; exit 2; }
+
+base_tmp=$(mktemp)
+cur_tmp=$(mktemp)
+trap 'rm -f "$base_tmp" "$cur_tmp"' EXIT
+
+# Both files are flat {"name": ns, ...} objects -> "name ns" lines.
+rows() {
+  sed -n 's/^[[:space:]]*"\([^"]*\)":[[:space:]]*\([0-9.eE+-]*\),\{0,1\}$/\1 \2/p' "$1"
+}
+
+rows "$baseline" | sort >"$base_tmp"
+rows "$current" | sort >"$cur_tmp"
+
+status=0
+regressions=$(join "$base_tmp" "$cur_tmp" | awk -v thr="$threshold" '
+  {
+    base = $2 + 0; cur = $3 + 0
+    if (base > 0) {
+      delta = (cur - base) * 100.0 / base
+      if (delta > thr)
+        printf "  %-48s %14.0f -> %14.0f ns  (+%.1f%%)\n", $1, base, cur, delta
+    }
+  }')
+
+if [ -n "$regressions" ]; then
+  echo "bench_compare: rows slower than $baseline by more than ${threshold}%:"
+  echo "$regressions"
+  if [ "${BENCH_COMPARE_SOFT:-0}" = 1 ]; then
+    echo "bench_compare: BENCH_COMPARE_SOFT=1 - reporting only, not failing"
+  else
+    status=1
+  fi
+else
+  pinned=$(join "$base_tmp" "$cur_tmp" | wc -l | tr -d ' ')
+  echo "bench_compare: OK - no row regressed by more than ${threshold}% ($pinned pinned rows compared)"
+fi
+
+missing=$(join -v1 "$base_tmp" "$cur_tmp" | awk '{print "  " $1}')
+if [ -n "$missing" ]; then
+  echo "bench_compare: baseline rows absent from $current (informational):"
+  echo "$missing"
+fi
+
+exit $status

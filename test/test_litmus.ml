@@ -148,10 +148,10 @@ let qcheck_hash_determines_classification =
 (* Synthesis                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let synth ?cache ?(bound = 2) ?domains ?instances ?engine () =
+let synth ?cache ?(bound = 2) ?domains ?instances ?prefix_share ?engine () =
   Litmus_lock.synthesize ?cache
     ~config:{ Synth.default_config with Synth.bound }
-    ?domains ?instances ?engine ()
+    ?domains ?instances ?prefix_share ?engine ()
 
 let test_synth_counts_coherent () =
   let r = synth () in
@@ -260,6 +260,30 @@ let test_synth_batched_identical () =
       | None -> Alcotest.failf "looped run stored an unknown key %s" k
       | Some v' -> checks "cache payload identical" v' v)
     store
+
+(* Prefix sharing is on by default; the synthesis report must equal
+   the looped (~prefix_share:false) run, including across the
+   domains x instances cross product and a cache warmed either way
+   (prefix_share is deliberately absent from the cache key). *)
+let test_synth_prefix_identical () =
+  let looped = Synth.to_text (synth ~prefix_share:false ()) in
+  checks "shared == looped" looped (Synth.to_text (synth ()));
+  checks "shared, 16 instances == looped" looped
+    (Synth.to_text (synth ~instances:16 ()));
+  checks "shared, 4 domains x 4 instances == looped" looped
+    (Synth.to_text (synth ~domains:4 ~instances:4 ()));
+  let store : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let hooks =
+    { Synth.cache_prefix = "prefix|";
+      cache_find = Hashtbl.find_opt store;
+      cache_store = (fun k v -> Hashtbl.replace store k v) }
+  in
+  let cold = synth ~cache:hooks () in
+  let warm = synth ~cache:hooks ~prefix_share:false () in
+  checki "looped run after shared warm-up hits everything"
+    warm.Synth.res_evaluated warm.Synth.res_cache_hits;
+  checks "shared-warmed and looped cached reports byte-identical"
+    (Synth.to_text cold) (Synth.to_text warm)
 
 let test_synth_cache_roundtrip () =
   let store : (string, string) Hashtbl.t = Hashtbl.create 64 in
@@ -375,7 +399,9 @@ let () =
           Alcotest.test_case "cache round-trip" `Quick
             test_synth_cache_roundtrip;
           Alcotest.test_case "batched synthesis byte-identical" `Quick
-            test_synth_batched_identical ] );
+            test_synth_batched_identical;
+          Alcotest.test_case "prefix-shared synthesis byte-identical" `Quick
+            test_synth_prefix_identical ] );
       ( "suite",
         [ Alcotest.test_case "round-trip" `Quick test_suite_roundtrip;
           Alcotest.test_case "replay green and deterministic" `Quick

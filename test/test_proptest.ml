@@ -266,6 +266,21 @@ let test_campaign_batched_identical () =
   checks "4 domains x 4 instances byte-identical" looped
     (go ~domains:4 ~instances:4 ())
 
+(* Prefix sharing is on by default; the campaign text must equal the
+   looped (~prefix_share:false) run at every knob combination,
+   shrinking included. *)
+let test_campaign_prefix_identical () =
+  let go ?domains ?instances ?prefix_share () =
+    Builder.to_text
+      (Builder.run ?domains ?instances ?prefix_share Propcase.unguarded
+         ~seeds)
+  in
+  let looped = go ~prefix_share:false () in
+  checks "shared == looped" looped (go ());
+  checks "shared, 8 instances == looped" looped (go ~instances:8 ());
+  checks "shared, 4 domains x 4 instances == looped" looped
+    (go ~domains:4 ~instances:4 ())
+
 let rec is_subseq small big =
   match (small, big) with
   | [], _ -> true
@@ -376,6 +391,8 @@ let () =
             test_campaign_deterministic;
           Alcotest.test_case "campaign batched identical" `Quick
             test_campaign_batched_identical;
+          Alcotest.test_case "campaign prefix identical" `Quick
+            test_campaign_prefix_identical;
           Alcotest.test_case "shrunk is a subsequence" `Quick
             test_shrunk_is_subsequence;
           Alcotest.test_case "shrunk replays bit-for-bit" `Quick

@@ -788,6 +788,101 @@ let test_batched_sweep_shrinks_identically () =
   checks "shrunk report identical" (Report.to_text looped)
     (Report.to_text batched)
 
+(* ------------------------------------------------------------------ *)
+(* Prefix-shared sweeps                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Prefix sharing (on by default) must be invisible in the report
+   bytes at every (domains, instances) combination, including the 4x4
+   cross product. *)
+let test_prefix_sweep_byte_identical () =
+  let seeds = List.init 8 (fun i -> i + 1) in
+  let scn = Robustness.door_lock_scenario in
+  let looped = Scenario.sweep ~shrink:false ~prefix_share:false scn ~seeds in
+  List.iter
+    (fun (domains, instances) ->
+      let shared =
+        Scenario.sweep ~shrink:false ~domains ~instances scn ~seeds
+      in
+      checks
+        (Printf.sprintf "text identical, %d domains x %d instances"
+           domains instances)
+        (Report.to_text looped) (Report.to_text shared);
+      checks
+        (Printf.sprintf "csv identical, %d domains x %d instances"
+           domains instances)
+        (Report.to_csv looped) (Report.to_csv shared))
+    [ (1, 1); (2, 1); (1, 4); (4, 4) ]
+
+(* Shrinking after a prefix-shared sweep replays serially: shrunk
+   counterexamples match the looped run exactly too. *)
+let test_prefix_sweep_shrinks_identically () =
+  let seeds = [ 1; 2; 3 ] in
+  let scn = Robustness.door_lock_scenario in
+  checks "shrunk report identical"
+    (Report.to_text (Scenario.sweep ~prefix_share:false scn ~seeds))
+    (Report.to_text (Scenario.sweep scn ~seeds))
+
+(* Degenerate catalog: every fault activates at tick 0, so there is no
+   shareable prefix — the executor falls back to full runs and the
+   report is still byte-identical, looped and batched. *)
+let test_prefix_degenerate_tick0 () =
+  let scn =
+    Scenario.make ~name:"tick0-dropout" ~component:Door_lock.component
+      ~ticks:24 ~inputs:Door_lock.crash_scenario
+      ~faults:(fun seed ->
+        [ Fault.dropout ~flow:"FZG_V"
+            (Fault.Window { from_tick = 0; until_tick = 4 + (seed mod 5) }) ])
+      ~monitors:
+        [ Monitor.range ~name:"volt-range" ~flow:"FZG_V" ~lo:0. ~hi:48. ]
+      ()
+  in
+  let seeds = List.init 6 (fun i -> i) in
+  let looped =
+    Report.to_text
+      (Scenario.sweep ~shrink:false ~prefix_share:false scn ~seeds)
+  in
+  checks "tick-0 catalog identical" looped
+    (Report.to_text (Scenario.sweep ~shrink:false scn ~seeds));
+  checks "tick-0 catalog identical, batched" looped
+    (Report.to_text (Scenario.sweep ~shrink:false ~instances:4 scn ~seeds))
+
+(* Direct executor check: traces come back in case order and equal the
+   per-case run_indexed; the probe counters fire only under a sink. *)
+let test_prefix_traces_and_counters () =
+  let ix = Sim.index Door_lock.component in
+  let ticks = 40 in
+  let base = Door_lock.crash_scenario in
+  let case seed =
+    let faults =
+      [ Fault.dropout ~flow:"FZG_V"
+          (Fault.Window { from_tick = 20 + (seed mod 3); until_tick = 40 }) ]
+    in
+    (faults, Fault.apply faults base, Clock.no_events)
+  in
+  let cases = Array.init 9 case in
+  let m = Automode_obs.Metrics.create () in
+  let shared =
+    Automode_obs.Probe.with_sink (Automode_obs.Probe.standard m) (fun () ->
+        Prefix.traces ~ix ~ticks ~base_inputs:base
+          ~base_schedule:Clock.no_events cases)
+  in
+  Array.iteri
+    (fun i (_, inputs, _) ->
+      checkb
+        (Printf.sprintf "case %d equals run_indexed" i)
+        true
+        (Trace.equal shared.(i) (Sim.run_indexed ~ticks ~inputs ix)))
+    cases;
+  let v k = Option.value ~default:0 (Automode_obs.Metrics.value m k) in
+  checki "three distinct fork ticks" 3 (v "campaign.prefix.groups");
+  checki "every case forked" 9 (v "campaign.prefix.forks");
+  checkb "shared ticks counted" true (v "campaign.prefix.shared_ticks" > 0);
+  ignore
+    (Prefix.traces ~ix ~ticks ~base_inputs:base
+       ~base_schedule:Clock.no_events cases);
+  checki "no sink, counters unchanged" 9 (v "campaign.prefix.forks")
+
 let () =
   Alcotest.run "automode-robust"
     [ ( "fault",
@@ -873,4 +968,13 @@ let () =
           Alcotest.test_case "campaign byte-identical" `Quick
             test_parallel_campaign_byte_identical;
           Alcotest.test_case "engine campaign identical" `Quick
-            test_parallel_engine_campaign_identical ] ) ]
+            test_parallel_engine_campaign_identical ] );
+      ( "prefix",
+        [ Alcotest.test_case "sweep byte-identical" `Quick
+            test_prefix_sweep_byte_identical;
+          Alcotest.test_case "sweep shrinks identically" `Quick
+            test_prefix_sweep_shrinks_identically;
+          Alcotest.test_case "degenerate tick-0 catalog" `Quick
+            test_prefix_degenerate_tick0;
+          Alcotest.test_case "traces and counters" `Quick
+            test_prefix_traces_and_counters ] ) ]

@@ -550,6 +550,55 @@ let test_catalog_batched_identical () =
       ("guard", Serve.Job.Guard);
       ("redund", Serve.Job.Redund) ]
 
+(* Prefix sharing (on by default) changes no byte of any catalog
+   report, for all five job kinds, including under the
+   domains x instances cross product. *)
+let test_catalog_prefix_identical () =
+  List.iter
+    (fun (name, kind) ->
+      let go ?domains ?instances ?prefix_share () =
+        Serve.Catalog.run ?domains ?instances ?prefix_share ~shrink:false
+          ~horizon:50_000 ~iterations:1 ~kind ~engine:false ~seeds:[ 1; 2 ]
+          ()
+      in
+      let looped = go ~prefix_share:false () in
+      let same label (shared : Serve.Catalog.outcome) =
+        checks (name ^ " " ^ label) looped.Serve.Catalog.report
+          shared.Serve.Catalog.report;
+        checkb (name ^ " " ^ label ^ " gate") looped.Serve.Catalog.gate_ok
+          shared.Serve.Catalog.gate_ok
+      in
+      same "shared == looped" (go ());
+      same "shared, 4 domains x 4 instances == looped"
+        (go ~domains:4 ~instances:4 ()))
+    [ ("robustness", Serve.Job.Robustness);
+      ("guard", Serve.Job.Guard);
+      ("redund", Serve.Job.Redund);
+      ("proptest", Serve.Job.Proptest);
+      ("litmus", Serve.Job.Litmus) ]
+
+(* The job schema's [prefix_share] field: absent means [true], an
+   explicit [false] survives the to_json round-trip. *)
+let test_job_prefix_share_field () =
+  (match
+     Serve.Job.parse_line "{\"id\":\"p1\",\"kind\":\"robustness\",\"seeds\":[1]}"
+   with
+   | Ok j -> checkb "default on" true j.Serve.Job.prefix_share
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  match
+    Serve.Job.parse_line
+      "{\"id\":\"p2\",\"kind\":\"robustness\",\"seeds\":[1],\
+       \"prefix_share\":false}"
+  with
+  | Ok j ->
+    checkb "explicit off" false j.Serve.Job.prefix_share;
+    (match
+       Serve.Job.parse_line (Serve.Json.to_string (Serve.Job.to_json j))
+     with
+     | Ok j' -> checkb "round-trips" true (j = j')
+     | Error e -> Alcotest.failf "reparse failed: %s" e)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
 let test_daemon_socket () =
   let spool = temp_dir "automode-spool3" in
   let sock_path = Filename.concat spool "sock" in
@@ -613,6 +662,10 @@ let suite =
       test_daemon_concurrent_workers;
     Alcotest.test_case "catalog batched byte-identical" `Quick
       test_catalog_batched_identical;
+    Alcotest.test_case "catalog prefix-shared byte-identical" `Quick
+      test_catalog_prefix_identical;
+    Alcotest.test_case "job prefix_share field" `Quick
+      test_job_prefix_share_field;
     Alcotest.test_case "daemon socket intake" `Quick test_daemon_socket ]
 
 let () = Alcotest.run "serve" [ ("serve", suite) ]

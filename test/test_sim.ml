@@ -1089,6 +1089,168 @@ let test_batch_rejects () =
      with Sim.Sim_error _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Snapshots                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The Sim.Snapshot determinism contract, asserted at cmp level: a
+   resume from any capture tick renders byte-identically (to_csv) to
+   the straight run, for every capture point at once. *)
+let assert_snapshot_identity ?schedule name comp ~ticks ~inputs ~at =
+  let ix = Sim.index comp in
+  let reference = Trace.to_csv (Sim.run_indexed ?schedule ~ticks ~inputs ix) in
+  let snaps = Sim.snapshot_run ?schedule ~at ~inputs ix in
+  List.iter2
+    (fun t snap ->
+      checki (Printf.sprintf "%s: capture tick %d" name t) t
+        (Sim.Snapshot.tick snap);
+      checki (Printf.sprintf "%s: prefix rows at %d" name t) t
+        (Trace.length (Sim.Snapshot.trace snap));
+      let resumed = Sim.resume_indexed ?schedule ~ticks ~inputs snap in
+      checkb
+        (Printf.sprintf "%s: resume from %d equals straight run" name t)
+        true
+        (String.equal (Trace.to_csv resumed) reference))
+    at snaps
+
+(* Faulted net with capture points inside a dropout (silence) window
+   (12, 14) and inside a stuck-at-last hold (20) — the two fault kinds
+   whose effect depends on state accumulated before the capture. *)
+let test_snapshot_faulted_door_lock () =
+  let open Automode_robust in
+  let faults =
+    [ Fault.dropout ~flow:"FZG_V"
+        (Fault.Window { from_tick = 10; until_tick = 18 });
+      Fault.stuck_at_last ~flow:"CRSH"
+        (Fault.Window { from_tick = 16; until_tick = 26 }) ]
+  in
+  let schedule =
+    Fault.schedule_of_faults
+      ~base:(fun name tick -> String.equal name "crash" && tick = 6)
+      (List.filter (fun f -> String.equal (Fault.flow f) "CRSH") faults)
+      ~event:"crash"
+  in
+  let inputs =
+    Fault.apply faults Automode_casestudy.Door_lock.crash_scenario
+  in
+  assert_snapshot_identity "faulted door lock"
+    Automode_casestudy.Door_lock.component ~schedule ~ticks:32 ~inputs
+    ~at:[ 0; 3; 12; 14; 20; 31 ]
+
+let test_snapshot_guarded () =
+  let open Automode_robust in
+  let inputs =
+    Fault.apply
+      (Automode_casestudy.Guarded.guard_faults 3)
+      Automode_casestudy.Robustness.lock_stimulus
+  in
+  assert_snapshot_identity "guarded" Automode_casestudy.Guarded.component
+    ~ticks:32 ~inputs ~at:[ 0; 7; 15; 24 ]
+
+let test_snapshot_replicated () =
+  let module Rep = Automode_casestudy.Replicated in
+  assert_snapshot_identity "replicated" Rep.replicated ~ticks:Rep.repl_ticks
+    ~inputs:Rep.repl_stimulus
+    ~at:[ 1; Rep.repl_ticks / 2; Rep.repl_ticks - 1 ]
+
+(* A snapshot is immutable: resuming it with one suffix, then another,
+   then the first again yields the first result byte-for-byte — the
+   fork-from-divergence scheduler relies on replaying one snapshot
+   under many suffixes in arbitrary order. *)
+let test_snapshot_resume_independence () =
+  let ix = Sim.index counter in
+  let fork = 8 and ticks = 20 in
+  let prefix _ = [ ("step", present_i 2) ] in
+  let with_suffix v t =
+    if t < fork then prefix t else [ ("step", present_i v) ]
+  in
+  let snap = List.hd (Sim.snapshot_run ~at:[ fork ] ~inputs:prefix ix) in
+  let run v = Trace.to_csv (Sim.resume_indexed ~ticks ~inputs:(with_suffix v) snap) in
+  let a1 = run 5 in
+  let b = run 9 in
+  let a2 = run 5 in
+  checkb "same suffix twice is byte-identical" true (String.equal a1 a2);
+  checkb "different suffixes diverge" false (String.equal a1 b);
+  checkb "resume equals straight run of the composite stimulus" true
+    (String.equal a1
+       (Trace.to_csv (Sim.run_indexed ~ticks ~inputs:(with_suffix 5) ix)))
+
+let test_snapshot_rejects () =
+  let ix = Sim.index counter in
+  let inputs _ = [ ("step", present_i 1) ] in
+  checkb "snapshot_run rejects unsorted capture ticks" true
+    (try ignore (Sim.snapshot_run ~at:[ 5; 3 ] ~inputs ix); false
+     with Sim.Sim_error _ -> true);
+  let snap = List.hd (Sim.snapshot_run ~at:[ 4 ] ~inputs ix) in
+  checkb "resume_indexed rejects a horizon before the capture tick" true
+    (try ignore (Sim.resume_indexed ~ticks:3 ~inputs snap); false
+     with Sim.Sim_error _ -> true)
+
+(* The batched fork: simulate a shared prefix in one column, snapshot
+   at the fork tick, restore into every column and run divergent
+   suffixes — each column must equal a straight run_indexed of its
+   composite stimulus (prefix + own suffix).  Uses the MTD throttle so
+   the capture covers sub-component state, not just slot planes. *)
+let test_batch_snapshot_fork () =
+  let ix = Sim.index throttle_comp in
+  let instances = 4 in
+  let b = Sim.batch ~instances ix in
+  let ticks = 20 and fork = 11 in
+  let prefix t =
+    [ ("cranking", present_b (t >= 3));
+      ("desired", present_f 10.);
+      ("current", present_f (float_of_int t)) ]
+  in
+  let suffix j t =
+    [ ("cranking", present_b (t mod (j + 2) = 0));
+      ("desired", present_f (12. +. float_of_int j));
+      ("current", present_f (float_of_int (t - j))) ]
+  in
+  let composite j t = if t < fork then prefix t else suffix j t in
+  Sim.run_batch ~count:1 ~stop:fork ~ticks ~inputs:(fun _ -> prefix) b;
+  let snap = Sim.batch_snapshot b ~instance:0 ~tick:fork in
+  checki "batch snapshot tick" fork (Sim.batch_snapshot_tick snap);
+  for j = 0 to instances - 1 do
+    Sim.batch_restore b snap ~instance:j
+  done;
+  Sim.run_batch ~start:fork ~reset:false ~ticks ~inputs:suffix b;
+  for j = 0 to instances - 1 do
+    checkb
+      (Printf.sprintf "forked column %d equals straight indexed run" j)
+      true
+      (String.equal
+         (Trace.to_csv (Sim.batch_trace b ~instance:j))
+         (Trace.to_csv (Sim.run_indexed ~ticks ~inputs:(composite j) ix)))
+  done
+
+let test_batch_snapshot_rejects () =
+  let ix = Sim.index counter in
+  let b = Sim.batch ~instances:2 ix in
+  let inputs _ _ = [ ("step", present_i 1) ] in
+  Sim.run_batch ~count:1 ~stop:4 ~ticks:10 ~inputs b;
+  checkb "batch_snapshot rejects a tick past the horizon" true
+    (try ignore (Sim.batch_snapshot b ~instance:0 ~tick:11); false
+     with Sim.Sim_error _ -> true);
+  checkb "batch_snapshot rejects an out-of-range instance" true
+    (try ignore (Sim.batch_snapshot b ~instance:2 ~tick:4); false
+     with Sim.Sim_error _ -> true);
+  let snap = Sim.batch_snapshot b ~instance:0 ~tick:4 in
+  checkb "run_batch rejects an out-of-range span" true
+    (try Sim.run_batch ~start:8 ~stop:6 ~ticks:10 ~inputs b; false
+     with Sim.Sim_error _ -> true);
+  checkb "reset:false requires the allocating run's horizon" true
+    (try Sim.run_batch ~reset:false ~ticks:12 ~inputs b; false
+     with Sim.Sim_error _ -> true);
+  let b2 = Sim.batch ~instances:2 ix in
+  Sim.run_batch ~ticks:10 ~inputs b2;
+  checkb "batch_restore rejects a foreign batch's snapshot" true
+    (try Sim.batch_restore b2 snap ~instance:0; false
+     with Sim.Sim_error _ -> true);
+  Sim.run_batch ~ticks:6 ~inputs b;
+  checkb "batch_restore rejects a changed horizon" true
+    (try Sim.batch_restore b snap ~instance:0; false
+     with Sim.Sim_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Trace utilities                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1435,6 +1597,17 @@ let () =
           Alcotest.test_case "reuse and shards" `Quick
             test_batch_reuse_and_shards;
           Alcotest.test_case "rejects" `Quick test_batch_rejects ] );
+      ( "snapshot",
+        [ Alcotest.test_case "faulted door lock" `Quick
+            test_snapshot_faulted_door_lock;
+          Alcotest.test_case "guarded" `Quick test_snapshot_guarded;
+          Alcotest.test_case "replicated" `Quick test_snapshot_replicated;
+          Alcotest.test_case "resume independence" `Quick
+            test_snapshot_resume_independence;
+          Alcotest.test_case "rejects" `Quick test_snapshot_rejects;
+          Alcotest.test_case "batched fork" `Quick test_batch_snapshot_fork;
+          Alcotest.test_case "batched rejects" `Quick
+            test_batch_snapshot_rejects ] );
       ( "trace",
         [ Alcotest.test_case "equality/divergence" `Quick test_trace_equal_and_divergence;
           Alcotest.test_case "csv escaping" `Quick test_trace_csv_escaping;
